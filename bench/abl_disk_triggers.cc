@@ -1,0 +1,50 @@
+// Ablation A7: disk-resident data and update-fired triggers.
+//
+// Two of the paper's future-work items (Section 7) as cost-model
+// extensions. Part 1 drops the buffer hit ratio from the main-memory
+// baseline (1.0) toward disk-resident territory: every policy loses
+// value, but UF/SU — which perform the most installs — lose the most.
+// Part 2 makes installs fire derived-data rules with increasing
+// probability: the effective install cost grows, reproducing the
+// x_update sweep of Figure 7(a) through a different mechanism.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace strip;
+  const exp::BenchArgs args = exp::BenchArgs::Parse(argc, argv);
+  std::printf(
+      "== Ablation A7: disk residence & triggers (MA, lambda_t=10) ==\n\n");
+
+  {
+    exp::SweepSpec spec = bench::BaseSpec(args);
+    spec.x_name = "hit_ratio";
+    spec.x_values = {1.0, 0.99, 0.95, 0.9, 0.8};
+    spec.apply_x = [](core::Config& c, double x) {
+      c.buffer_hit_ratio = x;
+      c.io_seconds = 0.002;  // a 1995-era 2 ms random read
+    };
+    const exp::SweepResult result = exp::RunSweep(spec);
+    bench::Emit(args, spec, result, "AV vs buffer hit ratio",
+                bench::MetricAv);
+    bench::Emit(args, spec, result, "p_success vs buffer hit ratio",
+                bench::MetricPsuccess);
+  }
+  {
+    exp::SweepSpec spec = bench::BaseSpec(args);
+    spec.x_name = "p_trigger";
+    spec.x_values = {0.0, 0.25, 0.5, 0.75, 1.0};
+    spec.apply_x = [](core::Config& c, double x) {
+      c.trigger_probability = x;
+      c.x_trigger = 30000;  // rule recomputation > the install itself
+    };
+    const exp::SweepResult result = exp::RunSweep(spec);
+    bench::Emit(args, spec, result, "AV vs trigger probability",
+                bench::MetricAv);
+    bench::Emit(args, spec, result, "f_old_l vs trigger probability",
+                bench::MetricFoldLow);
+  }
+  return 0;
+}

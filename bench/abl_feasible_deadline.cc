@@ -1,0 +1,43 @@
+// Ablation A5: the feasible-deadline policy.
+//
+// Table 3 fixes `feasible_dl = TRUE`: transactions that can no longer
+// meet their deadline are aborted early instead of wasting CPU. This
+// ablation disables the screen and compares AV and p_MD: without it,
+// overload wastes cycles on doomed transactions and AV collapses.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace strip;
+  const exp::BenchArgs args = exp::BenchArgs::Parse(argc, argv);
+  std::printf(
+      "== Ablation A5: feasible-deadline screening on/off (MA) ==\n\n");
+
+  exp::SweepSpec on = bench::BaseSpec(args);
+  on.x_name = "lambda_t";
+  on.x_values = {5, 10, 15, 20, 25};
+  on.apply_x = [](core::Config& c, double x) {
+    c.lambda_t = x;
+    c.feasible_deadline = true;
+  };
+
+  exp::SweepSpec off = on;
+  off.apply_x = [](core::Config& c, double x) {
+    c.lambda_t = x;
+    c.feasible_deadline = false;
+  };
+
+  const exp::SweepResult on_result = exp::RunSweep(on);
+  const exp::SweepResult off_result = exp::RunSweep(off);
+
+  bench::Emit(args, on, on_result, "AV, feasible_dl=TRUE", bench::MetricAv);
+  bench::Emit(args, off, off_result, "AV, feasible_dl=FALSE",
+              bench::MetricAv);
+  bench::Emit(args, on, on_result, "p_MD, feasible_dl=TRUE",
+              bench::MetricPmd);
+  bench::Emit(args, off, off_result, "p_MD, feasible_dl=FALSE",
+              bench::MetricPmd);
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Ablation A3: a fixed CPU fraction for the update process.
+//
+// The paper's future-work list (Section 7) proposes giving the updater
+// a fixed CPU share. Two views: (1) FCF at the baseline share versus
+// the paper's four policies across lambda_t; (2) the share itself
+// swept at lambda_t = 10, showing the freshness/value trade directly.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace strip;
+  const exp::BenchArgs args = exp::BenchArgs::Parse(argc, argv);
+  std::printf("== Ablation A3: fixed-CPU-fraction updater (MA) ==\n\n");
+
+  {
+    exp::SweepSpec spec = bench::BaseSpec(args);
+    spec.policies = {core::PolicyKind::kUpdateFirst,
+                     core::PolicyKind::kTransactionFirst,
+                     core::PolicyKind::kOnDemand,
+                     core::PolicyKind::kFixedFraction};
+    spec.x_name = "lambda_t";
+    spec.x_values = {5, 10, 15, 20, 25};
+    spec.apply_x = [](core::Config& c, double x) {
+      c.lambda_t = x;
+      c.update_cpu_fraction = 0.2;  // the stream's full demand
+    };
+    const exp::SweepResult result = exp::RunSweep(spec);
+    bench::Emit(args, spec, result, "p_success (FCF share = 0.20)",
+                bench::MetricPsuccess);
+    bench::Emit(args, spec, result, "AV (FCF share = 0.20)",
+                bench::MetricAv);
+    bench::Emit(args, spec, result, "f_old_l (FCF share = 0.20)",
+                bench::MetricFoldLow);
+  }
+  {
+    exp::SweepSpec spec = bench::BaseSpec(args);
+    spec.policies = {core::PolicyKind::kFixedFraction};
+    spec.x_name = "share";
+    spec.x_values = {0.0, 0.05, 0.1, 0.15, 0.2, 0.3};
+    spec.apply_x = [](core::Config& c, double x) {
+      c.update_cpu_fraction = x;
+    };
+    const exp::SweepResult result = exp::RunSweep(spec);
+    bench::Emit(args, spec, result, "p_success vs updater share",
+                bench::MetricPsuccess);
+    bench::Emit(args, spec, result, "AV vs updater share",
+                bench::MetricAv);
+    bench::Emit(args, spec, result, "f_old_l vs updater share",
+                bench::MetricFoldLow);
+  }
+  return 0;
+}

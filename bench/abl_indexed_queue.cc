@@ -1,0 +1,46 @@
+// Ablation A1: hash-indexed update queue for On Demand.
+//
+// Sections 4.2/4.4 suggest an index on the update queue so that an On
+// Demand search costs a constant probe instead of x_scan · queue
+// length. This ablation sweeps x_scan with and without the index and
+// compares OD's AV and p_success; the other policies never search, so
+// only OD appears.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace strip;
+  const exp::BenchArgs args = exp::BenchArgs::Parse(argc, argv);
+  std::printf(
+      "== Ablation A1: indexed vs scanned update queue (OD, MA) ==\n\n");
+
+  exp::SweepSpec plain = bench::BaseSpec(args);
+  plain.policies = {core::PolicyKind::kOnDemand};
+  plain.x_name = "x_scan";
+  plain.x_values = {0, 2000, 4000, 6000, 8000, 10000};
+  plain.apply_x = [](core::Config& c, double x) {
+    c.x_scan = x;
+    c.indexed_update_queue = false;
+  };
+
+  exp::SweepSpec indexed = plain;
+  indexed.apply_x = [](core::Config& c, double x) {
+    c.x_scan = x;
+    c.indexed_update_queue = true;
+  };
+
+  const exp::SweepResult plain_result = exp::RunSweep(plain);
+  const exp::SweepResult indexed_result = exp::RunSweep(indexed);
+
+  bench::Emit(args, plain, plain_result, "AV, linear scan",
+              bench::MetricAv);
+  bench::Emit(args, indexed, indexed_result, "AV, hash index",
+              bench::MetricAv);
+  bench::Emit(args, plain, plain_result, "p_success, linear scan",
+              bench::MetricPsuccess);
+  bench::Emit(args, indexed, indexed_result, "p_success, hash index",
+              bench::MetricPsuccess);
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Ablation A8: partial updates (Sections 2/7 future work).
+//
+// With n_attributes > 1, each update refreshes one attribute of its
+// object and the object is only as fresh as its *oldest* attribute.
+// At a fixed stream rate, the per-attribute refresh period grows
+// A-fold, so freshness degrades for every policy — most visibly for
+// UF, whose whole purpose is freshness. OD's on-demand fetch also
+// weakens: one fetched update freshens one attribute, not the object.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace strip;
+  const exp::BenchArgs args = exp::BenchArgs::Parse(argc, argv);
+  std::printf(
+      "== Ablation A8: partial updates (MA, lambda_t=10) ==\n\n");
+
+  exp::SweepSpec spec = bench::BaseSpec(args);
+  spec.x_name = "attrs";
+  spec.x_values = {1, 2, 4, 8};
+  spec.apply_x = [](core::Config& c, double x) {
+    c.n_attributes = static_cast<int>(x);
+  };
+
+  const exp::SweepResult result = exp::RunSweep(spec);
+  bench::Emit(args, spec, result, "f_old_l vs attributes/object",
+              bench::MetricFoldLow);
+  bench::Emit(args, spec, result, "f_old_h vs attributes/object",
+              bench::MetricFoldHigh);
+  bench::Emit(args, spec, result, "p_success vs attributes/object",
+              bench::MetricPsuccess);
+  bench::Emit(args, spec, result, "AV vs attributes/object",
+              bench::MetricAv);
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Ablation A4: transaction-over-transaction preemption.
+//
+// Table 3 fixes `preemption = FALSE` in the baseline: a running
+// transaction is never preempted by a newly arrived, denser one. This
+// ablation flips the switch and compares p_MD and AV across the load
+// sweep to show what the baseline choice costs.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace strip;
+  const exp::BenchArgs args = exp::BenchArgs::Parse(argc, argv);
+  std::printf(
+      "== Ablation A4: transaction preemption on/off (MA, no stale "
+      "aborts) ==\n\n");
+
+  exp::SweepSpec off = bench::BaseSpec(args);
+  off.x_name = "lambda_t";
+  off.x_values = {5, 10, 15, 20, 25};
+  off.apply_x = [](core::Config& c, double x) {
+    c.lambda_t = x;
+    c.txn_preemption = false;
+  };
+
+  exp::SweepSpec on = off;
+  on.apply_x = [](core::Config& c, double x) {
+    c.lambda_t = x;
+    c.txn_preemption = true;
+  };
+
+  const exp::SweepResult off_result = exp::RunSweep(off);
+  const exp::SweepResult on_result = exp::RunSweep(on);
+
+  bench::Emit(args, off, off_result, "AV, no preemption", bench::MetricAv);
+  bench::Emit(args, on, on_result, "AV, with preemption", bench::MetricAv);
+  bench::Emit(args, off, off_result, "p_MD, no preemption",
+              bench::MetricPmd);
+  bench::Emit(args, on, on_result, "p_MD, with preemption",
+              bench::MetricPmd);
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Ablation A6: transaction scheduling rule.
+//
+// The paper fixes value-density scheduling for transactions (Section
+// 3.4). This ablation swaps in earliest-deadline-first and
+// first-come-first-served under the OD update policy: under overload,
+// value density converts more of the offered value into commits
+// because it spends the scarce CPU on the dense opportunities, while
+// EDF maximizes on-time completions at light overload and FCFS ignores
+// both value and urgency.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace strip;
+  const exp::BenchArgs args = exp::BenchArgs::Parse(argc, argv);
+  std::printf("== Ablation A6: transaction scheduling rule (OD, MA) ==\n\n");
+
+  auto run_with = [&](txn::TxnSchedPolicy sched, const char* label) {
+    exp::SweepSpec spec = bench::BaseSpec(args);
+    spec.policies = {core::PolicyKind::kOnDemand};
+    spec.x_name = "lambda_t";
+    spec.x_values = {5, 10, 15, 20, 25};
+    spec.apply_x = [sched](core::Config& c, double x) {
+      c.lambda_t = x;
+      c.txn_sched = sched;
+    };
+    const exp::SweepResult result = exp::RunSweep(spec);
+    std::printf("--- %s ---\n", label);
+    bench::Emit(args, spec, result, "AV", bench::MetricAv);
+    bench::Emit(args, spec, result, "p_MD", bench::MetricPmd);
+  };
+
+  run_with(txn::TxnSchedPolicy::kValueDensity, "value density (paper)");
+  run_with(txn::TxnSchedPolicy::kEarliestDeadline, "EDF");
+  run_with(txn::TxnSchedPolicy::kFcfs, "FCFS");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Shared helpers for the per-figure bench binaries.
+//
+// Every figure bench builds a SweepSpec from the paper's baseline
+// config plus the figure's x-axis, runs it, and prints the series the
+// figure plots. Metric extractors and the standard lambda_t sweep live
+// here so the figures stay single-purpose.
+
+#ifndef STRIP_BENCH_BENCH_UTIL_H_
+#define STRIP_BENCH_BENCH_UTIL_H_
+
+#include <iostream>
+#include <vector>
+
+#include "exp/bench_args.h"
+#include "exp/experiment.h"
+#include "exp/report.h"
+
+namespace strip::bench {
+
+// The transaction-rate sweep most figures use (the paper plots
+// lambda_t from light load to far past saturation at ~10/s).
+inline std::vector<double> LambdaTSweep() {
+  return {1, 5, 10, 15, 20, 25};
+}
+
+// A sweep spec preloaded with the paper baseline and the bench args.
+inline exp::SweepSpec BaseSpec(const exp::BenchArgs& args) {
+  exp::SweepSpec spec;
+  args.ApplyTo(spec.base);
+  spec.replications = args.replications;
+  spec.base_seed = args.seed;
+  spec.threads = args.threads;
+  return spec;
+}
+
+// Standard metric extractors.
+inline double MetricAv(const core::RunMetrics& m) { return m.av(); }
+inline double MetricPmd(const core::RunMetrics& m) { return m.p_md(); }
+inline double MetricPsuccess(const core::RunMetrics& m) {
+  return m.p_success();
+}
+inline double MetricPsucNontardy(const core::RunMetrics& m) {
+  return m.p_suc_nontardy();
+}
+inline double MetricFoldLow(const core::RunMetrics& m) {
+  return m.f_old_low;
+}
+inline double MetricFoldHigh(const core::RunMetrics& m) {
+  return m.f_old_high;
+}
+inline double MetricRhoT(const core::RunMetrics& m) { return m.rho_t(); }
+inline double MetricRhoU(const core::RunMetrics& m) { return m.rho_u(); }
+
+// Prints a series table (and optionally its CSV twin).
+inline void Emit(const exp::BenchArgs& args, const exp::SweepSpec& spec,
+                 const exp::SweepResult& result, const char* metric_name,
+                 const exp::MetricFn& metric) {
+  exp::PrintSeries(std::cout, spec, result, metric_name, metric);
+  if (args.csv) {
+    exp::PrintSeriesCsv(std::cout, spec, result, metric_name, metric);
+  }
+}
+
+}  // namespace strip::bench
+
+#endif  // STRIP_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,31 @@
+// Figure 3: effects of lambda_t on the transaction/update CPU mix.
+//
+// Reproduces both panels: (a) rho_t, the fraction of CPU time spent on
+// transactions, and (b) rho_u, the fraction spent on updates, as the
+// transaction arrival rate sweeps from light load past saturation.
+//
+// Paper shape: rho_u is flat at ~0.19 for UF (updates always win) and
+// decreases with lambda_t for TF/OD; total utilization saturates at 1
+// around lambda_t = 10 for every algorithm.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace strip;
+  const exp::BenchArgs args = exp::BenchArgs::Parse(argc, argv);
+  std::printf("== Figure 3: CPU mix vs lambda_t (MA, no stale aborts) ==\n\n");
+
+  exp::SweepSpec spec = bench::BaseSpec(args);
+  spec.x_name = "lambda_t";
+  spec.x_values = bench::LambdaTSweep();
+  spec.apply_x = [](core::Config& c, double x) { c.lambda_t = x; };
+
+  const exp::SweepResult result = exp::RunSweep(spec);
+  bench::Emit(args, spec, result, "rho_t (fig 3a)", bench::MetricRhoT);
+  bench::Emit(args, spec, result, "rho_u (fig 3b)", bench::MetricRhoU);
+  bench::Emit(args, spec, result, "rho_total",
+              [](const core::RunMetrics& m) { return m.rho_total(); });
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Figure 4: effects of lambda_t on missed deadlines and value.
+//
+// Panel (a): p_MD, the fraction of transactions missing their
+// deadline. Panel (b): AV, average value returned per second.
+//
+// Paper shape: p_MD rises with load for every algorithm, lowest for
+// TF/OD (they spend the least on updates); AV *increases* with load —
+// overload gives the value-density scheduler more high-value work to
+// choose from — and TF/OD dominate.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace strip;
+  const exp::BenchArgs args = exp::BenchArgs::Parse(argc, argv);
+  std::printf(
+      "== Figure 4: deadlines & value vs lambda_t (MA, no stale aborts) "
+      "==\n\n");
+
+  exp::SweepSpec spec = bench::BaseSpec(args);
+  spec.x_name = "lambda_t";
+  spec.x_values = bench::LambdaTSweep();
+  spec.apply_x = [](core::Config& c, double x) { c.lambda_t = x; };
+
+  const exp::SweepResult result = exp::RunSweep(spec);
+  bench::Emit(args, spec, result, "p_MD (fig 4a)", bench::MetricPmd);
+  bench::Emit(args, spec, result, "AV (fig 4b)", bench::MetricAv);
+  return 0;
+}

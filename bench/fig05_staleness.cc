@@ -1,0 +1,32 @@
+// Figure 5: effects of lambda_t on data staleness.
+//
+// Panel (a): f_old_l, the time-averaged fraction of stale
+// low-importance objects. Panel (b): f_old_h for the high-importance
+// partition.
+//
+// Paper shape: UF is flat and low (<10%) regardless of load; TF and OD
+// climb toward 1 as transactions crowd out installs (OD slightly
+// better than TF); SU sits between — its high partition stays as fresh
+// as UF's, its low partition goes stale like TF's.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace strip;
+  const exp::BenchArgs args = exp::BenchArgs::Parse(argc, argv);
+  std::printf(
+      "== Figure 5: staleness vs lambda_t (MA, no stale aborts) ==\n\n");
+
+  exp::SweepSpec spec = bench::BaseSpec(args);
+  spec.x_name = "lambda_t";
+  spec.x_values = bench::LambdaTSweep();
+  spec.apply_x = [](core::Config& c, double x) { c.lambda_t = x; };
+
+  const exp::SweepResult result = exp::RunSweep(spec);
+  bench::Emit(args, spec, result, "f_old_l (fig 5a)", bench::MetricFoldLow);
+  bench::Emit(args, spec, result, "f_old_h (fig 5b)",
+              bench::MetricFoldHigh);
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Figure 7: effects of x_update and x_queue on AV.
+//
+// Panel (a): AV as the per-install cost x_update sweeps 0..50k
+// instructions. Panel (b): AV as the queue-operation cost factor
+// x_queue sweeps 0..5k.
+//
+// Paper shape: UF and SU fall sharply with x_update (they install the
+// most updates) while TF/OD barely move; with x_queue the queue-based
+// schemes TF/OD (and to a lesser degree SU) pay, while UF — which has
+// no update queue — is untouched.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace strip;
+  const exp::BenchArgs args = exp::BenchArgs::Parse(argc, argv);
+  std::printf(
+      "== Figure 7: update costs vs AV (MA, no stale aborts, lambda_t=10) "
+      "==\n\n");
+
+  {
+    exp::SweepSpec spec = bench::BaseSpec(args);
+    spec.x_name = "x_update";
+    spec.x_values = {0, 10000, 20000, 30000, 40000, 50000};
+    spec.apply_x = [](core::Config& c, double x) { c.x_update = x; };
+    const exp::SweepResult result = exp::RunSweep(spec);
+    bench::Emit(args, spec, result, "AV (fig 7a)", bench::MetricAv);
+  }
+  {
+    exp::SweepSpec spec = bench::BaseSpec(args);
+    spec.x_name = "x_queue";
+    spec.x_values = {0, 1000, 2000, 3000, 4000, 5000};
+    spec.apply_x = [](core::Config& c, double x) { c.x_queue = x; };
+    const exp::SweepResult result = exp::RunSweep(spec);
+    bench::Emit(args, spec, result, "AV (fig 7b)", bench::MetricAv);
+  }
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Figure 8: effect of x_scan on AV.
+//
+// x_scan is the cost to examine one queued update during an On Demand
+// search (the search costs x_scan · queue length). Only OD pays it
+// under the MA criterion.
+//
+// Paper shape: OD degrades gracefully as x_scan grows (its queue stays
+// small at light load and expires entries under heavy load); the other
+// algorithms are flat.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace strip;
+  const exp::BenchArgs args = exp::BenchArgs::Parse(argc, argv);
+  std::printf(
+      "== Figure 8: scan cost vs AV (MA, no stale aborts, lambda_t=10) "
+      "==\n\n");
+
+  exp::SweepSpec spec = bench::BaseSpec(args);
+  spec.x_name = "x_scan";
+  spec.x_values = {0, 2000, 4000, 6000, 8000, 10000};
+  spec.apply_x = [](core::Config& c, double x) { c.x_scan = x; };
+
+  const exp::SweepResult result = exp::RunSweep(spec);
+  bench::Emit(args, spec, result, "AV (fig 8)", bench::MetricAv);
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Figure 9: effect of the update arrival rate lambda_u.
+//
+// Panel (a): p_success; panel (b): AV, as the update stream rate
+// sweeps 200..600 updates/second at the baseline transaction load.
+//
+// Paper shape: TF and OD hold their AV flat across the whole range
+// while UF and SU — which install everything, or everything
+// high-importance, at top priority — return less value as the stream
+// intensifies. OD improves its p_success with rate (fresher queue to
+// fetch from) and is the clear winner by 550/s.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace strip;
+  const exp::BenchArgs args = exp::BenchArgs::Parse(argc, argv);
+  std::printf(
+      "== Figure 9: update rate (MA, no stale aborts, lambda_t=10) ==\n\n");
+
+  exp::SweepSpec spec = bench::BaseSpec(args);
+  spec.x_name = "lambda_u";
+  spec.x_values = {200, 250, 300, 350, 400, 450, 500, 550, 600};
+  spec.apply_x = [](core::Config& c, double x) { c.lambda_u = x; };
+
+  const exp::SweepResult result = exp::RunSweep(spec);
+  bench::Emit(args, spec, result, "p_success (fig 9a)",
+              bench::MetricPsuccess);
+  bench::Emit(args, spec, result, "AV (fig 9b)", bench::MetricAv);
+  return 0;
+}

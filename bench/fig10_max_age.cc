@@ -1,0 +1,51 @@
+// Figure 10: effect of the maximum age alpha.
+//
+// Panel (a): AV as alpha sweeps alone — looser age bounds mean fewer
+// stale reads and less expiry churn. Panel (b): AV as alpha sweeps
+// with N_l and N_h scaled proportionally (N = 500·alpha/7), holding
+// the staleness floor constant.
+//
+// Paper shape: panel (a) moves AV mainly at very small alpha; in panel
+// (b) AV barely changes — it is the ratio (N_l + N_h)/alpha that
+// matters, not alpha itself.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace strip;
+  const exp::BenchArgs args = exp::BenchArgs::Parse(argc, argv);
+  std::printf(
+      "== Figure 10: maximum age (MA, no stale aborts, lambda_t=10) "
+      "==\n\n");
+
+  {
+    exp::SweepSpec spec = bench::BaseSpec(args);
+    spec.x_name = "alpha";
+    spec.x_values = {2, 3, 4, 5, 6, 7, 8, 9};
+    spec.apply_x = [](core::Config& c, double x) { c.alpha = x; };
+    const exp::SweepResult result = exp::RunSweep(spec);
+    bench::Emit(args, spec, result, "AV (fig 10a: alpha alone)",
+                bench::MetricAv);
+    bench::Emit(args, spec, result, "f_old_l (fig 10a companion)",
+                bench::MetricFoldLow);
+  }
+  {
+    exp::SweepSpec spec = bench::BaseSpec(args);
+    spec.x_name = "alpha";
+    spec.x_values = {2, 3, 4, 5, 6, 7, 8, 9};
+    spec.apply_x = [](core::Config& c, double x) {
+      c.alpha = x;
+      // Keep (N_l + N_h) / alpha constant at the baseline ratio.
+      const int n = static_cast<int>(std::lround(500.0 * x / 7.0));
+      c.n_low = n;
+      c.n_high = n;
+    };
+    const exp::SweepResult result = exp::RunSweep(spec);
+    bench::Emit(args, spec, result, "AV (fig 10b: alpha with N scaled)",
+                bench::MetricAv);
+  }
+  return 0;
+}

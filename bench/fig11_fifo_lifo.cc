@@ -1,0 +1,52 @@
+// Figure 11: FIFO versus LIFO update-queue service.
+//
+// Panel (a): the ratio f_old_l(FIFO) / f_old_l(LIFO); panel (b) the
+// ratio p_success(FIFO) / p_success(LIFO), versus lambda_t.
+//
+// Paper shape: every queue-based algorithm shows ratios above 1 in (a)
+// — FIFO installs nearly expired updates first and keeps data staler —
+// and below 1 in (b); TF is hurt the most. UF has no queue, so its
+// ratios sit at 1.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace strip;
+  const exp::BenchArgs args = exp::BenchArgs::Parse(argc, argv);
+  std::printf(
+      "== Figure 11: FIFO vs LIFO queue discipline (MA, no stale aborts) "
+      "==\n\n");
+
+  exp::SweepSpec fifo = bench::BaseSpec(args);
+  fifo.x_name = "lambda_t";
+  fifo.x_values = {5, 10, 15, 20, 25};
+  fifo.apply_x = [](core::Config& c, double x) {
+    c.lambda_t = x;
+    c.queue_discipline = core::QueueDiscipline::kFifo;
+  };
+
+  exp::SweepSpec lifo = fifo;
+  lifo.apply_x = [](core::Config& c, double x) {
+    c.lambda_t = x;
+    c.queue_discipline = core::QueueDiscipline::kLifo;
+  };
+
+  const exp::SweepResult fifo_result = exp::RunSweep(fifo);
+  const exp::SweepResult lifo_result = exp::RunSweep(lifo);
+
+  exp::PrintSeriesRatio(std::cout, fifo, fifo_result, lifo_result,
+                        "f_old_l(FIFO)/f_old_l(LIFO) (fig 11a)",
+                        bench::MetricFoldLow);
+  exp::PrintSeriesRatio(std::cout, fifo, fifo_result, lifo_result,
+                        "p_success(FIFO)/p_success(LIFO) (fig 11b)",
+                        bench::MetricPsuccess);
+  if (args.csv) {
+    exp::PrintSeriesCsv(std::cout, fifo, fifo_result, "f_old_l_fifo",
+                        bench::MetricFoldLow);
+    exp::PrintSeriesCsv(std::cout, lifo, lifo_result, "f_old_l_lifo",
+                        bench::MetricFoldLow);
+  }
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Figure 14: p_success when stale reads abort transactions.
+//
+// Paper shape: OD still wins, beating UF by 10-15 percentage points;
+// TF — the big loser without aborts — climbs to second place, because
+// aborting its stale readers both frees CPU for updates and leaves its
+// surviving commits fresh.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace strip;
+  const exp::BenchArgs args = exp::BenchArgs::Parse(argc, argv);
+  std::printf("== Figure 14: p_success with abort-on-stale (MA) ==\n\n");
+
+  exp::SweepSpec spec = bench::BaseSpec(args);
+  spec.x_name = "lambda_t";
+  spec.x_values = {5, 10, 15, 20, 25};
+  spec.apply_x = [](core::Config& c, double x) {
+    c.lambda_t = x;
+    c.abort_on_stale = true;
+  };
+
+  const exp::SweepResult result = exp::RunSweep(spec);
+  bench::Emit(args, spec, result, "p_success (fig 14)",
+              bench::MetricPsuccess);
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Figure 15: effect of p_view under abort-on-stale.
+//
+// p_view is the fraction of a transaction's computation done *before*
+// it reads view data. The later a transaction reads (larger p_view),
+// the more work is wasted when a stale read aborts it.
+//
+// Paper shape: every algorithm degrades as p_view grows; SU and TF are
+// hurt the most because their transactions read stale data most often.
+// Reading view data as early as possible is best.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace strip;
+  const exp::BenchArgs args = exp::BenchArgs::Parse(argc, argv);
+  std::printf(
+      "== Figure 15: p_view with abort-on-stale (MA, lambda_t=10) ==\n\n");
+
+  exp::SweepSpec spec = bench::BaseSpec(args);
+  spec.x_name = "p_view";
+  spec.x_values = {0.0, 0.2, 0.4, 0.6, 0.8, 1.0};
+  spec.apply_x = [](core::Config& c, double x) {
+    c.p_view = x;
+    c.abort_on_stale = true;
+  };
+
+  const exp::SweepResult result = exp::RunSweep(spec);
+  bench::Emit(args, spec, result, "AV (fig 15)", bench::MetricAv);
+  bench::Emit(args, spec, result, "stale-abort fraction (companion)",
+              [](const core::RunMetrics& m) {
+                const double total =
+                    static_cast<double>(m.txns_terminal());
+                return total == 0 ? 0.0
+                                  : static_cast<double>(m.txns_stale_aborted) /
+                                        total;
+              });
+  return 0;
+}

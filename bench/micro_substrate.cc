@@ -1,0 +1,172 @@
+// M1: google-benchmark microbenchmarks of the simulation substrate.
+//
+// These measure the wall-clock cost of the hot data structures — the
+// event queue, the update queue, the database apply path — and the
+// end-to-end simulation rate (simulated seconds per wall second) for
+// each scheduling policy at the paper baseline.
+
+#include <memory>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "core/config.h"
+#include "core/system.h"
+#include "db/database.h"
+#include "db/staleness.h"
+#include "db/update_queue.h"
+#include "sim/event_queue.h"
+#include "sim/random.h"
+#include "sim/simulator.h"
+#include "txn/ready_queue.h"
+
+namespace {
+
+using namespace strip;
+
+void BM_EventQueueScheduleAndPop(benchmark::State& state) {
+  sim::EventQueue queue;
+  sim::RandomStream random(7);
+  double t = 0;
+  int dummy = 0;
+  // Keep a standing population so heap depth is realistic.
+  for (int i = 0; i < 1024; ++i) {
+    queue.Schedule(t + random.Uniform(0, 10), [&dummy] { ++dummy; });
+  }
+  for (auto _ : state) {
+    queue.Schedule(t + random.Uniform(0, 10), [&dummy] { ++dummy; });
+    auto fired = queue.PopNext();
+    t = fired->time;
+    fired->callback();
+    benchmark::DoNotOptimize(dummy);
+  }
+}
+BENCHMARK(BM_EventQueueScheduleAndPop);
+
+void BM_EventQueueCancel(benchmark::State& state) {
+  sim::EventQueue queue;
+  int dummy = 0;
+  for (auto _ : state) {
+    auto handle = queue.Schedule(1.0, [&dummy] { ++dummy; });
+    benchmark::DoNotOptimize(queue.Cancel(handle));
+  }
+}
+BENCHMARK(BM_EventQueueCancel);
+
+db::Update MakeUpdate(std::uint64_t id, sim::RandomStream& random) {
+  db::Update u;
+  u.id = id;
+  u.object = {random.WithProbability(0.5)
+                  ? db::ObjectClass::kLowImportance
+                  : db::ObjectClass::kHighImportance,
+              random.UniformInt(0, 499)};
+  u.generation_time = random.Uniform(0, 1000);
+  u.arrival_time = u.generation_time + 0.1;
+  return u;
+}
+
+void BM_UpdateQueuePushPop(benchmark::State& state) {
+  db::UpdateQueue queue(5600);
+  sim::RandomStream random(7);
+  std::uint64_t id = 0;
+  for (int i = 0; i < 2800; ++i) queue.Push(MakeUpdate(++id, random));
+  for (auto _ : state) {
+    queue.Push(MakeUpdate(++id, random));
+    benchmark::DoNotOptimize(queue.PopOldest());
+  }
+}
+BENCHMARK(BM_UpdateQueuePushPop);
+
+void BM_UpdateQueuePeekNewestFor(benchmark::State& state) {
+  db::UpdateQueue queue(5600);
+  sim::RandomStream random(7);
+  std::uint64_t id = 0;
+  for (int i = 0; i < 2800; ++i) queue.Push(MakeUpdate(++id, random));
+  for (auto _ : state) {
+    const db::ObjectId object = {db::ObjectClass::kLowImportance,
+                                 random.UniformInt(0, 499)};
+    benchmark::DoNotOptimize(queue.PeekNewestFor(object));
+  }
+}
+BENCHMARK(BM_UpdateQueuePeekNewestFor);
+
+void BM_DatabaseApply(benchmark::State& state) {
+  db::Database database(500, 500);
+  sim::RandomStream random(7);
+  std::uint64_t id = 0;
+  double t = 0;
+  for (auto _ : state) {
+    db::Update u = MakeUpdate(++id, random);
+    u.generation_time = (t += 0.001);
+    benchmark::DoNotOptimize(database.Apply(u));
+  }
+}
+BENCHMARK(BM_DatabaseApply);
+
+void BM_StalenessTrackerApply(benchmark::State& state) {
+  sim::Simulator simulator;
+  db::StalenessTracker tracker(&simulator,
+                               db::StalenessCriterion::kMaxAge, 7.0, 500,
+                               500);
+  sim::RandomStream random(7);
+  double t = 0;
+  for (auto _ : state) {
+    t += 0.0025;
+    // Advance the clock so expiry events fire and superseded ones are
+    // reclaimed, as in a real run.
+    simulator.RunUntil(t);
+    tracker.OnApply({db::ObjectClass::kLowImportance,
+                     random.UniformInt(0, 499)},
+                    t);
+    benchmark::DoNotOptimize(tracker.StaleCount(
+        db::ObjectClass::kLowImportance));
+  }
+}
+BENCHMARK(BM_StalenessTrackerApply);
+
+void BM_ReadyQueuePopBest(benchmark::State& state) {
+  sim::RandomStream random(7);
+  std::vector<std::unique_ptr<txn::Transaction>> pool;
+  for (int i = 0; i < 32; ++i) {
+    txn::Transaction::Params p;
+    p.id = i;
+    p.value = random.Uniform(0.5, 2.5);
+    p.deadline = random.Uniform(1, 2);
+    p.computation_instructions = random.Uniform(1e6, 1e7);
+    pool.push_back(std::make_unique<txn::Transaction>(p));
+  }
+  txn::ReadyQueue queue;
+  for (auto& t : pool) queue.Add(t.get());
+  for (auto _ : state) {
+    txn::Transaction* best = queue.PopBest(50e6);
+    benchmark::DoNotOptimize(best);
+    queue.Add(best);
+  }
+}
+BENCHMARK(BM_ReadyQueuePopBest);
+
+// Simulated seconds per wall second for a full baseline run.
+void BM_SystemBaseline(benchmark::State& state) {
+  const auto policy = static_cast<core::PolicyKind>(state.range(0));
+  for (auto _ : state) {
+    core::Config config;
+    config.policy = policy;
+    config.sim_seconds = 20.0;
+    sim::Simulator simulator;
+    core::System system(&simulator, config, 1);
+    benchmark::DoNotOptimize(system.Run());
+  }
+  state.counters["sim_s_per_wall_s"] = benchmark::Counter(
+      20.0 * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SystemBaseline)
+    ->Arg(static_cast<int>(core::PolicyKind::kUpdateFirst))
+    ->Arg(static_cast<int>(core::PolicyKind::kTransactionFirst))
+    ->Arg(static_cast<int>(core::PolicyKind::kSplitUpdates))
+    ->Arg(static_cast<int>(core::PolicyKind::kOnDemand))
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,45 @@
+// Table 2: scheduler baseline settings for transactions.
+//
+// Prints the same rows as the paper's Table 2, read from the library's
+// default Config.
+
+#include <cstdio>
+
+#include "core/config.h"
+
+int main() {
+  const strip::core::Config c;
+  std::printf("== Table 2: baseline settings for transactions ==\n\n");
+  std::printf("%-52s %-10s %s\n", "Description", "Parameter", "Base value");
+  std::printf("%-52s %-10s %g\n", "transaction arrival rate", "lambda_t",
+              c.lambda_t);
+  std::printf("%-52s %-10s %g\n",
+              "probability of transaction being low value", "p_tl", c.p_tl);
+  std::printf("%-52s %-10s %g sec\n", "minimum slack of transactions",
+              "S_min", c.s_min);
+  std::printf("%-52s %-10s %g sec\n", "maximum slack of transactions",
+              "S_max", c.s_max);
+  std::printf("%-52s %-10s %g\n", "mean value of low value transaction",
+              "v_l", c.v_low_mean);
+  std::printf("%-52s %-10s %g\n", "mean value of high value transaction",
+              "v_h", c.v_high_mean);
+  std::printf("%-52s %-10s %g\n", "S.D. of value of low value transaction",
+              "sd(v_l)", c.v_low_sd);
+  std::printf("%-52s %-10s %g\n", "S.D. of value of high value transaction",
+              "sd(v_h)", c.v_high_sd);
+  std::printf("%-52s %-10s %g\n",
+              "mean # of view objects read by transactions", "r", c.reads_mean);
+  std::printf("%-52s %-10s %g\n",
+              "S.D. of # of view objects read by transactions", "sd(r)",
+              c.reads_sd);
+  std::printf("%-52s %-10s %g sec\n",
+              "maximum age of data used by transactions", "alpha", c.alpha);
+  std::printf("%-52s %-10s %g sec\n", "mean computation time of transactions",
+              "x_bar", c.comp_mean);
+  std::printf("%-52s %-10s %g\n", "S.D. of computation time of transactions",
+              "sd(x)", c.comp_sd);
+  std::printf("%-52s %-10s %g\n",
+              "fraction of computation done before view reads", "p_view",
+              c.p_view);
+  return 0;
+}

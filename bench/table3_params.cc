@@ -1,0 +1,45 @@
+// Table 3: scheduler baseline settings for the system.
+//
+// Prints the same rows as the paper's Table 3, read from the library's
+// default Config.
+
+#include <cstdio>
+
+#include "core/config.h"
+
+int main() {
+  const strip::core::Config c;
+  std::printf("== Table 3: baseline settings for system ==\n\n");
+  std::printf("%-58s %-12s %s\n", "Description", "Parameter", "Value");
+  std::printf("%-58s %-12s %g\n", "# of instructions executed per second",
+              "ips", c.ips);
+  std::printf("%-58s %-12s %g\n",
+              "# of instructions required to find a data object", "x_lookup",
+              c.x_lookup);
+  std::printf("%-58s %-12s %g\n",
+              "# of instructions required to update a data object",
+              "x_update", c.x_update);
+  std::printf("%-58s %-12s %g\n",
+              "# of instructions required for context switch", "x_switch",
+              c.x_switch);
+  std::printf("%-58s %-12s %g\n",
+              "# of instructions to add an update to a queue", "x_queue",
+              c.x_queue);
+  std::printf("%-58s %-12s %g\n",
+              "# of instructions to read one queued update", "x_scan",
+              c.x_scan);
+  std::printf("%-58s %-12s %d\n", "maximum size of OS queue (updates)",
+              "OS_max", c.os_max);
+  std::printf("%-58s %-12s %d\n", "maximum size of update queue (updates)",
+              "UQ_max", c.uq_max);
+  std::printf("%-58s %-12s %s\n",
+              "only schedule transactions that can meet deadline",
+              "feasible_dl", c.feasible_deadline ? "TRUE" : "FALSE");
+  std::printf("%-58s %-12s %s\n", "can transactions preempt each other",
+              "preemption", c.txn_preemption ? "TRUE" : "FALSE");
+  std::printf("%-58s %-12s %s\n",
+              "should the next update applied be the most recent",
+              "queue policy",
+              strip::core::QueueDisciplineName(c.queue_discipline));
+  return 0;
+}

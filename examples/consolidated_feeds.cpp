@@ -1,0 +1,130 @@
+// Consolidated market feeds: several providers, one database.
+//
+// The paper notes that update streams come from "several commercial
+// companies such as Reuters" (Section 1). This example wires three
+// heterogeneous feeds into one system through MultiUpdateStream:
+//
+//   - a premium low-latency domestic feed (fast delivery, high rate)
+//     covering the high-importance partition,
+//   - a consolidated domestic tape (slower, cheaper) covering half the
+//     low-importance partition,
+//   - an international feed with long transit delays covering the
+//     other half.
+//
+// After the run it reports per-slice staleness: with one scheduler and
+// one alpha, the slice behind the slow feed is the stale one — data
+// timeliness is a property of the *feed*, not just the scheduler.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "core/config.h"
+#include "core/system.h"
+#include "sim/simulator.h"
+#include "workload/multi_stream.h"
+#include "workload/txn_source.h"
+
+namespace {
+
+double StaleFraction(const strip::core::System& system,
+                     strip::db::ObjectClass cls, int begin, int end) {
+  int stale = 0;
+  for (int i = begin; i < end; ++i) {
+    if (system.staleness().IsStale({cls, i})) ++stale;
+  }
+  return static_cast<double>(stale) / (end - begin);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double seconds = 100.0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--seconds=", 10) == 0) {
+      seconds = std::atof(argv[i] + 10);
+    }
+  }
+
+  strip::core::Config config;
+  config.external_workload = true;  // feeds are wired manually below
+  // Update First, so every delivered update is installed at once and
+  // the staleness differences below are purely the feeds' doing.
+  config.policy = strip::core::PolicyKind::kUpdateFirst;
+  config.sim_seconds = seconds;
+  config.alpha = 5.0;
+
+  strip::sim::Simulator simulator;
+  strip::core::System system(&simulator, config, /*seed=*/8);
+
+  std::vector<strip::workload::MultiUpdateStream::Feed> feeds;
+  {
+    // Premium feed: 200/s, 20 ms transit, the whole high partition.
+    strip::workload::UpdateStream::Params premium;
+    premium.arrival_rate = 200;
+    premium.p_low = 0.0;
+    premium.mean_age = 0.02;
+    premium.n_low = 1;
+    premium.n_high = config.n_high;
+    feeds.push_back({premium, 0, 0});
+  }
+  {
+    // Consolidated tape: 150/s, 300 ms transit, low objects [0, 250).
+    strip::workload::UpdateStream::Params tape;
+    tape.arrival_rate = 150;
+    tape.p_low = 1.0;
+    tape.mean_age = 0.3;
+    tape.n_low = 250;
+    tape.n_high = 1;
+    feeds.push_back({tape, 0, 0});
+  }
+  {
+    // International feed: 50/s, 2 s transit, low objects [250, 500).
+    strip::workload::UpdateStream::Params intl;
+    intl.arrival_rate = 50;
+    intl.p_low = 1.0;
+    intl.mean_age = 2.0;
+    intl.n_low = 250;
+    intl.n_high = 1;
+    feeds.push_back({intl, 250, 0});
+  }
+
+  strip::workload::MultiUpdateStream consolidation(
+      &simulator, feeds, /*seed=*/8,
+      [&](const strip::db::Update& u) { system.InjectUpdate(u); });
+
+  // Transactions still arrive stochastically — a plain TxnSource can
+  // feed an external-workload System directly.
+  strip::workload::TxnSource transactions(
+      &simulator, config.TxnSourceParams(), /*seed=*/9,
+      [&](const strip::txn::Transaction::Params& p) {
+        system.InjectTransaction(p);
+      });
+
+  const strip::core::RunMetrics m = system.Run();
+
+  std::printf("Consolidated feeds: %zu providers, %llu updates merged.\n\n",
+              consolidation.feed_count(),
+              (unsigned long long)consolidation.generated());
+  std::printf("%-38s %10s\n", "slice (feed)", "stale now");
+  std::printf("%-38s %10.3f\n", "high partition (premium, 20 ms)",
+              StaleFraction(system, strip::db::ObjectClass::kHighImportance,
+                            0, config.n_high));
+  std::printf("%-38s %10.3f\n", "low [0,250) (tape, 300 ms)",
+              StaleFraction(system, strip::db::ObjectClass::kLowImportance,
+                            0, 250));
+  std::printf("%-38s %10.3f\n", "low [250,500) (international, 2 s)",
+              StaleFraction(system, strip::db::ObjectClass::kLowImportance,
+                            250, 500));
+  std::printf("\nrun metrics: p_MD=%.3f p_success=%.3f AV=%.2f "
+              "rho_u=%.3f\n",
+              m.p_md(), m.p_success(), m.av(), m.rho_u());
+  std::printf(
+      "\nReading the table: the scheduler installs every delivered\n"
+      "update immediately, yet the international slice is far staler —\n"
+      "its 2 s transit eats much of the 5 s age budget and its\n"
+      "per-object refresh period (5 s) leaves long gaps. Feed\n"
+      "engineering and scheduling are separate levers on data\n"
+      "timeliness.\n");
+  return 0;
+}

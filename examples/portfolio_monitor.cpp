@@ -1,0 +1,123 @@
+// Portfolio monitoring: derived data, the edge of On Demand.
+//
+// The paper's conclusion (Section 7) ends on a caveat: OD works when
+// the system can identify the queued updates that affect what a
+// transaction reads. A portfolio average is the canonical hard case —
+// it is derived from many stocks, so freshening it means finding and
+// applying the queued update of *every* stale constituent.
+//
+// This example builds portfolios over the high-importance partition
+// with db::DerivedRegistry, runs the market under each scheduling
+// policy, samples portfolio staleness throughout the run (scheduling
+// its own events alongside the System on the same simulator), and
+// answers the OD question — how many queued updates it would take to
+// freshen a stale portfolio right now.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "core/config.h"
+#include "core/system.h"
+#include "db/derived.h"
+#include "sim/random.h"
+#include "sim/simulator.h"
+
+namespace {
+
+struct SampleStats {
+  int samples = 0;
+  int stale_samples = 0;
+  double freshening_updates_available = 0;
+};
+
+void RunMarket(strip::core::PolicyKind policy, double seconds) {
+  strip::core::Config config;
+  config.policy = policy;
+  config.lambda_t = 12;
+  config.sim_seconds = seconds;
+
+  strip::sim::Simulator simulator;
+  strip::core::System system(&simulator, config, /*seed=*/21);
+
+  // Twenty portfolios of ten stocks each from the high-importance
+  // partition.
+  strip::db::DerivedRegistry portfolios;
+  strip::sim::RandomStream random(99);
+  for (int p = 0; p < 20; ++p) {
+    strip::db::DerivedRegistry::Definition def;
+    def.name = "portfolio-" + std::to_string(p);
+    def.aggregation = strip::db::DerivedRegistry::Aggregation::kAverage;
+    for (int s = 0; s < 10; ++s) {
+      def.inputs.push_back({strip::db::ObjectClass::kHighImportance,
+                            random.UniformInt(0, config.n_high - 1)});
+    }
+    portfolios.Define(def);
+  }
+
+  // Sample portfolio staleness twice a second, riding on the same
+  // simulator the System runs on.
+  SampleStats stats;
+  std::function<void()> sample = [&] {
+    for (int p = 0; p < portfolios.size(); ++p) {
+      ++stats.samples;
+      if (portfolios.IsStale(p, system.staleness())) {
+        ++stats.stale_samples;
+        stats.freshening_updates_available += static_cast<double>(
+            portfolios
+                .FresheningUpdates(p, system.database(),
+                                   system.update_queue())
+                .size());
+      }
+    }
+    simulator.ScheduleAfter(0.5, sample);
+  };
+  simulator.ScheduleAfter(0.5, sample);
+
+  const strip::core::RunMetrics m = system.Run();
+
+  const double stale_fraction =
+      stats.samples == 0
+          ? 0.0
+          : static_cast<double>(stats.stale_samples) / stats.samples;
+  const double mean_freshening =
+      stats.stale_samples == 0
+          ? 0.0
+          : stats.freshening_updates_available / stats.stale_samples;
+  std::printf("%-6s %14.3f %16.2f %10.3f %10.2f\n",
+              strip::core::PolicyKindName(policy), stale_fraction,
+              mean_freshening, m.p_md(), m.av());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double seconds = 80.0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--seconds=", 10) == 0) {
+      seconds = std::atof(argv[i] + 10);
+    }
+  }
+
+  std::printf("Portfolio monitor: 20 portfolios x 10 stocks over the\n");
+  std::printf("high-importance partition, sampled twice a second.\n\n");
+  std::printf("%-6s %14s %16s %10s %10s\n", "policy", "stale-fraction",
+              "avail-freshening", "p_MD", "AV");
+
+  RunMarket(strip::core::PolicyKind::kUpdateFirst, seconds);
+  RunMarket(strip::core::PolicyKind::kSplitUpdates, seconds);
+  RunMarket(strip::core::PolicyKind::kTransactionFirst, seconds);
+  RunMarket(strip::core::PolicyKind::kOnDemand, seconds);
+
+  std::printf(
+      "\nReading the table: a portfolio is stale whenever ANY of its ten\n"
+      "stocks is stale, so derived data is far more fragile than single\n"
+      "objects — only UF and SU (which keep the high partition fresh)\n"
+      "protect it. Under TF/OD, 'avail-freshening' counts the queued\n"
+      "updates that would repair a stale portfolio: the work per\n"
+      "on-demand read that plain per-object OD cannot see, which is\n"
+      "exactly why the paper bounds OD's applicability at derived\n"
+      "data.\n");
+  return 0;
+}

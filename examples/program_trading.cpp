@@ -1,0 +1,97 @@
+// Program trading: the paper's motivating application (Section 1).
+//
+// A trading desk tracks a universe of financial instruments fed by a
+// market-data stream (hundreds of updates per second at peak). Trading
+// transactions compare prices and fire trades; a trade decided on
+// out-of-date prices is dangerous, so transactions abort when they
+// read stale data (the Section 6.2 scenario). Missing a deadline means
+// a missed opportunity; the transaction's value is the profit at
+// stake.
+//
+// This example sizes the workload like the paper's baseline, sweeps
+// the market-data rate from quiet to peak, and shows why the desk
+// should deploy On Demand scheduling: it keeps earning through the
+// data storm while Update First drowns in installs and Transaction
+// First aborts on stale prices.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "core/config.h"
+#include "core/system.h"
+#include "db/general_store.h"
+#include "sim/simulator.h"
+
+namespace {
+
+strip::core::RunMetrics RunDesk(strip::core::PolicyKind policy,
+                                double updates_per_second,
+                                double seconds) {
+  strip::core::Config config;  // paper baseline: Tables 1-3
+  config.policy = policy;
+  config.lambda_u = updates_per_second;
+  config.abort_on_stale = true;  // never trade on stale prices
+  config.sim_seconds = seconds;
+  // High-value transactions are arbitrage opportunities worth about
+  // twice the routine rebalancing transactions.
+  config.v_high_mean = 2.0;
+  config.v_low_mean = 1.0;
+
+  strip::sim::Simulator simulator;
+  strip::core::System system(&simulator, config, /*seed=*/2024);
+  return system.Run();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double seconds = 100.0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--seconds=", 10) == 0) {
+      seconds = std::atof(argv[i] + 10);
+    }
+  }
+
+  std::printf("Program trading desk: 1000 instruments, firm-deadline\n");
+  std::printf("trades, abort on stale prices. Sweeping the market feed.\n\n");
+
+  // The desk's book lives in general data — transactions maintain it;
+  // it never goes stale (Section 3.2).
+  strip::db::GeneralStore book;
+  book.Put("cash_usd", 10'000'000.0);
+  book.Put("position:DEM", 0.0);
+  book.Put("position:JPY", 0.0);
+  std::printf("Desk book initialized with %zu entries "
+              "(general data, maintained by transactions).\n\n",
+              book.size());
+
+  const strip::core::PolicyKind policies[] = {
+      strip::core::PolicyKind::kUpdateFirst,
+      strip::core::PolicyKind::kTransactionFirst,
+      strip::core::PolicyKind::kOnDemand,
+  };
+
+  for (double feed : {100.0, 400.0, 550.0}) {
+    std::printf("--- market feed at %.0f updates/s ---\n", feed);
+    std::printf("%-6s %12s %12s %14s %14s\n", "policy", "profit/s",
+                "p_success", "stale aborts", "missed trades");
+    for (strip::core::PolicyKind policy : policies) {
+      const strip::core::RunMetrics m = RunDesk(policy, feed, seconds);
+      std::printf("%-6s %12.2f %12.3f %14llu %14llu\n",
+                  strip::core::PolicyKindName(policy), m.av(),
+                  m.p_success(),
+                  (unsigned long long)m.txns_stale_aborted,
+                  (unsigned long long)(m.txns_missed_deadline +
+                                       m.txns_infeasible));
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "Reading the table: On Demand keeps profit flat as the feed\n"
+      "intensifies because it refreshes exactly the prices trades\n"
+      "touch; Update First burns CPU installing quotes nobody reads;\n"
+      "Transaction First lets the book go stale and aborts trades.\n");
+  return 0;
+}

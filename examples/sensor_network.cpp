@@ -1,0 +1,108 @@
+// Industrial plant control: the paper's sensor scenario (Section 2).
+//
+// Sensors report periodically, so the Maximum Age criterion is the
+// natural staleness definition: a reading that hasn't been refreshed
+// within alpha is suspect regardless of whether it "changed". Control
+// transactions must run even on stale data — better to act on old
+// readings with a red light in the control room than to do nothing —
+// so stale reads complete with a warning (no aborts; Section 2's
+// second option).
+//
+// The example contrasts the Poisson update pattern with the periodic
+// sensor pattern (a paper future-work item implemented as an
+// extension), and shows the fixed-CPU-fraction scheduler keeping
+// readings fresh without starving the control loop.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "core/config.h"
+#include "core/system.h"
+#include "sim/simulator.h"
+
+namespace {
+
+struct PlantResult {
+  strip::core::RunMetrics metrics;
+  const char* label;
+};
+
+strip::core::RunMetrics RunPlant(strip::core::PolicyKind policy,
+                                 bool periodic_sensors, double seconds,
+                                 double updater_share = 0.2) {
+  strip::core::Config config;
+  config.policy = policy;
+  config.update_cpu_fraction = updater_share;
+  config.periodic_updates = periodic_sensors;
+  config.abort_on_stale = false;  // run anyway, raise the red light
+  config.staleness = strip::db::StalenessCriterion::kMaxAge;
+  // Plant sizing: 800 sensor points, 2 Hz reporting each -> 1600/s
+  // aggregate would swamp a 50 MIPS controller; the paper-scale 400/s
+  // (every sensor every 2 s) fits.
+  config.n_low = 400;   // secondary loops
+  config.n_high = 400;  // safety-critical loops
+  config.lambda_u = 400;
+  config.alpha = 5.0;  // a reading older than 5 s is suspect
+  config.lambda_t = 12;
+  config.sim_seconds = seconds;
+
+  strip::sim::Simulator simulator;
+  strip::core::System system(&simulator, config, /*seed=*/11);
+  return system.Run();
+}
+
+void PrintRow(const PlantResult& r) {
+  const strip::core::RunMetrics& m = r.metrics;
+  // "Red lights": control actions that ran on suspect data.
+  const double red_light_rate =
+      m.txns_committed == 0
+          ? 0.0
+          : static_cast<double>(m.txns_committed_stale) /
+                static_cast<double>(m.txns_committed);
+  std::printf("%-28s %10.3f %10.3f %12.3f %12.3f\n", r.label, m.f_old_high,
+              m.f_old_low, red_light_rate, m.p_md());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double seconds = 100.0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--seconds=", 10) == 0) {
+      seconds = std::atof(argv[i] + 10);
+    }
+  }
+
+  std::printf("Plant control: 800 sensor points, alpha = 5 s, control\n");
+  std::printf("transactions complete on stale data but raise a red "
+              "light.\n\n");
+  std::printf("%-28s %10s %10s %12s %12s\n", "configuration", "f_old_h",
+              "f_old_l", "red-lights", "p_MD");
+
+  PrintRow({RunPlant(strip::core::PolicyKind::kTransactionFirst, false,
+                     seconds),
+            "TF, bursty sensors"});
+  PrintRow({RunPlant(strip::core::PolicyKind::kTransactionFirst, true,
+                     seconds),
+            "TF, periodic sensors"});
+  PrintRow({RunPlant(strip::core::PolicyKind::kSplitUpdates, true, seconds),
+            "SU, periodic sensors"});
+  PrintRow({RunPlant(strip::core::PolicyKind::kFixedFraction, true, seconds,
+                     0.2),
+            "FCF 20% share, periodic"});
+  PrintRow({RunPlant(strip::core::PolicyKind::kFixedFraction, true, seconds,
+                     0.1),
+            "FCF 10% share, periodic"});
+  PrintRow({RunPlant(strip::core::PolicyKind::kUpdateFirst, true, seconds),
+            "UF, periodic sensors"});
+
+  std::printf(
+      "\nReading the table: periodic reporting removes the random\n"
+      "refresh gaps that leave a staleness floor under Poisson\n"
+      "arrivals. Reserving a fixed CPU share for installs keeps every\n"
+      "loop fresh at a bounded deadline cost — the compromise the\n"
+      "paper's future-work section anticipates — while TF lets\n"
+      "secondary loops run on suspect readings.\n");
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Telecommunications RTDB server: the paper's UU scenario (Section 2).
+//
+// A switch's database tracks call and subscriber state. Delivery of
+// state updates is fast and reliable, and nobody wants periodic "the
+// call is still going on" traffic, so the Unapplied Update criterion
+// fits: data is fresh unless a newer update sits unapplied in the
+// queue. Service requests (call setup, routing decisions) are the
+// transactions; under UU, On Demand must search the queue on every
+// read, which is exactly the trade this example measures, with and
+// without the hash index on the update queue (the Section 4 extension).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "core/config.h"
+#include "core/system.h"
+#include "sim/simulator.h"
+
+namespace {
+
+strip::core::Config SwitchConfig(double seconds) {
+  strip::core::Config config;
+  config.staleness = strip::db::StalenessCriterion::kUnappliedUpdate;
+  config.abort_on_stale = false;
+  // State churn: 400 updates/s across 1000 subscriber/call records.
+  config.lambda_u = 400;
+  // Service requests: 8/s with tight slacks (callers hear the delay).
+  config.lambda_t = 8;
+  config.s_min = 0.05;
+  config.s_max = 0.5;
+  config.sim_seconds = seconds;
+  return config;
+}
+
+void Report(const char* label, const strip::core::RunMetrics& m) {
+  std::printf("%-26s %10.3f %10.3f %12.3f %14llu\n", label, m.p_success(),
+              m.p_md(), m.f_old_low,
+              (unsigned long long)m.updates_applied_on_demand);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double seconds = 100.0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--seconds=", 10) == 0) {
+      seconds = std::atof(argv[i] + 10);
+    }
+  }
+
+  std::printf("Telecom switch: call-state database under the Unapplied\n");
+  std::printf("Update criterion, 400 state changes/s, 8 service req/s.\n\n");
+  std::printf("%-26s %10s %10s %12s %14s\n", "configuration", "p_success",
+              "p_MD", "f_old_l", "od installs");
+
+  {
+    strip::core::Config config = SwitchConfig(seconds);
+    config.policy = strip::core::PolicyKind::kTransactionFirst;
+    strip::sim::Simulator simulator;
+    strip::core::System system(&simulator, config, 5);
+    Report("TF (requests first)", system.Run());
+  }
+  {
+    strip::core::Config config = SwitchConfig(seconds);
+    config.policy = strip::core::PolicyKind::kUpdateFirst;
+    strip::sim::Simulator simulator;
+    strip::core::System system(&simulator, config, 5);
+    Report("UF (state first)", system.Run());
+  }
+  {
+    // Under UU, OD pays a queue scan on *every* read — the only way to
+    // detect staleness. First the paper's plain scanned queue...
+    strip::core::Config config = SwitchConfig(seconds);
+    config.policy = strip::core::PolicyKind::kOnDemand;
+    config.x_scan = 500;  // realistic per-entry examination cost
+    strip::sim::Simulator simulator;
+    strip::core::System system(&simulator, config, 5);
+    Report("OD, scanned queue", system.Run());
+  }
+  {
+    // ...then with the hash index on the update queue, which turns the
+    // per-read search into a constant-cost probe.
+    strip::core::Config config = SwitchConfig(seconds);
+    config.policy = strip::core::PolicyKind::kOnDemand;
+    config.x_scan = 500;
+    config.indexed_update_queue = true;
+    strip::sim::Simulator simulator;
+    strip::core::System system(&simulator, config, 5);
+    Report("OD, hash-indexed queue", system.Run());
+  }
+
+  std::printf(
+      "\nReading the table: UF never lets call state go stale (there is\n"
+      "no queue to leave updates unapplied in) but delays requests; OD\n"
+      "answers requests fast with fresh state, and the hash index\n"
+      "makes its per-read staleness check affordable — the structure\n"
+      "the paper recommends building for exactly this workload.\n");
+  return 0;
+}

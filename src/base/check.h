@@ -1,0 +1,45 @@
+// Lightweight invariant-checking macros.
+//
+// The simulator is exception-free (per project style); internal invariant
+// violations are programming errors and terminate the process with a
+// source location and message. These checks are active in all build
+// types: the cost is negligible compared to event dispatch, and a
+// silently corrupted simulation is worse than a crash.
+
+#ifndef STRIP_BASE_CHECK_H_
+#define STRIP_BASE_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace strip::base {
+
+// Prints a fatal-check failure and aborts. Used by the macros below;
+// not intended to be called directly.
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* condition,
+                                     const char* message) {
+  std::fprintf(stderr, "STRIP_CHECK failed at %s:%d: %s%s%s\n", file, line,
+               condition, message[0] != '\0' ? " — " : "", message);
+  std::abort();
+}
+
+}  // namespace strip::base
+
+// Aborts with a diagnostic if `cond` is false.
+#define STRIP_CHECK(cond)                                           \
+  do {                                                              \
+    if (!(cond)) {                                                  \
+      ::strip::base::CheckFailed(__FILE__, __LINE__, #cond, "");    \
+    }                                                               \
+  } while (false)
+
+// Aborts with a diagnostic and an extra message if `cond` is false.
+#define STRIP_CHECK_MSG(cond, msg)                                  \
+  do {                                                              \
+    if (!(cond)) {                                                  \
+      ::strip::base::CheckFailed(__FILE__, __LINE__, #cond, (msg)); \
+    }                                                               \
+  } while (false)
+
+#endif  // STRIP_BASE_CHECK_H_

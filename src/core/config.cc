@@ -1,0 +1,118 @@
+#include "core/config.h"
+
+namespace strip::core {
+
+const char* PolicyKindName(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kUpdateFirst:
+      return "UF";
+    case PolicyKind::kTransactionFirst:
+      return "TF";
+    case PolicyKind::kSplitUpdates:
+      return "SU";
+    case PolicyKind::kOnDemand:
+      return "OD";
+    case PolicyKind::kFixedFraction:
+      return "FCF";
+  }
+  return "?";
+}
+
+const char* QueueDisciplineName(QueueDiscipline discipline) {
+  return discipline == QueueDiscipline::kFifo ? "FIFO" : "LIFO";
+}
+
+workload::UpdateStream::Params Config::UpdateStreamParams() const {
+  workload::UpdateStream::Params p;
+  p.arrival_rate = lambda_u;
+  p.p_low = p_ul;
+  p.mean_age = a_update;
+  p.n_low = n_low;
+  p.n_high = n_high;
+  p.periodic = periodic_updates;
+  p.n_attributes = n_attributes;
+  p.bursty = bursty_updates;
+  p.burst_rate = lambda_u_peak;
+  p.normal_dwell = normal_dwell_seconds;
+  p.burst_dwell = burst_dwell_seconds;
+  return p;
+}
+
+workload::TxnSource::Params Config::TxnSourceParams() const {
+  workload::TxnSource::Params p;
+  p.arrival_rate = lambda_t;
+  p.p_low = p_tl;
+  p.slack_min = s_min;
+  p.slack_max = s_max;
+  p.value_mean_low = v_low_mean;
+  p.value_mean_high = v_high_mean;
+  p.value_sd_low = v_low_sd;
+  p.value_sd_high = v_high_sd;
+  p.reads_mean = reads_mean;
+  p.reads_sd = reads_sd;
+  p.comp_mean = comp_mean;
+  p.comp_sd = comp_sd;
+  p.p_view = p_view;
+  p.lookup_instructions = x_lookup;
+  p.ips = ips;
+  p.n_low = n_low;
+  p.n_high = n_high;
+  return p;
+}
+
+std::optional<std::string> Config::Validate() const {
+  if (lambda_u <= 0) return "lambda_u must be positive";
+  if (p_ul < 0 || p_ul > 1) return "p_ul must be in [0, 1]";
+  if (a_update <= 0) return "a_update must be positive";
+  if (n_low <= 0 || n_high <= 0) return "partitions must be non-empty";
+  if (lambda_t <= 0) return "lambda_t must be positive";
+  if (p_tl < 0 || p_tl > 1) return "p_tl must be in [0, 1]";
+  if (s_min < 0 || s_min > s_max) return "slack range invalid";
+  if (reads_mean < 0) return "reads_mean must be non-negative";
+  if (comp_mean < 0) return "comp_mean must be non-negative";
+  if (p_view < 0 || p_view > 1) return "p_view must be in [0, 1]";
+  if (ips <= 0) return "ips must be positive";
+  if (x_lookup < 0 || x_update < 0 || x_switch < 0 || x_queue < 0 ||
+      x_scan < 0) {
+    return "instruction costs must be non-negative";
+  }
+  if (os_max <= 0) return "os_max must be positive";
+  if (uq_max <= 0) return "uq_max must be positive";
+  if (staleness != db::StalenessCriterion::kUnappliedUpdate && alpha <= 0) {
+    return "alpha must be positive under a Maximum Age criterion";
+  }
+  if (sim_seconds <= 0) return "sim_seconds must be positive";
+  if (warmup_seconds < 0 || warmup_seconds >= sim_seconds) {
+    return "warmup must lie within the run";
+  }
+  if (policy == PolicyKind::kFixedFraction &&
+      (update_cpu_fraction < 0 || update_cpu_fraction > 1)) {
+    return "update_cpu_fraction must be in [0, 1]";
+  }
+  if (trigger_probability < 0 || trigger_probability > 1) {
+    return "trigger_probability must be in [0, 1]";
+  }
+  if (x_trigger < 0) return "x_trigger must be non-negative";
+  if (buffer_hit_ratio < 0 || buffer_hit_ratio > 1) {
+    return "buffer_hit_ratio must be in [0, 1]";
+  }
+  if (io_seconds < 0) return "io_seconds must be non-negative";
+  if (history_depth < 0) return "history_depth must be non-negative";
+  if (n_attributes < 1) return "n_attributes must be at least 1";
+  if (bursty_updates) {
+    if (lambda_u_peak <= 0) return "lambda_u_peak must be positive";
+    if (normal_dwell_seconds <= 0 || burst_dwell_seconds <= 0) {
+      return "burst dwell times must be positive";
+    }
+    if (periodic_updates) return "bursty and periodic modes are exclusive";
+  }
+  if (admission_limit < 0) return "admission_limit must be non-negative";
+  if (dedup_update_queue && n_attributes > 1) {
+    return "dedup_update_queue requires complete updates "
+           "(n_attributes = 1): a partial update does not supersede "
+           "one for a different attribute";
+  }
+  return std::nullopt;
+}
+
+}  // namespace strip::core

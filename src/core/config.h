@@ -1,0 +1,156 @@
+// All model parameters (Tables 1–3 of the paper) plus scenario knobs.
+//
+// Defaults are the paper's baseline settings: Table 1 (updates/data),
+// Table 2 (transactions), Table 3 (system). A Config fully describes
+// one simulation run except for the random seed, which is passed
+// separately so the same configuration can be replicated.
+
+#ifndef STRIP_CORE_CONFIG_H_
+#define STRIP_CORE_CONFIG_H_
+
+#include <optional>
+#include <string>
+
+#include "db/staleness.h"
+#include "txn/ready_queue.h"
+#include "workload/txn_source.h"
+#include "workload/update_stream.h"
+
+namespace strip::core {
+
+// The four scheduling algorithms of Section 4, plus the fixed-CPU-
+// fraction policy the paper lists as future work (Section 7).
+enum class PolicyKind {
+  kUpdateFirst = 0,   // UF: apply every update on arrival
+  kTransactionFirst,  // TF: updates run only when no transaction waits
+  kSplitUpdates,      // SU: high-importance on arrival, low like TF
+  kOnDemand,          // OD: TF + fetch from the queue on stale reads
+  kFixedFraction,     // FCF (extension): updater owns a CPU share
+};
+
+// Short display name ("UF", "TF", "SU", "OD", "FCF").
+const char* PolicyKindName(PolicyKind kind);
+
+// Order in which the update process services its queue (Section 4.2):
+// FIFO installs the oldest-generation update first, LIFO the newest.
+enum class QueueDiscipline {
+  kFifo = 0,
+  kLifo,
+};
+
+const char* QueueDisciplineName(QueueDiscipline discipline);
+
+struct Config {
+  // --- Table 1: data and updates -----------------------------------------
+  double lambda_u = 400.0;  // update arrival rate (1/s)
+  double p_ul = 0.5;        // P(update targets low-importance data)
+  double a_update = 0.1;    // mean pre-arrival age of updates (s)
+  int n_low = 500;          // low-importance view objects
+  int n_high = 500;         // high-importance view objects
+
+  // --- Table 2: transactions ----------------------------------------------
+  double lambda_t = 10.0;   // transaction arrival rate (1/s)
+  double p_tl = 0.5;        // P(transaction is low-value)
+  double s_min = 0.1;       // minimum slack (s)
+  double s_max = 1.0;       // maximum slack (s)
+  double v_low_mean = 1.0;  // mean value, low-value class
+  double v_high_mean = 2.0; // mean value, high-value class
+  double v_low_sd = 0.5;    // value sd, low-value class
+  double v_high_sd = 0.5;   // value sd, high-value class
+  double reads_mean = 2.0;  // mean # of view objects read
+  double reads_sd = 1.0;    // sd of # of view objects read
+  double alpha = 7.0;       // maximum age of fresh data (s)
+  double comp_mean = 0.12;  // mean computation time (s)
+  double comp_sd = 0.01;    // sd of computation time (s)
+  double p_view = 0.0;      // fraction of computation before view reads
+
+  // --- Table 3: system ------------------------------------------------------
+  double ips = 50e6;        // CPU speed, instructions/second
+  double x_lookup = 4000;   // instructions to find an object
+  double x_update = 20000;  // instructions to write an object
+  double x_switch = 0;      // instructions per context switch
+  double x_queue = 0;       // queue add/remove cost factor (· ln n)
+  double x_scan = 0;        // cost to examine one queued update
+  int os_max = 4000;        // OS queue bound (updates)
+  int uq_max = 5600;        // update queue bound (updates)
+  bool feasible_deadline = true;  // screen out hopeless transactions
+  bool txn_preemption = false;    // may transactions preempt each other
+  QueueDiscipline queue_discipline = QueueDiscipline::kFifo;
+
+  // --- scenario -------------------------------------------------------------
+  PolicyKind policy = PolicyKind::kOnDemand;
+  db::StalenessCriterion staleness = db::StalenessCriterion::kMaxAge;
+  bool abort_on_stale = false;  // Section 6.2: abort on reading stale data
+  double sim_seconds = 1000.0;  // simulated run length
+  double warmup_seconds = 0.0;  // excluded from all statistics
+
+  // --- extensions -----------------------------------------------------------
+  // Charge On Demand queue searches a constant cost instead of
+  // x_scan · queue-size, modelling the hash index on the update queue
+  // suggested in Sections 4.2/4.4.
+  bool indexed_update_queue = false;
+  // Deduplicate the update queue with a hash table (Section 4.2's
+  // "interesting direction for future work"): with complete updates to
+  // snapshot views, only the newest update per object matters, so on
+  // receive any superseded queued update is discarded — bounding the
+  // queue at one entry per view object.
+  bool dedup_update_queue = false;
+  // Service the update queue as two importance classes, installing
+  // queued high-importance updates before low-importance ones (the TF
+  // enhancement sketched in Section 4.2).
+  bool split_importance_queues = false;
+  // CPU share reserved for the updater under kFixedFraction.
+  double update_cpu_fraction = 0.2;
+  // Periodic (round-robin) updates instead of Poisson (Section 2).
+  bool periodic_updates = false;
+  // Transaction selection rule; the paper fixes value density.
+  txn::TxnSchedPolicy txn_sched = txn::TxnSchedPolicy::kValueDensity;
+  // Derived-data triggers (Section 7 future work): each update that
+  // writes the database fires a rule recomputation with probability
+  // trigger_probability, costing x_trigger extra instructions charged
+  // to the install.
+  double trigger_probability = 0.0;
+  double x_trigger = 0.0;
+  // Disk-resident data (Section 7 future work): each object lookup
+  // misses the buffer pool with probability (1 - buffer_hit_ratio) and
+  // stalls the CPU for io_seconds. The paper's main-memory baseline is
+  // buffer_hit_ratio = 1.
+  double buffer_hit_ratio = 1.0;
+  double io_seconds = 0.0;
+  // Historical views (Sections 2/7 future work): retain the last
+  // history_depth installed versions of every view object for as-of
+  // reads. 0 disables history (the paper's snapshot-view baseline).
+  int history_depth = 0;
+  // Partial updates (Sections 2/7 future work): view objects have
+  // n_attributes attributes; each update refreshes one attribute, and
+  // an object is only as fresh as its oldest attribute. 1 restores the
+  // paper's complete-update baseline.
+  int n_attributes = 1;
+  // Do not create the built-in stochastic workload sources; arrivals
+  // come from System::InjectUpdate / System::InjectTransaction instead
+  // (trace replay, hand-crafted scenarios, tests).
+  bool external_workload = false;
+  // Bursty feed (Section 1 motivates "up to 500 updates/second during
+  // peak"): the stream alternates between lambda_u and lambda_u_peak
+  // with exponential dwell times.
+  bool bursty_updates = false;
+  double lambda_u_peak = 500.0;
+  double normal_dwell_seconds = 20.0;
+  double burst_dwell_seconds = 5.0;
+  // Admission control (extension): when more than admission_limit
+  // transactions are already waiting, new arrivals are dropped at the
+  // door instead of competing for the CPU. 0 disables.
+  int admission_limit = 0;
+
+  // Derives the workload-generator parameter blocks from this config.
+  workload::UpdateStream::Params UpdateStreamParams() const;
+  workload::TxnSource::Params TxnSourceParams() const;
+
+  // Returns an error message if any parameter is out of range, or
+  // nullopt if the configuration is valid.
+  std::optional<std::string> Validate() const;
+};
+
+}  // namespace strip::core
+
+#endif  // STRIP_CORE_CONFIG_H_

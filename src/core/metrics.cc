@@ -1,0 +1,80 @@
+#include "core/metrics.h"
+
+#include <cstdio>
+
+namespace strip::core {
+
+double RunMetrics::p_md() const {
+  const std::uint64_t total = txns_terminal();
+  if (total == 0) return 0.0;
+  return static_cast<double>(total - txns_committed) /
+         static_cast<double>(total);
+}
+
+double RunMetrics::p_success() const {
+  const std::uint64_t total = txns_terminal();
+  if (total == 0) return 0.0;
+  return static_cast<double>(txns_committed_fresh) /
+         static_cast<double>(total);
+}
+
+double RunMetrics::p_suc_nontardy() const {
+  if (txns_committed == 0) return 0.0;
+  return static_cast<double>(txns_committed_fresh) /
+         static_cast<double>(txns_committed);
+}
+
+double RunMetrics::av() const {
+  if (observed_seconds <= 0) return 0.0;
+  return value_committed / observed_seconds;
+}
+
+double RunMetrics::rho_t() const {
+  if (observed_seconds <= 0) return 0.0;
+  return cpu_txn_seconds / observed_seconds;
+}
+
+double RunMetrics::rho_u() const {
+  if (observed_seconds <= 0) return 0.0;
+  return cpu_update_seconds / observed_seconds;
+}
+
+std::string RunMetrics::ToString() const {
+  char buffer[1536];
+  std::snprintf(
+      buffer, sizeof(buffer),
+      "observed %.1fs\n"
+      "txns: arrived=%llu committed=%llu (fresh=%llu stale=%llu) "
+      "missed=%llu infeasible=%llu stale-aborted=%llu inflight=%llu\n"
+      "updates: arrived=%llu installed=%llu unworthy=%llu on-demand=%llu "
+      "dropped(os=%llu uq=%llu expired=%llu)\n"
+      "cpu: rho_t=%.3f rho_u=%.3f total=%.3f\n"
+      "staleness: f_old_l=%.3f f_old_h=%.3f\n"
+      "derived: p_MD=%.3f p_success=%.3f p_suc|nontardy=%.3f AV=%.2f\n"
+      "response: mean=%.3fs p50=%.3fs p95=%.3fs p99=%.3fs\n"
+      "queues: uq_avg=%.1f uq_max=%llu os_avg=%.1f\n"
+      "extensions: triggers=%llu io_stalls=%llu\n",
+      observed_seconds, (unsigned long long)txns_arrived,
+      (unsigned long long)txns_committed,
+      (unsigned long long)txns_committed_fresh,
+      (unsigned long long)txns_committed_stale,
+      (unsigned long long)txns_missed_deadline,
+      (unsigned long long)txns_infeasible,
+      (unsigned long long)txns_stale_aborted,
+      (unsigned long long)txns_inflight_at_end,
+      (unsigned long long)updates_arrived,
+      (unsigned long long)updates_installed,
+      (unsigned long long)updates_unworthy,
+      (unsigned long long)updates_applied_on_demand,
+      (unsigned long long)updates_dropped_os_full,
+      (unsigned long long)updates_dropped_uq_overflow,
+      (unsigned long long)updates_dropped_expired, rho_t(), rho_u(),
+      rho_total(), f_old_low, f_old_high, p_md(), p_success(),
+      p_suc_nontardy(), av(), response_mean, response_p50, response_p95,
+      response_p99, uq_length_avg, (unsigned long long)uq_length_max,
+      os_length_avg, (unsigned long long)triggers_fired,
+      (unsigned long long)io_stalls);
+  return buffer;
+}
+
+}  // namespace strip::core

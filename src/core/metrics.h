@@ -1,0 +1,118 @@
+// Run-level performance metrics (Section 3.5).
+//
+// The paper extends the traditional missed-deadline metric with data-
+// timeliness metrics. RunMetrics carries the raw event counts and CPU
+// integrals of one run; the derived quantities are the paper's:
+//
+//   f_old_l / f_old_h — time-averaged fraction of stale view objects,
+//   p_MD              — fraction of transactions missing their deadline,
+//   p_success         — fraction committing on time with only fresh reads,
+//   p_suc_nontardy    — of the on-time ones, the fraction reading fresh,
+//   AV                — value returned per second,
+//   rho_t / rho_u     — CPU fractions spent on transactions / updates.
+
+#ifndef STRIP_CORE_METRICS_H_
+#define STRIP_CORE_METRICS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "sim/sim_time.h"
+
+namespace strip::core {
+
+struct RunMetrics {
+  // Observation window (warm-up excluded).
+  sim::Duration observed_seconds = 0;
+
+  // --- transactions -------------------------------------------------------
+  std::uint64_t txns_arrived = 0;
+  std::uint64_t txns_committed = 0;
+  // Committed without ever reading stale data.
+  std::uint64_t txns_committed_fresh = 0;
+  // Firm deadline fired before completion.
+  std::uint64_t txns_missed_deadline = 0;
+  // Screened out by the feasible-deadline policy.
+  std::uint64_t txns_infeasible = 0;
+  // Aborted for reading stale data (Section 6.2 scenario).
+  std::uint64_t txns_stale_aborted = 0;
+  // Rejected at arrival by admission control (extension).
+  std::uint64_t txns_overload_dropped = 0;
+  // Still executing or queued when the run ended.
+  std::uint64_t txns_inflight_at_end = 0;
+  // Committed transactions that read at least one stale object.
+  std::uint64_t txns_committed_stale = 0;
+  double value_committed = 0;
+  // Per-value-class breakdowns, indexed by txn::TxnClass (0 = low,
+  // 1 = high); SU's whole point is to treat these differently.
+  std::uint64_t txns_arrived_by_class[2] = {0, 0};
+  std::uint64_t txns_committed_by_class[2] = {0, 0};
+  double value_committed_by_class[2] = {0, 0};
+
+  // --- updates ---------------------------------------------------------------
+  std::uint64_t updates_arrived = 0;
+  std::uint64_t updates_dropped_os_full = 0;
+  std::uint64_t updates_dropped_uq_overflow = 0;
+  std::uint64_t updates_dropped_expired = 0;
+  // Installs that wrote the database.
+  std::uint64_t updates_installed = 0;
+  // Installs skipped by the worthiness check (older than DB value).
+  std::uint64_t updates_unworthy = 0;
+  // Discarded at receive because a newer update for the same object
+  // made them worthless (dedup_update_queue extension).
+  std::uint64_t updates_dropped_superseded = 0;
+  // Installs performed on demand by transactions (OD).
+  std::uint64_t updates_applied_on_demand = 0;
+  // Extension counters: derived-data rules fired by installs, and
+  // buffer-pool misses under the disk-residence model.
+  std::uint64_t triggers_fired = 0;
+  std::uint64_t io_stalls = 0;
+
+  // --- CPU -----------------------------------------------------------------
+  sim::Duration cpu_txn_seconds = 0;
+  sim::Duration cpu_update_seconds = 0;
+
+  // --- staleness -----------------------------------------------------------
+  double f_old_low = 0;
+  double f_old_high = 0;
+
+  // --- response times (committed transactions; seconds) ----------------------
+  double response_mean = 0;
+  double response_p50 = 0;
+  double response_p95 = 0;
+  double response_p99 = 0;
+
+  // --- queues ----------------------------------------------------------------
+  double uq_length_avg = 0;
+  std::uint64_t uq_length_max = 0;
+  double os_length_avg = 0;
+
+  // --- derived metrics -------------------------------------------------------
+
+  // Terminal transactions: everything that reached an outcome.
+  std::uint64_t txns_terminal() const {
+    return txns_committed + txns_missed_deadline + txns_infeasible +
+           txns_stale_aborted + txns_overload_dropped;
+  }
+
+  // Fraction of transactions that did not complete by their deadline.
+  double p_md() const;
+  // Fraction that committed on time having read only fresh data.
+  double p_success() const;
+  // Of the transactions that met their deadline, the fraction that
+  // read only fresh data.
+  double p_suc_nontardy() const;
+  // Average value returned per second.
+  double av() const;
+  // CPU utilization fractions.
+  double rho_t() const;
+  double rho_u() const;
+  double rho_total() const { return rho_t() + rho_u(); }
+
+  // Multi-line human-readable dump (for examples and debugging).
+  std::string ToString() const;
+};
+
+}  // namespace strip::core
+
+#endif  // STRIP_CORE_METRICS_H_

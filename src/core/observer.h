@@ -1,0 +1,64 @@
+// Observation hooks into a running System.
+//
+// An observer receives the System's discrete outcomes as they happen —
+// transaction completions/aborts and update installs/drops — without
+// perturbing the model. Used by the CSV trace writer
+// (core/trace_writer.h) and available to applications for custom
+// monitoring (e.g., alerting on stale reads in the control-room
+// example).
+
+#ifndef STRIP_CORE_OBSERVER_H_
+#define STRIP_CORE_OBSERVER_H_
+
+#include "db/update.h"
+#include "sim/sim_time.h"
+#include "txn/transaction.h"
+
+namespace strip::core {
+
+class SystemObserver {
+ public:
+  virtual ~SystemObserver() = default;
+
+  // Why an update left the system without being installed.
+  enum class DropReason {
+    kOsQueueFull = 0,   // kernel buffer overflow on arrival
+    kQueueOverflow,     // update-queue bound exceeded
+    kExpired,           // older than alpha (MA expiry purge)
+    kUnworthy,          // database already held a newer value
+    kSuperseded,        // a newer update for the same object exists
+                        // (dedup_update_queue extension)
+  };
+
+  // A transaction reached a terminal state (outcome() is set; the
+  // object is destroyed after this call returns).
+  virtual void OnTransactionTerminal(sim::Time now,
+                                     const txn::Transaction& transaction) {
+    (void)now;
+    (void)transaction;
+  }
+
+  // An update was written to the database. `on_demand` marks OD
+  // installs triggered by a transaction's stale read.
+  virtual void OnUpdateInstalled(sim::Time now, const db::Update& update,
+                                 bool on_demand) {
+    (void)now;
+    (void)update;
+    (void)on_demand;
+  }
+
+  // An update left the system without being installed.
+  virtual void OnUpdateDropped(sim::Time now, const db::Update& update,
+                               DropReason reason) {
+    (void)now;
+    (void)update;
+    (void)reason;
+  }
+};
+
+// Printable name for a drop reason.
+const char* DropReasonName(SystemObserver::DropReason reason);
+
+}  // namespace strip::core
+
+#endif  // STRIP_CORE_OBSERVER_H_

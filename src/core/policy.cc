@@ -1,0 +1,30 @@
+#include "core/policy.h"
+
+#include "base/check.h"
+#include "core/policy_fcf.h"
+#include "core/policy_od.h"
+#include "core/policy_su.h"
+#include "core/policy_tf.h"
+#include "core/policy_uf.h"
+
+namespace strip::core {
+
+std::unique_ptr<Policy> MakePolicy(const Config& config) {
+  switch (config.policy) {
+    case PolicyKind::kUpdateFirst:
+      return std::make_unique<UpdateFirstPolicy>();
+    case PolicyKind::kTransactionFirst:
+      return std::make_unique<TransactionFirstPolicy>();
+    case PolicyKind::kSplitUpdates:
+      return std::make_unique<SplitUpdatesPolicy>();
+    case PolicyKind::kOnDemand:
+      return std::make_unique<OnDemandPolicy>();
+    case PolicyKind::kFixedFraction:
+      return std::make_unique<FixedFractionPolicy>(
+          config.update_cpu_fraction);
+  }
+  STRIP_CHECK_MSG(false, "unknown policy kind");
+  return nullptr;
+}
+
+}  // namespace strip::core

@@ -1,0 +1,77 @@
+// The scheduling-policy interface (Section 4).
+//
+// The controller (core/system.h) implements the shared machinery —
+// queues, CPU accounting, preemption, transaction execution — and
+// consults a Policy for the three decisions that distinguish the
+// paper's algorithms:
+//
+//   1. Is this just-arrived update installed immediately, preempting a
+//      running transaction? (UF: all updates; SU: high-importance.)
+//   2. May the update process *install from the update queue* while
+//      transactions are waiting? (FCF: while the updater is below its
+//      CPU share; TF/OD/SU: never — installs wait for an idle system.)
+//      Receiving — moving arrivals from the OS buffer into the update
+//      queue — is not a policy decision: the controller does it
+//      whenever it holds the CPU (Section 3.3).
+//   3. Does a transaction that encounters stale data search the update
+//      queue and install on demand? (OD only.)
+//
+// Policies are stateless decision tables; all state lives in the
+// controller and is passed in via UpdaterContext.
+
+#ifndef STRIP_CORE_POLICY_H_
+#define STRIP_CORE_POLICY_H_
+
+#include <memory>
+
+#include "core/config.h"
+#include "db/update.h"
+#include "sim/sim_time.h"
+
+namespace strip::core {
+
+// Controller state relevant to update-priority decisions.
+struct UpdaterContext {
+  sim::Time now = 0;
+  // Updates waiting in the OS queue, and how many of those target the
+  // high-importance partition.
+  int os_pending = 0;
+  int os_pending_high = 0;
+  // Updates waiting in the controller's update queue.
+  int uq_pending = 0;
+  // CPU seconds consumed by update work since observation start, and
+  // the observation start time (for share-based policies).
+  sim::Duration updater_cpu_seconds = 0;
+  sim::Time observation_start = 0;
+};
+
+class Policy {
+ public:
+  virtual ~Policy() = default;
+
+  virtual PolicyKind kind() const = 0;
+  const char* name() const { return PolicyKindName(kind()); }
+
+  // Decision 1: install `update` the moment it arrives, preempting any
+  // running transaction.
+  virtual bool InstallOnArrival(const db::Update& update) const = 0;
+
+  // Decision 2: run the update process even though transactions are
+  // waiting.
+  virtual bool UpdaterHasPriority(const UpdaterContext& context) const = 0;
+
+  // Decision 3: on a stale view read, search the update queue and
+  // install a fresh value on demand.
+  virtual bool AppliesOnDemand() const = 0;
+
+  // Whether the controller maintains an update queue at all. UF
+  // installs straight from the OS queue and needs none (Section 4.1).
+  virtual bool UsesUpdateQueue() const = 0;
+};
+
+// Creates the policy implementation for `config.policy`.
+std::unique_ptr<Policy> MakePolicy(const Config& config);
+
+}  // namespace strip::core
+
+#endif  // STRIP_CORE_POLICY_H_

@@ -1,0 +1,46 @@
+// Fixed CPU Fraction (FCF) — an extension.
+//
+// The paper's future-work list (Section 7) suggests "giving a fixed CPU
+// fraction to updates". This policy grants the update process priority
+// whenever its cumulative CPU usage since observation start is below a
+// configured share of elapsed time and it has work pending; otherwise
+// transactions run first (as under TF). A deficit-style guarantee: the
+// updater can never starve below its share while updates are pending,
+// and never exceeds it while transactions wait.
+
+#ifndef STRIP_CORE_POLICY_FCF_H_
+#define STRIP_CORE_POLICY_FCF_H_
+
+#include "core/policy.h"
+
+namespace strip::core {
+
+class FixedFractionPolicy final : public Policy {
+ public:
+  // `fraction` is the updater's guaranteed CPU share in [0, 1].
+  explicit FixedFractionPolicy(double fraction) : fraction_(fraction) {}
+
+  PolicyKind kind() const override { return PolicyKind::kFixedFraction; }
+
+  bool InstallOnArrival(const db::Update&) const override { return false; }
+
+  bool UpdaterHasPriority(const UpdaterContext& context) const override {
+    if (context.os_pending + context.uq_pending == 0) return false;
+    const sim::Duration elapsed =
+        context.now - context.observation_start;
+    return context.updater_cpu_seconds < fraction_ * elapsed;
+  }
+
+  bool AppliesOnDemand() const override { return false; }
+
+  bool UsesUpdateQueue() const override { return true; }
+
+  double fraction() const { return fraction_; }
+
+ private:
+  double fraction_;
+};
+
+}  // namespace strip::core
+
+#endif  // STRIP_CORE_POLICY_FCF_H_

@@ -1,0 +1,34 @@
+// Apply Updates On Demand (OD), Section 4.4.
+//
+// An extension of TF: transactions still always take precedence, but
+// when one encounters a stale object it first searches the update
+// queue. If an applicable update is found it is installed on the spot
+// (costing a queue scan plus the install) and the transaction proceeds
+// with fresh data. Under the UU criterion the queue must be scanned on
+// *every* view read, since that is the only way to detect staleness.
+
+#ifndef STRIP_CORE_POLICY_OD_H_
+#define STRIP_CORE_POLICY_OD_H_
+
+#include "core/policy.h"
+
+namespace strip::core {
+
+class OnDemandPolicy final : public Policy {
+ public:
+  PolicyKind kind() const override { return PolicyKind::kOnDemand; }
+
+  bool InstallOnArrival(const db::Update&) const override { return false; }
+
+  bool UpdaterHasPriority(const UpdaterContext&) const override {
+    return false;
+  }
+
+  bool AppliesOnDemand() const override { return true; }
+
+  bool UsesUpdateQueue() const override { return true; }
+};
+
+}  // namespace strip::core
+
+#endif  // STRIP_CORE_POLICY_OD_H_

@@ -1,0 +1,39 @@
+// Split Updates (SU), Section 4.3.
+//
+// A compromise: updates to high-importance data are applied on arrival
+// (preempting transactions, as UF does); updates to low-importance data
+// are queued by the controller and installed only when no transaction
+// is waiting (as TF does). High-importance updates are never queued by
+// the controller: the receive path installs them straight from the OS
+// buffer.
+
+#ifndef STRIP_CORE_POLICY_SU_H_
+#define STRIP_CORE_POLICY_SU_H_
+
+#include "core/policy.h"
+
+namespace strip::core {
+
+class SplitUpdatesPolicy final : public Policy {
+ public:
+  PolicyKind kind() const override { return PolicyKind::kSplitUpdates; }
+
+  bool InstallOnArrival(const db::Update& update) const override {
+    return update.object.cls == db::ObjectClass::kHighImportance;
+  }
+
+  // Low-importance installs from the update queue wait for an idle
+  // system, exactly as under TF. (High-importance updates never reach
+  // the update queue.)
+  bool UpdaterHasPriority(const UpdaterContext&) const override {
+    return false;
+  }
+
+  bool AppliesOnDemand() const override { return false; }
+
+  bool UsesUpdateQueue() const override { return true; }
+};
+
+}  // namespace strip::core
+
+#endif  // STRIP_CORE_POLICY_SU_H_

@@ -1,0 +1,33 @@
+// Transaction First (TF), Section 4.2.
+//
+// Transactions always take precedence. Updates accumulate in the OS
+// queue and are received into the update queue — then installed from it
+// in FIFO or LIFO generation order — only when no transaction is ready
+// to run. A transaction arriving mid-install waits for that single
+// install to finish (no update preemption).
+
+#ifndef STRIP_CORE_POLICY_TF_H_
+#define STRIP_CORE_POLICY_TF_H_
+
+#include "core/policy.h"
+
+namespace strip::core {
+
+class TransactionFirstPolicy final : public Policy {
+ public:
+  PolicyKind kind() const override { return PolicyKind::kTransactionFirst; }
+
+  bool InstallOnArrival(const db::Update&) const override { return false; }
+
+  bool UpdaterHasPriority(const UpdaterContext&) const override {
+    return false;
+  }
+
+  bool AppliesOnDemand() const override { return false; }
+
+  bool UsesUpdateQueue() const override { return true; }
+};
+
+}  // namespace strip::core
+
+#endif  // STRIP_CORE_POLICY_TF_H_

@@ -1,0 +1,32 @@
+// Update First (UF), Section 4.1.
+//
+// Every update is applied the moment it arrives, preempting any running
+// transaction. Updates never wait in the controller's update queue; a
+// burst that arrives while an install is in progress sits briefly in
+// the OS queue and is drained immediately afterwards.
+
+#ifndef STRIP_CORE_POLICY_UF_H_
+#define STRIP_CORE_POLICY_UF_H_
+
+#include "core/policy.h"
+
+namespace strip::core {
+
+class UpdateFirstPolicy final : public Policy {
+ public:
+  PolicyKind kind() const override { return PolicyKind::kUpdateFirst; }
+
+  bool InstallOnArrival(const db::Update&) const override { return true; }
+
+  bool UpdaterHasPriority(const UpdaterContext& context) const override {
+    return context.os_pending > 0;
+  }
+
+  bool AppliesOnDemand() const override { return false; }
+
+  bool UsesUpdateQueue() const override { return false; }
+};
+
+}  // namespace strip::core
+
+#endif  // STRIP_CORE_POLICY_UF_H_

@@ -1,0 +1,788 @@
+#include "core/system.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "base/check.h"
+#include "sim/random.h"
+
+namespace strip::core {
+
+namespace {
+
+// Process ids for context-switch accounting.
+constexpr std::uint64_t kNoProcess = 0;
+constexpr std::uint64_t kUpdaterProcess = 1;
+
+std::uint64_t TxnProcessId(const txn::Transaction& t) { return t.id() + 1; }
+
+}  // namespace
+
+System::System(sim::Simulator* simulator, const Config& config,
+               std::uint64_t seed)
+    : simulator_(simulator),
+      config_(config),
+      policy_(MakePolicy(config)),
+      system_random_(seed ^ 0xa5a5a5a5a5a5a5a5ull),
+      database_(config.n_low, config.n_high, config.n_attributes),
+      tracker_(simulator, config.staleness, config.alpha, config.n_low,
+               config.n_high),
+      update_queue_(static_cast<std::size_t>(config.uq_max)),
+      os_queue_(static_cast<std::size_t>(config.os_max)),
+      // Response times are bounded by slack + execution; the paper
+      // baseline tops out well under 2 s, and overflow is clamped.
+      response_times_(0.0, 2.0 * (config.s_max + 1.0), 400) {
+  STRIP_CHECK(simulator != nullptr);
+  const std::optional<std::string> error = config.Validate();
+  STRIP_CHECK_MSG(!error.has_value(),
+                  error.has_value() ? error->c_str() : "");
+
+  if (config_.history_depth > 0) {
+    history_ = std::make_unique<db::HistoryStore>(
+        config_.n_low, config_.n_high, config_.history_depth);
+  }
+
+  if (!config_.external_workload) {
+    sim::RandomStream master(seed);
+    const std::uint64_t update_seed = master.Fork();
+    const std::uint64_t txn_seed = master.Fork();
+    update_stream_ = std::make_unique<workload::UpdateStream>(
+        simulator_, config_.UpdateStreamParams(), update_seed,
+        [this](const db::Update& u) { OnUpdateArrival(u); });
+    txn_source_ = std::make_unique<workload::TxnSource>(
+        simulator_, config_.TxnSourceParams(), txn_seed,
+        [this](const txn::Transaction::Params& p) { OnTxnArrival(p); });
+  }
+
+  uq_length_.StartAt(simulator_->now(), 0.0);
+  os_length_.StartAt(simulator_->now(), 0.0);
+  observation_start_ = simulator_->now();
+
+  if (config_.warmup_seconds > 0) {
+    simulator_->ScheduleAfter(config_.warmup_seconds,
+                              [this] { ResetObservation(); });
+  }
+}
+
+RunMetrics System::Run() {
+  STRIP_CHECK_MSG(!finalized_, "System::Run called twice");
+  simulator_->RunUntil(config_.sim_seconds);
+  Finalize(config_.sim_seconds);
+  return metrics_;
+}
+
+// --- accounting helpers -----------------------------------------------------
+
+void System::ChargeSegmentCpu() {
+  const sim::Time start = std::max(segment_start_, observation_start_);
+  const sim::Duration elapsed = simulator_->now() - start;
+  if (elapsed <= 0) return;
+  if (segment_is_update_work_) {
+    metrics_.cpu_update_seconds += elapsed;
+  } else {
+    metrics_.cpu_txn_seconds += elapsed;
+  }
+}
+
+double System::ScanCostInstructions() const {
+  if (config_.indexed_update_queue) return config_.x_scan;
+  return config_.x_scan * static_cast<double>(update_queue_.size());
+}
+
+double System::QueueOpCostInstructions(std::size_t queue_size) const {
+  const double n = static_cast<double>(std::max<std::size_t>(queue_size, 1));
+  return config_.x_queue * std::log(n);
+}
+
+double System::MaybeIoStallInstructions() {
+  if (config_.buffer_hit_ratio >= 1.0 || config_.io_seconds <= 0) return 0;
+  if (system_random_.WithProbability(config_.buffer_hit_ratio)) return 0;
+  ++metrics_.io_stalls;
+  return config_.io_seconds * config_.ips;
+}
+
+double System::MaybeTriggerInstructions() {
+  if (config_.trigger_probability <= 0 || config_.x_trigger <= 0) return 0;
+  if (!system_random_.WithProbability(config_.trigger_probability)) return 0;
+  ++metrics_.triggers_fired;
+  return config_.x_trigger;
+}
+
+void System::NoteUqLength() {
+  const std::uint64_t size = update_queue_.size();
+  uq_length_.Set(simulator_->now(), static_cast<double>(size));
+  uq_length_max_ = std::max(uq_length_max_, size);
+}
+
+void System::NoteOsLength() {
+  os_length_.Set(simulator_->now(), static_cast<double>(os_queue_.size()));
+}
+
+void System::ResetObservation() {
+  metrics_ = RunMetrics{};
+  // Work already in flight at the warm-up boundary will reach its
+  // outcome inside the observed window; count it as arrived so the
+  // conservation identities hold over the window.
+  metrics_.txns_arrived = live_txns_.size();
+  for (const auto& [id, live] : live_txns_) {
+    ++metrics_.txns_arrived_by_class[static_cast<int>(
+        live.transaction->cls())];
+  }
+  metrics_.updates_arrived = os_queue_.size() + update_queue_.size();
+  if (updater_job_.kind != UpdaterJob::Kind::kNone) {
+    // One more is mid-install on the CPU.
+    ++metrics_.updates_arrived;
+  }
+  response_times_ =
+      sim::Histogram(0.0, 2.0 * (config_.s_max + 1.0), 400);
+  observation_start_ = simulator_->now();
+  tracker_.ResetObservation();
+  uq_length_.StartAt(simulator_->now(),
+                     static_cast<double>(update_queue_.size()));
+  os_length_.StartAt(simulator_->now(),
+                     static_cast<double>(os_queue_.size()));
+  uq_length_max_ = update_queue_.size();
+}
+
+void System::Finalize(sim::Time end) {
+  STRIP_CHECK(!finalized_);
+  finalized_ = true;
+  // A segment still on the CPU at the end of the run is charged up to
+  // the cut-off so utilization fractions are exact.
+  if (cpu_owner_ != CpuOwner::kIdle) ChargeSegmentCpu();
+  if (update_stream_ != nullptr) update_stream_->Stop();
+  if (txn_source_ != nullptr) txn_source_->Stop();
+  metrics_.observed_seconds = end - observation_start_;
+  metrics_.f_old_low =
+      tracker_.FractionStaleAverage(db::ObjectClass::kLowImportance, end);
+  metrics_.f_old_high =
+      tracker_.FractionStaleAverage(db::ObjectClass::kHighImportance, end);
+  metrics_.uq_length_avg = uq_length_.Average(end);
+  metrics_.uq_length_max = uq_length_max_;
+  metrics_.os_length_avg = os_length_.Average(end);
+  metrics_.txns_inflight_at_end = live_txns_.size();
+  metrics_.response_mean = response_times_.mean();
+  metrics_.response_p50 = response_times_.Quantile(0.50);
+  metrics_.response_p95 = response_times_.Quantile(0.95);
+  metrics_.response_p99 = response_times_.Quantile(0.99);
+}
+
+// --- arrivals ------------------------------------------------------------
+
+void System::OnUpdateArrival(const db::Update& update) {
+  ++metrics_.updates_arrived;
+  if (!os_queue_.Push(update)) {
+    ++metrics_.updates_dropped_os_full;
+    if (observer_ != nullptr) {
+      observer_->OnUpdateDropped(simulator_->now(), update,
+                                 SystemObserver::DropReason::kOsQueueFull);
+    }
+    return;
+  }
+  if (update.object.cls == db::ObjectClass::kHighImportance) {
+    ++os_pending_high_;
+  }
+  NoteOsLength();
+
+  if (policy_->InstallOnArrival(update)) {
+    if (cpu_owner_ == CpuOwner::kTxn) {
+      // Receive immediately: preempt the running transaction. The
+      // 2·x_switch receive penalty is charged to the update work about
+      // to start (Section 3.3, step 2).
+      PreemptRunningTxn();
+      StartUpdaterJob(/*preempting=*/true);
+    } else if (cpu_owner_ == CpuOwner::kIdle) {
+      ScheduleNext();
+    }
+    // If the updater is already on the CPU the new arrival waits in
+    // the OS queue; the updater keeps priority and drains it next.
+  } else if (cpu_owner_ == CpuOwner::kIdle) {
+    ScheduleNext();
+  }
+}
+
+void System::OnTxnArrival(const txn::Transaction::Params& params) {
+  ++metrics_.txns_arrived;
+  ++metrics_.txns_arrived_by_class[static_cast<int>(params.cls)];
+  if (config_.admission_limit > 0 &&
+      static_cast<int>(ready_.size()) >= config_.admission_limit) {
+    // Admission control: the backlog is full; reject at the door
+    // rather than competing for the CPU.
+    ++metrics_.txns_overload_dropped;
+    if (observer_ != nullptr) {
+      txn::Transaction rejected(params);
+      rejected.set_outcome(txn::TxnOutcome::kOverloadDrop);
+      rejected.set_completion_time(simulator_->now());
+      observer_->OnTransactionTerminal(simulator_->now(), rejected);
+    }
+    return;
+  }
+  auto transaction = std::make_unique<txn::Transaction>(params);
+  txn::Transaction* t = transaction.get();
+  const std::uint64_t id = t->id();
+  LiveTxn entry;
+  entry.transaction = std::move(transaction);
+  entry.deadline_event = simulator_->ScheduleAt(
+      t->deadline(), [this, id] { OnDeadline(id); });
+  live_txns_.emplace(id, std::move(entry));
+  ready_.Add(t);
+
+  if (cpu_owner_ == CpuOwner::kIdle) {
+    ScheduleNext();
+  } else if (cpu_owner_ == CpuOwner::kTxn && config_.txn_preemption &&
+             txn::HigherPriority(*t, *running_, config_.txn_sched,
+                                 config_.ips)) {
+    PreemptRunningTxn();
+    ScheduleNext();
+  }
+}
+
+void System::OnDeadline(std::uint64_t txn_id) {
+  auto it = live_txns_.find(txn_id);
+  if (it == live_txns_.end()) return;  // already terminal
+  txn::Transaction* t = it->second.transaction.get();
+  if (t == running_) {
+    // Firm deadline: the transaction is cut down mid-flight.
+    ChargeSegmentCpu();
+    const double executed = std::max(
+        0.0, (simulator_->now() - segment_start_) * config_.ips -
+                 segment_extra_instructions_);
+    t->ChargePartial(std::min(executed, RemainingOfCurrentStep(*t)));
+    simulator_->Cancel(completion_);
+    running_ = nullptr;
+    cpu_owner_ = CpuOwner::kIdle;
+    Terminate(t, txn::TxnOutcome::kMissedDeadline);
+    ScheduleNext();
+  } else {
+    const bool was_ready = ready_.Remove(t);
+    STRIP_CHECK_MSG(was_ready, "pending txn neither ready nor running");
+    Terminate(t, txn::TxnOutcome::kMissedDeadline);
+  }
+}
+
+// --- the scheduler ----------------------------------------------------------
+
+UpdaterContext System::MakeUpdaterContext() const {
+  UpdaterContext context;
+  context.now = simulator_->now();
+  context.os_pending = static_cast<int>(os_queue_.size());
+  context.os_pending_high = os_pending_high_;
+  context.uq_pending = static_cast<int>(update_queue_.size());
+  context.updater_cpu_seconds = metrics_.cpu_update_seconds;
+  context.observation_start = observation_start_;
+  return context;
+}
+
+void System::ScheduleNext() {
+  STRIP_CHECK(cpu_owner_ == CpuOwner::kIdle);
+  PurgeExpired();
+  if (config_.feasible_deadline) {
+    for (txn::Transaction* t :
+         ready_.ExtractInfeasible(simulator_->now(), config_.ips)) {
+      Terminate(t, txn::TxnOutcome::kInfeasible);
+    }
+  }
+  // Receiving takes precedence whenever the controller has the CPU:
+  // arrivals are moved out of the small kernel buffer — transferred to
+  // the update queue, or installed directly under UF (all updates) and
+  // SU (high-importance updates). Section 3.3: transactions are not
+  // *interrupted* to receive, but once the controller gets control the
+  // accumulated arrivals are received at once.
+  if (!os_queue_.empty()) {
+    StartUpdaterJob(/*preempting=*/false);
+    return;
+  }
+  // Installing from the update queue is what the policies disagree on:
+  // TF/OD/SU only when no transaction is ready, FCF while below its
+  // CPU share.
+  const bool install_work =
+      policy_->UsesUpdateQueue() && !update_queue_.empty();
+  if (install_work &&
+      (ready_.empty() || policy_->UpdaterHasPriority(MakeUpdaterContext()))) {
+    StartUpdaterJob(/*preempting=*/false);
+    return;
+  }
+  if (!ready_.empty()) {
+    txn::Transaction* t = ready_.PopBest(config_.ips, config_.txn_sched);
+    STRIP_CHECK(t != nullptr);
+    StartTxnSegment(t);
+  }
+  // Otherwise: idle until the next arrival.
+}
+
+// --- update process -----------------------------------------------------------
+
+void System::PurgeExpired() {
+  // Generation-based expiry only: under UU nothing expires, and under
+  // arrival-based MA an old-generation update may still have arrived
+  // recently, so the generation-ordered queue cannot be purged from
+  // the front.
+  if (config_.staleness != db::StalenessCriterion::kMaxAge &&
+      config_.staleness != db::StalenessCriterion::kCombined) {
+    return;
+  }
+  const sim::Time cutoff = simulator_->now() - config_.alpha;
+  if (cutoff <= 0) return;
+  const std::vector<db::Update> purged =
+      update_queue_.PurgeGeneratedBefore(cutoff);
+  if (purged.empty()) return;
+  // Identifying expired updates is constant time (the queue is in
+  // generation order), but each removal is still a queue operation;
+  // its cost accrues as a debt charged to the update process's next
+  // CPU slice.
+  std::size_t size_before = update_queue_.size() + purged.size();
+  for (const db::Update& u : purged) {
+    tracker_.OnRemovedFromQueue(u);
+    ++metrics_.updates_dropped_expired;
+    purge_debt_instructions_ += QueueOpCostInstructions(size_before--);
+    if (observer_ != nullptr) {
+      observer_->OnUpdateDropped(simulator_->now(), u,
+                                 SystemObserver::DropReason::kExpired);
+    }
+  }
+  NoteUqLength();
+}
+
+System::UpdaterJob System::SelectUpdaterJob() {
+  UpdaterJob job;
+  if (!os_queue_.empty()) {
+    const std::optional<db::Update> u = os_queue_.Pop();
+    STRIP_CHECK(u.has_value());
+    if (u->object.cls == db::ObjectClass::kHighImportance) {
+      --os_pending_high_;
+    }
+    NoteOsLength();
+    job.update = *u;
+    if (!policy_->UsesUpdateQueue() || policy_->InstallOnArrival(*u)) {
+      // UF installs everything straight from the OS queue; SU installs
+      // high-importance updates directly.
+      job.kind = UpdaterJob::Kind::kInstallFromOs;
+      job.worthy = database_.IsWorthy(*u);
+      job.cost_instructions =
+          config_.x_lookup + MaybeIoStallInstructions() +
+          (job.worthy ? config_.x_update + MaybeTriggerInstructions()
+                      : 0.0);
+    } else {
+      job.kind = UpdaterJob::Kind::kTransferToQueue;
+      job.cost_instructions =
+          QueueOpCostInstructions(update_queue_.size() + 1);
+    }
+    return job;
+  }
+  if (policy_->UsesUpdateQueue() && !update_queue_.empty()) {
+    const std::size_t size_before = update_queue_.size();
+    const bool fifo =
+        config_.queue_discipline == QueueDiscipline::kFifo;
+    std::optional<db::Update> u;
+    if (config_.split_importance_queues) {
+      // Drain queued high-importance updates before low-importance
+      // ones (split-queue extension).
+      u = fifo ? update_queue_.PopOldestOfClass(
+                     db::ObjectClass::kHighImportance)
+               : update_queue_.PopNewestOfClass(
+                     db::ObjectClass::kHighImportance);
+      if (!u.has_value()) {
+        u = fifo ? update_queue_.PopOldestOfClass(
+                       db::ObjectClass::kLowImportance)
+                 : update_queue_.PopNewestOfClass(
+                       db::ObjectClass::kLowImportance);
+      }
+    } else {
+      u = fifo ? update_queue_.PopOldest() : update_queue_.PopNewest();
+    }
+    STRIP_CHECK(u.has_value());
+    tracker_.OnRemovedFromQueue(*u);
+    NoteUqLength();
+    job.kind = UpdaterJob::Kind::kInstallFromUq;
+    job.update = *u;
+    job.worthy = database_.IsWorthy(*u);
+    job.cost_instructions =
+        QueueOpCostInstructions(size_before) + config_.x_lookup +
+        MaybeIoStallInstructions() +
+        (job.worthy ? config_.x_update + MaybeTriggerInstructions() : 0.0);
+    return job;
+  }
+  return job;
+}
+
+void System::StartUpdaterJob(bool preempting) {
+  STRIP_CHECK(cpu_owner_ == CpuOwner::kIdle);
+  PurgeExpired();
+  updater_job_ = SelectUpdaterJob();
+  STRIP_CHECK_MSG(updater_job_.kind != UpdaterJob::Kind::kNone,
+                  "updater started with no work");
+  cpu_owner_ = CpuOwner::kUpdater;
+  double extra = purge_debt_instructions_;
+  purge_debt_instructions_ = 0;
+  if (preempting) {
+    extra += 2 * config_.x_switch;
+  } else if (last_process_ != kUpdaterProcess &&
+             last_process_ != kNoProcess) {
+    extra += config_.x_switch;
+  }
+  last_process_ = kUpdaterProcess;
+  segment_start_ = simulator_->now();
+  segment_extra_instructions_ = extra;
+  segment_is_update_work_ = true;
+  completion_ = simulator_->ScheduleAfter(
+      sim::InstructionsToSeconds(updater_job_.cost_instructions + extra,
+                                 config_.ips),
+      [this] { OnUpdaterJobComplete(); });
+}
+
+bool System::DedupAgainstQueue(const db::Update& update) {
+  // The hash table of Section 4.2 keeps at most one update per object:
+  // discard everything the incoming update supersedes, or the incoming
+  // update itself if something newer is already queued. Hash-assisted,
+  // so the removals are free in the cost model.
+  while (true) {
+    const std::optional<db::Update> existing =
+        update_queue_.PeekNewestFor(update.object);
+    if (!existing.has_value()) return true;
+    if (existing->generation_time >= update.generation_time) {
+      ++metrics_.updates_dropped_superseded;
+      if (observer_ != nullptr) {
+        observer_->OnUpdateDropped(
+            simulator_->now(), update,
+            SystemObserver::DropReason::kSuperseded);
+      }
+      return false;
+    }
+    const bool removed = update_queue_.Remove(*existing);
+    STRIP_CHECK(removed);
+    tracker_.OnRemovedFromQueue(*existing);
+    ++metrics_.updates_dropped_superseded;
+    if (observer_ != nullptr) {
+      observer_->OnUpdateDropped(simulator_->now(), *existing,
+                                 SystemObserver::DropReason::kSuperseded);
+    }
+  }
+}
+
+void System::InstallNow(const db::Update& update, bool on_demand) {
+  if (database_.Apply(update)) {
+    // The tracker follows the *effective* generation — identical to
+    // the update's own timestamp for complete updates, the oldest
+    // attribute's for partial ones. The arrival time feeds the
+    // arrival-based MA variant.
+    tracker_.OnApply(update.object,
+                     database_.generation_time(update.object),
+                     update.arrival_time);
+    if (history_ != nullptr) {
+      history_->Record(update.object,
+                       database_.generation_time(update.object),
+                       database_.value(update.object));
+    }
+    ++metrics_.updates_installed;
+    if (observer_ != nullptr) {
+      observer_->OnUpdateInstalled(simulator_->now(), update, on_demand);
+    }
+  } else {
+    ++metrics_.updates_unworthy;
+    if (observer_ != nullptr) {
+      observer_->OnUpdateDropped(simulator_->now(), update,
+                                 SystemObserver::DropReason::kUnworthy);
+    }
+  }
+}
+
+void System::OnUpdaterJobComplete() {
+  STRIP_CHECK(cpu_owner_ == CpuOwner::kUpdater);
+  ChargeSegmentCpu();
+  const UpdaterJob job = updater_job_;
+  updater_job_ = UpdaterJob{};
+  cpu_owner_ = CpuOwner::kIdle;
+  switch (job.kind) {
+    case UpdaterJob::Kind::kTransferToQueue: {
+      if (config_.dedup_update_queue && !DedupAgainstQueue(job.update)) {
+        // A newer update for the same object is already queued: this
+        // one is worthless (complete updates to snapshot views) and is
+        // dropped at receive.
+        break;
+      }
+      const std::vector<db::Update> evicted =
+          update_queue_.Push(job.update);
+      tracker_.OnEnqueued(job.update);
+      for (const db::Update& e : evicted) {
+        tracker_.OnRemovedFromQueue(e);
+        ++metrics_.updates_dropped_uq_overflow;
+        if (observer_ != nullptr) {
+          observer_->OnUpdateDropped(
+              simulator_->now(), e,
+              SystemObserver::DropReason::kQueueOverflow);
+        }
+      }
+      NoteUqLength();
+      break;
+    }
+    case UpdaterJob::Kind::kInstallFromOs:
+    case UpdaterJob::Kind::kInstallFromUq:
+      InstallNow(job.update);
+      break;
+    case UpdaterJob::Kind::kNone:
+      STRIP_CHECK_MSG(false, "updater job completed with no job");
+      break;
+  }
+  ScheduleNext();
+}
+
+// --- transaction processes -------------------------------------------------------
+
+double System::RemainingOfCurrentStep(const txn::Transaction& t) const {
+  return t.next_step().instructions;
+}
+
+void System::StartTxnSegment(txn::Transaction* transaction) {
+  STRIP_CHECK(cpu_owner_ == CpuOwner::kIdle);
+  STRIP_CHECK(transaction != nullptr);
+  cpu_owner_ = CpuOwner::kTxn;
+  running_ = transaction;
+  double extra = 0;
+  const std::uint64_t pid = TxnProcessId(*transaction);
+  if (last_process_ != pid && last_process_ != kNoProcess) {
+    extra = config_.x_switch;
+  }
+  last_process_ = pid;
+  ScheduleTxnStep(extra);
+}
+
+void System::ScheduleTxnStep(double extra_instructions) {
+  txn::Transaction* t = running_;
+  STRIP_CHECK(t != nullptr);
+  const txn::Transaction::NextStep step = t->next_step();
+  if (step.kind == txn::Transaction::NextStep::Kind::kDone) {
+    // Degenerate zero-work transaction: commits immediately.
+    running_ = nullptr;
+    cpu_owner_ = CpuOwner::kIdle;
+    Commit(t);
+    ScheduleNext();
+    return;
+  }
+  if (step.kind == txn::Transaction::NextStep::Kind::kViewRead) {
+    // Disk-residence extension: the view read may stall on a buffer
+    // miss; the stall is wait, not transaction work, so it rides in
+    // the extra-instruction slot. (A read resumed after preemption
+    // re-probes the buffer — the page may have been evicted since.)
+    extra_instructions += MaybeIoStallInstructions();
+  }
+  segment_start_ = simulator_->now();
+  segment_extra_instructions_ = extra_instructions;
+  segment_is_update_work_ =
+      step.kind == txn::Transaction::NextStep::Kind::kOdScan ||
+      step.kind == txn::Transaction::NextStep::Kind::kOdApply;
+  completion_ = simulator_->ScheduleAfter(
+      sim::InstructionsToSeconds(step.instructions + extra_instructions,
+                                 config_.ips),
+      [this] { OnTxnSegmentComplete(); });
+}
+
+void System::OnTxnSegmentComplete() {
+  STRIP_CHECK(cpu_owner_ == CpuOwner::kTxn);
+  STRIP_CHECK(running_ != nullptr);
+  ChargeSegmentCpu();
+  txn::Transaction* t = running_;
+  const txn::Transaction::NextStep step = t->next_step();
+  switch (step.kind) {
+    case txn::Transaction::NextStep::Kind::kCompute:
+      t->CompleteStep();
+      break;
+    case txn::Transaction::NextStep::Kind::kViewRead:
+      HandleViewRead(t, step.object);
+      break;
+    case txn::Transaction::NextStep::Kind::kOdScan:
+      t->CompleteStep();
+      ResolveOdScan(t, step.object);
+      break;
+    case txn::Transaction::NextStep::Kind::kOdApply:
+      t->CompleteStep();
+      PerformOdApply(t, step.object);
+      break;
+    case txn::Transaction::NextStep::Kind::kDone:
+      STRIP_CHECK_MSG(false, "segment completed on a finished txn");
+      break;
+  }
+  if (t->outcome() != txn::TxnOutcome::kPending) {
+    return;  // aborted inside a handler; CPU already rescheduled
+  }
+  if (t->finished()) {
+    running_ = nullptr;
+    cpu_owner_ = CpuOwner::kIdle;
+    Commit(t);
+    ScheduleNext();
+    return;
+  }
+  ScheduleTxnStep(0);
+}
+
+bool System::CanAffordExtraWork(const txn::Transaction& transaction,
+                                double extra_instructions) const {
+  if (!config_.feasible_deadline) return true;
+  const sim::Duration needed = sim::InstructionsToSeconds(
+      extra_instructions + transaction.remaining_base_instructions(),
+      config_.ips);
+  return simulator_->now() + needed <= transaction.deadline();
+}
+
+void System::HandleViewRead(txn::Transaction* transaction,
+                            db::ObjectId object) {
+  transaction->CompleteStep();
+  if (policy_->AppliesOnDemand()) {
+    const bool timestamped = db::DetectableByTimestamp(config_.staleness);
+    // Under the MA family the timestamp reveals staleness for free and
+    // the queue is searched only when the value actually is stale;
+    // under UU (and MA+UU) the search *is* the staleness check, so
+    // every read needs one. Either way, a search the transaction
+    // cannot afford without blowing its firm deadline is pointless —
+    // the feasible-deadline principle (Section 3.4) says not to burn
+    // CPU on doomed work — so an unaffordable search is skipped and
+    // the read proceeds as it would under TF.
+    if (timestamped && !tracker_.IsStale(object)) return;
+    const double scan_cost = ScanCostInstructions();
+    if (CanAffordExtraWork(*transaction, scan_cost)) {
+      transaction->PushExtraStep(
+          {txn::Transaction::NextStep::Kind::kOdScan, scan_cost, object});
+      return;
+    }
+    if (tracker_.IsStale(object)) {
+      // Under the MA family the system knows the data is stale
+      // (timestamp); under UU the staleness went undetected — the
+      // simulator still records it for the metrics, but the system
+      // cannot act on it.
+      RecordStaleRead(transaction, /*detected=*/timestamped);
+    }
+    return;
+  }
+  if (tracker_.IsStale(object)) {
+    RecordStaleRead(transaction);
+  }
+}
+
+bool System::UpdateCouldFreshen(const db::Update& update) const {
+  switch (config_.staleness) {
+    case db::StalenessCriterion::kMaxAge:
+    case db::StalenessCriterion::kCombined:
+      return simulator_->now() - update.generation_time < config_.alpha;
+    case db::StalenessCriterion::kMaxAgeArrival:
+      return simulator_->now() - update.arrival_time < config_.alpha;
+    case db::StalenessCriterion::kUnappliedUpdate:
+      return true;
+  }
+  return true;
+}
+
+void System::ResolveOdScan(txn::Transaction* transaction,
+                           db::ObjectId object) {
+  const std::optional<db::Update> candidate =
+      update_queue_.PeekNewestFor(object);
+  const bool usable = candidate.has_value() &&
+                      database_.IsWorthy(*candidate) &&
+                      UpdateCouldFreshen(*candidate);
+  if (usable) {
+    const double cost =
+        config_.x_update + QueueOpCostInstructions(update_queue_.size());
+    transaction->PushExtraStep(
+        {txn::Transaction::NextStep::Kind::kOdApply, cost, object});
+    return;
+  }
+  if (tracker_.IsStale(object)) {
+    RecordStaleRead(transaction);
+  }
+}
+
+void System::PerformOdApply(txn::Transaction* transaction,
+                            db::ObjectId object) {
+  const std::optional<db::Update> candidate =
+      update_queue_.PeekNewestFor(object);
+  const bool usable = candidate.has_value() &&
+                      database_.IsWorthy(*candidate) &&
+                      UpdateCouldFreshen(*candidate);
+  if (usable) {
+    const bool removed = update_queue_.Remove(*candidate);
+    STRIP_CHECK(removed);
+    tracker_.OnRemovedFromQueue(*candidate);
+    NoteUqLength();
+    InstallNow(*candidate, /*on_demand=*/true);
+    ++metrics_.updates_applied_on_demand;
+  }
+  if (tracker_.IsStale(object)) {
+    RecordStaleRead(transaction);
+  }
+}
+
+bool System::RecordStaleRead(txn::Transaction* transaction, bool detected) {
+  transaction->MarkStaleRead();
+  if (!config_.abort_on_stale || !detected) return false;
+  STRIP_CHECK(transaction == running_);
+  running_ = nullptr;
+  cpu_owner_ = CpuOwner::kIdle;
+  Terminate(transaction, txn::TxnOutcome::kStaleAbort);
+  ScheduleNext();
+  return true;
+}
+
+void System::PreemptRunningTxn() {
+  STRIP_CHECK(cpu_owner_ == CpuOwner::kTxn);
+  STRIP_CHECK(running_ != nullptr);
+  ChargeSegmentCpu();
+  const double executed = std::max(
+      0.0, (simulator_->now() - segment_start_) * config_.ips -
+               segment_extra_instructions_);
+  running_->ChargePartial(
+      std::min(executed, RemainingOfCurrentStep(*running_)));
+  simulator_->Cancel(completion_);
+  ready_.Add(running_);
+  running_ = nullptr;
+  cpu_owner_ = CpuOwner::kIdle;
+}
+
+void System::Commit(txn::Transaction* transaction) {
+  transaction->set_outcome(txn::TxnOutcome::kCommitted);
+  transaction->set_completion_time(simulator_->now());
+  if (observer_ != nullptr) {
+    observer_->OnTransactionTerminal(simulator_->now(), *transaction);
+  }
+  ++metrics_.txns_committed;
+  ++metrics_.txns_committed_by_class[static_cast<int>(transaction->cls())];
+  metrics_.value_committed_by_class[static_cast<int>(transaction->cls())] +=
+      transaction->value();
+  response_times_.Add(simulator_->now() - transaction->arrival_time());
+  if (transaction->read_stale_data()) {
+    ++metrics_.txns_committed_stale;
+  } else {
+    ++metrics_.txns_committed_fresh;
+  }
+  metrics_.value_committed += transaction->value();
+  auto it = live_txns_.find(transaction->id());
+  STRIP_CHECK(it != live_txns_.end());
+  simulator_->Cancel(it->second.deadline_event);
+  live_txns_.erase(it);
+}
+
+void System::Terminate(txn::Transaction* transaction,
+                       txn::TxnOutcome outcome) {
+  transaction->set_outcome(outcome);
+  transaction->set_completion_time(simulator_->now());
+  if (observer_ != nullptr) {
+    observer_->OnTransactionTerminal(simulator_->now(), *transaction);
+  }
+  switch (outcome) {
+    case txn::TxnOutcome::kMissedDeadline:
+      ++metrics_.txns_missed_deadline;
+      break;
+    case txn::TxnOutcome::kInfeasible:
+      ++metrics_.txns_infeasible;
+      break;
+    case txn::TxnOutcome::kStaleAbort:
+      ++metrics_.txns_stale_aborted;
+      break;
+    default:
+      STRIP_CHECK_MSG(false, "Terminate with non-terminal outcome");
+  }
+  auto it = live_txns_.find(transaction->id());
+  STRIP_CHECK(it != live_txns_.end());
+  simulator_->Cancel(it->second.deadline_event);
+  live_txns_.erase(it);
+}
+
+}  // namespace strip::core

@@ -1,0 +1,238 @@
+// The RTDB controller: ties the whole model together.
+//
+// Implements the conceptual architecture of Section 3.1 — a controller
+// process that multiplexes one simulated CPU between the single update
+// process and many transaction processes, under a pluggable scheduling
+// Policy (Section 4). It owns the database, the OS queue, the update
+// queue, the staleness tracker, the workload generators, and the
+// metrics collectors; one System instance models one run.
+//
+// Execution is event-driven: every update arrival, transaction arrival,
+// CPU segment completion, firm deadline, and MA expiry is a simulator
+// event. CPU work is charged in instructions and converted to simulated
+// seconds at `ips`; context-switch costs are charged to the activity
+// being started (2·x_switch when an arrival preempts a transaction to
+// receive an update, x_switch for ordinary process switches).
+//
+// Typical use:
+//   sim::Simulator simulator;
+//   core::Config config;                 // paper baseline
+//   config.policy = core::PolicyKind::kOnDemand;
+//   core::System system(&simulator, config, /*seed=*/1);
+//   core::RunMetrics metrics = system.Run();
+
+#ifndef STRIP_CORE_SYSTEM_H_
+#define STRIP_CORE_SYSTEM_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "core/config.h"
+#include "core/metrics.h"
+#include "core/observer.h"
+#include "core/policy.h"
+#include "db/database.h"
+#include "db/history_store.h"
+#include "db/os_queue.h"
+#include "db/staleness.h"
+#include "db/update_queue.h"
+#include "sim/random.h"
+#include "sim/simulator.h"
+#include "sim/stats.h"
+#include "txn/ready_queue.h"
+#include "txn/transaction.h"
+
+namespace strip::core {
+
+class System {
+ public:
+  // Wires the model onto `simulator` and schedules the first arrivals.
+  // `config` must validate; `seed` determines every random draw of the
+  // run. The simulator must outlive the System.
+  System(sim::Simulator* simulator, const Config& config,
+         std::uint64_t seed);
+
+  System(const System&) = delete;
+  System& operator=(const System&) = delete;
+
+  // Runs the simulation to config.sim_seconds and returns the metrics
+  // for the observation window (warm-up excluded). Callable once.
+  RunMetrics Run();
+
+  // Attaches an observer notified of discrete outcomes (transaction
+  // terminals, update installs/drops). Pass nullptr to detach. The
+  // observer must outlive the run.
+  void set_observer(SystemObserver* observer) { observer_ = observer; }
+
+  // External-workload injection (config.external_workload): delivers
+  // an arrival *at the current simulation time*. Call from simulator
+  // events scheduled at the desired arrival instants — e.g., the sinks
+  // of a workload::TraceReplay — before or during Run().
+  void InjectUpdate(const db::Update& update) { OnUpdateArrival(update); }
+  void InjectTransaction(const txn::Transaction::Params& params) {
+    OnTxnArrival(params);
+  }
+
+  // --- inspection (tests, examples) ---------------------------------------
+
+  const Config& config() const { return config_; }
+  const db::Database& database() const { return database_; }
+  const db::StalenessTracker& staleness() const { return tracker_; }
+  const db::UpdateQueue& update_queue() const { return update_queue_; }
+  const db::OsQueue& os_queue() const { return os_queue_; }
+  const Policy& policy() const { return *policy_; }
+  // Version history of installed values; nullptr unless
+  // config.history_depth > 0.
+  const db::HistoryStore* history() const { return history_.get(); }
+
+ private:
+  enum class CpuOwner { kIdle, kTxn, kUpdater };
+
+  // One unit of update-process work.
+  struct UpdaterJob {
+    enum class Kind {
+      kNone,
+      kTransferToQueue,  // OS queue head -> update queue
+      kInstallFromOs,    // OS queue head -> database (UF, SU-high)
+      kInstallFromUq,    // update queue (FIFO/LIFO) -> database
+    };
+    Kind kind = Kind::kNone;
+    db::Update update;
+    bool worthy = false;
+    double cost_instructions = 0;
+  };
+
+  struct LiveTxn {
+    std::unique_ptr<txn::Transaction> transaction;
+    sim::EventQueue::Handle deadline_event;
+  };
+
+  // --- arrival handlers -----------------------------------------------------
+  void OnUpdateArrival(const db::Update& update);
+  void OnTxnArrival(const txn::Transaction::Params& params);
+  void OnDeadline(std::uint64_t txn_id);
+
+  // --- the scheduler ---------------------------------------------------------
+  // Decides what runs next. Precondition: the CPU is idle.
+  void ScheduleNext();
+  UpdaterContext MakeUpdaterContext() const;
+
+  // --- update process --------------------------------------------------------
+  // Starts one updater job. `preempting` means an arrival just
+  // preempted a running transaction, which costs 2·x_switch charged to
+  // this job (otherwise an ordinary x_switch applies when the CPU
+  // changes process). Precondition: the CPU is idle and work exists.
+  void StartUpdaterJob(bool preempting);
+  UpdaterJob SelectUpdaterJob();
+  void OnUpdaterJobComplete();
+  // Installs `update` into the database with tracker bookkeeping.
+  void InstallNow(const db::Update& update, bool on_demand = false);
+  // Dedup extension: discards queued updates `update` supersedes.
+  // Returns false if `update` itself is superseded (and dropped).
+  bool DedupAgainstQueue(const db::Update& update);
+  // Drops updates whose generation age exceeds alpha from the update
+  // queue (free bookkeeping; see DESIGN.md).
+  void PurgeExpired();
+
+  // --- transaction processes ---------------------------------------------------
+  void StartTxnSegment(txn::Transaction* transaction);
+  // Schedules the running transaction's current step on the CPU;
+  // `extra_instructions` carries context-switch charges.
+  void ScheduleTxnStep(double extra_instructions);
+  void OnTxnSegmentComplete();
+  void HandleViewRead(txn::Transaction* transaction, db::ObjectId object);
+  void ResolveOdScan(txn::Transaction* transaction, db::ObjectId object);
+  void PerformOdApply(txn::Transaction* transaction, db::ObjectId object);
+  // Records a stale read; under abort-on-stale terminates the running
+  // transaction (only if the *system* detected the staleness — an
+  // undetected one is recorded for the metrics but cannot trigger an
+  // abort). Returns true if the transaction was aborted.
+  bool RecordStaleRead(txn::Transaction* transaction, bool detected = true);
+  // Can the transaction absorb `extra_instructions` of unplanned work
+  // (an OD queue search) and still meet its deadline?
+  bool CanAffordExtraWork(const txn::Transaction& transaction,
+                          double extra_instructions) const;
+  // Would installing `update` leave its object fresh under the active
+  // criterion?
+  bool UpdateCouldFreshen(const db::Update& update) const;
+  // Moves the running transaction back to the ready queue.
+  void PreemptRunningTxn();
+  void Commit(txn::Transaction* transaction);
+  // Removes a transaction from the system with the given outcome.
+  void Terminate(txn::Transaction* transaction, txn::TxnOutcome outcome);
+
+  // --- accounting --------------------------------------------------------------
+  // Charges the CPU interval [segment_start_, now] to the right bucket
+  // (clamped to the observation window).
+  void ChargeSegmentCpu();
+  // Instructions left in the transaction's current step (preemption /
+  // deadline clamp).
+  double RemainingOfCurrentStep(const txn::Transaction& t) const;
+  double ScanCostInstructions() const;
+  double QueueOpCostInstructions(std::size_t queue_size_after) const;
+  // Disk-residence extension: draws a buffer-pool outcome for one
+  // object lookup; returns the stall expressed in instructions (0 on a
+  // hit, and always 0 at the main-memory baseline).
+  double MaybeIoStallInstructions();
+  // Trigger extension: draws whether a database write fires a rule;
+  // returns the recomputation cost in instructions.
+  double MaybeTriggerInstructions();
+  void NoteUqLength();
+  void NoteOsLength();
+  void ResetObservation();
+  void Finalize(sim::Time end);
+
+  sim::Simulator* simulator_;
+  Config config_;
+  std::unique_ptr<Policy> policy_;
+  SystemObserver* observer_ = nullptr;
+  // Draws for the system-side stochastic extensions (buffer misses,
+  // trigger firings); independent of the workload streams.
+  sim::RandomStream system_random_;
+
+  db::Database database_;
+  db::StalenessTracker tracker_;
+  db::UpdateQueue update_queue_;
+  db::OsQueue os_queue_;
+  std::unique_ptr<db::HistoryStore> history_;
+  txn::ReadyQueue ready_;
+
+  std::unique_ptr<workload::UpdateStream> update_stream_;
+  std::unique_ptr<workload::TxnSource> txn_source_;
+
+  std::unordered_map<std::uint64_t, LiveTxn> live_txns_;
+
+  // CPU state.
+  CpuOwner cpu_owner_ = CpuOwner::kIdle;
+  txn::Transaction* running_ = nullptr;
+  UpdaterJob updater_job_;
+  sim::EventQueue::Handle completion_;
+  sim::Time segment_start_ = 0;
+  // Switch/receive charge embedded at the front of the current segment
+  // (not part of the activity's own work).
+  double segment_extra_instructions_ = 0;
+  bool segment_is_update_work_ = false;
+  // Last process that held the CPU, for x_switch charging:
+  // 0 = none, 1 = the update process, txn id + 1 otherwise.
+  std::uint64_t last_process_ = 0;
+
+  int os_pending_high_ = 0;
+  // Queue-removal cost of expiry purges, accrued as bookkeeping and
+  // charged to the update process's next CPU slice.
+  double purge_debt_instructions_ = 0;
+
+  // Metrics.
+  RunMetrics metrics_;
+  // Commit response times (completion − arrival).
+  sim::Histogram response_times_;
+  sim::Time observation_start_ = 0;
+  sim::TimeWeighted uq_length_;
+  sim::TimeWeighted os_length_;
+  std::uint64_t uq_length_max_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace strip::core
+
+#endif  // STRIP_CORE_SYSTEM_H_

@@ -1,0 +1,61 @@
+#include "core/trace_writer.h"
+
+#include "base/check.h"
+
+namespace strip::core {
+
+const char* DropReasonName(SystemObserver::DropReason reason) {
+  switch (reason) {
+    case SystemObserver::DropReason::kOsQueueFull:
+      return "os-full";
+    case SystemObserver::DropReason::kQueueOverflow:
+      return "queue-overflow";
+    case SystemObserver::DropReason::kExpired:
+      return "expired";
+    case SystemObserver::DropReason::kUnworthy:
+      return "unworthy";
+    case SystemObserver::DropReason::kSuperseded:
+      return "superseded";
+  }
+  return "?";
+}
+
+TraceWriter::TraceWriter(std::ostream* out, Options options)
+    : out_(out), options_(options) {
+  STRIP_CHECK(out != nullptr);
+  *out_ << "record,time,id,class,a,b,c,d,e\n";
+}
+
+void TraceWriter::OnTransactionTerminal(
+    sim::Time now, const txn::Transaction& transaction) {
+  if (!options_.transactions) return;
+  *out_ << "txn," << now << "," << transaction.id() << ","
+        << txn::TxnClassName(transaction.cls()) << ","
+        << transaction.value() << "," << transaction.arrival_time() << ","
+        << transaction.deadline() << ","
+        << txn::TxnOutcomeName(transaction.outcome()) << ","
+        << transaction.stale_reads() << "\n";
+  ++records_written_;
+}
+
+void TraceWriter::WriteUpdateRecord(sim::Time now, const db::Update& update,
+                                    const char* event) {
+  if (!options_.updates) return;
+  *out_ << "update," << now << "," << update.id << ","
+        << db::ObjectClassName(update.object.cls) << ","
+        << update.object.index << "," << update.generation_time << ","
+        << event << ",,\n";
+  ++records_written_;
+}
+
+void TraceWriter::OnUpdateInstalled(sim::Time now, const db::Update& update,
+                                    bool on_demand) {
+  WriteUpdateRecord(now, update, on_demand ? "installed-od" : "installed");
+}
+
+void TraceWriter::OnUpdateDropped(sim::Time now, const db::Update& update,
+                                  DropReason reason) {
+  WriteUpdateRecord(now, update, DropReasonName(reason));
+}
+
+}  // namespace strip::core

@@ -1,0 +1,55 @@
+// CSV trace of a run's discrete outcomes.
+//
+// Attach to a System (System::set_observer) before Run() to stream
+// per-transaction and per-update records to any std::ostream:
+//
+//   txn,<time>,<id>,<class>,<value>,<arrival>,<deadline>,<outcome>,<stale_reads>
+//   update,<time>,<id>,<class>,<index>,<generation>,<event>
+//
+// where <event> is installed / installed-od / a drop reason. Handy for
+// post-hoc latency and loss analysis outside the built-in metrics.
+
+#ifndef STRIP_CORE_TRACE_WRITER_H_
+#define STRIP_CORE_TRACE_WRITER_H_
+
+#include <cstdint>
+#include <ostream>
+
+#include "core/observer.h"
+
+namespace strip::core {
+
+class TraceWriter : public SystemObserver {
+ public:
+  // What to include in the trace.
+  struct Options {
+    bool transactions = true;
+    bool updates = false;  // 400/s of updates makes for large traces
+  };
+
+  // Writes CSV (with a header line) to `out`, which must outlive the
+  // writer.
+  explicit TraceWriter(std::ostream* out) : TraceWriter(out, Options()) {}
+  TraceWriter(std::ostream* out, Options options);
+
+  void OnTransactionTerminal(sim::Time now,
+                             const txn::Transaction& transaction) override;
+  void OnUpdateInstalled(sim::Time now, const db::Update& update,
+                         bool on_demand) override;
+  void OnUpdateDropped(sim::Time now, const db::Update& update,
+                       DropReason reason) override;
+
+  std::uint64_t records_written() const { return records_written_; }
+
+ private:
+  void WriteUpdateRecord(sim::Time now, const db::Update& update,
+                         const char* event);
+
+  std::ostream* out_;
+  Options options_;
+  std::uint64_t records_written_ = 0;
+};
+
+}  // namespace strip::core
+
+#endif  // STRIP_CORE_TRACE_WRITER_H_

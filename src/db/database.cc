@@ -1,0 +1,85 @@
+#include "db/database.h"
+
+#include <algorithm>
+
+#include "base/check.h"
+
+namespace strip::db {
+
+const char* ObjectClassName(ObjectClass cls) {
+  return cls == ObjectClass::kLowImportance ? "low" : "high";
+}
+
+Database::Database(int n_low, int n_high, int n_attributes)
+    : n_attributes_(n_attributes), low_(n_low), high_(n_high) {
+  STRIP_CHECK_MSG(n_low >= 0 && n_high >= 0, "negative partition size");
+  STRIP_CHECK_MSG(n_attributes >= 1, "need at least one attribute");
+  if (n_attributes_ > 1) {
+    for (auto* partition : {&low_, &high_}) {
+      for (Slot& slot : *partition) {
+        slot.attribute_generations.assign(n_attributes_, 0.0);
+      }
+    }
+  }
+}
+
+int Database::CheckedIndex(ObjectId id) const {
+  STRIP_CHECK_MSG(id.index >= 0 && id.index < size(id.cls),
+                  "object index out of range");
+  return id.index;
+}
+
+int Database::CheckedAttribute(const Update& update) const {
+  STRIP_CHECK_MSG(update.attribute >= 0 && update.attribute < n_attributes_,
+                  "attribute index out of range");
+  return update.attribute;
+}
+
+sim::Time Database::attribute_generation(ObjectId id, int attribute) const {
+  const Slot& slot = partition(id.cls)[CheckedIndex(id)];
+  if (n_attributes_ == 1) {
+    STRIP_CHECK_MSG(attribute == 0, "attribute index out of range");
+    return slot.generation_time;
+  }
+  STRIP_CHECK_MSG(attribute >= 0 && attribute < n_attributes_,
+                  "attribute index out of range");
+  return slot.attribute_generations[attribute];
+}
+
+bool Database::IsWorthy(const Update& update) const {
+  const Slot& slot = partition(update.object.cls)[CheckedIndex(update.object)];
+  if (n_attributes_ == 1 || update.attribute < 0) {
+    // Complete update: worthy if newer than the effective generation.
+    return update.generation_time > slot.generation_time;
+  }
+  return update.generation_time >
+         slot.attribute_generations[CheckedAttribute(update)];
+}
+
+bool Database::Apply(const Update& update) {
+  Slot& slot = partition(update.object.cls)[CheckedIndex(update.object)];
+  if (!IsWorthy(update)) {
+    ++skipped_writes_;
+    return false;
+  }
+  if (n_attributes_ == 1 || update.attribute < 0) {
+    // Complete update: every attribute refreshed at once.
+    slot.generation_time = update.generation_time;
+    if (n_attributes_ > 1) {
+      std::fill(slot.attribute_generations.begin(),
+                slot.attribute_generations.end(), update.generation_time);
+    }
+  } else {
+    slot.attribute_generations[CheckedAttribute(update)] =
+        update.generation_time;
+    // The object is only as fresh as its oldest attribute.
+    slot.generation_time =
+        *std::min_element(slot.attribute_generations.begin(),
+                          slot.attribute_generations.end());
+  }
+  slot.value = update.value;
+  ++writes_;
+  return true;
+}
+
+}  // namespace strip::db

@@ -1,0 +1,84 @@
+#include "db/derived.h"
+
+#include <algorithm>
+
+#include "base/check.h"
+
+namespace strip::db {
+
+int DerivedRegistry::Define(Definition definition) {
+  STRIP_CHECK_MSG(!definition.inputs.empty(),
+                  "derived object needs at least one input");
+  definitions_.push_back(std::move(definition));
+  return static_cast<int>(definitions_.size()) - 1;
+}
+
+const DerivedRegistry::Definition& DerivedRegistry::Get(int id) const {
+  STRIP_CHECK_MSG(id >= 0 && id < size(), "derived id out of range");
+  return definitions_[id];
+}
+
+bool DerivedRegistry::IsStale(int id,
+                              const StalenessTracker& tracker) const {
+  for (const ObjectId& input : Get(id).inputs) {
+    if (tracker.IsStale(input)) return true;
+  }
+  return false;
+}
+
+std::vector<ObjectId> DerivedRegistry::StaleInputs(
+    int id, const StalenessTracker& tracker) const {
+  std::vector<ObjectId> stale;
+  for (const ObjectId& input : Get(id).inputs) {
+    if (tracker.IsStale(input)) stale.push_back(input);
+  }
+  return stale;
+}
+
+sim::Time DerivedRegistry::EffectiveGeneration(
+    int id, const Database& database) const {
+  const Definition& def = Get(id);
+  sim::Time oldest = database.generation_time(def.inputs.front());
+  for (const ObjectId& input : def.inputs) {
+    oldest = std::min(oldest, database.generation_time(input));
+  }
+  return oldest;
+}
+
+double DerivedRegistry::Value(int id, const Database& database) const {
+  const Definition& def = Get(id);
+  double sum = 0;
+  double min = database.value(def.inputs.front());
+  double max = min;
+  for (const ObjectId& input : def.inputs) {
+    const double v = database.value(input);
+    sum += v;
+    min = std::min(min, v);
+    max = std::max(max, v);
+  }
+  switch (def.aggregation) {
+    case Aggregation::kAverage:
+      return sum / static_cast<double>(def.inputs.size());
+    case Aggregation::kSum:
+      return sum;
+    case Aggregation::kMin:
+      return min;
+    case Aggregation::kMax:
+      return max;
+  }
+  return sum;
+}
+
+std::vector<Update> DerivedRegistry::FresheningUpdates(
+    int id, const Database& database, const UpdateQueue& queue) const {
+  std::vector<Update> updates;
+  for (const ObjectId& input : Get(id).inputs) {
+    const std::optional<Update> newest = queue.PeekNewestFor(input);
+    if (newest.has_value() && database.IsWorthy(*newest)) {
+      updates.push_back(*newest);
+    }
+  }
+  return updates;
+}
+
+}  // namespace strip::db

@@ -1,0 +1,83 @@
+// Derived view objects: values computed from sets of base objects.
+//
+// The paper's conclusion (Section 7) discusses why On Demand breaks
+// down for derived data: "say a database object X represents the
+// average price of stocks in a particular portfolio. If a transaction
+// wants to read X, OD would have to figure out what updates in the
+// queue refer to stocks in the given portfolio, and then apply those."
+//
+// This registry provides exactly that mapping: a derived object is a
+// named aggregate over a set of base view objects, and the registry
+// answers the read-side questions a scheduler or application needs —
+// is the aggregate stale (any input stale), how old is it effectively
+// (its oldest input), what is its current value, and *which queued
+// updates would freshen it* (the OD question).
+//
+// Scheduling integration is deliberately left to the application (see
+// examples/portfolio_monitor.cpp): the paper itself treats derived
+// data as the boundary of OD's applicability.
+
+#ifndef STRIP_DB_DERIVED_H_
+#define STRIP_DB_DERIVED_H_
+
+#include <string>
+#include <vector>
+
+#include "db/database.h"
+#include "db/object.h"
+#include "db/staleness.h"
+#include "db/update.h"
+#include "db/update_queue.h"
+
+namespace strip::db {
+
+class DerivedRegistry {
+ public:
+  // How a derived object's value combines its inputs.
+  enum class Aggregation {
+    kAverage = 0,
+    kSum,
+    kMin,
+    kMax,
+  };
+
+  struct Definition {
+    std::string name;
+    Aggregation aggregation = Aggregation::kAverage;
+    std::vector<ObjectId> inputs;
+  };
+
+  // Registers a derived object; returns its id (dense, from 0).
+  // `inputs` must be non-empty.
+  int Define(Definition definition);
+
+  int size() const { return static_cast<int>(definitions_.size()); }
+  const Definition& Get(int id) const;
+
+  // A derived object is stale iff any input is stale under `tracker`.
+  bool IsStale(int id, const StalenessTracker& tracker) const;
+
+  // The inputs that are currently stale.
+  std::vector<ObjectId> StaleInputs(int id,
+                                    const StalenessTracker& tracker) const;
+
+  // Effective generation: the oldest input generation — the derived
+  // value is only as current as its least-recently-refreshed input.
+  sim::Time EffectiveGeneration(int id, const Database& database) const;
+
+  // Current aggregate value over the inputs' database values.
+  double Value(int id, const Database& database) const;
+
+  // The OD question: the queued updates that would freshen this
+  // derived object — for each input, the newest queued update that is
+  // worthier than the database's value. Ordered by input.
+  std::vector<Update> FresheningUpdates(int id, const Database& database,
+                                        const UpdateQueue& queue) const;
+
+ private:
+  std::vector<Definition> definitions_;
+};
+
+}  // namespace strip::db
+
+#endif  // STRIP_DB_DERIVED_H_

@@ -1,0 +1,42 @@
+// General (non-view) data: read and written only by transactions.
+//
+// The paper's model folds general-data access cost into transaction
+// computation time and general data never becomes stale (Section 3.2),
+// so the scheduling core does not touch this class. It exists so that
+// applications built on the library (see examples/) have a place for
+// derived data — composite indices, current holdings, call state — with
+// the same in-memory key/value flavour as the view partitions.
+
+#ifndef STRIP_DB_GENERAL_STORE_H_
+#define STRIP_DB_GENERAL_STORE_H_
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace strip::db {
+
+class GeneralStore {
+ public:
+  // Writes (inserts or overwrites) `key`.
+  void Put(const std::string& key, double value) { data_[key] = value; }
+
+  // Reads `key`; nullopt if absent.
+  std::optional<double> Get(const std::string& key) const {
+    auto it = data_.find(key);
+    if (it == data_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  // Removes `key`. Returns true if it was present.
+  bool Erase(const std::string& key) { return data_.erase(key) > 0; }
+
+  std::size_t size() const { return data_.size(); }
+
+ private:
+  std::unordered_map<std::string, double> data_;
+};
+
+}  // namespace strip::db
+
+#endif  // STRIP_DB_GENERAL_STORE_H_

@@ -1,0 +1,68 @@
+#include "db/history_store.h"
+
+#include "base/check.h"
+
+namespace strip::db {
+
+HistoryStore::HistoryStore(int n_low, int n_high, int depth)
+    : depth_(depth), low_(n_low), high_(n_high) {
+  STRIP_CHECK_MSG(depth >= 1, "history depth must be at least 1");
+  STRIP_CHECK_MSG(n_low >= 0 && n_high >= 0, "negative partition size");
+}
+
+const HistoryStore::Ring& HistoryStore::ring(ObjectId id) const {
+  return const_cast<HistoryStore*>(this)->ring(id);
+}
+
+HistoryStore::Ring& HistoryStore::ring(ObjectId id) {
+  auto& partition = id.cls == ObjectClass::kLowImportance ? low_ : high_;
+  STRIP_CHECK_MSG(
+      id.index >= 0 && id.index < static_cast<int>(partition.size()),
+      "object index out of range");
+  return partition[id.index];
+}
+
+void HistoryStore::Record(ObjectId id, sim::Time generation_time,
+                          double value) {
+  Ring& r = ring(id);
+  if (r.slots.empty()) r.slots.resize(depth_);
+  if (r.count > 0) {
+    const int newest = (r.next + depth_ - 1) % depth_;
+    STRIP_CHECK_MSG(generation_time >= r.slots[newest].generation_time,
+                    "history recorded out of generation order");
+  }
+  r.slots[r.next] = {generation_time, value};
+  r.next = (r.next + 1) % depth_;
+  if (r.count < depth_) ++r.count;
+  ++recorded_;
+}
+
+std::vector<HistoryStore::Version> HistoryStore::History(ObjectId id) const {
+  const Ring& r = ring(id);
+  std::vector<Version> versions;
+  versions.reserve(r.count);
+  // Oldest retained version sits `count` steps behind `next`.
+  int slot = (r.next + depth_ - r.count) % depth_;
+  for (int i = 0; i < r.count; ++i) {
+    versions.push_back(r.slots[slot]);
+    slot = (slot + 1) % depth_;
+  }
+  return versions;
+}
+
+std::optional<HistoryStore::Version> HistoryStore::AsOf(ObjectId id,
+                                                        sim::Time at) const {
+  const Ring& r = ring(id);
+  std::optional<Version> best;
+  int slot = (r.next + depth_ - r.count) % depth_;
+  for (int i = 0; i < r.count; ++i) {
+    const Version& v = r.slots[slot];
+    if (v.generation_time <= at) best = v;  // versions are in order
+    slot = (slot + 1) % depth_;
+  }
+  return best;
+}
+
+int HistoryStore::VersionCount(ObjectId id) const { return ring(id).count; }
+
+}  // namespace strip::db

@@ -1,0 +1,47 @@
+// Object identity for the view portion of the database.
+//
+// The paper's data model (Section 3.2) partitions the database into
+// view objects — refreshed only by the external update stream — and
+// general objects, which transactions read and write locally. View
+// objects are further split into a low-importance and a high-importance
+// partition; low-value transactions read low-importance objects and
+// high-value transactions read high-importance ones.
+
+#ifndef STRIP_DB_OBJECT_H_
+#define STRIP_DB_OBJECT_H_
+
+#include <cstddef>
+#include <functional>
+
+namespace strip::db {
+
+// Which view partition an object (or an update to it) belongs to.
+enum class ObjectClass {
+  kLowImportance = 0,
+  kHighImportance = 1,
+};
+
+inline constexpr int kNumObjectClasses = 2;
+
+// Printable name for diagnostics ("low" / "high").
+const char* ObjectClassName(ObjectClass cls);
+
+// Identifies one view object: a partition plus an index within it.
+struct ObjectId {
+  ObjectClass cls = ObjectClass::kLowImportance;
+  int index = 0;
+
+  friend bool operator==(const ObjectId&, const ObjectId&) = default;
+};
+
+// Hash functor so ObjectId can key unordered containers.
+struct ObjectIdHash {
+  std::size_t operator()(const ObjectId& id) const {
+    return std::hash<int>()(id.index * kNumObjectClasses +
+                            static_cast<int>(id.cls));
+  }
+};
+
+}  // namespace strip::db
+
+#endif  // STRIP_DB_OBJECT_H_

@@ -1,0 +1,32 @@
+#include "db/os_queue.h"
+
+#include "base/check.h"
+
+namespace strip::db {
+
+OsQueue::OsQueue(std::size_t max_size) : max_size_(max_size) {
+  STRIP_CHECK_MSG(max_size > 0, "OS queue bound must be positive");
+}
+
+bool OsQueue::Push(const Update& update) {
+  if (queue_.size() >= max_size_) {
+    ++overflow_drops_;
+    return false;
+  }
+  queue_.push_back(update);
+  return true;
+}
+
+std::optional<Update> OsQueue::Pop() {
+  if (queue_.empty()) return std::nullopt;
+  Update update = queue_.front();
+  queue_.pop_front();
+  return update;
+}
+
+std::optional<Update> OsQueue::Peek() const {
+  if (queue_.empty()) return std::nullopt;
+  return queue_.front();
+}
+
+}  // namespace strip::db

@@ -1,0 +1,50 @@
+// The kernel-side arrival queue (Figure 2, step 2).
+//
+// Updates arriving over the network sit in a small, bounded OS queue
+// until the controller actively receives them. Unlike the controller's
+// update queue, the OS queue offers only FIFO access — an application
+// can receive the next message but cannot search or reorder (Section
+// 3.3). Arrivals beyond the bound are dropped.
+
+#ifndef STRIP_DB_OS_QUEUE_H_
+#define STRIP_DB_OS_QUEUE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "db/update.h"
+
+namespace strip::db {
+
+class OsQueue {
+ public:
+  explicit OsQueue(std::size_t max_size);
+
+  // Enqueues an arriving update. Returns false (and drops it) if the
+  // queue is full.
+  bool Push(const Update& update);
+
+  // Receives the next update in arrival order, or nullopt if empty.
+  std::optional<Update> Pop();
+
+  // Next update in arrival order without removing it.
+  std::optional<Update> Peek() const;
+
+  std::size_t size() const { return queue_.size(); }
+  bool empty() const { return queue_.empty(); }
+  std::size_t max_size() const { return max_size_; }
+
+  // Lifetime count of arrivals dropped because the queue was full.
+  std::uint64_t overflow_drops() const { return overflow_drops_; }
+
+ private:
+  std::size_t max_size_;
+  std::deque<Update> queue_;
+  std::uint64_t overflow_drops_ = 0;
+};
+
+}  // namespace strip::db
+
+#endif  // STRIP_DB_OS_QUEUE_H_

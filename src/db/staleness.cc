@@ -1,0 +1,161 @@
+#include "db/staleness.h"
+
+#include "base/check.h"
+
+namespace strip::db {
+
+const char* StalenessCriterionName(StalenessCriterion criterion) {
+  switch (criterion) {
+    case StalenessCriterion::kMaxAge:
+      return "MA";
+    case StalenessCriterion::kUnappliedUpdate:
+      return "UU";
+    case StalenessCriterion::kCombined:
+      return "MA+UU";
+    case StalenessCriterion::kMaxAgeArrival:
+      return "MA-arrival";
+  }
+  return "?";
+}
+
+bool DetectableByTimestamp(StalenessCriterion criterion) {
+  return criterion == StalenessCriterion::kMaxAge ||
+         criterion == StalenessCriterion::kMaxAgeArrival;
+}
+
+StalenessTracker::StalenessTracker(sim::Simulator* simulator,
+                                   StalenessCriterion criterion,
+                                   sim::Duration max_age, int n_low,
+                                   int n_high)
+    : simulator_(simulator),
+      criterion_(criterion),
+      max_age_(max_age),
+      low_(n_low),
+      high_(n_high) {
+  STRIP_CHECK(simulator != nullptr);
+  if (UsesMaxAge()) {
+    STRIP_CHECK_MSG(max_age > 0, "max age must be positive under MA");
+  }
+  for (int c = 0; c < kNumObjectClasses; ++c) {
+    stale_fraction_[c].StartAt(simulator_->now(), 0.0);
+  }
+  if (UsesMaxAge()) {
+    // All objects start with generation time 0 and will expire at
+    // alpha unless refreshed first.
+    for (int i = 0; i < n_low; ++i) {
+      ScheduleExpiry({ObjectClass::kLowImportance, i});
+    }
+    for (int i = 0; i < n_high; ++i) {
+      ScheduleExpiry({ObjectClass::kHighImportance, i});
+    }
+  }
+}
+
+StalenessTracker::ObjectState& StalenessTracker::state(ObjectId id) {
+  auto& partition = id.cls == ObjectClass::kLowImportance ? low_ : high_;
+  STRIP_CHECK_MSG(
+      id.index >= 0 && id.index < static_cast<int>(partition.size()),
+      "object index out of range");
+  return partition[id.index];
+}
+
+const StalenessTracker::ObjectState& StalenessTracker::state(
+    ObjectId id) const {
+  return const_cast<StalenessTracker*>(this)->state(id);
+}
+
+bool StalenessTracker::ComputeStale(const ObjectState& s) const {
+  // >= so the flag flips exactly when the expiry event fires at
+  // freshness + max_age (the boundary itself has measure zero).
+  const bool ma_stale = simulator_->now() - s.freshness >= max_age_;
+  const bool uu_stale =
+      !s.queued.empty() && s.queued.rbegin()->first > s.db_generation;
+  switch (criterion_) {
+    case StalenessCriterion::kMaxAge:
+    case StalenessCriterion::kMaxAgeArrival:
+      return ma_stale;
+    case StalenessCriterion::kUnappliedUpdate:
+      return uu_stale;
+    case StalenessCriterion::kCombined:
+      return ma_stale || uu_stale;
+  }
+  return false;
+}
+
+void StalenessTracker::Refresh(ObjectId id) {
+  ObjectState& s = state(id);
+  const bool now_stale = ComputeStale(s);
+  if (now_stale == s.stale) return;
+  s.stale = now_stale;
+  sim::TimeWeighted& signal = stale_fraction_[static_cast<int>(id.cls)];
+  signal.Set(simulator_->now(), signal.value() + (now_stale ? 1.0 : -1.0));
+}
+
+void StalenessTracker::ScheduleExpiry(ObjectId id) {
+  ObjectState& s = state(id);
+  simulator_->Cancel(s.expiry);
+  const sim::Time expiry_time = s.freshness + max_age_;
+  if (expiry_time <= simulator_->now()) {
+    // Already older than alpha — stale immediately; no event needed.
+    Refresh(id);
+    return;
+  }
+  s.expiry =
+      simulator_->ScheduleAt(expiry_time, [this, id] { Refresh(id); });
+}
+
+void StalenessTracker::ResetObservation() {
+  for (int c = 0; c < kNumObjectClasses; ++c) {
+    const double current = stale_fraction_[c].value();
+    stale_fraction_[c].StartAt(simulator_->now(), current);
+  }
+}
+
+void StalenessTracker::OnApply(ObjectId id, sim::Time generation_time,
+                               sim::Time arrival_time) {
+  ObjectState& s = state(id);
+  STRIP_CHECK_MSG(generation_time >= s.db_generation,
+                  "database generation moved backwards");
+  s.db_generation = generation_time;
+  s.freshness = criterion_ == StalenessCriterion::kMaxAgeArrival
+                    ? arrival_time
+                    : generation_time;
+  if (UsesMaxAge()) {
+    ScheduleExpiry(id);
+  }
+  Refresh(id);
+}
+
+void StalenessTracker::OnEnqueued(const Update& update) {
+  ObjectState& s = state(update.object);
+  s.queued.insert({update.generation_time, update.id});
+  Refresh(update.object);
+}
+
+void StalenessTracker::OnRemovedFromQueue(const Update& update) {
+  ObjectState& s = state(update.object);
+  const auto erased = s.queued.erase({update.generation_time, update.id});
+  STRIP_CHECK_MSG(erased == 1, "removed update was not tracked as queued");
+  Refresh(update.object);
+}
+
+bool StalenessTracker::IsStale(ObjectId id) const {
+  return ComputeStale(state(id));
+}
+
+double StalenessTracker::FractionStaleNow(ObjectClass cls) const {
+  const auto& partition = cls == ObjectClass::kLowImportance ? low_ : high_;
+  if (partition.empty()) return 0.0;
+  return stale_fraction_[static_cast<int>(cls)].value() /
+         static_cast<double>(partition.size());
+}
+
+double StalenessTracker::FractionStaleAverage(ObjectClass cls,
+                                              sim::Time end) const {
+  const auto& partition = cls == ObjectClass::kLowImportance ? low_ : high_;
+  if (partition.empty()) return 0.0;
+  return stale_fraction_[static_cast<int>(cls)].Average(end) /
+         static_cast<double>(partition.size());
+}
+
+}  // namespace strip::db

@@ -1,0 +1,145 @@
+// Staleness criteria and exact stale-set tracking.
+//
+// The paper defines two criteria (Section 2):
+//
+//  - Maximum Age (MA): an object is stale when the age of its current
+//    value — now minus its generation timestamp — exceeds a maximum
+//    age alpha. Even an unchanged object goes stale if not refreshed.
+//  - Unapplied Update (UU): an object is fresh unless the update queue
+//    holds an update for it that is newer than the database value.
+//    (The strict reading — "any unapplied update in the queue" —
+//    would count an object as stale even when the database already
+//    holds a newer value than everything queued for it, e.g. after a
+//    LIFO install; we use the semantic reading, and the worthiness
+//    check discards such worthless queued updates when popped.)
+//  - Combined (extension, sketched in Section 2): stale under either.
+//
+// The tracker maintains the stale set *event-wise*: every database
+// write, queue insert/remove, and MA expiry updates a per-object flag
+// and a time-weighted stale count, so the staleness fraction f_old of
+// Section 3.5 is an exact integral rather than a sampled estimate.
+
+#ifndef STRIP_DB_STALENESS_H_
+#define STRIP_DB_STALENESS_H_
+
+#include <set>
+#include <vector>
+
+#include "db/object.h"
+#include "db/update.h"
+#include "sim/simulator.h"
+#include "sim/stats.h"
+
+namespace strip::db {
+
+enum class StalenessCriterion {
+  kMaxAge = 0,
+  kUnappliedUpdate = 1,
+  kCombined = 2,
+  // Section 2's variation: "in the MA staleness definition we could
+  // replace generation time by arrival time" — an object is stale when
+  // the *arrival* of its current value is older than alpha, i.e.,
+  // every object should receive an update at least every alpha
+  // seconds, regardless of network aging.
+  kMaxAgeArrival = 3,
+};
+
+// Printable name ("MA" / "UU" / "MA+UU" / "MA-arrival").
+const char* StalenessCriterionName(StalenessCriterion criterion);
+
+// True if staleness under `criterion` can be checked from the object's
+// timestamp alone (no update-queue search needed): the MA family.
+bool DetectableByTimestamp(StalenessCriterion criterion);
+
+class StalenessTracker {
+ public:
+  // `max_age` is alpha; it is ignored under kUnappliedUpdate. All
+  // objects start fresh with generation time 0 (matching Database's
+  // initial state). The tracker schedules its own MA expiry events on
+  // `simulator`, which must outlive it.
+  StalenessTracker(sim::Simulator* simulator, StalenessCriterion criterion,
+                   sim::Duration max_age, int n_low, int n_high);
+
+  StalenessTracker(const StalenessTracker&) = delete;
+  StalenessTracker& operator=(const StalenessTracker&) = delete;
+
+  // Restarts the time-weighted statistics at the current simulation
+  // time, carrying the current stale set forward. Used to exclude a
+  // warm-up period.
+  void ResetObservation();
+
+  // The database wrote `id` with generation time `generation_time`;
+  // the installed update arrived at `arrival_time` (used by the
+  // arrival-based MA criterion). The two-argument form treats the
+  // value as arriving the moment it was generated.
+  void OnApply(ObjectId id, sim::Time generation_time,
+               sim::Time arrival_time);
+  void OnApply(ObjectId id, sim::Time generation_time) {
+    OnApply(id, generation_time, generation_time);
+  }
+
+  // `update` entered the controller's update queue.
+  void OnEnqueued(const Update& update);
+
+  // `update` left the update queue (installed, expired, or evicted).
+  void OnRemovedFromQueue(const Update& update);
+
+  // Is the object stale right now, under this tracker's criterion?
+  bool IsStale(ObjectId id) const;
+
+  // Number of currently stale objects in a partition.
+  int StaleCount(ObjectClass cls) const {
+    return static_cast<int>(stale_fraction_[static_cast<int>(cls)].value());
+  }
+
+  // Fraction of the partition currently stale.
+  double FractionStaleNow(ObjectClass cls) const;
+
+  // Time-averaged stale fraction over [observation start, end] — the
+  // paper's f_old_l / f_old_h.
+  double FractionStaleAverage(ObjectClass cls, sim::Time end) const;
+
+  StalenessCriterion criterion() const { return criterion_; }
+  sim::Duration max_age() const { return max_age_; }
+
+ private:
+  struct ObjectState {
+    sim::Time db_generation = 0;
+    // The timestamp MA-style aging runs on: the generation time, or
+    // the arrival time under kMaxAgeArrival.
+    sim::Time freshness = 0;
+    // Generation times of this object's queued updates (multiset-like:
+    // ties broken by update id).
+    std::set<std::pair<sim::Time, std::uint64_t>> queued;
+    sim::EventQueue::Handle expiry;
+    bool stale = false;
+  };
+
+  ObjectState& state(ObjectId id);
+  const ObjectState& state(ObjectId id) const;
+
+  bool ComputeStale(const ObjectState& s) const;
+
+  // Re-evaluates one object's flag and folds any change into the
+  // stale-count signal.
+  void Refresh(ObjectId id);
+
+  // (Re)schedules the MA expiry event for one object.
+  void ScheduleExpiry(ObjectId id);
+
+  bool UsesMaxAge() const {
+    return criterion_ != StalenessCriterion::kUnappliedUpdate;
+  }
+
+  sim::Simulator* simulator_;
+  StalenessCriterion criterion_;
+  sim::Duration max_age_;
+  std::vector<ObjectState> low_;
+  std::vector<ObjectState> high_;
+  // Stale *count* per class, integrated over time.
+  sim::TimeWeighted stale_fraction_[kNumObjectClasses];
+};
+
+}  // namespace strip::db
+
+#endif  // STRIP_DB_STALENESS_H_

@@ -1,0 +1,99 @@
+#include "db/update_queue.h"
+
+#include <utility>
+
+#include "base/check.h"
+
+namespace strip::db {
+
+UpdateQueue::UpdateQueue(std::size_t max_size) : max_size_(max_size) {
+  STRIP_CHECK_MSG(max_size > 0, "update queue bound must be positive");
+}
+
+Update UpdateQueue::Extract(std::map<Key, Update>::iterator it) {
+  STRIP_CHECK(it != by_generation_.end());
+  Update update = it->second;
+  auto obj_it = by_object_.find(update.object);
+  STRIP_CHECK_MSG(obj_it != by_object_.end(), "object index out of sync");
+  obj_it->second.erase(it->first);
+  if (obj_it->second.empty()) by_object_.erase(obj_it);
+  by_class_[static_cast<int>(update.object.cls)].erase(it->first);
+  by_generation_.erase(it);
+  return update;
+}
+
+std::vector<Update> UpdateQueue::Push(const Update& update) {
+  const auto [it, inserted] = by_generation_.emplace(KeyFor(update), update);
+  STRIP_CHECK_MSG(inserted, "duplicate update id pushed");
+  by_object_[update.object].insert(it->first);
+  by_class_[static_cast<int>(update.object.cls)].insert(it->first);
+  std::vector<Update> evicted;
+  while (by_generation_.size() > max_size_) {
+    evicted.push_back(Extract(by_generation_.begin()));
+    ++overflow_drops_;
+  }
+  return evicted;
+}
+
+std::optional<Update> UpdateQueue::PopOldest() {
+  if (by_generation_.empty()) return std::nullopt;
+  return Extract(by_generation_.begin());
+}
+
+std::optional<Update> UpdateQueue::PopNewest() {
+  if (by_generation_.empty()) return std::nullopt;
+  return Extract(std::prev(by_generation_.end()));
+}
+
+std::optional<Update> UpdateQueue::PopOldestOfClass(ObjectClass cls) {
+  const std::set<Key>& keys = by_class_[static_cast<int>(cls)];
+  if (keys.empty()) return std::nullopt;
+  return Extract(by_generation_.find(*keys.begin()));
+}
+
+std::optional<Update> UpdateQueue::PopNewestOfClass(ObjectClass cls) {
+  const std::set<Key>& keys = by_class_[static_cast<int>(cls)];
+  if (keys.empty()) return std::nullopt;
+  return Extract(by_generation_.find(*keys.rbegin()));
+}
+
+std::vector<Update> UpdateQueue::PurgeGeneratedBefore(sim::Time cutoff) {
+  std::vector<Update> purged;
+  while (!by_generation_.empty() &&
+         by_generation_.begin()->first.first < cutoff) {
+    purged.push_back(Extract(by_generation_.begin()));
+  }
+  return purged;
+}
+
+std::optional<Update> UpdateQueue::PeekNewestFor(ObjectId object) const {
+  auto it = by_object_.find(object);
+  if (it == by_object_.end()) return std::nullopt;
+  STRIP_CHECK(!it->second.empty());
+  auto found = by_generation_.find(*it->second.rbegin());
+  STRIP_CHECK_MSG(found != by_generation_.end(), "object index out of sync");
+  return found->second;
+}
+
+bool UpdateQueue::Remove(const Update& update) {
+  auto it = by_generation_.find(KeyFor(update));
+  if (it == by_generation_.end()) return false;
+  Extract(it);
+  return true;
+}
+
+bool UpdateQueue::HasUpdateFor(ObjectId object) const {
+  return by_object_.find(object) != by_object_.end();
+}
+
+sim::Time UpdateQueue::OldestGeneration() const {
+  STRIP_CHECK_MSG(!empty(), "OldestGeneration on empty queue");
+  return by_generation_.begin()->first.first;
+}
+
+sim::Time UpdateQueue::NewestGeneration() const {
+  STRIP_CHECK_MSG(!empty(), "NewestGeneration on empty queue");
+  return std::prev(by_generation_.end())->first.first;
+}
+
+}  // namespace strip::db

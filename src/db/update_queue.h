@@ -1,0 +1,111 @@
+// The controller's update queue (Figure 2, step 3).
+//
+// Unapplied updates wait here, ordered by *generation* time — not
+// arrival time — so the system can install in generation order despite
+// network jitter and can discard expired updates from the front in
+// O(1) amortized (Section 3.3). The queue is bounded: pushing beyond
+// `max_size` evicts the oldest-generation entries (Section 4.2).
+//
+// Removal supports both queueing disciplines the paper studies:
+// PopOldest (FIFO) and PopNewest (LIFO), plus the per-object access
+// needed by the On Demand policy (PeekNewestFor / Remove).
+//
+// Implementation note: a per-object index is always maintained so that
+// PeekNewestFor is cheap in wall-clock time. The *simulated* cost of a
+// scan is charged separately by the controller (x_scan · queue size for
+// the plain queue of the paper, constant for the hash-indexed extension
+// of Sections 4.2/4.4); the data structure itself is cost-model
+// agnostic.
+
+#ifndef STRIP_DB_UPDATE_QUEUE_H_
+#define STRIP_DB_UPDATE_QUEUE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "db/object.h"
+#include "db/update.h"
+#include "sim/sim_time.h"
+
+namespace strip::db {
+
+class UpdateQueue {
+ public:
+  // A queue holding at most `max_size` updates.
+  explicit UpdateQueue(std::size_t max_size);
+
+  // Inserts `update`, evicting oldest-generation entries if the queue
+  // would exceed its bound. Returns the evicted updates (usually empty;
+  // possibly containing `update` itself if it is older than everything
+  // in a full queue).
+  std::vector<Update> Push(const Update& update);
+
+  // Removes and returns the oldest-generation update (FIFO service).
+  std::optional<Update> PopOldest();
+
+  // Removes and returns the newest-generation update (LIFO service).
+  std::optional<Update> PopNewest();
+
+  // Class-filtered variants, for split-importance queue service (the
+  // TF enhancement sketched in Section 4.2): oldest / newest update
+  // targeting the given partition, or nullopt if none is queued.
+  std::optional<Update> PopOldestOfClass(ObjectClass cls);
+  std::optional<Update> PopNewestOfClass(ObjectClass cls);
+
+  // Number of queued updates targeting the given partition.
+  std::size_t SizeOfClass(ObjectClass cls) const {
+    return by_class_[static_cast<int>(cls)].size();
+  }
+
+  // Removes and returns every update with generation_time < cutoff
+  // (expired under Maximum Age). Ordered oldest first.
+  std::vector<Update> PurgeGeneratedBefore(sim::Time cutoff);
+
+  // Newest queued update for `object`, if any. Does not remove it.
+  std::optional<Update> PeekNewestFor(ObjectId object) const;
+
+  // Removes the specific update identified by `update.id`. Returns
+  // true if it was present.
+  bool Remove(const Update& update);
+
+  // True if any update for `object` is queued.
+  bool HasUpdateFor(ObjectId object) const;
+
+  std::size_t size() const { return by_generation_.size(); }
+  bool empty() const { return by_generation_.empty(); }
+  std::size_t max_size() const { return max_size_; }
+
+  // Generation time of the oldest / newest queued update.
+  // Precondition: !empty().
+  sim::Time OldestGeneration() const;
+  sim::Time NewestGeneration() const;
+
+  // Lifetime eviction count (overflow drops).
+  std::uint64_t overflow_drops() const { return overflow_drops_; }
+
+ private:
+  // Orders by generation time, then by creation id for determinism.
+  using Key = std::pair<sim::Time, std::uint64_t>;
+
+  static Key KeyFor(const Update& u) { return {u.generation_time, u.id}; }
+
+  Update Extract(std::map<Key, Update>::iterator it);
+
+  std::size_t max_size_;
+  std::map<Key, Update> by_generation_;
+  // Per-object secondary index: keys of this object's queued updates,
+  // ordered so rbegin() is the newest.
+  std::unordered_map<ObjectId, std::set<Key>, ObjectIdHash> by_object_;
+  // Per-class secondary index, same ordering.
+  std::set<Key> by_class_[kNumObjectClasses];
+  std::uint64_t overflow_drops_ = 0;
+};
+
+}  // namespace strip::db
+
+#endif  // STRIP_DB_UPDATE_QUEUE_H_

@@ -1,0 +1,76 @@
+#include "exp/analysis.h"
+
+#include <cmath>
+
+#include "base/check.h"
+
+namespace strip::exp {
+
+double PredictedUpdateDemand(const core::Config& config) {
+  return config.lambda_u * (config.x_lookup + config.x_update) /
+         config.ips;
+}
+
+double PredictedTransactionDemand(const core::Config& config) {
+  const double per_txn_seconds =
+      config.comp_mean +
+      config.reads_mean * config.x_lookup / config.ips;
+  return config.lambda_t * per_txn_seconds;
+}
+
+double PredictedSaturationLambdaT(const core::Config& config) {
+  const double headroom = 1.0 - PredictedUpdateDemand(config);
+  const double per_txn_seconds =
+      config.comp_mean +
+      config.reads_mean * config.x_lookup / config.ips;
+  STRIP_CHECK_MSG(per_txn_seconds > 0, "degenerate transaction length");
+  return headroom / per_txn_seconds;
+}
+
+double PredictedStalenessFloor(const core::Config& config,
+                               db::ObjectClass cls) {
+  const bool low = cls == db::ObjectClass::kLowImportance;
+  const double p_class = low ? config.p_ul : 1.0 - config.p_ul;
+  const int n = low ? config.n_low : config.n_high;
+  if (p_class <= 0) return 1.0;  // never refreshed: always stale
+  const double lambda_object =
+      config.lambda_u * p_class / static_cast<double>(n);
+  return std::exp(-lambda_object * config.alpha);
+}
+
+double PredictedFreshTxnProbability(const core::Config& config) {
+  // The read count is Normal(reads_mean, reads_sd), rounded, clamped
+  // at 0. Take the expectation of the all-fresh probability over
+  // r = 0..r_max, weighting by the rounded-normal pmf; each read is
+  // fresh with probability (1 - floor) of its class's partition, and
+  // the class split is p_tl / 1-p_tl.
+  const double floor_low =
+      PredictedStalenessFloor(config, db::ObjectClass::kLowImportance);
+  const double floor_high =
+      PredictedStalenessFloor(config, db::ObjectClass::kHighImportance);
+
+  auto normal_cdf = [&](double x) {
+    if (config.reads_sd == 0) return x >= config.reads_mean ? 1.0 : 0.0;
+    return 0.5 * std::erfc(-(x - config.reads_mean) /
+                           (config.reads_sd * std::sqrt(2.0)));
+  };
+  const int r_max =
+      static_cast<int>(config.reads_mean + 8 * config.reads_sd) + 1;
+
+  double expectation = 0;
+  double total_mass = 0;
+  for (int r = 0; r <= r_max; ++r) {
+    // Mass of the rounded normal at r (r = 0 absorbs the clamp).
+    const double lo = r == 0 ? -1e30 : r - 0.5;
+    const double mass = normal_cdf(r + 0.5) - normal_cdf(lo);
+    const double fresh_given_low = std::pow(1.0 - floor_low, r);
+    const double fresh_given_high = std::pow(1.0 - floor_high, r);
+    expectation += mass * (config.p_tl * fresh_given_low +
+                           (1.0 - config.p_tl) * fresh_given_high);
+    total_mass += mass;
+  }
+  if (total_mass <= 0) return 1.0;
+  return expectation / total_mass;
+}
+
+}  // namespace strip::exp

@@ -1,0 +1,52 @@
+// First-order analytical predictions for the model.
+//
+// Several of the paper's observations have closed forms under the
+// baseline assumptions (Poisson arrivals, exponential network ages):
+// the update stream's CPU demand, the offered transaction load, and
+// the staleness floor that even Update First cannot beat. These are
+// used to cross-validate the simulator (tests/exp/analysis_test.cc
+// checks simulation against prediction) and to size experiments
+// without running them.
+
+#ifndef STRIP_EXP_ANALYSIS_H_
+#define STRIP_EXP_ANALYSIS_H_
+
+#include "core/config.h"
+#include "db/object.h"
+
+namespace strip::exp {
+
+// CPU fraction demanded by installing the entire update stream
+// (lambda_u installs of x_lookup + x_update): the rho_u of a policy
+// that installs everything, e.g. UF at any load (Figure 3b's flat
+// line, ~0.192 at the baseline).
+double PredictedUpdateDemand(const core::Config& config);
+
+// CPU fraction demanded by the offered transaction load (computation
+// plus view-read lookups), ignoring losses: where this exceeds
+// 1 - PredictedUpdateDemand, the system is overloaded (the paper's
+// saturation at lambda_t ~ 10).
+double PredictedTransactionDemand(const core::Config& config);
+
+// The lambda_t at which total demand reaches 1 (the saturation knee).
+double PredictedSaturationLambdaT(const core::Config& config);
+
+// The Maximum Age staleness floor for a partition: with per-object
+// Poisson refreshes at rate lambda_obj = lambda_u · p_class / N_class,
+// the stationary probability that an object's current value is older
+// than alpha is exp(-lambda_obj · alpha) — the staleness UF converges
+// to no matter how fast it installs (Figure 5's UF line, ~0.061 at
+// the baseline).
+double PredictedStalenessFloor(const core::Config& config,
+                               db::ObjectClass cls);
+
+// Probability that a transaction's whole read set is fresh when the
+// per-object stale fraction sits at the floor: the expectation of
+// (1 - floor)^R over the read-count distribution (Normal, rounded,
+// clamped at 0). This bounds p_success at light load (~0.89 at the
+// baseline — the reason Figure 6a starts below 1).
+double PredictedFreshTxnProbability(const core::Config& config);
+
+}  // namespace strip::exp
+
+#endif  // STRIP_EXP_ANALYSIS_H_

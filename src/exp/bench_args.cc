@@ -1,0 +1,56 @@
+#include "exp/bench_args.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace strip::exp {
+
+namespace {
+
+bool ConsumePrefix(const char* arg, const char* prefix,
+                   const char** rest) {
+  const std::size_t len = std::strlen(prefix);
+  if (std::strncmp(arg, prefix, len) != 0) return false;
+  *rest = arg + len;
+  return true;
+}
+
+[[noreturn]] void Usage(const char* program) {
+  std::fprintf(stderr,
+               "usage: %s [--seconds=S] [--reps=N] [--seed=S] "
+               "[--threads=N] [--csv] [--full]\n",
+               program);
+  std::exit(2);
+}
+
+}  // namespace
+
+BenchArgs BenchArgs::Parse(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    const char* rest = nullptr;
+    if (ConsumePrefix(arg, "--seconds=", &rest)) {
+      args.seconds = std::atof(rest);
+    } else if (ConsumePrefix(arg, "--reps=", &rest)) {
+      args.replications = std::atoi(rest);
+    } else if (ConsumePrefix(arg, "--seed=", &rest)) {
+      args.seed = std::strtoull(rest, nullptr, 10);
+    } else if (ConsumePrefix(arg, "--threads=", &rest)) {
+      args.threads = std::atoi(rest);
+    } else if (std::strcmp(arg, "--csv") == 0) {
+      args.csv = true;
+    } else if (std::strcmp(arg, "--full") == 0) {
+      args.seconds = 1000.0;
+      args.replications = 3;
+    } else {
+      Usage(argv[0]);
+    }
+  }
+  if (args.seconds <= 0 || args.replications <= 0) Usage(argv[0]);
+  return args;
+}
+
+}  // namespace strip::exp

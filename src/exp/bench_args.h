@@ -1,0 +1,40 @@
+// Shared command-line handling for the per-figure bench binaries.
+//
+// Every figure binary accepts:
+//   --seconds=<double>   simulated seconds per run (default 200)
+//   --reps=<int>         replications (seeds) per cell (default 2)
+//   --seed=<uint64>      base seed (default 42)
+//   --threads=<int>      worker threads (default: hardware)
+//   --csv                also emit CSV blocks after each table
+//   --full               paper scale: 1000 simulated seconds, 3 reps
+//
+// The defaults trade a little precision for wall time so the whole
+// bench suite finishes in minutes; --full reproduces the paper's
+// 1000-second runs exactly.
+
+#ifndef STRIP_EXP_BENCH_ARGS_H_
+#define STRIP_EXP_BENCH_ARGS_H_
+
+#include <cstdint>
+
+#include "core/config.h"
+
+namespace strip::exp {
+
+struct BenchArgs {
+  double seconds = 200.0;
+  int replications = 2;
+  std::uint64_t seed = 42;
+  int threads = 0;
+  bool csv = false;
+
+  // Parses argv; exits with a usage message on unknown flags.
+  static BenchArgs Parse(int argc, char** argv);
+
+  // Applies run length to a config.
+  void ApplyTo(core::Config& config) const { config.sim_seconds = seconds; }
+};
+
+}  // namespace strip::exp
+
+#endif  // STRIP_EXP_BENCH_ARGS_H_

@@ -1,0 +1,266 @@
+#include "exp/config_flags.h"
+
+#include <cstdlib>
+#include <functional>
+#include <sstream>
+
+namespace strip::exp {
+
+namespace {
+
+using core::Config;
+using core::PolicyKind;
+using core::QueueDiscipline;
+
+struct FlagDef {
+  const char* name;
+  // Parses `value` into the config; returns false on a bad value.
+  std::function<bool(const std::string&, Config&)> parse;
+  // Renders the current value.
+  std::function<std::string(const Config&)> render;
+};
+
+bool ParseDouble(const std::string& s, double* out) {
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end == s.c_str() || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+bool ParseInt(const std::string& s, int* out) {
+  char* end = nullptr;
+  const long v = std::strtol(s.c_str(), &end, 10);
+  if (end == s.c_str() || *end != '\0') return false;
+  *out = static_cast<int>(v);
+  return true;
+}
+
+bool ParseBool(const std::string& s, bool* out) {
+  if (s == "true" || s == "1" || s == "TRUE" || s == "on") {
+    *out = true;
+    return true;
+  }
+  if (s == "false" || s == "0" || s == "FALSE" || s == "off") {
+    *out = false;
+    return true;
+  }
+  return false;
+}
+
+std::string Render(double v) {
+  std::ostringstream out;
+  out << v;
+  return out.str();
+}
+std::string Render(int v) { return std::to_string(v); }
+std::string Render(bool v) { return v ? "true" : "false"; }
+
+FlagDef DoubleFlag(const char* name, double Config::* field) {
+  return {name,
+          [field](const std::string& s, Config& c) {
+            return ParseDouble(s, &(c.*field));
+          },
+          [field](const Config& c) { return Render(c.*field); }};
+}
+
+FlagDef IntFlag(const char* name, int Config::* field) {
+  return {name,
+          [field](const std::string& s, Config& c) {
+            return ParseInt(s, &(c.*field));
+          },
+          [field](const Config& c) { return Render(c.*field); }};
+}
+
+FlagDef BoolFlag(const char* name, bool Config::* field) {
+  return {name,
+          [field](const std::string& s, Config& c) {
+            return ParseBool(s, &(c.*field));
+          },
+          [field](const Config& c) { return Render(c.*field); }};
+}
+
+const std::vector<FlagDef>& Flags() {
+  static const std::vector<FlagDef>& flags = *new std::vector<FlagDef>{
+      // Table 1
+      DoubleFlag("lambda_u", &Config::lambda_u),
+      DoubleFlag("p_ul", &Config::p_ul),
+      DoubleFlag("a_update", &Config::a_update),
+      IntFlag("n_low", &Config::n_low),
+      IntFlag("n_high", &Config::n_high),
+      // Table 2
+      DoubleFlag("lambda_t", &Config::lambda_t),
+      DoubleFlag("p_tl", &Config::p_tl),
+      DoubleFlag("s_min", &Config::s_min),
+      DoubleFlag("s_max", &Config::s_max),
+      DoubleFlag("v_low_mean", &Config::v_low_mean),
+      DoubleFlag("v_high_mean", &Config::v_high_mean),
+      DoubleFlag("v_low_sd", &Config::v_low_sd),
+      DoubleFlag("v_high_sd", &Config::v_high_sd),
+      DoubleFlag("reads_mean", &Config::reads_mean),
+      DoubleFlag("reads_sd", &Config::reads_sd),
+      DoubleFlag("alpha", &Config::alpha),
+      DoubleFlag("comp_mean", &Config::comp_mean),
+      DoubleFlag("comp_sd", &Config::comp_sd),
+      DoubleFlag("p_view", &Config::p_view),
+      // Table 3
+      DoubleFlag("ips", &Config::ips),
+      DoubleFlag("x_lookup", &Config::x_lookup),
+      DoubleFlag("x_update", &Config::x_update),
+      DoubleFlag("x_switch", &Config::x_switch),
+      DoubleFlag("x_queue", &Config::x_queue),
+      DoubleFlag("x_scan", &Config::x_scan),
+      IntFlag("os_max", &Config::os_max),
+      IntFlag("uq_max", &Config::uq_max),
+      BoolFlag("feasible_deadline", &Config::feasible_deadline),
+      BoolFlag("txn_preemption", &Config::txn_preemption),
+      {"queue_discipline",
+       [](const std::string& s, Config& c) {
+         if (s == "FIFO") {
+           c.queue_discipline = QueueDiscipline::kFifo;
+         } else if (s == "LIFO") {
+           c.queue_discipline = QueueDiscipline::kLifo;
+         } else {
+           return false;
+         }
+         return true;
+       },
+       [](const Config& c) {
+         return std::string(QueueDisciplineName(c.queue_discipline));
+       }},
+      // Scenario
+      {"policy",
+       [](const std::string& s, Config& c) {
+         for (PolicyKind kind :
+              {PolicyKind::kUpdateFirst, PolicyKind::kTransactionFirst,
+               PolicyKind::kSplitUpdates, PolicyKind::kOnDemand,
+               PolicyKind::kFixedFraction}) {
+           if (s == PolicyKindName(kind)) {
+             c.policy = kind;
+             return true;
+           }
+         }
+         return false;
+       },
+       [](const Config& c) {
+         return std::string(PolicyKindName(c.policy));
+       }},
+      {"staleness",
+       [](const std::string& s, Config& c) {
+         if (s == "MA") {
+           c.staleness = db::StalenessCriterion::kMaxAge;
+         } else if (s == "UU") {
+           c.staleness = db::StalenessCriterion::kUnappliedUpdate;
+         } else if (s == "MA+UU") {
+           c.staleness = db::StalenessCriterion::kCombined;
+         } else if (s == "MA-arrival") {
+           c.staleness = db::StalenessCriterion::kMaxAgeArrival;
+         } else {
+           return false;
+         }
+         return true;
+       },
+       [](const Config& c) {
+         return std::string(db::StalenessCriterionName(c.staleness));
+       }},
+      BoolFlag("abort_on_stale", &Config::abort_on_stale),
+      DoubleFlag("sim_seconds", &Config::sim_seconds),
+      DoubleFlag("warmup_seconds", &Config::warmup_seconds),
+      // Extensions
+      BoolFlag("indexed_update_queue", &Config::indexed_update_queue),
+      BoolFlag("dedup_update_queue", &Config::dedup_update_queue),
+      BoolFlag("split_importance_queues",
+               &Config::split_importance_queues),
+      DoubleFlag("update_cpu_fraction", &Config::update_cpu_fraction),
+      BoolFlag("periodic_updates", &Config::periodic_updates),
+      {"txn_sched",
+       [](const std::string& s, Config& c) {
+         for (txn::TxnSchedPolicy policy :
+              {txn::TxnSchedPolicy::kValueDensity,
+               txn::TxnSchedPolicy::kEarliestDeadline,
+               txn::TxnSchedPolicy::kFcfs}) {
+           if (s == txn::TxnSchedPolicyName(policy)) {
+             c.txn_sched = policy;
+             return true;
+           }
+         }
+         return false;
+       },
+       [](const Config& c) {
+         return std::string(txn::TxnSchedPolicyName(c.txn_sched));
+       }},
+      DoubleFlag("trigger_probability", &Config::trigger_probability),
+      DoubleFlag("x_trigger", &Config::x_trigger),
+      DoubleFlag("buffer_hit_ratio", &Config::buffer_hit_ratio),
+      DoubleFlag("io_seconds", &Config::io_seconds),
+      IntFlag("history_depth", &Config::history_depth),
+      IntFlag("n_attributes", &Config::n_attributes),
+      BoolFlag("bursty_updates", &Config::bursty_updates),
+      DoubleFlag("lambda_u_peak", &Config::lambda_u_peak),
+      DoubleFlag("normal_dwell_seconds", &Config::normal_dwell_seconds),
+      DoubleFlag("burst_dwell_seconds", &Config::burst_dwell_seconds),
+      IntFlag("admission_limit", &Config::admission_limit),
+  };
+  return flags;
+}
+
+}  // namespace
+
+std::optional<std::string> ApplyConfigFlag(const std::string& assignment,
+                                           core::Config& config) {
+  const std::size_t eq = assignment.find('=');
+  if (eq == std::string::npos) {
+    return "expected name=value, got: " + assignment;
+  }
+  const std::string name = assignment.substr(0, eq);
+  const std::string value = assignment.substr(eq + 1);
+  for (const FlagDef& flag : Flags()) {
+    if (name == flag.name) {
+      if (!flag.parse(value, config)) {
+        return "bad value for " + name + ": " + value;
+      }
+      return std::nullopt;
+    }
+  }
+  return "unknown parameter: " + name;
+}
+
+std::optional<std::string> ApplyConfigFlags(
+    int argc, char** argv, core::Config& config,
+    std::vector<std::string>* unconsumed) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      if (unconsumed != nullptr) unconsumed->push_back(arg);
+      continue;
+    }
+    const std::string assignment = arg.substr(2);
+    const std::optional<std::string> error =
+        ApplyConfigFlag(assignment, config);
+    if (!error.has_value()) continue;
+    if (error->rfind("unknown parameter", 0) == 0 ||
+        error->rfind("expected name=value", 0) == 0) {
+      if (unconsumed != nullptr) unconsumed->push_back(arg);
+      continue;
+    }
+    return error;  // known parameter, bad value
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> ConfigFlagNames() {
+  std::vector<std::string> names;
+  names.reserve(Flags().size());
+  for (const FlagDef& flag : Flags()) names.emplace_back(flag.name);
+  return names;
+}
+
+std::string ConfigToString(const core::Config& config) {
+  std::ostringstream out;
+  for (const FlagDef& flag : Flags()) {
+    out << flag.name << "=" << flag.render(config) << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace strip::exp

@@ -1,0 +1,40 @@
+// String-keyed access to every Config parameter.
+//
+// Maps "--name=value" flags onto core::Config fields so that tools
+// (tools/strip_sim) and scripts can define a run without recompiling.
+// Names follow the paper's notation where it has one (lambda_t, p_ul,
+// alpha, x_update, ...), otherwise the Config field name.
+
+#ifndef STRIP_EXP_CONFIG_FLAGS_H_
+#define STRIP_EXP_CONFIG_FLAGS_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+
+namespace strip::exp {
+
+// Applies one "name=value" assignment (no leading dashes) to `config`.
+// Returns an error message on unknown names or unparsable values.
+std::optional<std::string> ApplyConfigFlag(const std::string& assignment,
+                                           core::Config& config);
+
+// Applies every argv entry of the form "--name=value" to `config`.
+// Entries that do not start with "--", or whose name is unknown, are
+// appended to `unconsumed` (so callers can layer their own flags).
+// Returns the first value-parse error, or nullopt on success.
+std::optional<std::string> ApplyConfigFlags(
+    int argc, char** argv, core::Config& config,
+    std::vector<std::string>* unconsumed);
+
+// All accepted flag names (for --help output).
+std::vector<std::string> ConfigFlagNames();
+
+// Renders the full configuration, one "name=value" per line.
+std::string ConfigToString(const core::Config& config);
+
+}  // namespace strip::exp
+
+#endif  // STRIP_EXP_CONFIG_FLAGS_H_

@@ -1,0 +1,117 @@
+#include "exp/experiment.h"
+
+#include <atomic>
+#include <thread>
+
+#include "base/check.h"
+#include "core/system.h"
+#include "sim/simulator.h"
+
+namespace strip::exp {
+
+core::RunMetrics RunOnce(const core::Config& config, std::uint64_t seed) {
+  sim::Simulator simulator;
+  core::System system(&simulator, config, seed);
+  return system.Run();
+}
+
+std::vector<core::RunMetrics> Replicate(const core::Config& config,
+                                        int replications,
+                                        std::uint64_t base_seed) {
+  STRIP_CHECK_MSG(replications > 0, "need at least one replication");
+  std::vector<core::RunMetrics> runs;
+  runs.reserve(replications);
+  for (int r = 0; r < replications; ++r) {
+    runs.push_back(RunOnce(config, base_seed + static_cast<std::uint64_t>(r)));
+  }
+  return runs;
+}
+
+SweepResult::SweepResult(std::size_t n_policies, std::size_t n_x,
+                         int replications)
+    : n_policies_(n_policies), n_x_(n_x), cells_(n_policies * n_x) {
+  for (auto& cell : cells_) {
+    cell.resize(static_cast<std::size_t>(replications));
+  }
+}
+
+const std::vector<core::RunMetrics>& SweepResult::cell(
+    std::size_t policy_index, std::size_t x_index) const {
+  STRIP_CHECK(policy_index < n_policies_ && x_index < n_x_);
+  return cells_[policy_index * n_x_ + x_index];
+}
+
+std::vector<core::RunMetrics>& SweepResult::mutable_cell(
+    std::size_t policy_index, std::size_t x_index) {
+  STRIP_CHECK(policy_index < n_policies_ && x_index < n_x_);
+  return cells_[policy_index * n_x_ + x_index];
+}
+
+double SweepResult::Mean(std::size_t policy_index, std::size_t x_index,
+                         const MetricFn& metric) const {
+  return Aggregate(policy_index, x_index, metric).mean;
+}
+
+sim::Summary SweepResult::Aggregate(std::size_t policy_index,
+                                    std::size_t x_index,
+                                    const MetricFn& metric) const {
+  std::vector<double> samples;
+  for (const core::RunMetrics& run : cell(policy_index, x_index)) {
+    samples.push_back(metric(run));
+  }
+  return sim::Summary::FromSamples(samples);
+}
+
+SweepResult RunSweep(const SweepSpec& spec) {
+  STRIP_CHECK_MSG(!spec.policies.empty(), "sweep needs at least one policy");
+  STRIP_CHECK_MSG(!spec.x_values.empty(), "sweep needs at least one x value");
+  STRIP_CHECK_MSG(spec.apply_x != nullptr, "sweep needs an apply_x");
+  STRIP_CHECK_MSG(spec.replications > 0, "sweep needs replications");
+
+  SweepResult result(spec.policies.size(), spec.x_values.size(),
+                     spec.replications);
+
+  struct Task {
+    std::size_t policy_index;
+    std::size_t x_index;
+    int replication;
+  };
+  std::vector<Task> tasks;
+  for (std::size_t p = 0; p < spec.policies.size(); ++p) {
+    for (std::size_t x = 0; x < spec.x_values.size(); ++x) {
+      for (int r = 0; r < spec.replications; ++r) {
+        tasks.push_back({p, x, r});
+      }
+    }
+  }
+
+  std::atomic<std::size_t> next_task{0};
+  auto worker = [&] {
+    while (true) {
+      const std::size_t i = next_task.fetch_add(1);
+      if (i >= tasks.size()) return;
+      const Task& task = tasks[i];
+      core::Config config = spec.base;
+      config.policy = spec.policies[task.policy_index];
+      spec.apply_x(config, spec.x_values[task.x_index]);
+      const std::uint64_t seed =
+          spec.base_seed + static_cast<std::uint64_t>(task.replication);
+      result.mutable_cell(task.policy_index, task.x_index)[task.replication] =
+          RunOnce(config, seed);
+    }
+  };
+
+  int n_threads = spec.threads;
+  if (n_threads <= 0) {
+    n_threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (n_threads <= 0) n_threads = 4;
+  }
+  n_threads = std::min<int>(n_threads, static_cast<int>(tasks.size()));
+  std::vector<std::thread> pool;
+  pool.reserve(n_threads);
+  for (int i = 0; i < n_threads; ++i) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+  return result;
+}
+
+}  // namespace strip::exp

@@ -1,0 +1,89 @@
+// Experiment driving: single runs, replication, and parameter sweeps.
+//
+// A sweep is the unit the paper's figures are made of: one x-axis
+// parameter swept over a set of values, crossed with a set of
+// scheduling policies, each cell replicated over several seeds. Cells
+// are independent, so the sweep runs them on a thread pool; results are
+// deterministic for a given spec (seeds are fixed per replication
+// index, giving common random numbers across cells for variance
+// reduction).
+
+#ifndef STRIP_EXP_EXPERIMENT_H_
+#define STRIP_EXP_EXPERIMENT_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "core/metrics.h"
+#include "sim/stats.h"
+
+namespace strip::exp {
+
+// Extracts one scalar metric from a run (e.g., &RunMetrics::av).
+using MetricFn = std::function<double(const core::RunMetrics&)>;
+
+// Runs one configuration to completion with one seed.
+core::RunMetrics RunOnce(const core::Config& config, std::uint64_t seed);
+
+// Runs one configuration over several seeds; returns all runs.
+std::vector<core::RunMetrics> Replicate(const core::Config& config,
+                                        int replications,
+                                        std::uint64_t base_seed);
+
+struct SweepSpec {
+  // Base configuration; policy and the x parameter are overwritten per
+  // cell.
+  core::Config base;
+  // Policies to compare (columns).
+  std::vector<core::PolicyKind> policies = {
+      core::PolicyKind::kUpdateFirst, core::PolicyKind::kTransactionFirst,
+      core::PolicyKind::kSplitUpdates, core::PolicyKind::kOnDemand};
+  // Name of the swept parameter, for table headers (e.g., "lambda_t").
+  std::string x_name;
+  // X-axis values (rows).
+  std::vector<double> x_values;
+  // Applies one x value to a config.
+  std::function<void(core::Config&, double)> apply_x;
+  // Independent replications per cell.
+  int replications = 3;
+  std::uint64_t base_seed = 42;
+  // Worker threads; 0 means hardware concurrency.
+  int threads = 0;
+};
+
+class SweepResult {
+ public:
+  SweepResult(std::size_t n_policies, std::size_t n_x, int replications);
+
+  // All runs of one cell.
+  const std::vector<core::RunMetrics>& cell(std::size_t policy_index,
+                                            std::size_t x_index) const;
+  std::vector<core::RunMetrics>& mutable_cell(std::size_t policy_index,
+                                              std::size_t x_index);
+
+  // Mean of `metric` over a cell's replications.
+  double Mean(std::size_t policy_index, std::size_t x_index,
+              const MetricFn& metric) const;
+
+  // Mean and 95% CI of `metric` over a cell's replications.
+  sim::Summary Aggregate(std::size_t policy_index, std::size_t x_index,
+                         const MetricFn& metric) const;
+
+  std::size_t n_policies() const { return n_policies_; }
+  std::size_t n_x() const { return n_x_; }
+
+ private:
+  std::size_t n_policies_;
+  std::size_t n_x_;
+  std::vector<std::vector<core::RunMetrics>> cells_;
+};
+
+// Runs every (policy, x, replication) of the spec.
+SweepResult RunSweep(const SweepSpec& spec);
+
+}  // namespace strip::exp
+
+#endif  // STRIP_EXP_EXPERIMENT_H_

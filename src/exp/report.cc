@@ -1,0 +1,88 @@
+#include "exp/report.h"
+
+#include <cstdio>
+#include <iomanip>
+
+#include "base/check.h"
+
+namespace strip::exp {
+
+namespace {
+
+std::string FormatCell(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%10.4f", value);
+  return buffer;
+}
+
+std::string FormatCellCi(double mean, double ci) {
+  char buffer[48];
+  std::snprintf(buffer, sizeof(buffer), "%10.4f ±%-7.4f", mean, ci);
+  return buffer;
+}
+
+void PrintHeader(std::ostream& out, const SweepSpec& spec,
+                 const std::string& metric_name, bool with_ci) {
+  out << "# " << metric_name << " vs " << spec.x_name << "\n";
+  out << std::setw(10) << spec.x_name;
+  for (core::PolicyKind policy : spec.policies) {
+    out << "  " << std::setw(with_ci ? 19 : 10)
+        << core::PolicyKindName(policy);
+  }
+  out << "\n";
+}
+
+}  // namespace
+
+void PrintSeries(std::ostream& out, const SweepSpec& spec,
+                 const SweepResult& result, const std::string& metric_name,
+                 const MetricFn& metric, bool with_ci) {
+  PrintHeader(out, spec, metric_name, with_ci);
+  for (std::size_t x = 0; x < spec.x_values.size(); ++x) {
+    out << std::setw(10) << spec.x_values[x];
+    for (std::size_t p = 0; p < spec.policies.size(); ++p) {
+      const sim::Summary summary = result.Aggregate(p, x, metric);
+      out << "  "
+          << (with_ci ? FormatCellCi(summary.mean, summary.ci95)
+                      : FormatCell(summary.mean));
+    }
+    out << "\n";
+  }
+  out << "\n";
+}
+
+void PrintSeriesCsv(std::ostream& out, const SweepSpec& spec,
+                    const SweepResult& result,
+                    const std::string& metric_name, const MetricFn& metric) {
+  out << spec.x_name << ",policy," << metric_name << ",ci95\n";
+  for (std::size_t x = 0; x < spec.x_values.size(); ++x) {
+    for (std::size_t p = 0; p < spec.policies.size(); ++p) {
+      const sim::Summary summary = result.Aggregate(p, x, metric);
+      out << spec.x_values[x] << ","
+          << core::PolicyKindName(spec.policies[p]) << "," << summary.mean
+          << "," << summary.ci95 << "\n";
+    }
+  }
+  out << "\n";
+}
+
+void PrintSeriesRatio(std::ostream& out, const SweepSpec& spec,
+                      const SweepResult& result, const SweepResult& baseline,
+                      const std::string& metric_name, const MetricFn& metric) {
+  STRIP_CHECK(result.n_policies() == baseline.n_policies());
+  STRIP_CHECK(result.n_x() == baseline.n_x());
+  PrintHeader(out, spec, metric_name, /*with_ci=*/false);
+  for (std::size_t x = 0; x < spec.x_values.size(); ++x) {
+    out << std::setw(10) << spec.x_values[x];
+    for (std::size_t p = 0; p < spec.policies.size(); ++p) {
+      const double numerator = result.Mean(p, x, metric);
+      const double denominator = baseline.Mean(p, x, metric);
+      const double ratio = denominator == 0 ? 0 : numerator / denominator;
+      out << "  " << FormatCell(ratio);
+    }
+    out << "\n";
+  }
+  out << "\n";
+}
+
+}  // namespace strip::exp

@@ -1,0 +1,39 @@
+// Table and CSV emitters for sweep results.
+//
+// PrintSeries prints the same rows/series a paper figure plots: one row
+// per x value, one column per policy, for one metric. The bench
+// binaries under bench/ compose these into per-figure reports.
+
+#ifndef STRIP_EXP_REPORT_H_
+#define STRIP_EXP_REPORT_H_
+
+#include <ostream>
+#include <string>
+
+#include "exp/experiment.h"
+
+namespace strip::exp {
+
+// Prints an aligned table of `metric` (one column per policy of the
+// spec, one row per x value). `metric_name` heads the block. When
+// `with_ci` is set each cell shows "mean ±ci95".
+void PrintSeries(std::ostream& out, const SweepSpec& spec,
+                 const SweepResult& result, const std::string& metric_name,
+                 const MetricFn& metric, bool with_ci = false);
+
+// Prints the same data as CSV: x_name,policy,metric columns — one long
+// row per (x, policy) pair — convenient for replotting.
+void PrintSeriesCsv(std::ostream& out, const SweepSpec& spec,
+                    const SweepResult& result,
+                    const std::string& metric_name, const MetricFn& metric);
+
+// Prints a "ratio" table: metric under `result` divided by metric
+// under `baseline` (used by the paper's FIFO/LIFO and abort/no-abort
+// comparison figures). Both results must come from the same spec shape.
+void PrintSeriesRatio(std::ostream& out, const SweepSpec& spec,
+                      const SweepResult& result, const SweepResult& baseline,
+                      const std::string& metric_name, const MetricFn& metric);
+
+}  // namespace strip::exp
+
+#endif  // STRIP_EXP_REPORT_H_

@@ -1,0 +1,69 @@
+#include "sim/event_queue.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "base/check.h"
+
+namespace strip::sim {
+
+bool EventQueue::Handle::pending() const {
+  return record_ != nullptr && !record_->cancelled &&
+         record_->callback != nullptr;
+}
+
+EventQueue::Handle EventQueue::Schedule(Time at, Callback callback) {
+  STRIP_CHECK_MSG(at >= 0, "event scheduled at negative time");
+  STRIP_CHECK_MSG(callback != nullptr, "event scheduled with null callback");
+  auto record = std::make_shared<Record>();
+  record->time = at;
+  record->sequence = next_sequence_++;
+  record->callback = std::move(callback);
+  heap_.push_back(record);
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  ++live_count_;
+  return Handle(std::move(record));
+}
+
+bool EventQueue::Cancel(const Handle& handle) {
+  if (!handle.pending()) return false;
+  handle.record_->cancelled = true;
+  // Release the callback eagerly: it may own captures that should not
+  // outlive cancellation, and the heap slot is dropped lazily.
+  handle.record_->callback = nullptr;
+  STRIP_CHECK(live_count_ > 0);
+  --live_count_;
+  return true;
+}
+
+void EventQueue::SkipCancelled() {
+  while (!heap_.empty() && heap_.front()->cancelled) {
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
+  }
+}
+
+std::optional<EventQueue::Fired> EventQueue::PopNext() {
+  SkipCancelled();
+  if (heap_.empty()) return std::nullopt;
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  std::shared_ptr<Record> record = std::move(heap_.back());
+  heap_.pop_back();
+  STRIP_CHECK(live_count_ > 0);
+  --live_count_;
+  Fired fired;
+  fired.time = record->time;
+  fired.callback = std::move(record->callback);
+  // Mark fired so outstanding handles report !pending() and Cancel()
+  // after the fact is a no-op.
+  record->cancelled = true;
+  return fired;
+}
+
+std::optional<Time> EventQueue::PeekNextTime() {
+  SkipCancelled();
+  if (heap_.empty()) return std::nullopt;
+  return heap_.front()->time;
+}
+
+}  // namespace strip::sim

@@ -1,0 +1,110 @@
+// A cancellable future-event list for discrete-event simulation.
+//
+// Events are (time, callback) pairs ordered by time, with FIFO ordering
+// among events scheduled for the same instant (stable tie-breaking by
+// insertion sequence). Cancellation is O(1): the record is flagged and
+// lazily skipped when it reaches the top of the heap.
+//
+// Example:
+//   EventQueue q;
+//   auto h = q.Schedule(3.0, [] { ... });
+//   q.Cancel(h);                 // nothing fires
+//   while (auto ev = q.PopNext()) { now = ev->time; ev->callback(); }
+
+#ifndef STRIP_SIM_EVENT_QUEUE_H_
+#define STRIP_SIM_EVENT_QUEUE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "sim/sim_time.h"
+
+namespace strip::sim {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  // A fired event, as returned by PopNext().
+  struct Fired {
+    Time time = 0;
+    Callback callback;
+  };
+
+  // Refers to a scheduled event so it can be cancelled. Handles are
+  // cheap to copy and remain safe to use after the event has fired or
+  // been cancelled (Cancel simply returns false then). A
+  // default-constructed handle refers to nothing.
+  class Handle {
+   public:
+    Handle() = default;
+
+    // True if the event has neither fired nor been cancelled.
+    bool pending() const;
+
+   private:
+    friend class EventQueue;
+    struct Record;
+    explicit Handle(std::shared_ptr<Record> record)
+        : record_(std::move(record)) {}
+    std::shared_ptr<Record> record_;
+  };
+
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  // Schedules `callback` to fire at time `at`. Times must be
+  // non-negative; ordering with respect to the caller's clock is the
+  // Simulator's responsibility.
+  Handle Schedule(Time at, Callback callback);
+
+  // Cancels a scheduled event. Returns true if the event was still
+  // pending (and is now guaranteed not to fire), false if it had
+  // already fired or been cancelled.
+  bool Cancel(const Handle& handle);
+
+  // Removes and returns the earliest pending event, or nullopt if none
+  // remain. Cancelled records encountered on the way are discarded.
+  std::optional<Fired> PopNext();
+
+  // Time of the earliest pending event, or nullopt if none.
+  std::optional<Time> PeekNextTime();
+
+  // Number of pending (non-cancelled) events.
+  std::size_t size() const { return live_count_; }
+  bool empty() const { return live_count_ == 0; }
+
+ private:
+  struct Handle::Record {
+    Time time = 0;
+    std::uint64_t sequence = 0;
+    Callback callback;
+    bool cancelled = false;
+  };
+  using Record = Handle::Record;
+
+  // Min-heap ordering: earliest time first, then lowest sequence.
+  struct Later {
+    bool operator()(const std::shared_ptr<Record>& a,
+                    const std::shared_ptr<Record>& b) const {
+      if (a->time != b->time) return a->time > b->time;
+      return a->sequence > b->sequence;
+    }
+  };
+
+  // Pops cancelled records off the heap top.
+  void SkipCancelled();
+
+  std::vector<std::shared_ptr<Record>> heap_;
+  std::uint64_t next_sequence_ = 0;
+  std::size_t live_count_ = 0;
+};
+
+}  // namespace strip::sim
+
+#endif  // STRIP_SIM_EVENT_QUEUE_H_

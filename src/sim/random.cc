@@ -1,0 +1,55 @@
+#include "sim/random.h"
+
+#include <algorithm>
+
+#include "base/check.h"
+
+namespace strip::sim {
+
+RandomStream::RandomStream(std::uint64_t seed) : engine_(seed) {}
+
+double RandomStream::Exponential(double mean) {
+  STRIP_CHECK_MSG(mean > 0, "exponential mean must be positive");
+  std::exponential_distribution<double> dist(1.0 / mean);
+  return dist(engine_);
+}
+
+double RandomStream::Normal(double mean, double stddev) {
+  STRIP_CHECK_MSG(stddev >= 0, "normal stddev must be non-negative");
+  if (stddev == 0) return mean;
+  std::normal_distribution<double> dist(mean, stddev);
+  return dist(engine_);
+}
+
+double RandomStream::NormalAtLeast(double mean, double stddev, double floor) {
+  return std::max(floor, Normal(mean, stddev));
+}
+
+double RandomStream::Uniform(double lo, double hi) {
+  STRIP_CHECK_MSG(lo <= hi, "uniform bounds out of order");
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(engine_);
+}
+
+int RandomStream::UniformInt(int lo, int hi) {
+  STRIP_CHECK_MSG(lo <= hi, "uniform-int bounds out of order");
+  std::uniform_int_distribution<int> dist(lo, hi);
+  return dist(engine_);
+}
+
+bool RandomStream::WithProbability(double p) {
+  STRIP_CHECK_MSG(p >= 0 && p <= 1, "probability outside [0, 1]");
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  return dist(engine_) < p;
+}
+
+std::uint64_t RandomStream::Fork() {
+  // splitmix64 finalizer over the next engine output, so sibling
+  // streams are decorrelated even for adjacent seeds.
+  std::uint64_t z = engine_() + 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace strip::sim

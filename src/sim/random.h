@@ -1,0 +1,56 @@
+// Seeded random-variate streams for the simulation model.
+//
+// Every stochastic component of the model (update arrivals, transaction
+// arrivals, values, computation times, read sets, slacks, network ages)
+// draws from its own RandomStream so that runs are reproducible and
+// component streams are independent. Fork() derives an independent
+// child seed, so one master seed determinately seeds the whole model.
+
+#ifndef STRIP_SIM_RANDOM_H_
+#define STRIP_SIM_RANDOM_H_
+
+#include <cstdint>
+#include <random>
+
+namespace strip::sim {
+
+class RandomStream {
+ public:
+  explicit RandomStream(std::uint64_t seed);
+
+  // Exponential variate with the given mean (mean > 0).
+  double Exponential(double mean);
+
+  // Interarrival gap of a Poisson process with the given rate
+  // (events per second, rate > 0).
+  double PoissonInterarrival(double rate) { return Exponential(1.0 / rate); }
+
+  // Normal variate.
+  double Normal(double mean, double stddev);
+
+  // Normal variate clamped below at `floor`. The paper draws
+  // computation times, values, and read-set sizes from normal
+  // distributions whose tails are physically meaningless (negative
+  // time, negative reads); clamping is the conventional fix and the
+  // baseline parameters put negligible mass below zero.
+  double NormalAtLeast(double mean, double stddev, double floor);
+
+  // Uniform variate on [lo, hi).
+  double Uniform(double lo, double hi);
+
+  // Uniform integer on [lo, hi] inclusive.
+  int UniformInt(int lo, int hi);
+
+  // Bernoulli trial: true with probability p.
+  bool WithProbability(double p);
+
+  // Derives a new seed, deterministically, for seeding a child stream.
+  std::uint64_t Fork();
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace strip::sim
+
+#endif  // STRIP_SIM_RANDOM_H_

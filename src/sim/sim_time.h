@@ -1,0 +1,31 @@
+// Simulation-time primitives.
+//
+// Simulated time is a double measured in seconds from the start of the
+// run. The paper's model expresses all costs in CPU instructions and
+// converts to time by dividing by the processor speed (`ips`,
+// instructions per second); `InstructionsToSeconds` is that conversion.
+
+#ifndef STRIP_SIM_SIM_TIME_H_
+#define STRIP_SIM_SIM_TIME_H_
+
+namespace strip::sim {
+
+// Simulated time in seconds since the start of the run.
+using Time = double;
+
+// A duration in simulated seconds.
+using Duration = double;
+
+// Sentinel meaning "never" / "no deadline".
+inline constexpr Time kTimeInfinity = 1e300;
+
+// Converts an instruction count to simulated seconds on a CPU that
+// executes `ips` instructions per second.
+inline constexpr Duration InstructionsToSeconds(double instructions,
+                                                double ips) {
+  return instructions / ips;
+}
+
+}  // namespace strip::sim
+
+#endif  // STRIP_SIM_SIM_TIME_H_

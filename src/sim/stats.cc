@@ -1,0 +1,121 @@
+#include "sim/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/check.h"
+
+namespace strip::sim {
+
+void Accumulator::Add(double sample) {
+  ++count_;
+  sum_ += sample;
+  const double delta = sample - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (sample - mean_);
+}
+
+double Accumulator::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double Accumulator::stddev() const { return std::sqrt(variance()); }
+
+void TimeWeighted::StartAt(Time start, double value) {
+  start_ = start;
+  last_change_ = start;
+  value_ = value;
+  integral_ = 0;
+}
+
+void TimeWeighted::Set(Time t, double value) {
+  STRIP_CHECK_MSG(t >= last_change_, "time-weighted signal moved backwards");
+  integral_ += value_ * (t - last_change_);
+  last_change_ = t;
+  value_ = value;
+}
+
+double TimeWeighted::Integral(Time end) const {
+  STRIP_CHECK_MSG(end >= last_change_, "integral closed before last change");
+  return integral_ + value_ * (end - last_change_);
+}
+
+double TimeWeighted::Average(Time end) const {
+  const double window = end - start_;
+  if (window <= 0) return 0.0;
+  return Integral(end) / window;
+}
+
+Histogram::Histogram(double min, double max, int buckets)
+    : min_(min),
+      max_(max),
+      bucket_width_((max - min) / buckets),
+      buckets_(buckets, 0) {
+  STRIP_CHECK_MSG(max > min, "histogram range is empty");
+  STRIP_CHECK_MSG(buckets >= 1, "histogram needs at least one bucket");
+}
+
+void Histogram::Add(double sample) {
+  ++count_;
+  sum_ += sample;
+  if (sample < min_) {
+    ++underflow_;
+    ++buckets_.front();
+    return;
+  }
+  if (sample >= max_) {
+    ++overflow_;
+    ++buckets_.back();
+    return;
+  }
+  const auto index =
+      static_cast<std::size_t>((sample - min_) / bucket_width_);
+  ++buckets_[std::min(index, buckets_.size() - 1)];
+}
+
+double Histogram::mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double Histogram::Quantile(double q) const {
+  STRIP_CHECK_MSG(q >= 0 && q <= 1, "quantile outside [0, 1]");
+  if (count_ == 0) return 0.0;
+  const double target = q * static_cast<double>(count_);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) continue;
+    const double before = static_cast<double>(seen);
+    seen += buckets_[i];
+    if (static_cast<double>(seen) >= target) {
+      // Interpolate within this bucket.
+      const double fraction =
+          buckets_[i] == 0
+              ? 0.0
+              : (target - before) / static_cast<double>(buckets_[i]);
+      return min_ + (static_cast<double>(i) +
+                     std::min(1.0, std::max(0.0, fraction))) *
+                        bucket_width_;
+    }
+  }
+  return max_;
+}
+
+Summary Summary::FromSamples(const std::vector<double>& samples) {
+  Summary summary;
+  summary.samples = static_cast<int>(samples.size());
+  if (samples.empty()) return summary;
+  Accumulator acc;
+  for (double s : samples) acc.Add(s);
+  summary.mean = acc.mean();
+  if (samples.size() >= 2) {
+    // Normal approximation; replication counts here are small, so this
+    // understates the interval slightly versus Student's t, but it is
+    // used only for reporting, never for pass/fail decisions.
+    summary.ci95 =
+        1.96 * acc.stddev() / std::sqrt(static_cast<double>(samples.size()));
+  }
+  return summary;
+}
+
+}  // namespace strip::sim

@@ -1,0 +1,126 @@
+// Statistics primitives for simulation output analysis.
+//
+// - Counter:        monotone event counts.
+// - Accumulator:    sample mean / variance via Welford's algorithm.
+// - TimeWeighted:   exact integral of a piecewise-constant signal, used
+//                   for the paper's staleness metric f_old (Section 3.5)
+//                   and for CPU-utilization fractions rho_t / rho_u.
+// - Summary:        mean and 95% confidence half-width over independent
+//                   replications (one sample per seed).
+
+#ifndef STRIP_SIM_STATS_H_
+#define STRIP_SIM_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/sim_time.h"
+
+namespace strip::sim {
+
+// A monotone event counter.
+class Counter {
+ public:
+  void Increment(std::uint64_t by = 1) { value_ += by; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+// Streaming sample statistics (Welford).
+class Accumulator {
+ public:
+  void Add(double sample);
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  // Mean of the samples; 0 if empty.
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  // Unbiased sample variance; 0 with fewer than two samples.
+  double variance() const;
+  double stddev() const;
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+  double sum_ = 0;
+};
+
+// Integrates a piecewise-constant signal over simulated time. Call
+// Set(t, v) whenever the signal changes; Average(end) closes the
+// integral at `end` and divides by the observation window.
+//
+// StartAt(t0) discards history and restarts observation at t0 — used to
+// exclude a warm-up period from the statistics.
+class TimeWeighted {
+ public:
+  // Begins observation at `start` with initial signal value `value`.
+  void StartAt(Time start, double value);
+
+  // Records that the signal changed to `value` at time `t`
+  // (t must be >= the previous change time).
+  void Set(Time t, double value);
+
+  // Current signal value.
+  double value() const { return value_; }
+
+  // Time-average of the signal over [start, end]; 0 if the window is
+  // empty.
+  double Average(Time end) const;
+
+  // Raw integral of the signal over [start, end].
+  double Integral(Time end) const;
+
+ private:
+  Time start_ = 0;
+  Time last_change_ = 0;
+  double value_ = 0;
+  double integral_ = 0;
+};
+
+// A fixed-range linear histogram with open-ended overflow, for
+// latency-style distributions. Quantiles interpolate within buckets;
+// samples beyond `max` are clamped to the top bucket boundary.
+class Histogram {
+ public:
+  // Buckets of equal width spanning [min, max); `buckets` >= 1.
+  Histogram(double min, double max, int buckets);
+
+  void Add(double sample);
+
+  std::uint64_t count() const { return count_; }
+  double mean() const;
+
+  // The q-quantile (q in [0, 1]) estimated by linear interpolation
+  // within the containing bucket; 0 if empty.
+  double Quantile(double q) const;
+
+  // Samples that fell below min / at or above max.
+  std::uint64_t underflow() const { return underflow_; }
+  std::uint64_t overflow() const { return overflow_; }
+
+ private:
+  double min_;
+  double max_;
+  double bucket_width_;
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  double sum_ = 0;
+};
+
+// Mean and 95% confidence half-width over independent replications.
+struct Summary {
+  double mean = 0;
+  double ci95 = 0;  // half-width; 0 with fewer than two samples
+  int samples = 0;
+
+  static Summary FromSamples(const std::vector<double>& samples);
+};
+
+}  // namespace strip::sim
+
+#endif  // STRIP_SIM_STATS_H_

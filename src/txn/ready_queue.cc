@@ -1,0 +1,79 @@
+#include "txn/ready_queue.h"
+
+#include <algorithm>
+
+#include "base/check.h"
+
+namespace strip::txn {
+
+const char* TxnSchedPolicyName(TxnSchedPolicy policy) {
+  switch (policy) {
+    case TxnSchedPolicy::kValueDensity:
+      return "VD";
+    case TxnSchedPolicy::kEarliestDeadline:
+      return "EDF";
+    case TxnSchedPolicy::kFcfs:
+      return "FCFS";
+  }
+  return "?";
+}
+
+bool HigherPriority(const Transaction& a, const Transaction& b,
+                    TxnSchedPolicy policy, double ips) {
+  switch (policy) {
+    case TxnSchedPolicy::kValueDensity:
+      return a.ValueDensity(ips) > b.ValueDensity(ips);
+    case TxnSchedPolicy::kEarliestDeadline:
+      return a.deadline() < b.deadline();
+    case TxnSchedPolicy::kFcfs:
+      return a.arrival_time() < b.arrival_time();
+  }
+  return false;
+}
+
+void ReadyQueue::Add(Transaction* transaction) {
+  STRIP_CHECK(transaction != nullptr);
+  waiting_.push_back(transaction);
+}
+
+bool ReadyQueue::Remove(const Transaction* transaction) {
+  auto it = std::find(waiting_.begin(), waiting_.end(), transaction);
+  if (it == waiting_.end()) return false;
+  waiting_.erase(it);
+  return true;
+}
+
+std::vector<Transaction*> ReadyQueue::ExtractInfeasible(sim::Time now,
+                                                        double ips) {
+  std::vector<Transaction*> infeasible;
+  auto split =
+      std::stable_partition(waiting_.begin(), waiting_.end(),
+                            [now, ips](const Transaction* t) {
+                              return t->FeasibleAt(now, ips);
+                            });
+  infeasible.assign(split, waiting_.end());
+  waiting_.erase(split, waiting_.end());
+  return infeasible;
+}
+
+Transaction* ReadyQueue::PeekBest(double ips, TxnSchedPolicy policy) const {
+  Transaction* best = nullptr;
+  for (Transaction* t : waiting_) {
+    if (best == nullptr || HigherPriority(*t, *best, policy, ips) ||
+        (!HigherPriority(*best, *t, policy, ips) && t->id() < best->id())) {
+      best = t;
+    }
+  }
+  return best;
+}
+
+Transaction* ReadyQueue::PopBest(double ips, TxnSchedPolicy policy) {
+  Transaction* best = PeekBest(ips, policy);
+  if (best != nullptr) {
+    const bool removed = Remove(best);
+    STRIP_CHECK(removed);
+  }
+  return best;
+}
+
+}  // namespace strip::txn

@@ -1,0 +1,184 @@
+#include "txn/transaction.h"
+
+#include <limits>
+
+#include "base/check.h"
+
+namespace strip::txn {
+
+const char* TxnClassName(TxnClass cls) {
+  return cls == TxnClass::kLowValue ? "low" : "high";
+}
+
+const char* TxnOutcomeName(TxnOutcome outcome) {
+  switch (outcome) {
+    case TxnOutcome::kPending:
+      return "pending";
+    case TxnOutcome::kCommitted:
+      return "committed";
+    case TxnOutcome::kMissedDeadline:
+      return "missed-deadline";
+    case TxnOutcome::kInfeasible:
+      return "infeasible";
+    case TxnOutcome::kStaleAbort:
+      return "stale-abort";
+    case TxnOutcome::kOverloadDrop:
+      return "overload-drop";
+  }
+  return "?";
+}
+
+Transaction::Transaction(const Params& params)
+    : id_(params.id),
+      cls_(params.cls),
+      value_(params.value),
+      arrival_time_(params.arrival_time),
+      deadline_(params.deadline),
+      lookup_instructions_(params.lookup_instructions),
+      read_set_(params.read_set) {
+  STRIP_CHECK_MSG(params.computation_instructions >= 0,
+                  "negative computation");
+  STRIP_CHECK_MSG(params.p_view >= 0 && params.p_view <= 1,
+                  "p_view outside [0, 1]");
+  STRIP_CHECK_MSG(params.lookup_instructions >= 0, "negative lookup cost");
+  work1_remaining_ = params.p_view * params.computation_instructions;
+  work2_remaining_ = params.computation_instructions - work1_remaining_;
+  total_base_instructions_ =
+      params.computation_instructions +
+      lookup_instructions_ * static_cast<double>(read_set_.size());
+  if (!read_set_.empty()) read_remaining_ = lookup_instructions_;
+  SkipEmptyPhases();
+}
+
+void Transaction::SkipEmptyPhases() {
+  if (phase_ == Phase::kWork1 && work1_remaining_ <= 0) {
+    phase_ = read_set_.empty() ? Phase::kWork2 : Phase::kReads;
+  }
+  if (phase_ == Phase::kReads && next_read_ >= static_cast<int>(read_set_.size())) {
+    phase_ = Phase::kWork2;
+  }
+  if (phase_ == Phase::kWork2 && work2_remaining_ <= 0) {
+    phase_ = Phase::kDone;
+  }
+}
+
+Transaction::NextStep Transaction::next_step() const {
+  if (!extra_steps_.empty()) return extra_steps_.front();
+  NextStep step;
+  switch (phase_) {
+    case Phase::kWork1:
+      step.kind = NextStep::Kind::kCompute;
+      step.instructions = work1_remaining_;
+      break;
+    case Phase::kReads:
+      step.kind = NextStep::Kind::kViewRead;
+      step.instructions = read_remaining_;
+      step.object = read_set_[next_read_];
+      break;
+    case Phase::kWork2:
+      step.kind = NextStep::Kind::kCompute;
+      step.instructions = work2_remaining_;
+      break;
+    case Phase::kDone:
+      step.kind = NextStep::Kind::kDone;
+      step.instructions = 0;
+      break;
+  }
+  return step;
+}
+
+void Transaction::ChargePartial(double instructions) {
+  STRIP_CHECK_MSG(instructions >= 0, "negative partial charge");
+  if (!extra_steps_.empty()) {
+    extra_steps_.front().instructions -= instructions;
+    STRIP_CHECK_MSG(extra_steps_.front().instructions >= -1e-6,
+                    "extra step overdrawn");
+    if (extra_steps_.front().instructions < 0) {
+      extra_steps_.front().instructions = 0;
+    }
+    return;
+  }
+  switch (phase_) {
+    case Phase::kWork1:
+      work1_remaining_ -= instructions;
+      STRIP_CHECK_MSG(work1_remaining_ >= -1e-6, "work1 overdrawn");
+      if (work1_remaining_ < 0) work1_remaining_ = 0;
+      break;
+    case Phase::kReads:
+      read_remaining_ -= instructions;
+      STRIP_CHECK_MSG(read_remaining_ >= -1e-6, "read overdrawn");
+      if (read_remaining_ < 0) read_remaining_ = 0;
+      break;
+    case Phase::kWork2:
+      work2_remaining_ -= instructions;
+      STRIP_CHECK_MSG(work2_remaining_ >= -1e-6, "work2 overdrawn");
+      if (work2_remaining_ < 0) work2_remaining_ = 0;
+      break;
+    case Phase::kDone:
+      STRIP_CHECK_MSG(instructions <= 1e-6, "charging a finished txn");
+      break;
+  }
+}
+
+void Transaction::CompleteStep() {
+  if (!extra_steps_.empty()) {
+    extra_steps_.pop_front();
+    return;
+  }
+  switch (phase_) {
+    case Phase::kWork1:
+      work1_remaining_ = 0;
+      phase_ = read_set_.empty() ? Phase::kWork2 : Phase::kReads;
+      break;
+    case Phase::kReads:
+      ++next_read_;
+      if (next_read_ < static_cast<int>(read_set_.size())) {
+        read_remaining_ = lookup_instructions_;
+      } else {
+        phase_ = Phase::kWork2;
+      }
+      break;
+    case Phase::kWork2:
+      work2_remaining_ = 0;
+      phase_ = Phase::kDone;
+      break;
+    case Phase::kDone:
+      STRIP_CHECK_MSG(false, "CompleteStep on a finished transaction");
+      break;
+  }
+  SkipEmptyPhases();
+}
+
+void Transaction::PushExtraStep(NextStep step) {
+  STRIP_CHECK_MSG(step.kind == NextStep::Kind::kOdScan ||
+                      step.kind == NextStep::Kind::kOdApply,
+                  "only OD steps may be injected");
+  STRIP_CHECK_MSG(step.instructions >= 0, "negative extra step");
+  extra_steps_.push_back(step);
+}
+
+double Transaction::remaining_base_instructions() const {
+  double remaining = work1_remaining_ + work2_remaining_;
+  if (phase_ == Phase::kReads) {
+    remaining += read_remaining_;
+    const int reads_left =
+        static_cast<int>(read_set_.size()) - next_read_ - 1;
+    remaining += lookup_instructions_ * static_cast<double>(reads_left);
+  } else if (phase_ == Phase::kWork1) {
+    remaining +=
+        lookup_instructions_ * static_cast<double>(read_set_.size());
+  }
+  return remaining;
+}
+
+double Transaction::ValueDensity(double ips) const {
+  const double remaining = RemainingSeconds(ips);
+  if (remaining <= 0) return std::numeric_limits<double>::infinity();
+  return value_ / remaining;
+}
+
+bool Transaction::finished() const {
+  return phase_ == Phase::kDone && extra_steps_.empty();
+}
+
+}  // namespace strip::txn

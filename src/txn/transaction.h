@@ -1,0 +1,187 @@
+// A firm-deadline, valued transaction and its execution state machine.
+//
+// The paper's transaction model (Section 3.4): a transaction arrives,
+// does a fraction p_view of its computation, reads its view objects
+// (checking staleness at each read), does the rest of its computation,
+// and commits — all before a firm deadline, after which it is worthless
+// and is aborted. Each view read costs x_lookup instructions; general
+// data access is folded into the computation time.
+//
+// The transaction exposes its execution as a sequence of CPU steps
+// (NextStep). The controller runs the current step on the simulated
+// CPU, possibly preempting it (ChargePartial), and advances the machine
+// at step boundaries (CompleteStep). The On Demand policy injects extra
+// steps — update-queue scans and on-demand installs — via PushExtraStep;
+// those are *not* part of the base plan, so value-density and
+// feasibility estimates (which the paper assumes are perfect for the
+// base plan but cannot foresee OD work) ignore them.
+
+#ifndef STRIP_TXN_TRANSACTION_H_
+#define STRIP_TXN_TRANSACTION_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "db/object.h"
+#include "sim/sim_time.h"
+
+namespace strip::txn {
+
+// Value class of a transaction (Section 3.4). Low-value transactions
+// read the low-importance view partition; high-value transactions read
+// the high-importance partition.
+enum class TxnClass {
+  kLowValue = 0,
+  kHighValue = 1,
+};
+
+// Printable name ("low" / "high").
+const char* TxnClassName(TxnClass cls);
+
+// Terminal state of a transaction.
+enum class TxnOutcome {
+  kPending = 0,      // still in the system
+  kCommitted,        // completed before its deadline
+  kMissedDeadline,   // firm deadline fired mid-flight
+  kInfeasible,       // screened out: could not possibly meet deadline
+  kStaleAbort,       // aborted on reading stale data (abort-on-stale)
+  kOverloadDrop,     // never admitted (reserved for extensions)
+};
+
+const char* TxnOutcomeName(TxnOutcome outcome);
+
+class Transaction {
+ public:
+  // One unit of CPU work the transaction wants to run next.
+  struct NextStep {
+    enum class Kind {
+      kCompute,   // part of work1 / work2
+      kViewRead,  // one view-object read (staleness checked on finish)
+      kOdScan,    // On Demand: scan of the update queue (extra step)
+      kOdApply,   // On Demand: install of a found update (extra step)
+      kDone,      // nothing left: ready to commit
+    };
+    Kind kind = Kind::kDone;
+    double instructions = 0;
+    // The object being read / freshened (kViewRead, kOdScan, kOdApply).
+    db::ObjectId object;
+  };
+
+  struct Params {
+    std::uint64_t id = 0;
+    TxnClass cls = TxnClass::kLowValue;
+    double value = 0;
+    sim::Time arrival_time = 0;
+    sim::Time deadline = 0;
+    // Total computation instructions (work1 + work2).
+    double computation_instructions = 0;
+    // Fraction of computation done before the view reads (p_view).
+    double p_view = 0;
+    // Instructions per view read (x_lookup).
+    double lookup_instructions = 0;
+    // View objects to read, in order.
+    std::vector<db::ObjectId> read_set;
+  };
+
+  explicit Transaction(const Params& params);
+
+  Transaction(const Transaction&) = delete;
+  Transaction& operator=(const Transaction&) = delete;
+
+  // --- identity & shape -------------------------------------------------
+
+  std::uint64_t id() const { return id_; }
+  TxnClass cls() const { return cls_; }
+  double value() const { return value_; }
+  sim::Time arrival_time() const { return arrival_time_; }
+  sim::Time deadline() const { return deadline_; }
+  const std::vector<db::ObjectId>& read_set() const { return read_set_; }
+
+  // Base-plan execution time in seconds on a CPU of speed `ips`
+  // (perfect estimate, excluding any On Demand extras).
+  sim::Duration TotalSeconds(double ips) const {
+    return sim::InstructionsToSeconds(total_base_instructions_, ips);
+  }
+
+  // --- execution --------------------------------------------------------
+
+  // The step that should run next. kind == kDone when nothing remains.
+  NextStep next_step() const;
+
+  // Deducts `instructions` from the current step (preemption support).
+  void ChargePartial(double instructions);
+
+  // Marks the current step finished and advances the machine.
+  void CompleteStep();
+
+  // Injects an extra step (OD scan / OD install) to run *before* the
+  // base plan resumes. kViewRead and kCompute are not allowed here.
+  void PushExtraStep(NextStep step);
+
+  // Remaining base-plan instructions (extras excluded).
+  double remaining_base_instructions() const;
+
+  // Remaining base-plan time in seconds.
+  sim::Duration RemainingSeconds(double ips) const {
+    return sim::InstructionsToSeconds(remaining_base_instructions(), ips);
+  }
+
+  // The paper's scheduling priority: value / remaining processing time.
+  // A finished transaction has infinite density (it should commit at
+  // once).
+  double ValueDensity(double ips) const;
+
+  // Could the transaction still commit by its deadline if it ran
+  // uninterrupted from `now`?
+  bool FeasibleAt(sim::Time now, double ips) const {
+    return now + RemainingSeconds(ips) <= deadline_;
+  }
+
+  bool finished() const;
+
+  // --- staleness bookkeeping ---------------------------------------------
+
+  // Records that a view read returned stale data.
+  void MarkStaleRead() { stale_reads_ += 1; }
+  std::uint64_t stale_reads() const { return stale_reads_; }
+  bool read_stale_data() const { return stale_reads_ > 0; }
+
+  // --- outcome ------------------------------------------------------------
+
+  TxnOutcome outcome() const { return outcome_; }
+  void set_outcome(TxnOutcome outcome) { outcome_ = outcome; }
+  sim::Time completion_time() const { return completion_time_; }
+  void set_completion_time(sim::Time t) { completion_time_ = t; }
+
+ private:
+  enum class Phase { kWork1, kReads, kWork2, kDone };
+
+  // Moves past phases that have no work left.
+  void SkipEmptyPhases();
+
+  std::uint64_t id_;
+  TxnClass cls_;
+  double value_;
+  sim::Time arrival_time_;
+  sim::Time deadline_;
+  double lookup_instructions_;
+  std::vector<db::ObjectId> read_set_;
+
+  double total_base_instructions_;
+  Phase phase_ = Phase::kWork1;
+  double work1_remaining_;
+  double work2_remaining_;
+  int next_read_ = 0;
+  double read_remaining_ = 0;
+
+  std::deque<NextStep> extra_steps_;
+
+  std::uint64_t stale_reads_ = 0;
+  TxnOutcome outcome_ = TxnOutcome::kPending;
+  sim::Time completion_time_ = 0;
+};
+
+}  // namespace strip::txn
+
+#endif  // STRIP_TXN_TRANSACTION_H_

@@ -1,0 +1,43 @@
+#include "workload/multi_stream.h"
+
+#include <utility>
+
+#include "base/check.h"
+#include "sim/random.h"
+
+namespace strip::workload {
+
+MultiUpdateStream::MultiUpdateStream(sim::Simulator* simulator,
+                                     std::vector<Feed> feeds,
+                                     std::uint64_t seed,
+                                     UpdateStream::Sink sink) {
+  STRIP_CHECK(simulator != nullptr);
+  STRIP_CHECK(sink != nullptr);
+  STRIP_CHECK_MSG(!feeds.empty(), "need at least one feed");
+  sim::RandomStream master(seed);
+  streams_.reserve(feeds.size());
+  for (const Feed& feed : feeds) {
+    STRIP_CHECK_MSG(feed.low_offset >= 0 && feed.high_offset >= 0,
+                    "feed offsets must be non-negative");
+    const int low_offset = feed.low_offset;
+    const int high_offset = feed.high_offset;
+    streams_.push_back(std::make_unique<UpdateStream>(
+        simulator, feed.params, master.Fork(),
+        [this, sink, low_offset, high_offset](const db::Update& update) {
+          db::Update remapped = update;
+          remapped.id = ++next_id_;  // globally unique across feeds
+          remapped.object.index +=
+              update.object.cls == db::ObjectClass::kLowImportance
+                  ? low_offset
+                  : high_offset;
+          ++generated_;
+          sink(remapped);
+        }));
+  }
+}
+
+void MultiUpdateStream::Stop() {
+  for (auto& stream : streams_) stream->Stop();
+}
+
+}  // namespace strip::workload

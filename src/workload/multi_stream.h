@@ -1,0 +1,61 @@
+// Several concurrent update feeds.
+//
+// The paper notes that "the update streams are provided by several
+// commercial companies such as Reuters" (Section 1): real systems
+// merge feeds with different rates, delivery delays, and coverage.
+// MultiUpdateStream runs any number of UpdateStream sources into one
+// sink, remapping each feed's object ids into a disjoint (or
+// deliberately overlapping) window of the partitions so feeds can
+// cover different slices of the database.
+//
+// Use with Config::external_workload: construct the System, then a
+// MultiUpdateStream whose sink is System::InjectUpdate.
+
+#ifndef STRIP_WORKLOAD_MULTI_STREAM_H_
+#define STRIP_WORKLOAD_MULTI_STREAM_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "workload/update_stream.h"
+
+namespace strip::workload {
+
+class MultiUpdateStream {
+ public:
+  struct Feed {
+    UpdateStream::Params params;
+    // Offsets added to the feed's object indices, mapping the feed's
+    // [0, n_low) x [0, n_high) coverage into the database's
+    // partitions. The caller ensures offset + n stays within the
+    // database's partition sizes.
+    int low_offset = 0;
+    int high_offset = 0;
+  };
+
+  // Starts every feed on `simulator`; update ids are made globally
+  // unique across feeds. Seeds are forked per feed from `seed`.
+  MultiUpdateStream(sim::Simulator* simulator, std::vector<Feed> feeds,
+                    std::uint64_t seed, UpdateStream::Sink sink);
+
+  MultiUpdateStream(const MultiUpdateStream&) = delete;
+  MultiUpdateStream& operator=(const MultiUpdateStream&) = delete;
+
+  // Stops every feed.
+  void Stop();
+
+  std::size_t feed_count() const { return streams_.size(); }
+
+  // Updates emitted so far, across all feeds.
+  std::uint64_t generated() const { return generated_; }
+
+ private:
+  std::vector<std::unique_ptr<UpdateStream>> streams_;
+  std::uint64_t generated_ = 0;
+  std::uint64_t next_id_ = 0;
+};
+
+}  // namespace strip::workload
+
+#endif  // STRIP_WORKLOAD_MULTI_STREAM_H_

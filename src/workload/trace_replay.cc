@@ -1,0 +1,186 @@
+#include "workload/trace_replay.h"
+
+#include <cstdlib>
+#include <sstream>
+#include <utility>
+
+#include "base/check.h"
+
+namespace strip::workload {
+
+namespace {
+
+std::vector<std::string> SplitCommas(const std::string& line) {
+  std::vector<std::string> fields;
+  std::size_t start = 0;
+  while (start <= line.size()) {
+    const std::size_t comma = line.find(',', start);
+    if (comma == std::string::npos) {
+      fields.push_back(line.substr(start));
+      break;
+    }
+    fields.push_back(line.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return fields;
+}
+
+bool ParseClass(const std::string& s, db::ObjectClass* cls) {
+  if (s == "low") {
+    *cls = db::ObjectClass::kLowImportance;
+    return true;
+  }
+  if (s == "high") {
+    *cls = db::ObjectClass::kHighImportance;
+    return true;
+  }
+  return false;
+}
+
+bool ParseNumber(const std::string& s, double* out) {
+  char* end = nullptr;
+  *out = std::strtod(s.c_str(), &end);
+  return end != s.c_str() && *end == '\0';
+}
+
+bool ParseReads(const std::string& s, std::vector<db::ObjectId>* reads) {
+  if (s.empty()) return true;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    std::size_t semi = s.find(';', start);
+    if (semi == std::string::npos) semi = s.size();
+    const std::string entry = s.substr(start, semi - start);
+    const std::size_t colon = entry.find(':');
+    if (colon == std::string::npos) return false;
+    db::ObjectClass cls;
+    if (!ParseClass(entry.substr(0, colon), &cls)) return false;
+    double index;
+    if (!ParseNumber(entry.substr(colon + 1), &index)) return false;
+    reads->push_back({cls, static_cast<int>(index)});
+    start = semi + 1;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<std::string> TraceReplay::ParseLine(
+    const std::string& line, std::uint64_t next_update_id,
+    std::uint64_t next_txn_id, Record* record) {
+  const std::vector<std::string> fields = SplitCommas(line);
+  if (fields.empty()) return "empty record";
+  if (fields[0] == "update") {
+    if (fields.size() != 6) return "update record needs 6 fields";
+    db::Update update;
+    update.id = next_update_id;
+    double arrival, index, generation, value;
+    if (!ParseNumber(fields[1], &arrival) ||
+        !ParseClass(fields[2], &update.object.cls) ||
+        !ParseNumber(fields[3], &index) ||
+        !ParseNumber(fields[4], &generation) ||
+        !ParseNumber(fields[5], &value)) {
+      return "bad update field";
+    }
+    update.arrival_time = arrival;
+    update.object.index = static_cast<int>(index);
+    update.generation_time = generation;
+    update.value = value;
+    *record = update;
+    return std::nullopt;
+  }
+  if (fields[0] == "txn") {
+    if (fields.size() != 8) return "txn record needs 8 fields";
+    txn::Transaction::Params params;
+    params.id = next_txn_id;
+    double arrival, value, deadline, comp, p_view;
+    db::ObjectClass cls;
+    if (!ParseNumber(fields[1], &arrival) || !ParseClass(fields[2], &cls) ||
+        !ParseNumber(fields[3], &value) ||
+        !ParseNumber(fields[4], &deadline) ||
+        !ParseNumber(fields[5], &comp) ||
+        !ParseNumber(fields[6], &p_view) ||
+        !ParseReads(fields[7], &params.read_set)) {
+      return "bad txn field";
+    }
+    params.arrival_time = arrival;
+    params.cls = cls == db::ObjectClass::kLowImportance
+                     ? txn::TxnClass::kLowValue
+                     : txn::TxnClass::kHighValue;
+    params.value = value;
+    params.deadline = deadline;
+    params.computation_instructions = comp;
+    params.p_view = p_view;
+    *record = params;
+    return std::nullopt;
+  }
+  return "unknown record kind: " + fields[0];
+}
+
+std::optional<std::string> TraceReplay::Parse(std::istream& in,
+                                              std::vector<Record>* records) {
+  STRIP_CHECK(records != nullptr);
+  std::string line;
+  int line_number = 0;
+  std::uint64_t next_update_id = 1;
+  std::uint64_t next_txn_id = 1;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '#') continue;
+    Record record;
+    const std::optional<std::string> error =
+        ParseLine(line, next_update_id, next_txn_id, &record);
+    if (error.has_value()) {
+      return "line " + std::to_string(line_number) + ": " + *error;
+    }
+    if (std::holds_alternative<db::Update>(record)) {
+      ++next_update_id;
+    } else {
+      ++next_txn_id;
+    }
+    records->push_back(std::move(record));
+  }
+  return std::nullopt;
+}
+
+TraceReplay::TraceReplay(sim::Simulator* simulator,
+                         std::vector<Record> records,
+                         UpdateSink update_sink, TxnSink txn_sink) {
+  STRIP_CHECK(simulator != nullptr);
+  STRIP_CHECK(update_sink != nullptr);
+  STRIP_CHECK(txn_sink != nullptr);
+  for (Record& record : records) {
+    if (const auto* update = std::get_if<db::Update>(&record)) {
+      simulator->ScheduleAt(update->arrival_time,
+                            [update_sink, u = *update] { update_sink(u); });
+    } else {
+      const auto& params = std::get<txn::Transaction::Params>(record);
+      simulator->ScheduleAt(params.arrival_time,
+                            [txn_sink, params] { txn_sink(params); });
+    }
+    ++scheduled_;
+  }
+}
+
+std::string FormatTraceRecord(const TraceReplay::Record& record) {
+  std::ostringstream out;
+  if (const auto* update = std::get_if<db::Update>(&record)) {
+    out << "update," << update->arrival_time << ","
+        << db::ObjectClassName(update->object.cls) << ","
+        << update->object.index << "," << update->generation_time << ","
+        << update->value;
+    return out.str();
+  }
+  const auto& params = std::get<txn::Transaction::Params>(record);
+  out << "txn," << params.arrival_time << ","
+      << (params.cls == txn::TxnClass::kLowValue ? "low" : "high") << ","
+      << params.value << "," << params.deadline << ","
+      << params.computation_instructions << "," << params.p_view << ",";
+  for (std::size_t i = 0; i < params.read_set.size(); ++i) {
+    if (i > 0) out << ";";
+    out << db::ObjectClassName(params.read_set[i].cls) << ":"
+        << params.read_set[i].index;
+  }
+  return out.str();
+}
+
+}  // namespace strip::workload

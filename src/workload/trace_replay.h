@@ -1,0 +1,71 @@
+// Replay of recorded workloads.
+//
+// The stochastic sources (update_stream.h, txn_source.h) generate the
+// paper's synthetic loads; TraceReplay instead drives the system from
+// an explicit record of arrivals — a captured feed, a regression
+// fixture, or a hand-written corner case. Records are CSV lines:
+//
+//   update,<arrival>,<low|high>,<index>,<generation>,<value>
+//   txn,<arrival>,<low|high>,<value>,<deadline>,<comp_instructions>,
+//       <p_view>,<reads>
+//
+// where <reads> is a ';'-separated list of low:IDX / high:IDX entries
+// (possibly empty). Lines starting with '#' and blank lines are
+// ignored. Arrival times need not be sorted; replay orders them.
+
+#ifndef STRIP_WORKLOAD_TRACE_REPLAY_H_
+#define STRIP_WORKLOAD_TRACE_REPLAY_H_
+
+#include <cstdint>
+#include <functional>
+#include <istream>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "db/update.h"
+#include "sim/simulator.h"
+#include "txn/transaction.h"
+
+namespace strip::workload {
+
+class TraceReplay {
+ public:
+  using Record = std::variant<db::Update, txn::Transaction::Params>;
+
+  using UpdateSink = std::function<void(const db::Update&)>;
+  using TxnSink = std::function<void(const txn::Transaction::Params&)>;
+
+  // Parses a trace; on success fills `records` (ids assigned
+  // sequentially per kind, in file order). Returns an error message —
+  // with a line number — on malformed input.
+  static std::optional<std::string> Parse(std::istream& in,
+                                          std::vector<Record>* records);
+
+  // Parses one record line (no comment/blank handling).
+  static std::optional<std::string> ParseLine(const std::string& line,
+                                              std::uint64_t next_update_id,
+                                              std::uint64_t next_txn_id,
+                                              Record* record);
+
+  // Schedules every record on `simulator` at its arrival time,
+  // dispatching to the sinks. Sinks and simulator must outlive replay
+  // (i.e., the simulation run).
+  TraceReplay(sim::Simulator* simulator, std::vector<Record> records,
+              UpdateSink update_sink, TxnSink txn_sink);
+
+  // Records scheduled.
+  std::size_t size() const { return scheduled_; }
+
+ private:
+  std::size_t scheduled_ = 0;
+};
+
+// Renders a record as a trace line (the inverse of ParseLine), for
+// writing fixtures.
+std::string FormatTraceRecord(const TraceReplay::Record& record);
+
+}  // namespace strip::workload
+
+#endif  // STRIP_WORKLOAD_TRACE_REPLAY_H_

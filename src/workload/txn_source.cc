@@ -1,0 +1,80 @@
+#include "workload/txn_source.h"
+
+#include <cmath>
+#include <utility>
+
+#include "base/check.h"
+
+namespace strip::workload {
+
+TxnSource::TxnSource(sim::Simulator* simulator, const Params& params,
+                     std::uint64_t seed, Sink sink)
+    : simulator_(simulator),
+      params_(params),
+      random_(seed),
+      sink_(std::move(sink)) {
+  STRIP_CHECK(simulator != nullptr);
+  STRIP_CHECK(sink_ != nullptr);
+  STRIP_CHECK_MSG(params_.arrival_rate > 0, "txn rate must be positive");
+  STRIP_CHECK_MSG(params_.p_low >= 0 && params_.p_low <= 1,
+                  "p_low outside [0, 1]");
+  STRIP_CHECK_MSG(params_.slack_min <= params_.slack_max,
+                  "slack bounds out of order");
+  STRIP_CHECK_MSG(params_.ips > 0, "ips must be positive");
+  STRIP_CHECK_MSG(params_.n_low > 0 && params_.n_high > 0,
+                  "partitions must be non-empty");
+  ScheduleNext();
+}
+
+void TxnSource::Stop() {
+  stopped_ = true;
+  simulator_->Cancel(next_arrival_);
+}
+
+void TxnSource::ScheduleNext() {
+  if (stopped_) return;
+  next_arrival_ = simulator_->ScheduleAfter(
+      random_.PoissonInterarrival(params_.arrival_rate), [this] {
+        EmitOne();
+        ScheduleNext();
+      });
+}
+
+void TxnSource::EmitOne() {
+  txn::Transaction::Params t;
+  t.id = ++generated_;
+  t.arrival_time = simulator_->now();
+  const bool low = random_.WithProbability(params_.p_low);
+  t.cls = low ? txn::TxnClass::kLowValue : txn::TxnClass::kHighValue;
+  t.value = random_.NormalAtLeast(
+      low ? params_.value_mean_low : params_.value_mean_high,
+      low ? params_.value_sd_low : params_.value_sd_high, 0.0);
+  const double comp_seconds =
+      random_.NormalAtLeast(params_.comp_mean, params_.comp_sd, 0.0);
+  t.computation_instructions = comp_seconds * params_.ips;
+  t.p_view = params_.p_view;
+  t.lookup_instructions = params_.lookup_instructions;
+
+  const int reads = static_cast<int>(std::lround(std::max(
+      0.0, random_.Normal(params_.reads_mean, params_.reads_sd))));
+  const int n = low ? params_.n_low : params_.n_high;
+  const db::ObjectClass cls = low ? db::ObjectClass::kLowImportance
+                                  : db::ObjectClass::kHighImportance;
+  t.read_set.reserve(reads);
+  for (int i = 0; i < reads; ++i) {
+    t.read_set.push_back({cls, random_.UniformInt(0, n - 1)});
+  }
+
+  // Firm deadline: arrival + perfect execution estimate + slack.
+  const double estimate_seconds =
+      (t.computation_instructions +
+       t.lookup_instructions * static_cast<double>(reads)) /
+      params_.ips;
+  const double slack =
+      random_.Uniform(params_.slack_min, params_.slack_max);
+  t.deadline = t.arrival_time + estimate_seconds + slack;
+
+  sink_(t);
+}
+
+}  // namespace strip::workload

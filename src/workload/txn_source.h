@@ -1,0 +1,89 @@
+// The transaction workload generator (Section 5.2).
+//
+// Transactions arrive as a Poisson process with rate lambda_t. Each is
+// low-value with probability p_tl (else high-value); its value is
+// normal with class-specific mean/sd; its computation time is normal
+// (mean x_bar, sd sigma_x); it reads a normally distributed number of
+// view objects drawn uniformly (with replacement) from its class's
+// partition; and its firm deadline is arrival + perfect execution
+// estimate + a slack uniform on [s_min, s_max].
+
+#ifndef STRIP_WORKLOAD_TXN_SOURCE_H_
+#define STRIP_WORKLOAD_TXN_SOURCE_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/random.h"
+#include "sim/simulator.h"
+#include "txn/transaction.h"
+
+namespace strip::workload {
+
+class TxnSource {
+ public:
+  struct Params {
+    // Poisson arrival rate, transactions/second (lambda_t).
+    double arrival_rate = 10.0;
+    // Probability a transaction is low-value (p_tl).
+    double p_low = 0.5;
+    // Slack range in seconds (S_min, S_max).
+    double slack_min = 0.1;
+    double slack_max = 1.0;
+    // Value distributions per class.
+    double value_mean_low = 1.0;
+    double value_mean_high = 2.0;
+    double value_sd_low = 0.5;
+    double value_sd_high = 0.5;
+    // View reads per transaction: Normal(reads_mean, reads_sd),
+    // rounded, clamped at 0.
+    double reads_mean = 2.0;
+    double reads_sd = 1.0;
+    // Computation time in seconds: Normal(comp_mean, comp_sd),
+    // clamped at 0.
+    double comp_mean = 0.12;
+    double comp_sd = 0.01;
+    // Fraction of computation done before the view reads (p_view).
+    double p_view = 0.0;
+    // Per-read lookup cost in instructions (x_lookup) and CPU speed
+    // (ips), needed to build the transaction's plan and its perfect
+    // execution estimate.
+    double lookup_instructions = 4000;
+    double ips = 50e6;
+    // Partition sizes, for choosing read sets.
+    int n_low = 500;
+    int n_high = 500;
+  };
+
+  // The sink receives the parameters of each arriving transaction at
+  // its arrival time (the sink constructs/owns the Transaction).
+  using Sink = std::function<void(const txn::Transaction::Params&)>;
+
+  TxnSource(sim::Simulator* simulator, const Params& params,
+            std::uint64_t seed, Sink sink);
+
+  TxnSource(const TxnSource&) = delete;
+  TxnSource& operator=(const TxnSource&) = delete;
+
+  // Stops generating further arrivals.
+  void Stop();
+
+  // Number of transactions generated so far.
+  std::uint64_t generated() const { return generated_; }
+
+ private:
+  void ScheduleNext();
+  void EmitOne();
+
+  sim::Simulator* simulator_;
+  Params params_;
+  sim::RandomStream random_;
+  Sink sink_;
+  std::uint64_t generated_ = 0;
+  bool stopped_ = false;
+  sim::EventQueue::Handle next_arrival_;
+};
+
+}  // namespace strip::workload
+
+#endif  // STRIP_WORKLOAD_TXN_SOURCE_H_

@@ -1,0 +1,101 @@
+#include "workload/update_stream.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "base/check.h"
+
+namespace strip::workload {
+
+UpdateStream::UpdateStream(sim::Simulator* simulator, const Params& params,
+                           std::uint64_t seed, Sink sink)
+    : simulator_(simulator),
+      params_(params),
+      random_(seed),
+      sink_(std::move(sink)) {
+  STRIP_CHECK(simulator != nullptr);
+  STRIP_CHECK(sink_ != nullptr);
+  STRIP_CHECK_MSG(params_.arrival_rate > 0, "update rate must be positive");
+  STRIP_CHECK_MSG(params_.p_low >= 0 && params_.p_low <= 1,
+                  "p_low outside [0, 1]");
+  STRIP_CHECK_MSG(params_.n_low > 0 && params_.n_high > 0,
+                  "partitions must be non-empty");
+  if (params_.bursty) {
+    STRIP_CHECK_MSG(params_.burst_rate > 0 && params_.normal_dwell > 0 &&
+                        params_.burst_dwell > 0,
+                    "burst parameters must be positive");
+    STRIP_CHECK_MSG(!params_.periodic,
+                    "bursty and periodic modes are exclusive");
+    SchedulePhaseToggle();
+  }
+  ScheduleNext();
+}
+
+void UpdateStream::Stop() {
+  stopped_ = true;
+  simulator_->Cancel(next_arrival_);
+  simulator_->Cancel(next_phase_toggle_);
+}
+
+void UpdateStream::ScheduleNext() {
+  if (stopped_) return;
+  const sim::Duration gap =
+      params_.periodic ? 1.0 / params_.arrival_rate
+                       : random_.PoissonInterarrival(CurrentRate());
+  next_arrival_ = simulator_->ScheduleAfter(gap, [this] {
+    EmitOne();
+    ScheduleNext();
+  });
+}
+
+void UpdateStream::SchedulePhaseToggle() {
+  if (stopped_) return;
+  const sim::Duration dwell = random_.Exponential(
+      in_burst_ ? params_.burst_dwell : params_.normal_dwell);
+  next_phase_toggle_ = simulator_->ScheduleAfter(dwell, [this] {
+    in_burst_ = !in_burst_;
+    // Re-draw the pending interarrival gap at the new rate. (The
+    // memoryless property makes restarting from 'now' exact.)
+    simulator_->Cancel(next_arrival_);
+    ScheduleNext();
+    SchedulePhaseToggle();
+  });
+}
+
+void UpdateStream::EmitOne() {
+  db::Update update;
+  update.id = ++generated_;
+  update.arrival_time = simulator_->now();
+  if (params_.periodic) {
+    // Round-robin over the union of both partitions so each object is
+    // refreshed once per full cycle.
+    const int total = params_.n_low + params_.n_high;
+    const int slot = next_periodic_object_;
+    next_periodic_object_ = (next_periodic_object_ + 1) % total;
+    if (slot < params_.n_low) {
+      update.object = {db::ObjectClass::kLowImportance, slot};
+    } else {
+      update.object = {db::ObjectClass::kHighImportance,
+                       slot - params_.n_low};
+    }
+  } else if (random_.WithProbability(params_.p_low)) {
+    update.object = {db::ObjectClass::kLowImportance,
+                     random_.UniformInt(0, params_.n_low - 1)};
+  } else {
+    update.object = {db::ObjectClass::kHighImportance,
+                     random_.UniformInt(0, params_.n_high - 1)};
+  }
+  // The update aged in the network before reaching us. Ages are
+  // exponential with mean a_update; the generation timestamp is
+  // clamped at 0 (the start of simulated time) so the first instants
+  // of a run cannot produce values "generated before the world began".
+  if (params_.n_attributes > 1) {
+    update.attribute = random_.UniformInt(0, params_.n_attributes - 1);
+  }
+  const sim::Duration age = random_.Exponential(params_.mean_age);
+  update.generation_time = std::max(0.0, update.arrival_time - age);
+  update.value = random_.Uniform(0.0, 1.0);
+  sink_(update);
+}
+
+}  // namespace strip::workload

@@ -1,0 +1,98 @@
+// The inbound update stream (Section 5.1).
+//
+// Updates arrive as a Poisson process with rate lambda_u. Each update
+// targets the low-importance partition with probability p_ul (else the
+// high-importance one), picks its object uniformly within the
+// partition, and arrives pre-aged: its generation timestamp lags its
+// arrival by an exponential network delay with mean a_update.
+//
+// As an extension, the stream also supports the *periodic* update
+// pattern from Section 2 (every object refreshed on a fixed period,
+// with phases spread uniformly), which the paper lists as future work.
+
+#ifndef STRIP_WORKLOAD_UPDATE_STREAM_H_
+#define STRIP_WORKLOAD_UPDATE_STREAM_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "db/update.h"
+#include "sim/random.h"
+#include "sim/simulator.h"
+
+namespace strip::workload {
+
+class UpdateStream {
+ public:
+  struct Params {
+    // Poisson arrival rate, updates/second (lambda_u).
+    double arrival_rate = 400.0;
+    // Probability an update targets the low-importance partition (p_ul).
+    double p_low = 0.5;
+    // Mean pre-arrival (network) age in seconds (a_update).
+    double mean_age = 0.1;
+    // Partition sizes (N_l, N_h).
+    int n_low = 500;
+    int n_high = 500;
+    // Extension: if true, arrivals are periodic instead of Poisson —
+    // every object is refreshed once per (n_low + n_high) /
+    // arrival_rate seconds, round-robin, phases offset by one
+    // interarrival gap.
+    bool periodic = false;
+    // Extension: with more than one attribute per object, each update
+    // is *partial* — it refreshes one attribute, chosen uniformly.
+    int n_attributes = 1;
+    // Extension: bursty feed. The paper motivates with a market feed
+    // that peaks at 500 updates/second; with `bursty` set the stream
+    // alternates between `arrival_rate` (normal) and `burst_rate`
+    // (peak), dwelling in each phase for an exponentially distributed
+    // time (means `normal_dwell` / `burst_dwell` seconds).
+    bool bursty = false;
+    double burst_rate = 500.0;
+    double normal_dwell = 20.0;
+    double burst_dwell = 5.0;
+  };
+
+  // The sink receives each update at its arrival time.
+  using Sink = std::function<void(const db::Update&)>;
+
+  // Begins generating arrivals on `simulator` immediately. Both
+  // `simulator` and the sink must outlive the stream.
+  UpdateStream(sim::Simulator* simulator, const Params& params,
+               std::uint64_t seed, Sink sink);
+
+  UpdateStream(const UpdateStream&) = delete;
+  UpdateStream& operator=(const UpdateStream&) = delete;
+
+  // Stops generating further arrivals.
+  void Stop();
+
+  // Number of updates generated so far.
+  std::uint64_t generated() const { return generated_; }
+
+  // Whether the stream is currently in its burst phase.
+  bool in_burst() const { return in_burst_; }
+
+ private:
+  void ScheduleNext();
+  void EmitOne();
+  void SchedulePhaseToggle();
+  double CurrentRate() const {
+    return in_burst_ ? params_.burst_rate : params_.arrival_rate;
+  }
+
+  sim::Simulator* simulator_;
+  Params params_;
+  sim::RandomStream random_;
+  Sink sink_;
+  std::uint64_t generated_ = 0;
+  int next_periodic_object_ = 0;
+  bool stopped_ = false;
+  bool in_burst_ = false;
+  sim::EventQueue::Handle next_arrival_;
+  sim::EventQueue::Handle next_phase_toggle_;
+};
+
+}  // namespace strip::workload
+
+#endif  // STRIP_WORKLOAD_UPDATE_STREAM_H_

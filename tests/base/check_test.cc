@@ -1,0 +1,35 @@
+#include "base/check.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(CheckTest, PassingConditionIsSilent) {
+  STRIP_CHECK(1 + 1 == 2);
+  STRIP_CHECK_MSG(true, "never printed");
+  SUCCEED();
+}
+
+TEST(CheckDeathTest, FailingCheckAbortsWithCondition) {
+  EXPECT_DEATH(STRIP_CHECK(1 == 2), "1 == 2");
+}
+
+TEST(CheckDeathTest, FailingCheckMsgIncludesMessage) {
+  EXPECT_DEATH(STRIP_CHECK_MSG(false, "the extra context"),
+               "the extra context");
+}
+
+TEST(CheckDeathTest, FailureNamesTheSourceFile) {
+  EXPECT_DEATH(STRIP_CHECK(false), "check_test.cc");
+}
+
+TEST(CheckTest, ConditionEvaluatedExactlyOnce) {
+  int calls = 0;
+  STRIP_CHECK([&] {
+    ++calls;
+    return true;
+  }());
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace

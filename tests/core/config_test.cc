@@ -1,0 +1,184 @@
+#include "core/config.h"
+
+#include <gtest/gtest.h>
+
+namespace strip::core {
+namespace {
+
+// The default Config must be the paper's baseline — these constants
+// are Tables 1-3 verbatim.
+TEST(ConfigTest, DefaultsMatchPaperTable1) {
+  const Config c;
+  EXPECT_DOUBLE_EQ(c.lambda_u, 400.0);
+  EXPECT_DOUBLE_EQ(c.p_ul, 0.5);
+  EXPECT_DOUBLE_EQ(c.a_update, 0.1);
+  EXPECT_EQ(c.n_low, 500);
+  EXPECT_EQ(c.n_high, 500);
+}
+
+TEST(ConfigTest, DefaultsMatchPaperTable2) {
+  const Config c;
+  EXPECT_DOUBLE_EQ(c.lambda_t, 10.0);
+  EXPECT_DOUBLE_EQ(c.p_tl, 0.5);
+  EXPECT_DOUBLE_EQ(c.s_min, 0.1);
+  EXPECT_DOUBLE_EQ(c.s_max, 1.0);
+  EXPECT_DOUBLE_EQ(c.v_low_mean, 1.0);
+  EXPECT_DOUBLE_EQ(c.v_high_mean, 2.0);
+  EXPECT_DOUBLE_EQ(c.v_low_sd, 0.5);
+  EXPECT_DOUBLE_EQ(c.v_high_sd, 0.5);
+  EXPECT_DOUBLE_EQ(c.reads_mean, 2.0);
+  EXPECT_DOUBLE_EQ(c.reads_sd, 1.0);
+  EXPECT_DOUBLE_EQ(c.alpha, 7.0);
+  EXPECT_DOUBLE_EQ(c.comp_mean, 0.12);
+  EXPECT_DOUBLE_EQ(c.comp_sd, 0.01);
+  EXPECT_DOUBLE_EQ(c.p_view, 0.0);
+}
+
+TEST(ConfigTest, DefaultsMatchPaperTable3) {
+  const Config c;
+  EXPECT_DOUBLE_EQ(c.ips, 50e6);
+  EXPECT_DOUBLE_EQ(c.x_lookup, 4000);
+  EXPECT_DOUBLE_EQ(c.x_update, 20000);
+  EXPECT_DOUBLE_EQ(c.x_switch, 0);
+  EXPECT_DOUBLE_EQ(c.x_queue, 0);
+  EXPECT_DOUBLE_EQ(c.x_scan, 0);
+  EXPECT_EQ(c.os_max, 4000);
+  EXPECT_EQ(c.uq_max, 5600);
+  EXPECT_TRUE(c.feasible_deadline);
+  EXPECT_FALSE(c.txn_preemption);
+  EXPECT_EQ(c.queue_discipline, QueueDiscipline::kFifo);
+}
+
+TEST(ConfigTest, ScenarioDefaults) {
+  const Config c;
+  EXPECT_EQ(c.staleness, db::StalenessCriterion::kMaxAge);
+  EXPECT_FALSE(c.abort_on_stale);
+  EXPECT_DOUBLE_EQ(c.sim_seconds, 1000.0);
+  EXPECT_DOUBLE_EQ(c.warmup_seconds, 0.0);
+  EXPECT_FALSE(c.indexed_update_queue);
+  EXPECT_FALSE(c.split_importance_queues);
+  EXPECT_FALSE(c.periodic_updates);
+}
+
+TEST(ConfigTest, DefaultValidates) {
+  const Config c;
+  EXPECT_FALSE(c.Validate().has_value());
+}
+
+TEST(ConfigTest, UpdateStreamParamsDerivation) {
+  Config c;
+  c.lambda_u = 123;
+  c.p_ul = 0.7;
+  c.a_update = 0.05;
+  c.n_low = 10;
+  c.n_high = 20;
+  c.periodic_updates = true;
+  const auto p = c.UpdateStreamParams();
+  EXPECT_DOUBLE_EQ(p.arrival_rate, 123);
+  EXPECT_DOUBLE_EQ(p.p_low, 0.7);
+  EXPECT_DOUBLE_EQ(p.mean_age, 0.05);
+  EXPECT_EQ(p.n_low, 10);
+  EXPECT_EQ(p.n_high, 20);
+  EXPECT_TRUE(p.periodic);
+}
+
+TEST(ConfigTest, TxnSourceParamsDerivation) {
+  Config c;
+  c.lambda_t = 5;
+  c.p_tl = 0.25;
+  c.p_view = 0.5;
+  c.x_lookup = 1000;
+  const auto p = c.TxnSourceParams();
+  EXPECT_DOUBLE_EQ(p.arrival_rate, 5);
+  EXPECT_DOUBLE_EQ(p.p_low, 0.25);
+  EXPECT_DOUBLE_EQ(p.p_view, 0.5);
+  EXPECT_DOUBLE_EQ(p.lookup_instructions, 1000);
+  EXPECT_DOUBLE_EQ(p.ips, 50e6);
+  EXPECT_DOUBLE_EQ(p.comp_mean, 0.12);
+}
+
+struct BadConfigCase {
+  const char* name;
+  void (*mutate)(Config&);
+};
+
+class ConfigValidationTest : public ::testing::TestWithParam<BadConfigCase> {
+};
+
+TEST_P(ConfigValidationTest, RejectsOutOfRangeParameter) {
+  Config c;
+  GetParam().mutate(c);
+  EXPECT_TRUE(c.Validate().has_value()) << GetParam().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBadFields, ConfigValidationTest,
+    ::testing::Values(
+        BadConfigCase{"lambda_u_zero", [](Config& c) { c.lambda_u = 0; }},
+        BadConfigCase{"p_ul_negative", [](Config& c) { c.p_ul = -0.1; }},
+        BadConfigCase{"p_ul_above_one", [](Config& c) { c.p_ul = 1.1; }},
+        BadConfigCase{"a_update_zero", [](Config& c) { c.a_update = 0; }},
+        BadConfigCase{"n_low_zero", [](Config& c) { c.n_low = 0; }},
+        BadConfigCase{"n_high_zero", [](Config& c) { c.n_high = 0; }},
+        BadConfigCase{"lambda_t_zero", [](Config& c) { c.lambda_t = 0; }},
+        BadConfigCase{"p_tl_above_one", [](Config& c) { c.p_tl = 2; }},
+        BadConfigCase{"slack_reversed",
+                      [](Config& c) {
+                        c.s_min = 1.0;
+                        c.s_max = 0.1;
+                      }},
+        BadConfigCase{"slack_negative", [](Config& c) { c.s_min = -1; }},
+        BadConfigCase{"reads_negative", [](Config& c) { c.reads_mean = -1; }},
+        BadConfigCase{"comp_negative", [](Config& c) { c.comp_mean = -1; }},
+        BadConfigCase{"p_view_above_one", [](Config& c) { c.p_view = 1.5; }},
+        BadConfigCase{"ips_zero", [](Config& c) { c.ips = 0; }},
+        BadConfigCase{"x_lookup_negative",
+                      [](Config& c) { c.x_lookup = -1; }},
+        BadConfigCase{"x_update_negative",
+                      [](Config& c) { c.x_update = -1; }},
+        BadConfigCase{"os_max_zero", [](Config& c) { c.os_max = 0; }},
+        BadConfigCase{"uq_max_zero", [](Config& c) { c.uq_max = 0; }},
+        BadConfigCase{"alpha_zero_under_ma",
+                      [](Config& c) { c.alpha = 0; }},
+        BadConfigCase{"sim_seconds_zero",
+                      [](Config& c) { c.sim_seconds = 0; }},
+        BadConfigCase{"warmup_past_end",
+                      [](Config& c) { c.warmup_seconds = c.sim_seconds; }},
+        BadConfigCase{"warmup_negative",
+                      [](Config& c) { c.warmup_seconds = -1; }},
+        BadConfigCase{"fcf_share_above_one",
+                      [](Config& c) {
+                        c.policy = PolicyKind::kFixedFraction;
+                        c.update_cpu_fraction = 1.5;
+                      }},
+        BadConfigCase{"trigger_probability_above_one",
+                      [](Config& c) { c.trigger_probability = 1.5; }},
+        BadConfigCase{"x_trigger_negative",
+                      [](Config& c) { c.x_trigger = -1; }},
+        BadConfigCase{"buffer_hit_ratio_above_one",
+                      [](Config& c) { c.buffer_hit_ratio = 1.5; }},
+        BadConfigCase{"io_seconds_negative",
+                      [](Config& c) { c.io_seconds = -1; }}),
+    [](const ::testing::TestParamInfo<BadConfigCase>& info) {
+      return info.param.name;
+    });
+
+TEST(ConfigTest, AlphaUnusedUnderUuIsAccepted) {
+  Config c;
+  c.staleness = db::StalenessCriterion::kUnappliedUpdate;
+  c.alpha = 0;  // ignored under UU
+  EXPECT_FALSE(c.Validate().has_value());
+}
+
+TEST(ConfigTest, Names) {
+  EXPECT_STREQ(PolicyKindName(PolicyKind::kUpdateFirst), "UF");
+  EXPECT_STREQ(PolicyKindName(PolicyKind::kTransactionFirst), "TF");
+  EXPECT_STREQ(PolicyKindName(PolicyKind::kSplitUpdates), "SU");
+  EXPECT_STREQ(PolicyKindName(PolicyKind::kOnDemand), "OD");
+  EXPECT_STREQ(PolicyKindName(PolicyKind::kFixedFraction), "FCF");
+  EXPECT_STREQ(QueueDisciplineName(QueueDiscipline::kFifo), "FIFO");
+  EXPECT_STREQ(QueueDisciplineName(QueueDiscipline::kLifo), "LIFO");
+}
+
+}  // namespace
+}  // namespace strip::core

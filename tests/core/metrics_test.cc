@@ -1,0 +1,89 @@
+#include "core/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace strip::core {
+namespace {
+
+TEST(RunMetricsTest, ZeroedMetricsHaveSafeDerivations) {
+  const RunMetrics m;
+  EXPECT_EQ(m.txns_terminal(), 0u);
+  EXPECT_DOUBLE_EQ(m.p_md(), 0.0);
+  EXPECT_DOUBLE_EQ(m.p_success(), 0.0);
+  EXPECT_DOUBLE_EQ(m.p_suc_nontardy(), 0.0);
+  EXPECT_DOUBLE_EQ(m.av(), 0.0);
+  EXPECT_DOUBLE_EQ(m.rho_t(), 0.0);
+  EXPECT_DOUBLE_EQ(m.rho_u(), 0.0);
+}
+
+RunMetrics Sample() {
+  RunMetrics m;
+  m.observed_seconds = 100;
+  m.txns_arrived = 1000;
+  m.txns_committed = 700;
+  m.txns_committed_fresh = 560;
+  m.txns_committed_stale = 140;
+  m.txns_missed_deadline = 200;
+  m.txns_infeasible = 60;
+  m.txns_stale_aborted = 40;
+  m.value_committed = 1200;
+  m.cpu_txn_seconds = 80;
+  m.cpu_update_seconds = 15;
+  return m;
+}
+
+TEST(RunMetricsTest, TerminalCount) {
+  EXPECT_EQ(Sample().txns_terminal(), 1000u);
+}
+
+TEST(RunMetricsTest, PMdCountsEveryNonCommit) {
+  // 300 of 1000 did not complete by their deadline.
+  EXPECT_DOUBLE_EQ(Sample().p_md(), 0.3);
+}
+
+TEST(RunMetricsTest, PSuccess) {
+  EXPECT_DOUBLE_EQ(Sample().p_success(), 0.56);
+}
+
+TEST(RunMetricsTest, PSucNontardy) {
+  EXPECT_DOUBLE_EQ(Sample().p_suc_nontardy(), 0.8);
+}
+
+TEST(RunMetricsTest, AvIsValuePerSecond) {
+  EXPECT_DOUBLE_EQ(Sample().av(), 12.0);
+}
+
+TEST(RunMetricsTest, RhoFractions) {
+  const RunMetrics m = Sample();
+  EXPECT_DOUBLE_EQ(m.rho_t(), 0.8);
+  EXPECT_DOUBLE_EQ(m.rho_u(), 0.15);
+  EXPECT_DOUBLE_EQ(m.rho_total(), 0.95);
+}
+
+TEST(RunMetricsTest, OverloadDropsCountAgainstPmd) {
+  RunMetrics m = Sample();
+  m.txns_overload_dropped = 100;
+  EXPECT_EQ(m.txns_terminal(), 1100u);
+  EXPECT_NEAR(m.p_md(), 400.0 / 1100.0, 1e-12);
+  // p_success shrinks too: drops are failures.
+  EXPECT_NEAR(m.p_success(), 560.0 / 1100.0, 1e-12);
+}
+
+TEST(RunMetricsTest, PerClassFieldsDefaultToZero) {
+  const RunMetrics m;
+  EXPECT_EQ(m.txns_arrived_by_class[0], 0u);
+  EXPECT_EQ(m.txns_committed_by_class[1], 0u);
+  EXPECT_DOUBLE_EQ(m.value_committed_by_class[0], 0.0);
+}
+
+TEST(RunMetricsTest, ToStringMentionsKeyNumbers) {
+  const std::string s = Sample().ToString();
+  EXPECT_NE(s.find("p_MD=0.300"), std::string::npos);
+  EXPECT_NE(s.find("p_success=0.560"), std::string::npos);
+  EXPECT_NE(s.find("AV=12.00"), std::string::npos);
+  EXPECT_NE(s.find("rho_t=0.800"), std::string::npos);
+  EXPECT_NE(s.find("committed=700"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace strip::core

@@ -1,0 +1,130 @@
+#include "core/policy.h"
+
+#include <gtest/gtest.h>
+
+#include "core/policy_fcf.h"
+#include "core/policy_od.h"
+#include "core/policy_su.h"
+#include "core/policy_tf.h"
+#include "core/policy_uf.h"
+
+namespace strip::core {
+namespace {
+
+db::Update LowUpdate() {
+  db::Update u;
+  u.object = {db::ObjectClass::kLowImportance, 3};
+  return u;
+}
+
+db::Update HighUpdate() {
+  db::Update u;
+  u.object = {db::ObjectClass::kHighImportance, 3};
+  return u;
+}
+
+TEST(PolicyFactoryTest, CreatesEveryKind) {
+  for (PolicyKind kind :
+       {PolicyKind::kUpdateFirst, PolicyKind::kTransactionFirst,
+        PolicyKind::kSplitUpdates, PolicyKind::kOnDemand,
+        PolicyKind::kFixedFraction}) {
+    Config config;
+    config.policy = kind;
+    auto policy = MakePolicy(config);
+    ASSERT_NE(policy, nullptr);
+    EXPECT_EQ(policy->kind(), kind);
+    EXPECT_STREQ(policy->name(), PolicyKindName(kind));
+  }
+}
+
+TEST(UpdateFirstPolicyTest, DecisionTable) {
+  UpdateFirstPolicy policy;
+  EXPECT_TRUE(policy.InstallOnArrival(LowUpdate()));
+  EXPECT_TRUE(policy.InstallOnArrival(HighUpdate()));
+  EXPECT_FALSE(policy.AppliesOnDemand());
+  EXPECT_FALSE(policy.UsesUpdateQueue());
+  UpdaterContext context;
+  context.os_pending = 0;
+  EXPECT_FALSE(policy.UpdaterHasPriority(context));
+  context.os_pending = 1;
+  EXPECT_TRUE(policy.UpdaterHasPriority(context));
+}
+
+TEST(TransactionFirstPolicyTest, DecisionTable) {
+  TransactionFirstPolicy policy;
+  EXPECT_FALSE(policy.InstallOnArrival(LowUpdate()));
+  EXPECT_FALSE(policy.InstallOnArrival(HighUpdate()));
+  EXPECT_FALSE(policy.AppliesOnDemand());
+  EXPECT_TRUE(policy.UsesUpdateQueue());
+  UpdaterContext context;
+  context.os_pending = 100;
+  context.uq_pending = 100;
+  EXPECT_FALSE(policy.UpdaterHasPriority(context));
+}
+
+TEST(SplitUpdatesPolicyTest, DecisionTable) {
+  SplitUpdatesPolicy policy;
+  EXPECT_FALSE(policy.InstallOnArrival(LowUpdate()));
+  EXPECT_TRUE(policy.InstallOnArrival(HighUpdate()));
+  EXPECT_FALSE(policy.AppliesOnDemand());
+  EXPECT_TRUE(policy.UsesUpdateQueue());
+  UpdaterContext context;
+  context.uq_pending = 50;
+  EXPECT_FALSE(policy.UpdaterHasPriority(context));
+}
+
+TEST(OnDemandPolicyTest, DecisionTable) {
+  OnDemandPolicy policy;
+  EXPECT_FALSE(policy.InstallOnArrival(LowUpdate()));
+  EXPECT_FALSE(policy.InstallOnArrival(HighUpdate()));
+  EXPECT_TRUE(policy.AppliesOnDemand());
+  EXPECT_TRUE(policy.UsesUpdateQueue());
+  UpdaterContext context;
+  context.uq_pending = 50;
+  EXPECT_FALSE(policy.UpdaterHasPriority(context));
+}
+
+TEST(FixedFractionPolicyTest, GrantsPriorityBelowShare) {
+  FixedFractionPolicy policy(0.2);
+  EXPECT_DOUBLE_EQ(policy.fraction(), 0.2);
+  UpdaterContext context;
+  context.now = 100;
+  context.observation_start = 0;
+  context.uq_pending = 5;
+  context.updater_cpu_seconds = 10;  // 10% < 20% share
+  EXPECT_TRUE(policy.UpdaterHasPriority(context));
+  context.updater_cpu_seconds = 30;  // 30% > 20% share
+  EXPECT_FALSE(policy.UpdaterHasPriority(context));
+}
+
+TEST(FixedFractionPolicyTest, NoPriorityWithoutWork) {
+  FixedFractionPolicy policy(0.5);
+  UpdaterContext context;
+  context.now = 100;
+  context.updater_cpu_seconds = 0;
+  context.os_pending = 0;
+  context.uq_pending = 0;
+  EXPECT_FALSE(policy.UpdaterHasPriority(context));
+}
+
+TEST(FixedFractionPolicyTest, ObservationStartShiftsShare) {
+  FixedFractionPolicy policy(0.2);
+  UpdaterContext context;
+  context.now = 150;
+  context.observation_start = 100;  // only 50 s observed
+  context.uq_pending = 1;
+  context.updater_cpu_seconds = 9;  // 18% of 50 s
+  EXPECT_TRUE(policy.UpdaterHasPriority(context));
+  context.updater_cpu_seconds = 11;  // 22%
+  EXPECT_FALSE(policy.UpdaterHasPriority(context));
+}
+
+TEST(FixedFractionPolicyTest, RestOfDecisionTable) {
+  FixedFractionPolicy policy(0.2);
+  EXPECT_FALSE(policy.InstallOnArrival(HighUpdate()));
+  EXPECT_FALSE(policy.AppliesOnDemand());
+  EXPECT_TRUE(policy.UsesUpdateQueue());
+}
+
+}  // namespace
+}  // namespace strip::core

@@ -1,0 +1,775 @@
+#include "core/system.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+
+namespace strip::core {
+namespace {
+
+RunMetrics RunSystem(const Config& config, std::uint64_t seed = 1) {
+  sim::Simulator simulator;
+  System system(&simulator, config, seed);
+  return system.Run();
+}
+
+Config ShortBaseline(double seconds = 30.0) {
+  Config config;
+  config.sim_seconds = seconds;
+  return config;
+}
+
+// ---------------------------------------------------------------------------
+// Invariants that must hold for EVERY (policy, criterion, abort, load)
+// combination: transaction conservation, update conservation, CPU
+// utilization bounds, metric ranges.
+// ---------------------------------------------------------------------------
+
+struct ScenarioCase {
+  PolicyKind policy;
+  db::StalenessCriterion criterion;
+  bool abort_on_stale;
+  double lambda_t;
+};
+
+std::string ScenarioName(
+    const ::testing::TestParamInfo<ScenarioCase>& info) {
+  std::string name = PolicyKindName(info.param.policy);
+  name += info.param.criterion == db::StalenessCriterion::kMaxAge ? "_MA"
+          : info.param.criterion == db::StalenessCriterion::kUnappliedUpdate
+              ? "_UU"
+              : "_MAUU";
+  name += info.param.abort_on_stale ? "_abort" : "_noabort";
+  name += "_lt";
+  name += std::to_string(static_cast<int>(info.param.lambda_t));
+  return name;
+}
+
+class ScenarioInvariantsTest
+    : public ::testing::TestWithParam<ScenarioCase> {
+ protected:
+  Config MakeConfig() const {
+    Config config = ShortBaseline(25.0);
+    config.policy = GetParam().policy;
+    config.staleness = GetParam().criterion;
+    config.abort_on_stale = GetParam().abort_on_stale;
+    config.lambda_t = GetParam().lambda_t;
+    return config;
+  }
+};
+
+TEST_P(ScenarioInvariantsTest, TransactionsAreConserved) {
+  const RunMetrics m = RunSystem(MakeConfig());
+  EXPECT_EQ(m.txns_arrived,
+            m.txns_terminal() + m.txns_inflight_at_end);
+  EXPECT_EQ(m.txns_committed,
+            m.txns_committed_fresh + m.txns_committed_stale);
+  EXPECT_EQ(m.txns_arrived,
+            m.txns_arrived_by_class[0] + m.txns_arrived_by_class[1]);
+  EXPECT_EQ(m.txns_committed,
+            m.txns_committed_by_class[0] + m.txns_committed_by_class[1]);
+  EXPECT_NEAR(m.value_committed,
+              m.value_committed_by_class[0] + m.value_committed_by_class[1],
+              1e-9);
+}
+
+TEST_P(ScenarioInvariantsTest, CpuUtilizationIsBounded) {
+  const RunMetrics m = RunSystem(MakeConfig());
+  EXPECT_GE(m.rho_t(), 0.0);
+  EXPECT_GE(m.rho_u(), 0.0);
+  EXPECT_LE(m.rho_total(), 1.0 + 1e-9);
+  EXPECT_DOUBLE_EQ(m.observed_seconds, 25.0);
+}
+
+TEST_P(ScenarioInvariantsTest, MetricRangesAreSane) {
+  const RunMetrics m = RunSystem(MakeConfig());
+  EXPECT_GE(m.p_md(), 0.0);
+  EXPECT_LE(m.p_md(), 1.0);
+  EXPECT_GE(m.p_success(), 0.0);
+  EXPECT_LE(m.p_success(), 1.0);
+  EXPECT_GE(m.f_old_low, 0.0);
+  EXPECT_LE(m.f_old_low, 1.0);
+  EXPECT_GE(m.f_old_high, 0.0);
+  EXPECT_LE(m.f_old_high, 1.0);
+  EXPECT_GE(m.av(), 0.0);
+  EXPECT_GT(m.txns_arrived, 0u);
+  EXPECT_GT(m.updates_arrived, 0u);
+}
+
+TEST_P(ScenarioInvariantsTest, UpdatesAreConserved) {
+  const Config config = MakeConfig();
+  sim::Simulator simulator;
+  System system(&simulator, config, 1);
+  const RunMetrics m = system.Run();
+  // Every arrived update is accounted for exactly once; one update may
+  // be mid-install on the CPU when the run is cut off.
+  const std::uint64_t accounted =
+      m.updates_dropped_os_full + m.updates_dropped_uq_overflow +
+      m.updates_dropped_expired + m.updates_installed + m.updates_unworthy +
+      system.os_queue().size() + system.update_queue().size();
+  EXPECT_GE(m.updates_arrived, accounted);
+  EXPECT_LE(m.updates_arrived, accounted + 1);
+}
+
+TEST_P(ScenarioInvariantsTest, DeterministicBySeed) {
+  const Config config = MakeConfig();
+  const RunMetrics a = RunSystem(config, 99);
+  const RunMetrics b = RunSystem(config, 99);
+  EXPECT_EQ(a.txns_committed, b.txns_committed);
+  EXPECT_EQ(a.updates_installed, b.updates_installed);
+  EXPECT_DOUBLE_EQ(a.value_committed, b.value_committed);
+  EXPECT_DOUBLE_EQ(a.f_old_low, b.f_old_low);
+  EXPECT_DOUBLE_EQ(a.cpu_txn_seconds, b.cpu_txn_seconds);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPoliciesAndCriteria, ScenarioInvariantsTest,
+    ::testing::Values(
+        ScenarioCase{PolicyKind::kUpdateFirst,
+                     db::StalenessCriterion::kMaxAge, false, 10},
+        ScenarioCase{PolicyKind::kTransactionFirst,
+                     db::StalenessCriterion::kMaxAge, false, 10},
+        ScenarioCase{PolicyKind::kSplitUpdates,
+                     db::StalenessCriterion::kMaxAge, false, 10},
+        ScenarioCase{PolicyKind::kOnDemand,
+                     db::StalenessCriterion::kMaxAge, false, 10},
+        ScenarioCase{PolicyKind::kFixedFraction,
+                     db::StalenessCriterion::kMaxAge, false, 10},
+        ScenarioCase{PolicyKind::kUpdateFirst,
+                     db::StalenessCriterion::kMaxAge, true, 15},
+        ScenarioCase{PolicyKind::kTransactionFirst,
+                     db::StalenessCriterion::kMaxAge, true, 15},
+        ScenarioCase{PolicyKind::kSplitUpdates,
+                     db::StalenessCriterion::kMaxAge, true, 15},
+        ScenarioCase{PolicyKind::kOnDemand,
+                     db::StalenessCriterion::kMaxAge, true, 15},
+        ScenarioCase{PolicyKind::kUpdateFirst,
+                     db::StalenessCriterion::kUnappliedUpdate, false, 10},
+        ScenarioCase{PolicyKind::kTransactionFirst,
+                     db::StalenessCriterion::kUnappliedUpdate, false, 10},
+        ScenarioCase{PolicyKind::kSplitUpdates,
+                     db::StalenessCriterion::kUnappliedUpdate, false, 10},
+        ScenarioCase{PolicyKind::kOnDemand,
+                     db::StalenessCriterion::kUnappliedUpdate, false, 10},
+        ScenarioCase{PolicyKind::kTransactionFirst,
+                     db::StalenessCriterion::kCombined, false, 10},
+        ScenarioCase{PolicyKind::kOnDemand,
+                     db::StalenessCriterion::kCombined, false, 10},
+        ScenarioCase{PolicyKind::kTransactionFirst,
+                     db::StalenessCriterion::kMaxAge, false, 25},
+        ScenarioCase{PolicyKind::kOnDemand,
+                     db::StalenessCriterion::kMaxAge, false, 25},
+        ScenarioCase{PolicyKind::kUpdateFirst,
+                     db::StalenessCriterion::kMaxAge, false, 2},
+        ScenarioCase{PolicyKind::kOnDemand,
+                     db::StalenessCriterion::kUnappliedUpdate, true, 10}),
+    ScenarioName);
+
+// ---------------------------------------------------------------------------
+// Policy-specific behaviour.
+// ---------------------------------------------------------------------------
+
+TEST(SystemUfTest, NeverUsesUpdateQueue) {
+  Config config = ShortBaseline();
+  config.policy = PolicyKind::kUpdateFirst;
+  config.lambda_t = 15;
+  const RunMetrics m = RunSystem(config);
+  EXPECT_EQ(m.uq_length_max, 0u);
+  EXPECT_DOUBLE_EQ(m.uq_length_avg, 0.0);
+}
+
+TEST(SystemUfTest, KeepsDataFreshUnderOverload) {
+  Config config = ShortBaseline();
+  config.policy = PolicyKind::kUpdateFirst;
+  config.lambda_t = 25;
+  const RunMetrics m = RunSystem(config);
+  EXPECT_LT(m.f_old_low, 0.15);
+  EXPECT_LT(m.f_old_high, 0.15);
+}
+
+TEST(SystemUfTest, UpdateUtilizationMatchesStreamDemand) {
+  // 400/s * 24000 instructions / 50 MIPS = 0.192.
+  Config config = ShortBaseline(60.0);
+  config.policy = PolicyKind::kUpdateFirst;
+  const RunMetrics m = RunSystem(config);
+  EXPECT_NEAR(m.rho_u(), 0.192, 0.02);
+}
+
+TEST(SystemUfTest, NeverStaleUnderUu) {
+  Config config = ShortBaseline();
+  config.policy = PolicyKind::kUpdateFirst;
+  config.staleness = db::StalenessCriterion::kUnappliedUpdate;
+  config.lambda_t = 20;
+  const RunMetrics m = RunSystem(config);
+  EXPECT_DOUBLE_EQ(m.f_old_low, 0.0);
+  EXPECT_DOUBLE_EQ(m.f_old_high, 0.0);
+  EXPECT_EQ(m.txns_committed_stale, 0u);
+}
+
+TEST(SystemTfTest, DataGoesStaleUnderOverload) {
+  Config config = ShortBaseline();
+  config.policy = PolicyKind::kTransactionFirst;
+  config.lambda_t = 20;
+  const RunMetrics m = RunSystem(config);
+  EXPECT_GT(m.f_old_low, 0.5);
+  EXPECT_GT(m.f_old_high, 0.5);
+}
+
+TEST(SystemTfTest, ExpiredUpdatesAreDiscarded) {
+  Config config = ShortBaseline(40.0);
+  config.policy = PolicyKind::kTransactionFirst;
+  config.lambda_t = 20;
+  const RunMetrics m = RunSystem(config);
+  EXPECT_GT(m.updates_dropped_expired, 0u);
+}
+
+TEST(SystemSuTest, ProtectsHighImportancePartitionOnly) {
+  Config config = ShortBaseline();
+  config.policy = PolicyKind::kSplitUpdates;
+  config.lambda_t = 20;
+  const RunMetrics m = RunSystem(config);
+  EXPECT_LT(m.f_old_high, 0.15);
+  EXPECT_GT(m.f_old_low, 0.5);
+}
+
+TEST(SystemOdTest, AppliesUpdatesOnDemand) {
+  Config config = ShortBaseline();
+  config.policy = PolicyKind::kOnDemand;
+  config.lambda_t = 20;
+  const RunMetrics m = RunSystem(config);
+  EXPECT_GT(m.updates_applied_on_demand, 0u);
+}
+
+TEST(SystemOdTest, BeatsTfOnSuccessUnderLoad) {
+  Config config = ShortBaseline(60.0);
+  config.lambda_t = 15;
+  config.policy = PolicyKind::kOnDemand;
+  const RunMetrics od = RunSystem(config);
+  config.policy = PolicyKind::kTransactionFirst;
+  const RunMetrics tf = RunSystem(config);
+  EXPECT_GT(od.p_success(), tf.p_success() + 0.1);
+}
+
+TEST(SystemOdTest, CommittedStaleIsZeroWithAbortUnderMa) {
+  Config config = ShortBaseline();
+  config.policy = PolicyKind::kOnDemand;
+  config.abort_on_stale = true;
+  config.lambda_t = 15;
+  const RunMetrics m = RunSystem(config);
+  // Under MA, staleness is always detected, so no stale commit can
+  // slip through.
+  EXPECT_EQ(m.txns_committed_stale, 0u);
+}
+
+TEST(SystemFcfTest, UpdaterShareIsRespectedUnderOverload) {
+  Config config = ShortBaseline(60.0);
+  config.policy = PolicyKind::kFixedFraction;
+  config.update_cpu_fraction = 0.1;
+  config.lambda_t = 20;  // transactions would otherwise starve updates
+  const RunMetrics m = RunSystem(config);
+  EXPECT_NEAR(m.rho_u(), 0.1, 0.03);
+}
+
+TEST(SystemFcfTest, ZeroShareDegeneratesToTf) {
+  Config config = ShortBaseline(40.0);
+  config.lambda_t = 15;
+  config.policy = PolicyKind::kFixedFraction;
+  config.update_cpu_fraction = 0.0;
+  const RunMetrics fcf = RunSystem(config);
+  config.policy = PolicyKind::kTransactionFirst;
+  const RunMetrics tf = RunSystem(config);
+  EXPECT_NEAR(fcf.f_old_low, tf.f_old_low, 0.05);
+  EXPECT_NEAR(fcf.p_md(), tf.p_md(), 0.05);
+}
+
+// ---------------------------------------------------------------------------
+// Scenario switches.
+// ---------------------------------------------------------------------------
+
+TEST(SystemAbortTest, StaleAbortsHappenForTfUnderLoad) {
+  Config config = ShortBaseline();
+  config.policy = PolicyKind::kTransactionFirst;
+  config.abort_on_stale = true;
+  config.lambda_t = 15;
+  const RunMetrics m = RunSystem(config);
+  EXPECT_GT(m.txns_stale_aborted, 0u);
+  EXPECT_EQ(m.txns_committed_stale, 0u);
+}
+
+TEST(SystemAbortTest, AbortsFreeCpuAndFreshenTfData) {
+  Config config = ShortBaseline(60.0);
+  config.policy = PolicyKind::kTransactionFirst;
+  config.lambda_t = 15;
+  config.abort_on_stale = false;
+  const RunMetrics no_abort = RunSystem(config);
+  config.abort_on_stale = true;
+  const RunMetrics with_abort = RunSystem(config);
+  EXPECT_LT(with_abort.f_old_high, no_abort.f_old_high * 0.7);
+}
+
+TEST(SystemFeasibleTest, DisablingFeasibleDeadlineRemovesInfeasible) {
+  Config config = ShortBaseline();
+  config.feasible_deadline = false;
+  config.lambda_t = 20;
+  const RunMetrics m = RunSystem(config);
+  EXPECT_EQ(m.txns_infeasible, 0u);
+  EXPECT_GT(m.txns_missed_deadline, 0u);
+}
+
+TEST(SystemFeasibleTest, ScreeningRaisesValueUnderOverload) {
+  Config config = ShortBaseline(60.0);
+  config.policy = PolicyKind::kTransactionFirst;
+  config.lambda_t = 25;
+  config.feasible_deadline = true;
+  const RunMetrics with_screen = RunSystem(config);
+  config.feasible_deadline = false;
+  const RunMetrics without_screen = RunSystem(config);
+  EXPECT_GT(with_screen.av(), without_screen.av());
+}
+
+TEST(SystemPreemptionTest, RunsAndConserves) {
+  Config config = ShortBaseline();
+  config.txn_preemption = true;
+  config.lambda_t = 15;
+  const RunMetrics m = RunSystem(config);
+  EXPECT_EQ(m.txns_arrived,
+            m.txns_committed + m.txns_missed_deadline + m.txns_infeasible +
+                m.txns_stale_aborted + m.txns_inflight_at_end);
+  EXPECT_GT(m.txns_committed, 0u);
+}
+
+TEST(SystemLifoTest, LifoKeepsDataFresherThanFifoForTf) {
+  Config config = ShortBaseline(60.0);
+  config.policy = PolicyKind::kTransactionFirst;
+  config.lambda_t = 10;
+  config.queue_discipline = QueueDiscipline::kFifo;
+  const RunMetrics fifo = RunSystem(config);
+  config.queue_discipline = QueueDiscipline::kLifo;
+  const RunMetrics lifo = RunSystem(config);
+  EXPECT_LT(lifo.f_old_low, fifo.f_old_low);
+}
+
+TEST(SystemWarmupTest, WarmupShrinksObservationWindow) {
+  Config config = ShortBaseline(30.0);
+  config.warmup_seconds = 10.0;
+  const RunMetrics m = RunSystem(config);
+  EXPECT_DOUBLE_EQ(m.observed_seconds, 20.0);
+  // Rates remain in normal ranges.
+  EXPECT_GT(m.txns_arrived, 0u);
+  EXPECT_LE(m.rho_total(), 1.0 + 1e-9);
+}
+
+TEST(SystemSwitchCostTest, ContextSwitchesConsumeCpu) {
+  Config config = ShortBaseline(40.0);
+  config.policy = PolicyKind::kUpdateFirst;  // preempts constantly
+  config.x_switch = 0;
+  const RunMetrics free_switch = RunSystem(config);
+  config.x_switch = 10000;
+  const RunMetrics costly_switch = RunSystem(config);
+  EXPECT_GT(costly_switch.rho_u(), free_switch.rho_u() + 0.05);
+  EXPECT_LE(costly_switch.rho_total(), 1.0 + 1e-9);
+}
+
+TEST(SystemQueueBoundsTest, TinyOsQueueDropsArrivals) {
+  Config config = ShortBaseline();
+  config.os_max = 2;
+  config.policy = PolicyKind::kTransactionFirst;
+  config.lambda_t = 15;
+  const RunMetrics m = RunSystem(config);
+  EXPECT_GT(m.updates_dropped_os_full, 0u);
+}
+
+TEST(SystemQueueBoundsTest, TinyUpdateQueueOverflows) {
+  Config config = ShortBaseline();
+  config.uq_max = 10;
+  config.policy = PolicyKind::kTransactionFirst;
+  config.lambda_t = 15;
+  const RunMetrics m = RunSystem(config);
+  EXPECT_GT(m.updates_dropped_uq_overflow, 0u);
+}
+
+TEST(SystemExtensionTest, IndexedQueueHelpsOdUnderScanCost) {
+  Config config = ShortBaseline(60.0);
+  config.policy = PolicyKind::kOnDemand;
+  config.lambda_t = 15;
+  config.x_scan = 4000;
+  config.indexed_update_queue = false;
+  const RunMetrics scanned = RunSystem(config);
+  config.indexed_update_queue = true;
+  const RunMetrics indexed = RunSystem(config);
+  EXPECT_GT(indexed.p_success(), scanned.p_success());
+}
+
+TEST(SystemExtensionTest, SplitQueueServiceFreshensHighPartition) {
+  Config config = ShortBaseline(60.0);
+  config.policy = PolicyKind::kTransactionFirst;
+  config.lambda_t = 12;
+  config.split_importance_queues = false;
+  const RunMetrics plain = RunSystem(config);
+  config.split_importance_queues = true;
+  const RunMetrics split = RunSystem(config);
+  EXPECT_LT(split.f_old_high, plain.f_old_high);
+}
+
+TEST(SystemExtensionTest, PeriodicUpdatesEliminateStalenessFloor) {
+  Config config = ShortBaseline(40.0);
+  config.policy = PolicyKind::kUpdateFirst;
+  config.lambda_t = 1;
+  config.periodic_updates = true;
+  const RunMetrics m = RunSystem(config);
+  // Every object refreshed every 2.5 s << alpha = 7 s.
+  EXPECT_LT(m.f_old_low, 0.01);
+  EXPECT_LT(m.f_old_high, 0.01);
+}
+
+TEST(SystemTest, LightLoadCommitsNearlyEverything) {
+  Config config = ShortBaseline(60.0);
+  config.lambda_t = 1;
+  const RunMetrics m = RunSystem(config);
+  EXPECT_LT(m.p_md(), 0.05);
+  EXPECT_GT(m.p_suc_nontardy(), 0.8);
+}
+
+TEST(SystemTest, ValueAccumulatesOnlyFromCommits) {
+  Config config = ShortBaseline();
+  const RunMetrics m = RunSystem(config);
+  EXPECT_GT(m.value_committed, 0.0);
+  // Mean value is 1.5; committed value can't exceed ~3 sd outliers.
+  EXPECT_LT(m.value_committed,
+            static_cast<double>(m.txns_committed) * 4.0);
+}
+
+TEST(SystemTest, PViewShiftsWorkBeforeReads) {
+  // With p_view = 1 every stale read is discovered at the very end;
+  // with aborts the wasted work shows up as lower AV.
+  Config config = ShortBaseline(60.0);
+  config.policy = PolicyKind::kTransactionFirst;
+  config.abort_on_stale = true;
+  config.lambda_t = 10;
+  config.p_view = 0.0;
+  const RunMetrics early = RunSystem(config);
+  config.p_view = 1.0;
+  const RunMetrics late = RunSystem(config);
+  EXPECT_LT(late.av(), early.av());
+}
+
+TEST(SystemSchedTest, EdfRunsAndConserves) {
+  Config config = ShortBaseline();
+  config.txn_sched = txn::TxnSchedPolicy::kEarliestDeadline;
+  config.lambda_t = 15;
+  const RunMetrics m = RunSystem(config);
+  EXPECT_EQ(m.txns_arrived,
+            m.txns_committed + m.txns_missed_deadline + m.txns_infeasible +
+                m.txns_stale_aborted + m.txns_inflight_at_end);
+  EXPECT_GT(m.txns_committed, 0u);
+}
+
+TEST(SystemSchedTest, ValueDensityEarnsMoreThanFcfsUnderOverload) {
+  // FCFS ignores value entirely; the paper's value-density rule should
+  // cash in more of the offered value when overloaded.
+  Config config = ShortBaseline(60.0);
+  config.lambda_t = 25;
+  config.txn_sched = txn::TxnSchedPolicy::kValueDensity;
+  const RunMetrics vd = RunSystem(config);
+  config.txn_sched = txn::TxnSchedPolicy::kFcfs;
+  const RunMetrics fcfs = RunSystem(config);
+  EXPECT_GT(vd.av(), fcfs.av());
+}
+
+TEST(SystemTriggerTest, TriggersConsumeUpdateCpu) {
+  Config config = ShortBaseline(40.0);
+  config.policy = PolicyKind::kUpdateFirst;
+  config.trigger_probability = 0.5;
+  config.x_trigger = 20000;  // doubles the write cost when it fires
+  const RunMetrics with_triggers = RunSystem(config);
+  config.trigger_probability = 0.0;
+  const RunMetrics without = RunSystem(config);
+  EXPECT_GT(with_triggers.triggers_fired, 0u);
+  EXPECT_EQ(without.triggers_fired, 0u);
+  EXPECT_GT(with_triggers.rho_u(), without.rho_u() + 0.05);
+}
+
+TEST(SystemTriggerTest, TriggerRateMatchesProbability) {
+  Config config = ShortBaseline(40.0);
+  config.policy = PolicyKind::kUpdateFirst;
+  config.trigger_probability = 0.25;
+  config.x_trigger = 1000;
+  const RunMetrics m = RunSystem(config);
+  const double rate = static_cast<double>(m.triggers_fired) /
+                      static_cast<double>(m.updates_installed);
+  EXPECT_NEAR(rate, 0.25, 0.03);
+}
+
+TEST(SystemDiskTest, MainMemoryBaselineNeverStalls) {
+  Config config = ShortBaseline();
+  const RunMetrics m = RunSystem(config);
+  EXPECT_EQ(m.io_stalls, 0u);
+}
+
+TEST(SystemDiskTest, BufferMissesStallAndAreCounted) {
+  Config config = ShortBaseline(40.0);
+  config.policy = PolicyKind::kUpdateFirst;
+  config.buffer_hit_ratio = 0.8;
+  config.io_seconds = 0.0005;
+  const RunMetrics m = RunSystem(config);
+  EXPECT_GT(m.io_stalls, 0u);
+  // Roughly one lookup per install plus two per transaction; 20% miss.
+  const double lookups = static_cast<double>(m.updates_installed) +
+                         static_cast<double>(m.updates_unworthy);
+  EXPECT_GT(static_cast<double>(m.io_stalls), 0.1 * lookups);
+  // Stall time inflates the update share of the CPU.
+  config.buffer_hit_ratio = 1.0;
+  const RunMetrics mem = RunSystem(config);
+  EXPECT_GT(m.rho_u(), mem.rho_u() + 0.02);
+}
+
+TEST(SystemResponseTimeTest, QuantilesAreOrderedAndBounded) {
+  Config config = ShortBaseline(60.0);
+  config.lambda_t = 10;
+  const RunMetrics m = RunSystem(config);
+  EXPECT_GT(m.response_mean, 0.0);
+  EXPECT_LE(m.response_p50, m.response_p95);
+  EXPECT_LE(m.response_p95, m.response_p99);
+  // A committed transaction's response is at most execution + slack;
+  // the baseline bounds that by roughly 1.3 s.
+  EXPECT_LT(m.response_p99, 1.5);
+  // And it is at least the minimum execution time (~0.09 s).
+  EXPECT_GT(m.response_p50, 0.05);
+}
+
+TEST(SystemResponseTimeTest, LoadStretchesResponseTimes) {
+  Config config = ShortBaseline(60.0);
+  config.lambda_t = 2;
+  const RunMetrics light = RunSystem(config);
+  config.lambda_t = 20;
+  const RunMetrics heavy = RunSystem(config);
+  EXPECT_GT(heavy.response_p95, light.response_p95);
+}
+
+TEST(SystemStalenessCriterionTest, ArrivalMaIsFresherThanGenerationMa) {
+  // arrival >= generation, so values age out strictly later under the
+  // arrival-based criterion.
+  Config config = ShortBaseline(60.0);
+  config.policy = PolicyKind::kUpdateFirst;
+  config.staleness = db::StalenessCriterion::kMaxAge;
+  const RunMetrics generation = RunSystem(config);
+  config.staleness = db::StalenessCriterion::kMaxAgeArrival;
+  const RunMetrics arrival = RunSystem(config);
+  EXPECT_LT(arrival.f_old_low, generation.f_old_low);
+}
+
+TEST(SystemStalenessCriterionTest, CombinedIsStalestOfAll) {
+  Config config = ShortBaseline(40.0);
+  config.policy = PolicyKind::kTransactionFirst;
+  config.lambda_t = 10;
+  config.staleness = db::StalenessCriterion::kMaxAge;
+  const RunMetrics ma = RunSystem(config);
+  config.staleness = db::StalenessCriterion::kUnappliedUpdate;
+  const RunMetrics uu = RunSystem(config);
+  config.staleness = db::StalenessCriterion::kCombined;
+  const RunMetrics combined = RunSystem(config);
+  EXPECT_GE(combined.f_old_low, ma.f_old_low - 0.02);
+  EXPECT_GE(combined.f_old_low, uu.f_old_low - 0.02);
+}
+
+TEST(SystemHistoryTest, DisabledByDefault) {
+  Config config = ShortBaseline(5.0);
+  sim::Simulator simulator;
+  System system(&simulator, config, 1);
+  system.Run();
+  EXPECT_EQ(system.history(), nullptr);
+}
+
+TEST(SystemHistoryTest, RecordsEveryInstall) {
+  Config config = ShortBaseline(10.0);
+  config.policy = PolicyKind::kUpdateFirst;
+  config.history_depth = 4;
+  sim::Simulator simulator;
+  System system(&simulator, config, 1);
+  const RunMetrics m = system.Run();
+  ASSERT_NE(system.history(), nullptr);
+  EXPECT_EQ(system.history()->recorded(), m.updates_installed);
+  // With 400 installs/s over 1000 objects, most objects have a full
+  // ring by t = 10.
+  int with_history = 0;
+  for (int i = 0; i < config.n_low; ++i) {
+    if (system.history()->VersionCount(
+            {db::ObjectClass::kLowImportance, i}) > 0) {
+      ++with_history;
+    }
+  }
+  EXPECT_GT(with_history, config.n_low / 2);
+}
+
+TEST(SystemHistoryTest, AsOfReturnsPastVersions) {
+  Config config = ShortBaseline(20.0);
+  config.policy = PolicyKind::kUpdateFirst;
+  config.history_depth = 8;
+  sim::Simulator simulator;
+  System system(&simulator, config, 1);
+  system.Run();
+  // Find an object with several versions and check as-of ordering.
+  for (int i = 0; i < config.n_low; ++i) {
+    const db::ObjectId id{db::ObjectClass::kLowImportance, i};
+    const auto versions = system.history()->History(id);
+    if (versions.size() < 3) continue;
+    const auto as_of =
+        system.history()->AsOf(id, versions[1].generation_time);
+    ASSERT_TRUE(as_of.has_value());
+    EXPECT_EQ(*as_of, versions[1]);
+    return;
+  }
+  FAIL() << "no object accumulated 3 versions";
+}
+
+TEST(SystemPartialUpdateTest, RunsAndConserves) {
+  Config config = ShortBaseline();
+  config.n_attributes = 4;
+  config.lambda_t = 10;
+  const RunMetrics m = RunSystem(config);
+  EXPECT_EQ(m.txns_arrived,
+            m.txns_committed + m.txns_missed_deadline + m.txns_infeasible +
+                m.txns_stale_aborted + m.txns_inflight_at_end);
+  EXPECT_GT(m.updates_installed, 0u);
+}
+
+TEST(SystemPartialUpdateTest, PartialUpdatesIncreaseStaleness) {
+  // An object is only as fresh as its oldest attribute: with A
+  // attributes refreshed independently, the refresh period per
+  // attribute grows A-fold and staleness rises even under UF.
+  Config config = ShortBaseline(60.0);
+  config.policy = PolicyKind::kUpdateFirst;
+  config.n_attributes = 1;
+  const RunMetrics complete = RunSystem(config);
+  config.n_attributes = 4;
+  const RunMetrics partial = RunSystem(config);
+  EXPECT_GT(partial.f_old_low, complete.f_old_low + 0.1);
+  EXPECT_GT(partial.f_old_high, complete.f_old_high + 0.1);
+}
+
+TEST(SystemAdmissionTest, LimitDropsArrivalsUnderOverload) {
+  Config config = ShortBaseline();
+  config.lambda_t = 25;
+  config.admission_limit = 2;
+  const RunMetrics m = RunSystem(config);
+  EXPECT_GT(m.txns_overload_dropped, 0u);
+  EXPECT_EQ(m.txns_arrived, m.txns_terminal() + m.txns_inflight_at_end);
+}
+
+TEST(SystemAdmissionTest, UnlimitedByDefault) {
+  Config config = ShortBaseline();
+  config.lambda_t = 25;
+  const RunMetrics m = RunSystem(config);
+  EXPECT_EQ(m.txns_overload_dropped, 0u);
+}
+
+TEST(SystemAdmissionTest, TightLimitCutsResponseTimes) {
+  // Admission control trades arrivals for latency: what is admitted
+  // waits behind at most `limit` predecessors.
+  Config config = ShortBaseline(60.0);
+  config.lambda_t = 25;
+  config.feasible_deadline = false;  // isolate the admission effect
+  const RunMetrics open = RunSystem(config);
+  config.admission_limit = 2;
+  const RunMetrics limited = RunSystem(config);
+  EXPECT_LT(limited.response_p95, open.response_p95);
+}
+
+TEST(SystemBurstyTest, RunsAndConserves) {
+  Config config = ShortBaseline(40.0);
+  config.bursty_updates = true;
+  config.lambda_u = 300;
+  config.lambda_u_peak = 600;
+  const RunMetrics m = RunSystem(config);
+  EXPECT_GT(m.updates_arrived, 0u);
+  EXPECT_EQ(m.txns_arrived, m.txns_terminal() + m.txns_inflight_at_end);
+}
+
+TEST(SystemBurstyTest, MeanRateBetweenNormalAndPeak) {
+  Config config = ShortBaseline(120.0);
+  config.policy = PolicyKind::kUpdateFirst;
+  config.bursty_updates = true;
+  config.lambda_u = 200;
+  config.lambda_u_peak = 600;
+  config.normal_dwell_seconds = 10;
+  config.burst_dwell_seconds = 10;
+  const RunMetrics m = RunSystem(config);
+  const double rate =
+      static_cast<double>(m.updates_arrived) / m.observed_seconds;
+  EXPECT_GT(rate, 250.0);
+  EXPECT_LT(rate, 550.0);
+}
+
+TEST(SystemDedupTest, BoundsQueueAtOnePerObject) {
+  Config config = ShortBaseline(40.0);
+  config.policy = PolicyKind::kTransactionFirst;
+  config.lambda_t = 20;  // overload: queue would otherwise hold ~2800
+  config.dedup_update_queue = true;
+  const RunMetrics m = RunSystem(config);
+  EXPECT_LE(m.uq_length_max,
+            static_cast<std::uint64_t>(config.n_low + config.n_high));
+  EXPECT_GT(m.updates_dropped_superseded, 0u);
+}
+
+TEST(SystemDedupTest, PreservesStalenessAndOdBehaviour) {
+  // Dropping superseded updates loses nothing: the newest per object
+  // is retained, so staleness and OD rescues are unchanged (to noise).
+  Config config = ShortBaseline(60.0);
+  config.policy = PolicyKind::kOnDemand;
+  config.lambda_t = 15;
+  const RunMetrics plain = RunSystem(config);
+  config.dedup_update_queue = true;
+  const RunMetrics dedup = RunSystem(config);
+  EXPECT_NEAR(dedup.f_old_low, plain.f_old_low, 0.05);
+  EXPECT_NEAR(dedup.p_success(), plain.p_success(), 0.05);
+}
+
+TEST(SystemDedupTest, ShrinksOdScanCost) {
+  // The bounded queue is the paper's remedy for expensive scans: the
+  // same x_scan hurts far less when N_q is capped near N instead of
+  // alpha * lambda_u.
+  Config config = ShortBaseline(60.0);
+  config.policy = PolicyKind::kOnDemand;
+  config.lambda_t = 10;
+  config.x_scan = 2000;
+  const RunMetrics plain = RunSystem(config);
+  config.dedup_update_queue = true;
+  const RunMetrics dedup = RunSystem(config);
+  EXPECT_GT(dedup.av(), plain.av());
+  EXPECT_LT(dedup.uq_length_avg, plain.uq_length_avg);
+}
+
+TEST(SystemDedupTest, ConservationStillHolds) {
+  Config config = ShortBaseline(25.0);
+  config.policy = PolicyKind::kTransactionFirst;
+  config.lambda_t = 15;
+  config.dedup_update_queue = true;
+  sim::Simulator simulator;
+  System system(&simulator, config, 1);
+  const RunMetrics m = system.Run();
+  const std::uint64_t accounted =
+      m.updates_dropped_os_full + m.updates_dropped_uq_overflow +
+      m.updates_dropped_expired + m.updates_dropped_superseded +
+      m.updates_installed + m.updates_unworthy + system.os_queue().size() +
+      system.update_queue().size();
+  EXPECT_GE(m.updates_arrived, accounted);
+  EXPECT_LE(m.updates_arrived, accounted + 1);
+}
+
+TEST(SystemDeathTest, InvalidConfigDiesAtConstruction) {
+  sim::Simulator simulator;
+  Config config;
+  config.lambda_t = 0;
+  EXPECT_DEATH(System(&simulator, config, 1), "positive");
+}
+
+TEST(SystemDeathTest, RunTwiceDies) {
+  sim::Simulator simulator;
+  Config config = ShortBaseline(5.0);
+  System system(&simulator, config, 1);
+  system.Run();
+  EXPECT_DEATH(system.Run(), "twice");
+}
+
+}  // namespace
+}  // namespace strip::core

@@ -1,0 +1,139 @@
+#include "core/trace_writer.h"
+
+#include <memory>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "core/system.h"
+#include "sim/simulator.h"
+
+namespace strip::core {
+namespace {
+
+std::unique_ptr<txn::Transaction> MakeTxn(txn::TxnOutcome outcome,
+                                          int stale_reads) {
+  txn::Transaction::Params p;
+  p.id = 42;
+  p.cls = txn::TxnClass::kHighValue;
+  p.value = 2.5;
+  p.arrival_time = 1.0;
+  p.deadline = 2.0;
+  p.computation_instructions = 1000;
+  auto t = std::make_unique<txn::Transaction>(p);
+  t->set_outcome(outcome);
+  for (int i = 0; i < stale_reads; ++i) t->MarkStaleRead();
+  return t;
+}
+
+db::Update MakeUpdate() {
+  db::Update u;
+  u.id = 7;
+  u.object = {db::ObjectClass::kLowImportance, 3};
+  u.generation_time = 1.5;
+  return u;
+}
+
+TEST(DropReasonTest, Names) {
+  EXPECT_STREQ(DropReasonName(SystemObserver::DropReason::kOsQueueFull),
+               "os-full");
+  EXPECT_STREQ(DropReasonName(SystemObserver::DropReason::kQueueOverflow),
+               "queue-overflow");
+  EXPECT_STREQ(DropReasonName(SystemObserver::DropReason::kExpired),
+               "expired");
+  EXPECT_STREQ(DropReasonName(SystemObserver::DropReason::kUnworthy),
+               "unworthy");
+}
+
+TEST(TraceWriterTest, WritesHeader) {
+  std::ostringstream out;
+  TraceWriter writer(&out);
+  EXPECT_NE(out.str().find("record,time,id"), std::string::npos);
+  EXPECT_EQ(writer.records_written(), 0u);
+}
+
+TEST(TraceWriterTest, TransactionRecordFormat) {
+  std::ostringstream out;
+  TraceWriter writer(&out);
+  const auto t = MakeTxn(txn::TxnOutcome::kStaleAbort, 2);
+  writer.OnTransactionTerminal(1.75, *t);
+  EXPECT_NE(out.str().find("txn,1.75,42,high,2.5,1,2,stale-abort,2"),
+            std::string::npos);
+  EXPECT_EQ(writer.records_written(), 1u);
+}
+
+TEST(TraceWriterTest, UpdatesOffByDefault) {
+  std::ostringstream out;
+  TraceWriter writer(&out);
+  writer.OnUpdateInstalled(2.0, MakeUpdate(), false);
+  writer.OnUpdateDropped(2.0, MakeUpdate(),
+                         SystemObserver::DropReason::kExpired);
+  EXPECT_EQ(writer.records_written(), 0u);
+}
+
+TEST(TraceWriterTest, UpdateRecordsWhenEnabled) {
+  std::ostringstream out;
+  TraceWriter::Options options;
+  options.updates = true;
+  TraceWriter writer(&out, options);
+  writer.OnUpdateInstalled(2.0, MakeUpdate(), false);
+  writer.OnUpdateInstalled(2.5, MakeUpdate(), true);
+  writer.OnUpdateDropped(3.0, MakeUpdate(),
+                         SystemObserver::DropReason::kExpired);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("update,2,7,low,3,1.5,installed"), std::string::npos);
+  EXPECT_NE(s.find("installed-od"), std::string::npos);
+  EXPECT_NE(s.find("expired"), std::string::npos);
+  EXPECT_EQ(writer.records_written(), 3u);
+}
+
+TEST(TraceWriterTest, TransactionsCanBeDisabled) {
+  std::ostringstream out;
+  TraceWriter::Options options;
+  options.transactions = false;
+  TraceWriter writer(&out, options);
+  writer.OnTransactionTerminal(1.0,
+                               *MakeTxn(txn::TxnOutcome::kCommitted, 0));
+  EXPECT_EQ(writer.records_written(), 0u);
+}
+
+// End-to-end: attach to a real System and check the trace is
+// consistent with the metrics.
+TEST(TraceWriterTest, SystemIntegrationCountsMatchMetrics) {
+  Config config;
+  config.sim_seconds = 20.0;
+  config.lambda_t = 15;
+  std::ostringstream out;
+  TraceWriter::Options options;
+  options.transactions = true;
+  options.updates = true;
+  TraceWriter writer(&out, options);
+
+  sim::Simulator simulator;
+  System system(&simulator, config, 3);
+  system.set_observer(&writer);
+  const RunMetrics m = system.Run();
+
+  // One txn record per terminal transaction.
+  std::size_t txn_records = 0;
+  std::size_t committed_records = 0;
+  std::istringstream lines(out.str());
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.rfind("txn,", 0) == 0) {
+      ++txn_records;
+      if (line.find(",committed,") != std::string::npos) {
+        ++committed_records;
+      }
+    }
+  }
+  EXPECT_EQ(txn_records, m.txns_terminal());
+  EXPECT_EQ(committed_records, m.txns_committed);
+}
+
+TEST(TraceWriterDeathTest, NullStreamDies) {
+  EXPECT_DEATH(TraceWriter(nullptr), "");
+}
+
+}  // namespace
+}  // namespace strip::core

@@ -1,0 +1,48 @@
+#include "db/general_store.h"
+
+#include <gtest/gtest.h>
+
+namespace strip::db {
+namespace {
+
+TEST(GeneralStoreTest, StartsEmpty) {
+  GeneralStore store;
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_FALSE(store.Get("anything").has_value());
+}
+
+TEST(GeneralStoreTest, PutThenGet) {
+  GeneralStore store;
+  store.Put("cash_usd", 1000.0);
+  ASSERT_TRUE(store.Get("cash_usd").has_value());
+  EXPECT_DOUBLE_EQ(*store.Get("cash_usd"), 1000.0);
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(GeneralStoreTest, PutOverwrites) {
+  GeneralStore store;
+  store.Put("position", 5.0);
+  store.Put("position", -2.0);
+  EXPECT_DOUBLE_EQ(*store.Get("position"), -2.0);
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(GeneralStoreTest, EraseRemovesAndReports) {
+  GeneralStore store;
+  store.Put("a", 1.0);
+  EXPECT_TRUE(store.Erase("a"));
+  EXPECT_FALSE(store.Erase("a"));
+  EXPECT_FALSE(store.Get("a").has_value());
+  EXPECT_EQ(store.size(), 0u);
+}
+
+TEST(GeneralStoreTest, KeysAreIndependent) {
+  GeneralStore store;
+  store.Put("a", 1.0);
+  store.Put("b", 2.0);
+  store.Erase("a");
+  EXPECT_DOUBLE_EQ(*store.Get("b"), 2.0);
+}
+
+}  // namespace
+}  // namespace strip::db

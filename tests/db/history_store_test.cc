@@ -1,0 +1,100 @@
+#include "db/history_store.h"
+
+#include <gtest/gtest.h>
+
+namespace strip::db {
+namespace {
+
+constexpr ObjectId kObj{ObjectClass::kLowImportance, 2};
+
+TEST(HistoryStoreTest, StartsEmpty) {
+  HistoryStore history(5, 5, 3);
+  EXPECT_EQ(history.VersionCount(kObj), 0);
+  EXPECT_TRUE(history.History(kObj).empty());
+  EXPECT_FALSE(history.AsOf(kObj, 100.0).has_value());
+  EXPECT_EQ(history.recorded(), 0u);
+  EXPECT_EQ(history.depth(), 3);
+}
+
+TEST(HistoryStoreTest, RecordsInOrder) {
+  HistoryStore history(5, 5, 3);
+  history.Record(kObj, 1.0, 10.0);
+  history.Record(kObj, 2.0, 20.0);
+  const auto versions = history.History(kObj);
+  ASSERT_EQ(versions.size(), 2u);
+  EXPECT_EQ(versions[0], (HistoryStore::Version{1.0, 10.0}));
+  EXPECT_EQ(versions[1], (HistoryStore::Version{2.0, 20.0}));
+  EXPECT_EQ(history.recorded(), 2u);
+}
+
+TEST(HistoryStoreTest, RingEvictsOldest) {
+  HistoryStore history(5, 5, 3);
+  for (int i = 1; i <= 5; ++i) {
+    history.Record(kObj, i, i * 10.0);
+  }
+  EXPECT_EQ(history.VersionCount(kObj), 3);
+  const auto versions = history.History(kObj);
+  ASSERT_EQ(versions.size(), 3u);
+  EXPECT_DOUBLE_EQ(versions[0].generation_time, 3.0);
+  EXPECT_DOUBLE_EQ(versions[2].generation_time, 5.0);
+  EXPECT_EQ(history.recorded(), 5u);
+}
+
+TEST(HistoryStoreTest, AsOfPicksNewestNotAfter) {
+  HistoryStore history(5, 5, 4);
+  history.Record(kObj, 1.0, 10.0);
+  history.Record(kObj, 3.0, 30.0);
+  history.Record(kObj, 5.0, 50.0);
+  EXPECT_EQ(history.AsOf(kObj, 4.0)->value, 30.0);
+  EXPECT_EQ(history.AsOf(kObj, 5.0)->value, 50.0);  // inclusive
+  EXPECT_EQ(history.AsOf(kObj, 99.0)->value, 50.0);
+  EXPECT_FALSE(history.AsOf(kObj, 0.5).has_value());
+}
+
+TEST(HistoryStoreTest, AsOfBeyondRetentionIsEmpty) {
+  HistoryStore history(5, 5, 2);
+  history.Record(kObj, 1.0, 10.0);
+  history.Record(kObj, 2.0, 20.0);
+  history.Record(kObj, 3.0, 30.0);  // evicts gen 1
+  EXPECT_FALSE(history.AsOf(kObj, 1.5).has_value());
+  EXPECT_EQ(history.AsOf(kObj, 2.5)->value, 20.0);
+}
+
+TEST(HistoryStoreTest, ObjectsAreIndependent) {
+  HistoryStore history(5, 5, 2);
+  history.Record(kObj, 1.0, 10.0);
+  EXPECT_EQ(history.VersionCount({ObjectClass::kLowImportance, 3}), 0);
+  EXPECT_EQ(history.VersionCount({ObjectClass::kHighImportance, 2}), 0);
+  history.Record({ObjectClass::kHighImportance, 2}, 5.0, 50.0);
+  EXPECT_EQ(history.VersionCount(kObj), 1);
+  EXPECT_EQ(
+      history.AsOf({ObjectClass::kHighImportance, 2}, 10.0)->value, 50.0);
+}
+
+TEST(HistoryStoreTest, EqualGenerationAllowed) {
+  HistoryStore history(5, 5, 3);
+  history.Record(kObj, 1.0, 10.0);
+  history.Record(kObj, 1.0, 11.0);  // e.g. partial update, same min
+  EXPECT_EQ(history.VersionCount(kObj), 2);
+  EXPECT_EQ(history.AsOf(kObj, 1.0)->value, 11.0);
+}
+
+TEST(HistoryStoreTest, DepthOneKeepsOnlyLatest) {
+  HistoryStore history(5, 5, 1);
+  history.Record(kObj, 1.0, 10.0);
+  history.Record(kObj, 2.0, 20.0);
+  EXPECT_EQ(history.VersionCount(kObj), 1);
+  EXPECT_EQ(history.History(kObj)[0].value, 20.0);
+}
+
+TEST(HistoryStoreDeathTest, InvalidUse) {
+  EXPECT_DEATH(HistoryStore(5, 5, 0), "depth");
+  HistoryStore history(5, 5, 2);
+  history.Record(kObj, 5.0, 1.0);
+  EXPECT_DEATH(history.Record(kObj, 4.0, 1.0), "order");
+  EXPECT_DEATH(history.VersionCount({ObjectClass::kLowImportance, 99}),
+               "out of range");
+}
+
+}  // namespace
+}  // namespace strip::db

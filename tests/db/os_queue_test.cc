@@ -1,0 +1,69 @@
+#include "db/os_queue.h"
+
+#include <gtest/gtest.h>
+
+namespace strip::db {
+namespace {
+
+Update MakeUpdate(std::uint64_t id) {
+  Update u;
+  u.id = id;
+  u.object = {ObjectClass::kLowImportance, 0};
+  u.generation_time = static_cast<sim::Time>(id);
+  return u;
+}
+
+TEST(OsQueueTest, StartsEmpty) {
+  OsQueue queue(4);
+  EXPECT_TRUE(queue.empty());
+  EXPECT_EQ(queue.size(), 0u);
+  EXPECT_FALSE(queue.Pop().has_value());
+  EXPECT_FALSE(queue.Peek().has_value());
+}
+
+TEST(OsQueueTest, FifoOrder) {
+  OsQueue queue(4);
+  EXPECT_TRUE(queue.Push(MakeUpdate(1)));
+  EXPECT_TRUE(queue.Push(MakeUpdate(2)));
+  EXPECT_TRUE(queue.Push(MakeUpdate(3)));
+  EXPECT_EQ(queue.Pop()->id, 1u);
+  EXPECT_EQ(queue.Pop()->id, 2u);
+  EXPECT_EQ(queue.Pop()->id, 3u);
+}
+
+TEST(OsQueueTest, PeekDoesNotRemove) {
+  OsQueue queue(4);
+  queue.Push(MakeUpdate(7));
+  EXPECT_EQ(queue.Peek()->id, 7u);
+  EXPECT_EQ(queue.size(), 1u);
+}
+
+TEST(OsQueueTest, OverflowDropsArrival) {
+  OsQueue queue(2);
+  EXPECT_TRUE(queue.Push(MakeUpdate(1)));
+  EXPECT_TRUE(queue.Push(MakeUpdate(2)));
+  EXPECT_FALSE(queue.Push(MakeUpdate(3)));
+  EXPECT_EQ(queue.size(), 2u);
+  EXPECT_EQ(queue.overflow_drops(), 1u);
+  // The queued entries are untouched by the failed push.
+  EXPECT_EQ(queue.Pop()->id, 1u);
+}
+
+TEST(OsQueueTest, SpaceFreedByPopIsReusable) {
+  OsQueue queue(1);
+  EXPECT_TRUE(queue.Push(MakeUpdate(1)));
+  EXPECT_FALSE(queue.Push(MakeUpdate(2)));
+  queue.Pop();
+  EXPECT_TRUE(queue.Push(MakeUpdate(3)));
+  EXPECT_EQ(queue.Pop()->id, 3u);
+}
+
+TEST(OsQueueTest, MaxSizeAccessor) {
+  OsQueue queue(4000);
+  EXPECT_EQ(queue.max_size(), 4000u);
+}
+
+TEST(OsQueueDeathTest, ZeroBoundDies) { EXPECT_DEATH(OsQueue(0), "positive"); }
+
+}  // namespace
+}  // namespace strip::db

@@ -1,0 +1,131 @@
+#include "exp/experiment.h"
+
+#include <gtest/gtest.h>
+
+namespace strip::exp {
+namespace {
+
+core::Config QuickConfig() {
+  core::Config config;
+  config.sim_seconds = 10.0;
+  return config;
+}
+
+TEST(RunOnceTest, ProducesPlausibleMetrics) {
+  const core::RunMetrics m = RunOnce(QuickConfig(), 1);
+  EXPECT_DOUBLE_EQ(m.observed_seconds, 10.0);
+  EXPECT_GT(m.txns_arrived, 0u);
+}
+
+TEST(RunOnceTest, DeterministicBySeed) {
+  const core::RunMetrics a = RunOnce(QuickConfig(), 5);
+  const core::RunMetrics b = RunOnce(QuickConfig(), 5);
+  EXPECT_DOUBLE_EQ(a.value_committed, b.value_committed);
+  EXPECT_EQ(a.updates_installed, b.updates_installed);
+}
+
+TEST(ReplicateTest, ReturnsOneRunPerSeed) {
+  const auto runs = Replicate(QuickConfig(), 3, 42);
+  ASSERT_EQ(runs.size(), 3u);
+  // Different seeds give different randomness.
+  EXPECT_NE(runs[0].value_committed, runs[1].value_committed);
+}
+
+TEST(ReplicateTest, FirstRunMatchesRunOnce) {
+  const auto runs = Replicate(QuickConfig(), 2, 42);
+  const core::RunMetrics direct = RunOnce(QuickConfig(), 42);
+  EXPECT_DOUBLE_EQ(runs[0].value_committed, direct.value_committed);
+}
+
+SweepSpec QuickSweep() {
+  SweepSpec spec;
+  spec.base = QuickConfig();
+  spec.policies = {core::PolicyKind::kUpdateFirst,
+                   core::PolicyKind::kOnDemand};
+  spec.x_name = "lambda_t";
+  spec.x_values = {5, 15};
+  spec.apply_x = [](core::Config& c, double x) { c.lambda_t = x; };
+  spec.replications = 2;
+  spec.base_seed = 42;
+  return spec;
+}
+
+TEST(SweepTest, ShapeMatchesSpec) {
+  const SweepResult result = RunSweep(QuickSweep());
+  EXPECT_EQ(result.n_policies(), 2u);
+  EXPECT_EQ(result.n_x(), 2u);
+  EXPECT_EQ(result.cell(0, 0).size(), 2u);
+  EXPECT_EQ(result.cell(1, 1).size(), 2u);
+}
+
+TEST(SweepTest, CellsApplyPolicyAndX) {
+  const SweepResult result = RunSweep(QuickSweep());
+  // Higher lambda_t means more arrivals, whatever the policy.
+  for (std::size_t p = 0; p < 2; ++p) {
+    EXPECT_GT(result.cell(p, 1)[0].txns_arrived,
+              result.cell(p, 0)[0].txns_arrived);
+  }
+}
+
+TEST(SweepTest, MatchesDirectRunsCellByCell) {
+  const SweepSpec spec = QuickSweep();
+  const SweepResult result = RunSweep(spec);
+  core::Config config = spec.base;
+  config.policy = core::PolicyKind::kOnDemand;
+  config.lambda_t = 15;
+  const core::RunMetrics direct = RunOnce(config, 43);  // replication 1
+  EXPECT_DOUBLE_EQ(result.cell(1, 1)[1].value_committed,
+                   direct.value_committed);
+}
+
+TEST(SweepTest, SingleThreadMatchesParallel) {
+  SweepSpec spec = QuickSweep();
+  spec.threads = 1;
+  const SweepResult serial = RunSweep(spec);
+  spec.threads = 4;
+  const SweepResult parallel = RunSweep(spec);
+  for (std::size_t p = 0; p < 2; ++p) {
+    for (std::size_t x = 0; x < 2; ++x) {
+      for (int r = 0; r < 2; ++r) {
+        EXPECT_DOUBLE_EQ(serial.cell(p, x)[r].value_committed,
+                         parallel.cell(p, x)[r].value_committed);
+      }
+    }
+  }
+}
+
+TEST(SweepTest, AggregateComputesMeanAndCi) {
+  const SweepResult result = RunSweep(QuickSweep());
+  const MetricFn metric = [](const core::RunMetrics& m) { return m.av(); };
+  const sim::Summary summary = result.Aggregate(0, 0, metric);
+  EXPECT_EQ(summary.samples, 2);
+  const double manual = (metric(result.cell(0, 0)[0]) +
+                         metric(result.cell(0, 0)[1])) /
+                        2.0;
+  EXPECT_DOUBLE_EQ(summary.mean, manual);
+  EXPECT_DOUBLE_EQ(result.Mean(0, 0, metric), manual);
+}
+
+TEST(SweepDeathTest, InvalidSpecsDie) {
+  SweepSpec spec = QuickSweep();
+  spec.policies.clear();
+  EXPECT_DEATH(RunSweep(spec), "policy");
+  spec = QuickSweep();
+  spec.x_values.clear();
+  EXPECT_DEATH(RunSweep(spec), "x value");
+  spec = QuickSweep();
+  spec.apply_x = nullptr;
+  EXPECT_DEATH(RunSweep(spec), "apply_x");
+  spec = QuickSweep();
+  spec.replications = 0;
+  EXPECT_DEATH(RunSweep(spec), "replications");
+}
+
+TEST(SweepResultDeathTest, OutOfRangeCellDies) {
+  const SweepResult result = RunSweep(QuickSweep());
+  EXPECT_DEATH(result.cell(2, 0), "");
+  EXPECT_DEATH(result.cell(0, 2), "");
+}
+
+}  // namespace
+}  // namespace strip::exp

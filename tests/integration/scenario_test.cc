@@ -1,0 +1,387 @@
+// Hand-timed deterministic scenarios against the full controller.
+//
+// These tests use the external-workload mode: arrivals are injected at
+// exact instants and the resulting timeline is checked to the
+// microsecond, pinning down the CPU engine's arithmetic — segment
+// scheduling, preemption charging, OD step injection, deadline
+// semantics — independently of the stochastic workload.
+//
+// Baseline cost arithmetic at ips = 50e6:
+//   view read   x_lookup = 4000   -> 80 us
+//   install     x_lookup+x_update -> 480 us
+//   OD apply    x_update = 20000  -> 400 us
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "core/observer.h"
+#include "workload/trace_replay.h"
+#include "core/system.h"
+#include "sim/simulator.h"
+
+namespace strip::core {
+namespace {
+
+constexpr double kEps = 1e-9;
+
+// Captures terminal transactions and installed updates with times.
+class Recorder : public SystemObserver {
+ public:
+  struct TxnEvent {
+    sim::Time time;
+    std::uint64_t id;
+    txn::TxnOutcome outcome;
+    std::uint64_t stale_reads;
+  };
+  struct InstallEvent {
+    sim::Time time;
+    std::uint64_t id;
+    bool on_demand;
+  };
+
+  void OnTransactionTerminal(sim::Time now,
+                             const txn::Transaction& t) override {
+    txns.push_back({now, t.id(), t.outcome(), t.stale_reads()});
+  }
+  void OnUpdateInstalled(sim::Time now, const db::Update& u,
+                         bool on_demand) override {
+    installs.push_back({now, u.id, on_demand});
+  }
+
+  std::vector<TxnEvent> txns;
+  std::vector<InstallEvent> installs;
+};
+
+Config ScenarioConfig(PolicyKind policy) {
+  Config config;
+  config.policy = policy;
+  config.external_workload = true;
+  config.sim_seconds = 30.0;
+  return config;
+}
+
+txn::Transaction::Params SimpleTxn(std::uint64_t id, sim::Time arrival,
+                                   double comp_instructions,
+                                   sim::Time deadline,
+                                   std::vector<db::ObjectId> reads = {}) {
+  txn::Transaction::Params p;
+  p.id = id;
+  p.cls = txn::TxnClass::kHighValue;
+  p.value = 2.0;
+  p.arrival_time = arrival;
+  p.deadline = deadline;
+  p.computation_instructions = comp_instructions;
+  p.lookup_instructions = 4000;
+  p.read_set = std::move(reads);
+  return p;
+}
+
+db::Update SimpleUpdate(std::uint64_t id, sim::Time arrival,
+                        sim::Time generation, db::ObjectId object) {
+  db::Update u;
+  u.id = id;
+  u.object = object;
+  u.arrival_time = arrival;
+  u.generation_time = generation;
+  u.value = 1.0;
+  return u;
+}
+
+TEST(ScenarioTest, SingleTransactionExactTimeline) {
+  sim::Simulator sim;
+  System system(&sim, ScenarioConfig(PolicyKind::kTransactionFirst), 1);
+  Recorder recorder;
+  system.set_observer(&recorder);
+
+  // Arrives at t=1: one 80us read, then 0.12 s of computation.
+  sim.ScheduleAt(1.0, [&] {
+    system.InjectTransaction(SimpleTxn(
+        1, 1.0, 6'000'000, 2.0, {{db::ObjectClass::kLowImportance, 0}}));
+  });
+  const RunMetrics m = system.Run();
+
+  ASSERT_EQ(recorder.txns.size(), 1u);
+  EXPECT_EQ(recorder.txns[0].outcome, txn::TxnOutcome::kCommitted);
+  EXPECT_NEAR(recorder.txns[0].time, 1.0 + 0.00008 + 0.12, kEps);
+  EXPECT_EQ(recorder.txns[0].stale_reads, 0u);
+  EXPECT_EQ(m.txns_committed, 1u);
+  EXPECT_EQ(m.txns_committed_fresh, 1u);
+  EXPECT_NEAR(m.cpu_txn_seconds, 0.12008, kEps);
+  EXPECT_DOUBLE_EQ(m.cpu_update_seconds, 0.0);
+  EXPECT_NEAR(m.response_mean, 0.12008, 0.01);
+  EXPECT_DOUBLE_EQ(m.value_committed, 2.0);
+  EXPECT_EQ(m.txns_committed_by_class[1], 1u);
+  EXPECT_EQ(m.txns_committed_by_class[0], 0u);
+}
+
+TEST(ScenarioTest, ReadingExpiredInitialValueIsStale) {
+  // All objects carry generation 0; alpha = 7, so a read at t=8 is
+  // stale under MA.
+  sim::Simulator sim;
+  System system(&sim, ScenarioConfig(PolicyKind::kTransactionFirst), 1);
+  sim.ScheduleAt(8.0, [&] {
+    system.InjectTransaction(SimpleTxn(
+        1, 8.0, 1'000'000, 9.0, {{db::ObjectClass::kLowImportance, 5}}));
+  });
+  const RunMetrics m = system.Run();
+  EXPECT_EQ(m.txns_committed, 1u);
+  EXPECT_EQ(m.txns_committed_stale, 1u);
+  EXPECT_EQ(m.txns_committed_fresh, 0u);
+}
+
+TEST(ScenarioTest, StaleAbortStopsAtTheRead) {
+  Config config = ScenarioConfig(PolicyKind::kTransactionFirst);
+  config.abort_on_stale = true;
+  sim::Simulator sim;
+  System system(&sim, config, 1);
+  Recorder recorder;
+  system.set_observer(&recorder);
+  sim.ScheduleAt(8.0, [&] {
+    system.InjectTransaction(SimpleTxn(
+        1, 8.0, 6'000'000, 9.5, {{db::ObjectClass::kLowImportance, 5}}));
+  });
+  const RunMetrics m = system.Run();
+  ASSERT_EQ(recorder.txns.size(), 1u);
+  EXPECT_EQ(recorder.txns[0].outcome, txn::TxnOutcome::kStaleAbort);
+  // Aborted right after the 80us read — before the 0.12 s of work.
+  EXPECT_NEAR(recorder.txns[0].time, 8.00008, kEps);
+  EXPECT_NEAR(m.cpu_txn_seconds, 0.00008, kEps);
+  EXPECT_EQ(m.txns_stale_aborted, 1u);
+}
+
+TEST(ScenarioTest, OnDemandRescuesAStaleRead) {
+  sim::Simulator sim;
+  System system(&sim, ScenarioConfig(PolicyKind::kOnDemand), 1);
+  Recorder recorder;
+  system.set_observer(&recorder);
+
+  // txn1 occupies the CPU from 7.5 to 8.1 so the update arriving at
+  // 7.6 stays buffered (OD never installs while transactions wait).
+  sim.ScheduleAt(7.5, [&] {
+    system.InjectTransaction(SimpleTxn(1, 7.5, 30'000'000, 9.0));
+  });
+  sim.ScheduleAt(7.6, [&] {
+    system.InjectUpdate(SimpleUpdate(
+        100, 7.6, 7.55, {db::ObjectClass::kLowImportance, 5}));
+  });
+  // txn2 reads the stale object; the queued update rescues it.
+  sim.ScheduleAt(7.7, [&] {
+    system.InjectTransaction(SimpleTxn(
+        2, 7.7, 6'000'000, 9.5, {{db::ObjectClass::kLowImportance, 5}}));
+  });
+  const RunMetrics m = system.Run();
+
+  EXPECT_EQ(m.txns_committed, 2u);
+  EXPECT_EQ(m.updates_applied_on_demand, 1u);
+  EXPECT_EQ(m.txns_committed_fresh, 2u);  // the rescue made it fresh
+  ASSERT_EQ(recorder.installs.size(), 1u);
+  EXPECT_TRUE(recorder.installs[0].on_demand);
+  // txn1: 7.5 + 0.6 = 8.1. txn2: starts 8.1, read 80us, scan (free),
+  // apply 400us, work 0.12.
+  ASSERT_EQ(recorder.txns.size(), 2u);
+  EXPECT_NEAR(recorder.txns[0].time, 8.1, kEps);
+  EXPECT_NEAR(recorder.txns[1].time, 8.1 + 0.00008 + 0.0004 + 0.12, kEps);
+  // The OD apply is charged to update work.
+  EXPECT_NEAR(m.cpu_update_seconds, 0.0004, kEps);
+}
+
+TEST(ScenarioTest, UpdateFirstPreemptsExactly) {
+  sim::Simulator sim;
+  System system(&sim, ScenarioConfig(PolicyKind::kUpdateFirst), 1);
+  Recorder recorder;
+  system.set_observer(&recorder);
+
+  sim.ScheduleAt(1.0, [&] {
+    system.InjectTransaction(SimpleTxn(1, 1.0, 6'000'000, 3.0));
+  });
+  sim.ScheduleAt(1.05, [&] {
+    system.InjectUpdate(
+        SimpleUpdate(100, 1.05, 1.04, {db::ObjectClass::kLowImportance, 0}));
+  });
+  const RunMetrics m = system.Run();
+
+  ASSERT_EQ(recorder.installs.size(), 1u);
+  // Install runs 1.05 -> 1.05048 (lookup + update, no switch cost).
+  EXPECT_NEAR(recorder.installs[0].time, 1.05048, kEps);
+  ASSERT_EQ(recorder.txns.size(), 1u);
+  // The transaction lost 480us to the preempting install.
+  EXPECT_NEAR(recorder.txns[0].time, 1.0 + 0.12 + 0.00048, kEps);
+  EXPECT_NEAR(m.cpu_txn_seconds, 0.12, kEps);
+  EXPECT_NEAR(m.cpu_update_seconds, 0.00048, kEps);
+}
+
+TEST(ScenarioTest, ContextSwitchChargesOnPreemption) {
+  Config config = ScenarioConfig(PolicyKind::kUpdateFirst);
+  config.x_switch = 10000;  // 200 us
+  sim::Simulator sim;
+  System system(&sim, config, 1);
+  Recorder recorder;
+  system.set_observer(&recorder);
+
+  sim.ScheduleAt(1.0, [&] {
+    system.InjectTransaction(SimpleTxn(1, 1.0, 6'000'000, 3.0));
+  });
+  sim.ScheduleAt(1.05, [&] {
+    system.InjectUpdate(
+        SimpleUpdate(100, 1.05, 1.04, {db::ObjectClass::kLowImportance, 0}));
+  });
+  const RunMetrics m = system.Run();
+
+  ASSERT_EQ(recorder.installs.size(), 1u);
+  // Preemptive receive costs 2 switches on top of the install, and
+  // resuming the transaction costs one more.
+  EXPECT_NEAR(recorder.installs[0].time, 1.05 + 0.0004 + 0.00048, kEps);
+  ASSERT_EQ(recorder.txns.size(), 1u);
+  EXPECT_NEAR(recorder.txns[0].time,
+              1.0 + 0.12 + 0.00048 + 2 * 0.0002 + 0.0002, kEps);
+  EXPECT_NEAR(m.cpu_update_seconds, 0.00048 + 0.0004, kEps);
+}
+
+TEST(ScenarioTest, FirmDeadlineCutsTheTransactionDown) {
+  sim::Simulator sim;
+  Config config = ScenarioConfig(PolicyKind::kTransactionFirst);
+  config.feasible_deadline = false;  // let it run into the wall
+  System system(&sim, config, 1);
+  Recorder recorder;
+  system.set_observer(&recorder);
+  // Needs 0.12 s but the deadline is 0.05 s away.
+  sim.ScheduleAt(1.0, [&] {
+    system.InjectTransaction(SimpleTxn(1, 1.0, 6'000'000, 1.05));
+  });
+  const RunMetrics m = system.Run();
+  ASSERT_EQ(recorder.txns.size(), 1u);
+  EXPECT_EQ(recorder.txns[0].outcome, txn::TxnOutcome::kMissedDeadline);
+  EXPECT_NEAR(recorder.txns[0].time, 1.05, kEps);  // exactly at deadline
+  EXPECT_NEAR(m.cpu_txn_seconds, 0.05, kEps);      // partial work charged
+}
+
+TEST(ScenarioTest, FeasibleScreenAbortsBeforeWasteUnderBacklog) {
+  sim::Simulator sim;
+  Config config = ScenarioConfig(PolicyKind::kTransactionFirst);
+  System system(&sim, config, 1);
+  Recorder recorder;
+  system.set_observer(&recorder);
+  // txn1 runs 1.0 -> 1.6; txn2 arrives at 1.1 with a deadline it can
+  // only meet if started by 1.18 — hopeless once txn1 holds the CPU.
+  sim.ScheduleAt(1.0, [&] {
+    system.InjectTransaction(SimpleTxn(1, 1.0, 30'000'000, 5.0));
+  });
+  sim.ScheduleAt(1.1, [&] {
+    system.InjectTransaction(SimpleTxn(2, 1.1, 6'000'000, 1.3));
+  });
+  const RunMetrics m = system.Run();
+  ASSERT_EQ(recorder.txns.size(), 2u);
+  // txn2 is screened out when the CPU frees at 1.6 (deadline 1.3
+  // already passed — the deadline event fired first, so either path
+  // records a non-commit without running it).
+  EXPECT_EQ(m.txns_committed, 1u);
+  EXPECT_EQ(m.txns_missed_deadline + m.txns_infeasible, 1u);
+  EXPECT_NEAR(m.cpu_txn_seconds, 0.6, kEps);  // txn2 never ran
+}
+
+TEST(ScenarioTest, FeasibleScreenFiresAtSchedulingPoint) {
+  sim::Simulator sim;
+  Config config = ScenarioConfig(PolicyKind::kTransactionFirst);
+  System system(&sim, config, 1);
+  Recorder recorder;
+  system.set_observer(&recorder);
+  // txn1 runs 1.0 -> 1.2; txn2 (deadline 1.25, needs 0.12) waits and
+  // is screened as infeasible at the 1.2 scheduling point, before its
+  // own deadline event at 1.25.
+  sim.ScheduleAt(1.0, [&] {
+    system.InjectTransaction(SimpleTxn(1, 1.0, 10'000'000, 5.0));
+  });
+  sim.ScheduleAt(1.05, [&] {
+    system.InjectTransaction(SimpleTxn(2, 1.05, 6'000'000, 1.25));
+  });
+  const RunMetrics m = system.Run();
+  EXPECT_EQ(m.txns_infeasible, 1u);
+  ASSERT_EQ(recorder.txns.size(), 2u);
+  // txn1 commits at 1.2; at that same scheduling point txn2 is
+  // screened out, before its own deadline event at 1.25.
+  EXPECT_EQ(recorder.txns[0].outcome, txn::TxnOutcome::kCommitted);
+  EXPECT_EQ(recorder.txns[1].outcome, txn::TxnOutcome::kInfeasible);
+  EXPECT_NEAR(recorder.txns[1].time, 1.2, kEps);
+}
+
+TEST(ScenarioTest, FifoInstallsOldestGenerationFirst) {
+  for (const QueueDiscipline discipline :
+       {QueueDiscipline::kFifo, QueueDiscipline::kLifo}) {
+    sim::Simulator sim;
+    Config config = ScenarioConfig(PolicyKind::kTransactionFirst);
+    config.queue_discipline = discipline;
+    System system(&sim, config, 1);
+    Recorder recorder;
+    system.set_observer(&recorder);
+    // A transaction holds the CPU while two updates arrive; when it
+    // finishes, the updater drains them in discipline order.
+    sim.ScheduleAt(1.0, [&] {
+      system.InjectTransaction(SimpleTxn(1, 1.0, 10'000'000, 5.0));
+    });
+    sim.ScheduleAt(1.01, [&] {
+      system.InjectUpdate(SimpleUpdate(
+          101, 1.01, 0.90, {db::ObjectClass::kLowImportance, 1}));
+    });
+    sim.ScheduleAt(1.02, [&] {
+      system.InjectUpdate(SimpleUpdate(
+          102, 1.02, 0.95, {db::ObjectClass::kLowImportance, 2}));
+    });
+    system.Run();
+    ASSERT_EQ(recorder.installs.size(), 2u);
+    if (discipline == QueueDiscipline::kFifo) {
+      EXPECT_EQ(recorder.installs[0].id, 101u);  // oldest generation
+    } else {
+      EXPECT_EQ(recorder.installs[0].id, 102u);  // newest generation
+    }
+  }
+}
+
+TEST(ScenarioTest, UnworthyUpdateIsSkippedAndCheap) {
+  sim::Simulator sim;
+  System system(&sim, ScenarioConfig(PolicyKind::kUpdateFirst), 1);
+  Recorder recorder;
+  system.set_observer(&recorder);
+  const db::ObjectId object{db::ObjectClass::kHighImportance, 7};
+  sim.ScheduleAt(1.0,
+                 [&] { system.InjectUpdate(SimpleUpdate(1, 1.0, 0.9, object)); });
+  // Older generation than what is now installed: unworthy.
+  sim.ScheduleAt(2.0,
+                 [&] { system.InjectUpdate(SimpleUpdate(2, 2.0, 0.5, object)); });
+  const RunMetrics m = system.Run();
+  EXPECT_EQ(m.updates_installed, 1u);
+  EXPECT_EQ(m.updates_unworthy, 1u);
+  ASSERT_EQ(recorder.installs.size(), 1u);
+  // Worthy: 480us; unworthy: only the 80us lookup.
+  EXPECT_NEAR(m.cpu_update_seconds, 0.00048 + 0.00008, kEps);
+}
+
+TEST(ScenarioTest, TraceReplayDrivesTheSystem) {
+  std::istringstream trace(
+      "# two updates and one transaction\n"
+      "update,1.0,low,5,0.9,10\n"
+      "update,2.0,low,5,1.9,20\n"
+      "txn,3.0,low,1.5,4.0,6000000,0,low:5\n");
+  std::vector<workload::TraceReplay::Record> records;
+  ASSERT_FALSE(workload::TraceReplay::Parse(trace, &records).has_value());
+
+  sim::Simulator sim;
+  System system(&sim, ScenarioConfig(PolicyKind::kUpdateFirst), 1);
+  workload::TraceReplay replay(
+      &sim, records,
+      [&](const db::Update& u) { system.InjectUpdate(u); },
+      [&](const txn::Transaction::Params& p) {
+        system.InjectTransaction(p);
+      });
+  const RunMetrics m = system.Run();
+  EXPECT_EQ(m.updates_arrived, 2u);
+  EXPECT_EQ(m.updates_installed, 2u);
+  EXPECT_EQ(m.txns_committed, 1u);
+  EXPECT_EQ(m.txns_committed_fresh, 1u);  // value from t=1.9, read ~3.0
+  EXPECT_DOUBLE_EQ(system.database().value(
+                       {db::ObjectClass::kLowImportance, 5}),
+                   20.0);
+}
+
+}  // namespace
+}  // namespace strip::core

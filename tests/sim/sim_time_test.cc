@@ -1,0 +1,32 @@
+#include "sim/sim_time.h"
+
+#include <gtest/gtest.h>
+
+namespace strip::sim {
+namespace {
+
+TEST(SimTimeTest, InstructionConversionAtPaperSpeed) {
+  // 24000 instructions at 50 MIPS = 480 microseconds.
+  EXPECT_DOUBLE_EQ(InstructionsToSeconds(24000, 50e6), 0.00048);
+}
+
+TEST(SimTimeTest, ZeroInstructionsIsZeroTime) {
+  EXPECT_DOUBLE_EQ(InstructionsToSeconds(0, 50e6), 0.0);
+}
+
+TEST(SimTimeTest, ConversionIsLinear) {
+  const double one = InstructionsToSeconds(1000, 50e6);
+  EXPECT_DOUBLE_EQ(InstructionsToSeconds(5000, 50e6), 5 * one);
+}
+
+TEST(SimTimeTest, ConversionIsConstexpr) {
+  static_assert(InstructionsToSeconds(50e6, 50e6) == 1.0);
+  SUCCEED();
+}
+
+TEST(SimTimeTest, InfinitySentinelIsFarFuture) {
+  EXPECT_GT(kTimeInfinity, 1e100);
+}
+
+}  // namespace
+}  // namespace strip::sim

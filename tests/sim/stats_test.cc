@@ -1,0 +1,196 @@
+#include "sim/stats.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace strip::sim {
+namespace {
+
+TEST(CounterTest, IncrementsAndDefaults) {
+  Counter counter;
+  EXPECT_EQ(counter.value(), 0u);
+  counter.Increment();
+  counter.Increment(4);
+  EXPECT_EQ(counter.value(), 5u);
+}
+
+TEST(AccumulatorTest, EmptyIsZero) {
+  Accumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.sum(), 0.0);
+}
+
+TEST(AccumulatorTest, MeanAndVarianceMatchHandComputation) {
+  Accumulator acc;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.Add(x);
+  EXPECT_EQ(acc.count(), 8u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(acc.sum(), 40.0);
+  // Sample variance with n-1 = 7: sum of squared deviations is 32.
+  EXPECT_NEAR(acc.variance(), 32.0 / 7.0, 1e-12);
+}
+
+TEST(AccumulatorTest, SingleSampleHasZeroVariance) {
+  Accumulator acc;
+  acc.Add(3.0);
+  EXPECT_DOUBLE_EQ(acc.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+}
+
+TEST(TimeWeightedTest, ConstantSignal) {
+  TimeWeighted signal;
+  signal.StartAt(0.0, 2.0);
+  EXPECT_DOUBLE_EQ(signal.Average(10.0), 2.0);
+  EXPECT_DOUBLE_EQ(signal.Integral(10.0), 20.0);
+}
+
+TEST(TimeWeightedTest, StepSignal) {
+  TimeWeighted signal;
+  signal.StartAt(0.0, 0.0);
+  signal.Set(4.0, 1.0);  // 0 for [0,4), 1 for [4,10]
+  EXPECT_DOUBLE_EQ(signal.Integral(10.0), 6.0);
+  EXPECT_DOUBLE_EQ(signal.Average(10.0), 0.6);
+}
+
+TEST(TimeWeightedTest, MultipleSteps) {
+  TimeWeighted signal;
+  signal.StartAt(0.0, 1.0);
+  signal.Set(2.0, 3.0);
+  signal.Set(5.0, 0.0);
+  // 1*2 + 3*3 + 0*5 = 11 over [0,10]
+  EXPECT_DOUBLE_EQ(signal.Integral(10.0), 11.0);
+  EXPECT_DOUBLE_EQ(signal.Average(10.0), 1.1);
+}
+
+TEST(TimeWeightedTest, RepeatedSetAtSameInstant) {
+  TimeWeighted signal;
+  signal.StartAt(0.0, 1.0);
+  signal.Set(5.0, 2.0);
+  signal.Set(5.0, 3.0);  // instantaneous double change
+  EXPECT_DOUBLE_EQ(signal.Integral(10.0), 1.0 * 5 + 3.0 * 5);
+}
+
+TEST(TimeWeightedTest, ValueReflectsLatestSet) {
+  TimeWeighted signal;
+  signal.StartAt(0.0, 1.0);
+  signal.Set(2.0, 7.0);
+  EXPECT_DOUBLE_EQ(signal.value(), 7.0);
+}
+
+TEST(TimeWeightedTest, StartAtResetsHistory) {
+  TimeWeighted signal;
+  signal.StartAt(0.0, 100.0);
+  signal.Set(5.0, 1.0);
+  signal.StartAt(5.0, 1.0);  // observation restarts; history dropped
+  EXPECT_DOUBLE_EQ(signal.Average(10.0), 1.0);
+}
+
+TEST(TimeWeightedTest, EmptyWindowIsZero) {
+  TimeWeighted signal;
+  signal.StartAt(3.0, 42.0);
+  EXPECT_DOUBLE_EQ(signal.Average(3.0), 0.0);
+}
+
+TEST(TimeWeightedDeathTest, BackwardsTimeDies) {
+  TimeWeighted signal;
+  signal.StartAt(0.0, 0.0);
+  signal.Set(5.0, 1.0);
+  EXPECT_DEATH(signal.Set(4.0, 2.0), "backwards");
+  EXPECT_DEATH(signal.Integral(4.0), "before last change");
+}
+
+TEST(HistogramTest, EmptyHistogram) {
+  Histogram h(0.0, 10.0, 10);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);
+}
+
+TEST(HistogramTest, MeanIsExact) {
+  Histogram h(0.0, 10.0, 10);
+  for (double x : {1.0, 2.0, 3.0, 6.0}) h.Add(x);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.mean(), 3.0);
+}
+
+TEST(HistogramTest, QuantilesInterpolateWithinBuckets) {
+  Histogram h(0.0, 10.0, 10);
+  // 100 samples spread uniformly: quantiles track the sample values
+  // to within a bucket width.
+  for (int i = 0; i < 100; ++i) h.Add(i / 10.0);
+  EXPECT_NEAR(h.Quantile(0.5), 5.0, 1.0);
+  EXPECT_NEAR(h.Quantile(0.95), 9.5, 1.0);
+  EXPECT_NEAR(h.Quantile(0.0), 0.0, 1.0);
+  EXPECT_NEAR(h.Quantile(1.0), 10.0, 1.0);
+}
+
+TEST(HistogramTest, QuantileIsMonotone) {
+  Histogram h(0.0, 1.0, 50);
+  for (int i = 0; i < 500; ++i) h.Add((i % 100) / 100.0);
+  double last = 0;
+  for (double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+    const double value = h.Quantile(q);
+    EXPECT_GE(value, last);
+    last = value;
+  }
+}
+
+TEST(HistogramTest, OverflowAndUnderflowClampAndCount) {
+  Histogram h(0.0, 10.0, 10);
+  h.Add(-5.0);
+  h.Add(50.0);
+  h.Add(5.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.count(), 3u);
+  // Quantiles stay within range despite clamped outliers.
+  EXPECT_GE(h.Quantile(0.99), 0.0);
+  EXPECT_LE(h.Quantile(0.99), 10.0);
+}
+
+TEST(HistogramTest, SingleBucket) {
+  Histogram h(0.0, 1.0, 1);
+  h.Add(0.3);
+  h.Add(0.7);
+  EXPECT_NEAR(h.Quantile(0.5), 0.5, 0.51);
+}
+
+TEST(HistogramDeathTest, InvalidConstructionAndQuantile) {
+  EXPECT_DEATH(Histogram(1.0, 1.0, 10), "empty");
+  EXPECT_DEATH(Histogram(0.0, 1.0, 0), "bucket");
+  Histogram h(0.0, 1.0, 10);
+  EXPECT_DEATH(h.Quantile(1.5), "0, 1");
+}
+
+TEST(SummaryTest, EmptySamples) {
+  const Summary summary = Summary::FromSamples({});
+  EXPECT_EQ(summary.samples, 0);
+  EXPECT_DOUBLE_EQ(summary.mean, 0.0);
+  EXPECT_DOUBLE_EQ(summary.ci95, 0.0);
+}
+
+TEST(SummaryTest, SingleSampleHasNoCi) {
+  const Summary summary = Summary::FromSamples({5.0});
+  EXPECT_EQ(summary.samples, 1);
+  EXPECT_DOUBLE_EQ(summary.mean, 5.0);
+  EXPECT_DOUBLE_EQ(summary.ci95, 0.0);
+}
+
+TEST(SummaryTest, MeanAndCi) {
+  const Summary summary = Summary::FromSamples({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(summary.mean, 2.5);
+  // sd = sqrt(5/3); ci = 1.96 * sd / 2
+  EXPECT_NEAR(summary.ci95, 1.96 * std::sqrt(5.0 / 3.0) / 2.0, 1e-12);
+}
+
+TEST(SummaryTest, IdenticalSamplesHaveZeroCi) {
+  const Summary summary = Summary::FromSamples({3.0, 3.0, 3.0});
+  EXPECT_DOUBLE_EQ(summary.mean, 3.0);
+  EXPECT_DOUBLE_EQ(summary.ci95, 0.0);
+}
+
+}  // namespace
+}  // namespace strip::sim

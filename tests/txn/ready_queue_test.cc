@@ -1,0 +1,184 @@
+#include "txn/ready_queue.h"
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace strip::txn {
+namespace {
+
+constexpr double kIps = 50e6;
+
+std::unique_ptr<Transaction> MakeTxn(std::uint64_t id, double value,
+                                     double comp_instructions,
+                                     double deadline = 100.0) {
+  Transaction::Params p;
+  p.id = id;
+  p.value = value;
+  p.arrival_time = 0.0;
+  p.deadline = deadline;
+  p.computation_instructions = comp_instructions;
+  p.lookup_instructions = 0;
+  return std::make_unique<Transaction>(p);
+}
+
+TEST(ReadyQueueTest, StartsEmpty) {
+  ReadyQueue queue;
+  EXPECT_TRUE(queue.empty());
+  EXPECT_EQ(queue.size(), 0u);
+  EXPECT_EQ(queue.PeekBest(kIps), nullptr);
+  EXPECT_EQ(queue.PopBest(kIps), nullptr);
+}
+
+TEST(ReadyQueueTest, PopBestPrefersValueDensity) {
+  ReadyQueue queue;
+  auto cheap_low = MakeTxn(1, 1.0, 1'000'000);    // density 50
+  auto cheap_high = MakeTxn(2, 2.0, 1'000'000);   // density 100
+  auto pricey_high = MakeTxn(3, 2.0, 4'000'000);  // density 25
+  queue.Add(cheap_low.get());
+  queue.Add(cheap_high.get());
+  queue.Add(pricey_high.get());
+  EXPECT_EQ(queue.PopBest(kIps)->id(), 2u);
+  EXPECT_EQ(queue.PopBest(kIps)->id(), 1u);
+  EXPECT_EQ(queue.PopBest(kIps)->id(), 3u);
+}
+
+TEST(ReadyQueueTest, TieBreaksByLowestId) {
+  ReadyQueue queue;
+  auto a = MakeTxn(5, 1.0, 1'000'000);
+  auto b = MakeTxn(2, 1.0, 1'000'000);
+  queue.Add(a.get());
+  queue.Add(b.get());
+  EXPECT_EQ(queue.PopBest(kIps)->id(), 2u);
+}
+
+TEST(ReadyQueueTest, PeekDoesNotRemove) {
+  ReadyQueue queue;
+  auto t = MakeTxn(1, 1.0, 1'000'000);
+  queue.Add(t.get());
+  EXPECT_EQ(queue.PeekBest(kIps), t.get());
+  EXPECT_EQ(queue.size(), 1u);
+}
+
+TEST(ReadyQueueTest, RemoveSpecific) {
+  ReadyQueue queue;
+  auto a = MakeTxn(1, 1.0, 1'000'000);
+  auto b = MakeTxn(2, 1.0, 1'000'000);
+  queue.Add(a.get());
+  queue.Add(b.get());
+  EXPECT_TRUE(queue.Remove(a.get()));
+  EXPECT_FALSE(queue.Remove(a.get()));
+  EXPECT_EQ(queue.size(), 1u);
+  EXPECT_EQ(queue.PopBest(kIps), b.get());
+}
+
+TEST(ReadyQueueTest, ExtractInfeasibleRemovesHopelessOnly) {
+  ReadyQueue queue;
+  auto feasible = MakeTxn(1, 1.0, 1'000'000, /*deadline=*/10.0);
+  auto hopeless = MakeTxn(2, 1.0, 600'000'000, /*deadline=*/10.0);  // 12 s
+  queue.Add(feasible.get());
+  queue.Add(hopeless.get());
+  const std::vector<Transaction*> removed = queue.ExtractInfeasible(0.0, kIps);
+  ASSERT_EQ(removed.size(), 1u);
+  EXPECT_EQ(removed[0]->id(), 2u);
+  EXPECT_EQ(queue.size(), 1u);
+}
+
+TEST(ReadyQueueTest, FeasibilityDependsOnNow) {
+  ReadyQueue queue;
+  auto t = MakeTxn(1, 1.0, 50'000'000, /*deadline=*/10.0);  // needs 1 s
+  queue.Add(t.get());
+  EXPECT_TRUE(queue.ExtractInfeasible(5.0, kIps).empty());
+  const auto removed = queue.ExtractInfeasible(9.5, kIps);
+  EXPECT_EQ(removed.size(), 1u);
+}
+
+TEST(ReadyQueueTest, WaitingExposesAll) {
+  ReadyQueue queue;
+  auto a = MakeTxn(1, 1.0, 1'000'000);
+  auto b = MakeTxn(2, 1.0, 1'000'000);
+  queue.Add(a.get());
+  queue.Add(b.get());
+  EXPECT_EQ(queue.waiting().size(), 2u);
+}
+
+TEST(ReadyQueueDeathTest, NullAddDies) {
+  ReadyQueue queue;
+  EXPECT_DEATH(queue.Add(nullptr), "nullptr");
+}
+
+std::unique_ptr<Transaction> MakeTimedTxn(std::uint64_t id, double arrival,
+                                          double deadline) {
+  Transaction::Params p;
+  p.id = id;
+  p.value = 1.0;
+  p.arrival_time = arrival;
+  p.deadline = deadline;
+  p.computation_instructions = 1'000'000;
+  return std::make_unique<Transaction>(p);
+}
+
+TEST(TxnSchedPolicyTest, Names) {
+  EXPECT_STREQ(TxnSchedPolicyName(TxnSchedPolicy::kValueDensity), "VD");
+  EXPECT_STREQ(TxnSchedPolicyName(TxnSchedPolicy::kEarliestDeadline),
+               "EDF");
+  EXPECT_STREQ(TxnSchedPolicyName(TxnSchedPolicy::kFcfs), "FCFS");
+}
+
+TEST(TxnSchedPolicyTest, HigherPriorityPerPolicy) {
+  auto early_deadline = MakeTimedTxn(1, 5.0, 8.0);
+  auto early_arrival = MakeTimedTxn(2, 1.0, 20.0);
+  // EDF: the earlier deadline wins.
+  EXPECT_TRUE(HigherPriority(*early_deadline, *early_arrival,
+                             TxnSchedPolicy::kEarliestDeadline, kIps));
+  EXPECT_FALSE(HigherPriority(*early_arrival, *early_deadline,
+                              TxnSchedPolicy::kEarliestDeadline, kIps));
+  // FCFS: the earlier arrival wins.
+  EXPECT_TRUE(HigherPriority(*early_arrival, *early_deadline,
+                             TxnSchedPolicy::kFcfs, kIps));
+  // VD: same value, same work -> neither is strictly higher.
+  EXPECT_FALSE(HigherPriority(*early_deadline, *early_arrival,
+                              TxnSchedPolicy::kValueDensity, kIps));
+  EXPECT_FALSE(HigherPriority(*early_arrival, *early_deadline,
+                              TxnSchedPolicy::kValueDensity, kIps));
+}
+
+TEST(TxnSchedPolicyTest, PopBestUnderEdf) {
+  ReadyQueue queue;
+  auto late = MakeTimedTxn(1, 0.0, 30.0);
+  auto soon = MakeTimedTxn(2, 0.0, 10.0);
+  auto mid = MakeTimedTxn(3, 0.0, 20.0);
+  queue.Add(late.get());
+  queue.Add(soon.get());
+  queue.Add(mid.get());
+  EXPECT_EQ(queue.PopBest(kIps, TxnSchedPolicy::kEarliestDeadline)->id(),
+            2u);
+  EXPECT_EQ(queue.PopBest(kIps, TxnSchedPolicy::kEarliestDeadline)->id(),
+            3u);
+  EXPECT_EQ(queue.PopBest(kIps, TxnSchedPolicy::kEarliestDeadline)->id(),
+            1u);
+}
+
+TEST(TxnSchedPolicyTest, PopBestUnderFcfs) {
+  ReadyQueue queue;
+  auto second = MakeTimedTxn(1, 2.0, 30.0);
+  auto first = MakeTimedTxn(2, 1.0, 30.0);
+  queue.Add(second.get());
+  queue.Add(first.get());
+  EXPECT_EQ(queue.PopBest(kIps, TxnSchedPolicy::kFcfs)->id(), 2u);
+  EXPECT_EQ(queue.PopBest(kIps, TxnSchedPolicy::kFcfs)->id(), 1u);
+}
+
+TEST(TxnSchedPolicyTest, EdfTieBreaksById) {
+  ReadyQueue queue;
+  auto a = MakeTimedTxn(9, 0.0, 10.0);
+  auto b = MakeTimedTxn(4, 0.0, 10.0);
+  queue.Add(a.get());
+  queue.Add(b.get());
+  EXPECT_EQ(queue.PopBest(kIps, TxnSchedPolicy::kEarliestDeadline)->id(),
+            4u);
+}
+
+}  // namespace
+}  // namespace strip::txn

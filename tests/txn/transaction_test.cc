@@ -1,0 +1,292 @@
+#include "txn/transaction.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "sim/random.h"
+
+namespace strip::txn {
+namespace {
+
+using Kind = Transaction::NextStep::Kind;
+
+constexpr double kIps = 50e6;
+
+Transaction::Params BaseParams() {
+  Transaction::Params p;
+  p.id = 1;
+  p.cls = TxnClass::kHighValue;
+  p.value = 2.0;
+  p.arrival_time = 0.0;
+  p.deadline = 1.0;
+  p.computation_instructions = 6'000'000;  // 0.12 s at 50 MIPS
+  p.p_view = 0.0;
+  p.lookup_instructions = 4000;
+  p.read_set = {{db::ObjectClass::kHighImportance, 3},
+                {db::ObjectClass::kHighImportance, 7}};
+  return p;
+}
+
+TEST(TransactionTest, AccessorsReflectParams) {
+  const Transaction t(BaseParams());
+  EXPECT_EQ(t.id(), 1u);
+  EXPECT_EQ(t.cls(), TxnClass::kHighValue);
+  EXPECT_DOUBLE_EQ(t.value(), 2.0);
+  EXPECT_DOUBLE_EQ(t.deadline(), 1.0);
+  EXPECT_EQ(t.read_set().size(), 2u);
+  EXPECT_EQ(t.outcome(), TxnOutcome::kPending);
+}
+
+TEST(TransactionTest, TotalSecondsIncludesLookups) {
+  const Transaction t(BaseParams());
+  EXPECT_NEAR(t.TotalSeconds(kIps), (6'000'000 + 2 * 4000) / kIps, 1e-12);
+}
+
+TEST(TransactionTest, PViewZeroStartsWithReads) {
+  Transaction t(BaseParams());
+  const auto step = t.next_step();
+  EXPECT_EQ(step.kind, Kind::kViewRead);
+  EXPECT_DOUBLE_EQ(step.instructions, 4000);
+  EXPECT_EQ(step.object.index, 3);
+}
+
+TEST(TransactionTest, FullTraversalPViewZero) {
+  Transaction t(BaseParams());
+  // read, read, work2, done.
+  EXPECT_EQ(t.next_step().kind, Kind::kViewRead);
+  t.CompleteStep();
+  EXPECT_EQ(t.next_step().kind, Kind::kViewRead);
+  EXPECT_EQ(t.next_step().object.index, 7);
+  t.CompleteStep();
+  const auto work = t.next_step();
+  EXPECT_EQ(work.kind, Kind::kCompute);
+  EXPECT_DOUBLE_EQ(work.instructions, 6'000'000);
+  t.CompleteStep();
+  EXPECT_EQ(t.next_step().kind, Kind::kDone);
+  EXPECT_TRUE(t.finished());
+}
+
+TEST(TransactionTest, FullTraversalPViewHalf) {
+  Transaction::Params p = BaseParams();
+  p.p_view = 0.5;
+  Transaction t(p);
+  const auto work1 = t.next_step();
+  EXPECT_EQ(work1.kind, Kind::kCompute);
+  EXPECT_DOUBLE_EQ(work1.instructions, 3'000'000);
+  t.CompleteStep();
+  t.CompleteStep();  // read 1
+  t.CompleteStep();  // read 2
+  const auto work2 = t.next_step();
+  EXPECT_EQ(work2.kind, Kind::kCompute);
+  EXPECT_DOUBLE_EQ(work2.instructions, 3'000'000);
+  t.CompleteStep();
+  EXPECT_TRUE(t.finished());
+}
+
+TEST(TransactionTest, PViewOneReadsLast) {
+  Transaction::Params p = BaseParams();
+  p.p_view = 1.0;
+  Transaction t(p);
+  EXPECT_EQ(t.next_step().kind, Kind::kCompute);
+  t.CompleteStep();
+  EXPECT_EQ(t.next_step().kind, Kind::kViewRead);
+  t.CompleteStep();
+  t.CompleteStep();
+  // No work2 (all computation was up front).
+  EXPECT_TRUE(t.finished());
+}
+
+TEST(TransactionTest, NoReads) {
+  Transaction::Params p = BaseParams();
+  p.read_set.clear();
+  Transaction t(p);
+  EXPECT_EQ(t.next_step().kind, Kind::kCompute);
+  t.CompleteStep();
+  EXPECT_TRUE(t.finished());
+}
+
+TEST(TransactionTest, ZeroWorkTransactionIsBornFinished) {
+  Transaction::Params p = BaseParams();
+  p.computation_instructions = 0;
+  p.read_set.clear();
+  Transaction t(p);
+  EXPECT_EQ(t.next_step().kind, Kind::kDone);
+  EXPECT_TRUE(t.finished());
+  EXPECT_DOUBLE_EQ(t.remaining_base_instructions(), 0.0);
+}
+
+TEST(TransactionTest, ChargePartialReducesCurrentStep) {
+  Transaction t(BaseParams());
+  t.ChargePartial(1000);
+  EXPECT_DOUBLE_EQ(t.next_step().instructions, 3000);
+  t.ChargePartial(3000);
+  EXPECT_DOUBLE_EQ(t.next_step().instructions, 0);
+  EXPECT_EQ(t.next_step().kind, Kind::kViewRead);  // not auto-completed
+}
+
+TEST(TransactionTest, RemainingBaseInstructionsCountsFuturePhases) {
+  Transaction::Params p = BaseParams();
+  p.p_view = 0.5;
+  Transaction t(p);
+  EXPECT_DOUBLE_EQ(t.remaining_base_instructions(), 6'000'000 + 8000);
+  t.ChargePartial(1'000'000);
+  EXPECT_DOUBLE_EQ(t.remaining_base_instructions(), 5'000'000 + 8000);
+  t.CompleteStep();  // work1 done
+  EXPECT_DOUBLE_EQ(t.remaining_base_instructions(), 3'000'000 + 8000);
+  t.CompleteStep();  // read 1 done
+  EXPECT_DOUBLE_EQ(t.remaining_base_instructions(), 3'000'000 + 4000);
+}
+
+TEST(TransactionTest, ExtraStepsRunBeforeBasePlan) {
+  Transaction t(BaseParams());
+  t.CompleteStep();  // first read done
+  t.PushExtraStep({Kind::kOdScan, 5000, t.read_set()[0]});
+  t.PushExtraStep({Kind::kOdApply, 20000, t.read_set()[0]});
+  EXPECT_EQ(t.next_step().kind, Kind::kOdScan);
+  EXPECT_DOUBLE_EQ(t.next_step().instructions, 5000);
+  t.CompleteStep();
+  EXPECT_EQ(t.next_step().kind, Kind::kOdApply);
+  t.CompleteStep();
+  EXPECT_EQ(t.next_step().kind, Kind::kViewRead);  // base plan resumes
+}
+
+TEST(TransactionTest, ExtraStepsExcludedFromBaseRemaining) {
+  Transaction t(BaseParams());
+  const double before = t.remaining_base_instructions();
+  t.PushExtraStep({Kind::kOdScan, 999999, t.read_set()[0]});
+  EXPECT_DOUBLE_EQ(t.remaining_base_instructions(), before);
+  EXPECT_FALSE(t.finished());
+}
+
+TEST(TransactionTest, ChargePartialHitsExtraStepFirst) {
+  Transaction t(BaseParams());
+  t.PushExtraStep({Kind::kOdScan, 5000, t.read_set()[0]});
+  t.ChargePartial(2000);
+  EXPECT_DOUBLE_EQ(t.next_step().instructions, 3000);
+  // The base read is untouched.
+  t.CompleteStep();
+  EXPECT_DOUBLE_EQ(t.next_step().instructions, 4000);
+}
+
+TEST(TransactionTest, ValueDensityIsValueOverRemainingTime) {
+  Transaction t(BaseParams());
+  const double remaining_seconds = (6'000'000 + 8000) / kIps;
+  EXPECT_NEAR(t.ValueDensity(kIps), 2.0 / remaining_seconds, 1e-9);
+}
+
+TEST(TransactionTest, FinishedTransactionHasInfiniteDensity) {
+  Transaction::Params p = BaseParams();
+  p.computation_instructions = 0;
+  p.read_set.clear();
+  Transaction t(p);
+  EXPECT_TRUE(std::isinf(t.ValueDensity(kIps)));
+}
+
+TEST(TransactionTest, FeasibilityAgainstDeadline) {
+  Transaction t(BaseParams());  // needs ~0.12016 s, deadline 1.0
+  EXPECT_TRUE(t.FeasibleAt(0.0, kIps));
+  EXPECT_TRUE(t.FeasibleAt(0.87, kIps));
+  EXPECT_FALSE(t.FeasibleAt(0.95, kIps));
+}
+
+TEST(TransactionTest, StaleReadBookkeeping) {
+  Transaction t(BaseParams());
+  EXPECT_FALSE(t.read_stale_data());
+  t.MarkStaleRead();
+  t.MarkStaleRead();
+  EXPECT_TRUE(t.read_stale_data());
+  EXPECT_EQ(t.stale_reads(), 2u);
+}
+
+TEST(TransactionTest, OutcomeAndCompletionTime) {
+  Transaction t(BaseParams());
+  t.set_outcome(TxnOutcome::kCommitted);
+  t.set_completion_time(0.5);
+  EXPECT_EQ(t.outcome(), TxnOutcome::kCommitted);
+  EXPECT_DOUBLE_EQ(t.completion_time(), 0.5);
+}
+
+TEST(TransactionTest, OutcomeNames) {
+  EXPECT_STREQ(TxnOutcomeName(TxnOutcome::kPending), "pending");
+  EXPECT_STREQ(TxnOutcomeName(TxnOutcome::kCommitted), "committed");
+  EXPECT_STREQ(TxnOutcomeName(TxnOutcome::kMissedDeadline),
+               "missed-deadline");
+  EXPECT_STREQ(TxnOutcomeName(TxnOutcome::kInfeasible), "infeasible");
+  EXPECT_STREQ(TxnOutcomeName(TxnOutcome::kStaleAbort), "stale-abort");
+  EXPECT_STREQ(TxnClassName(TxnClass::kLowValue), "low");
+  EXPECT_STREQ(TxnClassName(TxnClass::kHighValue), "high");
+}
+
+// Property test: for random plans, walking the step machine to
+// completion visits every read exactly once, in order, and the step
+// instructions sum to the base plan exactly — independent of where
+// preemptions split the segments.
+TEST(TransactionTest, RandomPlansConserveWorkAndVisitAllReads) {
+  strip::sim::RandomStream random(33);
+  for (int trial = 0; trial < 200; ++trial) {
+    Transaction::Params p;
+    p.id = trial;
+    p.value = 1.0;
+    p.deadline = 1e9;
+    p.computation_instructions = random.Uniform(0, 1e7);
+    p.p_view = random.Uniform(0, 1);
+    p.lookup_instructions = random.Uniform(0, 10000);
+    const int reads = random.UniformInt(0, 6);
+    for (int r = 0; r < reads; ++r) {
+      p.read_set.push_back(
+          {db::ObjectClass::kLowImportance, random.UniformInt(0, 9)});
+    }
+    Transaction t(p);
+    const double plan = p.computation_instructions +
+                        p.lookup_instructions * reads;
+    EXPECT_NEAR(t.remaining_base_instructions(), plan, 1e-6);
+
+    double executed = 0;
+    std::vector<db::ObjectId> reads_seen;
+    int guard = 0;
+    while (!t.finished()) {
+      ASSERT_LT(++guard, 1000);
+      const auto step = t.next_step();
+      ASSERT_NE(step.kind, Transaction::NextStep::Kind::kDone);
+      // Sometimes preempt mid-step to exercise partial charging.
+      if (step.instructions > 0 && random.WithProbability(0.4)) {
+        const double part = step.instructions * random.Uniform(0, 1);
+        t.ChargePartial(part);
+        executed += part;
+        continue;
+      }
+      executed += t.next_step().instructions;
+      if (step.kind == Transaction::NextStep::Kind::kViewRead) {
+        reads_seen.push_back(step.object);
+      }
+      t.CompleteStep();
+    }
+    EXPECT_NEAR(executed, plan, plan * 1e-12 + 1e-6) << "trial " << trial;
+    EXPECT_EQ(reads_seen, p.read_set) << "trial " << trial;
+    EXPECT_DOUBLE_EQ(t.remaining_base_instructions(), 0.0);
+  }
+}
+
+TEST(TransactionDeathTest, InvalidUse) {
+  Transaction t(BaseParams());
+  EXPECT_DEATH(t.ChargePartial(-1), "negative");
+  EXPECT_DEATH(t.ChargePartial(1e9), "overdrawn");
+  EXPECT_DEATH(
+      t.PushExtraStep({Kind::kCompute, 100, t.read_set()[0]}),
+      "only OD steps");
+  Transaction::Params p = BaseParams();
+  p.p_view = 1.5;
+  EXPECT_DEATH(Transaction bad(p), "p_view");
+}
+
+TEST(TransactionDeathTest, CompleteStepPastDoneDies) {
+  Transaction::Params p = BaseParams();
+  p.computation_instructions = 0;
+  p.read_set.clear();
+  Transaction t(p);
+  EXPECT_DEATH(t.CompleteStep(), "finished");
+}
+
+}  // namespace
+}  // namespace strip::txn

@@ -1,0 +1,148 @@
+#include "workload/multi_stream.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/config.h"
+#include "core/system.h"
+#include "sim/simulator.h"
+
+namespace strip::workload {
+namespace {
+
+UpdateStream::Params FeedParams(double rate, int n_low, int n_high) {
+  UpdateStream::Params params;
+  params.arrival_rate = rate;
+  params.n_low = n_low;
+  params.n_high = n_high;
+  return params;
+}
+
+TEST(MultiUpdateStreamTest, MergesRatesOfAllFeeds) {
+  sim::Simulator sim;
+  std::vector<db::Update> updates;
+  std::vector<MultiUpdateStream::Feed> feeds;
+  feeds.push_back({FeedParams(100, 10, 10), 0, 0});
+  feeds.push_back({FeedParams(300, 10, 10), 0, 0});
+  MultiUpdateStream multi(&sim, feeds, 7,
+                          [&](const db::Update& u) { updates.push_back(u); });
+  sim.RunUntil(50.0);
+  EXPECT_EQ(multi.feed_count(), 2u);
+  // 400/s aggregate over 50 s.
+  EXPECT_NEAR(static_cast<double>(updates.size()), 20000, 600);
+  EXPECT_EQ(multi.generated(), updates.size());
+}
+
+TEST(MultiUpdateStreamTest, IdsAreGloballyUnique) {
+  sim::Simulator sim;
+  std::vector<db::Update> updates;
+  std::vector<MultiUpdateStream::Feed> feeds;
+  feeds.push_back({FeedParams(200, 10, 10), 0, 0});
+  feeds.push_back({FeedParams(200, 10, 10), 0, 0});
+  MultiUpdateStream multi(&sim, feeds, 7,
+                          [&](const db::Update& u) { updates.push_back(u); });
+  sim.RunUntil(5.0);
+  std::vector<std::uint64_t> ids;
+  for (const auto& u : updates) ids.push_back(u.id);
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(std::adjacent_find(ids.begin(), ids.end()), ids.end());
+}
+
+TEST(MultiUpdateStreamTest, OffsetsPartitionTheCoverage) {
+  sim::Simulator sim;
+  std::vector<db::Update> updates;
+  std::vector<MultiUpdateStream::Feed> feeds;
+  // Feed A covers low [0,10), feed B covers low [10,20).
+  feeds.push_back({FeedParams(100, 10, 5), 0, 0});
+  feeds.push_back({FeedParams(100, 10, 5), 10, 5});
+  MultiUpdateStream multi(&sim, feeds, 7,
+                          [&](const db::Update& u) { updates.push_back(u); });
+  sim.RunUntil(20.0);
+  bool saw_first_window = false;
+  bool saw_second_window = false;
+  for (const auto& u : updates) {
+    if (u.object.cls == db::ObjectClass::kLowImportance) {
+      EXPECT_GE(u.object.index, 0);
+      EXPECT_LT(u.object.index, 20);
+      if (u.object.index < 10) saw_first_window = true;
+      if (u.object.index >= 10) saw_second_window = true;
+    } else {
+      EXPECT_LT(u.object.index, 10);
+    }
+  }
+  EXPECT_TRUE(saw_first_window);
+  EXPECT_TRUE(saw_second_window);
+}
+
+TEST(MultiUpdateStreamTest, StopSilencesEveryFeed) {
+  sim::Simulator sim;
+  int count = 0;
+  std::vector<MultiUpdateStream::Feed> feeds;
+  feeds.push_back({FeedParams(100, 10, 10), 0, 0});
+  feeds.push_back({FeedParams(100, 10, 10), 0, 0});
+  MultiUpdateStream multi(&sim, feeds, 7,
+                          [&](const db::Update&) { ++count; });
+  sim.RunUntil(1.0);
+  const int at_stop = count;
+  multi.Stop();
+  sim.RunUntil(10.0);
+  EXPECT_EQ(count, at_stop);
+}
+
+// Feeds with different network delays driving a real System: the slow
+// feed's slice of the database is measurably staler.
+TEST(MultiUpdateStreamTest, HeterogeneousFeedsDriveASystem) {
+  core::Config config;
+  config.external_workload = true;
+  config.policy = core::PolicyKind::kUpdateFirst;
+  config.sim_seconds = 60.0;
+  config.n_low = 200;
+  config.n_high = 200;
+  config.alpha = 2.0;
+
+  sim::Simulator sim;
+  core::System system(&sim, config, 1);
+
+  std::vector<MultiUpdateStream::Feed> feeds;
+  // Fast feed: low [0,100), 100/s, 10 ms delivery.
+  UpdateStream::Params fast = FeedParams(100, 100, 1);
+  fast.p_low = 1.0;
+  fast.mean_age = 0.01;
+  feeds.push_back({fast, 0, 0});
+  // Slow feed: low [100,200), 100/s, 1.2 s delivery (vs alpha = 2 s).
+  UpdateStream::Params slow = FeedParams(100, 100, 1);
+  slow.p_low = 1.0;
+  slow.mean_age = 1.2;
+  feeds.push_back({slow, 100, 0});
+
+  MultiUpdateStream multi(
+      &sim, feeds, 7,
+      [&](const db::Update& u) { system.InjectUpdate(u); });
+  system.Run();
+
+  // Sample staleness of both windows at the end of the run.
+  int stale_fast = 0;
+  int stale_slow = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (system.staleness().IsStale({db::ObjectClass::kLowImportance, i})) {
+      ++stale_fast;
+    }
+    if (system.staleness().IsStale(
+            {db::ObjectClass::kLowImportance, 100 + i})) {
+      ++stale_slow;
+    }
+  }
+  EXPECT_GT(stale_slow, stale_fast);
+}
+
+TEST(MultiUpdateStreamDeathTest, NeedsAFeed) {
+  sim::Simulator sim;
+  EXPECT_DEATH(
+      MultiUpdateStream(&sim, {}, 7, [](const db::Update&) {}),
+      "at least one feed");
+}
+
+}  // namespace
+}  // namespace strip::workload

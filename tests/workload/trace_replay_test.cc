@@ -1,0 +1,146 @@
+#include "workload/trace_replay.h"
+
+#include <sstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace strip::workload {
+namespace {
+
+using Record = TraceReplay::Record;
+
+TEST(TraceReplayParseTest, ParsesUpdateRecord) {
+  Record record;
+  const auto error = TraceReplay::ParseLine(
+      "update,1.5,high,42,1.4,3.25", 7, 1, &record);
+  EXPECT_FALSE(error.has_value()) << *error;
+  const auto& update = std::get<db::Update>(record);
+  EXPECT_EQ(update.id, 7u);
+  EXPECT_DOUBLE_EQ(update.arrival_time, 1.5);
+  EXPECT_EQ(update.object.cls, db::ObjectClass::kHighImportance);
+  EXPECT_EQ(update.object.index, 42);
+  EXPECT_DOUBLE_EQ(update.generation_time, 1.4);
+  EXPECT_DOUBLE_EQ(update.value, 3.25);
+}
+
+TEST(TraceReplayParseTest, ParsesTxnRecord) {
+  Record record;
+  const auto error = TraceReplay::ParseLine(
+      "txn,2.0,low,1.5,3.0,6000000,0.5,low:3;low:17", 1, 9, &record);
+  EXPECT_FALSE(error.has_value()) << *error;
+  const auto& params = std::get<txn::Transaction::Params>(record);
+  EXPECT_EQ(params.id, 9u);
+  EXPECT_DOUBLE_EQ(params.arrival_time, 2.0);
+  EXPECT_EQ(params.cls, txn::TxnClass::kLowValue);
+  EXPECT_DOUBLE_EQ(params.value, 1.5);
+  EXPECT_DOUBLE_EQ(params.deadline, 3.0);
+  EXPECT_DOUBLE_EQ(params.computation_instructions, 6000000);
+  EXPECT_DOUBLE_EQ(params.p_view, 0.5);
+  ASSERT_EQ(params.read_set.size(), 2u);
+  EXPECT_EQ(params.read_set[1],
+            (db::ObjectId{db::ObjectClass::kLowImportance, 17}));
+}
+
+TEST(TraceReplayParseTest, EmptyReadSetAllowed) {
+  Record record;
+  const auto error = TraceReplay::ParseLine(
+      "txn,2.0,high,1.0,3.0,1000,0,", 1, 1, &record);
+  EXPECT_FALSE(error.has_value()) << *error;
+  EXPECT_TRUE(
+      std::get<txn::Transaction::Params>(record).read_set.empty());
+}
+
+TEST(TraceReplayParseTest, RejectsMalformedRecords) {
+  Record record;
+  EXPECT_TRUE(TraceReplay::ParseLine("bogus,1", 1, 1, &record).has_value());
+  EXPECT_TRUE(
+      TraceReplay::ParseLine("update,1.5,high,42,1.4", 1, 1, &record)
+          .has_value());  // too few fields
+  EXPECT_TRUE(
+      TraceReplay::ParseLine("update,x,high,42,1.4,1", 1, 1, &record)
+          .has_value());  // bad number
+  EXPECT_TRUE(
+      TraceReplay::ParseLine("update,1,medium,42,1.4,1", 1, 1, &record)
+          .has_value());  // bad class
+  EXPECT_TRUE(TraceReplay::ParseLine(
+                  "txn,2.0,low,1.5,3.0,6000000,0.5,low-3", 1, 1, &record)
+                  .has_value());  // bad read entry
+}
+
+TEST(TraceReplayParseTest, ParseStreamSkipsCommentsAndNumbersIds) {
+  std::istringstream in(
+      "# a fixture\n"
+      "update,1.0,low,0,0.9,1\n"
+      "\n"
+      "txn,2.0,low,1.0,3.0,1000,0,low:0\n"
+      "update,3.0,low,1,2.9,2\n");
+  std::vector<Record> records;
+  const auto error = TraceReplay::Parse(in, &records);
+  EXPECT_FALSE(error.has_value()) << *error;
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(std::get<db::Update>(records[0]).id, 1u);
+  EXPECT_EQ(std::get<txn::Transaction::Params>(records[1]).id, 1u);
+  EXPECT_EQ(std::get<db::Update>(records[2]).id, 2u);
+}
+
+TEST(TraceReplayParseTest, ParseReportsLineNumbers) {
+  std::istringstream in("update,1.0,low,0,0.9,1\nbroken\n");
+  std::vector<Record> records;
+  const auto error = TraceReplay::Parse(in, &records);
+  ASSERT_TRUE(error.has_value());
+  EXPECT_NE(error->find("line 2"), std::string::npos);
+}
+
+TEST(TraceReplayTest, SchedulesRecordsAtArrivalTimes) {
+  std::istringstream in(
+      "update,1.0,low,0,0.9,1\n"
+      "txn,2.0,low,1.0,3.0,1000,0,low:0\n"
+      "update,0.5,high,3,0.4,2\n");
+  std::vector<Record> records;
+  ASSERT_FALSE(TraceReplay::Parse(in, &records).has_value());
+
+  sim::Simulator simulator;
+  std::vector<std::pair<double, char>> events;  // (time, kind)
+  TraceReplay replay(
+      &simulator, records,
+      [&](const db::Update&) { events.push_back({simulator.now(), 'u'}); },
+      [&](const txn::Transaction::Params&) {
+        events.push_back({simulator.now(), 't'});
+      });
+  EXPECT_EQ(replay.size(), 3u);
+  simulator.RunUntil(10.0);
+  ASSERT_EQ(events.size(), 3u);
+  // Replay ordered by arrival, not file order.
+  EXPECT_EQ(events[0], (std::pair<double, char>{0.5, 'u'}));
+  EXPECT_EQ(events[1], (std::pair<double, char>{1.0, 'u'}));
+  EXPECT_EQ(events[2], (std::pair<double, char>{2.0, 't'}));
+}
+
+TEST(TraceReplayTest, FormatRoundTrips) {
+  std::istringstream in(
+      "update,1.5,high,42,1.4,3.25\n"
+      "txn,2,low,1.5,3,6000000,0.5,low:3;low:17\n");
+  std::vector<Record> records;
+  ASSERT_FALSE(TraceReplay::Parse(in, &records).has_value());
+  for (const Record& record : records) {
+    const std::string line = FormatTraceRecord(record);
+    Record reparsed;
+    ASSERT_FALSE(
+        TraceReplay::ParseLine(line, 1, 1, &reparsed).has_value())
+        << line;
+    if (const auto* u = std::get_if<db::Update>(&record)) {
+      const auto& r = std::get<db::Update>(reparsed);
+      EXPECT_EQ(u->object, r.object);
+      EXPECT_DOUBLE_EQ(u->generation_time, r.generation_time);
+    } else {
+      const auto& p = std::get<txn::Transaction::Params>(record);
+      const auto& r = std::get<txn::Transaction::Params>(reparsed);
+      EXPECT_EQ(p.read_set, r.read_set);
+      EXPECT_DOUBLE_EQ(p.deadline, r.deadline);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace strip::workload

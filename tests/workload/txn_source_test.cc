@@ -1,0 +1,172 @@
+#include "workload/txn_source.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/stats.h"
+
+namespace strip::workload {
+namespace {
+
+std::vector<txn::Transaction::Params> Collect(const TxnSource::Params& params,
+                                              double seconds,
+                                              std::uint64_t seed = 7) {
+  sim::Simulator sim;
+  std::vector<txn::Transaction::Params> txns;
+  TxnSource source(&sim, params, seed,
+                   [&](const txn::Transaction::Params& t) {
+                     txns.push_back(t);
+                   });
+  sim.RunUntil(seconds);
+  return txns;
+}
+
+TEST(TxnSourceTest, RateMatchesLambda) {
+  TxnSource::Params params;
+  params.arrival_rate = 10;
+  const auto txns = Collect(params, 200.0);
+  EXPECT_NEAR(static_cast<double>(txns.size()), 2000, 200);
+}
+
+TEST(TxnSourceTest, ClassSplitAndValueMeans) {
+  TxnSource::Params params;
+  const auto txns = Collect(params, 500.0);
+  sim::Accumulator low_values, high_values;
+  for (const auto& t : txns) {
+    if (t.cls == txn::TxnClass::kLowValue) {
+      low_values.Add(t.value);
+    } else {
+      high_values.Add(t.value);
+    }
+  }
+  const double low_fraction =
+      static_cast<double>(low_values.count()) / txns.size();
+  EXPECT_NEAR(low_fraction, 0.5, 0.03);
+  // Clamping at zero lifts the low mean slightly above 1.0.
+  EXPECT_NEAR(low_values.mean(), 1.0, 0.1);
+  EXPECT_NEAR(high_values.mean(), 2.0, 0.1);
+  for (const auto& t : txns) EXPECT_GE(t.value, 0.0);
+}
+
+TEST(TxnSourceTest, ComputationTimesMatchDistribution) {
+  TxnSource::Params params;
+  const auto txns = Collect(params, 500.0);
+  sim::Accumulator comp_seconds;
+  for (const auto& t : txns) {
+    comp_seconds.Add(t.computation_instructions / params.ips);
+  }
+  EXPECT_NEAR(comp_seconds.mean(), 0.12, 0.005);
+  EXPECT_NEAR(comp_seconds.stddev(), 0.01, 0.003);
+}
+
+TEST(TxnSourceTest, ReadSetsMatchClassAndRange) {
+  TxnSource::Params params;
+  params.n_low = 11;
+  params.n_high = 23;
+  const auto txns = Collect(params, 200.0);
+  for (const auto& t : txns) {
+    const bool low = t.cls == txn::TxnClass::kLowValue;
+    for (const auto& object : t.read_set) {
+      EXPECT_EQ(object.cls, low ? db::ObjectClass::kLowImportance
+                                : db::ObjectClass::kHighImportance);
+      EXPECT_GE(object.index, 0);
+      EXPECT_LT(object.index, low ? 11 : 23);
+    }
+  }
+}
+
+TEST(TxnSourceTest, ReadCountMeanMatches) {
+  TxnSource::Params params;
+  const auto txns = Collect(params, 500.0);
+  sim::Accumulator reads;
+  for (const auto& t : txns) reads.Add(static_cast<double>(t.read_set.size()));
+  // Normal(2, 1) rounded and clamped at zero: mean a little above 2.
+  EXPECT_NEAR(reads.mean(), 2.0, 0.15);
+}
+
+TEST(TxnSourceTest, DeadlineIsArrivalPlusEstimatePlusSlack) {
+  TxnSource::Params params;
+  const auto txns = Collect(params, 100.0);
+  for (const auto& t : txns) {
+    const double estimate =
+        (t.computation_instructions +
+         t.lookup_instructions * static_cast<double>(t.read_set.size())) /
+        params.ips;
+    const double slack = t.deadline - t.arrival_time - estimate;
+    EXPECT_GE(slack, params.slack_min - 1e-9);
+    EXPECT_LE(slack, params.slack_max + 1e-9);
+  }
+}
+
+TEST(TxnSourceTest, SlackIsRoughlyUniform) {
+  TxnSource::Params params;
+  const auto txns = Collect(params, 500.0);
+  sim::Accumulator slack;
+  for (const auto& t : txns) {
+    const double estimate =
+        (t.computation_instructions +
+         t.lookup_instructions * static_cast<double>(t.read_set.size())) /
+        params.ips;
+    slack.Add(t.deadline - t.arrival_time - estimate);
+  }
+  EXPECT_NEAR(slack.mean(), 0.55, 0.03);
+}
+
+TEST(TxnSourceTest, PViewAndLookupArePropagated) {
+  TxnSource::Params params;
+  params.p_view = 0.3;
+  params.lookup_instructions = 1234;
+  const auto txns = Collect(params, 20.0);
+  ASSERT_FALSE(txns.empty());
+  for (const auto& t : txns) {
+    EXPECT_DOUBLE_EQ(t.p_view, 0.3);
+    EXPECT_DOUBLE_EQ(t.lookup_instructions, 1234);
+  }
+}
+
+TEST(TxnSourceTest, IdsAreSequential) {
+  TxnSource::Params params;
+  const auto txns = Collect(params, 20.0);
+  for (std::size_t i = 0; i < txns.size(); ++i) {
+    EXPECT_EQ(txns[i].id, i + 1);
+  }
+}
+
+TEST(TxnSourceTest, DeterministicBySeed) {
+  TxnSource::Params params;
+  const auto a = Collect(params, 20.0, 42);
+  const auto b = Collect(params, 20.0, 42);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].arrival_time, b[i].arrival_time);
+    EXPECT_DOUBLE_EQ(a[i].value, b[i].value);
+    EXPECT_EQ(a[i].read_set.size(), b[i].read_set.size());
+  }
+}
+
+TEST(TxnSourceTest, StopHaltsGeneration) {
+  sim::Simulator sim;
+  int count = 0;
+  TxnSource::Params params;
+  TxnSource source(&sim, params, 7,
+                   [&](const txn::Transaction::Params&) { ++count; });
+  sim.RunUntil(2.0);
+  const int at_stop = count;
+  source.Stop();
+  sim.RunUntil(10.0);
+  EXPECT_EQ(count, at_stop);
+}
+
+TEST(TxnSourceDeathTest, InvalidParams) {
+  sim::Simulator sim;
+  TxnSource::Params params;
+  params.slack_min = 2.0;
+  params.slack_max = 1.0;
+  EXPECT_DEATH(
+      TxnSource(&sim, params, 7, [](const txn::Transaction::Params&) {}),
+      "slack");
+}
+
+}  // namespace
+}  // namespace strip::workload

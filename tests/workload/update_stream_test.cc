@@ -1,0 +1,146 @@
+#include "workload/update_stream.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/stats.h"
+
+namespace strip::workload {
+namespace {
+
+std::vector<db::Update> Collect(const UpdateStream::Params& params,
+                                double seconds, std::uint64_t seed = 7) {
+  sim::Simulator sim;
+  std::vector<db::Update> updates;
+  UpdateStream stream(&sim, params, seed,
+                      [&](const db::Update& u) { updates.push_back(u); });
+  sim.RunUntil(seconds);
+  return updates;
+}
+
+TEST(UpdateStreamTest, RateMatchesLambda) {
+  UpdateStream::Params params;
+  params.arrival_rate = 400;
+  const auto updates = Collect(params, 50.0);
+  // 20000 expected; Poisson sd ~141.
+  EXPECT_NEAR(static_cast<double>(updates.size()), 20000, 600);
+}
+
+TEST(UpdateStreamTest, ArrivalTimesAreMonotoneAndStamped) {
+  UpdateStream::Params params;
+  const auto updates = Collect(params, 5.0);
+  ASSERT_FALSE(updates.empty());
+  for (std::size_t i = 1; i < updates.size(); ++i) {
+    EXPECT_GE(updates[i].arrival_time, updates[i - 1].arrival_time);
+  }
+  EXPECT_GT(updates.front().arrival_time, 0.0);
+  EXPECT_LE(updates.back().arrival_time, 5.0);
+}
+
+TEST(UpdateStreamTest, IdsAreUniqueAndSequential) {
+  UpdateStream::Params params;
+  const auto updates = Collect(params, 2.0);
+  for (std::size_t i = 0; i < updates.size(); ++i) {
+    EXPECT_EQ(updates[i].id, i + 1);
+  }
+}
+
+TEST(UpdateStreamTest, ClassSplitMatchesPLow) {
+  UpdateStream::Params params;
+  params.p_low = 0.25;
+  const auto updates = Collect(params, 100.0);
+  int low = 0;
+  for (const auto& u : updates) {
+    if (u.object.cls == db::ObjectClass::kLowImportance) ++low;
+  }
+  EXPECT_NEAR(static_cast<double>(low) / updates.size(), 0.25, 0.02);
+}
+
+TEST(UpdateStreamTest, ObjectIndicesStayInRange) {
+  UpdateStream::Params params;
+  params.n_low = 17;
+  params.n_high = 5;
+  const auto updates = Collect(params, 20.0);
+  for (const auto& u : updates) {
+    const int n =
+        u.object.cls == db::ObjectClass::kLowImportance ? 17 : 5;
+    EXPECT_GE(u.object.index, 0);
+    EXPECT_LT(u.object.index, n);
+  }
+}
+
+TEST(UpdateStreamTest, GenerationLagsArrivalByMeanAge) {
+  UpdateStream::Params params;
+  params.mean_age = 0.1;
+  const auto updates = Collect(params, 100.0);
+  sim::Accumulator ages;
+  for (const auto& u : updates) {
+    EXPECT_LE(u.generation_time, u.arrival_time);
+    EXPECT_GE(u.generation_time, 0.0);  // clamped at the start of time
+    if (u.arrival_time > 1.0) {  // past the clamp-affected prefix
+      ages.Add(u.arrival_time - u.generation_time);
+    }
+  }
+  EXPECT_NEAR(ages.mean(), 0.1, 0.01);
+}
+
+TEST(UpdateStreamTest, DeterministicBySeed) {
+  UpdateStream::Params params;
+  const auto a = Collect(params, 5.0, 42);
+  const auto b = Collect(params, 5.0, 42);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].arrival_time, b[i].arrival_time);
+    EXPECT_EQ(a[i].object, b[i].object);
+  }
+  const auto c = Collect(params, 5.0, 43);
+  EXPECT_NE(a.front().arrival_time, c.front().arrival_time);
+}
+
+TEST(UpdateStreamTest, StopHaltsGeneration) {
+  sim::Simulator sim;
+  int count = 0;
+  UpdateStream::Params params;
+  UpdateStream stream(&sim, params, 7,
+                      [&](const db::Update&) { ++count; });
+  sim.RunUntil(1.0);
+  const int at_stop = count;
+  EXPECT_GT(at_stop, 0);
+  stream.Stop();
+  sim.RunUntil(5.0);
+  EXPECT_EQ(count, at_stop);
+  EXPECT_EQ(stream.generated(), static_cast<std::uint64_t>(at_stop));
+}
+
+TEST(UpdateStreamTest, PeriodicModeRefreshesRoundRobin) {
+  UpdateStream::Params params;
+  params.periodic = true;
+  params.arrival_rate = 100;
+  params.n_low = 3;
+  params.n_high = 2;
+  const auto updates = Collect(params, 1.0);  // ~100 updates, 20 cycles
+  ASSERT_GE(updates.size(), 10u);
+  // Deterministic rotation low0 low1 low2 high0 high1 ...
+  EXPECT_EQ(updates[0].object,
+            (db::ObjectId{db::ObjectClass::kLowImportance, 0}));
+  EXPECT_EQ(updates[3].object,
+            (db::ObjectId{db::ObjectClass::kHighImportance, 0}));
+  EXPECT_EQ(updates[5].object,
+            (db::ObjectId{db::ObjectClass::kLowImportance, 0}));
+  // Fixed interarrival gap.
+  EXPECT_NEAR(updates[1].arrival_time - updates[0].arrival_time, 0.01,
+              1e-12);
+}
+
+TEST(UpdateStreamDeathTest, InvalidParams) {
+  sim::Simulator sim;
+  UpdateStream::Params params;
+  params.arrival_rate = 0;
+  EXPECT_DEATH(
+      UpdateStream(&sim, params, 7, [](const db::Update&) {}),
+      "positive");
+}
+
+}  // namespace
+}  // namespace strip::workload

@@ -1,0 +1,180 @@
+// strip_sim: command-line runner for one simulation configuration.
+//
+// Any Config parameter can be set as --name=value (see --help for the
+// full list); runner flags:
+//   --seed=N    base random seed            (default 1)
+//   --reps=N    replications                (default 1)
+//   --print-config   echo the resolved configuration and exit
+//   --quiet     print only the summary line
+//
+// Examples:
+//   strip_sim --policy=OD --lambda_t=15 --sim_seconds=300
+//   strip_sim --policy=TF --staleness=UU --abort_on_stale=true --reps=5
+//   strip_sim --policy=FCF --update_cpu_fraction=0.15 --x_queue=100
+//   strip_sim --config=baseline.cfg --lambda_t=20   # file, then overrides
+//
+// --config=FILE reads name=value lines ('#' comments allowed); flags
+// given after it override the file.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "core/metrics.h"
+#include "exp/config_flags.h"
+#include "exp/experiment.h"
+#include "sim/stats.h"
+
+namespace {
+
+[[noreturn]] void PrintHelpAndExit() {
+  std::printf("usage: strip_sim [--name=value ...]\n\n");
+  std::printf("runner flags: --seed=N --reps=N --print-config --quiet\n\n");
+  std::printf("model parameters (defaults are the paper's baseline):\n");
+  for (const std::string& name : strip::exp::ConfigFlagNames()) {
+    std::printf("  --%s=\n", name.c_str());
+  }
+  std::exit(0);
+}
+
+void PrintSummary(const std::vector<strip::core::RunMetrics>& runs) {
+  struct Line {
+    const char* name;
+    double (strip::core::RunMetrics::*fn)() const;
+  };
+  const Line lines[] = {
+      {"p_MD", &strip::core::RunMetrics::p_md},
+      {"p_success", &strip::core::RunMetrics::p_success},
+      {"p_suc|nontardy", &strip::core::RunMetrics::p_suc_nontardy},
+      {"AV", &strip::core::RunMetrics::av},
+      {"rho_t", &strip::core::RunMetrics::rho_t},
+      {"rho_u", &strip::core::RunMetrics::rho_u},
+  };
+  std::printf("%-16s %10s %10s\n", "metric", "mean", "ci95");
+  for (const Line& line : lines) {
+    std::vector<double> samples;
+    samples.reserve(runs.size());
+    for (const auto& run : runs) samples.push_back((run.*line.fn)());
+    const strip::sim::Summary s = strip::sim::Summary::FromSamples(samples);
+    std::printf("%-16s %10.4f %10.4f\n", line.name, s.mean, s.ci95);
+  }
+  std::vector<double> fold_low, fold_high;
+  for (const auto& run : runs) {
+    fold_low.push_back(run.f_old_low);
+    fold_high.push_back(run.f_old_high);
+  }
+  const strip::sim::Summary low =
+      strip::sim::Summary::FromSamples(fold_low);
+  const strip::sim::Summary high =
+      strip::sim::Summary::FromSamples(fold_high);
+  std::printf("%-16s %10.4f %10.4f\n", "f_old_l", low.mean, low.ci95);
+  std::printf("%-16s %10.4f %10.4f\n", "f_old_h", high.mean, high.ci95);
+}
+
+}  // namespace
+
+namespace {
+
+// Applies name=value lines from a file; '#' starts a comment.
+bool ApplyConfigFile(const std::string& path,
+                     strip::core::Config& config) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "strip_sim: cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::string line;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    while (!line.empty() && (line.back() == ' ' || line.back() == '\r')) {
+      line.pop_back();
+    }
+    if (line.empty()) continue;
+    if (const auto error = strip::exp::ApplyConfigFlag(line, config)) {
+      std::fprintf(stderr, "strip_sim: %s:%d: %s\n", path.c_str(),
+                   line_number, error->c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  strip::core::Config config;
+  // First pass: a --config file establishes the base...
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--config=", 9) == 0) {
+      if (!ApplyConfigFile(argv[i] + 9, config)) return 2;
+    }
+  }
+  // ...then the command-line flags override it.
+  std::vector<std::string> rest;
+  const std::optional<std::string> error =
+      strip::exp::ApplyConfigFlags(argc, argv, config, &rest);
+  if (error.has_value()) {
+    std::fprintf(stderr, "strip_sim: %s\n", error->c_str());
+    return 2;
+  }
+
+  std::uint64_t seed = 1;
+  int reps = 1;
+  bool print_config = false;
+  bool quiet = false;
+  for (const std::string& arg : rest) {
+    if (arg.rfind("--seed=", 0) == 0) {
+      seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    } else if (arg.rfind("--reps=", 0) == 0) {
+      reps = std::atoi(arg.c_str() + 7);
+    } else if (arg == "--print-config") {
+      print_config = true;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      PrintHelpAndExit();
+    } else if (arg.rfind("--config=", 0) == 0) {
+      // Already applied in the first pass.
+    } else {
+      std::fprintf(stderr, "strip_sim: unknown flag %s (try --help)\n",
+                   arg.c_str());
+      return 2;
+    }
+  }
+
+  if (const std::optional<std::string> invalid = config.Validate()) {
+    std::fprintf(stderr, "strip_sim: invalid configuration: %s\n",
+                 invalid->c_str());
+    return 2;
+  }
+  if (print_config) {
+    std::fputs(strip::exp::ConfigToString(config).c_str(), stdout);
+    return 0;
+  }
+  if (reps < 1) {
+    std::fprintf(stderr, "strip_sim: --reps must be at least 1\n");
+    return 2;
+  }
+
+  const std::vector<strip::core::RunMetrics> runs =
+      strip::exp::Replicate(config, reps, seed);
+  if (!quiet) {
+    std::printf("policy=%s staleness=%s lambda_t=%g lambda_u=%g "
+                "seconds=%g reps=%d\n\n",
+                strip::core::PolicyKindName(config.policy),
+                strip::db::StalenessCriterionName(config.staleness),
+                config.lambda_t, config.lambda_u, config.sim_seconds,
+                reps);
+    std::fputs(runs[0].ToString().c_str(), stdout);
+    std::printf("\n");
+  }
+  PrintSummary(runs);
+  return 0;
+}

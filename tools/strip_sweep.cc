@@ -1,0 +1,170 @@
+// strip_sweep: run an arbitrary parameter sweep from the command line.
+//
+//   strip_sweep --x=lambda_t --values=5,10,15,20,25 \
+//               --policies=UF,TF,SU,OD --metrics=av,p_success \
+//               [--name=value ...] [--reps=N] [--seed=N] [--csv]
+//
+// Any Config parameter (see strip_sim --help) can be fixed with
+// --name=value and any numeric one swept with --x/--values. This is
+// the same machinery the per-figure bench binaries use, exposed for
+// ad-hoc exploration.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "exp/config_flags.h"
+#include "exp/experiment.h"
+#include "exp/report.h"
+
+namespace {
+
+using strip::core::PolicyKind;
+using strip::core::RunMetrics;
+
+struct MetricDef {
+  const char* name;
+  strip::exp::MetricFn fn;
+};
+
+const MetricDef kMetrics[] = {
+    {"av", [](const RunMetrics& m) { return m.av(); }},
+    {"p_md", [](const RunMetrics& m) { return m.p_md(); }},
+    {"p_success", [](const RunMetrics& m) { return m.p_success(); }},
+    {"p_suc_nontardy",
+     [](const RunMetrics& m) { return m.p_suc_nontardy(); }},
+    {"f_old_l", [](const RunMetrics& m) { return m.f_old_low; }},
+    {"f_old_h", [](const RunMetrics& m) { return m.f_old_high; }},
+    {"rho_t", [](const RunMetrics& m) { return m.rho_t(); }},
+    {"rho_u", [](const RunMetrics& m) { return m.rho_u(); }},
+    {"response_p95",
+     [](const RunMetrics& m) { return m.response_p95; }},
+    {"uq_avg", [](const RunMetrics& m) { return m.uq_length_avg; }},
+};
+
+std::vector<std::string> SplitCommas(const std::string& list) {
+  std::vector<std::string> items;
+  std::size_t start = 0;
+  while (start <= list.size()) {
+    const std::size_t comma = list.find(',', start);
+    if (comma == std::string::npos) {
+      items.push_back(list.substr(start));
+      break;
+    }
+    items.push_back(list.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return items;
+}
+
+[[noreturn]] void Fail(const std::string& message) {
+  std::fprintf(stderr, "strip_sweep: %s\n", message.c_str());
+  std::exit(2);
+}
+
+PolicyKind ParsePolicy(const std::string& name) {
+  for (PolicyKind kind :
+       {PolicyKind::kUpdateFirst, PolicyKind::kTransactionFirst,
+        PolicyKind::kSplitUpdates, PolicyKind::kOnDemand,
+        PolicyKind::kFixedFraction}) {
+    if (name == strip::core::PolicyKindName(kind)) return kind;
+  }
+  Fail("unknown policy: " + name);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  strip::core::Config base;
+  std::vector<std::string> rest;
+  if (const auto error =
+          strip::exp::ApplyConfigFlags(argc, argv, base, &rest)) {
+    Fail(*error);
+  }
+
+  std::string x_name;
+  std::vector<double> x_values;
+  std::vector<PolicyKind> policies = {
+      PolicyKind::kUpdateFirst, PolicyKind::kTransactionFirst,
+      PolicyKind::kSplitUpdates, PolicyKind::kOnDemand};
+  std::vector<std::string> metric_names = {"av", "p_success"};
+  int reps = 2;
+  std::uint64_t seed = 42;
+  int threads = 0;
+  bool csv = false;
+
+  for (const std::string& arg : rest) {
+    if (arg.rfind("--x=", 0) == 0) {
+      x_name = arg.substr(4);
+    } else if (arg.rfind("--values=", 0) == 0) {
+      for (const std::string& v : SplitCommas(arg.substr(9))) {
+        x_values.push_back(std::atof(v.c_str()));
+      }
+    } else if (arg.rfind("--policies=", 0) == 0) {
+      policies.clear();
+      for (const std::string& p : SplitCommas(arg.substr(11))) {
+        policies.push_back(ParsePolicy(p));
+      }
+    } else if (arg.rfind("--metrics=", 0) == 0) {
+      metric_names = SplitCommas(arg.substr(10));
+    } else if (arg.rfind("--reps=", 0) == 0) {
+      reps = std::atoi(arg.c_str() + 7);
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      threads = std::atoi(arg.c_str() + 10);
+    } else if (arg == "--csv") {
+      csv = true;
+    } else {
+      Fail("unknown flag: " + arg + " (config flags need --name=value)");
+    }
+  }
+  if (x_name.empty() || x_values.empty()) {
+    Fail("need --x=<param> and --values=v1,v2,...");
+  }
+  if (reps < 1) Fail("--reps must be at least 1");
+
+  strip::exp::SweepSpec spec;
+  spec.base = base;
+  spec.policies = policies;
+  spec.x_name = x_name;
+  spec.x_values = x_values;
+  spec.replications = reps;
+  spec.base_seed = seed;
+  spec.threads = threads;
+  spec.apply_x = [x_name](strip::core::Config& config, double x) {
+    char value[64];
+    std::snprintf(value, sizeof(value), "%.17g", x);
+    const auto error = strip::exp::ApplyConfigFlag(
+        x_name + "=" + value, config);
+    if (error.has_value()) Fail(*error);
+  };
+
+  // Validate the x parameter name and one full config up front, before
+  // launching the fleet.
+  {
+    strip::core::Config probe = base;
+    spec.apply_x(probe, x_values.front());
+    if (const auto invalid = probe.Validate()) Fail(*invalid);
+  }
+
+  const strip::exp::SweepResult result = strip::exp::RunSweep(spec);
+  for (const std::string& metric_name : metric_names) {
+    const MetricDef* found = nullptr;
+    for (const MetricDef& metric : kMetrics) {
+      if (metric_name == metric.name) found = &metric;
+    }
+    if (found == nullptr) Fail("unknown metric: " + metric_name);
+    strip::exp::PrintSeries(std::cout, spec, result, metric_name,
+                            found->fn, /*with_ci=*/reps > 1);
+    if (csv) {
+      strip::exp::PrintSeriesCsv(std::cout, spec, result, metric_name,
+                                 found->fn);
+    }
+  }
+  return 0;
+}
