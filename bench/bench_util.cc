@@ -1,0 +1,75 @@
+#include "bench_util.h"
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "exp/report.h"
+
+namespace strip::bench {
+
+std::vector<double> LambdaTSweep() { return {1, 5, 10, 15, 20, 25}; }
+
+exp::SweepSpec BaseSpec(const exp::BenchArgs& args) {
+  exp::SweepSpec spec;
+  args.ApplyTo(spec.base);
+  spec.replications = args.replications;
+  spec.base_seed = args.seed;
+  spec.threads = args.threads;
+  return spec;
+}
+
+double MetricAv(const core::RunMetrics& m) { return m.av(); }
+double MetricPmd(const core::RunMetrics& m) { return m.p_md(); }
+double MetricPsuccess(const core::RunMetrics& m) { return m.p_success(); }
+double MetricPsucNontardy(const core::RunMetrics& m) {
+  return m.p_suc_nontardy();
+}
+double MetricFoldLow(const core::RunMetrics& m) { return m.f_old_low; }
+double MetricFoldHigh(const core::RunMetrics& m) { return m.f_old_high; }
+double MetricRhoT(const core::RunMetrics& m) { return m.rho_t(); }
+double MetricRhoU(const core::RunMetrics& m) { return m.rho_u(); }
+
+namespace {
+
+// Series accumulated for --json over the lifetime of the bench binary.
+// Rewritten wholesale after each Emit so an interrupted run still
+// leaves a valid document.
+std::vector<std::string>& JsonSeries() {
+  static std::vector<std::string> series;
+  return series;
+}
+
+void WriteJsonFile(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "bench: cannot write JSON results to " << path << "\n";
+    return;
+  }
+  out << "{\"series\": [";
+  const std::vector<std::string>& series = JsonSeries();
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    out << (i ? ",\n  " : "\n  ") << series[i];
+  }
+  out << "\n]}\n";
+}
+
+}  // namespace
+
+void Emit(const exp::BenchArgs& args, const exp::SweepSpec& spec,
+          const exp::SweepResult& result, const char* metric_name,
+          const exp::MetricFn& metric) {
+  exp::PrintSeries(std::cout, spec, result, metric_name, metric);
+  if (args.csv) {
+    exp::PrintSeriesCsv(std::cout, spec, result, metric_name, metric);
+  }
+  if (!args.json.empty()) {
+    std::ostringstream series;
+    exp::PrintSeriesJson(series, spec, result, metric_name, metric);
+    JsonSeries().push_back(series.str());
+    WriteJsonFile(args.json);
+  }
+}
+
+}  // namespace strip::bench

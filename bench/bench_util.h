@@ -4,62 +4,44 @@
 // config plus the figure's x-axis, runs it, and prints the series the
 // figure plots. Metric extractors and the standard lambda_t sweep live
 // here so the figures stay single-purpose.
+//
+// Declaration-only on purpose: the printing machinery (iostream,
+// formatting, the --json sink) is in bench_util.cc so the ~30 figure
+// TUs don't each pay its include and codegen cost.
 
 #ifndef STRIP_BENCH_BENCH_UTIL_H_
 #define STRIP_BENCH_BENCH_UTIL_H_
 
-#include <iostream>
 #include <vector>
 
 #include "exp/bench_args.h"
 #include "exp/experiment.h"
-#include "exp/report.h"
 
 namespace strip::bench {
 
 // The transaction-rate sweep most figures use (the paper plots
 // lambda_t from light load to far past saturation at ~10/s).
-inline std::vector<double> LambdaTSweep() {
-  return {1, 5, 10, 15, 20, 25};
-}
+std::vector<double> LambdaTSweep();
 
 // A sweep spec preloaded with the paper baseline and the bench args.
-inline exp::SweepSpec BaseSpec(const exp::BenchArgs& args) {
-  exp::SweepSpec spec;
-  args.ApplyTo(spec.base);
-  spec.replications = args.replications;
-  spec.base_seed = args.seed;
-  spec.threads = args.threads;
-  return spec;
-}
+exp::SweepSpec BaseSpec(const exp::BenchArgs& args);
 
 // Standard metric extractors.
-inline double MetricAv(const core::RunMetrics& m) { return m.av(); }
-inline double MetricPmd(const core::RunMetrics& m) { return m.p_md(); }
-inline double MetricPsuccess(const core::RunMetrics& m) {
-  return m.p_success();
-}
-inline double MetricPsucNontardy(const core::RunMetrics& m) {
-  return m.p_suc_nontardy();
-}
-inline double MetricFoldLow(const core::RunMetrics& m) {
-  return m.f_old_low;
-}
-inline double MetricFoldHigh(const core::RunMetrics& m) {
-  return m.f_old_high;
-}
-inline double MetricRhoT(const core::RunMetrics& m) { return m.rho_t(); }
-inline double MetricRhoU(const core::RunMetrics& m) { return m.rho_u(); }
+double MetricAv(const core::RunMetrics& m);
+double MetricPmd(const core::RunMetrics& m);
+double MetricPsuccess(const core::RunMetrics& m);
+double MetricPsucNontardy(const core::RunMetrics& m);
+double MetricFoldLow(const core::RunMetrics& m);
+double MetricFoldHigh(const core::RunMetrics& m);
+double MetricRhoT(const core::RunMetrics& m);
+double MetricRhoU(const core::RunMetrics& m);
 
-// Prints a series table (and optionally its CSV twin).
-inline void Emit(const exp::BenchArgs& args, const exp::SweepSpec& spec,
-                 const exp::SweepResult& result, const char* metric_name,
-                 const exp::MetricFn& metric) {
-  exp::PrintSeries(std::cout, spec, result, metric_name, metric);
-  if (args.csv) {
-    exp::PrintSeriesCsv(std::cout, spec, result, metric_name, metric);
-  }
-}
+// Prints a series table (and optionally its CSV twin). With
+// args.json set, also records the series and rewrites the JSON
+// results file ({"series": [...]}) so partial runs stay readable.
+void Emit(const exp::BenchArgs& args, const exp::SweepSpec& spec,
+          const exp::SweepResult& result, const char* metric_name,
+          const exp::MetricFn& metric);
 
 }  // namespace strip::bench
 

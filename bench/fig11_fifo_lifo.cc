@@ -9,8 +9,10 @@
 // ratios sit at 1.
 
 #include <cstdio>
+#include <iostream>
 
 #include "bench_util.h"
+#include "exp/report.h"
 
 int main(int argc, char** argv) {
   using namespace strip;

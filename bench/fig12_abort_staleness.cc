@@ -11,8 +11,10 @@
 // fresh).
 
 #include <cstdio>
+#include <iostream>
 
 #include "bench_util.h"
+#include "exp/report.h"
 
 int main(int argc, char** argv) {
   using namespace strip;

@@ -10,8 +10,10 @@
 // transactions fresh, so those commit.
 
 #include <cstdio>
+#include <iostream>
 
 #include "bench_util.h"
+#include "exp/report.h"
 
 int main(int argc, char** argv) {
   using namespace strip;

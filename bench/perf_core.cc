@@ -1,0 +1,231 @@
+// perf_core: the hot-path micro-suite that seeds the perf trajectory.
+//
+// Measures the simulation substrate the way the paper's experiments
+// exercise it: event schedule→pop throughput at realistic standing
+// populations, timer-churn (schedule/cancel) mixes, update-queue
+// push/pop/purge under both the realistic near-in-generation-order
+// arrival pattern and an adversarial random one, and an end-to-end
+// 60-simulated-second baseline run.
+//
+// CI runs this with --benchmark_min_time=0.1x and uploads the JSON:
+//   perf_core --benchmark_out=BENCH_core.json --benchmark_out_format=json
+// Compare against the checked-in BENCH_core.json to read the perf
+// trajectory across PRs.
+
+#include <cstdint>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "core/config.h"
+#include "core/system.h"
+#include "db/update_queue.h"
+#include "sim/event_queue.h"
+#include "sim/random.h"
+#include "sim/simulator.h"
+
+namespace {
+
+using namespace strip;
+
+// --- event queue -----------------------------------------------------------
+
+// Steady-state schedule→pop at a standing population of range(0)
+// pending events (a 300 s paper run holds a few thousand pending
+// deadline/expiry/arrival events; 64k approximates a scaled-up feed).
+void BM_EventScheduleThenPop(benchmark::State& state) {
+  sim::EventQueue queue;
+  sim::RandomStream random(7);
+  double t = 0;
+  int dummy = 0;
+  const int population = static_cast<int>(state.range(0));
+  for (int i = 0; i < population; ++i) {
+    queue.Schedule(t + random.Uniform(0, 10), [&dummy] { ++dummy; });
+  }
+  for (auto _ : state) {
+    queue.Schedule(t + random.Uniform(0, 10), [&dummy] { ++dummy; });
+    auto fired = queue.PopNext();
+    t = fired->time;
+    fired->callback();
+    benchmark::DoNotOptimize(dummy);
+  }
+  state.counters["events_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EventScheduleThenPop)->Arg(1024)->Arg(65536);
+
+// Schedule+cancel with no pop: the deadline-timer pattern (most firm
+// deadlines are cancelled at commit, long before they fire).
+void BM_EventScheduleCancel(benchmark::State& state) {
+  sim::EventQueue queue;
+  int dummy = 0;
+  for (auto _ : state) {
+    auto handle = queue.Schedule(1.0, [&dummy] { ++dummy; });
+    benchmark::DoNotOptimize(queue.Cancel(handle));
+  }
+}
+BENCHMARK(BM_EventScheduleCancel);
+
+// Mixed churn at a standing population: cancel-and-replace one timer,
+// pop-and-fire one event, schedule its replacement.
+void BM_EventTimerChurn(benchmark::State& state) {
+  sim::EventQueue queue;
+  sim::RandomStream random(7);
+  double t = 0;
+  int dummy = 0;
+  const std::size_t population = static_cast<std::size_t>(state.range(0));
+  std::vector<sim::EventQueue::Handle> timers(population);
+  for (std::size_t i = 0; i < population; ++i) {
+    timers[i] = queue.Schedule(t + random.Uniform(0, 10), [&dummy] { ++dummy; });
+  }
+  std::size_t next = 0;
+  for (auto _ : state) {
+    queue.Cancel(timers[next]);
+    timers[next] = queue.Schedule(t + random.Uniform(0, 10), [&dummy] { ++dummy; });
+    next = (next + 1) % population;
+    auto fired = queue.PopNext();
+    if (fired) {
+      t = fired->time;
+      fired->callback();
+    }
+    queue.Schedule(t + random.Uniform(0, 10), [&dummy] { ++dummy; });
+    benchmark::DoNotOptimize(dummy);
+  }
+}
+BENCHMARK(BM_EventTimerChurn)->Arg(8192);
+
+// --- update queue ----------------------------------------------------------
+
+db::Update MakeUpdate(std::uint64_t id, double generation,
+                      sim::RandomStream& random) {
+  db::Update u;
+  u.id = id;
+  u.object = {random.WithProbability(0.5) ? db::ObjectClass::kLowImportance
+                                          : db::ObjectClass::kHighImportance,
+              random.UniformInt(0, 499)};
+  u.generation_time = generation;
+  u.arrival_time = generation + 0.1;
+  return u;
+}
+
+// Realistic feed: generation times advance with small network jitter,
+// so inserts land near the tail and FIFO service pops the head.
+void BM_UpdatePushPopFifo(benchmark::State& state) {
+  db::UpdateQueue queue(5600);
+  sim::RandomStream random(7);
+  std::uint64_t id = 0;
+  double t = 0;
+  for (int i = 0; i < 2800; ++i) {
+    queue.Push(MakeUpdate(++id, t += 0.0025, random));
+  }
+  for (auto _ : state) {
+    queue.Push(MakeUpdate(++id, (t += 0.0025) - random.Uniform(0, 0.01),
+                          random));
+    benchmark::DoNotOptimize(queue.PopOldest());
+  }
+  state.counters["updates_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_UpdatePushPopFifo);
+
+// Adversarial feed: generation times uniform over the whole run, so
+// every insert lands at a random position in the ordering.
+void BM_UpdatePushPopRandom(benchmark::State& state) {
+  db::UpdateQueue queue(5600);
+  sim::RandomStream random(7);
+  std::uint64_t id = 0;
+  for (int i = 0; i < 2800; ++i) {
+    queue.Push(MakeUpdate(++id, random.Uniform(0, 1000), random));
+  }
+  for (auto _ : state) {
+    queue.Push(MakeUpdate(++id, random.Uniform(0, 1000), random));
+    benchmark::DoNotOptimize(queue.PopOldest());
+  }
+}
+BENCHMARK(BM_UpdatePushPopRandom);
+
+// Maximum-Age service: batches of pushes followed by a purge of the
+// expired prefix (Section 3.3's discard-from-front path).
+void BM_UpdatePushPurge(benchmark::State& state) {
+  db::UpdateQueue queue(100000);
+  sim::RandomStream random(7);
+  std::uint64_t id = 0;
+  double t = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) {
+      queue.Push(MakeUpdate(++id, (t += 0.0025) - random.Uniform(0, 0.01),
+                            random));
+    }
+    benchmark::DoNotOptimize(queue.PurgeGeneratedBefore(t - 0.08));
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_UpdatePushPurge);
+
+// Split-queue service (Section 4.2): class-filtered pops.
+void BM_UpdateClassPops(benchmark::State& state) {
+  db::UpdateQueue queue(5600);
+  sim::RandomStream random(7);
+  std::uint64_t id = 0;
+  double t = 0;
+  for (int i = 0; i < 2800; ++i) {
+    queue.Push(MakeUpdate(++id, t += 0.0025, random));
+  }
+  for (auto _ : state) {
+    queue.Push(MakeUpdate(++id, t += 0.0025, random));
+    const auto cls = (id & 1) != 0 ? db::ObjectClass::kHighImportance
+                                   : db::ObjectClass::kLowImportance;
+    auto popped = queue.PopOldestOfClass(cls);
+    if (!popped.has_value()) popped = queue.PopOldest();
+    benchmark::DoNotOptimize(popped);
+  }
+}
+BENCHMARK(BM_UpdateClassPops);
+
+// On-Demand lookup: newest queued update for a random object.
+void BM_UpdatePeekNewestFor(benchmark::State& state) {
+  db::UpdateQueue queue(5600);
+  sim::RandomStream random(7);
+  std::uint64_t id = 0;
+  double t = 0;
+  for (int i = 0; i < 2800; ++i) {
+    queue.Push(MakeUpdate(++id, t += 0.0025, random));
+  }
+  for (auto _ : state) {
+    const db::ObjectId object = {db::ObjectClass::kLowImportance,
+                                 random.UniformInt(0, 499)};
+    benchmark::DoNotOptimize(queue.PeekNewestFor(object));
+  }
+}
+BENCHMARK(BM_UpdatePeekNewestFor);
+
+// --- end to end ------------------------------------------------------------
+
+// A full 60-simulated-second baseline run per policy; reports both
+// simulated-seconds and dispatched-events per wall second.
+void BM_SimEndToEnd60s(benchmark::State& state) {
+  const auto policy = static_cast<core::PolicyKind>(state.range(0));
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    core::Config config;
+    config.policy = policy;
+    config.sim_seconds = 60.0;
+    sim::Simulator simulator;
+    core::System system(&simulator, config, 1);
+    benchmark::DoNotOptimize(system.Run());
+    events += simulator.events_dispatched();
+  }
+  state.counters["sim_s_per_wall_s"] = benchmark::Counter(
+      60.0 * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+  state.counters["events_per_s"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimEndToEnd60s)
+    ->Arg(static_cast<int>(core::PolicyKind::kUpdateFirst))
+    ->Arg(static_cast<int>(core::PolicyKind::kOnDemand))
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

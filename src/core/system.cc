@@ -602,8 +602,11 @@ void System::OnTxnSegmentComplete() {
       STRIP_CHECK_MSG(false, "segment completed on a finished txn");
       break;
   }
-  if (t->outcome() != txn::TxnOutcome::kPending) {
-    return;  // aborted inside a handler; CPU already rescheduled
+  // A stale-read abort inside a handler frees the transaction (and may
+  // already have handed the CPU to someone else), so `t` must not be
+  // dereferenced unless it still owns the CPU.
+  if (running_ != t) {
+    return;
   }
   if (t->finished()) {
     running_ = nullptr;

@@ -10,21 +10,27 @@
 // PopOldest (FIFO) and PopNewest (LIFO), plus the per-object access
 // needed by the On Demand policy (PeekNewestFor / Remove).
 //
-// Implementation note: a per-object index is always maintained so that
-// PeekNewestFor is cheap in wall-clock time. The *simulated* cost of a
-// scan is charged separately by the controller (x_scan · queue size for
-// the plain queue of the paper, constant for the hash-indexed extension
-// of Sections 4.2/4.4); the data structure itself is cost-model
-// agnostic.
+// Implementation note: updates live in a pooled slab (slots recycled
+// through a free list) and the orderings are flat sorted vectors of
+// packed (generation_time, id, slot) keys — one global, one per
+// importance class, one small vector per object. The flat indexes keep
+// a head offset so FIFO service and Maximum-Age purges are O(1)
+// amortized pops with batched compaction, and inserts/erases shift
+// whichever side of the vector is shorter, so the paper's near-in-
+// generation-order arrival pattern costs a few cache lines per update
+// instead of three node-based tree insertions. A per-object index is
+// always maintained so that PeekNewestFor is cheap in wall-clock time.
+// The *simulated* cost of a scan is charged separately by the
+// controller (x_scan · queue size for the plain queue of the paper,
+// constant for the hash-indexed extension of Sections 4.2/4.4); the
+// data structure itself is cost-model agnostic.
 
 #ifndef STRIP_DB_UPDATE_QUEUE_H_
 #define STRIP_DB_UPDATE_QUEUE_H_
 
 #include <cstddef>
 #include <cstdint>
-#include <map>
 #include <optional>
-#include <set>
 #include <unordered_map>
 #include <vector>
 
@@ -90,19 +96,78 @@ class UpdateQueue {
 
  private:
   // Orders by generation time, then by creation id for determinism.
-  using Key = std::pair<sim::Time, std::uint64_t>;
+  // `slot` locates the update in the pool and does not participate in
+  // ordering.
+  struct Key {
+    sim::Time time;
+    std::uint64_t id;
+    std::uint32_t slot;
+  };
 
-  static Key KeyFor(const Update& u) { return {u.generation_time, u.id}; }
+  static bool KeyLess(const Key& a, const Key& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.id < b.id;
+  }
+  static bool KeySame(const Key& a, const Key& b) {
+    return a.time == b.time && a.id == b.id;
+  }
 
-  Update Extract(std::map<Key, Update>::iterator it);
+  // A sorted key sequence backed by a flat vector with a head offset:
+  // front pops just advance the head (compacted in batches), and
+  // middle insert/erase shifts whichever side is shorter, so both FIFO
+  // and LIFO service are O(1) amortized.
+  class FlatKeyIndex {
+   public:
+    std::size_t size() const { return keys_.size() - head_; }
+    bool empty() const { return head_ == keys_.size(); }
+    const Key& front() const { return keys_[head_]; }
+    const Key& back() const { return keys_.back(); }
+    // i-th key from the front (0-based).
+    const Key& at(std::size_t i) const { return keys_[head_ + i]; }
+
+    // Inserts maintaining order. Returns false (and inserts nothing)
+    // if a key with the same (time, id) is already present.
+    bool Insert(const Key& key);
+    // Removes the key with `key`'s (time, id), if present. When found,
+    // `*slot` receives the stored slot index.
+    bool Erase(const Key& key, std::uint32_t* slot);
+
+    void PopFront();
+    void PopBack() { keys_.pop_back(); }
+    // Number of leading keys with time < cutoff.
+    std::size_t CountBefore(sim::Time cutoff) const;
+    // Drops the first n keys in one batch.
+    void DropFront(std::size_t n);
+
+   private:
+    // Absolute index of the first key not less than `key`.
+    std::size_t LowerBound(const Key& key) const;
+    void MaybeCompact();
+
+    std::vector<Key> keys_;
+    std::size_t head_ = 0;
+  };
+
+  std::uint32_t AcquireSlot(const Update& update);
+  void ReleaseSlot(std::uint32_t slot) { free_slots_.push_back(slot); }
+
+  // Removes `key` from the per-object and per-class indexes and frees
+  // its pool slot; returns the stored update. Does not touch
+  // by_generation_ (callers remove that side themselves).
+  Update DetachFromSecondary(const Key& key);
 
   std::size_t max_size_;
-  std::map<Key, Update> by_generation_;
-  // Per-object secondary index: keys of this object's queued updates,
-  // ordered so rbegin() is the newest.
-  std::unordered_map<ObjectId, std::set<Key>, ObjectIdHash> by_object_;
+  // Pooled update storage; `free_slots_` holds recyclable entries.
+  std::vector<Update> pool_;
+  std::vector<std::uint32_t> free_slots_;
+  // Primary ordering over all queued updates.
+  FlatKeyIndex by_generation_;
   // Per-class secondary index, same ordering.
-  std::set<Key> by_class_[kNumObjectClasses];
+  FlatKeyIndex by_class_[kNumObjectClasses];
+  // Per-object secondary index: this object's keys, sorted so back()
+  // is the newest. Object vectors are tiny (load factor ~ queue size /
+  // database size), so a plain sorted vector beats a tree.
+  std::unordered_map<ObjectId, std::vector<Key>, ObjectIdHash> by_object_;
   std::uint64_t overflow_drops_ = 0;
 };
 

@@ -20,7 +20,7 @@ bool ConsumePrefix(const char* arg, const char* prefix,
 [[noreturn]] void Usage(const char* program) {
   std::fprintf(stderr,
                "usage: %s [--seconds=S] [--reps=N] [--seed=S] "
-               "[--threads=N] [--csv] [--full]\n",
+               "[--threads=N] [--csv] [--json=PATH] [--full]\n",
                program);
   std::exit(2);
 }
@@ -42,6 +42,8 @@ BenchArgs BenchArgs::Parse(int argc, char** argv) {
       args.threads = std::atoi(rest);
     } else if (std::strcmp(arg, "--csv") == 0) {
       args.csv = true;
+    } else if (ConsumePrefix(arg, "--json=", &rest)) {
+      args.json = rest;
     } else if (std::strcmp(arg, "--full") == 0) {
       args.seconds = 1000.0;
       args.replications = 3;

@@ -6,6 +6,7 @@
 //   --seed=<uint64>      base seed (default 42)
 //   --threads=<int>      worker threads (default: hardware)
 //   --csv                also emit CSV blocks after each table
+//   --json=<path>        also write every emitted series to a JSON file
 //   --full               paper scale: 1000 simulated seconds, 3 reps
 //
 // The defaults trade a little precision for wall time so the whole
@@ -16,6 +17,7 @@
 #define STRIP_EXP_BENCH_ARGS_H_
 
 #include <cstdint>
+#include <string>
 
 #include "core/config.h"
 
@@ -27,6 +29,9 @@ struct BenchArgs {
   std::uint64_t seed = 42;
   int threads = 0;
   bool csv = false;
+  // Non-empty: machine-readable results are (re)written here after
+  // each emitted series.
+  std::string json;
 
   // Parses argv; exits with a usage message on unknown flags.
   static BenchArgs Parse(int argc, char** argv);

@@ -85,4 +85,44 @@ void PrintSeriesRatio(std::ostream& out, const SweepSpec& spec,
   out << "\n";
 }
 
+void PrintSeriesJson(std::ostream& out, const SweepSpec& spec,
+                     const SweepResult& result,
+                     const std::string& metric_name, const MetricFn& metric) {
+  const auto number = [](double v) {
+    // JSON has no inf/nan; clamp to null.
+    char buffer[32];
+    if (v != v || v > 1e308 || v < -1e308) return std::string("null");
+    std::snprintf(buffer, sizeof(buffer), "%.17g", v);
+    return std::string(buffer);
+  };
+  out << "{\"metric\": \"" << metric_name << "\", \"x_name\": \""
+      << spec.x_name << "\", \"x\": [";
+  for (std::size_t x = 0; x < spec.x_values.size(); ++x) {
+    out << (x ? ", " : "") << number(spec.x_values[x]);
+  }
+  out << "], \"policies\": [";
+  for (std::size_t p = 0; p < spec.policies.size(); ++p) {
+    out << (p ? ", " : "") << '"' << core::PolicyKindName(spec.policies[p])
+        << '"';
+  }
+  out << "], \"replications\": " << spec.replications << ", \"mean\": [";
+  for (std::size_t p = 0; p < spec.policies.size(); ++p) {
+    out << (p ? ", [" : "[");
+    for (std::size_t x = 0; x < spec.x_values.size(); ++x) {
+      out << (x ? ", " : "") << number(result.Mean(p, x, metric));
+    }
+    out << "]";
+  }
+  out << "], \"ci95\": [";
+  for (std::size_t p = 0; p < spec.policies.size(); ++p) {
+    out << (p ? ", [" : "[");
+    for (std::size_t x = 0; x < spec.x_values.size(); ++x) {
+      out << (x ? ", " : "")
+          << number(result.Aggregate(p, x, metric).ci95);
+    }
+    out << "]";
+  }
+  out << "]}";
+}
+
 }  // namespace strip::exp

@@ -34,6 +34,15 @@ void PrintSeriesRatio(std::ostream& out, const SweepSpec& spec,
                       const SweepResult& result, const SweepResult& baseline,
                       const std::string& metric_name, const MetricFn& metric);
 
+// Prints one series as a self-contained JSON object:
+//   {"metric": ..., "x_name": ..., "x": [...], "policies": [...],
+//    "mean": [[per-policy rows]], "ci95": [[per-policy rows]]}
+// Callers compose these into a document (see bench_util's --json and
+// strip_sweep --json=PATH).
+void PrintSeriesJson(std::ostream& out, const SweepSpec& spec,
+                     const SweepResult& result,
+                     const std::string& metric_name, const MetricFn& metric);
+
 }  // namespace strip::exp
 
 #endif  // STRIP_EXP_REPORT_H_

@@ -8,62 +8,155 @@
 namespace strip::sim {
 
 bool EventQueue::Handle::pending() const {
-  return record_ != nullptr && !record_->cancelled &&
-         record_->callback != nullptr;
+  return queue_ != nullptr && queue_->IsLive(slot_, sequence_);
+}
+
+std::uint32_t EventQueue::AcquireSlot() {
+  if (free_head_ != kNoSlot) {
+    const std::uint32_t slot = free_head_;
+    free_head_ = slots_[slot].next_free;
+    return slot;
+  }
+  STRIP_CHECK_MSG(slots_.size() < kNoSlot, "event slab exhausted");
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void EventQueue::ReleaseSlot(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.sequence = kFreeSlot;
+  s.callback = nullptr;
+  s.next_free = free_head_;
+  free_head_ = slot;
+}
+
+void EventQueue::HeapPush(HeapKey key) {
+  // Hole-based sift-up: shift ancestors down into the hole and write
+  // the new key exactly once.
+  std::size_t i = heap_.size();
+  heap_.push_back(key);
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 4;
+    if (!KeyBefore(key, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = key;
+}
+
+void EventQueue::HeapPopRoot() {
+  const HeapKey last = heap_.back();
+  heap_.pop_back();
+  if (heap_.empty()) return;
+  // Hole-based sift-down of `last` from the root.
+  const std::size_t n = heap_.size();
+  std::size_t i = 0;
+  for (;;) {
+    const std::size_t first_child = 4 * i + 1;
+    if (first_child >= n) break;
+    std::size_t best = first_child;
+    const std::size_t last_child = std::min(first_child + 4, n);
+    for (std::size_t c = first_child + 1; c < last_child; ++c) {
+      if (KeyBefore(heap_[c], heap_[best])) best = c;
+    }
+    if (!KeyBefore(heap_[best], last)) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = last;
+}
+
+void EventQueue::MaybeCompact() {
+  // Rebuild only when stale keys dominate a non-trivial heap, so the
+  // O(n) sweep amortizes against the cancels that created them.
+  if (heap_.size() < 64 || heap_stale_ * 2 < heap_.size()) return;
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < heap_.size(); ++i) {
+    if (!IsStale(heap_[i])) heap_[out++] = heap_[i];
+  }
+  heap_.resize(out);
+  heap_stale_ = 0;
+  if (heap_.size() < 2) return;
+  // Floyd heapify: sift down every internal node, deepest first.
+  for (std::size_t i = (heap_.size() - 2) / 4 + 1; i-- > 0;) {
+    const std::size_t n = heap_.size();
+    std::size_t j = i;
+    for (;;) {
+      const std::size_t first_child = 4 * j + 1;
+      if (first_child >= n) break;
+      std::size_t best = first_child;
+      const std::size_t last_child = std::min(first_child + 4, n);
+      for (std::size_t c = first_child + 1; c < last_child; ++c) {
+        if (KeyBefore(heap_[c], heap_[best])) best = c;
+      }
+      if (!KeyBefore(heap_[best], heap_[j])) break;
+      std::swap(heap_[j], heap_[best]);
+      j = best;
+    }
+  }
+}
+
+void EventQueue::DropStaleRoot() {
+  while (!heap_.empty() && IsStale(heap_.front())) {
+    HeapPopRoot();
+    STRIP_CHECK(heap_stale_ > 0);
+    --heap_stale_;
+  }
 }
 
 EventQueue::Handle EventQueue::Schedule(Time at, Callback callback) {
   STRIP_CHECK_MSG(at >= 0, "event scheduled at negative time");
   STRIP_CHECK_MSG(callback != nullptr, "event scheduled with null callback");
-  auto record = std::make_shared<Record>();
-  record->time = at;
-  record->sequence = next_sequence_++;
-  record->callback = std::move(callback);
-  heap_.push_back(record);
-  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  const std::uint32_t slot = AcquireSlot();
+  STRIP_CHECK_MSG(next_sequence_ < kMaxSequence, "event sequence exhausted");
+  const std::uint64_t sequence = next_sequence_++;
+  Slot& s = slots_[slot];
+  s.time = at;
+  s.sequence = sequence;
+  s.callback = std::move(callback);
+  HeapPush({at, sequence << kSlotBits | slot});
   ++live_count_;
-  return Handle(std::move(record));
+  return Handle(this, slot, sequence);
 }
 
 bool EventQueue::Cancel(const Handle& handle) {
-  if (!handle.pending()) return false;
-  handle.record_->cancelled = true;
-  // Release the callback eagerly: it may own captures that should not
-  // outlive cancellation, and the heap slot is dropped lazily.
-  handle.record_->callback = nullptr;
+  if (handle.queue_ != this || !IsLive(handle.slot_, handle.sequence_)) {
+    return false;
+  }
+  // The slot is reclaimed now (releasing the callback's captures
+  // eagerly); the heap key goes stale and is skipped lazily.
+  ReleaseSlot(handle.slot_);
+  ++heap_stale_;
   STRIP_CHECK(live_count_ > 0);
   --live_count_;
+  MaybeCompact();
   return true;
 }
 
-void EventQueue::SkipCancelled() {
-  while (!heap_.empty() && heap_.front()->cancelled) {
-    std::pop_heap(heap_.begin(), heap_.end(), Later{});
-    heap_.pop_back();
-  }
-}
-
 std::optional<EventQueue::Fired> EventQueue::PopNext() {
-  SkipCancelled();
-  if (heap_.empty()) return std::nullopt;
-  std::pop_heap(heap_.begin(), heap_.end(), Later{});
-  std::shared_ptr<Record> record = std::move(heap_.back());
-  heap_.pop_back();
+  // NRVO: build the optional in the caller's storage so the callback
+  // is moved exactly once (slot -> result).
+  std::optional<Fired> fired;
+  DropStaleRoot();
+  if (heap_.empty()) return fired;
+  const HeapKey key = heap_.front();
+  Slot& s = slots_[key.slot()];
+  fired.emplace();
+  fired->time = s.time;
+  fired->callback = std::move(s.callback);
+  // Freeing the slot invalidates outstanding handles (pending() goes
+  // false and Cancel() after the fact is a no-op).
+  ReleaseSlot(key.slot());
+  HeapPopRoot();
   STRIP_CHECK(live_count_ > 0);
   --live_count_;
-  Fired fired;
-  fired.time = record->time;
-  fired.callback = std::move(record->callback);
-  // Mark fired so outstanding handles report !pending() and Cancel()
-  // after the fact is a no-op.
-  record->cancelled = true;
   return fired;
 }
 
 std::optional<Time> EventQueue::PeekNextTime() {
-  SkipCancelled();
+  DropStaleRoot();
   if (heap_.empty()) return std::nullopt;
-  return heap_.front()->time;
+  return heap_.front().time;
 }
 
 }  // namespace strip::sim

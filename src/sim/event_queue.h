@@ -2,8 +2,20 @@
 //
 // Events are (time, callback) pairs ordered by time, with FIFO ordering
 // among events scheduled for the same instant (stable tie-breaking by
-// insertion sequence). Cancellation is O(1): the record is flagged and
-// lazily skipped when it reaches the top of the heap.
+// insertion sequence). Cancellation is O(1): the slot is reclaimed
+// immediately and the heap key is lazily skipped when it reaches the
+// top.
+//
+// Implementation: event records live in a slab (a vector of pooled
+// slots recycled through an intrusive free list), so steady-state
+// scheduling performs zero allocations — the callback's captures are
+// stored inline in the slot (see sim/inline_callback.h) and the
+// ordering structure is a flat 4-ary min-heap of packed
+// (time, sequence, slot) keys, which keeps comparisons inside one or
+// two cache lines instead of chasing per-event heap allocations.
+// Handles carry the slot's generation stamp (the event's globally
+// unique sequence number), so Cancel and pending() are O(1) array
+// probes with no reference counting.
 //
 // Example:
 //   EventQueue q;
@@ -16,18 +28,17 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <memory>
 #include <optional>
 #include <vector>
 
+#include "sim/inline_callback.h"
 #include "sim/sim_time.h"
 
 namespace strip::sim {
 
 class EventQueue {
  public:
-  using Callback = std::function<void()>;
+  using Callback = InlineCallback;
 
   // A fired event, as returned by PopNext().
   struct Fired {
@@ -37,8 +48,9 @@ class EventQueue {
 
   // Refers to a scheduled event so it can be cancelled. Handles are
   // cheap to copy and remain safe to use after the event has fired or
-  // been cancelled (Cancel simply returns false then). A
-  // default-constructed handle refers to nothing.
+  // been cancelled (Cancel simply returns false then), as long as the
+  // queue itself is still alive. A default-constructed handle refers
+  // to nothing.
   class Handle {
    public:
     Handle() = default;
@@ -48,10 +60,11 @@ class EventQueue {
 
    private:
     friend class EventQueue;
-    struct Record;
-    explicit Handle(std::shared_ptr<Record> record)
-        : record_(std::move(record)) {}
-    std::shared_ptr<Record> record_;
+    Handle(const EventQueue* queue, std::uint32_t slot, std::uint64_t sequence)
+        : queue_(queue), slot_(slot), sequence_(sequence) {}
+    const EventQueue* queue_ = nullptr;
+    std::uint32_t slot_ = 0;
+    std::uint64_t sequence_ = 0;
   };
 
   EventQueue() = default;
@@ -69,7 +82,7 @@ class EventQueue {
   bool Cancel(const Handle& handle);
 
   // Removes and returns the earliest pending event, or nullopt if none
-  // remain. Cancelled records encountered on the way are discarded.
+  // remain. Cancelled keys encountered on the way are discarded.
   std::optional<Fired> PopNext();
 
   // Time of the earliest pending event, or nullopt if none.
@@ -80,27 +93,73 @@ class EventQueue {
   bool empty() const { return live_count_ == 0; }
 
  private:
-  struct Handle::Record {
+  // The heap key packs (sequence, slot) into one word: 24 bits of slot
+  // index (16M concurrent events) under 40 bits of sequence (1T events
+  // per queue lifetime). That makes the key 16 bytes — four children
+  // per cache line or two — and turns the FIFO tie-break into a single
+  // integer compare, since sequences are unique and occupy the high
+  // bits.
+  static constexpr int kSlotBits = 24;
+  static constexpr std::uint32_t kSlotMask = (1u << kSlotBits) - 1;
+  static constexpr std::uint32_t kNoSlot = kSlotMask;
+  static constexpr std::uint64_t kMaxSequence = std::uint64_t{1}
+                                                << (64 - kSlotBits);
+  // Generation stamp of a free slot; real sequences never reach this.
+  static constexpr std::uint64_t kFreeSlot = ~std::uint64_t{0};
+
+  // One pooled event record. `sequence` doubles as the generation
+  // stamp handles and heap keys are validated against.
+  struct Slot {
     Time time = 0;
-    std::uint64_t sequence = 0;
+    std::uint64_t sequence = kFreeSlot;
     Callback callback;
-    bool cancelled = false;
+    std::uint32_t next_free = kNoSlot;
   };
-  using Record = Handle::Record;
 
-  // Min-heap ordering: earliest time first, then lowest sequence.
-  struct Later {
-    bool operator()(const std::shared_ptr<Record>& a,
-                    const std::shared_ptr<Record>& b) const {
-      if (a->time != b->time) return a->time > b->time;
-      return a->sequence > b->sequence;
+  struct HeapKey {
+    Time time;
+    std::uint64_t packed;  // sequence << kSlotBits | slot
+
+    std::uint32_t slot() const {
+      return static_cast<std::uint32_t>(packed) & kSlotMask;
     }
+    std::uint64_t sequence() const { return packed >> kSlotBits; }
   };
 
-  // Pops cancelled records off the heap top.
-  void SkipCancelled();
+  static bool KeyBefore(const HeapKey& a, const HeapKey& b) {
+    // Short-circuit on time: ties are rare, so the branch predicts
+    // well and the packed tie-break is almost never evaluated.
+    if (a.time != b.time) return a.time < b.time;
+    return a.packed < b.packed;
+  }
 
-  std::vector<std::shared_ptr<Record>> heap_;
+  // True if `handle`'s event is still scheduled in this queue.
+  bool IsLive(std::uint32_t slot, std::uint64_t sequence) const {
+    return slot < slots_.size() && slots_[slot].sequence == sequence;
+  }
+
+  // True if the heap key refers to a cancelled (or already freed and
+  // recycled) slot.
+  bool IsStale(const HeapKey& key) const {
+    return slots_[key.slot()].sequence != key.sequence();
+  }
+
+  std::uint32_t AcquireSlot();
+  void ReleaseSlot(std::uint32_t slot);
+
+  // 4-ary heap primitives over heap_.
+  void HeapPush(HeapKey key);
+  void HeapPopRoot();
+  // Drops stale keys off the heap top; rebuilds the heap wholesale
+  // when stale keys dominate it.
+  void DropStaleRoot();
+  void MaybeCompact();
+
+  std::vector<Slot> slots_;
+  std::uint32_t free_head_ = kNoSlot;
+  std::vector<HeapKey> heap_;
+  // Number of heap keys whose event was cancelled (lazily deleted).
+  std::size_t heap_stale_ = 0;
   std::uint64_t next_sequence_ = 0;
   std::size_t live_count_ = 0;
 };

@@ -1,0 +1,161 @@
+// A small-buffer-optimized, move-only `void()` callable.
+//
+// The event queue schedules millions of tiny lambdas per run;
+// std::function would heap-allocate any capture bigger than its ~16
+// byte internal buffer and drags in RTTI machinery. InlineCallback
+// stores captures up to kInlineSize bytes (48 — enough for every
+// callback the system schedules: a `this` pointer plus a few ids)
+// directly inside the object, so constructing, moving, and destroying
+// a callback touches no allocator. Oversized or alignment-exotic or
+// throwing-move captures transparently fall back to a single heap
+// allocation.
+//
+// Differences from std::function, on purpose:
+//   - move-only (callbacks own their captures exactly once),
+//   - no target_type()/target() introspection, no RTTI,
+//   - invoking an empty callback is undefined (callers null-check).
+
+#ifndef STRIP_SIM_INLINE_CALLBACK_H_
+#define STRIP_SIM_INLINE_CALLBACK_H_
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace strip::sim {
+
+class InlineCallback {
+ public:
+  // Inline capture budget. 48 bytes keeps the whole callback (storage
+  // + ops pointer) within one 64-byte cache line.
+  static constexpr std::size_t kInlineSize = 48;
+
+  InlineCallback() = default;
+  InlineCallback(std::nullptr_t) {}  // NOLINT: implicit like std::function
+
+  // Wraps any callable invocable as `void()`.
+  template <typename F,
+            typename D = std::decay_t<F>,
+            typename = std::enable_if_t<
+                !std::is_same_v<D, InlineCallback> &&
+                !std::is_same_v<D, std::nullptr_t> &&
+                std::is_invocable_r_v<void, D&>>>
+  InlineCallback(F&& f) {  // NOLINT: implicit like std::function
+    if constexpr (fits_inline<D>) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
+      ops_ = &kInlineOps<D>;
+    } else {
+      *reinterpret_cast<D**>(storage_) = new D(std::forward<F>(f));
+      ops_ = &kHeapOps<D>;
+    }
+  }
+
+  // Hot-path note: the usual capture (a `this` pointer plus a few ids)
+  // is trivially copyable and trivially destructible, so its Ops has
+  // null relocate/destroy and moving or dropping the callback compiles
+  // to a fixed-size inline copy with no indirect calls. Only invoke is
+  // always an indirect call.
+
+  InlineCallback(InlineCallback&& other) noexcept { MoveFrom(other); }
+
+  InlineCallback& operator=(InlineCallback&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+
+  InlineCallback& operator=(std::nullptr_t) {
+    Reset();
+    return *this;
+  }
+
+  InlineCallback(const InlineCallback&) = delete;
+  InlineCallback& operator=(const InlineCallback&) = delete;
+
+  ~InlineCallback() { Reset(); }
+
+  // Invokes the wrapped callable. Precondition: *this != nullptr.
+  void operator()() { ops_->invoke(storage_); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  friend bool operator==(const InlineCallback& c, std::nullptr_t) {
+    return c.ops_ == nullptr;
+  }
+  friend bool operator!=(const InlineCallback& c, std::nullptr_t) {
+    return c.ops_ != nullptr;
+  }
+
+ private:
+  // Relocate must be noexcept (moves run inside vector growth and the
+  // queue's slab), so throwing-move types take the heap path where
+  // relocation is a pointer copy.
+  template <typename D>
+  static constexpr bool fits_inline =
+      sizeof(D) <= kInlineSize &&
+      alignof(D) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<D>;
+
+  struct Ops {
+    void (*invoke)(void* storage);
+    // Move-constructs dst's payload from src's and destroys src's.
+    // Null means the payload is trivially relocatable: moving is a raw
+    // copy of the storage bytes (this includes the heap variant, whose
+    // payload in storage is just a pointer).
+    void (*relocate)(void* dst_storage, void* src_storage);
+    // Null means dropping the payload needs no work.
+    void (*destroy)(void* storage);
+  };
+
+  template <typename D>
+  static constexpr Ops kInlineOps = {
+      [](void* s) { (*std::launder(reinterpret_cast<D*>(s)))(); },
+      std::is_trivially_copyable_v<D>
+          ? nullptr
+          : +[](void* dst, void* src) {
+              D* from = std::launder(reinterpret_cast<D*>(src));
+              ::new (dst) D(std::move(*from));
+              from->~D();
+            },
+      std::is_trivially_destructible_v<D>
+          ? nullptr
+          : +[](void* s) { std::launder(reinterpret_cast<D*>(s))->~D(); },
+  };
+
+  template <typename D>
+  static constexpr Ops kHeapOps = {
+      [](void* s) { (**std::launder(reinterpret_cast<D**>(s)))(); },
+      nullptr,
+      [](void* s) { delete *std::launder(reinterpret_cast<D**>(s)); },
+  };
+
+  void MoveFrom(InlineCallback& other) {
+    if (other.ops_ != nullptr) {
+      if (other.ops_->relocate != nullptr) {
+        other.ops_->relocate(storage_, other.storage_);
+      } else {
+        std::memcpy(storage_, other.storage_, kInlineSize);
+      }
+      ops_ = other.ops_;
+      other.ops_ = nullptr;
+    }
+  }
+
+  void Reset() {
+    if (ops_ != nullptr) {
+      if (ops_->destroy != nullptr) ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineSize];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace strip::sim
+
+#endif  // STRIP_SIM_INLINE_CALLBACK_H_

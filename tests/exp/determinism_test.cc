@@ -1,0 +1,116 @@
+// RunSweep must be a pure function of its spec: worker count only
+// changes which thread executes a cell, never the cell's result. Every
+// replication seeds its own RandomStream (base_seed + replication), so
+// a 1-thread and an 8-thread sweep of the same spec must agree bit for
+// bit on every metric of every run.
+
+#include <cstddef>
+
+#include <gtest/gtest.h>
+
+#include "core/config.h"
+#include "core/metrics.h"
+#include "exp/experiment.h"
+
+namespace strip::exp {
+namespace {
+
+SweepSpec SmallSpec(int threads) {
+  SweepSpec spec;
+  spec.base.sim_seconds = 5.0;
+  spec.policies = {core::PolicyKind::kUpdateFirst,
+                   core::PolicyKind::kOnDemand};
+  spec.x_name = "lambda_t";
+  spec.x_values = {10.0, 25.0};
+  spec.apply_x = [](core::Config& config, double x) { config.lambda_t = x; };
+  spec.replications = 3;
+  spec.base_seed = 42;
+  spec.threads = threads;
+  return spec;
+}
+
+void ExpectRunsIdentical(const core::RunMetrics& a,
+                         const core::RunMetrics& b) {
+  EXPECT_EQ(a.observed_seconds, b.observed_seconds);
+
+  EXPECT_EQ(a.txns_arrived, b.txns_arrived);
+  EXPECT_EQ(a.txns_committed, b.txns_committed);
+  EXPECT_EQ(a.txns_committed_fresh, b.txns_committed_fresh);
+  EXPECT_EQ(a.txns_missed_deadline, b.txns_missed_deadline);
+  EXPECT_EQ(a.txns_infeasible, b.txns_infeasible);
+  EXPECT_EQ(a.txns_stale_aborted, b.txns_stale_aborted);
+  EXPECT_EQ(a.txns_overload_dropped, b.txns_overload_dropped);
+  EXPECT_EQ(a.txns_inflight_at_end, b.txns_inflight_at_end);
+  EXPECT_EQ(a.txns_committed_stale, b.txns_committed_stale);
+  EXPECT_EQ(a.value_committed, b.value_committed);
+  for (int c = 0; c < 2; ++c) {
+    EXPECT_EQ(a.txns_arrived_by_class[c], b.txns_arrived_by_class[c]);
+    EXPECT_EQ(a.txns_committed_by_class[c], b.txns_committed_by_class[c]);
+    EXPECT_EQ(a.value_committed_by_class[c], b.value_committed_by_class[c]);
+  }
+
+  EXPECT_EQ(a.updates_arrived, b.updates_arrived);
+  EXPECT_EQ(a.updates_dropped_os_full, b.updates_dropped_os_full);
+  EXPECT_EQ(a.updates_dropped_uq_overflow, b.updates_dropped_uq_overflow);
+  EXPECT_EQ(a.updates_dropped_expired, b.updates_dropped_expired);
+  EXPECT_EQ(a.updates_installed, b.updates_installed);
+  EXPECT_EQ(a.updates_unworthy, b.updates_unworthy);
+  EXPECT_EQ(a.updates_dropped_superseded, b.updates_dropped_superseded);
+  EXPECT_EQ(a.updates_applied_on_demand, b.updates_applied_on_demand);
+  EXPECT_EQ(a.triggers_fired, b.triggers_fired);
+  EXPECT_EQ(a.io_stalls, b.io_stalls);
+
+  EXPECT_EQ(a.cpu_txn_seconds, b.cpu_txn_seconds);
+  EXPECT_EQ(a.cpu_update_seconds, b.cpu_update_seconds);
+
+  EXPECT_EQ(a.f_old_low, b.f_old_low);
+  EXPECT_EQ(a.f_old_high, b.f_old_high);
+
+  EXPECT_EQ(a.response_mean, b.response_mean);
+  EXPECT_EQ(a.response_p50, b.response_p50);
+  EXPECT_EQ(a.response_p95, b.response_p95);
+  EXPECT_EQ(a.response_p99, b.response_p99);
+
+  EXPECT_EQ(a.uq_length_avg, b.uq_length_avg);
+  EXPECT_EQ(a.uq_length_max, b.uq_length_max);
+  EXPECT_EQ(a.os_length_avg, b.os_length_avg);
+}
+
+TEST(DeterminismTest, SweepIsBitIdenticalAcrossThreadCounts) {
+  const SweepResult serial = RunSweep(SmallSpec(1));
+  const SweepResult parallel = RunSweep(SmallSpec(8));
+
+  ASSERT_EQ(serial.n_policies(), parallel.n_policies());
+  ASSERT_EQ(serial.n_x(), parallel.n_x());
+  for (std::size_t p = 0; p < serial.n_policies(); ++p) {
+    for (std::size_t x = 0; x < serial.n_x(); ++x) {
+      const auto& runs1 = serial.cell(p, x);
+      const auto& runs8 = parallel.cell(p, x);
+      ASSERT_EQ(runs1.size(), runs8.size());
+      for (std::size_t r = 0; r < runs1.size(); ++r) {
+        SCOPED_TRACE(::testing::Message()
+                     << "policy " << p << " x " << x << " rep " << r);
+        ExpectRunsIdentical(runs1[r], runs8[r]);
+      }
+    }
+  }
+}
+
+// Same spec, run twice with the same thread count: guards against
+// hidden global state leaking between sweeps.
+TEST(DeterminismTest, RepeatedSweepIsBitIdentical) {
+  const SweepResult first = RunSweep(SmallSpec(4));
+  const SweepResult second = RunSweep(SmallSpec(4));
+  for (std::size_t p = 0; p < first.n_policies(); ++p) {
+    for (std::size_t x = 0; x < first.n_x(); ++x) {
+      for (int r = 0; r < 3; ++r) {
+        SCOPED_TRACE(::testing::Message()
+                     << "policy " << p << " x " << x << " rep " << r);
+        ExpectRunsIdentical(first.cell(p, x)[r], second.cell(p, x)[r]);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace strip::exp

@@ -1,0 +1,234 @@
+// Randomized churn: the pooled EventQueue against a naive reference
+// model (a stable-sorted vector of live events). Hundreds of thousands
+// of mixed schedule/cancel/pop operations, with deliberately coarse
+// time quantization so same-instant FIFO ties happen constantly, plus
+// stale-handle traffic (cancel after fire, double cancel) and captures
+// larger than the inline-storage budget to exercise the heap fallback.
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.h"
+
+namespace strip::sim {
+namespace {
+
+// The naive model: every live event in a vector, popped by linear
+// stable min-scan — trivially correct FIFO-among-ties semantics.
+class ReferenceQueue {
+ public:
+  std::uint64_t Schedule(Time at) {
+    events_.push_back({at, next_id_});
+    return next_id_++;
+  }
+
+  bool Cancel(std::uint64_t id) {
+    for (std::size_t i = 0; i < events_.size(); ++i) {
+      if (events_[i].id == id) {
+        events_.erase(events_.begin() + static_cast<std::ptrdiff_t>(i));
+        return true;
+      }
+    }
+    return false;
+  }
+
+  bool Pending(std::uint64_t id) const {
+    for (const Event& event : events_) {
+      if (event.id == id) return true;
+    }
+    return false;
+  }
+
+  // Earliest time, oldest id among ties.
+  std::optional<std::pair<Time, std::uint64_t>> Pop() {
+    if (events_.empty()) return std::nullopt;
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < events_.size(); ++i) {
+      if (events_[i].time < events_[best].time ||
+          (events_[i].time == events_[best].time &&
+           events_[i].id < events_[best].id)) {
+        best = i;
+      }
+    }
+    const Event event = events_[best];
+    events_.erase(events_.begin() + static_cast<std::ptrdiff_t>(best));
+    return std::make_pair(event.time, event.id);
+  }
+
+  std::size_t size() const { return events_.size(); }
+
+ private:
+  struct Event {
+    Time time;
+    std::uint64_t id;
+  };
+  std::vector<Event> events_;
+  std::uint64_t next_id_ = 0;
+};
+
+struct LiveEvent {
+  EventQueue::Handle handle;
+  std::uint64_t id = 0;
+};
+
+TEST(EventQueueChurnTest, MatchesReferenceOverRandomizedChurn) {
+  EventQueue queue;
+  ReferenceQueue reference;
+  std::mt19937_64 rng(20260806);
+
+  // Each fired callback records its reference id here.
+  std::uint64_t fired_id = 0;
+  std::vector<LiveEvent> live;
+  std::vector<EventQueue::Handle> dead;  // fired or cancelled handles
+  Time now = 0;
+
+  constexpr int kOps = 150000;
+  for (int op = 0; op < kOps; ++op) {
+    const int roll = static_cast<int>(rng() % 100);
+    if (roll < 45 || live.empty()) {
+      // Schedule. Quantized offsets make same-instant ties common.
+      const Time at =
+          now + static_cast<double>(rng() % 64) * 0.25;
+      const std::uint64_t id = reference.Schedule(at);
+      live.push_back({queue.Schedule(at, [&fired_id, id] { fired_id = id; }),
+                      id});
+    } else if (roll < 65) {
+      // Cancel a random live event.
+      const std::size_t pick = rng() % live.size();
+      EXPECT_TRUE(queue.Cancel(live[pick].handle));
+      EXPECT_TRUE(reference.Cancel(live[pick].id));
+      dead.push_back(live[pick].handle);
+      live[pick] = live.back();
+      live.pop_back();
+    } else if (roll < 90) {
+      // Pop and fire; both queues must agree on time and identity.
+      auto fired = queue.PopNext();
+      auto expected = reference.Pop();
+      ASSERT_EQ(fired.has_value(), expected.has_value());
+      if (fired.has_value()) {
+        EXPECT_EQ(fired->time, expected->first);
+        ASSERT_GE(fired->time, now);
+        now = fired->time;
+        fired->callback();
+        EXPECT_EQ(fired_id, expected->second);
+        const auto it = std::find_if(
+            live.begin(), live.end(),
+            [&](const LiveEvent& e) { return e.id == expected->second; });
+        ASSERT_NE(it, live.end());
+        EXPECT_FALSE(it->handle.pending());
+        dead.push_back(it->handle);
+        *it = live.back();
+        live.pop_back();
+      }
+    } else if (!dead.empty()) {
+      // Cancel-after-fire / double-cancel must be a harmless no-op.
+      const std::size_t before = queue.size();
+      EXPECT_FALSE(queue.Cancel(dead[rng() % dead.size()]));
+      EXPECT_EQ(queue.size(), before);
+      if (dead.size() > 4096) dead.clear();
+    }
+
+    ASSERT_EQ(queue.size(), reference.size());
+    if (op % 1024 == 0) {
+      EXPECT_EQ(queue.empty(), reference.size() == 0);
+      if (auto next = queue.PeekNextTime()) {
+        auto expected = reference.Pop();  // peek by pop + re-add
+        ASSERT_TRUE(expected.has_value());
+        EXPECT_EQ(*next, expected->first);
+        // Re-add is not possible without disturbing ids, so verify via
+        // a fresh pop from both instead.
+        auto fired = queue.PopNext();
+        ASSERT_TRUE(fired.has_value());
+        EXPECT_EQ(fired->time, expected->first);
+        now = fired->time;
+        fired->callback();
+        EXPECT_EQ(fired_id, expected->second);
+        const auto it = std::find_if(
+            live.begin(), live.end(),
+            [&](const LiveEvent& e) { return e.id == expected->second; });
+        ASSERT_NE(it, live.end());
+        *it = live.back();
+        live.pop_back();
+      }
+    }
+  }
+
+  // Drain both; every remaining event must match in order.
+  while (auto fired = queue.PopNext()) {
+    auto expected = reference.Pop();
+    ASSERT_TRUE(expected.has_value());
+    EXPECT_EQ(fired->time, expected->first);
+    fired->callback();
+    EXPECT_EQ(fired_id, expected->second);
+  }
+  EXPECT_EQ(reference.Pop(), std::nullopt);
+  EXPECT_TRUE(queue.empty());
+}
+
+// All events at one instant: pure FIFO, under heavy interleaved
+// cancellation.
+TEST(EventQueueChurnTest, SameInstantFifoUnderCancellation) {
+  EventQueue queue;
+  std::mt19937_64 rng(7);
+  std::vector<std::pair<EventQueue::Handle, int>> scheduled;
+  std::uint64_t fired = 0;
+  for (int i = 0; i < 50000; ++i) {
+    int captured = i;
+    scheduled.emplace_back(
+        queue.Schedule(1.0, [&fired, captured] { fired = captured; }),
+        i);
+  }
+  std::vector<int> expected;
+  for (auto& [handle, index] : scheduled) {
+    if (rng() % 3 == 0) {
+      EXPECT_TRUE(queue.Cancel(handle));
+    } else {
+      expected.push_back(index);
+    }
+  }
+  for (int index : expected) {
+    auto event = queue.PopNext();
+    ASSERT_TRUE(event.has_value());
+    EXPECT_EQ(event->time, 1.0);
+    event->callback();
+    EXPECT_EQ(fired, static_cast<std::uint64_t>(index));
+  }
+  EXPECT_FALSE(queue.PopNext().has_value());
+}
+
+// Captures bigger than the inline budget take the heap-allocated
+// fallback path; the queue must still order, fire, and cancel them
+// correctly (and destroy them exactly once — ASan watches).
+TEST(EventQueueChurnTest, OversizedCapturesUseHeapFallbackCorrectly) {
+  EventQueue queue;
+  std::mt19937_64 rng(11);
+  std::uint64_t sum = 0;
+  std::uint64_t expected_sum = 0;
+  std::vector<EventQueue::Handle> handles;
+  for (int i = 0; i < 20000; ++i) {
+    std::array<std::uint64_t, 16> payload{};  // 128 bytes: never inline
+    payload.fill(static_cast<std::uint64_t>(i));
+    handles.push_back(queue.Schedule(
+        static_cast<double>(rng() % 100),
+        [&sum, payload] { sum += payload[0] + payload[15]; }));
+  }
+  for (std::size_t i = 0; i < handles.size(); ++i) {
+    if (i % 4 == 0) {
+      EXPECT_TRUE(queue.Cancel(handles[i]));
+    } else {
+      expected_sum += 2 * static_cast<std::uint64_t>(i);
+    }
+  }
+  while (auto event = queue.PopNext()) event->callback();
+  EXPECT_EQ(sum, expected_sum);
+}
+
+}  // namespace
+}  // namespace strip::sim

@@ -1,8 +1,9 @@
 // strip_sweep: run an arbitrary parameter sweep from the command line.
 //
-//   strip_sweep --x=lambda_t --values=5,10,15,20,25 \
-//               --policies=UF,TF,SU,OD --metrics=av,p_success \
+//   strip_sweep --x=lambda_t --values=5,10,15,20,25
+//               --policies=UF,TF,SU,OD --metrics=av,p_success
 //               [--name=value ...] [--reps=N] [--seed=N] [--csv]
+//               [--json=PATH]
 //
 // Any Config parameter (see strip_sim --help) can be fixed with
 // --name=value and any numeric one swept with --x/--values. This is
@@ -12,6 +13,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -96,6 +98,7 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 42;
   int threads = 0;
   bool csv = false;
+  std::string json_path;
 
   for (const std::string& arg : rest) {
     if (arg.rfind("--x=", 0) == 0) {
@@ -119,6 +122,8 @@ int main(int argc, char** argv) {
       threads = std::atoi(arg.c_str() + 10);
     } else if (arg == "--csv") {
       csv = true;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
     } else {
       Fail("unknown flag: " + arg + " (config flags need --name=value)");
     }
@@ -153,6 +158,13 @@ int main(int argc, char** argv) {
   }
 
   const strip::exp::SweepResult result = strip::exp::RunSweep(spec);
+  std::ofstream json;
+  if (!json_path.empty()) {
+    json.open(json_path);
+    if (!json) Fail("cannot write JSON results to " + json_path);
+    json << "{\"series\": [";
+  }
+  bool first_series = true;
   for (const std::string& metric_name : metric_names) {
     const MetricDef* found = nullptr;
     for (const MetricDef& metric : kMetrics) {
@@ -165,6 +177,13 @@ int main(int argc, char** argv) {
       strip::exp::PrintSeriesCsv(std::cout, spec, result, metric_name,
                                  found->fn);
     }
+    if (json.is_open()) {
+      json << (first_series ? "\n  " : ",\n  ");
+      first_series = false;
+      strip::exp::PrintSeriesJson(json, spec, result, metric_name,
+                                  found->fn);
+    }
   }
+  if (json.is_open()) json << "\n]}\n";
   return 0;
 }
