@@ -40,9 +40,8 @@ int main(int argc, char** argv) {
     };
     const exp::SweepResult plain_result = exp::RunSweep(plain);
     const exp::SweepResult dedup_result = exp::RunSweep(dedup);
-    const exp::MetricFn uq_avg = [](const core::RunMetrics& m) {
-      return m.uq_length_avg;
-    };
+    const exp::MetricFn uq_avg =
+        exp::Metric(&core::RunMetrics::uq_length_avg);
     bench::Emit(args, plain, plain_result, "avg queue length, plain",
                 uq_avg);
     bench::Emit(args, dedup, dedup_result, "avg queue length, dedup",

@@ -63,7 +63,7 @@ int main(int argc, char** argv) {
     bench::Emit(args, spec, result, "p_MD vs admission limit",
                 bench::MetricPmd);
     bench::Emit(args, spec, result, "p95 response vs admission limit",
-                [](const core::RunMetrics& m) { return m.response_p95; });
+                exp::Metric(&core::RunMetrics::response_p95));
   }
   return 0;
 }

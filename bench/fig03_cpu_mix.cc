@@ -26,6 +26,6 @@ int main(int argc, char** argv) {
   bench::Emit(args, spec, result, "rho_t (fig 3a)", bench::MetricRhoT);
   bench::Emit(args, spec, result, "rho_u (fig 3b)", bench::MetricRhoU);
   bench::Emit(args, spec, result, "rho_total",
-              [](const core::RunMetrics& m) { return m.rho_total(); });
+              exp::Metric(&core::RunMetrics::rho_total));
   return 0;
 }

@@ -1,11 +1,13 @@
 // Observation hooks into a running System.
 //
 // An observer receives the System's discrete outcomes as they happen —
-// transaction completions/aborts and update installs/drops — without
-// perturbing the model. Used by the CSV trace writer
-// (core/trace_writer.h) and available to applications for custom
-// monitoring (e.g., alerting on stale reads in the control-room
-// example).
+// transaction completions/aborts, update installs/drops, stale reads,
+// and run-phase boundaries — without perturbing the model. Any number
+// of observers can be attached through the System's ObserverBus
+// (core/observer_bus.h); used by the CSV trace writer
+// (core/trace_writer.h), the observability layer (src/obs), and
+// available to applications for custom monitoring (e.g., alerting on
+// stale reads in the control-room example).
 
 #ifndef STRIP_CORE_OBSERVER_H_
 #define STRIP_CORE_OBSERVER_H_
@@ -19,6 +21,12 @@ namespace strip::core {
 class SystemObserver {
  public:
   virtual ~SystemObserver() = default;
+
+  // A run-phase boundary the System crossed.
+  enum class Phase {
+    kWarmupEnd = 0,  // warm-up elapsed; statistics were just reset
+    kRunEnd,         // simulation reached sim_seconds; metrics final
+  };
 
   // Why an update left the system without being installed.
   enum class DropReason {
@@ -54,10 +62,32 @@ class SystemObserver {
     (void)update;
     (void)reason;
   }
+
+  // A view read returned stale data (under any criterion; fires whether
+  // or not the system itself could detect the staleness). The
+  // transaction is still live — under abort-on-stale the abort happens
+  // *after* this call.
+  virtual void OnStaleRead(sim::Time now, const txn::Transaction& transaction,
+                           db::ObjectId object) {
+    (void)now;
+    (void)transaction;
+    (void)object;
+  }
+
+  // The run crossed a phase boundary: warm-up ended (statistics reset)
+  // or the simulation ended (metrics finalized). Lets samplers and
+  // exporters align to the observation window without polling hacks.
+  virtual void OnPhase(sim::Time now, Phase phase) {
+    (void)now;
+    (void)phase;
+  }
 };
 
 // Printable name for a drop reason.
 const char* DropReasonName(SystemObserver::DropReason reason);
+
+// Printable name for a phase ("warmup_end" / "run_end").
+const char* PhaseName(SystemObserver::Phase phase);
 
 }  // namespace strip::core
 

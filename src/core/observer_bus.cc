@@ -1,0 +1,93 @@
+#include "core/observer_bus.h"
+
+#include <algorithm>
+
+#include "base/check.h"
+
+namespace strip::core {
+
+void ObserverBus::Add(SystemObserver* observer) {
+  STRIP_CHECK(observer != nullptr);
+  const bool already_registered =
+      std::find(observers_.begin(), observers_.end(), observer) !=
+      observers_.end();
+  STRIP_CHECK_MSG(!already_registered, "observer registered twice");
+  observers_.push_back(observer);
+  ++live_count_;
+}
+
+bool ObserverBus::Remove(SystemObserver* observer) {
+  const auto it = std::find(observers_.begin(), observers_.end(), observer);
+  if (it == observers_.end()) return false;
+  if (dispatch_depth_ > 0) {
+    // A dispatch is walking the vector: null the slot so the walk skips
+    // it, and compact when the outermost dispatch unwinds.
+    *it = nullptr;
+    needs_compaction_ = true;
+  } else {
+    observers_.erase(it);
+  }
+  --live_count_;
+  return true;
+}
+
+void ObserverBus::Compact() {
+  observers_.erase(std::remove(observers_.begin(), observers_.end(), nullptr),
+                   observers_.end());
+  needs_compaction_ = false;
+}
+
+template <typename Fn>
+void ObserverBus::Dispatch(Fn&& fn) {
+  ++dispatch_depth_;
+  // Observers appended mid-dispatch grow the vector past `end`; they
+  // hear the next event, not this one.
+  const std::size_t end = observers_.size();
+  for (std::size_t i = 0; i < end; ++i) {
+    SystemObserver* observer = observers_[i];
+    if (observer != nullptr) fn(observer);
+  }
+  --dispatch_depth_;
+  if (dispatch_depth_ == 0 && needs_compaction_) Compact();
+}
+
+void ObserverBus::NotifyTransactionTerminal(
+    sim::Time now, const txn::Transaction& transaction) {
+  if (empty()) return;
+  Dispatch([&](SystemObserver* observer) {
+    observer->OnTransactionTerminal(now, transaction);
+  });
+}
+
+void ObserverBus::NotifyUpdateInstalled(sim::Time now, const db::Update& update,
+                                        bool on_demand) {
+  if (empty()) return;
+  Dispatch([&](SystemObserver* observer) {
+    observer->OnUpdateInstalled(now, update, on_demand);
+  });
+}
+
+void ObserverBus::NotifyUpdateDropped(sim::Time now, const db::Update& update,
+                                      SystemObserver::DropReason reason) {
+  if (empty()) return;
+  Dispatch([&](SystemObserver* observer) {
+    observer->OnUpdateDropped(now, update, reason);
+  });
+}
+
+void ObserverBus::NotifyStaleRead(sim::Time now,
+                                  const txn::Transaction& transaction,
+                                  db::ObjectId object) {
+  if (empty()) return;
+  Dispatch([&](SystemObserver* observer) {
+    observer->OnStaleRead(now, transaction, object);
+  });
+}
+
+void ObserverBus::NotifyPhase(sim::Time now, SystemObserver::Phase phase) {
+  if (empty()) return;
+  Dispatch(
+      [&](SystemObserver* observer) { observer->OnPhase(now, phase); });
+}
+
+}  // namespace strip::core

@@ -1,0 +1,99 @@
+// Fan-out of SystemObserver callbacks to any number of observers.
+//
+// The bus replaces the System's former single set_observer slot: the
+// trace writer, the observability layer's sampler and telemetry
+// recorder (src/obs), and application monitors can all listen to one
+// run at once. Observers are notified in registration order.
+//
+// Dispatch is reentrancy-safe: an observer may add or remove observers
+// (including itself) from inside a callback. Observers removed during
+// a dispatch stop receiving events immediately; observers added during
+// a dispatch first hear the *next* event. With no observers attached
+// every Notify* call is a single inline emptiness test — no allocation,
+// no virtual call — preserving the simulation core's zero-alloc hot
+// path.
+//
+// ScopedObserver provides RAII registration:
+//
+//   obs::PeriodicSampler sampler(...);
+//   core::ScopedObserver scoped(&system.observer_bus(), &sampler);
+//   system.Run();   // sampler detaches when `scoped` dies
+
+#ifndef STRIP_CORE_OBSERVER_BUS_H_
+#define STRIP_CORE_OBSERVER_BUS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/observer.h"
+
+namespace strip::core {
+
+class ObserverBus {
+ public:
+  ObserverBus() = default;
+  ObserverBus(const ObserverBus&) = delete;
+  ObserverBus& operator=(const ObserverBus&) = delete;
+
+  // Registers `observer` (must be non-null and outlive its
+  // registration). Registering the same observer twice is an error.
+  void Add(SystemObserver* observer);
+
+  // Unregisters `observer`. Returns false if it was not registered.
+  // Safe to call from inside a dispatch.
+  bool Remove(SystemObserver* observer);
+
+  bool empty() const { return live_count_ == 0; }
+  std::size_t size() const { return live_count_; }
+
+  // --- dispatch (called by System) -----------------------------------------
+
+  void NotifyTransactionTerminal(sim::Time now,
+                                 const txn::Transaction& transaction);
+  void NotifyUpdateInstalled(sim::Time now, const db::Update& update,
+                             bool on_demand);
+  void NotifyUpdateDropped(sim::Time now, const db::Update& update,
+                           SystemObserver::DropReason reason);
+  void NotifyStaleRead(sim::Time now, const txn::Transaction& transaction,
+                       db::ObjectId object);
+  void NotifyPhase(sim::Time now, SystemObserver::Phase phase);
+
+ private:
+  // Runs `fn(observer)` over the registration order, tolerating
+  // add/remove from inside the callbacks.
+  template <typename Fn>
+  void Dispatch(Fn&& fn);
+
+  // Drops slots nulled by Remove() once no dispatch is walking them.
+  void Compact();
+
+  // Removed observers are nulled in place (so walking indexes stay
+  // valid mid-dispatch) and compacted when the outermost dispatch
+  // finishes.
+  std::vector<SystemObserver*> observers_;
+  std::size_t live_count_ = 0;
+  int dispatch_depth_ = 0;
+  bool needs_compaction_ = false;
+};
+
+// RAII registration on a bus: adds in the constructor, removes in the
+// destructor. The bus and the observer must outlive the registration.
+class ScopedObserver {
+ public:
+  ScopedObserver(ObserverBus* bus, SystemObserver* observer)
+      : bus_(bus), observer_(observer) {
+    bus_->Add(observer_);
+  }
+  ~ScopedObserver() { bus_->Remove(observer_); }
+
+  ScopedObserver(const ScopedObserver&) = delete;
+  ScopedObserver& operator=(const ScopedObserver&) = delete;
+
+ private:
+  ObserverBus* bus_;
+  SystemObserver* observer_;
+};
+
+}  // namespace strip::core
+
+#endif  // STRIP_CORE_OBSERVER_BUS_H_

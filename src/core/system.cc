@@ -143,14 +143,22 @@ void System::ResetObservation() {
   os_length_.StartAt(simulator_->now(),
                      static_cast<double>(os_queue_.size()));
   uq_length_max_ = update_queue_.size();
+  if (!bus_.empty()) {
+    bus_.NotifyPhase(simulator_->now(), SystemObserver::Phase::kWarmupEnd);
+  }
 }
 
 void System::Finalize(sim::Time end) {
   STRIP_CHECK(!finalized_);
   finalized_ = true;
   // A segment still on the CPU at the end of the run is charged up to
-  // the cut-off so utilization fractions are exact.
-  if (cpu_owner_ != CpuOwner::kIdle) ChargeSegmentCpu();
+  // the cut-off so utilization fractions are exact. Advancing
+  // segment_start_ keeps the Cpu*SecondsNow probes from counting the
+  // settled remainder twice.
+  if (cpu_owner_ != CpuOwner::kIdle) {
+    ChargeSegmentCpu();
+    segment_start_ = end;
+  }
   if (update_stream_ != nullptr) update_stream_->Stop();
   if (txn_source_ != nullptr) txn_source_->Stop();
   metrics_.observed_seconds = end - observation_start_;
@@ -166,6 +174,29 @@ void System::Finalize(sim::Time end) {
   metrics_.response_p50 = response_times_.Quantile(0.50);
   metrics_.response_p95 = response_times_.Quantile(0.95);
   metrics_.response_p99 = response_times_.Quantile(0.99);
+  if (!bus_.empty()) {
+    bus_.NotifyPhase(end, SystemObserver::Phase::kRunEnd);
+  }
+}
+
+sim::Duration System::CpuTxnSecondsNow() const {
+  sim::Duration seconds = metrics_.cpu_txn_seconds;
+  if (cpu_owner_ == CpuOwner::kTxn && !segment_is_update_work_) {
+    seconds += simulator_->now() - std::max(segment_start_,
+                                            observation_start_);
+  }
+  return seconds;
+}
+
+sim::Duration System::CpuUpdateSecondsNow() const {
+  sim::Duration seconds = metrics_.cpu_update_seconds;
+  // OD scan/apply segments run inside a transaction's slice but are
+  // charged as update work, matching ChargeSegmentCpu.
+  if (cpu_owner_ != CpuOwner::kIdle && segment_is_update_work_) {
+    seconds += simulator_->now() - std::max(segment_start_,
+                                            observation_start_);
+  }
+  return seconds;
 }
 
 // --- arrivals ------------------------------------------------------------
@@ -174,9 +205,9 @@ void System::OnUpdateArrival(const db::Update& update) {
   ++metrics_.updates_arrived;
   if (!os_queue_.Push(update)) {
     ++metrics_.updates_dropped_os_full;
-    if (observer_ != nullptr) {
-      observer_->OnUpdateDropped(simulator_->now(), update,
-                                 SystemObserver::DropReason::kOsQueueFull);
+    if (!bus_.empty()) {
+      bus_.NotifyUpdateDropped(simulator_->now(), update,
+                               SystemObserver::DropReason::kOsQueueFull);
     }
     return;
   }
@@ -210,11 +241,11 @@ void System::OnTxnArrival(const txn::Transaction::Params& params) {
     // Admission control: the backlog is full; reject at the door
     // rather than competing for the CPU.
     ++metrics_.txns_overload_dropped;
-    if (observer_ != nullptr) {
+    if (!bus_.empty()) {
       txn::Transaction rejected(params);
       rejected.set_outcome(txn::TxnOutcome::kOverloadDrop);
       rejected.set_completion_time(simulator_->now());
-      observer_->OnTransactionTerminal(simulator_->now(), rejected);
+      bus_.NotifyTransactionTerminal(simulator_->now(), rejected);
     }
     return;
   }
@@ -336,9 +367,9 @@ void System::PurgeExpired() {
     tracker_.OnRemovedFromQueue(u);
     ++metrics_.updates_dropped_expired;
     purge_debt_instructions_ += QueueOpCostInstructions(size_before--);
-    if (observer_ != nullptr) {
-      observer_->OnUpdateDropped(simulator_->now(), u,
-                                 SystemObserver::DropReason::kExpired);
+    if (!bus_.empty()) {
+      bus_.NotifyUpdateDropped(simulator_->now(), u,
+                               SystemObserver::DropReason::kExpired);
     }
   }
   NoteUqLength();
@@ -442,10 +473,9 @@ bool System::DedupAgainstQueue(const db::Update& update) {
     if (!existing.has_value()) return true;
     if (existing->generation_time >= update.generation_time) {
       ++metrics_.updates_dropped_superseded;
-      if (observer_ != nullptr) {
-        observer_->OnUpdateDropped(
-            simulator_->now(), update,
-            SystemObserver::DropReason::kSuperseded);
+      if (!bus_.empty()) {
+        bus_.NotifyUpdateDropped(simulator_->now(), update,
+                                 SystemObserver::DropReason::kSuperseded);
       }
       return false;
     }
@@ -453,9 +483,9 @@ bool System::DedupAgainstQueue(const db::Update& update) {
     STRIP_CHECK(removed);
     tracker_.OnRemovedFromQueue(*existing);
     ++metrics_.updates_dropped_superseded;
-    if (observer_ != nullptr) {
-      observer_->OnUpdateDropped(simulator_->now(), *existing,
-                                 SystemObserver::DropReason::kSuperseded);
+    if (!bus_.empty()) {
+      bus_.NotifyUpdateDropped(simulator_->now(), *existing,
+                               SystemObserver::DropReason::kSuperseded);
     }
   }
 }
@@ -475,14 +505,14 @@ void System::InstallNow(const db::Update& update, bool on_demand) {
                        database_.value(update.object));
     }
     ++metrics_.updates_installed;
-    if (observer_ != nullptr) {
-      observer_->OnUpdateInstalled(simulator_->now(), update, on_demand);
+    if (!bus_.empty()) {
+      bus_.NotifyUpdateInstalled(simulator_->now(), update, on_demand);
     }
   } else {
     ++metrics_.updates_unworthy;
-    if (observer_ != nullptr) {
-      observer_->OnUpdateDropped(simulator_->now(), update,
-                                 SystemObserver::DropReason::kUnworthy);
+    if (!bus_.empty()) {
+      bus_.NotifyUpdateDropped(simulator_->now(), update,
+                               SystemObserver::DropReason::kUnworthy);
     }
   }
 }
@@ -507,10 +537,9 @@ void System::OnUpdaterJobComplete() {
       for (const db::Update& e : evicted) {
         tracker_.OnRemovedFromQueue(e);
         ++metrics_.updates_dropped_uq_overflow;
-        if (observer_ != nullptr) {
-          observer_->OnUpdateDropped(
-              simulator_->now(), e,
-              SystemObserver::DropReason::kQueueOverflow);
+        if (!bus_.empty()) {
+          bus_.NotifyUpdateDropped(simulator_->now(), e,
+                                   SystemObserver::DropReason::kQueueOverflow);
         }
       }
       NoteUqLength();
@@ -652,12 +681,12 @@ void System::HandleViewRead(txn::Transaction* transaction,
       // (timestamp); under UU the staleness went undetected — the
       // simulator still records it for the metrics, but the system
       // cannot act on it.
-      RecordStaleRead(transaction, /*detected=*/timestamped);
+      RecordStaleRead(transaction, object, /*detected=*/timestamped);
     }
     return;
   }
   if (tracker_.IsStale(object)) {
-    RecordStaleRead(transaction);
+    RecordStaleRead(transaction, object);
   }
 }
 
@@ -689,7 +718,7 @@ void System::ResolveOdScan(txn::Transaction* transaction,
     return;
   }
   if (tracker_.IsStale(object)) {
-    RecordStaleRead(transaction);
+    RecordStaleRead(transaction, object);
   }
 }
 
@@ -709,12 +738,16 @@ void System::PerformOdApply(txn::Transaction* transaction,
     ++metrics_.updates_applied_on_demand;
   }
   if (tracker_.IsStale(object)) {
-    RecordStaleRead(transaction);
+    RecordStaleRead(transaction, object);
   }
 }
 
-bool System::RecordStaleRead(txn::Transaction* transaction, bool detected) {
+bool System::RecordStaleRead(txn::Transaction* transaction,
+                             db::ObjectId object, bool detected) {
   transaction->MarkStaleRead();
+  if (!bus_.empty()) {
+    bus_.NotifyStaleRead(simulator_->now(), *transaction, object);
+  }
   if (!config_.abort_on_stale || !detected) return false;
   STRIP_CHECK(transaction == running_);
   running_ = nullptr;
@@ -742,8 +775,8 @@ void System::PreemptRunningTxn() {
 void System::Commit(txn::Transaction* transaction) {
   transaction->set_outcome(txn::TxnOutcome::kCommitted);
   transaction->set_completion_time(simulator_->now());
-  if (observer_ != nullptr) {
-    observer_->OnTransactionTerminal(simulator_->now(), *transaction);
+  if (!bus_.empty()) {
+    bus_.NotifyTransactionTerminal(simulator_->now(), *transaction);
   }
   ++metrics_.txns_committed;
   ++metrics_.txns_committed_by_class[static_cast<int>(transaction->cls())];
@@ -766,8 +799,8 @@ void System::Terminate(txn::Transaction* transaction,
                        txn::TxnOutcome outcome) {
   transaction->set_outcome(outcome);
   transaction->set_completion_time(simulator_->now());
-  if (observer_ != nullptr) {
-    observer_->OnTransactionTerminal(simulator_->now(), *transaction);
+  if (!bus_.empty()) {
+    bus_.NotifyTransactionTerminal(simulator_->now(), *transaction);
   }
   switch (outcome) {
     case txn::TxnOutcome::kMissedDeadline:

@@ -31,6 +31,7 @@
 #include "core/config.h"
 #include "core/metrics.h"
 #include "core/observer.h"
+#include "core/observer_bus.h"
 #include "core/policy.h"
 #include "db/database.h"
 #include "db/history_store.h"
@@ -60,10 +61,30 @@ class System {
   // for the observation window (warm-up excluded). Callable once.
   RunMetrics Run();
 
-  // Attaches an observer notified of discrete outcomes (transaction
-  // terminals, update installs/drops). Pass nullptr to detach. The
-  // observer must outlive the run.
-  void set_observer(SystemObserver* observer) { observer_ = observer; }
+  // Registers an observer notified of discrete outcomes (transaction
+  // terminals, update installs/drops, stale reads, phase boundaries).
+  // Any number of observers can be attached; they are notified in
+  // registration order and must outlive their registration.
+  void AddObserver(SystemObserver* observer) { bus_.Add(observer); }
+
+  // Unregisters an observer. Returns false if it was not registered.
+  // Safe to call from inside an observer callback.
+  bool RemoveObserver(SystemObserver* observer) {
+    return bus_.Remove(observer);
+  }
+
+  // The underlying bus, for RAII registration (core::ScopedObserver).
+  ObserverBus& observer_bus() { return bus_; }
+
+  // Deprecated single-observer shim, kept for one release: replaces
+  // the previously set observer (only one set through this call) with
+  // `observer`; nullptr detaches. Prefer AddObserver/RemoveObserver.
+  [[deprecated("use AddObserver/RemoveObserver")]]
+  void set_observer(SystemObserver* observer) {
+    if (legacy_observer_ != nullptr) bus_.Remove(legacy_observer_);
+    legacy_observer_ = observer;
+    if (observer != nullptr) bus_.Add(observer);
+  }
 
   // External-workload injection (config.external_workload): delivers
   // an arrival *at the current simulation time*. Call from simulator
@@ -77,14 +98,30 @@ class System {
   // --- inspection (tests, examples) ---------------------------------------
 
   const Config& config() const { return config_; }
+  // The simulator this run executes on (observers that schedule their
+  // own probe events — e.g. obs::PeriodicSampler — ride on it).
+  sim::Simulator* simulator() const { return simulator_; }
   const db::Database& database() const { return database_; }
   const db::StalenessTracker& staleness() const { return tracker_; }
   const db::UpdateQueue& update_queue() const { return update_queue_; }
   const db::OsQueue& os_queue() const { return os_queue_; }
+  const txn::ReadyQueue& ready_queue() const { return ready_; }
   const Policy& policy() const { return *policy_; }
   // Version history of installed values; nullptr unless
   // config.history_depth > 0.
   const db::HistoryStore* history() const { return history_.get(); }
+
+  // --- live probes (observability; see src/obs) ----------------------------
+
+  // Transactions currently in the system (running or ready).
+  std::size_t live_txn_count() const { return live_txns_.size(); }
+  // Start of the current observation window (0, or the warm-up end).
+  sim::Time observation_start() const { return observation_start_; }
+  // CPU seconds charged to transactions / the update process so far in
+  // the observation window, including the segment currently on the CPU
+  // (unlike RunMetrics, which is settled only at segment boundaries).
+  sim::Duration CpuTxnSecondsNow() const;
+  sim::Duration CpuUpdateSecondsNow() const;
 
  private:
   enum class CpuOwner { kIdle, kTxn, kUpdater };
@@ -144,11 +181,13 @@ class System {
   void HandleViewRead(txn::Transaction* transaction, db::ObjectId object);
   void ResolveOdScan(txn::Transaction* transaction, db::ObjectId object);
   void PerformOdApply(txn::Transaction* transaction, db::ObjectId object);
-  // Records a stale read; under abort-on-stale terminates the running
-  // transaction (only if the *system* detected the staleness — an
-  // undetected one is recorded for the metrics but cannot trigger an
-  // abort). Returns true if the transaction was aborted.
-  bool RecordStaleRead(txn::Transaction* transaction, bool detected = true);
+  // Records a stale read of `object`; under abort-on-stale terminates
+  // the running transaction (only if the *system* detected the
+  // staleness — an undetected one is recorded for the metrics but
+  // cannot trigger an abort). Returns true if the transaction was
+  // aborted.
+  bool RecordStaleRead(txn::Transaction* transaction, db::ObjectId object,
+                       bool detected = true);
   // Can the transaction absorb `extra_instructions` of unplanned work
   // (an OD queue search) and still meet its deadline?
   bool CanAffordExtraWork(const txn::Transaction& transaction,
@@ -186,7 +225,9 @@ class System {
   sim::Simulator* simulator_;
   Config config_;
   std::unique_ptr<Policy> policy_;
-  SystemObserver* observer_ = nullptr;
+  ObserverBus bus_;
+  // The observer attached through the deprecated set_observer shim.
+  SystemObserver* legacy_observer_ = nullptr;
   // Draws for the system-side stochastic extensions (buffer misses,
   // trigger firings); independent of the workload streams.
   sim::RandomStream system_random_;

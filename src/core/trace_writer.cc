@@ -20,6 +20,16 @@ const char* DropReasonName(SystemObserver::DropReason reason) {
   return "?";
 }
 
+const char* PhaseName(SystemObserver::Phase phase) {
+  switch (phase) {
+    case SystemObserver::Phase::kWarmupEnd:
+      return "warmup_end";
+    case SystemObserver::Phase::kRunEnd:
+      return "run_end";
+  }
+  return "?";
+}
+
 TraceWriter::TraceWriter(std::ostream* out, Options options)
     : out_(out), options_(options) {
   STRIP_CHECK(out != nullptr);

@@ -1,6 +1,6 @@
 // CSV trace of a run's discrete outcomes.
 //
-// Attach to a System (System::set_observer) before Run() to stream
+// Attach to a System (System::AddObserver) before Run() to stream
 // per-transaction and per-update records to any std::ostream:
 //
 //   txn,<time>,<id>,<class>,<value>,<arrival>,<deadline>,<outcome>,<stale_reads>

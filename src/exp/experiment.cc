@@ -10,19 +10,41 @@
 namespace strip::exp {
 
 core::RunMetrics RunOnce(const core::Config& config, std::uint64_t seed) {
+  return RunOnce(config, seed, nullptr, RunContext{});
+}
+
+core::RunMetrics RunOnce(const core::Config& config, std::uint64_t seed,
+                         const RunHook& hook, const RunContext& context) {
   sim::Simulator simulator;
   core::System system(&simulator, config, seed);
-  return system.Run();
+  // The finisher is declared after the System so its destruction (and
+  // with it any observers it owns) happens first, while the bus the
+  // observers detach from is still alive.
+  RunFinisher finish;
+  if (hook) finish = hook(system, context);
+  const core::RunMetrics metrics = system.Run();
+  if (finish) finish(metrics);
+  return metrics;
 }
 
 std::vector<core::RunMetrics> Replicate(const core::Config& config,
                                         int replications,
                                         std::uint64_t base_seed) {
+  return Replicate(config, replications, base_seed, nullptr);
+}
+
+std::vector<core::RunMetrics> Replicate(const core::Config& config,
+                                        int replications,
+                                        std::uint64_t base_seed,
+                                        const RunHook& hook) {
   STRIP_CHECK_MSG(replications > 0, "need at least one replication");
   std::vector<core::RunMetrics> runs;
   runs.reserve(replications);
   for (int r = 0; r < replications; ++r) {
-    runs.push_back(RunOnce(config, base_seed + static_cast<std::uint64_t>(r)));
+    RunContext context;
+    context.replication = r;
+    context.seed = base_seed + static_cast<std::uint64_t>(r);
+    runs.push_back(RunOnce(config, context.seed, hook, context));
   }
   return runs;
 }
@@ -94,10 +116,14 @@ SweepResult RunSweep(const SweepSpec& spec) {
       core::Config config = spec.base;
       config.policy = spec.policies[task.policy_index];
       spec.apply_x(config, spec.x_values[task.x_index]);
-      const std::uint64_t seed =
+      RunContext context;
+      context.policy_index = task.policy_index;
+      context.x_index = task.x_index;
+      context.replication = task.replication;
+      context.seed =
           spec.base_seed + static_cast<std::uint64_t>(task.replication);
       result.mutable_cell(task.policy_index, task.x_index)[task.replication] =
-          RunOnce(config, seed);
+          RunOnce(config, context.seed, spec.on_run, context);
     }
   };
 

@@ -20,18 +20,65 @@
 #include "core/metrics.h"
 #include "sim/stats.h"
 
+namespace strip::core {
+class System;
+}  // namespace strip::core
+
 namespace strip::exp {
 
-// Extracts one scalar metric from a run (e.g., &RunMetrics::av).
+// Extracts one scalar metric from a run.
 using MetricFn = std::function<double(const core::RunMetrics&)>;
 
-// Runs one configuration to completion with one seed.
-core::RunMetrics RunOnce(const core::Config& config, std::uint64_t seed);
+// Adapts a RunMetrics member directly to a MetricFn, so call sites can
+// write Metric(&RunMetrics::av) or Metric(&RunMetrics::f_old_low)
+// instead of a lambda.
+inline MetricFn Metric(double (core::RunMetrics::*fn)() const) {
+  return [fn](const core::RunMetrics& m) { return (m.*fn)(); };
+}
+template <typename T>
+MetricFn Metric(T core::RunMetrics::*field) {
+  return [field](const core::RunMetrics& m) {
+    return static_cast<double>(m.*field);
+  };
+}
 
-// Runs one configuration over several seeds; returns all runs.
+// Which run of an experiment a hook fires for. For bare RunOnce /
+// Replicate calls the sweep indexes stay 0.
+struct RunContext {
+  std::size_t policy_index = 0;
+  std::size_t x_index = 0;
+  int replication = 0;
+  std::uint64_t seed = 0;
+};
+
+// Called with the run's metrics after Run() completes, while the
+// System is still alive.
+using RunFinisher = std::function<void(const core::RunMetrics&)>;
+
+// Observation hook: called with the freshly wired System before Run()
+// — attach observers (telemetry, trace writers) here; they must stay
+// alive for the run, e.g. owned by the returned finisher. The returned
+// finisher (may be null) runs after Run() with the run's metrics.
+// Sweeps call hooks concurrently from worker threads; hooks must not
+// share mutable state across runs without synchronization.
+using RunHook =
+    std::function<RunFinisher(core::System&, const RunContext&)>;
+
+// Runs one configuration to completion with one seed. The optional
+// hook observes the run (see RunHook).
+core::RunMetrics RunOnce(const core::Config& config, std::uint64_t seed);
+core::RunMetrics RunOnce(const core::Config& config, std::uint64_t seed,
+                         const RunHook& hook, const RunContext& context);
+
+// Runs one configuration over several seeds; returns all runs. The
+// optional hook observes every replication.
 std::vector<core::RunMetrics> Replicate(const core::Config& config,
                                         int replications,
                                         std::uint64_t base_seed);
+std::vector<core::RunMetrics> Replicate(const core::Config& config,
+                                        int replications,
+                                        std::uint64_t base_seed,
+                                        const RunHook& hook);
 
 struct SweepSpec {
   // Base configuration; policy and the x parameter are overwritten per
@@ -52,6 +99,9 @@ struct SweepSpec {
   std::uint64_t base_seed = 42;
   // Worker threads; 0 means hardware concurrency.
   int threads = 0;
+  // Observation hook, called (from worker threads) for every run with
+  // its cell coordinates; may be null. See RunHook.
+  RunHook on_run;
 };
 
 class SweepResult {

@@ -1,0 +1,95 @@
+#include "obs/latency_histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "base/check.h"
+
+namespace strip::obs {
+
+LatencyHistogram::LatencyHistogram(double min, double max,
+                                   int buckets_per_decade)
+    : min_(min),
+      max_(max),
+      buckets_per_decade_(buckets_per_decade),
+      log_min_(std::log10(min)) {
+  STRIP_CHECK_MSG(min > 0 && min < max, "need 0 < min < max");
+  STRIP_CHECK_MSG(buckets_per_decade >= 1, "need buckets_per_decade >= 1");
+  const double decades = std::log10(max) - log_min_;
+  const auto geometric_buckets = static_cast<std::size_t>(
+      std::ceil(decades * buckets_per_decade - 1e-9));
+  // + underflow and overflow.
+  buckets_.assign(geometric_buckets + 2, 0);
+}
+
+std::size_t LatencyHistogram::BucketIndex(double sample) const {
+  if (sample < min_) return 0;
+  if (sample >= max_) return buckets_.size() - 1;
+  const double position =
+      (std::log10(sample) - log_min_) * buckets_per_decade_;
+  // Clamp against floating-point edge cases at the boundaries.
+  const auto index = static_cast<std::size_t>(std::max(0.0, position));
+  return std::min(index + 1, buckets_.size() - 2);
+}
+
+void LatencyHistogram::Add(double sample) {
+  if (count_ == 0) {
+    min_sample_ = sample;
+    max_sample_ = sample;
+  } else {
+    min_sample_ = std::min(min_sample_, sample);
+    max_sample_ = std::max(max_sample_, sample);
+  }
+  ++count_;
+  sum_ += sample;
+  ++buckets_[BucketIndex(sample)];
+}
+
+double LatencyHistogram::min_sample() const {
+  return count_ == 0 ? 0.0 : min_sample_;
+}
+
+double LatencyHistogram::max_sample() const {
+  return count_ == 0 ? 0.0 : max_sample_;
+}
+
+double LatencyHistogram::bucket_upper_edge(std::size_t i) const {
+  if (i == 0) return min_;
+  if (i >= buckets_.size() - 1) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return std::pow(10.0, log_min_ + static_cast<double>(i) /
+                                       buckets_per_decade_);
+}
+
+double LatencyHistogram::Quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Nearest-rank: the bucket holding the ceil(q·count)-th sample.
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(q * count_)));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen < rank) continue;
+    double value;
+    if (i == 0) {
+      // Underflow: all we know is "below min"; report the exact
+      // smallest sample.
+      value = min_sample_;
+    } else if (i == buckets_.size() - 1) {
+      // Overflow: report the exact largest sample.
+      value = max_sample_;
+    } else {
+      // Geometric midpoint of the bucket's edges.
+      const double lower = bucket_upper_edge(i - 1);
+      const double upper = bucket_upper_edge(i);
+      value = std::sqrt(lower * upper);
+    }
+    return std::clamp(value, min_sample_, max_sample_);
+  }
+  return max_sample_;
+}
+
+}  // namespace strip::obs

@@ -1,0 +1,85 @@
+// Log-bucketed histogram for latency-style distributions.
+//
+// The core's fixed-range linear sim::Histogram serves the paper's
+// response-time summary, but latency and age distributions span orders
+// of magnitude: a linear grid wide enough for the tail is too coarse
+// for the head. This histogram spaces buckets geometrically, giving a
+// bounded *relative* quantile error everywhere — the standard shape of
+// production latency telemetry (HDR-style histograms).
+//
+// Layout: one underflow bucket for samples below `min`, then
+// `buckets_per_decade` geometric buckets per decade across
+// [min, max), then an overflow bucket. With the default 36 buckets per
+// decade a bucket spans a factor of 10^(1/36) ≈ 1.066, so any quantile
+// is reported within ~6.6% of the exact order statistic. Recording is
+// O(1) (a log and an array increment), memory is a few hundred
+// counters regardless of sample count.
+
+#ifndef STRIP_OBS_LATENCY_HISTOGRAM_H_
+#define STRIP_OBS_LATENCY_HISTOGRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace strip::obs {
+
+class LatencyHistogram {
+ public:
+  // Geometric buckets spanning [min, max), `buckets_per_decade` per
+  // factor of 10. Requires 0 < min < max and buckets_per_decade >= 1.
+  LatencyHistogram(double min, double max, int buckets_per_decade = 36);
+
+  void Add(double sample);
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ == 0 ? 0.0 : sum_ / count_; }
+  // Exact smallest / largest recorded sample (not bucket boundaries).
+  double min_sample() const;
+  double max_sample() const;
+
+  // The q-quantile (q in [0, 1]): the geometric midpoint of the bucket
+  // holding the q-th order statistic, clamped to the exact observed
+  // min/max. 0 if empty. Relative error is bounded by half a bucket
+  // width (~3.3% at 36 buckets/decade).
+  double Quantile(double q) const;
+
+  // Samples below min / at or above max (still included in count, sum,
+  // and quantiles, as the extreme buckets).
+  std::uint64_t underflow() const { return buckets_.front(); }
+  std::uint64_t overflow() const { return buckets_.back(); }
+
+  // --- bucket introspection (telemetry export) ------------------------------
+
+  // Number of buckets, including the underflow and overflow buckets.
+  std::size_t bucket_count() const { return buckets_.size(); }
+  std::uint64_t bucket_value(std::size_t i) const { return buckets_[i]; }
+  // Upper edge of bucket i (the underflow bucket's edge is `min`; the
+  // overflow bucket's is +infinity).
+  double bucket_upper_edge(std::size_t i) const;
+
+  double min() const { return min_; }
+  double max() const { return max_; }
+  int buckets_per_decade() const { return buckets_per_decade_; }
+
+ private:
+  // Index of the bucket a sample falls in.
+  std::size_t BucketIndex(double sample) const;
+
+  double min_;
+  double max_;
+  int buckets_per_decade_;
+  // log10(min), cached for BucketIndex.
+  double log_min_;
+  // buckets_[0] = underflow, buckets_[1..n] = geometric,
+  // buckets_[n+1] = overflow.
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0;
+  double min_sample_ = 0;
+  double max_sample_ = 0;
+};
+
+}  // namespace strip::obs
+
+#endif  // STRIP_OBS_LATENCY_HISTOGRAM_H_

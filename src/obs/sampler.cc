@@ -1,0 +1,65 @@
+#include "obs/sampler.h"
+
+#include <algorithm>
+
+#include "base/check.h"
+#include "sim/simulator.h"
+
+namespace strip::obs {
+
+PeriodicSampler::PeriodicSampler(core::System* system, Options options)
+    : system_(system), options_(options) {
+  STRIP_CHECK(system != nullptr);
+  STRIP_CHECK_MSG(options.interval > 0, "sample interval must be positive");
+  ScheduleNextProbe();
+}
+
+PeriodicSampler::~PeriodicSampler() {
+  system_->simulator()->Cancel(next_probe_);
+}
+
+void PeriodicSampler::ScheduleNextProbe() {
+  next_probe_ = system_->simulator()->ScheduleAfter(options_.interval,
+                                                    [this] { Probe(); });
+}
+
+void PeriodicSampler::Probe() {
+  Sample sample;
+  const sim::Time now = system_->simulator()->now();
+  sample.time = now;
+  sample.uq_depth = system_->update_queue().size();
+  sample.os_depth = system_->os_queue().size();
+  sample.ready_queue = system_->ready_queue().size();
+  sample.live_txns = system_->live_txn_count();
+  sample.f_stale_low =
+      system_->staleness().FractionStaleNow(db::ObjectClass::kLowImportance);
+  sample.f_stale_high =
+      system_->staleness().FractionStaleNow(db::ObjectClass::kHighImportance);
+  const sim::Duration observed = now - system_->observation_start();
+  if (observed > 0) {
+    sample.cpu_share_txn = system_->CpuTxnSecondsNow() / observed;
+    sample.cpu_share_updater = system_->CpuUpdateSecondsNow() / observed;
+    sample.cpu_share_idle = std::max(
+        0.0, 1.0 - sample.cpu_share_txn - sample.cpu_share_updater);
+  }
+  samples_.push_back(sample);
+  if (!stopped_) ScheduleNextProbe();
+}
+
+void PeriodicSampler::OnPhase(sim::Time now, Phase phase) {
+  switch (phase) {
+    case Phase::kWarmupEnd:
+      warmup_end_ = now;
+      break;
+    case Phase::kRunEnd:
+      run_end_ = now;
+      stopped_ = true;
+      system_->simulator()->Cancel(next_probe_);
+      // Close the series with a probe at the exact end of the run
+      // (unless the periodic grid already landed one there).
+      if (samples_.empty() || samples_.back().time < now) Probe();
+      break;
+  }
+}
+
+}  // namespace strip::obs

@@ -1,0 +1,93 @@
+// Periodic probing of a live System into time series.
+//
+// The run-level RunMetrics answer *what* happened over a run; the
+// paper's evaluation (Sections 5–6) reasons about *why* via quantities
+// that evolve mid-run — queue depths, the fraction of stale view
+// objects, and where the simulated CPU's time goes. The sampler probes
+// the System at a fixed simulated-time interval (riding on the same
+// simulator, so probes are deterministic and cost no model time) and
+// records one Sample per tick.
+//
+// The sampler is also a SystemObserver: register it on the System's
+// bus so it can pin the warm-up boundary and append a final sample at
+// run end. Typical use:
+//
+//   obs::PeriodicSampler sampler(&system, {.interval = 0.5});
+//   core::ScopedObserver scoped(&system.observer_bus(), &sampler);
+//   core::RunMetrics metrics = system.Run();
+//   // sampler.samples() now holds the run's time series.
+
+#ifndef STRIP_OBS_SAMPLER_H_
+#define STRIP_OBS_SAMPLER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/system.h"
+#include "sim/sim_time.h"
+
+namespace strip::obs {
+
+class PeriodicSampler : public core::SystemObserver {
+ public:
+  struct Options {
+    // Simulated seconds between probes.
+    sim::Duration interval = 1.0;
+  };
+
+  // One probe of the System's live state.
+  struct Sample {
+    sim::Time time = 0;
+    // Queue depths and populations.
+    std::uint64_t uq_depth = 0;
+    std::uint64_t os_depth = 0;
+    std::uint64_t ready_queue = 0;
+    std::uint64_t live_txns = 0;
+    // Fraction of each view partition currently stale (under the run's
+    // active staleness criterion).
+    double f_stale_low = 0;
+    double f_stale_high = 0;
+    // Cumulative CPU shares over the observation window so far; idle is
+    // the remainder. All zero until the window has positive length.
+    double cpu_share_txn = 0;
+    double cpu_share_updater = 0;
+    double cpu_share_idle = 0;
+  };
+
+  // Schedules the first probe one interval from now on the System's
+  // simulator. `system` must outlive the sampler's last probe.
+  explicit PeriodicSampler(core::System* system)
+      : PeriodicSampler(system, Options()) {}
+  PeriodicSampler(core::System* system, Options options);
+  // Cancels the pending probe event.
+  ~PeriodicSampler() override;
+
+  PeriodicSampler(const PeriodicSampler&) = delete;
+  PeriodicSampler& operator=(const PeriodicSampler&) = delete;
+
+  const std::vector<Sample>& samples() const { return samples_; }
+  const Options& options() const { return options_; }
+  // Simulated time the warm-up ended; negative if never (no warm-up,
+  // or the sampler was not registered as an observer).
+  sim::Time warmup_end() const { return warmup_end_; }
+  sim::Time run_end() const { return run_end_; }
+
+  // SystemObserver: phase boundaries (all other hooks stay no-ops).
+  void OnPhase(sim::Time now, Phase phase) override;
+
+ private:
+  void ScheduleNextProbe();
+  void Probe();
+
+  core::System* system_;
+  Options options_;
+  std::vector<Sample> samples_;
+  sim::EventQueue::Handle next_probe_;
+  sim::Time warmup_end_ = -1;
+  sim::Time run_end_ = -1;
+  bool stopped_ = false;
+};
+
+}  // namespace strip::obs
+
+#endif  // STRIP_OBS_SAMPLER_H_

@@ -1,0 +1,241 @@
+#include "obs/telemetry.h"
+
+#include <cstdio>
+#include <string>
+
+#include "base/check.h"
+
+namespace strip::obs {
+
+namespace {
+
+// JSON has no inf/nan; clamp to null. %.17g round-trips doubles
+// exactly, keeping the document bit-identical for identical runs.
+std::string Number(double v) {
+  char buffer[32];
+  if (v != v || v > 1e308 || v < -1e308) return "null";
+  std::snprintf(buffer, sizeof(buffer), "%.17g", v);
+  return buffer;
+}
+
+std::string Number(std::uint64_t v) { return std::to_string(v); }
+
+// Time values: null when the boundary never happened (< 0 sentinel).
+std::string TimeOrNull(sim::Time t) { return t < 0 ? "null" : Number(t); }
+
+void WriteHistogramJson(std::ostream& out, const char* indent,
+                        const LatencyHistogram& h) {
+  out << "{\n"
+      << indent << "  \"count\": " << Number(h.count()) << ",\n"
+      << indent << "  \"mean\": " << Number(h.mean()) << ",\n"
+      << indent << "  \"min\": " << Number(h.min_sample()) << ",\n"
+      << indent << "  \"max\": " << Number(h.max_sample()) << ",\n"
+      << indent << "  \"p50\": " << Number(h.Quantile(0.50)) << ",\n"
+      << indent << "  \"p90\": " << Number(h.Quantile(0.90)) << ",\n"
+      << indent << "  \"p99\": " << Number(h.Quantile(0.99)) << ",\n"
+      << indent << "  \"underflow\": " << Number(h.underflow()) << ",\n"
+      << indent << "  \"overflow\": " << Number(h.overflow()) << ",\n"
+      << indent << "  \"range\": [" << Number(h.min()) << ", "
+      << Number(h.max()) << "],\n"
+      << indent << "  \"buckets_per_decade\": " << h.buckets_per_decade()
+      << ",\n";
+  // Sparse bucket dump: [index, count] for the occupied buckets only
+  // (edges are derivable from range and buckets_per_decade).
+  out << indent << "  \"buckets\": [";
+  bool first = true;
+  for (std::size_t i = 0; i < h.bucket_count(); ++i) {
+    if (h.bucket_value(i) == 0) continue;
+    out << (first ? "" : ", ") << "[" << i << ", "
+        << Number(h.bucket_value(i)) << "]";
+    first = false;
+  }
+  out << "]\n" << indent << "}";
+}
+
+template <typename T>
+void WriteSeriesColumn(std::ostream& out, const char* name,
+                       const std::vector<PeriodicSampler::Sample>& samples,
+                       T PeriodicSampler::Sample::* field, bool last = false) {
+  out << "    \"" << name << "\": [";
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    out << (i ? ", " : "") << Number(samples[i].*field);
+  }
+  out << "]" << (last ? "\n" : ",\n");
+}
+
+void WriteMetricsJson(std::ostream& out, const core::RunMetrics& m) {
+  const auto field = [&](const char* name, const std::string& value,
+                         bool last = false) {
+    out << "    \"" << name << "\": " << value << (last ? "\n" : ",\n");
+  };
+  out << "  \"metrics\": {\n";
+  field("observed_seconds", Number(m.observed_seconds));
+  field("txns_arrived", Number(m.txns_arrived));
+  field("txns_committed", Number(m.txns_committed));
+  field("txns_committed_fresh", Number(m.txns_committed_fresh));
+  field("txns_committed_stale", Number(m.txns_committed_stale));
+  field("txns_missed_deadline", Number(m.txns_missed_deadline));
+  field("txns_infeasible", Number(m.txns_infeasible));
+  field("txns_stale_aborted", Number(m.txns_stale_aborted));
+  field("txns_overload_dropped", Number(m.txns_overload_dropped));
+  field("txns_inflight_at_end", Number(m.txns_inflight_at_end));
+  field("value_committed", Number(m.value_committed));
+  field("updates_arrived", Number(m.updates_arrived));
+  field("updates_installed", Number(m.updates_installed));
+  field("updates_unworthy", Number(m.updates_unworthy));
+  field("updates_applied_on_demand", Number(m.updates_applied_on_demand));
+  field("updates_dropped_os_full", Number(m.updates_dropped_os_full));
+  field("updates_dropped_uq_overflow", Number(m.updates_dropped_uq_overflow));
+  field("updates_dropped_expired", Number(m.updates_dropped_expired));
+  field("updates_dropped_superseded", Number(m.updates_dropped_superseded));
+  field("triggers_fired", Number(m.triggers_fired));
+  field("io_stalls", Number(m.io_stalls));
+  field("cpu_txn_seconds", Number(m.cpu_txn_seconds));
+  field("cpu_update_seconds", Number(m.cpu_update_seconds));
+  field("f_old_low", Number(m.f_old_low));
+  field("f_old_high", Number(m.f_old_high));
+  field("response_mean", Number(m.response_mean));
+  field("response_p50", Number(m.response_p50));
+  field("response_p95", Number(m.response_p95));
+  field("response_p99", Number(m.response_p99));
+  field("uq_length_avg", Number(m.uq_length_avg));
+  field("uq_length_max", Number(m.uq_length_max));
+  field("os_length_avg", Number(m.os_length_avg));
+  field("p_md", Number(m.p_md()));
+  field("p_success", Number(m.p_success()));
+  field("p_suc_nontardy", Number(m.p_suc_nontardy()));
+  field("av", Number(m.av()));
+  field("rho_t", Number(m.rho_t()));
+  field("rho_u", Number(m.rho_u()), /*last=*/true);
+  out << "  }";
+}
+
+}  // namespace
+
+RunTelemetry::RunTelemetry(core::System* system, Options options)
+    : system_(system),
+      options_(options),
+      response_(MakeHistogram()),
+      slack_(MakeHistogram()),
+      age_(MakeHistogram()) {
+  STRIP_CHECK(system != nullptr);
+  sampler_ = std::make_unique<PeriodicSampler>(
+      system, PeriodicSampler::Options{options.sample_interval});
+  system_->AddObserver(sampler_.get());
+  system_->AddObserver(this);
+}
+
+RunTelemetry::~RunTelemetry() {
+  system_->RemoveObserver(this);
+  system_->RemoveObserver(sampler_.get());
+}
+
+LatencyHistogram RunTelemetry::MakeHistogram() const {
+  return LatencyHistogram(options_.histogram_min_seconds,
+                          options_.histogram_max_seconds,
+                          options_.buckets_per_decade);
+}
+
+void RunTelemetry::OnTransactionTerminal(sim::Time now,
+                                         const txn::Transaction& transaction) {
+  if (transaction.outcome() != txn::TxnOutcome::kCommitted) return;
+  response_.Add(now - transaction.arrival_time());
+  slack_.Add(transaction.deadline() - now);
+}
+
+void RunTelemetry::OnUpdateInstalled(sim::Time now, const db::Update& update,
+                                     bool on_demand) {
+  (void)on_demand;
+  age_.Add(now - update.generation_time);
+}
+
+void RunTelemetry::OnStaleRead(sim::Time now,
+                               const txn::Transaction& transaction,
+                               db::ObjectId object) {
+  (void)now;
+  (void)transaction;
+  (void)object;
+  ++stale_reads_seen_;
+}
+
+void RunTelemetry::OnPhase(sim::Time now, Phase phase) {
+  switch (phase) {
+    case Phase::kWarmupEnd:
+      // Restart the distributions so they cover the same observation
+      // window as RunMetrics.
+      warmup_end_ = now;
+      response_ = MakeHistogram();
+      slack_ = MakeHistogram();
+      age_ = MakeHistogram();
+      stale_reads_seen_ = 0;
+      break;
+    case Phase::kRunEnd:
+      run_end_ = now;
+      break;
+  }
+}
+
+void RunTelemetry::WriteJson(std::ostream& out,
+                             const core::RunMetrics& metrics) const {
+  const core::Config& config = system_->config();
+  out << "{\n";
+  out << "  \"schema\": \"" << kTelemetrySchema << "\",\n";
+
+  out << "  \"run\": {\n"
+      << "    \"policy\": \"" << core::PolicyKindName(config.policy)
+      << "\",\n"
+      << "    \"staleness\": \""
+      << db::StalenessCriterionName(config.staleness) << "\",\n"
+      << "    \"seed\": " << options_.seed << ",\n"
+      << "    \"sim_seconds\": " << Number(config.sim_seconds) << ",\n"
+      << "    \"warmup_seconds\": " << Number(config.warmup_seconds) << ",\n"
+      << "    \"lambda_t\": " << Number(config.lambda_t) << ",\n"
+      << "    \"lambda_u\": " << Number(config.lambda_u) << ",\n"
+      << "    \"alpha\": " << Number(config.alpha) << "\n"
+      << "  },\n";
+
+  out << "  \"phases\": {\n"
+      << "    \"warmup_end\": " << TimeOrNull(warmup_end_) << ",\n"
+      << "    \"run_end\": " << TimeOrNull(run_end_) << "\n"
+      << "  },\n";
+
+  const std::vector<PeriodicSampler::Sample>& samples = sampler_->samples();
+  out << "  \"series\": {\n"
+      << "    \"interval_seconds\": " << Number(options_.sample_interval)
+      << ",\n";
+  WriteSeriesColumn(out, "time", samples, &PeriodicSampler::Sample::time);
+  WriteSeriesColumn(out, "uq_depth", samples,
+                    &PeriodicSampler::Sample::uq_depth);
+  WriteSeriesColumn(out, "os_depth", samples,
+                    &PeriodicSampler::Sample::os_depth);
+  WriteSeriesColumn(out, "ready_queue", samples,
+                    &PeriodicSampler::Sample::ready_queue);
+  WriteSeriesColumn(out, "live_txns", samples,
+                    &PeriodicSampler::Sample::live_txns);
+  WriteSeriesColumn(out, "f_stale_low", samples,
+                    &PeriodicSampler::Sample::f_stale_low);
+  WriteSeriesColumn(out, "f_stale_high", samples,
+                    &PeriodicSampler::Sample::f_stale_high);
+  WriteSeriesColumn(out, "cpu_share_txn", samples,
+                    &PeriodicSampler::Sample::cpu_share_txn);
+  WriteSeriesColumn(out, "cpu_share_updater", samples,
+                    &PeriodicSampler::Sample::cpu_share_updater);
+  WriteSeriesColumn(out, "cpu_share_idle", samples,
+                    &PeriodicSampler::Sample::cpu_share_idle, /*last=*/true);
+  out << "  },\n";
+
+  out << "  \"histograms\": {\n";
+  out << "    \"response_seconds\": ";
+  WriteHistogramJson(out, "    ", response_);
+  out << ",\n    \"slack_at_commit_seconds\": ";
+  WriteHistogramJson(out, "    ", slack_);
+  out << ",\n    \"update_age_at_install_seconds\": ";
+  WriteHistogramJson(out, "    ", age_);
+  out << "\n  },\n";
+
+  out << "  \"stale_reads_seen\": " << stale_reads_seen_ << ",\n";
+  WriteMetricsJson(out, metrics);
+  out << "\n}\n";
+}
+
+}  // namespace strip::obs

@@ -1,0 +1,103 @@
+// Machine-readable run telemetry: one JSON document per run.
+//
+// RunTelemetry bundles the observability layer into a single RAII
+// attachment: a PeriodicSampler for the mid-run time series, three
+// log-bucketed latency histograms (transaction response time, slack
+// remaining at commit, update age at install), and a schema-versioned
+// JSON exporter that emits the series, the histograms, and the run's
+// RunMetrics in one document. Attach before Run(), write after:
+//
+//   obs::RunTelemetry telemetry(&system, {.seed = seed});
+//   core::RunMetrics metrics = system.Run();
+//   std::ofstream out(path);
+//   telemetry.WriteJson(out, metrics);
+//
+// The document is deterministic: same config + seed => bit-identical
+// bytes (fixed key order, %.17g number formatting, no timestamps).
+// Schema: see "strip.telemetry/v1" in EXPERIMENTS.md § Observability.
+
+#ifndef STRIP_OBS_TELEMETRY_H_
+#define STRIP_OBS_TELEMETRY_H_
+
+#include <cstdint>
+#include <memory>
+#include <ostream>
+
+#include "core/system.h"
+#include "obs/latency_histogram.h"
+#include "obs/sampler.h"
+
+namespace strip::obs {
+
+// Identifies the telemetry document layout; bump on breaking changes.
+inline constexpr const char* kTelemetrySchema = "strip.telemetry/v1";
+
+class RunTelemetry : public core::SystemObserver {
+ public:
+  struct Options {
+    // Simulated seconds between time-series probes.
+    sim::Duration sample_interval = 1.0;
+    // Histogram range [min, max) in seconds; samples outside land in
+    // the underflow/overflow buckets.
+    double histogram_min_seconds = 1e-4;
+    double histogram_max_seconds = 100.0;
+    int buckets_per_decade = 36;
+    // Echoed into the document so a run is reproducible from its
+    // telemetry alone (the System does not retain its seed).
+    std::uint64_t seed = 0;
+  };
+
+  // Attaches the recorder and its sampler to the System's observer
+  // bus; detaches in the destructor. `system` must outlive this.
+  explicit RunTelemetry(core::System* system)
+      : RunTelemetry(system, Options()) {}
+  RunTelemetry(core::System* system, Options options);
+  ~RunTelemetry() override;
+
+  RunTelemetry(const RunTelemetry&) = delete;
+  RunTelemetry& operator=(const RunTelemetry&) = delete;
+
+  // Emits the telemetry document. Call after System::Run(), passing
+  // the metrics it returned.
+  void WriteJson(std::ostream& out, const core::RunMetrics& metrics) const;
+
+  // --- raw access (tests, custom reporting) --------------------------------
+
+  const PeriodicSampler& sampler() const { return *sampler_; }
+  // Committed transactions: completion − arrival.
+  const LatencyHistogram& response_seconds() const { return response_; }
+  // Committed transactions: deadline − completion.
+  const LatencyHistogram& slack_at_commit_seconds() const { return slack_; }
+  // Installed updates: install time − generation time.
+  const LatencyHistogram& update_age_at_install_seconds() const {
+    return age_;
+  }
+
+  // SystemObserver hooks feeding the histograms.
+  void OnTransactionTerminal(sim::Time now,
+                             const txn::Transaction& transaction) override;
+  void OnUpdateInstalled(sim::Time now, const db::Update& update,
+                         bool on_demand) override;
+  void OnStaleRead(sim::Time now, const txn::Transaction& transaction,
+                   db::ObjectId object) override;
+  void OnPhase(sim::Time now, Phase phase) override;
+
+ private:
+  LatencyHistogram MakeHistogram() const;
+
+  core::System* system_;
+  Options options_;
+  std::unique_ptr<PeriodicSampler> sampler_;
+  LatencyHistogram response_;
+  LatencyHistogram slack_;
+  LatencyHistogram age_;
+  // Stale reads seen (the histograms' companion counter; the bus hook
+  // exists so alerting observers need no polling).
+  std::uint64_t stale_reads_seen_ = 0;
+  sim::Time warmup_end_ = -1;
+  sim::Time run_end_ = -1;
+};
+
+}  // namespace strip::obs
+
+#endif  // STRIP_OBS_TELEMETRY_H_

@@ -111,7 +111,7 @@ TEST(TraceWriterTest, SystemIntegrationCountsMatchMetrics) {
 
   sim::Simulator simulator;
   System system(&simulator, config, 3);
-  system.set_observer(&writer);
+  system.AddObserver(&writer);
   const RunMetrics m = system.Run();
 
   // One txn record per terminal transaction.

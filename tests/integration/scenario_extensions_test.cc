@@ -294,7 +294,7 @@ TEST(ScenarioExtensionsTest, SplitUpdatesPreemptsOnlyForHighImportance) {
   sim::Simulator sim;
   System system(&sim, ScenarioConfig(PolicyKind::kSplitUpdates), 1);
   MiniRecorder recorder;
-  system.set_observer(&recorder);
+  system.AddObserver(&recorder);
 
   sim.ScheduleAt(1.0, [&] {
     system.InjectTransaction(SimpleTxn(1, 1.0, 6'000'000, 3.0));
@@ -334,7 +334,7 @@ TEST(ScenarioExtensionsTest, AdmissionDropIsObservable) {
   sim::Simulator sim;
   System system(&sim, config, 1);
   MiniRecorder recorder;
-  system.set_observer(&recorder);
+  system.AddObserver(&recorder);
   // txn1 runs; txn2 waits (ready size 1); txn3 is rejected.
   sim.ScheduleAt(1.0, [&] {
     system.InjectTransaction(SimpleTxn(1, 1.0, 10'000'000, 9.0));
@@ -366,7 +366,7 @@ TEST(ScenarioExtensionsTest, DedupDropsSupersededAtReceive) {
   sim::Simulator sim;
   System system(&sim, config, 1);
   MiniRecorder recorder;
-  system.set_observer(&recorder);
+  system.AddObserver(&recorder);
   const db::ObjectId object{db::ObjectClass::kLowImportance, 5};
 
   // Three updates for one object arrive while a transaction runs; the
@@ -418,7 +418,7 @@ TEST(ScenarioExtensionsTest, QueuedUpdateExpiresUnderMa) {
   sim::Simulator sim;
   System system(&sim, ScenarioConfig(PolicyKind::kTransactionFirst), 1);
   MiniRecorder recorder;
-  system.set_observer(&recorder);
+  system.AddObserver(&recorder);
   // The update (generation 0.9) is received while a long transaction
   // holds the CPU until after 0.9 + alpha = 7.9: by the time the
   // updater could install it, it has expired.

@@ -92,7 +92,7 @@ TEST(ScenarioTest, SingleTransactionExactTimeline) {
   sim::Simulator sim;
   System system(&sim, ScenarioConfig(PolicyKind::kTransactionFirst), 1);
   Recorder recorder;
-  system.set_observer(&recorder);
+  system.AddObserver(&recorder);
 
   // Arrives at t=1: one 80us read, then 0.12 s of computation.
   sim.ScheduleAt(1.0, [&] {
@@ -136,7 +136,7 @@ TEST(ScenarioTest, StaleAbortStopsAtTheRead) {
   sim::Simulator sim;
   System system(&sim, config, 1);
   Recorder recorder;
-  system.set_observer(&recorder);
+  system.AddObserver(&recorder);
   sim.ScheduleAt(8.0, [&] {
     system.InjectTransaction(SimpleTxn(
         1, 8.0, 6'000'000, 9.5, {{db::ObjectClass::kLowImportance, 5}}));
@@ -154,7 +154,7 @@ TEST(ScenarioTest, OnDemandRescuesAStaleRead) {
   sim::Simulator sim;
   System system(&sim, ScenarioConfig(PolicyKind::kOnDemand), 1);
   Recorder recorder;
-  system.set_observer(&recorder);
+  system.AddObserver(&recorder);
 
   // txn1 occupies the CPU from 7.5 to 8.1 so the update arriving at
   // 7.6 stays buffered (OD never installs while transactions wait).
@@ -190,7 +190,7 @@ TEST(ScenarioTest, UpdateFirstPreemptsExactly) {
   sim::Simulator sim;
   System system(&sim, ScenarioConfig(PolicyKind::kUpdateFirst), 1);
   Recorder recorder;
-  system.set_observer(&recorder);
+  system.AddObserver(&recorder);
 
   sim.ScheduleAt(1.0, [&] {
     system.InjectTransaction(SimpleTxn(1, 1.0, 6'000'000, 3.0));
@@ -217,7 +217,7 @@ TEST(ScenarioTest, ContextSwitchChargesOnPreemption) {
   sim::Simulator sim;
   System system(&sim, config, 1);
   Recorder recorder;
-  system.set_observer(&recorder);
+  system.AddObserver(&recorder);
 
   sim.ScheduleAt(1.0, [&] {
     system.InjectTransaction(SimpleTxn(1, 1.0, 6'000'000, 3.0));
@@ -244,7 +244,7 @@ TEST(ScenarioTest, FirmDeadlineCutsTheTransactionDown) {
   config.feasible_deadline = false;  // let it run into the wall
   System system(&sim, config, 1);
   Recorder recorder;
-  system.set_observer(&recorder);
+  system.AddObserver(&recorder);
   // Needs 0.12 s but the deadline is 0.05 s away.
   sim.ScheduleAt(1.0, [&] {
     system.InjectTransaction(SimpleTxn(1, 1.0, 6'000'000, 1.05));
@@ -261,7 +261,7 @@ TEST(ScenarioTest, FeasibleScreenAbortsBeforeWasteUnderBacklog) {
   Config config = ScenarioConfig(PolicyKind::kTransactionFirst);
   System system(&sim, config, 1);
   Recorder recorder;
-  system.set_observer(&recorder);
+  system.AddObserver(&recorder);
   // txn1 runs 1.0 -> 1.6; txn2 arrives at 1.1 with a deadline it can
   // only meet if started by 1.18 — hopeless once txn1 holds the CPU.
   sim.ScheduleAt(1.0, [&] {
@@ -285,7 +285,7 @@ TEST(ScenarioTest, FeasibleScreenFiresAtSchedulingPoint) {
   Config config = ScenarioConfig(PolicyKind::kTransactionFirst);
   System system(&sim, config, 1);
   Recorder recorder;
-  system.set_observer(&recorder);
+  system.AddObserver(&recorder);
   // txn1 runs 1.0 -> 1.2; txn2 (deadline 1.25, needs 0.12) waits and
   // is screened as infeasible at the 1.2 scheduling point, before its
   // own deadline event at 1.25.
@@ -313,7 +313,7 @@ TEST(ScenarioTest, FifoInstallsOldestGenerationFirst) {
     config.queue_discipline = discipline;
     System system(&sim, config, 1);
     Recorder recorder;
-    system.set_observer(&recorder);
+    system.AddObserver(&recorder);
     // A transaction holds the CPU while two updates arrive; when it
     // finishes, the updater drains them in discipline order.
     sim.ScheduleAt(1.0, [&] {
@@ -341,7 +341,7 @@ TEST(ScenarioTest, UnworthyUpdateIsSkippedAndCheap) {
   sim::Simulator sim;
   System system(&sim, ScenarioConfig(PolicyKind::kUpdateFirst), 1);
   Recorder recorder;
-  system.set_observer(&recorder);
+  system.AddObserver(&recorder);
   const db::ObjectId object{db::ObjectClass::kHighImportance, 7};
   sim.ScheduleAt(1.0,
                  [&] { system.InjectUpdate(SimpleUpdate(1, 1.0, 0.9, object)); });

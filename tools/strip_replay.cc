@@ -121,7 +121,7 @@ int main(int argc, char** argv) {
     options.transactions = true;
     options.updates = true;
     writer = std::make_unique<strip::core::TraceWriter>(&trace_out, options);
-    system.set_observer(writer.get());
+    system.AddObserver(writer.get());
   }
 
   strip::workload::TraceReplay replay(

@@ -4,6 +4,7 @@
 // full list); runner flags:
 //   --seed=N    base random seed            (default 1)
 //   --reps=N    replications                (default 1)
+//   --telemetry=PATH   write run telemetry JSON (first replication)
 //   --print-config   echo the resolved configuration and exit
 //   --quiet     print only the summary line
 //
@@ -20,6 +21,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -27,13 +29,16 @@
 #include "core/metrics.h"
 #include "exp/config_flags.h"
 #include "exp/experiment.h"
+#include "obs/telemetry.h"
 #include "sim/stats.h"
 
 namespace {
 
 [[noreturn]] void PrintHelpAndExit() {
   std::printf("usage: strip_sim [--name=value ...]\n\n");
-  std::printf("runner flags: --seed=N --reps=N --print-config --quiet\n\n");
+  std::printf(
+      "runner flags: --seed=N --reps=N --telemetry=PATH --print-config "
+      "--quiet\n\n");
   std::printf("model parameters (defaults are the paper's baseline):\n");
   for (const std::string& name : strip::exp::ConfigFlagNames()) {
     std::printf("  --%s=\n", name.c_str());
@@ -129,11 +134,14 @@ int main(int argc, char** argv) {
   int reps = 1;
   bool print_config = false;
   bool quiet = false;
+  std::string telemetry_path;
   for (const std::string& arg : rest) {
     if (arg.rfind("--seed=", 0) == 0) {
       seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
     } else if (arg.rfind("--reps=", 0) == 0) {
       reps = std::atoi(arg.c_str() + 7);
+    } else if (arg.rfind("--telemetry=", 0) == 0) {
+      telemetry_path = arg.substr(12);
     } else if (arg == "--print-config") {
       print_config = true;
     } else if (arg == "--quiet") {
@@ -163,8 +171,33 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // With --telemetry, the first replication carries a RunTelemetry
+  // recorder and writes the document once its run completes.
+  strip::exp::RunHook hook;
+  if (!telemetry_path.empty()) {
+    hook = [&telemetry_path](strip::core::System& system,
+                             const strip::exp::RunContext& context)
+        -> strip::exp::RunFinisher {
+      if (context.replication != 0) return nullptr;
+      strip::obs::RunTelemetry::Options options;
+      options.seed = context.seed;
+      auto telemetry = std::make_shared<strip::obs::RunTelemetry>(
+          &system, options);
+      return [telemetry, &telemetry_path](
+                 const strip::core::RunMetrics& metrics) {
+        std::ofstream out(telemetry_path);
+        if (!out) {
+          std::fprintf(stderr, "strip_sim: cannot write telemetry to %s\n",
+                       telemetry_path.c_str());
+          std::exit(2);
+        }
+        telemetry->WriteJson(out, metrics);
+      };
+    };
+  }
+
   const std::vector<strip::core::RunMetrics> runs =
-      strip::exp::Replicate(config, reps, seed);
+      strip::exp::Replicate(config, reps, seed, hook);
   if (!quiet) {
     std::printf("policy=%s staleness=%s lambda_t=%g lambda_u=%g "
                 "seconds=%g reps=%d\n\n",

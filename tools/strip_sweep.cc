@@ -3,7 +3,11 @@
 //   strip_sweep --x=lambda_t --values=5,10,15,20,25
 //               --policies=UF,TF,SU,OD --metrics=av,p_success
 //               [--name=value ...] [--reps=N] [--seed=N] [--csv]
-//               [--json=PATH]
+//               [--json=PATH] [--telemetry-dir=DIR]
+//
+// --telemetry-dir=DIR writes one telemetry JSON document per sweep
+// cell (first replication only) into DIR, named
+// <policy>_<x-index>.json; DIR must already exist.
 //
 // Any Config parameter (see strip_sim --help) can be fixed with
 // --name=value and any numeric one swept with --x/--values. This is
@@ -15,6 +19,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -22,6 +27,7 @@
 #include "exp/config_flags.h"
 #include "exp/experiment.h"
 #include "exp/report.h"
+#include "obs/telemetry.h"
 
 namespace {
 
@@ -33,19 +39,19 @@ struct MetricDef {
   strip::exp::MetricFn fn;
 };
 
+using strip::exp::Metric;
+
 const MetricDef kMetrics[] = {
-    {"av", [](const RunMetrics& m) { return m.av(); }},
-    {"p_md", [](const RunMetrics& m) { return m.p_md(); }},
-    {"p_success", [](const RunMetrics& m) { return m.p_success(); }},
-    {"p_suc_nontardy",
-     [](const RunMetrics& m) { return m.p_suc_nontardy(); }},
-    {"f_old_l", [](const RunMetrics& m) { return m.f_old_low; }},
-    {"f_old_h", [](const RunMetrics& m) { return m.f_old_high; }},
-    {"rho_t", [](const RunMetrics& m) { return m.rho_t(); }},
-    {"rho_u", [](const RunMetrics& m) { return m.rho_u(); }},
-    {"response_p95",
-     [](const RunMetrics& m) { return m.response_p95; }},
-    {"uq_avg", [](const RunMetrics& m) { return m.uq_length_avg; }},
+    {"av", Metric(&RunMetrics::av)},
+    {"p_md", Metric(&RunMetrics::p_md)},
+    {"p_success", Metric(&RunMetrics::p_success)},
+    {"p_suc_nontardy", Metric(&RunMetrics::p_suc_nontardy)},
+    {"f_old_l", Metric(&RunMetrics::f_old_low)},
+    {"f_old_h", Metric(&RunMetrics::f_old_high)},
+    {"rho_t", Metric(&RunMetrics::rho_t)},
+    {"rho_u", Metric(&RunMetrics::rho_u)},
+    {"response_p95", Metric(&RunMetrics::response_p95)},
+    {"uq_avg", Metric(&RunMetrics::uq_length_avg)},
 };
 
 std::vector<std::string> SplitCommas(const std::string& list) {
@@ -99,6 +105,7 @@ int main(int argc, char** argv) {
   int threads = 0;
   bool csv = false;
   std::string json_path;
+  std::string telemetry_dir;
 
   for (const std::string& arg : rest) {
     if (arg.rfind("--x=", 0) == 0) {
@@ -124,6 +131,8 @@ int main(int argc, char** argv) {
       csv = true;
     } else if (arg.rfind("--json=", 0) == 0) {
       json_path = arg.substr(7);
+    } else if (arg.rfind("--telemetry-dir=", 0) == 0) {
+      telemetry_dir = arg.substr(16);
     } else {
       Fail("unknown flag: " + arg + " (config flags need --name=value)");
     }
@@ -155,6 +164,35 @@ int main(int argc, char** argv) {
     strip::core::Config probe = base;
     spec.apply_x(probe, x_values.front());
     if (const auto invalid = probe.Validate()) Fail(*invalid);
+  }
+
+  // Per-cell telemetry: the first replication of every (policy, x) cell
+  // records a telemetry document into the requested directory. The hook
+  // runs on worker threads; each cell writes its own file, so no
+  // cross-thread state is shared.
+  if (!telemetry_dir.empty()) {
+    const std::vector<PolicyKind> hook_policies = policies;
+    spec.on_run = [telemetry_dir, hook_policies](
+                      strip::core::System& system,
+                      const strip::exp::RunContext& context)
+        -> strip::exp::RunFinisher {
+      if (context.replication != 0) return nullptr;
+      strip::obs::RunTelemetry::Options options;
+      options.seed = context.seed;
+      auto telemetry = std::make_shared<strip::obs::RunTelemetry>(
+          &system, options);
+      char name[64];
+      std::snprintf(name, sizeof(name), "%s_%02zu.json",
+                    strip::core::PolicyKindName(
+                        hook_policies[context.policy_index]),
+                    context.x_index);
+      const std::string path = telemetry_dir + "/" + name;
+      return [telemetry, path](const strip::core::RunMetrics& metrics) {
+        std::ofstream out(path);
+        if (!out) Fail("cannot write telemetry to " + path);
+        telemetry->WriteJson(out, metrics);
+      };
+    };
   }
 
   const strip::exp::SweepResult result = strip::exp::RunSweep(spec);
