@@ -226,6 +226,38 @@ BENCHMARK(BM_SimEndToEnd60s)
     ->Arg(static_cast<int>(core::PolicyKind::kOnDemand))
     ->Unit(benchmark::kMillisecond);
 
+// Observer overhead: the same 60-simulated-second baseline run with a
+// no-op observer attached. Arg 0 runs bare (the bus's emptiness test
+// only), arg 1 attaches an observer that receives every lifecycle
+// hook and does nothing. The gap between the two is the cost of the
+// tracing layer's hook plumbing; the bare variant should match
+// BM_SimEndToEnd60s within noise.
+class NoopObserver final : public core::SystemObserver {};
+
+void BM_SimObserverOverhead60s(benchmark::State& state) {
+  const bool attach = state.range(0) != 0;
+  std::uint64_t events = 0;
+  NoopObserver observer;
+  for (auto _ : state) {
+    core::Config config;
+    config.sim_seconds = 60.0;
+    sim::Simulator simulator;
+    core::System system(&simulator, config, 1);
+    if (attach) system.AddObserver(&observer);
+    benchmark::DoNotOptimize(system.Run());
+    events += simulator.events_dispatched();
+  }
+  state.counters["sim_s_per_wall_s"] = benchmark::Counter(
+      60.0 * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+  state.counters["events_per_s"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimObserverOverhead60s)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
 BENCHMARK_MAIN();

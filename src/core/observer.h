@@ -8,10 +8,30 @@
 // (core/trace_writer.h), the observability layer (src/obs), and
 // available to applications for custom monitoring (e.g., alerting on
 // stale reads in the control-room example).
+//
+// Two tiers of hooks:
+//
+//  - *Outcome* hooks (OnTransactionTerminal, OnUpdateInstalled,
+//    OnUpdateDropped, OnStaleRead, OnPhase) fire at the model's
+//    discrete results — enough for metrics, telemetry, and alerting.
+//  - *Lifecycle* hooks (OnTxnAdmitted, OnUpdateArrival,
+//    OnUpdateEnqueued, OnDispatch, OnSegmentComplete, OnPreempt,
+//    OnPolicyDecision) fire at every scheduler decision point, so a
+//    causal tracer (src/obs/trace) can reconstruct the full history
+//    of each transaction and update: arrive → dispatch → segments →
+//    preemptions → stale reads → commit/abort, and arrive → enqueue →
+//    dedup/drop → install.
+//
+// Every OnDispatch is closed by exactly one OnSegmentComplete (the
+// segment ran to its scheduled end) or OnPreempt (it was cut short),
+// so dispatch/complete pairs nest into clean spans. With no observers
+// attached none of the hooks cost anything (a single emptiness test
+// in the bus).
 
 #ifndef STRIP_CORE_OBSERVER_H_
 #define STRIP_CORE_OBSERVER_H_
 
+#include "core/config.h"
 #include "db/update.h"
 #include "sim/sim_time.h"
 #include "txn/transaction.h"
@@ -38,6 +58,52 @@ class SystemObserver {
                         // (dedup_update_queue extension)
   };
 
+  // What the scheduler placed on the simulated CPU.
+  enum class DispatchKind {
+    kTxnCompute = 0,     // a transaction's computation step
+    kTxnViewRead,        // a transaction's view-object read
+    kTxnOdScan,          // On Demand: update-queue search (txn slice)
+    kTxnOdApply,         // On Demand: install found update (txn slice)
+    kUpdaterTransfer,    // receive: OS queue head -> update queue
+    kUpdaterInstallOs,   // install straight from the OS queue (UF, SU)
+    kUpdaterInstallUq,   // install from the update queue
+  };
+
+  // Why a running transaction lost the CPU before its segment ended.
+  enum class PreemptReason {
+    kUpdateArrival = 0,  // UF/SU receive-on-arrival took the CPU
+    kHigherPriorityTxn,  // txn_preemption and a better arrival
+    kDeadline,           // the firm deadline cut the segment down
+  };
+
+  // The scheduler's choice at a decision point.
+  enum class SchedulerChoice {
+    kReceive = 0,       // drain the OS buffer (transfer or install)
+    kInstall,           // install from the update queue
+    kRunTransaction,    // run the best ready transaction
+    kIdle,              // no work: wait for the next arrival
+    kInstallOnArrival,  // policy decision 1: preempting receive at
+                        // update arrival (UF all, SU high-importance)
+  };
+
+  // One unit of dispatched CPU work, as seen at OnDispatch and at the
+  // matching OnSegmentComplete. Exactly one of `transaction` / `update`
+  // is non-null; both pointers are valid only for the duration of the
+  // callback.
+  struct DispatchInfo {
+    DispatchKind kind = DispatchKind::kTxnCompute;
+    // The transaction owning the segment (kTxn* kinds), else nullptr.
+    const txn::Transaction* transaction = nullptr;
+    // The update being moved or installed (kUpdater* kinds), else
+    // nullptr.
+    const db::Update* update = nullptr;
+    // Instructions scheduled on the CPU, including embedded context-
+    // switch / purge-debt charges.
+    double instructions = 0;
+  };
+
+  // --- outcome hooks -------------------------------------------------------
+
   // A transaction reached a terminal state (outcome() is set; the
   // object is destroyed after this call returns).
   virtual void OnTransactionTerminal(sim::Time now,
@@ -46,13 +112,15 @@ class SystemObserver {
     (void)transaction;
   }
 
-  // An update was written to the database. `on_demand` marks OD
-  // installs triggered by a transaction's stale read.
+  // An update was written to the database. `on_demand_by` is the
+  // transaction whose stale read demanded the install (OD policy), or
+  // nullptr for an ordinary update-process install; the pointer is
+  // valid only for the duration of the callback.
   virtual void OnUpdateInstalled(sim::Time now, const db::Update& update,
-                                 bool on_demand) {
+                                 const txn::Transaction* on_demand_by) {
     (void)now;
     (void)update;
-    (void)on_demand;
+    (void)on_demand_by;
   }
 
   // An update left the system without being installed.
@@ -63,10 +131,15 @@ class SystemObserver {
     (void)reason;
   }
 
-  // A view read returned stale data (under any criterion; fires whether
-  // or not the system itself could detect the staleness). The
-  // transaction is still live — under abort-on-stale the abort happens
-  // *after* this call.
+  // A view read encountered stale data (under any criterion; fires
+  // whether or not the system itself could detect the staleness).
+  // Under OD the on-demand machinery may install a fresh value before
+  // the transaction proceeds — the hook still fires at detection, and
+  // the causally linked OnUpdateInstalled(on_demand_by=&transaction)
+  // follows if the install succeeds. The transaction's own stale-read
+  // counter (and the run metrics) only count reads that *stayed*
+  // stale. The transaction is still live — under abort-on-stale the
+  // abort happens *after* this call.
   virtual void OnStaleRead(sim::Time now, const txn::Transaction& transaction,
                            db::ObjectId object) {
     (void)now;
@@ -81,6 +154,64 @@ class SystemObserver {
     (void)now;
     (void)phase;
   }
+
+  // --- lifecycle hooks (scheduler decision points) -------------------------
+
+  // A transaction was admitted into the system (overload-dropped
+  // arrivals fire OnTransactionTerminal with kOverloadDrop instead).
+  virtual void OnTxnAdmitted(sim::Time now,
+                             const txn::Transaction& transaction) {
+    (void)now;
+    (void)transaction;
+  }
+
+  // An update arrived from the stream (before the OS-queue bound is
+  // checked; a full buffer fires OnUpdateDropped(kOsQueueFull) next).
+  virtual void OnUpdateArrival(sim::Time now, const db::Update& update) {
+    (void)now;
+    (void)update;
+  }
+
+  // An update was received into the controller's update queue.
+  virtual void OnUpdateEnqueued(sim::Time now, const db::Update& update) {
+    (void)now;
+    (void)update;
+  }
+
+  // The scheduler placed `dispatch` on the CPU. Closed by exactly one
+  // OnSegmentComplete or OnPreempt.
+  virtual void OnDispatch(sim::Time now, const DispatchInfo& dispatch) {
+    (void)now;
+    (void)dispatch;
+  }
+
+  // The dispatched segment ran to its scheduled end. Fires before the
+  // segment's outcome is handled (so e.g. a stale-abort's
+  // OnTransactionTerminal follows it).
+  virtual void OnSegmentComplete(sim::Time now,
+                                 const DispatchInfo& dispatch) {
+    (void)now;
+    (void)dispatch;
+  }
+
+  // The running transaction's segment was cut short.
+  virtual void OnPreempt(sim::Time now, const txn::Transaction& transaction,
+                         PreemptReason reason) {
+    (void)now;
+    (void)transaction;
+    (void)reason;
+  }
+
+  // The scheduler consulted the policy and chose. `reason` is a short
+  // stable token naming why (policy-specific; see Policy::
+  // ArrivalReason / PriorityReason) with static storage duration.
+  virtual void OnPolicyDecision(sim::Time now, PolicyKind policy,
+                                SchedulerChoice choice, const char* reason) {
+    (void)now;
+    (void)policy;
+    (void)choice;
+    (void)reason;
+  }
 };
 
 // Printable name for a drop reason.
@@ -88,6 +219,18 @@ const char* DropReasonName(SystemObserver::DropReason reason);
 
 // Printable name for a phase ("warmup_end" / "run_end").
 const char* PhaseName(SystemObserver::Phase phase);
+
+// Printable name for a dispatch kind ("compute", "view-read",
+// "od-scan", "od-apply", "transfer", "install-os", "install-uq").
+const char* DispatchKindName(SystemObserver::DispatchKind kind);
+
+// Printable name for a preempt reason ("update-arrival",
+// "higher-priority-txn", "deadline").
+const char* PreemptReasonName(SystemObserver::PreemptReason reason);
+
+// Printable name for a scheduler choice ("receive", "install",
+// "run-txn", "idle", "install-on-arrival").
+const char* SchedulerChoiceName(SystemObserver::SchedulerChoice choice);
 
 }  // namespace strip::core
 

@@ -45,7 +45,16 @@ void ObserverBus::Dispatch(Fn&& fn) {
   const std::size_t end = observers_.size();
   for (std::size_t i = 0; i < end; ++i) {
     SystemObserver* observer = observers_[i];
-    if (observer != nullptr) fn(observer);
+    if (observer == nullptr) continue;
+    fn(observer);
+    // An observer removed from inside a callback must have been
+    // nulled in place, never erased: erasure would shift the slots a
+    // concurrent walk indexes, invoking a removed observer later in
+    // the same notify round.
+    STRIP_CHECK_MSG(i < observers_.size() &&
+                        (observers_[i] == observer ||
+                         observers_[i] == nullptr),
+                    "observer slot moved mid-dispatch");
   }
   --dispatch_depth_;
   if (dispatch_depth_ == 0 && needs_compaction_) Compact();
@@ -60,10 +69,10 @@ void ObserverBus::NotifyTransactionTerminal(
 }
 
 void ObserverBus::NotifyUpdateInstalled(sim::Time now, const db::Update& update,
-                                        bool on_demand) {
+                                        const txn::Transaction* on_demand_by) {
   if (empty()) return;
   Dispatch([&](SystemObserver* observer) {
-    observer->OnUpdateInstalled(now, update, on_demand);
+    observer->OnUpdateInstalled(now, update, on_demand_by);
   });
 }
 
@@ -88,6 +97,64 @@ void ObserverBus::NotifyPhase(sim::Time now, SystemObserver::Phase phase) {
   if (empty()) return;
   Dispatch(
       [&](SystemObserver* observer) { observer->OnPhase(now, phase); });
+}
+
+void ObserverBus::NotifyTxnAdmitted(sim::Time now,
+                                    const txn::Transaction& transaction) {
+  if (empty()) return;
+  Dispatch([&](SystemObserver* observer) {
+    observer->OnTxnAdmitted(now, transaction);
+  });
+}
+
+void ObserverBus::NotifyUpdateArrival(sim::Time now,
+                                      const db::Update& update) {
+  if (empty()) return;
+  Dispatch([&](SystemObserver* observer) {
+    observer->OnUpdateArrival(now, update);
+  });
+}
+
+void ObserverBus::NotifyUpdateEnqueued(sim::Time now,
+                                       const db::Update& update) {
+  if (empty()) return;
+  Dispatch([&](SystemObserver* observer) {
+    observer->OnUpdateEnqueued(now, update);
+  });
+}
+
+void ObserverBus::NotifyDispatch(
+    sim::Time now, const SystemObserver::DispatchInfo& dispatch) {
+  if (empty()) return;
+  Dispatch([&](SystemObserver* observer) {
+    observer->OnDispatch(now, dispatch);
+  });
+}
+
+void ObserverBus::NotifySegmentComplete(
+    sim::Time now, const SystemObserver::DispatchInfo& dispatch) {
+  if (empty()) return;
+  Dispatch([&](SystemObserver* observer) {
+    observer->OnSegmentComplete(now, dispatch);
+  });
+}
+
+void ObserverBus::NotifyPreempt(sim::Time now,
+                                const txn::Transaction& transaction,
+                                SystemObserver::PreemptReason reason) {
+  if (empty()) return;
+  Dispatch([&](SystemObserver* observer) {
+    observer->OnPreempt(now, transaction, reason);
+  });
+}
+
+void ObserverBus::NotifyPolicyDecision(sim::Time now, PolicyKind policy,
+                                       SystemObserver::SchedulerChoice choice,
+                                       const char* reason) {
+  if (empty()) return;
+  Dispatch([&](SystemObserver* observer) {
+    observer->OnPolicyDecision(now, policy, choice, reason);
+  });
 }
 
 }  // namespace strip::core

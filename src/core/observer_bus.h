@@ -51,12 +51,24 @@ class ObserverBus {
   void NotifyTransactionTerminal(sim::Time now,
                                  const txn::Transaction& transaction);
   void NotifyUpdateInstalled(sim::Time now, const db::Update& update,
-                             bool on_demand);
+                             const txn::Transaction* on_demand_by);
   void NotifyUpdateDropped(sim::Time now, const db::Update& update,
                            SystemObserver::DropReason reason);
   void NotifyStaleRead(sim::Time now, const txn::Transaction& transaction,
                        db::ObjectId object);
   void NotifyPhase(sim::Time now, SystemObserver::Phase phase);
+  void NotifyTxnAdmitted(sim::Time now, const txn::Transaction& transaction);
+  void NotifyUpdateArrival(sim::Time now, const db::Update& update);
+  void NotifyUpdateEnqueued(sim::Time now, const db::Update& update);
+  void NotifyDispatch(sim::Time now,
+                      const SystemObserver::DispatchInfo& dispatch);
+  void NotifySegmentComplete(sim::Time now,
+                             const SystemObserver::DispatchInfo& dispatch);
+  void NotifyPreempt(sim::Time now, const txn::Transaction& transaction,
+                     SystemObserver::PreemptReason reason);
+  void NotifyPolicyDecision(sim::Time now, PolicyKind policy,
+                            SystemObserver::SchedulerChoice choice,
+                            const char* reason);
 
  private:
   // Runs `fn(observer)` over the registration order, tolerating

@@ -67,6 +67,16 @@ class Policy {
   // Whether the controller maintains an update queue at all. UF
   // installs straight from the OS queue and needs none (Section 4.1).
   virtual bool UsesUpdateQueue() const = 0;
+
+  // --- decision rationale (observability; see SystemObserver) --------------
+  // Short stable tokens (static storage duration) naming *why* the
+  // policy decided as it did, fed to the OnPolicyDecision trace hook.
+
+  // Why Decision 1 went the way it did for `update`.
+  virtual const char* ArrivalReason(const db::Update& update) const = 0;
+
+  // Why Decision 2 went the way it did under `context`.
+  virtual const char* PriorityReason(const UpdaterContext& context) const = 0;
 };
 
 // Creates the policy implementation for `config.policy`.

@@ -35,6 +35,17 @@ class FixedFractionPolicy final : public Policy {
 
   bool UsesUpdateQueue() const override { return true; }
 
+  // FCF's updater priority is a deficit test against its CPU share.
+  const char* ArrivalReason(const db::Update&) const override {
+    return "fcf-queue-on-arrival";
+  }
+
+  const char* PriorityReason(const UpdaterContext& context) const override {
+    if (context.os_pending + context.uq_pending == 0) return "fcf-no-work";
+    return UpdaterHasPriority(context) ? "fcf-below-share"
+                                       : "fcf-share-spent";
+  }
+
   double fraction() const { return fraction_; }
 
  private:

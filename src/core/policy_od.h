@@ -27,6 +27,16 @@ class OnDemandPolicy final : public Policy {
   bool AppliesOnDemand() const override { return true; }
 
   bool UsesUpdateQueue() const override { return true; }
+
+  // OD behaves like TF at the scheduler; its distinguishing installs
+  // happen inside transaction slices (kTxnOdScan/kTxnOdApply spans).
+  const char* ArrivalReason(const db::Update&) const override {
+    return "od-queue-on-arrival";
+  }
+
+  const char* PriorityReason(const UpdaterContext&) const override {
+    return "od-txns-first";
+  }
 };
 
 }  // namespace strip::core

@@ -32,6 +32,18 @@ class SplitUpdatesPolicy final : public Policy {
   bool AppliesOnDemand() const override { return false; }
 
   bool UsesUpdateQueue() const override { return true; }
+
+  // SU splits by importance: high-importance arrivals preempt, the
+  // rest queue and wait like TF.
+  const char* ArrivalReason(const db::Update& update) const override {
+    return update.object.cls == db::ObjectClass::kHighImportance
+               ? "su-high-install-on-arrival"
+               : "su-low-queue-on-arrival";
+  }
+
+  const char* PriorityReason(const UpdaterContext&) const override {
+    return "su-low-txns-first";
+  }
 };
 
 }  // namespace strip::core

@@ -26,6 +26,16 @@ class TransactionFirstPolicy final : public Policy {
   bool AppliesOnDemand() const override { return false; }
 
   bool UsesUpdateQueue() const override { return true; }
+
+  // TF never installs on arrival and never outranks a waiting
+  // transaction: installs wait for an idle system.
+  const char* ArrivalReason(const db::Update&) const override {
+    return "tf-queue-on-arrival";
+  }
+
+  const char* PriorityReason(const UpdaterContext&) const override {
+    return "tf-txns-first";
+  }
 };
 
 }  // namespace strip::core

@@ -25,6 +25,16 @@ class UpdateFirstPolicy final : public Policy {
   bool AppliesOnDemand() const override { return false; }
 
   bool UsesUpdateQueue() const override { return false; }
+
+  // UF installs unconditionally on arrival; its updater outranks
+  // transactions exactly while arrivals sit in the OS buffer.
+  const char* ArrivalReason(const db::Update&) const override {
+    return "uf-install-on-arrival";
+  }
+
+  const char* PriorityReason(const UpdaterContext& context) const override {
+    return context.os_pending > 0 ? "uf-os-pending" : "uf-os-empty";
+  }
 };
 
 }  // namespace strip::core

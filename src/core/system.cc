@@ -17,6 +17,24 @@ constexpr std::uint64_t kUpdaterProcess = 1;
 
 std::uint64_t TxnProcessId(const txn::Transaction& t) { return t.id() + 1; }
 
+SystemObserver::DispatchKind StepDispatchKind(
+    txn::Transaction::NextStep::Kind kind) {
+  switch (kind) {
+    case txn::Transaction::NextStep::Kind::kCompute:
+      return SystemObserver::DispatchKind::kTxnCompute;
+    case txn::Transaction::NextStep::Kind::kViewRead:
+      return SystemObserver::DispatchKind::kTxnViewRead;
+    case txn::Transaction::NextStep::Kind::kOdScan:
+      return SystemObserver::DispatchKind::kTxnOdScan;
+    case txn::Transaction::NextStep::Kind::kOdApply:
+      return SystemObserver::DispatchKind::kTxnOdApply;
+    case txn::Transaction::NextStep::Kind::kDone:
+      break;
+  }
+  STRIP_CHECK_MSG(false, "no dispatch kind for a finished step");
+  return SystemObserver::DispatchKind::kTxnCompute;
+}
+
 }  // namespace
 
 System::System(sim::Simulator* simulator, const Config& config,
@@ -203,6 +221,9 @@ sim::Duration System::CpuUpdateSecondsNow() const {
 
 void System::OnUpdateArrival(const db::Update& update) {
   ++metrics_.updates_arrived;
+  if (!bus_.empty()) {
+    bus_.NotifyUpdateArrival(simulator_->now(), update);
+  }
   if (!os_queue_.Push(update)) {
     ++metrics_.updates_dropped_os_full;
     if (!bus_.empty()) {
@@ -221,7 +242,13 @@ void System::OnUpdateArrival(const db::Update& update) {
       // Receive immediately: preempt the running transaction. The
       // 2·x_switch receive penalty is charged to the update work about
       // to start (Section 3.3, step 2).
-      PreemptRunningTxn();
+      if (!bus_.empty()) {
+        bus_.NotifyPolicyDecision(
+            simulator_->now(), config_.policy,
+            SystemObserver::SchedulerChoice::kInstallOnArrival,
+            policy_->ArrivalReason(update));
+      }
+      PreemptRunningTxn(SystemObserver::PreemptReason::kUpdateArrival);
       StartUpdaterJob(/*preempting=*/true);
     } else if (cpu_owner_ == CpuOwner::kIdle) {
       ScheduleNext();
@@ -258,13 +285,16 @@ void System::OnTxnArrival(const txn::Transaction::Params& params) {
       t->deadline(), [this, id] { OnDeadline(id); });
   live_txns_.emplace(id, std::move(entry));
   ready_.Add(t);
+  if (!bus_.empty()) {
+    bus_.NotifyTxnAdmitted(simulator_->now(), *t);
+  }
 
   if (cpu_owner_ == CpuOwner::kIdle) {
     ScheduleNext();
   } else if (cpu_owner_ == CpuOwner::kTxn && config_.txn_preemption &&
              txn::HigherPriority(*t, *running_, config_.txn_sched,
                                  config_.ips)) {
-    PreemptRunningTxn();
+    PreemptRunningTxn(SystemObserver::PreemptReason::kHigherPriorityTxn);
     ScheduleNext();
   }
 }
@@ -281,6 +311,11 @@ void System::OnDeadline(std::uint64_t txn_id) {
                  segment_extra_instructions_);
     t->ChargePartial(std::min(executed, RemainingOfCurrentStep(*t)));
     simulator_->Cancel(completion_);
+    if (!bus_.empty()) {
+      // Close the open dispatch span: the deadline cut it short.
+      bus_.NotifyPreempt(simulator_->now(), *t,
+                         SystemObserver::PreemptReason::kDeadline);
+    }
     running_ = nullptr;
     cpu_owner_ = CpuOwner::kIdle;
     Terminate(t, txn::TxnOutcome::kMissedDeadline);
@@ -321,6 +356,11 @@ void System::ScheduleNext() {
   // *interrupted* to receive, but once the controller gets control the
   // accumulated arrivals are received at once.
   if (!os_queue_.empty()) {
+    if (!bus_.empty()) {
+      bus_.NotifyPolicyDecision(simulator_->now(), config_.policy,
+                                SystemObserver::SchedulerChoice::kReceive,
+                                "os-pending");
+    }
     StartUpdaterJob(/*preempting=*/false);
     return;
   }
@@ -331,15 +371,35 @@ void System::ScheduleNext() {
       policy_->UsesUpdateQueue() && !update_queue_.empty();
   if (install_work &&
       (ready_.empty() || policy_->UpdaterHasPriority(MakeUpdaterContext()))) {
+    if (!bus_.empty()) {
+      bus_.NotifyPolicyDecision(
+          simulator_->now(), config_.policy,
+          SystemObserver::SchedulerChoice::kInstall,
+          ready_.empty() ? "system-idle"
+                         : policy_->PriorityReason(MakeUpdaterContext()));
+    }
     StartUpdaterJob(/*preempting=*/false);
     return;
   }
   if (!ready_.empty()) {
+    if (!bus_.empty()) {
+      bus_.NotifyPolicyDecision(
+          simulator_->now(), config_.policy,
+          SystemObserver::SchedulerChoice::kRunTransaction,
+          install_work ? policy_->PriorityReason(MakeUpdaterContext())
+                       : "txn-ready");
+    }
     txn::Transaction* t = ready_.PopBest(config_.ips, config_.txn_sched);
     STRIP_CHECK(t != nullptr);
     StartTxnSegment(t);
+    return;
   }
   // Otherwise: idle until the next arrival.
+  if (!bus_.empty()) {
+    bus_.NotifyPolicyDecision(simulator_->now(), config_.policy,
+                              SystemObserver::SchedulerChoice::kIdle,
+                              "no-work");
+  }
 }
 
 // --- update process -----------------------------------------------------------
@@ -456,6 +516,9 @@ void System::StartUpdaterJob(bool preempting) {
   segment_start_ = simulator_->now();
   segment_extra_instructions_ = extra;
   segment_is_update_work_ = true;
+  if (!bus_.empty()) {
+    bus_.NotifyDispatch(simulator_->now(), CurrentDispatchInfo());
+  }
   completion_ = simulator_->ScheduleAfter(
       sim::InstructionsToSeconds(updater_job_.cost_instructions + extra,
                                  config_.ips),
@@ -490,7 +553,8 @@ bool System::DedupAgainstQueue(const db::Update& update) {
   }
 }
 
-void System::InstallNow(const db::Update& update, bool on_demand) {
+void System::InstallNow(const db::Update& update,
+                        const txn::Transaction* on_demand_by) {
   if (database_.Apply(update)) {
     // The tracker follows the *effective* generation — identical to
     // the update's own timestamp for complete updates, the oldest
@@ -506,7 +570,7 @@ void System::InstallNow(const db::Update& update, bool on_demand) {
     }
     ++metrics_.updates_installed;
     if (!bus_.empty()) {
-      bus_.NotifyUpdateInstalled(simulator_->now(), update, on_demand);
+      bus_.NotifyUpdateInstalled(simulator_->now(), update, on_demand_by);
     }
   } else {
     ++metrics_.updates_unworthy;
@@ -519,6 +583,9 @@ void System::InstallNow(const db::Update& update, bool on_demand) {
 
 void System::OnUpdaterJobComplete() {
   STRIP_CHECK(cpu_owner_ == CpuOwner::kUpdater);
+  if (!bus_.empty()) {
+    bus_.NotifySegmentComplete(simulator_->now(), CurrentDispatchInfo());
+  }
   ChargeSegmentCpu();
   const UpdaterJob job = updater_job_;
   updater_job_ = UpdaterJob{};
@@ -534,6 +601,9 @@ void System::OnUpdaterJobComplete() {
       const std::vector<db::Update> evicted =
           update_queue_.Push(job.update);
       tracker_.OnEnqueued(job.update);
+      if (!bus_.empty()) {
+        bus_.NotifyUpdateEnqueued(simulator_->now(), job.update);
+      }
       for (const db::Update& e : evicted) {
         tracker_.OnRemovedFromQueue(e);
         ++metrics_.updates_dropped_uq_overflow;
@@ -600,6 +670,9 @@ void System::ScheduleTxnStep(double extra_instructions) {
   segment_is_update_work_ =
       step.kind == txn::Transaction::NextStep::Kind::kOdScan ||
       step.kind == txn::Transaction::NextStep::Kind::kOdApply;
+  if (!bus_.empty()) {
+    bus_.NotifyDispatch(simulator_->now(), CurrentDispatchInfo());
+  }
   completion_ = simulator_->ScheduleAfter(
       sim::InstructionsToSeconds(step.instructions + extra_instructions,
                                  config_.ips),
@@ -609,6 +682,9 @@ void System::ScheduleTxnStep(double extra_instructions) {
 void System::OnTxnSegmentComplete() {
   STRIP_CHECK(cpu_owner_ == CpuOwner::kTxn);
   STRIP_CHECK(running_ != nullptr);
+  if (!bus_.empty()) {
+    bus_.NotifySegmentComplete(simulator_->now(), CurrentDispatchInfo());
+  }
   ChargeSegmentCpu();
   txn::Transaction* t = running_;
   const txn::Transaction::NextStep step = t->next_step();
@@ -670,6 +746,13 @@ void System::HandleViewRead(txn::Transaction* transaction,
     // CPU on doomed work — so an unaffordable search is skipped and
     // the read proceeds as it would under TF.
     if (timestamped && !tracker_.IsStale(object)) return;
+    // Under the MA family staleness is *detected* here, before the
+    // queue search that may yet heal the read — the OnStaleRead event
+    // fires at detection time, whether or not an on-demand install
+    // follows. (Metrics still only count reads that stay stale.)
+    if (timestamped && !bus_.empty()) {
+      bus_.NotifyStaleRead(simulator_->now(), *transaction, object);
+    }
     const double scan_cost = ScanCostInstructions();
     if (CanAffordExtraWork(*transaction, scan_cost)) {
       transaction->PushExtraStep(
@@ -681,7 +764,8 @@ void System::HandleViewRead(txn::Transaction* transaction,
       // (timestamp); under UU the staleness went undetected — the
       // simulator still records it for the metrics, but the system
       // cannot act on it.
-      RecordStaleRead(transaction, object, /*detected=*/timestamped);
+      RecordStaleRead(transaction, object, /*detected=*/timestamped,
+                      /*notify=*/!timestamped);
     }
     return;
   }
@@ -705,6 +789,14 @@ bool System::UpdateCouldFreshen(const db::Update& update) const {
 
 void System::ResolveOdScan(txn::Transaction* transaction,
                            db::ObjectId object) {
+  // Under UU (and MA+UU) the queue search *is* the staleness check:
+  // detection happens as the scan completes, so the OnStaleRead event
+  // fires here — even when the apply that follows heals the read. The
+  // MA-family path already fired it at the timestamp check.
+  if (!db::DetectableByTimestamp(config_.staleness) &&
+      tracker_.IsStale(object) && !bus_.empty()) {
+    bus_.NotifyStaleRead(simulator_->now(), *transaction, object);
+  }
   const std::optional<db::Update> candidate =
       update_queue_.PeekNewestFor(object);
   const bool usable = candidate.has_value() &&
@@ -718,7 +810,8 @@ void System::ResolveOdScan(txn::Transaction* transaction,
     return;
   }
   if (tracker_.IsStale(object)) {
-    RecordStaleRead(transaction, object);
+    RecordStaleRead(transaction, object, /*detected=*/true,
+                    /*notify=*/false);
   }
 }
 
@@ -734,18 +827,20 @@ void System::PerformOdApply(txn::Transaction* transaction,
     STRIP_CHECK(removed);
     tracker_.OnRemovedFromQueue(*candidate);
     NoteUqLength();
-    InstallNow(*candidate, /*on_demand=*/true);
+    InstallNow(*candidate, transaction);
     ++metrics_.updates_applied_on_demand;
   }
   if (tracker_.IsStale(object)) {
-    RecordStaleRead(transaction, object);
+    RecordStaleRead(transaction, object, /*detected=*/true,
+                    /*notify=*/false);
   }
 }
 
 bool System::RecordStaleRead(txn::Transaction* transaction,
-                             db::ObjectId object, bool detected) {
+                             db::ObjectId object, bool detected,
+                             bool notify) {
   transaction->MarkStaleRead();
-  if (!bus_.empty()) {
+  if (notify && !bus_.empty()) {
     bus_.NotifyStaleRead(simulator_->now(), *transaction, object);
   }
   if (!config_.abort_on_stale || !detected) return false;
@@ -757,9 +852,12 @@ bool System::RecordStaleRead(txn::Transaction* transaction,
   return true;
 }
 
-void System::PreemptRunningTxn() {
+void System::PreemptRunningTxn(SystemObserver::PreemptReason reason) {
   STRIP_CHECK(cpu_owner_ == CpuOwner::kTxn);
   STRIP_CHECK(running_ != nullptr);
+  if (!bus_.empty()) {
+    bus_.NotifyPreempt(simulator_->now(), *running_, reason);
+  }
   ChargeSegmentCpu();
   const double executed = std::max(
       0.0, (simulator_->now() - segment_start_) * config_.ips -
@@ -770,6 +868,36 @@ void System::PreemptRunningTxn() {
   ready_.Add(running_);
   running_ = nullptr;
   cpu_owner_ = CpuOwner::kIdle;
+}
+
+SystemObserver::DispatchInfo System::CurrentDispatchInfo() const {
+  SystemObserver::DispatchInfo info;
+  if (cpu_owner_ == CpuOwner::kUpdater) {
+    switch (updater_job_.kind) {
+      case UpdaterJob::Kind::kTransferToQueue:
+        info.kind = SystemObserver::DispatchKind::kUpdaterTransfer;
+        break;
+      case UpdaterJob::Kind::kInstallFromOs:
+        info.kind = SystemObserver::DispatchKind::kUpdaterInstallOs;
+        break;
+      case UpdaterJob::Kind::kInstallFromUq:
+        info.kind = SystemObserver::DispatchKind::kUpdaterInstallUq;
+        break;
+      case UpdaterJob::Kind::kNone:
+        STRIP_CHECK_MSG(false, "dispatch info with no updater job");
+        break;
+    }
+    info.update = &updater_job_.update;
+    info.instructions =
+        updater_job_.cost_instructions + segment_extra_instructions_;
+    return info;
+  }
+  STRIP_CHECK(cpu_owner_ == CpuOwner::kTxn && running_ != nullptr);
+  const txn::Transaction::NextStep step = running_->next_step();
+  info.kind = StepDispatchKind(step.kind);
+  info.transaction = running_;
+  info.instructions = step.instructions + segment_extra_instructions_;
+  return info;
 }
 
 void System::Commit(txn::Transaction* transaction) {

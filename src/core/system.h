@@ -74,17 +74,9 @@ class System {
   }
 
   // The underlying bus, for RAII registration (core::ScopedObserver).
+  // (The deprecated single-observer set_observer shim was removed
+  // after its one-release grace period; use AddObserver/ScopedObserver.)
   ObserverBus& observer_bus() { return bus_; }
-
-  // Deprecated single-observer shim, kept for one release: replaces
-  // the previously set observer (only one set through this call) with
-  // `observer`; nullptr detaches. Prefer AddObserver/RemoveObserver.
-  [[deprecated("use AddObserver/RemoveObserver")]]
-  void set_observer(SystemObserver* observer) {
-    if (legacy_observer_ != nullptr) bus_.Remove(legacy_observer_);
-    legacy_observer_ = observer;
-    if (observer != nullptr) bus_.Add(observer);
-  }
 
   // External-workload injection (config.external_workload): delivers
   // an arrival *at the current simulation time*. Call from simulator
@@ -164,7 +156,10 @@ class System {
   UpdaterJob SelectUpdaterJob();
   void OnUpdaterJobComplete();
   // Installs `update` into the database with tracker bookkeeping.
-  void InstallNow(const db::Update& update, bool on_demand = false);
+  // `on_demand_by` is the transaction whose stale read demanded the
+  // install (OD), or nullptr for an ordinary update-process install.
+  void InstallNow(const db::Update& update,
+                  const txn::Transaction* on_demand_by = nullptr);
   // Dedup extension: discards queued updates `update` supersedes.
   // Returns false if `update` itself is superseded (and dropped).
   bool DedupAgainstQueue(const db::Update& update);
@@ -185,9 +180,10 @@ class System {
   // the running transaction (only if the *system* detected the
   // staleness — an undetected one is recorded for the metrics but
   // cannot trigger an abort). Returns true if the transaction was
-  // aborted.
+  // aborted. `notify` suppresses the OnStaleRead observer event when
+  // the OD path already fired it at detection time.
   bool RecordStaleRead(txn::Transaction* transaction, db::ObjectId object,
-                       bool detected = true);
+                       bool detected = true, bool notify = true);
   // Can the transaction absorb `extra_instructions` of unplanned work
   // (an OD queue search) and still meet its deadline?
   bool CanAffordExtraWork(const txn::Transaction& transaction,
@@ -195,8 +191,12 @@ class System {
   // Would installing `update` leave its object fresh under the active
   // criterion?
   bool UpdateCouldFreshen(const db::Update& update) const;
-  // Moves the running transaction back to the ready queue.
-  void PreemptRunningTxn();
+  // Moves the running transaction back to the ready queue; `reason`
+  // feeds the OnPreempt observer hook.
+  void PreemptRunningTxn(SystemObserver::PreemptReason reason);
+  // The DispatchInfo describing the segment currently on the CPU
+  // (observer hooks; call only while the CPU is busy).
+  SystemObserver::DispatchInfo CurrentDispatchInfo() const;
   void Commit(txn::Transaction* transaction);
   // Removes a transaction from the system with the given outcome.
   void Terminate(txn::Transaction* transaction, txn::TxnOutcome outcome);
@@ -226,8 +226,6 @@ class System {
   Config config_;
   std::unique_ptr<Policy> policy_;
   ObserverBus bus_;
-  // The observer attached through the deprecated set_observer shim.
-  SystemObserver* legacy_observer_ = nullptr;
   // Draws for the system-side stochastic extensions (buffer misses,
   // trigger firings); independent of the workload streams.
   sim::RandomStream system_random_;

@@ -30,6 +30,54 @@ const char* PhaseName(SystemObserver::Phase phase) {
   return "?";
 }
 
+const char* DispatchKindName(SystemObserver::DispatchKind kind) {
+  switch (kind) {
+    case SystemObserver::DispatchKind::kTxnCompute:
+      return "compute";
+    case SystemObserver::DispatchKind::kTxnViewRead:
+      return "view-read";
+    case SystemObserver::DispatchKind::kTxnOdScan:
+      return "od-scan";
+    case SystemObserver::DispatchKind::kTxnOdApply:
+      return "od-apply";
+    case SystemObserver::DispatchKind::kUpdaterTransfer:
+      return "transfer";
+    case SystemObserver::DispatchKind::kUpdaterInstallOs:
+      return "install-os";
+    case SystemObserver::DispatchKind::kUpdaterInstallUq:
+      return "install-uq";
+  }
+  return "?";
+}
+
+const char* PreemptReasonName(SystemObserver::PreemptReason reason) {
+  switch (reason) {
+    case SystemObserver::PreemptReason::kUpdateArrival:
+      return "update-arrival";
+    case SystemObserver::PreemptReason::kHigherPriorityTxn:
+      return "higher-priority-txn";
+    case SystemObserver::PreemptReason::kDeadline:
+      return "deadline";
+  }
+  return "?";
+}
+
+const char* SchedulerChoiceName(SystemObserver::SchedulerChoice choice) {
+  switch (choice) {
+    case SystemObserver::SchedulerChoice::kReceive:
+      return "receive";
+    case SystemObserver::SchedulerChoice::kInstall:
+      return "install";
+    case SystemObserver::SchedulerChoice::kRunTransaction:
+      return "run-txn";
+    case SystemObserver::SchedulerChoice::kIdle:
+      return "idle";
+    case SystemObserver::SchedulerChoice::kInstallOnArrival:
+      return "install-on-arrival";
+  }
+  return "?";
+}
+
 TraceWriter::TraceWriter(std::ostream* out, Options options)
     : out_(out), options_(options) {
   STRIP_CHECK(out != nullptr);
@@ -59,13 +107,31 @@ void TraceWriter::WriteUpdateRecord(sim::Time now, const db::Update& update,
 }
 
 void TraceWriter::OnUpdateInstalled(sim::Time now, const db::Update& update,
-                                    bool on_demand) {
-  WriteUpdateRecord(now, update, on_demand ? "installed-od" : "installed");
+                                    const txn::Transaction* on_demand_by) {
+  WriteUpdateRecord(now, update,
+                    on_demand_by != nullptr ? "installed-od" : "installed");
 }
 
 void TraceWriter::OnUpdateDropped(sim::Time now, const db::Update& update,
                                   DropReason reason) {
   WriteUpdateRecord(now, update, DropReasonName(reason));
+}
+
+void TraceWriter::OnStaleRead(sim::Time now,
+                              const txn::Transaction& transaction,
+                              db::ObjectId object) {
+  if (!options_.stale_reads) return;
+  *out_ << "stale," << now << "," << transaction.id() << ","
+        << txn::TxnClassName(transaction.cls()) << ","
+        << db::ObjectClassName(object.cls) << "," << object.index
+        << ",,,\n";
+  ++records_written_;
+}
+
+void TraceWriter::OnPhase(sim::Time now, Phase phase) {
+  if (!options_.phases) return;
+  *out_ << "phase," << now << ",,," << PhaseName(phase) << ",,,,\n";
+  ++records_written_;
 }
 
 }  // namespace strip::core

@@ -5,6 +5,8 @@
 //
 //   txn,<time>,<id>,<class>,<value>,<arrival>,<deadline>,<outcome>,<stale_reads>
 //   update,<time>,<id>,<class>,<index>,<generation>,<event>
+//   stale,<time>,<txn_id>,<txn_class>,<obj_class>,<obj_index>
+//   phase,<time>,,,<phase>
 //
 // where <event> is installed / installed-od / a drop reason. Handy for
 // post-hoc latency and loss analysis outside the built-in metrics.
@@ -25,6 +27,8 @@ class TraceWriter : public SystemObserver {
   struct Options {
     bool transactions = true;
     bool updates = false;  // 400/s of updates makes for large traces
+    bool stale_reads = true;
+    bool phases = true;
   };
 
   // Writes CSV (with a header line) to `out`, which must outlive the
@@ -35,9 +39,12 @@ class TraceWriter : public SystemObserver {
   void OnTransactionTerminal(sim::Time now,
                              const txn::Transaction& transaction) override;
   void OnUpdateInstalled(sim::Time now, const db::Update& update,
-                         bool on_demand) override;
+                         const txn::Transaction* on_demand_by) override;
   void OnUpdateDropped(sim::Time now, const db::Update& update,
                        DropReason reason) override;
+  void OnStaleRead(sim::Time now, const txn::Transaction& transaction,
+                   db::ObjectId object) override;
+  void OnPhase(sim::Time now, Phase phase) override;
 
   std::uint64_t records_written() const { return records_written_; }
 

@@ -144,8 +144,8 @@ void RunTelemetry::OnTransactionTerminal(sim::Time now,
 }
 
 void RunTelemetry::OnUpdateInstalled(sim::Time now, const db::Update& update,
-                                     bool on_demand) {
-  (void)on_demand;
+                                     const txn::Transaction* on_demand_by) {
+  (void)on_demand_by;
   age_.Add(now - update.generation_time);
 }
 

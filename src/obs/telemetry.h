@@ -77,7 +77,7 @@ class RunTelemetry : public core::SystemObserver {
   void OnTransactionTerminal(sim::Time now,
                              const txn::Transaction& transaction) override;
   void OnUpdateInstalled(sim::Time now, const db::Update& update,
-                         bool on_demand) override;
+                         const txn::Transaction* on_demand_by) override;
   void OnStaleRead(sim::Time now, const txn::Transaction& transaction,
                    db::ObjectId object) override;
   void OnPhase(sim::Time now, Phase phase) override;

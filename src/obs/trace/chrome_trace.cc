@@ -1,0 +1,238 @@
+#include "obs/trace/chrome_trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+
+#include "base/check.h"
+
+namespace strip::obs::trace {
+
+namespace {
+
+// Simulated seconds -> trace microseconds, fixed formatting so the
+// document is byte-deterministic.
+std::string Ts(sim::Time t) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%.3f", t * 1e6);
+  return buffer;
+}
+
+// %.17g round-trips doubles and is locale-independent for finite
+// values (the model produces no inf/nan here).
+std::string Num(double v) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", v);
+  return buffer;
+}
+
+std::string Id(std::uint64_t id) {
+  char buffer[24];
+  std::snprintf(buffer, sizeof(buffer), "%" PRIu64, id);
+  return buffer;
+}
+
+// "low:3" / "high:7" — the object token shared with the flight-record
+// format.
+std::string Obj(db::ObjectId object) {
+  return std::string(db::ObjectClassName(object.cls)) + ":" +
+         Id(static_cast<std::uint64_t>(object.index));
+}
+
+}  // namespace
+
+ChromeTraceWriter::ChromeTraceWriter(std::ostream* out) : out_(out) {
+  STRIP_CHECK(out != nullptr);
+  *out_ << "{\"traceEvents\":[";
+  WriteMeta(0, "process_name");
+  WriteMeta(kSchedulerTid, "scheduler");
+  WriteMeta(kUpdatesTid, "updates");
+}
+
+ChromeTraceWriter::~ChromeTraceWriter() { Finish(); }
+
+void ChromeTraceWriter::Finish() {
+  if (finished_) return;
+  if (span_open_) {
+    // The run ended mid-segment: close the span at the last timestamp.
+    WriteRaw(std::string("\"name\":\"") + open_name_ +
+             "\",\"cat\":\"segment-complete\",\"ph\":\"E\",\"pid\":1,"
+             "\"tid\":" + Id(open_tid_) + ",\"ts\":" + last_ts_);
+    span_open_ = false;
+  }
+  finished_ = true;
+  *out_ << "\n]}\n";
+  out_->flush();
+}
+
+void ChromeTraceWriter::WriteRaw(const std::string& body) {
+  STRIP_CHECK_MSG(!finished_, "event emitted after Finish()");
+  *out_ << (first_ ? "\n" : ",\n") << "{" << body << "}";
+  first_ = false;
+  ++events_written_;
+}
+
+void ChromeTraceWriter::WriteMeta(std::uint64_t tid, const char* name) {
+  if (tid == 0) {
+    WriteRaw(std::string("\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,")
+             + "\"args\":{\"name\":\"strip\"}");
+    return;
+  }
+  WriteRaw(std::string("\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,") +
+           "\"tid\":" + Id(tid) + ",\"args\":{\"name\":\"" + name + "\"}");
+}
+
+std::uint64_t ChromeTraceWriter::TxnTid(std::uint64_t txn_id,
+                                        txn::TxnClass cls) {
+  const std::uint64_t tid = kTxnTidBase + txn_id;
+  if (named_txns_.insert(txn_id).second) {
+    const std::string name =
+        "txn " + Id(txn_id) + " (" + txn::TxnClassName(cls) + ")";
+    WriteRaw(std::string("\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,") +
+             "\"tid\":" + Id(tid) + ",\"args\":{\"name\":\"" + name + "\"}");
+  }
+  return tid;
+}
+
+void ChromeTraceWriter::Emit(const TraceEvent& event) {
+  const std::string ts = Ts(event.time);
+  last_ts_ = ts;
+  switch (event.kind) {
+    case EventKind::kTxnAdmitted: {
+      const std::uint64_t tid = TxnTid(event.txn_id, event.txn_cls);
+      WriteRaw("\"name\":\"admitted\",\"cat\":\"txn-admitted\",\"ph\":\"i\","
+               "\"s\":\"t\",\"pid\":1,\"tid\":" + Id(tid) + ",\"ts\":" + ts +
+               ",\"args\":{\"txn\":" + Id(event.txn_id) + ",\"class\":\"" +
+               txn::TxnClassName(event.txn_cls) + "\",\"deadline\":" +
+               Num(event.deadline) + ",\"value\":" + Num(event.value) + "}");
+      break;
+    }
+    case EventKind::kTxnTerminal: {
+      const std::uint64_t tid = TxnTid(event.txn_id, event.txn_cls);
+      WriteRaw(std::string("\"name\":\"") +
+               txn::TxnOutcomeName(event.outcome) +
+               "\",\"cat\":\"txn-terminal\",\"ph\":\"i\",\"s\":\"t\","
+               "\"pid\":1,\"tid\":" + Id(tid) + ",\"ts\":" + ts +
+               ",\"args\":{\"txn\":" + Id(event.txn_id) + ",\"stale\":" +
+               (event.read_stale ? "1" : "0") + "}");
+      break;
+    }
+    case EventKind::kUpdateArrival:
+      WriteRaw("\"name\":\"arrival\",\"cat\":\"update-arrival\",\"ph\":\"i\","
+               "\"s\":\"t\",\"pid\":1,\"tid\":" + Id(kUpdatesTid) +
+               ",\"ts\":" + ts + ",\"args\":{\"update\":" +
+               Id(event.update_id) + ",\"obj\":\"" + Obj(event.object) +
+               "\"}");
+      break;
+    case EventKind::kUpdateEnqueued:
+      enqueue_times_[event.update_id] = event.time;
+      WriteRaw("\"name\":\"enqueue\",\"cat\":\"update-enqueued\",\"ph\":\"i\","
+               "\"s\":\"t\",\"pid\":1,\"tid\":" + Id(kUpdatesTid) +
+               ",\"ts\":" + ts + ",\"args\":{\"update\":" +
+               Id(event.update_id) + ",\"obj\":\"" + Obj(event.object) +
+               "\"}");
+      break;
+    case EventKind::kUpdateInstalled: {
+      if (event.txn_id == kNoId) {
+        WriteRaw("\"name\":\"install\",\"cat\":\"update-installed\","
+                 "\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":" +
+                 Id(kUpdatesTid) + ",\"ts\":" + ts + ",\"args\":{\"update\":" +
+                 Id(event.update_id) + ",\"obj\":\"" + Obj(event.object) +
+                 "\"}");
+      } else {
+        // On-demand install: drawn on the demanding transaction's
+        // track, with a flow arrow from the update's enqueue point.
+        const std::uint64_t tid = TxnTid(event.txn_id, event.txn_cls);
+        WriteRaw("\"name\":\"install-od\",\"cat\":\"update-installed\","
+                 "\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":" + Id(tid) +
+                 ",\"ts\":" + ts + ",\"args\":{\"update\":" +
+                 Id(event.update_id) + ",\"obj\":\"" + Obj(event.object) +
+                 "\",\"txn\":" + Id(event.txn_id) + "}");
+        const auto it = enqueue_times_.find(event.update_id);
+        const std::string start_ts =
+            it != enqueue_times_.end() ? Ts(it->second) : ts;
+        WriteRaw("\"name\":\"od-install\",\"cat\":\"od-flow\",\"ph\":\"s\","
+                 "\"pid\":1,\"tid\":" + Id(kUpdatesTid) + ",\"ts\":" +
+                 start_ts + ",\"id\":" + Id(event.update_id) + "");
+        WriteRaw("\"name\":\"od-install\",\"cat\":\"od-flow\",\"ph\":\"f\","
+                 "\"bp\":\"e\",\"pid\":1,\"tid\":" + Id(tid) + ",\"ts\":" +
+                 ts + ",\"id\":" + Id(event.update_id) + "");
+      }
+      enqueue_times_.erase(event.update_id);
+      break;
+    }
+    case EventKind::kUpdateDropped:
+      WriteRaw(std::string("\"name\":\"") +
+               core::DropReasonName(event.drop_reason) +
+               "\",\"cat\":\"update-dropped\",\"ph\":\"i\",\"s\":\"t\","
+               "\"pid\":1,\"tid\":" + Id(kUpdatesTid) + ",\"ts\":" + ts +
+               ",\"args\":{\"update\":" + Id(event.update_id) +
+               ",\"obj\":\"" + Obj(event.object) + "\"}");
+      enqueue_times_.erase(event.update_id);
+      break;
+    case EventKind::kDispatch: {
+      const std::uint64_t tid =
+          event.txn_id != kNoId ? TxnTid(event.txn_id, event.txn_cls)
+                                : kUpdatesTid;
+      const char* name = core::DispatchKindName(event.dispatch_kind);
+      std::string args = "\"instr\":" + Num(event.instructions);
+      if (event.txn_id != kNoId) args += ",\"txn\":" + Id(event.txn_id);
+      if (event.update_id != kNoId) {
+        args += ",\"update\":" + Id(event.update_id) + ",\"obj\":\"" +
+                Obj(event.object) + "\"";
+      }
+      WriteRaw(std::string("\"name\":\"") + name +
+               "\",\"cat\":\"dispatch\",\"ph\":\"B\",\"pid\":1,\"tid\":" +
+               Id(tid) + ",\"ts\":" + ts + ",\"args\":{" + args + "}");
+      open_tid_ = tid;
+      open_name_ = name;
+      span_open_ = true;
+      break;
+    }
+    case EventKind::kSegmentComplete:
+      STRIP_CHECK_MSG(span_open_, "segment-complete without open span");
+      WriteRaw(std::string("\"name\":\"") + open_name_ +
+               "\",\"cat\":\"segment-complete\",\"ph\":\"E\",\"pid\":1,"
+               "\"tid\":" + Id(open_tid_) + ",\"ts\":" + ts);
+      span_open_ = false;
+      break;
+    case EventKind::kPreempt: {
+      // The preemption closes the open span, then marks why.
+      STRIP_CHECK_MSG(span_open_, "preempt without open span");
+      WriteRaw(std::string("\"name\":\"") + open_name_ +
+               "\",\"cat\":\"segment-complete\",\"ph\":\"E\",\"pid\":1,"
+               "\"tid\":" + Id(open_tid_) + ",\"ts\":" + ts);
+      span_open_ = false;
+      const std::uint64_t tid = TxnTid(event.txn_id, event.txn_cls);
+      WriteRaw("\"name\":\"preempt\",\"cat\":\"preempt\",\"ph\":\"i\","
+               "\"s\":\"t\",\"pid\":1,\"tid\":" + Id(tid) + ",\"ts\":" + ts +
+               ",\"args\":{\"txn\":" + Id(event.txn_id) + ",\"reason\":\"" +
+               core::PreemptReasonName(event.preempt_reason) + "\"}");
+      break;
+    }
+    case EventKind::kStaleRead: {
+      const std::uint64_t tid = TxnTid(event.txn_id, event.txn_cls);
+      WriteRaw("\"name\":\"stale-read\",\"cat\":\"stale-read\",\"ph\":\"i\","
+               "\"s\":\"t\",\"pid\":1,\"tid\":" + Id(tid) + ",\"ts\":" + ts +
+               ",\"args\":{\"txn\":" + Id(event.txn_id) + ",\"obj\":\"" +
+               Obj(event.object) + "\"}");
+      break;
+    }
+    case EventKind::kPolicyDecision:
+      WriteRaw(std::string("\"name\":\"") +
+               core::SchedulerChoiceName(event.choice) +
+               "\",\"cat\":\"policy-decision\",\"ph\":\"i\",\"s\":\"t\","
+               "\"pid\":1,\"tid\":" + Id(kSchedulerTid) + ",\"ts\":" + ts +
+               ",\"args\":{\"policy\":\"" +
+               core::PolicyKindName(event.policy) + "\",\"reason\":\"" +
+               (event.reason != nullptr ? event.reason : "") + "\"}");
+      break;
+    case EventKind::kPhase:
+      WriteRaw(std::string("\"name\":\"") + core::PhaseName(event.phase) +
+               "\",\"cat\":\"phase\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,"
+               "\"tid\":" + Id(kSchedulerTid) + ",\"ts\":" + ts);
+      break;
+  }
+}
+
+}  // namespace strip::obs::trace

@@ -1,0 +1,93 @@
+// Streaming Chrome trace-event JSON exporter.
+//
+// Writes the run's causal trace in the Chrome trace-event format
+// (viewable in Perfetto / chrome://tracing): one process (pid 1) with
+// one track per simulated CPU owner —
+//
+//   tid 1            the scheduler (policy decisions, phase marks)
+//   tid 2            the update process (receive/install spans,
+//                    arrivals, enqueues, drops, ordinary installs)
+//   tid 1000 + id    one track per transaction (its CPU segments as
+//                    B/E spans, admit/stale-read/terminal instants)
+//
+// Dispatched segments become duration spans (ph B/E); a preemption
+// closes the open span and leaves a "preempt" instant with the reason.
+// On-demand installs are drawn on the demanding transaction's track
+// and linked back to the update's enqueue point on the updates track
+// with a flow arrow (ph s/f, id = the update's id) — the OD causal
+// chain is visible as an arrow from queue to transaction.
+//
+// The output is byte-deterministic for a fixed (Config, seed): fixed
+// key order, fixed float formatting, no wall-clock timestamps. Each
+// event's category is its EventKindName token, which is what the
+// analysis CLI (tools/strip_trace.cc) keys on when reading the file
+// back.
+//
+// Timestamps ("ts") are microseconds of simulated time with
+// sub-microsecond decimals.
+
+#ifndef STRIP_OBS_TRACE_CHROME_TRACE_H_
+#define STRIP_OBS_TRACE_CHROME_TRACE_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "obs/trace/collector.h"
+
+namespace strip::obs::trace {
+
+class ChromeTraceWriter : public TraceCollector {
+ public:
+  // Track ids.
+  static constexpr std::uint64_t kSchedulerTid = 1;
+  static constexpr std::uint64_t kUpdatesTid = 2;
+  static constexpr std::uint64_t kTxnTidBase = 1000;
+
+  // Streams to `out`, which must outlive the writer. Writes the
+  // opening bracket and track metadata immediately.
+  explicit ChromeTraceWriter(std::ostream* out);
+  // Finishes the document if Finish() was not called.
+  ~ChromeTraceWriter() override;
+
+  // Closes a span the run left open (the simulation can end mid-
+  // segment) and writes the closing bracket. Idempotent; no events may
+  // be emitted after.
+  void Finish();
+
+  std::uint64_t events_written() const { return events_written_; }
+
+ protected:
+  void Emit(const TraceEvent& event) override;
+
+ private:
+  // One raw JSON event object; `body` is everything after the opening
+  // brace, without the closing brace.
+  void WriteRaw(const std::string& body);
+  // Ensures the transaction's track has a thread_name metadata record.
+  std::uint64_t TxnTid(std::uint64_t txn_id, txn::TxnClass cls);
+  void WriteMeta(std::uint64_t tid, const char* name);
+
+  std::ostream* out_;
+  bool first_ = true;
+  bool finished_ = false;
+  std::uint64_t events_written_ = 0;
+  // Track of the currently open dispatch span and its B name/category,
+  // so E lines match (exactly one span is open at a time).
+  std::uint64_t open_tid_ = 0;
+  const char* open_name_ = nullptr;
+  bool span_open_ = false;
+  // Last timestamp emitted, used to close an end-of-run open span.
+  std::string last_ts_ = "0.000";
+  // Transactions whose track metadata has been written.
+  std::unordered_set<std::uint64_t> named_txns_;
+  // Enqueue timestamp per queued update id, for the OD flow arrow's
+  // start point. Erased on install/drop.
+  std::unordered_map<std::uint64_t, sim::Time> enqueue_times_;
+};
+
+}  // namespace strip::obs::trace
+
+#endif  // STRIP_OBS_TRACE_CHROME_TRACE_H_

@@ -1,0 +1,202 @@
+#include "obs/trace/collector.h"
+
+namespace strip::obs::trace {
+
+const char* EventKindName(EventKind kind) {
+  switch (kind) {
+    case EventKind::kTxnAdmitted:
+      return "txn-admitted";
+    case EventKind::kTxnTerminal:
+      return "txn-terminal";
+    case EventKind::kUpdateArrival:
+      return "update-arrival";
+    case EventKind::kUpdateEnqueued:
+      return "update-enqueued";
+    case EventKind::kUpdateInstalled:
+      return "update-installed";
+    case EventKind::kUpdateDropped:
+      return "update-dropped";
+    case EventKind::kDispatch:
+      return "dispatch";
+    case EventKind::kSegmentComplete:
+      return "segment-complete";
+    case EventKind::kPreempt:
+      return "preempt";
+    case EventKind::kStaleRead:
+      return "stale-read";
+    case EventKind::kPolicyDecision:
+      return "policy-decision";
+    case EventKind::kPhase:
+      return "phase";
+  }
+  return "?";
+}
+
+const char* EventDetail(const TraceEvent& event) {
+  switch (event.kind) {
+    case EventKind::kDispatch:
+    case EventKind::kSegmentComplete:
+      return core::DispatchKindName(event.dispatch_kind);
+    case EventKind::kPreempt:
+      return core::PreemptReasonName(event.preempt_reason);
+    case EventKind::kTxnTerminal:
+      return txn::TxnOutcomeName(event.outcome);
+    case EventKind::kUpdateDropped:
+      return core::DropReasonName(event.drop_reason);
+    case EventKind::kPolicyDecision:
+      return core::SchedulerChoiceName(event.choice);
+    case EventKind::kPhase:
+      return core::PhaseName(event.phase);
+    case EventKind::kTxnAdmitted:
+    case EventKind::kUpdateArrival:
+    case EventKind::kUpdateEnqueued:
+    case EventKind::kUpdateInstalled:
+    case EventKind::kStaleRead:
+      return "";
+  }
+  return "";
+}
+
+void TraceCollector::OnTransactionTerminal(
+    sim::Time now, const txn::Transaction& transaction) {
+  TraceEvent event;
+  event.kind = EventKind::kTxnTerminal;
+  event.time = now;
+  event.txn_id = transaction.id();
+  event.txn_cls = transaction.cls();
+  event.outcome = transaction.outcome();
+  event.read_stale = transaction.read_stale_data();
+  Emit(event);
+}
+
+void TraceCollector::OnUpdateInstalled(sim::Time now, const db::Update& update,
+                                       const txn::Transaction* on_demand_by) {
+  TraceEvent event;
+  event.kind = EventKind::kUpdateInstalled;
+  event.time = now;
+  event.update_id = update.id;
+  event.object = update.object;
+  event.has_object = true;
+  if (on_demand_by != nullptr) event.txn_id = on_demand_by->id();
+  Emit(event);
+}
+
+void TraceCollector::OnUpdateDropped(sim::Time now, const db::Update& update,
+                                     DropReason reason) {
+  TraceEvent event;
+  event.kind = EventKind::kUpdateDropped;
+  event.time = now;
+  event.update_id = update.id;
+  event.object = update.object;
+  event.has_object = true;
+  event.drop_reason = reason;
+  Emit(event);
+}
+
+void TraceCollector::OnStaleRead(sim::Time now,
+                                 const txn::Transaction& transaction,
+                                 db::ObjectId object) {
+  TraceEvent event;
+  event.kind = EventKind::kStaleRead;
+  event.time = now;
+  event.txn_id = transaction.id();
+  event.txn_cls = transaction.cls();
+  event.object = object;
+  event.has_object = true;
+  Emit(event);
+}
+
+void TraceCollector::OnPhase(sim::Time now, Phase phase) {
+  TraceEvent event;
+  event.kind = EventKind::kPhase;
+  event.time = now;
+  event.phase = phase;
+  Emit(event);
+}
+
+void TraceCollector::OnTxnAdmitted(sim::Time now,
+                                   const txn::Transaction& transaction) {
+  TraceEvent event;
+  event.kind = EventKind::kTxnAdmitted;
+  event.time = now;
+  event.txn_id = transaction.id();
+  event.txn_cls = transaction.cls();
+  event.deadline = transaction.deadline();
+  event.value = transaction.value();
+  Emit(event);
+}
+
+void TraceCollector::OnUpdateArrival(sim::Time now, const db::Update& update) {
+  TraceEvent event;
+  event.kind = EventKind::kUpdateArrival;
+  event.time = now;
+  event.update_id = update.id;
+  event.object = update.object;
+  event.has_object = true;
+  Emit(event);
+}
+
+void TraceCollector::OnUpdateEnqueued(sim::Time now,
+                                      const db::Update& update) {
+  TraceEvent event;
+  event.kind = EventKind::kUpdateEnqueued;
+  event.time = now;
+  event.update_id = update.id;
+  event.object = update.object;
+  event.has_object = true;
+  Emit(event);
+}
+
+TraceEvent TraceCollector::FromDispatchInfo(EventKind kind, sim::Time now,
+                                            const DispatchInfo& dispatch) {
+  TraceEvent event;
+  event.kind = kind;
+  event.time = now;
+  event.dispatch_kind = dispatch.kind;
+  event.instructions = dispatch.instructions;
+  if (dispatch.transaction != nullptr) {
+    event.txn_id = dispatch.transaction->id();
+    event.txn_cls = dispatch.transaction->cls();
+  }
+  if (dispatch.update != nullptr) {
+    event.update_id = dispatch.update->id;
+    event.object = dispatch.update->object;
+    event.has_object = true;
+  }
+  return event;
+}
+
+void TraceCollector::OnDispatch(sim::Time now, const DispatchInfo& dispatch) {
+  Emit(FromDispatchInfo(EventKind::kDispatch, now, dispatch));
+}
+
+void TraceCollector::OnSegmentComplete(sim::Time now,
+                                       const DispatchInfo& dispatch) {
+  Emit(FromDispatchInfo(EventKind::kSegmentComplete, now, dispatch));
+}
+
+void TraceCollector::OnPreempt(sim::Time now,
+                               const txn::Transaction& transaction,
+                               PreemptReason reason) {
+  TraceEvent event;
+  event.kind = EventKind::kPreempt;
+  event.time = now;
+  event.txn_id = transaction.id();
+  event.txn_cls = transaction.cls();
+  event.preempt_reason = reason;
+  Emit(event);
+}
+
+void TraceCollector::OnPolicyDecision(sim::Time now, core::PolicyKind policy,
+                                      SchedulerChoice choice,
+                                      const char* reason) {
+  TraceEvent event;
+  event.kind = EventKind::kPolicyDecision;
+  event.time = now;
+  event.policy = policy;
+  event.choice = choice;
+  event.reason = reason;
+  Emit(event);
+}
+
+}  // namespace strip::obs::trace

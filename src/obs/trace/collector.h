@@ -1,0 +1,53 @@
+// TraceCollector: SystemObserver -> TraceEvent translation.
+//
+// Implements every observer hook once, normalizing the callback
+// payloads into flat TraceEvents; sinks (the Chrome exporter, the
+// flight recorder) derive from it and implement Emit. Attach to a run
+// with core::ScopedObserver or System::AddObserver like any observer.
+
+#ifndef STRIP_OBS_TRACE_COLLECTOR_H_
+#define STRIP_OBS_TRACE_COLLECTOR_H_
+
+#include "core/observer.h"
+#include "obs/trace/trace_event.h"
+
+namespace strip::obs::trace {
+
+class TraceCollector : public core::SystemObserver {
+ public:
+  // --- outcome hooks ---
+  void OnTransactionTerminal(sim::Time now,
+                             const txn::Transaction& transaction) override;
+  void OnUpdateInstalled(sim::Time now, const db::Update& update,
+                         const txn::Transaction* on_demand_by) override;
+  void OnUpdateDropped(sim::Time now, const db::Update& update,
+                       DropReason reason) override;
+  void OnStaleRead(sim::Time now, const txn::Transaction& transaction,
+                   db::ObjectId object) override;
+  void OnPhase(sim::Time now, Phase phase) override;
+
+  // --- lifecycle hooks ---
+  void OnTxnAdmitted(sim::Time now,
+                     const txn::Transaction& transaction) override;
+  void OnUpdateArrival(sim::Time now, const db::Update& update) override;
+  void OnUpdateEnqueued(sim::Time now, const db::Update& update) override;
+  void OnDispatch(sim::Time now, const DispatchInfo& dispatch) override;
+  void OnSegmentComplete(sim::Time now,
+                         const DispatchInfo& dispatch) override;
+  void OnPreempt(sim::Time now, const txn::Transaction& transaction,
+                 PreemptReason reason) override;
+  void OnPolicyDecision(sim::Time now, core::PolicyKind policy,
+                        SchedulerChoice choice, const char* reason) override;
+
+ protected:
+  // Receives every normalized event, in simulation order.
+  virtual void Emit(const TraceEvent& event) = 0;
+
+ private:
+  static TraceEvent FromDispatchInfo(EventKind kind, sim::Time now,
+                                     const DispatchInfo& dispatch);
+};
+
+}  // namespace strip::obs::trace
+
+#endif  // STRIP_OBS_TRACE_COLLECTOR_H_

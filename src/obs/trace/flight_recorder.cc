@@ -1,0 +1,130 @@
+#include "obs/trace/flight_recorder.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "base/check.h"
+
+namespace strip::obs::trace {
+
+FlightRecorder::FlightRecorder(FlightRecorderOptions options)
+    : options_(options) {
+  STRIP_CHECK_MSG(options_.capacity > 0, "flight recorder needs capacity");
+  ring_.resize(options_.capacity);
+}
+
+std::size_t FlightRecorder::size() const {
+  return full_ ? ring_.size() : head_;
+}
+
+void FlightRecorder::Emit(const TraceEvent& event) {
+  if (tripped()) return;  // latched: the window is frozen
+  ring_[head_] = event;
+  head_ = (head_ + 1) % ring_.size();
+  if (head_ == 0) full_ = true;
+  ++events_seen_;
+  if (options_.armed) Check(event);
+}
+
+void FlightRecorder::Trip(const char* predicate, sim::Time when) {
+  trip_predicate_ = predicate;
+  trip_time_ = when;
+}
+
+void FlightRecorder::Check(const TraceEvent& event) {
+  switch (event.kind) {
+    case EventKind::kTxnTerminal: {
+      // Both flavours of deadline failure count toward the burst:
+      // deadlines that fired mid-flight and transactions screened out
+      // as infeasible before their deadline arrived.
+      if (event.outcome == txn::TxnOutcome::kMissedDeadline ||
+          event.outcome == txn::TxnOutcome::kInfeasible) {
+        recent_miss_times_.push_back(event.time);
+        while (!recent_miss_times_.empty() &&
+               recent_miss_times_.front() <
+                   event.time - options_.miss_burst_window_seconds) {
+          recent_miss_times_.pop_front();
+        }
+        if (static_cast<int>(recent_miss_times_.size()) >=
+            options_.miss_burst_count) {
+          Trip("deadline-miss-burst", event.time);
+          return;
+        }
+      }
+      recent_stale_.push_back(event.read_stale);
+      if (event.read_stale) ++recent_stale_count_;
+      if (static_cast<int>(recent_stale_.size()) > options_.stale_window) {
+        if (recent_stale_.front()) --recent_stale_count_;
+        recent_stale_.pop_front();
+      }
+      if (static_cast<int>(recent_stale_.size()) == options_.stale_window &&
+          static_cast<double>(recent_stale_count_) >=
+              options_.stale_fraction *
+                  static_cast<double>(options_.stale_window)) {
+        Trip("stale-fraction", event.time);
+      }
+      break;
+    }
+    case EventKind::kUpdateEnqueued:
+      queued_updates_.insert(event.update_id);
+      if (queued_updates_.size() >= options_.uq_depth_threshold) {
+        Trip("uq-depth-spike", event.time);
+      }
+      break;
+    case EventKind::kUpdateInstalled:
+    case EventKind::kUpdateDropped:
+      queued_updates_.erase(event.update_id);
+      break;
+    default:
+      break;
+  }
+}
+
+namespace {
+
+void DumpEvent(std::ostream& out, const TraceEvent& event) {
+  char time_buffer[40];
+  std::snprintf(time_buffer, sizeof(time_buffer), "%.9f", event.time);
+  out << EventKindName(event.kind) << "," << time_buffer << ",";
+  if (event.txn_id != kNoId) out << event.txn_id;
+  out << ",";
+  if (event.update_id != kNoId) out << event.update_id;
+  out << ",";
+  if (event.has_object) {
+    out << db::ObjectClassName(event.object.cls) << ":"
+        << event.object.index;
+  }
+  out << "," << EventDetail(event) << ",";
+  // The rationale column: a policy decision's reason token.
+  if (event.kind == EventKind::kPolicyDecision && event.reason != nullptr) {
+    out << event.reason;
+  }
+  out << ",";
+  if (event.kind == EventKind::kDispatch ||
+      event.kind == EventKind::kSegmentComplete) {
+    char instr_buffer[40];
+    std::snprintf(instr_buffer, sizeof(instr_buffer), "%.17g",
+                  event.instructions);
+    out << instr_buffer;
+  }
+  out << "\n";
+}
+
+}  // namespace
+
+void FlightRecorder::DumpTo(std::ostream& out) const {
+  char trip_buffer[40];
+  std::snprintf(trip_buffer, sizeof(trip_buffer), "%.9f", trip_time_);
+  out << "# strip-flight v1 trip="
+      << (trip_predicate_ != nullptr ? trip_predicate_ : "none")
+      << " trip_time=" << (tripped() ? trip_buffer : "0.000000000")
+      << " events=" << size() << "\n";
+  out << "kind,time,txn,update,object,detail,reason,instructions\n";
+  const std::size_t count = size();
+  const std::size_t start = full_ ? head_ : 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    DumpEvent(out, ring_[(start + i) % ring_.size()]);
+  }
+}
+
+}  // namespace strip::obs::trace

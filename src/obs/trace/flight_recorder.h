@@ -1,0 +1,108 @@
+// Bounded flight recorder with anomaly-triggered post-mortem dumps.
+//
+// Retains the last `capacity` TraceEvents of a run in a preallocated
+// ring buffer (no allocation per event) and watches three anomaly
+// predicates as events stream through:
+//
+//   deadline-miss-burst   >= miss_burst_count deadline failures
+//                         (missed-deadline or infeasible terminals)
+//                         within miss_burst_window_seconds
+//   stale-fraction        over the last stale_window terminal
+//                         transactions, the fraction that read stale
+//                         data >= stale_fraction
+//   uq-depth-spike        the update queue's depth (reconstructed from
+//                         enqueue/install/drop events) reached
+//                         uq_depth_threshold
+//
+// When a predicate first trips the recorder latches: the tripping
+// event is retained and recording stops, so the ring holds the window
+// leading up to the anomaly. DumpTo writes it in the flight-record
+// text format — a versioned header line, a column header, then one
+// CSV row per event (oldest first):
+//
+//   # strip-flight v1 trip=<predicate> trip_time=<t> events=<n>
+//   kind,time,txn,update,object,detail,reason,instructions
+//   dispatch,0.004176060,3,,,compute,,30000
+//
+// The format is byte-deterministic and parsed back by
+// obs::trace::ParseFlightDump (trace_analysis.h) / tools/strip_trace.
+
+#ifndef STRIP_OBS_TRACE_FLIGHT_RECORDER_H_
+#define STRIP_OBS_TRACE_FLIGHT_RECORDER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <ostream>
+#include <unordered_set>
+#include <vector>
+
+#include "obs/trace/collector.h"
+
+namespace strip::obs::trace {
+
+struct FlightRecorderOptions {
+  // Events retained (the post-mortem window).
+  std::size_t capacity = 4096;
+
+  // deadline-miss-burst predicate.
+  int miss_burst_count = 8;
+  double miss_burst_window_seconds = 1.0;
+
+  // stale-fraction predicate (evaluated once the window is full).
+  int stale_window = 256;
+  double stale_fraction = 0.5;
+
+  // uq-depth-spike predicate.
+  std::size_t uq_depth_threshold = 512;
+
+  // When false the recorder only records (never trips).
+  bool armed = true;
+};
+
+class FlightRecorder : public TraceCollector {
+ public:
+  explicit FlightRecorder(FlightRecorderOptions options = {});
+
+  // Did a predicate trip? Once tripped the recorder is latched and
+  // ignores further events.
+  bool tripped() const { return trip_predicate_ != nullptr; }
+  // The tripped predicate's name ("deadline-miss-burst",
+  // "stale-fraction", "uq-depth-spike"), or nullptr.
+  const char* trip_predicate() const { return trip_predicate_; }
+  sim::Time trip_time() const { return trip_time_; }
+
+  // Events currently retained (<= capacity).
+  std::size_t size() const;
+  std::uint64_t events_seen() const { return events_seen_; }
+
+  // Writes the retained window, oldest first, in the flight-record
+  // text format (see file comment).
+  void DumpTo(std::ostream& out) const;
+
+ protected:
+  void Emit(const TraceEvent& event) override;
+
+ private:
+  void Check(const TraceEvent& event);
+  void Trip(const char* predicate, sim::Time when);
+
+  FlightRecorderOptions options_;
+  // Ring: slot head_ is the next write position; full_ marks wrap.
+  std::vector<TraceEvent> ring_;
+  std::size_t head_ = 0;
+  bool full_ = false;
+  std::uint64_t events_seen_ = 0;
+
+  // Predicate state.
+  std::deque<sim::Time> recent_miss_times_;
+  std::deque<bool> recent_stale_;
+  int recent_stale_count_ = 0;
+  std::unordered_set<std::uint64_t> queued_updates_;
+  const char* trip_predicate_ = nullptr;
+  sim::Time trip_time_ = 0;
+};
+
+}  // namespace strip::obs::trace
+
+#endif  // STRIP_OBS_TRACE_FLIGHT_RECORDER_H_

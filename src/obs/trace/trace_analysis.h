@@ -1,0 +1,117 @@
+// Reading traces back: parsers and queries for tools/strip_trace.
+//
+// Both sink formats are parsed into a common ParsedEvent list:
+//
+//  - flight-record dumps (FlightRecorder::DumpTo) — the CSV rows;
+//  - Chrome trace JSON (ChromeTraceWriter) — each event line's
+//    category is its EventKindName token, which is what the reader
+//    keys on (a purpose-built reader for this exporter's output, not
+//    a general JSON parser).
+//
+// On top of the event list: filters (by transaction, object, time
+// window), per-policy-decision counts, and critical-path extraction —
+// the full CPU timeline of one transaction from admission to its
+// terminal, with every wait annotated by what held the CPU meanwhile.
+
+#ifndef STRIP_OBS_TRACE_TRACE_ANALYSIS_H_
+#define STRIP_OBS_TRACE_TRACE_ANALYSIS_H_
+
+#include <cstdint>
+#include <istream>
+#include <map>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/trace/trace_event.h"
+
+namespace strip::obs::trace {
+
+// One parsed event. String fields hold the wire tokens (EventKindName
+// kinds, detail/reason tokens, "low:3" objects); numeric identities
+// use kNoId when absent.
+struct ParsedEvent {
+  std::string kind;
+  double time = 0;
+  std::uint64_t txn = kNoId;
+  std::uint64_t update = kNoId;
+  std::string object;
+  std::string detail;
+  std::string reason;
+  double instructions = 0;
+};
+
+struct ParsedTrace {
+  // Flight dumps: the tripped predicate ("none" when untripped) and
+  // trip time. Chrome traces: "chrome" / 0.
+  std::string trip_predicate;
+  double trip_time = 0;
+  std::vector<ParsedEvent> events;
+};
+
+// Parses a flight-record dump. Returns nullopt (with *error set) on a
+// malformed header or row.
+std::optional<ParsedTrace> ParseFlightDump(std::istream& in,
+                                           std::string* error);
+
+// Parses a ChromeTraceWriter document back into events. Metadata and
+// flow records are skipped; B/E span records come back as "dispatch" /
+// "segment-complete" events.
+std::optional<ParsedTrace> ParseChromeTrace(std::istream& in,
+                                            std::string* error);
+
+// --- queries ---------------------------------------------------------------
+
+std::vector<ParsedEvent> FilterByTxn(const std::vector<ParsedEvent>& events,
+                                     std::uint64_t txn);
+std::vector<ParsedEvent> FilterByObject(
+    const std::vector<ParsedEvent>& events, const std::string& object);
+std::vector<ParsedEvent> FilterByWindow(
+    const std::vector<ParsedEvent>& events, double from, double to);
+
+// Policy-decision tallies: "choice/reason" -> count.
+std::map<std::string, std::uint64_t> DecisionCounts(
+    const std::vector<ParsedEvent>& events);
+
+// Event-count-by-kind summary.
+std::map<std::string, std::uint64_t> KindCounts(
+    const std::vector<ParsedEvent>& events);
+
+// One step of a transaction's critical path: either a CPU segment the
+// transaction ran ("run") or a wait, annotated with what occupied the
+// CPU during it.
+struct CriticalPathStep {
+  double start = 0;
+  double end = 0;
+  std::string what;  // "run <dispatch-kind>" / "wait" / "preempted <reason>"
+  std::string note;  // wait annotation: "updater install-uq x3, txn 17 ..."
+};
+
+struct CriticalPath {
+  std::uint64_t txn = kNoId;
+  std::string outcome;  // terminal detail token, "" if the trace window
+                        // ends before the terminal
+  double admitted = 0;
+  double terminal = 0;
+  double running_seconds = 0;
+  double waiting_seconds = 0;
+  std::vector<CriticalPathStep> steps;
+};
+
+// Reconstructs `txn`'s critical path from the event list. Returns
+// nullopt (with *error set) when the transaction never appears.
+std::optional<CriticalPath> ExtractCriticalPath(
+    const std::vector<ParsedEvent>& events, std::uint64_t txn,
+    std::string* error);
+
+// The first transaction in the trace that missed its deadline, if any.
+std::optional<std::uint64_t> FirstMissedDeadlineTxn(
+    const std::vector<ParsedEvent>& events);
+
+// Human-readable critical-path report.
+void PrintCriticalPath(std::ostream& out, const CriticalPath& path);
+
+}  // namespace strip::obs::trace
+
+#endif  // STRIP_OBS_TRACE_TRACE_ANALYSIS_H_

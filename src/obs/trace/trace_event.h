@@ -1,0 +1,104 @@
+// The causal tracing layer's event record.
+//
+// Every SystemObserver hook is translated into one flat TraceEvent by
+// TraceCollector (collector.h); the Chrome exporter (chrome_trace.h)
+// and the flight recorder (flight_recorder.h) consume the same record.
+// Events carry stable identities — transaction ids and update ids are
+// the model's own monotonically assigned ids — so the full lifecycle
+// of each transaction (admit → dispatch → segments → preemptions →
+// stale reads → terminal) and each update (arrive → enqueue →
+// dedup/drop → install) can be reconstructed from the stream, and the
+// on-demand install of an update can be causally linked back to the
+// demanding transaction.
+//
+// TraceEvent is a flat value type (no heap members; `reason` points at
+// static storage) so the flight recorder can keep thousands of them in
+// a preallocated ring without allocation on the hot path.
+
+#ifndef STRIP_OBS_TRACE_TRACE_EVENT_H_
+#define STRIP_OBS_TRACE_TRACE_EVENT_H_
+
+#include <cstdint>
+
+#include "core/observer.h"
+#include "db/object.h"
+#include "sim/sim_time.h"
+#include "txn/transaction.h"
+
+namespace strip::obs::trace {
+
+// Sentinel for "no transaction / no update involved".
+inline constexpr std::uint64_t kNoId = ~std::uint64_t{0};
+
+// One lifecycle event. The tokens returned by EventKindName are the
+// wire names used both as Chrome trace categories and as the first
+// column of flight-record dumps.
+enum class EventKind {
+  kTxnAdmitted = 0,   // transaction entered the ready queue
+  kTxnTerminal,       // transaction reached a terminal outcome
+  kUpdateArrival,     // update arrived from the stream
+  kUpdateEnqueued,    // update received into the update queue
+  kUpdateInstalled,   // update written to the database
+  kUpdateDropped,     // update left the system uninstalled
+  kDispatch,          // the scheduler placed work on the CPU
+  kSegmentComplete,   // the dispatched segment ran to its end
+  kPreempt,           // the running transaction lost the CPU early
+  kStaleRead,         // a view read encountered stale data
+  kPolicyDecision,    // the scheduler consulted the policy
+  kPhase,             // run-phase boundary (warm-up end / run end)
+};
+
+const char* EventKindName(EventKind kind);
+
+struct TraceEvent {
+  EventKind kind = EventKind::kPhase;
+  sim::Time time = 0;
+
+  // The transaction this event belongs to (kNoId when none). For
+  // kUpdateInstalled this is the *demanding* transaction of an
+  // on-demand install (kNoId for ordinary update-process installs) —
+  // the causal link of the OD policy.
+  std::uint64_t txn_id = kNoId;
+  // The update this event concerns (kNoId when none).
+  std::uint64_t update_id = kNoId;
+
+  // The object read or updated; valid when has_object.
+  db::ObjectId object{};
+  bool has_object = false;
+
+  // Kind-specific detail (which member is meaningful depends on kind).
+  core::SystemObserver::DispatchKind dispatch_kind =
+      core::SystemObserver::DispatchKind::kTxnCompute;
+  core::SystemObserver::PreemptReason preempt_reason =
+      core::SystemObserver::PreemptReason::kUpdateArrival;
+  core::SystemObserver::SchedulerChoice choice =
+      core::SystemObserver::SchedulerChoice::kIdle;
+  core::SystemObserver::DropReason drop_reason =
+      core::SystemObserver::DropReason::kOsQueueFull;
+  core::SystemObserver::Phase phase = core::SystemObserver::Phase::kRunEnd;
+  core::PolicyKind policy = core::PolicyKind::kUpdateFirst;
+  txn::TxnOutcome outcome = txn::TxnOutcome::kPending;
+  txn::TxnClass txn_cls = txn::TxnClass::kLowValue;
+
+  // Policy-decision rationale; static storage, never owned.
+  const char* reason = nullptr;
+
+  // Instructions of a dispatched segment (kDispatch/kSegmentComplete).
+  double instructions = 0;
+  // Deadline and value of an admitted transaction (kTxnAdmitted).
+  double deadline = 0;
+  double value = 0;
+  // Whether a terminal transaction had read stale data (kTxnTerminal).
+  bool read_stale = false;
+};
+
+// The kind-specific detail token of an event: the dispatch-kind name
+// for kDispatch/kSegmentComplete, the outcome name for kTxnTerminal,
+// the drop reason for kUpdateDropped, the scheduler choice for
+// kPolicyDecision, the preempt reason for kPreempt, the phase name for
+// kPhase; "" when the kind has no detail. Static storage.
+const char* EventDetail(const TraceEvent& event);
+
+}  // namespace strip::obs::trace
+
+#endif  // STRIP_OBS_TRACE_TRACE_EVENT_H_

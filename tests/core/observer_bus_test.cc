@@ -1,7 +1,7 @@
 // ObserverBus fan-out semantics: registration order, reentrant
-// add/remove from inside callbacks, RAII registration, the deprecated
-// set_observer shim, and the new OnPhase / OnStaleRead hooks end to
-// end through a real System run.
+// add/remove from inside callbacks (including nested dispatches), RAII
+// registration, and the OnPhase / OnStaleRead hooks end to end through
+// a real System run.
 
 #include <string>
 #include <vector>
@@ -176,25 +176,54 @@ TEST(ObserverBusTest, ScopedObserverDetachesOnScopeExit) {
   EXPECT_EQ(a.events(), 1);
 }
 
-TEST(ObserverBusTest, DeprecatedSetObserverShimStillWorks) {
-  sim::Simulator sim;
-  Config config;
-  config.external_workload = true;
-  config.sim_seconds = 1.0;
-  System system(&sim, config, 1);
+// Fires one nested notify round from inside its own callback.
+class NestingObserver : public TaggedObserver {
+ public:
+  NestingObserver(std::string tag, std::vector<std::string>* log,
+                  ObserverBus* bus)
+      : TaggedObserver(std::move(tag), log), bus_(bus) {}
 
+  void OnPhase(sim::Time now, Phase phase) override {
+    TaggedObserver::OnPhase(now, phase);
+    if (!fired_) {
+      fired_ = true;
+      bus_->NotifyPhase(now, SystemObserver::Phase::kRunEnd);
+    }
+  }
+
+ private:
+  ObserverBus* bus_;
+  bool fired_ = false;
+};
+
+TEST(ObserverBusTest, RemoveInsideNestedDispatchSkipsOuterWalkToo) {
+  ObserverBus bus;
   std::vector<std::string> log;
-  TaggedObserver a("a", &log), b("b", &log);
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  system.set_observer(&a);
-  EXPECT_EQ(system.observer_bus().size(), 1u);
-  // Re-setting swaps the legacy slot rather than accumulating.
-  system.set_observer(&b);
-  EXPECT_EQ(system.observer_bus().size(), 1u);
-  system.set_observer(nullptr);
-  EXPECT_TRUE(system.observer_bus().empty());
-#pragma GCC diagnostic pop
+  NestingObserver nester("n", &log, &bus);
+  RemovingObserver remover("r", &log, &bus);
+  TaggedObserver victim("v", &log);
+  bus.Add(&nester);
+  bus.Add(&remover);
+  bus.Add(&victim);
+  remover.set_victim(&victim);
+
+  // Outer round (warmup_end): the nester first fires a nested run_end
+  // round; inside it the remover drops the victim. The victim must
+  // hear neither the nested event nor the remainder of the *outer*
+  // round — its slot is nulled in place, never erased, so the outer
+  // walk's indexes stay aligned (the dispatch assertion enforces
+  // this).
+  bus.NotifyPhase(1.0, SystemObserver::Phase::kWarmupEnd);
+  EXPECT_EQ(log, (std::vector<std::string>{"n:warmup_end", "n:run_end",
+                                           "r:run_end", "r:warmup_end"}));
+  EXPECT_EQ(victim.events(), 0);
+  EXPECT_EQ(bus.size(), 2u);
+
+  // The nulled slot was compacted when the outermost dispatch
+  // unwound; later rounds reach only the survivors.
+  bus.NotifyPhase(2.0, SystemObserver::Phase::kRunEnd);
+  EXPECT_EQ(victim.events(), 0);
+  EXPECT_EQ(remover.events(), 3);
 }
 
 // The new hooks through a real run: a System with warm-up fires

@@ -1,0 +1,180 @@
+// Lifecycle-hook semantics on real runs.
+//
+// Pins the two contracts the causal tracer depends on:
+//
+//  - every OnDispatch is closed by exactly one OnSegmentComplete or
+//    OnPreempt before the next OnDispatch, for every policy;
+//  - a stale read healed by On Demand fires BOTH OnStaleRead (at
+//    detection) and OnUpdateInstalled with on_demand_by set to the
+//    demanding transaction — the OD causal link.
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/system.h"
+#include "sim/simulator.h"
+
+namespace strip::core {
+namespace {
+
+struct StaleReadSeen {
+  sim::Time time;
+  std::uint64_t txn;
+  db::ObjectId object;
+};
+
+struct OdInstallSeen {
+  sim::Time time;
+  std::uint64_t txn;
+  std::uint64_t update;
+  db::ObjectId object;
+};
+
+class HookRecorder : public SystemObserver {
+ public:
+  void OnDispatch(sim::Time now, const DispatchInfo& dispatch) override {
+    EXPECT_FALSE(span_open_) << "OnDispatch while a span is open at "
+                             << now;
+    span_open_ = true;
+    ++dispatches_;
+    // Exactly one of transaction/update is set.
+    EXPECT_NE(dispatch.transaction == nullptr,
+              dispatch.update == nullptr);
+    EXPECT_GE(dispatch.instructions, 0.0);
+    if (dispatch.kind == DispatchKind::kTxnOdApply) {
+      od_apply_txn_ = dispatch.transaction->id();
+      have_od_apply_ = true;
+    }
+  }
+
+  void OnSegmentComplete(sim::Time now,
+                         const DispatchInfo& dispatch) override {
+    (void)dispatch;
+    EXPECT_TRUE(span_open_) << "OnSegmentComplete with no open span at "
+                            << now;
+    span_open_ = false;
+    ++completes_;
+  }
+
+  void OnPreempt(sim::Time now, const txn::Transaction& transaction,
+                 PreemptReason reason) override {
+    (void)transaction;
+    (void)reason;
+    EXPECT_TRUE(span_open_) << "OnPreempt with no open span at " << now;
+    span_open_ = false;
+    ++preempts_;
+  }
+
+  void OnStaleRead(sim::Time now, const txn::Transaction& transaction,
+                   db::ObjectId object) override {
+    stale_reads_.push_back({now, transaction.id(), object});
+  }
+
+  void OnUpdateInstalled(sim::Time now, const db::Update& update,
+                         const txn::Transaction* on_demand_by) override {
+    if (on_demand_by == nullptr) {
+      ++plain_installs_;
+      return;
+    }
+    // An OD install is the outcome of the most recent od-apply
+    // dispatch, and belongs to the same transaction.
+    EXPECT_TRUE(have_od_apply_);
+    EXPECT_EQ(on_demand_by->id(), od_apply_txn_);
+    od_installs_.push_back(
+        {now, on_demand_by->id(), update.id, update.object});
+  }
+
+  bool span_open() const { return span_open_; }
+  std::uint64_t dispatches() const { return dispatches_; }
+  std::uint64_t completes() const { return completes_; }
+  std::uint64_t preempts() const { return preempts_; }
+  std::uint64_t plain_installs() const { return plain_installs_; }
+  const std::vector<StaleReadSeen>& stale_reads() const {
+    return stale_reads_;
+  }
+  const std::vector<OdInstallSeen>& od_installs() const {
+    return od_installs_;
+  }
+
+ private:
+  bool span_open_ = false;
+  bool have_od_apply_ = false;
+  std::uint64_t od_apply_txn_ = 0;
+  std::uint64_t dispatches_ = 0;
+  std::uint64_t completes_ = 0;
+  std::uint64_t preempts_ = 0;
+  std::uint64_t plain_installs_ = 0;
+  std::vector<StaleReadSeen> stale_reads_;
+  std::vector<OdInstallSeen> od_installs_;
+};
+
+TEST(SchedulerHooksTest, DispatchSpansPairUnderEveryPolicy) {
+  for (PolicyKind policy :
+       {PolicyKind::kUpdateFirst, PolicyKind::kTransactionFirst,
+        PolicyKind::kSplitUpdates, PolicyKind::kOnDemand,
+        PolicyKind::kFixedFraction}) {
+    Config config;
+    config.policy = policy;
+    config.sim_seconds = 10.0;
+    HookRecorder recorder;
+    sim::Simulator simulator;
+    System system(&simulator, config, 11);
+    system.AddObserver(&recorder);
+    system.Run();
+    SCOPED_TRACE(PolicyKindName(policy));
+    EXPECT_GT(recorder.dispatches(), 0u);
+    // Every span was closed by exactly one complete or preempt; at
+    // most the end-of-run span is still open.
+    EXPECT_EQ(recorder.dispatches(),
+              recorder.completes() + recorder.preempts() +
+                  (recorder.span_open() ? 1 : 0));
+  }
+}
+
+TEST(SchedulerHooksTest, OdHealedStaleReadFiresBothHooks) {
+  // A tight freshness bound under OD: view reads hit stale objects and
+  // demand installs.
+  Config config;
+  config.policy = PolicyKind::kOnDemand;
+  config.sim_seconds = 10.0;
+  config.alpha = 0.5;
+  config.n_low = 200;
+  config.n_high = 200;
+  HookRecorder recorder;
+  sim::Simulator simulator;
+  System system(&simulator, config, 7);
+  system.AddObserver(&recorder);
+  const RunMetrics metrics = system.Run();
+
+  // The hot update stream makes reads hit stale objects and the OD
+  // machinery install fixes on demand.
+  ASSERT_FALSE(recorder.od_installs().empty());
+  ASSERT_FALSE(recorder.stale_reads().empty());
+
+  // Every OD install is causally preceded by a stale-read detection by
+  // the same transaction on the same object.
+  for (const OdInstallSeen& install : recorder.od_installs()) {
+    bool matched = false;
+    for (const StaleReadSeen& read : recorder.stale_reads()) {
+      if (read.txn == install.txn && read.object == install.object &&
+          read.time <= install.time) {
+        matched = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(matched)
+        << "od install of update " << install.update << " for txn "
+        << install.txn << " without a prior stale read";
+  }
+
+  // OnStaleRead fires at detection even when OD heals the read, so the
+  // hook count dominates the metric (which only counts transactions
+  // whose reads stayed stale).
+  EXPECT_GE(recorder.stale_reads().size(),
+            metrics.txns_committed_stale + metrics.txns_stale_aborted);
+}
+
+}  // namespace
+}  // namespace strip::core

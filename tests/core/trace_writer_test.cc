@@ -65,7 +65,7 @@ TEST(TraceWriterTest, TransactionRecordFormat) {
 TEST(TraceWriterTest, UpdatesOffByDefault) {
   std::ostringstream out;
   TraceWriter writer(&out);
-  writer.OnUpdateInstalled(2.0, MakeUpdate(), false);
+  writer.OnUpdateInstalled(2.0, MakeUpdate(), nullptr);
   writer.OnUpdateDropped(2.0, MakeUpdate(),
                          SystemObserver::DropReason::kExpired);
   EXPECT_EQ(writer.records_written(), 0u);
@@ -76,8 +76,9 @@ TEST(TraceWriterTest, UpdateRecordsWhenEnabled) {
   TraceWriter::Options options;
   options.updates = true;
   TraceWriter writer(&out, options);
-  writer.OnUpdateInstalled(2.0, MakeUpdate(), false);
-  writer.OnUpdateInstalled(2.5, MakeUpdate(), true);
+  const auto demander = MakeTxn(txn::TxnOutcome::kCommitted, 0);
+  writer.OnUpdateInstalled(2.0, MakeUpdate(), nullptr);
+  writer.OnUpdateInstalled(2.5, MakeUpdate(), demander.get());
   writer.OnUpdateDropped(3.0, MakeUpdate(),
                          SystemObserver::DropReason::kExpired);
   const std::string s = out.str();
@@ -85,6 +86,30 @@ TEST(TraceWriterTest, UpdateRecordsWhenEnabled) {
   EXPECT_NE(s.find("installed-od"), std::string::npos);
   EXPECT_NE(s.find("expired"), std::string::npos);
   EXPECT_EQ(writer.records_written(), 3u);
+}
+
+TEST(TraceWriterTest, StaleReadAndPhaseRows) {
+  std::ostringstream out;
+  TraceWriter writer(&out);
+  const auto t = MakeTxn(txn::TxnOutcome::kCommitted, 0);
+  writer.OnStaleRead(1.25, *t, {db::ObjectClass::kLowImportance, 9});
+  writer.OnPhase(2.0, SystemObserver::Phase::kWarmupEnd);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("stale,1.25,42,high,low,9,,,"), std::string::npos);
+  EXPECT_NE(s.find("phase,2,,,warmup_end,,,,"), std::string::npos);
+  EXPECT_EQ(writer.records_written(), 2u);
+}
+
+TEST(TraceWriterTest, StaleAndPhaseRowsCanBeDisabled) {
+  std::ostringstream out;
+  TraceWriter::Options options;
+  options.stale_reads = false;
+  options.phases = false;
+  TraceWriter writer(&out, options);
+  const auto t = MakeTxn(txn::TxnOutcome::kCommitted, 0);
+  writer.OnStaleRead(1.25, *t, {db::ObjectClass::kLowImportance, 9});
+  writer.OnPhase(2.0, SystemObserver::Phase::kWarmupEnd);
+  EXPECT_EQ(writer.records_written(), 0u);
 }
 
 TEST(TraceWriterTest, TransactionsCanBeDisabled) {

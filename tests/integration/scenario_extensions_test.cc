@@ -280,8 +280,8 @@ class MiniRecorder : public SystemObserver {
         {now, t.id(), 't', static_cast<int>(t.outcome())});
   }
   void OnUpdateInstalled(sim::Time now, const db::Update& u,
-                         bool on_demand) override {
-    events.push_back({now, u.id, 'i', on_demand ? 1 : 0});
+                         const txn::Transaction* on_demand_by) override {
+    events.push_back({now, u.id, 'i', on_demand_by != nullptr ? 1 : 0});
   }
   void OnUpdateDropped(sim::Time now, const db::Update& u,
                        DropReason reason) override {

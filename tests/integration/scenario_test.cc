@@ -45,8 +45,8 @@ class Recorder : public SystemObserver {
     txns.push_back({now, t.id(), t.outcome(), t.stale_reads()});
   }
   void OnUpdateInstalled(sim::Time now, const db::Update& u,
-                         bool on_demand) override {
-    installs.push_back({now, u.id, on_demand});
+                         const txn::Transaction* on_demand_by) override {
+    installs.push_back({now, u.id, on_demand_by != nullptr});
   }
 
   std::vector<TxnEvent> txns;

@@ -1,0 +1,191 @@
+// trace_analysis: both parsers, the filters, decision tallies, and
+// critical-path reconstruction on a hand-written event stream.
+
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/trace/trace_analysis.h"
+
+namespace strip::obs::trace {
+namespace {
+
+// A small flight dump: txn 3 admitted, waits behind two updater
+// installs, runs, is preempted, runs again, and misses its deadline.
+constexpr char kFlightDump[] =
+    "# strip-flight v1 trip=deadline-miss-burst trip_time=0.900000000 "
+    "events=12\n"
+    "kind,time,txn,update,object,detail,reason,instructions\n"
+    "txn-admitted,0.100000000,3,,,,,\n"
+    "policy-decision,0.100000000,,,,install,uf-install-on-arrival,\n"
+    "dispatch,0.100000000,,7,low:2,install-uq,,4000\n"
+    "segment-complete,0.200000000,,7,low:2,install-uq,,4000\n"
+    "update-installed,0.200000000,,7,low:2,,,\n"
+    "dispatch,0.200000000,,8,high:1,install-uq,,4000\n"
+    "segment-complete,0.300000000,,8,high:1,install-uq,,4000\n"
+    "dispatch,0.300000000,3,,,compute,,30000\n"
+    "preempt,0.500000000,3,,,update-arrival,,\n"
+    "dispatch,0.600000000,3,,,compute,,10000\n"
+    "segment-complete,0.800000000,3,,,compute,,10000\n"
+    "txn-terminal,0.900000000,3,,,missed-deadline,,\n";
+
+TEST(ParseFlightDumpTest, HeaderAndRows) {
+  std::istringstream in(kFlightDump);
+  std::string error;
+  const std::optional<ParsedTrace> parsed = ParseFlightDump(in, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->trip_predicate, "deadline-miss-burst");
+  EXPECT_DOUBLE_EQ(parsed->trip_time, 0.9);
+  ASSERT_EQ(parsed->events.size(), 12u);
+  const ParsedEvent& dispatch = parsed->events[2];
+  EXPECT_EQ(dispatch.kind, "dispatch");
+  EXPECT_EQ(dispatch.txn, kNoId);
+  EXPECT_EQ(dispatch.update, 7u);
+  EXPECT_EQ(dispatch.object, "low:2");
+  EXPECT_EQ(dispatch.detail, "install-uq");
+  EXPECT_DOUBLE_EQ(dispatch.instructions, 4000);
+  const ParsedEvent& decision = parsed->events[1];
+  EXPECT_EQ(decision.detail, "install");
+  EXPECT_EQ(decision.reason, "uf-install-on-arrival");
+}
+
+TEST(ParseFlightDumpTest, RejectsForeignText) {
+  std::istringstream in("hello,world\n1,2\n");
+  std::string error;
+  EXPECT_FALSE(ParseFlightDump(in, &error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(ParseFlightDumpTest, RejectsMalformedRow) {
+  std::istringstream in(
+      "# strip-flight v1 trip=none trip_time=0.000000000 events=1\n"
+      "kind,time,txn,update,object,detail,reason,instructions\n"
+      "dispatch,0.1,3\n");
+  std::string error;
+  EXPECT_FALSE(ParseFlightDump(in, &error).has_value());
+  EXPECT_NE(error.find("line 3"), std::string::npos);
+}
+
+TEST(ParseChromeTraceTest, ReadsEventsBackByCategory) {
+  std::istringstream in(
+      "{\"traceEvents\":[\n"
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
+      "\"args\":{\"name\":\"strip\"}},\n"
+      "{\"name\":\"admitted\",\"cat\":\"txn-admitted\",\"ph\":\"i\","
+      "\"s\":\"t\",\"pid\":1,\"tid\":1003,\"ts\":100000.000,"
+      "\"args\":{\"txn\":3,\"class\":\"low\",\"deadline\":1,\"value\":1}},\n"
+      "{\"name\":\"compute\",\"cat\":\"dispatch\",\"ph\":\"B\",\"pid\":1,"
+      "\"tid\":1003,\"ts\":300000.000,\"args\":{\"instr\":30000,"
+      "\"txn\":3}},\n"
+      "{\"name\":\"compute\",\"cat\":\"segment-complete\",\"ph\":\"E\","
+      "\"pid\":1,\"tid\":1003,\"ts\":500000.000},\n"
+      "{\"name\":\"od-install\",\"cat\":\"od-flow\",\"ph\":\"s\",\"pid\":1,"
+      "\"tid\":2,\"ts\":100000.000,\"id\":7},\n"
+      "{\"name\":\"receive\",\"cat\":\"policy-decision\",\"ph\":\"i\","
+      "\"s\":\"t\",\"pid\":1,\"tid\":1,\"ts\":200000.000,"
+      "\"args\":{\"policy\":\"UF\",\"reason\":\"os-pending\"}}\n"
+      "]}\n");
+  std::string error;
+  const std::optional<ParsedTrace> parsed = ParseChromeTrace(in, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  // Metadata and flow records are skipped; 4 payload events remain.
+  ASSERT_EQ(parsed->events.size(), 4u);
+  EXPECT_EQ(parsed->events[0].kind, "txn-admitted");
+  EXPECT_DOUBLE_EQ(parsed->events[0].time, 0.1);
+  EXPECT_EQ(parsed->events[0].txn, 3u);
+  EXPECT_EQ(parsed->events[1].kind, "dispatch");
+  EXPECT_EQ(parsed->events[1].detail, "compute");
+  EXPECT_DOUBLE_EQ(parsed->events[1].instructions, 30000);
+  // The bare E record inherits the open dispatch's identities.
+  EXPECT_EQ(parsed->events[2].kind, "segment-complete");
+  EXPECT_EQ(parsed->events[2].txn, 3u);
+  EXPECT_DOUBLE_EQ(parsed->events[2].time, 0.5);
+  EXPECT_EQ(parsed->events[3].kind, "policy-decision");
+  EXPECT_EQ(parsed->events[3].detail, "receive");
+  EXPECT_EQ(parsed->events[3].reason, "os-pending");
+}
+
+TEST(ParseChromeTraceTest, RejectsForeignText) {
+  std::istringstream in("{\"notATrace\": true}\n");
+  std::string error;
+  EXPECT_FALSE(ParseChromeTrace(in, &error).has_value());
+}
+
+std::vector<ParsedEvent> FlightEvents() {
+  std::istringstream in(kFlightDump);
+  std::string error;
+  const std::optional<ParsedTrace> parsed = ParseFlightDump(in, &error);
+  EXPECT_TRUE(parsed.has_value()) << error;
+  return parsed->events;
+}
+
+TEST(FiltersTest, ByTxnObjectAndWindow) {
+  const std::vector<ParsedEvent> events = FlightEvents();
+  EXPECT_EQ(FilterByTxn(events, 3).size(), 6u);
+  EXPECT_EQ(FilterByTxn(events, 99).size(), 0u);
+  EXPECT_EQ(FilterByObject(events, "low:2").size(), 3u);
+  EXPECT_EQ(FilterByObject(events, "high:1").size(), 2u);
+  EXPECT_EQ(FilterByWindow(events, 0.2, 0.3).size(), 5u);
+  EXPECT_EQ(FilterByWindow(events, 5.0, 9.0).size(), 0u);
+}
+
+TEST(DecisionCountsTest, TalliesChoiceSlashReason) {
+  const auto counts = DecisionCounts(FlightEvents());
+  ASSERT_EQ(counts.size(), 1u);
+  EXPECT_EQ(counts.at("install/uf-install-on-arrival"), 1u);
+}
+
+TEST(KindCountsTest, CountsEveryKind) {
+  const auto counts = KindCounts(FlightEvents());
+  EXPECT_EQ(counts.at("dispatch"), 4u);
+  EXPECT_EQ(counts.at("segment-complete"), 3u);
+  EXPECT_EQ(counts.at("preempt"), 1u);
+  EXPECT_EQ(counts.at("txn-terminal"), 1u);
+}
+
+TEST(CriticalPathTest, ReconstructsRunsWaitsAndPreemption) {
+  const std::vector<ParsedEvent> events = FlightEvents();
+  const std::optional<std::uint64_t> miss = FirstMissedDeadlineTxn(events);
+  ASSERT_TRUE(miss.has_value());
+  EXPECT_EQ(*miss, 3u);
+
+  std::string error;
+  const std::optional<CriticalPath> path =
+      ExtractCriticalPath(events, 3, &error);
+  ASSERT_TRUE(path.has_value()) << error;
+  EXPECT_EQ(path->outcome, "missed-deadline");
+  EXPECT_DOUBLE_EQ(path->admitted, 0.1);
+  EXPECT_DOUBLE_EQ(path->terminal, 0.9);
+  // Runs: 0.3-0.5 (cut by preemption) and 0.6-0.8. Waits: 0.1-0.3,
+  // 0.5-0.6, 0.8-0.9.
+  EXPECT_NEAR(path->running_seconds, 0.4, 1e-9);
+  EXPECT_NEAR(path->waiting_seconds, 0.4, 1e-9);
+  EXPECT_NEAR(path->running_seconds + path->waiting_seconds,
+              path->terminal - path->admitted, 1e-9);
+  ASSERT_EQ(path->steps.size(), 6u);
+  EXPECT_EQ(path->steps[0].what, "wait");
+  // The first wait names the updater work that held the CPU.
+  EXPECT_NE(path->steps[0].note.find("updater install-uq x2"),
+            std::string::npos);
+  EXPECT_EQ(path->steps[1].what, "run compute");
+  EXPECT_EQ(path->steps[2].what, "preempted update-arrival");
+  EXPECT_EQ(path->steps[3].what, "wait");
+  EXPECT_EQ(path->steps[4].what, "run compute");
+  EXPECT_EQ(path->steps[5].what, "wait");
+
+  std::ostringstream report;
+  PrintCriticalPath(report, *path);
+  EXPECT_NE(report.str().find("critical path: txn 3"), std::string::npos);
+  EXPECT_NE(report.str().find("outcome=missed-deadline"),
+            std::string::npos);
+}
+
+TEST(CriticalPathTest, UnknownTxnIsAnError) {
+  std::string error;
+  EXPECT_FALSE(ExtractCriticalPath(FlightEvents(), 99, &error).has_value());
+  EXPECT_NE(error.find("99"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace strip::obs::trace

@@ -5,6 +5,9 @@
 //   --seed=N    base random seed            (default 1)
 //   --reps=N    replications                (default 1)
 //   --telemetry=PATH   write run telemetry JSON (first replication)
+//   --chrome-trace=PATH   write a Chrome trace-event JSON lifecycle
+//               trace of the first replication (open in Perfetto /
+//               chrome://tracing; inspect with strip_trace --chrome=)
 //   --print-config   echo the resolved configuration and exit
 //   --quiet     print only the summary line
 //
@@ -30,6 +33,7 @@
 #include "exp/config_flags.h"
 #include "exp/experiment.h"
 #include "obs/telemetry.h"
+#include "obs/trace/chrome_trace.h"
 #include "sim/stats.h"
 
 namespace {
@@ -37,8 +41,8 @@ namespace {
 [[noreturn]] void PrintHelpAndExit() {
   std::printf("usage: strip_sim [--name=value ...]\n\n");
   std::printf(
-      "runner flags: --seed=N --reps=N --telemetry=PATH --print-config "
-      "--quiet\n\n");
+      "runner flags: --seed=N --reps=N --telemetry=PATH "
+      "--chrome-trace=PATH --print-config --quiet\n\n");
   std::printf("model parameters (defaults are the paper's baseline):\n");
   for (const std::string& name : strip::exp::ConfigFlagNames()) {
     std::printf("  --%s=\n", name.c_str());
@@ -135,6 +139,7 @@ int main(int argc, char** argv) {
   bool print_config = false;
   bool quiet = false;
   std::string telemetry_path;
+  std::string chrome_trace_path;
   for (const std::string& arg : rest) {
     if (arg.rfind("--seed=", 0) == 0) {
       seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
@@ -142,6 +147,8 @@ int main(int argc, char** argv) {
       reps = std::atoi(arg.c_str() + 7);
     } else if (arg.rfind("--telemetry=", 0) == 0) {
       telemetry_path = arg.substr(12);
+    } else if (arg.rfind("--chrome-trace=", 0) == 0) {
+      chrome_trace_path = arg.substr(15);
     } else if (arg == "--print-config") {
       print_config = true;
     } else if (arg == "--quiet") {
@@ -171,27 +178,50 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  // With --telemetry, the first replication carries a RunTelemetry
-  // recorder and writes the document once its run completes.
+  // With --telemetry / --chrome-trace, the first replication carries
+  // the corresponding recorders and writes the documents once its run
+  // completes. The Chrome trace streams while the run executes; the
+  // finisher only closes the document.
   strip::exp::RunHook hook;
-  if (!telemetry_path.empty()) {
-    hook = [&telemetry_path](strip::core::System& system,
-                             const strip::exp::RunContext& context)
+  if (!telemetry_path.empty() || !chrome_trace_path.empty()) {
+    hook = [&telemetry_path, &chrome_trace_path](
+               strip::core::System& system,
+               const strip::exp::RunContext& context)
         -> strip::exp::RunFinisher {
       if (context.replication != 0) return nullptr;
-      strip::obs::RunTelemetry::Options options;
-      options.seed = context.seed;
-      auto telemetry = std::make_shared<strip::obs::RunTelemetry>(
-          &system, options);
-      return [telemetry, &telemetry_path](
-                 const strip::core::RunMetrics& metrics) {
-        std::ofstream out(telemetry_path);
-        if (!out) {
-          std::fprintf(stderr, "strip_sim: cannot write telemetry to %s\n",
-                       telemetry_path.c_str());
+      std::shared_ptr<strip::obs::RunTelemetry> telemetry;
+      if (!telemetry_path.empty()) {
+        strip::obs::RunTelemetry::Options options;
+        options.seed = context.seed;
+        telemetry = std::make_shared<strip::obs::RunTelemetry>(
+            &system, options);
+      }
+      std::shared_ptr<std::ofstream> trace_out;
+      std::shared_ptr<strip::obs::trace::ChromeTraceWriter> trace;
+      if (!chrome_trace_path.empty()) {
+        trace_out = std::make_shared<std::ofstream>(chrome_trace_path);
+        if (!*trace_out) {
+          std::fprintf(stderr, "strip_sim: cannot write trace to %s\n",
+                       chrome_trace_path.c_str());
           std::exit(2);
         }
-        telemetry->WriteJson(out, metrics);
+        trace = std::make_shared<strip::obs::trace::ChromeTraceWriter>(
+            trace_out.get());
+        system.AddObserver(trace.get());
+      }
+      return [telemetry, &telemetry_path, trace, trace_out](
+                 const strip::core::RunMetrics& metrics) {
+        if (telemetry != nullptr) {
+          std::ofstream out(telemetry_path);
+          if (!out) {
+            std::fprintf(stderr,
+                         "strip_sim: cannot write telemetry to %s\n",
+                         telemetry_path.c_str());
+            std::exit(2);
+          }
+          telemetry->WriteJson(out, metrics);
+        }
+        if (trace != nullptr) trace->Finish();
       };
     };
   }

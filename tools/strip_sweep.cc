@@ -3,11 +3,17 @@
 //   strip_sweep --x=lambda_t --values=5,10,15,20,25
 //               --policies=UF,TF,SU,OD --metrics=av,p_success
 //               [--name=value ...] [--reps=N] [--seed=N] [--csv]
-//               [--json=PATH] [--telemetry-dir=DIR]
+//               [--json=PATH] [--telemetry-dir=DIR] [--flight-dir=DIR]
 //
 // --telemetry-dir=DIR writes one telemetry JSON document per sweep
 // cell (first replication only) into DIR, named
 // <policy>_<x-index>.json; DIR must already exist.
+//
+// --flight-dir=DIR attaches a flight recorder (obs/trace) to the
+// first replication of every cell and, for cells where an anomaly
+// predicate trips (deadline-miss burst, stale fraction, update-queue
+// depth spike), writes the post-mortem window to
+// DIR/flight_<policy>_<x-index>.txt for strip_trace to dissect.
 //
 // Any Config parameter (see strip_sim --help) can be fixed with
 // --name=value and any numeric one swept with --x/--values. This is
@@ -28,6 +34,7 @@
 #include "exp/experiment.h"
 #include "exp/report.h"
 #include "obs/telemetry.h"
+#include "obs/trace/flight_recorder.h"
 
 namespace {
 
@@ -106,6 +113,7 @@ int main(int argc, char** argv) {
   bool csv = false;
   std::string json_path;
   std::string telemetry_dir;
+  std::string flight_dir;
 
   for (const std::string& arg : rest) {
     if (arg.rfind("--x=", 0) == 0) {
@@ -133,6 +141,8 @@ int main(int argc, char** argv) {
       json_path = arg.substr(7);
     } else if (arg.rfind("--telemetry-dir=", 0) == 0) {
       telemetry_dir = arg.substr(16);
+    } else if (arg.rfind("--flight-dir=", 0) == 0) {
+      flight_dir = arg.substr(13);
     } else {
       Fail("unknown flag: " + arg + " (config flags need --name=value)");
     }
@@ -166,31 +176,51 @@ int main(int argc, char** argv) {
     if (const auto invalid = probe.Validate()) Fail(*invalid);
   }
 
-  // Per-cell telemetry: the first replication of every (policy, x) cell
-  // records a telemetry document into the requested directory. The hook
-  // runs on worker threads; each cell writes its own file, so no
-  // cross-thread state is shared.
-  if (!telemetry_dir.empty()) {
+  // Per-cell recorders: the first replication of every (policy, x)
+  // cell carries a telemetry recorder and/or a flight recorder. The
+  // hook runs on worker threads; each cell writes its own files, so no
+  // cross-thread state is shared. A flight dump is only written for
+  // cells where an anomaly predicate actually tripped.
+  if (!telemetry_dir.empty() || !flight_dir.empty()) {
     const std::vector<PolicyKind> hook_policies = policies;
-    spec.on_run = [telemetry_dir, hook_policies](
+    spec.on_run = [telemetry_dir, flight_dir, hook_policies](
                       strip::core::System& system,
                       const strip::exp::RunContext& context)
         -> strip::exp::RunFinisher {
       if (context.replication != 0) return nullptr;
-      strip::obs::RunTelemetry::Options options;
-      options.seed = context.seed;
-      auto telemetry = std::make_shared<strip::obs::RunTelemetry>(
-          &system, options);
-      char name[64];
-      std::snprintf(name, sizeof(name), "%s_%02zu.json",
+      char cell[64];
+      std::snprintf(cell, sizeof(cell), "%s_%02zu",
                     strip::core::PolicyKindName(
                         hook_policies[context.policy_index]),
                     context.x_index);
-      const std::string path = telemetry_dir + "/" + name;
-      return [telemetry, path](const strip::core::RunMetrics& metrics) {
-        std::ofstream out(path);
-        if (!out) Fail("cannot write telemetry to " + path);
-        telemetry->WriteJson(out, metrics);
+      std::shared_ptr<strip::obs::RunTelemetry> telemetry;
+      std::string telemetry_path;
+      if (!telemetry_dir.empty()) {
+        strip::obs::RunTelemetry::Options options;
+        options.seed = context.seed;
+        telemetry = std::make_shared<strip::obs::RunTelemetry>(
+            &system, options);
+        telemetry_path = telemetry_dir + "/" + cell + ".json";
+      }
+      std::shared_ptr<strip::obs::trace::FlightRecorder> recorder;
+      std::string flight_path;
+      if (!flight_dir.empty()) {
+        recorder = std::make_shared<strip::obs::trace::FlightRecorder>();
+        system.AddObserver(recorder.get());
+        flight_path = flight_dir + "/flight_" + cell + ".txt";
+      }
+      return [telemetry, telemetry_path, recorder, flight_path](
+                 const strip::core::RunMetrics& metrics) {
+        if (telemetry != nullptr) {
+          std::ofstream out(telemetry_path);
+          if (!out) Fail("cannot write telemetry to " + telemetry_path);
+          telemetry->WriteJson(out, metrics);
+        }
+        if (recorder != nullptr && recorder->tripped()) {
+          std::ofstream out(flight_path);
+          if (!out) Fail("cannot write flight record to " + flight_path);
+          recorder->DumpTo(out);
+        }
       };
     };
   }
