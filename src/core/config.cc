@@ -1,5 +1,9 @@
 #include "core/config.h"
 
+#include <cmath>
+
+#include "fault/fault_schedule.h"
+
 namespace strip::core {
 
 const char* PolicyKindName(PolicyKind kind) {
@@ -61,6 +65,56 @@ workload::TxnSource::Params Config::TxnSourceParams() const {
 }
 
 std::optional<std::string> Config::Validate() const {
+  // Reject NaN/inf up front: NaN slips through every ordered
+  // comparison below (NaN <= 0 is false), so without this a NaN rate
+  // would "validate" and silently poison every derived statistic.
+  struct Named {
+    const char* name;
+    double value;
+  };
+  const Named doubles[] = {
+      {"lambda_u", lambda_u},
+      {"p_ul", p_ul},
+      {"a_update", a_update},
+      {"lambda_t", lambda_t},
+      {"p_tl", p_tl},
+      {"s_min", s_min},
+      {"s_max", s_max},
+      {"v_low_mean", v_low_mean},
+      {"v_high_mean", v_high_mean},
+      {"v_low_sd", v_low_sd},
+      {"v_high_sd", v_high_sd},
+      {"reads_mean", reads_mean},
+      {"reads_sd", reads_sd},
+      {"alpha", alpha},
+      {"comp_mean", comp_mean},
+      {"comp_sd", comp_sd},
+      {"p_view", p_view},
+      {"ips", ips},
+      {"x_lookup", x_lookup},
+      {"x_update", x_update},
+      {"x_switch", x_switch},
+      {"x_queue", x_queue},
+      {"x_scan", x_scan},
+      {"sim_seconds", sim_seconds},
+      {"warmup_seconds", warmup_seconds},
+      {"update_cpu_fraction", update_cpu_fraction},
+      {"trigger_probability", trigger_probability},
+      {"x_trigger", x_trigger},
+      {"buffer_hit_ratio", buffer_hit_ratio},
+      {"io_seconds", io_seconds},
+      {"lambda_u_peak", lambda_u_peak},
+      {"normal_dwell_seconds", normal_dwell_seconds},
+      {"burst_dwell_seconds", burst_dwell_seconds},
+      {"governor_high_watermark", governor_high_watermark},
+      {"governor_low_watermark", governor_low_watermark},
+      {"governor_stale_threshold", governor_stale_threshold},
+  };
+  for (const Named& d : doubles) {
+    if (!std::isfinite(d.value)) {
+      return std::string(d.name) + " must be finite";
+    }
+  }
   if (lambda_u <= 0) return "lambda_u must be positive";
   if (p_ul < 0 || p_ul > 1) return "p_ul must be in [0, 1]";
   if (a_update <= 0) return "a_update must be positive";
@@ -111,6 +165,22 @@ std::optional<std::string> Config::Validate() const {
     return "dedup_update_queue requires complete updates "
            "(n_attributes = 1): a partial update does not supersede "
            "one for a different attribute";
+  }
+  if (!faults.empty()) {
+    std::string fault_error;
+    if (!fault::FaultSchedule::Parse(faults, &fault_error).has_value()) {
+      return fault_error;
+    }
+  }
+  if (overload_governor) {
+    if (governor_low_watermark <= 0 ||
+        governor_low_watermark >= governor_high_watermark ||
+        governor_high_watermark > 1) {
+      return "governor watermarks must satisfy 0 < low < high <= 1";
+    }
+    if (governor_stale_threshold < 0 || governor_stale_threshold > 1) {
+      return "governor_stale_threshold must be in [0, 1]";
+    }
   }
   return std::nullopt;
 }

@@ -142,6 +142,30 @@ struct Config {
   // door instead of competing for the CPU. 0 disables.
   int admission_limit = 0;
 
+  // --- robustness (fault injection & graceful degradation) -----------------
+  // Fault-window spec driving src/fault (see FaultSchedule grammar):
+  // semicolon-separated "kind@start+duration[:key=value,...]" windows,
+  // e.g. "outage@100+15:speedup=4;loss@200+50:p=0.1". Empty disables
+  // fault injection entirely (the feed path is byte-identical to a
+  // build without the fault layer).
+  std::string faults;
+  // Importance-aware overload shedding: when the update queue is full,
+  // evict the oldest queued *low-importance* update to make room (a
+  // high-importance arrival may displace low; a low-importance arrival
+  // is itself dropped before it would displace high). Off restores the
+  // plain ring-overflow behaviour.
+  bool shed_by_importance = false;
+  // Overload governor: while queue depth or staleness is past the high
+  // watermark, the updater services its queue LIFO and split by
+  // importance (freshest-first triage), reverting with hysteresis at
+  // the low watermark.
+  bool overload_governor = false;
+  double governor_high_watermark = 0.9;  // engage at depth >= hi · uq_max
+  double governor_low_watermark = 0.5;   // disengage at depth <= lo · uq_max
+  // Also engage when the max importance-class stale fraction reaches
+  // this threshold; 0 disables the staleness trigger.
+  double governor_stale_threshold = 0.0;
+
   // Derives the workload-generator parameter blocks from this config.
   workload::UpdateStream::Params UpdateStreamParams() const;
   workload::TxnSource::Params TxnSourceParams() const;

@@ -74,7 +74,34 @@ std::string RunMetrics::ToString() const {
       response_p99, uq_length_avg, (unsigned long long)uq_length_max,
       os_length_avg, (unsigned long long)triggers_fired,
       (unsigned long long)io_stalls);
-  return buffer;
+  std::string out = buffer;
+  // The fault block only appears when something fault-related actually
+  // happened, keeping no-fault output byte-identical to older builds.
+  const bool any_fault_activity =
+      fault_windows != 0 || updates_lost_fault != 0 ||
+      updates_duplicated_fault != 0 || updates_reordered_fault != 0 ||
+      updates_outage_deferred != 0 || updates_shed_by_class[0] != 0 ||
+      updates_shed_by_class[1] != 0 || governor_engagements != 0 ||
+      outage_recovery_seconds >= 0 || txns_missed_in_fault != 0;
+  if (any_fault_activity) {
+    std::snprintf(
+        buffer, sizeof(buffer),
+        "faults: windows=%llu lost=%llu dup=%llu reordered=%llu "
+        "deferred=%llu shed(l=%llu h=%llu) governor(n=%llu t=%.1fs) "
+        "recovery=%.3fs max_stale=%.3f missed_in_fault=%llu\n",
+        (unsigned long long)fault_windows,
+        (unsigned long long)updates_lost_fault,
+        (unsigned long long)updates_duplicated_fault,
+        (unsigned long long)updates_reordered_fault,
+        (unsigned long long)updates_outage_deferred,
+        (unsigned long long)updates_shed_by_class[0],
+        (unsigned long long)updates_shed_by_class[1],
+        (unsigned long long)governor_engagements,
+        governor_engaged_seconds, outage_recovery_seconds,
+        max_stale_excursion, (unsigned long long)txns_missed_in_fault);
+    out += buffer;
+  }
+  return out;
 }
 
 }  // namespace strip::core

@@ -87,6 +87,36 @@ struct RunMetrics {
   std::uint64_t uq_length_max = 0;
   double os_length_avg = 0;
 
+  // --- robustness (fault injection & graceful degradation) -------------------
+  // All zero / negative-sentinel when the run had no fault schedule
+  // and no shedding, so no-fault output is unchanged.
+  //
+  // Injector activity counts are whole-run (the injector acts between
+  // the feed and the system, so its counts are not reset at warm-up;
+  // everything else below observes the post-warm-up window).
+  std::uint64_t fault_windows = 0;  // window begins seen
+  std::uint64_t updates_lost_fault = 0;
+  std::uint64_t updates_duplicated_fault = 0;
+  std::uint64_t updates_reordered_fault = 0;
+  std::uint64_t updates_outage_deferred = 0;
+  // Importance-aware overload shedding, by evicted class (0 = low,
+  // 1 = high importance).
+  std::uint64_t updates_shed_by_class[2] = {0, 0};
+  // Overload-governor activity.
+  std::uint64_t governor_engagements = 0;
+  sim::Duration governor_engaged_seconds = 0;
+  // Time from the end of the (last) outage window until the combined
+  // stale fraction recovered to its pre-outage level; -1 when no
+  // outage ended or freshness never recovered.
+  double outage_recovery_seconds = -1;
+  // Peak combined stale fraction sampled while any fault window was
+  // active or an outage recovery was pending.
+  double max_stale_excursion = 0;
+  // Deadline misses (incl. infeasible screens) while a fault window
+  // was active or an outage recovery was pending — the miss excess
+  // attributable to faults.
+  std::uint64_t txns_missed_in_fault = 0;
+
   // --- derived metrics -------------------------------------------------------
 
   // Terminal transactions: everything that reached an outcome.

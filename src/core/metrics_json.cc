@@ -1,0 +1,90 @@
+#include "core/metrics_json.h"
+
+#include <cstdio>
+#include <string>
+
+namespace strip::core {
+
+namespace {
+
+// JSON has no inf/nan; clamp to null. %.17g round-trips doubles
+// exactly, keeping the document bit-identical for identical runs.
+std::string Number(double v) {
+  char buffer[32];
+  if (v != v || v > 1e308 || v < -1e308) return "null";
+  std::snprintf(buffer, sizeof(buffer), "%.17g", v);
+  return buffer;
+}
+
+std::string Number(std::uint64_t v) { return std::to_string(v); }
+
+}  // namespace
+
+void WriteRunMetricsJson(std::ostream& out, const RunMetrics& m,
+                         const char* member_indent,
+                         const char* close_indent) {
+  const auto field = [&](const char* name, const std::string& value,
+                         bool last = false) {
+    out << member_indent << "\"" << name << "\": " << value
+        << (last ? "\n" : ",\n");
+  };
+  out << "{\n";
+  field("observed_seconds", Number(m.observed_seconds));
+  field("txns_arrived", Number(m.txns_arrived));
+  field("txns_committed", Number(m.txns_committed));
+  field("txns_committed_fresh", Number(m.txns_committed_fresh));
+  field("txns_committed_stale", Number(m.txns_committed_stale));
+  field("txns_missed_deadline", Number(m.txns_missed_deadline));
+  field("txns_infeasible", Number(m.txns_infeasible));
+  field("txns_stale_aborted", Number(m.txns_stale_aborted));
+  field("txns_overload_dropped", Number(m.txns_overload_dropped));
+  field("txns_inflight_at_end", Number(m.txns_inflight_at_end));
+  field("value_committed", Number(m.value_committed));
+  field("updates_arrived", Number(m.updates_arrived));
+  field("updates_installed", Number(m.updates_installed));
+  field("updates_unworthy", Number(m.updates_unworthy));
+  field("updates_applied_on_demand", Number(m.updates_applied_on_demand));
+  field("updates_dropped_os_full", Number(m.updates_dropped_os_full));
+  field("updates_dropped_uq_overflow", Number(m.updates_dropped_uq_overflow));
+  field("updates_dropped_expired", Number(m.updates_dropped_expired));
+  field("updates_dropped_superseded", Number(m.updates_dropped_superseded));
+  field("triggers_fired", Number(m.triggers_fired));
+  field("io_stalls", Number(m.io_stalls));
+  field("cpu_txn_seconds", Number(m.cpu_txn_seconds));
+  field("cpu_update_seconds", Number(m.cpu_update_seconds));
+  field("f_old_low", Number(m.f_old_low));
+  field("f_old_high", Number(m.f_old_high));
+  field("response_mean", Number(m.response_mean));
+  field("response_p50", Number(m.response_p50));
+  field("response_p95", Number(m.response_p95));
+  field("response_p99", Number(m.response_p99));
+  field("uq_length_avg", Number(m.uq_length_avg));
+  field("uq_length_max", Number(m.uq_length_max));
+  field("os_length_avg", Number(m.os_length_avg));
+  // Robustness (fault injection & graceful degradation).
+  field("fault_windows", Number(m.fault_windows));
+  field("updates_lost_fault", Number(m.updates_lost_fault));
+  field("updates_duplicated_fault", Number(m.updates_duplicated_fault));
+  field("updates_reordered_fault", Number(m.updates_reordered_fault));
+  field("updates_outage_deferred", Number(m.updates_outage_deferred));
+  field("updates_shed_low", Number(m.updates_shed_by_class[0]));
+  field("updates_shed_high", Number(m.updates_shed_by_class[1]));
+  field("governor_engagements", Number(m.governor_engagements));
+  field("governor_engaged_seconds", Number(m.governor_engaged_seconds));
+  field("outage_recovery_seconds",
+        m.outage_recovery_seconds < 0
+            ? std::string("null")
+            : Number(m.outage_recovery_seconds));
+  field("max_stale_excursion", Number(m.max_stale_excursion));
+  field("txns_missed_in_fault", Number(m.txns_missed_in_fault));
+  // Derived ratios.
+  field("p_md", Number(m.p_md()));
+  field("p_success", Number(m.p_success()));
+  field("p_suc_nontardy", Number(m.p_suc_nontardy()));
+  field("av", Number(m.av()));
+  field("rho_t", Number(m.rho_t()));
+  field("rho_u", Number(m.rho_u()), /*last=*/true);
+  out << close_indent << "}";
+}
+
+}  // namespace strip::core

@@ -1,0 +1,28 @@
+// JSON rendering of RunMetrics, shared by the telemetry exporter and
+// the sweep runner's per-cell result files. Keeping one writer means
+// the two documents can never drift apart field-by-field, and a
+// resumed sweep reproduces byte-identical cell files (the writer is
+// fully deterministic: fixed field order, %.17g doubles, no
+// timestamps).
+
+#ifndef STRIP_CORE_METRICS_JSON_H_
+#define STRIP_CORE_METRICS_JSON_H_
+
+#include <ostream>
+
+#include "core/metrics.h"
+
+namespace strip::core {
+
+// Writes the metrics of one run as a JSON object: the opening brace in
+// place, one member per line prefixed with `member_indent`, and the
+// closing brace prefixed with `close_indent` (no trailing newline).
+// Non-finite doubles render as null; outage_recovery_seconds renders
+// as null when the run never recovered from an outage (sentinel < 0).
+void WriteRunMetricsJson(std::ostream& out, const RunMetrics& m,
+                         const char* member_indent,
+                         const char* close_indent);
+
+}  // namespace strip::core
+
+#endif  // STRIP_CORE_METRICS_JSON_H_

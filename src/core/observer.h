@@ -56,6 +56,8 @@ class SystemObserver {
     kUnworthy,          // database already held a newer value
     kSuperseded,        // a newer update for the same object exists
                         // (dedup_update_queue extension)
+    kOverloadShed,      // importance-aware shedding evicted it to
+                        // admit newer work (shed_by_importance)
   };
 
   // What the scheduler placed on the simulated CPU.
@@ -84,6 +86,19 @@ class SystemObserver {
     kIdle,              // no work: wait for the next arrival
     kInstallOnArrival,  // policy decision 1: preempting receive at
                         // update arrival (UF all, SU high-importance)
+    kGovernorEngage,    // overload governor switched to triage mode
+    kGovernorDisengage, // overload drained; normal service restored
+  };
+
+  // A fault window boundary (fault injection; src/fault). Both string
+  // pointers have the lifetime of the run (they point into the
+  // System's FaultSchedule).
+  struct FaultWindowInfo {
+    const char* kind = nullptr;   // "outage", "burst", "loss", ...
+    const char* label = nullptr;  // the window's spec token
+    bool begin = false;           // true at window start, false at end
+    double start = 0;             // window [start, end) in sim seconds
+    double end = 0;
   };
 
   // One unit of dispatched CPU work, as seen at OnDispatch and at the
@@ -212,6 +227,13 @@ class SystemObserver {
     (void)choice;
     (void)reason;
   }
+
+  // A fault window began or ended (fault injection; only fires when
+  // the run has a non-empty --faults schedule).
+  virtual void OnFaultWindow(sim::Time now, const FaultWindowInfo& window) {
+    (void)now;
+    (void)window;
+  }
 };
 
 // Printable name for a drop reason.
@@ -229,7 +251,8 @@ const char* DispatchKindName(SystemObserver::DispatchKind kind);
 const char* PreemptReasonName(SystemObserver::PreemptReason reason);
 
 // Printable name for a scheduler choice ("receive", "install",
-// "run-txn", "idle", "install-on-arrival").
+// "run-txn", "idle", "install-on-arrival", "governor-engage",
+// "governor-disengage").
 const char* SchedulerChoiceName(SystemObserver::SchedulerChoice choice);
 
 }  // namespace strip::core

@@ -157,4 +157,12 @@ void ObserverBus::NotifyPolicyDecision(sim::Time now, PolicyKind policy,
   });
 }
 
+void ObserverBus::NotifyFaultWindow(
+    sim::Time now, const SystemObserver::FaultWindowInfo& window) {
+  if (empty()) return;
+  Dispatch([&](SystemObserver* observer) {
+    observer->OnFaultWindow(now, window);
+  });
+}
+
 }  // namespace strip::core

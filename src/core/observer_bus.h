@@ -69,6 +69,8 @@ class ObserverBus {
   void NotifyPolicyDecision(sim::Time now, PolicyKind policy,
                             SystemObserver::SchedulerChoice choice,
                             const char* reason);
+  void NotifyFaultWindow(sim::Time now,
+                         const SystemObserver::FaultWindowInfo& window);
 
  private:
   // Runs `fn(observer)` over the registration order, tolerating

@@ -61,16 +61,50 @@ System::System(sim::Simulator* simulator, const Config& config,
         config_.n_low, config_.n_high, config_.history_depth);
   }
 
+  if (!config_.faults.empty()) {
+    std::string fault_error;
+    std::optional<fault::FaultSchedule> schedule =
+        fault::FaultSchedule::Parse(config_.faults, &fault_error);
+    STRIP_CHECK_MSG(schedule.has_value(), fault_error.c_str());
+    fault_schedule_ =
+        std::make_unique<fault::FaultSchedule>(*std::move(schedule));
+  }
+
+  sim::RandomStream master(seed);
   if (!config_.external_workload) {
-    sim::RandomStream master(seed);
     const std::uint64_t update_seed = master.Fork();
     const std::uint64_t txn_seed = master.Fork();
+    // With a fault schedule, the stream feeds the injector and the
+    // injector feeds the system; without one, the stream feeds the
+    // system directly (identical draws either way — the fault seed is
+    // forked only after the stream seeds, so fault-free runs keep the
+    // historical random sequence).
     update_stream_ = std::make_unique<workload::UpdateStream>(
         simulator_, config_.UpdateStreamParams(), update_seed,
-        [this](const db::Update& u) { OnUpdateArrival(u); });
+        [this](const db::Update& u) {
+          if (fault_injector_ != nullptr) {
+            fault_injector_->Offer(u);
+          } else {
+            OnUpdateArrival(u);
+          }
+        });
     txn_source_ = std::make_unique<workload::TxnSource>(
         simulator_, config_.TxnSourceParams(), txn_seed,
         [this](const txn::Transaction::Params& p) { OnTxnArrival(p); });
+  }
+  if (fault_schedule_ != nullptr) {
+    fault::FaultInjector::Hooks hooks;
+    hooks.deliver = [this](const db::Update& u) { OnUpdateArrival(u); };
+    hooks.set_rate_factor = [this](double f) {
+      if (update_stream_ != nullptr) update_stream_->SetRateFactor(f);
+    };
+    hooks.set_cpu_factor = [this](double f) { SetCpuFactor(f); };
+    hooks.on_window = [this](const fault::FaultWindow& w, bool begin) {
+      OnFaultWindowBoundary(w, begin);
+    };
+    fault_injector_ = std::make_unique<fault::FaultInjector>(
+        simulator_, *fault_schedule_, master.Fork(), config_.lambda_u,
+        std::move(hooks));
   }
 
   uq_length_.StartAt(simulator_->now(), 0.0);
@@ -87,6 +121,27 @@ RunMetrics System::Run() {
   STRIP_CHECK_MSG(!finalized_, "System::Run called twice");
   simulator_->RunUntil(config_.sim_seconds);
   Finalize(config_.sim_seconds);
+  return metrics_;
+}
+
+bool System::RunSlice(sim::Duration max_slice) {
+  STRIP_CHECK_MSG(!finalized_, "System::RunSlice after finalization");
+  STRIP_CHECK_MSG(max_slice > 0, "slice must be positive");
+  const sim::Time target =
+      std::min(simulator_->now() + max_slice, config_.sim_seconds);
+  // Repeated RunUntil calls dispatch each event exactly once, so a
+  // sliced run replays the identical event sequence as one Run().
+  simulator_->RunUntil(target);
+  if (target >= config_.sim_seconds) {
+    Finalize(config_.sim_seconds);
+    return true;
+  }
+  return false;
+}
+
+RunMetrics System::HaltEarly() {
+  STRIP_CHECK_MSG(!finalized_, "System::HaltEarly after finalization");
+  Finalize(simulator_->now());
   return metrics_;
 }
 
@@ -192,6 +247,19 @@ void System::Finalize(sim::Time end) {
   metrics_.response_p50 = response_times_.Quantile(0.50);
   metrics_.response_p95 = response_times_.Quantile(0.95);
   metrics_.response_p99 = response_times_.Quantile(0.99);
+  if (fault_injector_ != nullptr) {
+    // Injector activity is whole-run (the injector sits upstream of
+    // the system, so its counters are not reset at warm-up).
+    const fault::FaultCounts& counts = fault_injector_->counts();
+    metrics_.updates_lost_fault = counts.lost;
+    metrics_.updates_duplicated_fault = counts.duplicated;
+    metrics_.updates_reordered_fault = counts.reordered;
+    metrics_.updates_outage_deferred = counts.outage_deferred;
+  }
+  if (governor_engaged_) {
+    metrics_.governor_engaged_seconds +=
+        end - std::max(governor_engage_time_, observation_start_);
+  }
   if (!bus_.empty()) {
     bus_.NotifyPhase(end, SystemObserver::Phase::kRunEnd);
   }
@@ -218,6 +286,14 @@ sim::Duration System::CpuUpdateSecondsNow() const {
 }
 
 // --- arrivals ------------------------------------------------------------
+
+void System::InjectUpdate(const db::Update& update) {
+  if (fault_injector_ != nullptr) {
+    fault_injector_->Offer(update);
+  } else {
+    OnUpdateArrival(update);
+  }
+}
 
 void System::OnUpdateArrival(const db::Update& update) {
   ++metrics_.updates_arrived;
@@ -293,7 +369,7 @@ void System::OnTxnArrival(const txn::Transaction::Params& params) {
     ScheduleNext();
   } else if (cpu_owner_ == CpuOwner::kTxn && config_.txn_preemption &&
              txn::HigherPriority(*t, *running_, config_.txn_sched,
-                                 config_.ips)) {
+                                 EffectiveIps())) {
     PreemptRunningTxn(SystemObserver::PreemptReason::kHigherPriorityTxn);
     ScheduleNext();
   }
@@ -307,7 +383,7 @@ void System::OnDeadline(std::uint64_t txn_id) {
     // Firm deadline: the transaction is cut down mid-flight.
     ChargeSegmentCpu();
     const double executed = std::max(
-        0.0, (simulator_->now() - segment_start_) * config_.ips -
+        0.0, (simulator_->now() - segment_start_) * segment_ips_ -
                  segment_extra_instructions_);
     t->ChargePartial(std::min(executed, RemainingOfCurrentStep(*t)));
     simulator_->Cancel(completion_);
@@ -343,9 +419,14 @@ UpdaterContext System::MakeUpdaterContext() const {
 void System::ScheduleNext() {
   STRIP_CHECK(cpu_owner_ == CpuOwner::kIdle);
   PurgeExpired();
+  if (fault_schedule_ != nullptr &&
+      (fault_windows_active_ > 0 || outage_recovering_)) {
+    SampleStaleExcursion();
+  }
+  if (config_.overload_governor) MaybeToggleGovernor();
   if (config_.feasible_deadline) {
     for (txn::Transaction* t :
-         ready_.ExtractInfeasible(simulator_->now(), config_.ips)) {
+         ready_.ExtractInfeasible(simulator_->now(), EffectiveIps())) {
       Terminate(t, txn::TxnOutcome::kInfeasible);
     }
   }
@@ -389,7 +470,7 @@ void System::ScheduleNext() {
           install_work ? policy_->PriorityReason(MakeUpdaterContext())
                        : "txn-ready");
     }
-    txn::Transaction* t = ready_.PopBest(config_.ips, config_.txn_sched);
+    txn::Transaction* t = ready_.PopBest(EffectiveIps(), config_.txn_sched);
     STRIP_CHECK(t != nullptr);
     StartTxnSegment(t);
     return;
@@ -463,10 +544,15 @@ System::UpdaterJob System::SelectUpdaterJob() {
   }
   if (policy_->UsesUpdateQueue() && !update_queue_.empty()) {
     const std::size_t size_before = update_queue_.size();
+    // While the overload governor is engaged the updater triages:
+    // newest-first (LIFO freshens objects fastest per install) and
+    // high-importance before low, regardless of the configured
+    // discipline.
     const bool fifo =
-        config_.queue_discipline == QueueDiscipline::kFifo;
+        config_.queue_discipline == QueueDiscipline::kFifo &&
+        !governor_engaged_;
     std::optional<db::Update> u;
-    if (config_.split_importance_queues) {
+    if (config_.split_importance_queues || governor_engaged_) {
       // Drain queued high-importance updates before low-importance
       // ones (split-queue extension).
       u = fifo ? update_queue_.PopOldestOfClass(
@@ -516,12 +602,13 @@ void System::StartUpdaterJob(bool preempting) {
   segment_start_ = simulator_->now();
   segment_extra_instructions_ = extra;
   segment_is_update_work_ = true;
+  segment_ips_ = EffectiveIps();
   if (!bus_.empty()) {
     bus_.NotifyDispatch(simulator_->now(), CurrentDispatchInfo());
   }
   completion_ = simulator_->ScheduleAfter(
       sim::InstructionsToSeconds(updater_job_.cost_instructions + extra,
-                                 config_.ips),
+                                 segment_ips_),
       [this] { OnUpdaterJobComplete(); });
 }
 
@@ -553,6 +640,26 @@ bool System::DedupAgainstQueue(const db::Update& update) {
   }
 }
 
+bool System::ShedForIncoming(const db::Update& incoming) {
+  // Victim order: stalest (oldest-generation) low-importance update
+  // first; a high-importance arrival may displace queued high work as
+  // a last resort, but a low-importance arrival never does.
+  std::optional<db::Update> victim =
+      update_queue_.PopOldestOfClass(db::ObjectClass::kLowImportance);
+  if (!victim.has_value() &&
+      incoming.object.cls == db::ObjectClass::kHighImportance) {
+    victim = update_queue_.PopOldestOfClass(db::ObjectClass::kHighImportance);
+  }
+  const db::Update& shed = victim.has_value() ? *victim : incoming;
+  if (victim.has_value()) tracker_.OnRemovedFromQueue(*victim);
+  ++metrics_.updates_shed_by_class[static_cast<int>(shed.object.cls)];
+  if (!bus_.empty()) {
+    bus_.NotifyUpdateDropped(simulator_->now(), shed,
+                             SystemObserver::DropReason::kOverloadShed);
+  }
+  return victim.has_value();
+}
+
 void System::InstallNow(const db::Update& update,
                         const txn::Transaction* on_demand_by) {
   if (database_.Apply(update)) {
@@ -571,6 +678,12 @@ void System::InstallNow(const db::Update& update,
     ++metrics_.updates_installed;
     if (!bus_.empty()) {
       bus_.NotifyUpdateInstalled(simulator_->now(), update, on_demand_by);
+    }
+    if (fault_windows_active_ > 0 || outage_recovering_) {
+      // Installs are what heal freshness — check the recovery clock at
+      // each one so time-to-fresh is measured at the healing install,
+      // not the next scheduler pass.
+      SampleStaleExcursion();
     }
   } else {
     ++metrics_.updates_unworthy;
@@ -596,6 +709,13 @@ void System::OnUpdaterJobComplete() {
         // A newer update for the same object is already queued: this
         // one is worthless (complete updates to snapshot views) and is
         // dropped at receive.
+        break;
+      }
+      if (config_.shed_by_importance &&
+          update_queue_.size() >= update_queue_.max_size() &&
+          !ShedForIncoming(job.update)) {
+        // The queue is full of higher-importance work than this
+        // low-importance arrival: shed the arrival itself.
         break;
       }
       const std::vector<db::Update> evicted =
@@ -670,12 +790,13 @@ void System::ScheduleTxnStep(double extra_instructions) {
   segment_is_update_work_ =
       step.kind == txn::Transaction::NextStep::Kind::kOdScan ||
       step.kind == txn::Transaction::NextStep::Kind::kOdApply;
+  segment_ips_ = EffectiveIps();
   if (!bus_.empty()) {
     bus_.NotifyDispatch(simulator_->now(), CurrentDispatchInfo());
   }
   completion_ = simulator_->ScheduleAfter(
       sim::InstructionsToSeconds(step.instructions + extra_instructions,
-                                 config_.ips),
+                                 segment_ips_),
       [this] { OnTxnSegmentComplete(); });
 }
 
@@ -728,7 +849,7 @@ bool System::CanAffordExtraWork(const txn::Transaction& transaction,
   if (!config_.feasible_deadline) return true;
   const sim::Duration needed = sim::InstructionsToSeconds(
       extra_instructions + transaction.remaining_base_instructions(),
-      config_.ips);
+      EffectiveIps());
   return simulator_->now() + needed <= transaction.deadline();
 }
 
@@ -860,7 +981,7 @@ void System::PreemptRunningTxn(SystemObserver::PreemptReason reason) {
   }
   ChargeSegmentCpu();
   const double executed = std::max(
-      0.0, (simulator_->now() - segment_start_) * config_.ips -
+      0.0, (simulator_->now() - segment_start_) * segment_ips_ -
                segment_extra_instructions_);
   running_->ChargePartial(
       std::min(executed, RemainingOfCurrentStep(*running_)));
@@ -932,10 +1053,17 @@ void System::Terminate(txn::Transaction* transaction,
   }
   switch (outcome) {
     case txn::TxnOutcome::kMissedDeadline:
-      ++metrics_.txns_missed_deadline;
-      break;
     case txn::TxnOutcome::kInfeasible:
-      ++metrics_.txns_infeasible;
+      if (outcome == txn::TxnOutcome::kMissedDeadline) {
+        ++metrics_.txns_missed_deadline;
+      } else {
+        ++metrics_.txns_infeasible;
+      }
+      // Attribute the miss to the fault if one is active or an outage
+      // recovery is still pending.
+      if (fault_windows_active_ > 0 || outage_recovering_) {
+        ++metrics_.txns_missed_in_fault;
+      }
       break;
     case txn::TxnOutcome::kStaleAbort:
       ++metrics_.txns_stale_aborted;
@@ -947,6 +1075,104 @@ void System::Terminate(txn::Transaction* transaction,
   STRIP_CHECK(it != live_txns_.end());
   simulator_->Cancel(it->second.deadline_event);
   live_txns_.erase(it);
+}
+
+// --- fault handling ----------------------------------------------------------
+
+double System::CombinedStaleFraction() const {
+  const int stale =
+      tracker_.StaleCount(db::ObjectClass::kLowImportance) +
+      tracker_.StaleCount(db::ObjectClass::kHighImportance);
+  return static_cast<double>(stale) /
+         static_cast<double>(config_.n_low + config_.n_high);
+}
+
+void System::OnFaultWindowBoundary(const fault::FaultWindow& window,
+                                   bool begin) {
+  if (begin) {
+    ++fault_windows_active_;
+    ++metrics_.fault_windows;
+    if (window.kind == fault::FaultKind::kOutage) {
+      // The recovery target: freshness as it stood when the feed went
+      // down. A new outage restarts any pending recovery clock.
+      pre_outage_stale_ = CombinedStaleFraction();
+      outage_recovering_ = false;
+    }
+  } else {
+    --fault_windows_active_;
+    if (window.kind == fault::FaultKind::kOutage) {
+      outage_recovering_ = true;
+      outage_end_time_ = simulator_->now();
+    }
+  }
+  SampleStaleExcursion();
+  if (!bus_.empty()) {
+    SystemObserver::FaultWindowInfo info;
+    info.kind = fault::FaultKindName(window.kind);
+    info.label = window.label.c_str();
+    info.begin = begin;
+    info.start = window.start;
+    info.end = window.end();
+    bus_.NotifyFaultWindow(simulator_->now(), info);
+  }
+}
+
+void System::SampleStaleExcursion() {
+  if (fault_windows_active_ <= 0 && !outage_recovering_) return;
+  const double fraction = CombinedStaleFraction();
+  metrics_.max_stale_excursion =
+      std::max(metrics_.max_stale_excursion, fraction);
+  if (outage_recovering_ && fraction <= pre_outage_stale_) {
+    metrics_.outage_recovery_seconds =
+        simulator_->now() - outage_end_time_;
+    outage_recovering_ = false;
+  }
+}
+
+void System::MaybeToggleGovernor() {
+  const double capacity = static_cast<double>(config_.uq_max);
+  const double depth = static_cast<double>(update_queue_.size());
+  double stale = 0;
+  if (config_.governor_stale_threshold > 0) {
+    stale = std::max(
+        tracker_.FractionStaleNow(db::ObjectClass::kLowImportance),
+        tracker_.FractionStaleNow(db::ObjectClass::kHighImportance));
+  }
+  if (!governor_engaged_) {
+    const char* reason = nullptr;
+    if (depth >= config_.governor_high_watermark * capacity) {
+      reason = "uq-high-watermark";
+    } else if (config_.governor_stale_threshold > 0 &&
+               stale >= config_.governor_stale_threshold) {
+      reason = "stale-threshold";
+    }
+    if (reason == nullptr) return;
+    governor_engaged_ = true;
+    governor_engage_time_ = simulator_->now();
+    ++metrics_.governor_engagements;
+    if (!bus_.empty()) {
+      bus_.NotifyPolicyDecision(
+          simulator_->now(), config_.policy,
+          SystemObserver::SchedulerChoice::kGovernorEngage, reason);
+    }
+    return;
+  }
+  // Hysteresis: disengage only once the depth has drained past the low
+  // watermark AND staleness is strictly below its threshold.
+  if (depth > config_.governor_low_watermark * capacity) return;
+  if (config_.governor_stale_threshold > 0 &&
+      stale >= config_.governor_stale_threshold) {
+    return;
+  }
+  governor_engaged_ = false;
+  metrics_.governor_engaged_seconds +=
+      simulator_->now() -
+      std::max(governor_engage_time_, observation_start_);
+  if (!bus_.empty()) {
+    bus_.NotifyPolicyDecision(
+        simulator_->now(), config_.policy,
+        SystemObserver::SchedulerChoice::kGovernorDisengage, "recovered");
+  }
 }
 
 }  // namespace strip::core

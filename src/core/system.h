@@ -38,6 +38,8 @@
 #include "db/os_queue.h"
 #include "db/staleness.h"
 #include "db/update_queue.h"
+#include "fault/fault_injector.h"
+#include "fault/fault_schedule.h"
 #include "sim/random.h"
 #include "sim/simulator.h"
 #include "sim/stats.h"
@@ -61,6 +63,23 @@ class System {
   // for the observation window (warm-up excluded). Callable once.
   RunMetrics Run();
 
+  // Incremental alternative to Run() for callers that need to check a
+  // wall-clock budget between slices (crash-safe sweeps): advances the
+  // simulation by at most `max_slice` simulated seconds. Returns true
+  // when the run reached config.sim_seconds (metrics finalized — read
+  // them with HaltEarly()'s return or keep the value from the final
+  // RunSlice caller side via metrics()); false when more slices remain.
+  bool RunSlice(sim::Duration max_slice);
+
+  // Abandons an unfinished sliced run: finalizes metrics at the
+  // current simulated time and returns them. The System is spent
+  // afterwards (like after Run()).
+  RunMetrics HaltEarly();
+
+  // The metrics finalized by Run() / the last RunSlice; valid only
+  // after finalization.
+  const RunMetrics& metrics() const { return metrics_; }
+
   // Registers an observer notified of discrete outcomes (transaction
   // terminals, update installs/drops, stale reads, phase boundaries).
   // Any number of observers can be attached; they are notified in
@@ -81,8 +100,10 @@ class System {
   // External-workload injection (config.external_workload): delivers
   // an arrival *at the current simulation time*. Call from simulator
   // events scheduled at the desired arrival instants — e.g., the sinks
-  // of a workload::TraceReplay — before or during Run().
-  void InjectUpdate(const db::Update& update) { OnUpdateArrival(update); }
+  // of a workload::TraceReplay — before or during Run(). Injected
+  // updates pass through the fault layer when the run has a --faults
+  // schedule.
+  void InjectUpdate(const db::Update& update);
   void InjectTransaction(const txn::Transaction::Params& params) {
     OnTxnArrival(params);
   }
@@ -102,6 +123,12 @@ class System {
   // Version history of installed values; nullptr unless
   // config.history_depth > 0.
   const db::HistoryStore* history() const { return history_.get(); }
+  // The fault injector; nullptr unless config.faults is non-empty.
+  const fault::FaultInjector* fault_injector() const {
+    return fault_injector_.get();
+  }
+  // Whether the overload governor is currently engaged.
+  bool governor_engaged() const { return governor_engaged_; }
 
   // --- live probes (observability; see src/obs) ----------------------------
 
@@ -163,6 +190,13 @@ class System {
   // Dedup extension: discards queued updates `update` supersedes.
   // Returns false if `update` itself is superseded (and dropped).
   bool DedupAgainstQueue(const db::Update& update);
+  // Importance-aware shedding (shed_by_importance): makes room for
+  // `incoming` in the full update queue by evicting the oldest queued
+  // low-importance update (or, for a high-importance arrival, the
+  // oldest high one as a last resort). Returns false when `incoming`
+  // itself should be dropped instead (a low-importance arrival never
+  // displaces queued high-importance work).
+  bool ShedForIncoming(const db::Update& incoming);
   // Drops updates whose generation age exceeds alpha from the update
   // queue (free bookkeeping; see DESIGN.md).
   void PurgeExpired();
@@ -222,6 +256,23 @@ class System {
   void ResetObservation();
   void Finalize(sim::Time end);
 
+  // --- fault handling (src/fault integration) --------------------------------
+  // CPU speed with any active cpu-degradation fault window applied.
+  // Exactly config_.ips when no fault is active, so fault-free runs
+  // are bit-identical to builds without the fault layer.
+  double EffectiveIps() const {
+    return cpu_factor_ == 1.0 ? config_.ips : config_.ips * cpu_factor_;
+  }
+  void SetCpuFactor(double factor) { cpu_factor_ = factor; }
+  // Fired by the injector at every fault-window boundary.
+  void OnFaultWindowBoundary(const fault::FaultWindow& window, bool begin);
+  // Tracks the staleness excursion and the time-to-fresh recovery
+  // clock while faults are active or an outage recovery is pending.
+  void SampleStaleExcursion();
+  double CombinedStaleFraction() const;
+  // Engages / disengages the overload governor with hysteresis.
+  void MaybeToggleGovernor();
+
   sim::Simulator* simulator_;
   Config config_;
   std::unique_ptr<Policy> policy_;
@@ -239,6 +290,25 @@ class System {
 
   std::unique_ptr<workload::UpdateStream> update_stream_;
   std::unique_ptr<workload::TxnSource> txn_source_;
+
+  // Fault injection (both null when config.faults is empty).
+  std::unique_ptr<fault::FaultSchedule> fault_schedule_;
+  std::unique_ptr<fault::FaultInjector> fault_injector_;
+  // CPU-degradation factor from an active cpu fault window.
+  double cpu_factor_ = 1.0;
+  // The ips the segment currently on the CPU was dispatched at, so
+  // partial-execution accounting (deadline cuts, preemptions) matches
+  // the rate the completion event was scheduled with even if a cpu
+  // fault toggled mid-segment.
+  double segment_ips_ = 0;
+  // Fault-attribution state for the recovery metrics.
+  int fault_windows_active_ = 0;
+  bool outage_recovering_ = false;
+  sim::Time outage_end_time_ = 0;
+  double pre_outage_stale_ = 0;
+  // Overload-governor state.
+  bool governor_engaged_ = false;
+  sim::Time governor_engage_time_ = 0;
 
   std::unordered_map<std::uint64_t, LiveTxn> live_txns_;
 

@@ -16,6 +16,8 @@ const char* DropReasonName(SystemObserver::DropReason reason) {
       return "unworthy";
     case SystemObserver::DropReason::kSuperseded:
       return "superseded";
+    case SystemObserver::DropReason::kOverloadShed:
+      return "overload-shed";
   }
   return "?";
 }
@@ -74,6 +76,10 @@ const char* SchedulerChoiceName(SystemObserver::SchedulerChoice choice) {
       return "idle";
     case SystemObserver::SchedulerChoice::kInstallOnArrival:
       return "install-on-arrival";
+    case SystemObserver::SchedulerChoice::kGovernorEngage:
+      return "governor-engage";
+    case SystemObserver::SchedulerChoice::kGovernorDisengage:
+      return "governor-disengage";
   }
   return "?";
 }

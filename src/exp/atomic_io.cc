@@ -1,0 +1,54 @@
+#include "exp/atomic_io.h"
+
+#include <dirent.h>
+#include <sys/stat.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace strip::exp {
+
+std::optional<std::string> WriteFileAtomic(const std::string& path,
+                                           const std::string& contents) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return "cannot open " + tmp + " for writing";
+    out.write(contents.data(),
+              static_cast<std::streamsize>(contents.size()));
+    out.flush();
+    if (!out) {
+      std::remove(tmp.c_str());
+      return "short write to " + tmp;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return "cannot rename " + tmp + " to " + path;
+  }
+  return std::nullopt;
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+std::vector<std::string> RemoveStaleTmpFiles(const std::string& dir) {
+  std::vector<std::string> removed;
+  DIR* handle = ::opendir(dir.c_str());
+  if (handle == nullptr) return removed;
+  while (dirent* entry = ::readdir(handle)) {
+    const std::string name = entry->d_name;
+    if (name.size() < 4 || name.compare(name.size() - 4, 4, ".tmp") != 0) {
+      continue;
+    }
+    if (std::remove((dir + "/" + name).c_str()) == 0) {
+      removed.push_back(name);
+    }
+  }
+  ::closedir(handle);
+  return removed;
+}
+
+}  // namespace strip::exp

@@ -1,8 +1,11 @@
 #include "exp/config_flags.h"
 
+#include <cmath>
 #include <cstdlib>
 #include <functional>
 #include <sstream>
+
+#include "fault/fault_schedule.h"
 
 namespace strip::exp {
 
@@ -24,6 +27,10 @@ bool ParseDouble(const std::string& s, double* out) {
   char* end = nullptr;
   const double v = std::strtod(s.c_str(), &end);
   if (end == s.c_str() || *end != '\0') return false;
+  // "nan"/"inf" parse fine but every range check downstream is an
+  // ordered comparison that NaN slips through; reject them here with a
+  // clear message instead of producing NaN results.
+  if (!std::isfinite(v)) return false;
   *out = v;
   return true;
 }
@@ -200,6 +207,28 @@ const std::vector<FlagDef>& Flags() {
       DoubleFlag("normal_dwell_seconds", &Config::normal_dwell_seconds),
       DoubleFlag("burst_dwell_seconds", &Config::burst_dwell_seconds),
       IntFlag("admission_limit", &Config::admission_limit),
+      // Robustness (fault injection & graceful degradation)
+      {"faults",
+       [](const std::string& s, Config& c) {
+         // Validate eagerly so a malformed spec fails at the flag with
+         // a one-line error naming the bad token, not later at
+         // Config::Validate.
+         std::string fault_error;
+         if (!fault::FaultSchedule::Parse(s, &fault_error).has_value()) {
+           return false;
+         }
+         c.faults = s;
+         return true;
+       },
+       [](const Config& c) { return c.faults; }},
+      BoolFlag("shed_by_importance", &Config::shed_by_importance),
+      BoolFlag("overload_governor", &Config::overload_governor),
+      DoubleFlag("governor_high_watermark",
+                 &Config::governor_high_watermark),
+      DoubleFlag("governor_low_watermark",
+                 &Config::governor_low_watermark),
+      DoubleFlag("governor_stale_threshold",
+                 &Config::governor_stale_threshold),
   };
   return flags;
 }

@@ -1,6 +1,7 @@
 #include "exp/experiment.h"
 
 #include <atomic>
+#include <chrono>
 #include <thread>
 
 #include "base/check.h"
@@ -8,6 +9,43 @@
 #include "sim/simulator.h"
 
 namespace strip::exp {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// Budgeted run against an absolute deadline, so a sweep cell can
+// share one deadline across its replications. Slicing replays the
+// exact event sequence of an unsliced run (Simulator::RunUntil
+// dispatches each event once across successive calls), so results are
+// identical to RunOnce unless the deadline actually fires.
+core::RunMetrics RunOnceUntil(const core::Config& config,
+                              std::uint64_t seed, const RunHook& hook,
+                              const RunContext& context,
+                              Clock::time_point deadline,
+                              double slice_sim_seconds, bool* timed_out) {
+  if (slice_sim_seconds <= 0) slice_sim_seconds = 5.0;
+  sim::Simulator simulator;
+  core::System system(&simulator, config, seed);
+  RunFinisher finish;
+  if (hook) finish = hook(system, context);
+  core::RunMetrics metrics;
+  while (true) {
+    if (system.RunSlice(slice_sim_seconds)) {
+      metrics = system.metrics();
+      break;
+    }
+    if (Clock::now() >= deadline) {
+      metrics = system.HaltEarly();
+      if (timed_out != nullptr) *timed_out = true;
+      break;
+    }
+  }
+  if (finish) finish(metrics);
+  return metrics;
+}
+
+}  // namespace
 
 core::RunMetrics RunOnce(const core::Config& config, std::uint64_t seed) {
   return RunOnce(config, seed, nullptr, RunContext{});
@@ -25,6 +63,20 @@ core::RunMetrics RunOnce(const core::Config& config, std::uint64_t seed,
   const core::RunMetrics metrics = system.Run();
   if (finish) finish(metrics);
   return metrics;
+}
+
+core::RunMetrics RunOnce(const core::Config& config, std::uint64_t seed,
+                         const RunHook& hook, const RunContext& context,
+                         const RunBudget& budget, bool* timed_out) {
+  if (timed_out != nullptr) *timed_out = false;
+  if (budget.wall_seconds <= 0) {
+    return RunOnce(config, seed, hook, context);
+  }
+  const auto deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(budget.wall_seconds));
+  return RunOnceUntil(config, seed, hook, context, deadline,
+                      budget.slice_sim_seconds, timed_out);
 }
 
 std::vector<core::RunMetrics> Replicate(const core::Config& config,
@@ -93,17 +145,20 @@ SweepResult RunSweep(const SweepSpec& spec) {
   SweepResult result(spec.policies.size(), spec.x_values.size(),
                      spec.replications);
 
+  // Tasks are whole cells (policy, x): a cell's replications run
+  // sequentially on one worker so the cell shares one wall-clock
+  // budget and finishes as a unit — on_cell_done sees all of its runs
+  // together, which is what lets a runner persist cell files
+  // atomically for --resume.
   struct Task {
     std::size_t policy_index;
     std::size_t x_index;
-    int replication;
   };
   std::vector<Task> tasks;
   for (std::size_t p = 0; p < spec.policies.size(); ++p) {
     for (std::size_t x = 0; x < spec.x_values.size(); ++x) {
-      for (int r = 0; r < spec.replications; ++r) {
-        tasks.push_back({p, x, r});
-      }
+      if (spec.skip_cell && spec.skip_cell(p, x)) continue;
+      tasks.push_back({p, x});
     }
   }
 
@@ -116,14 +171,36 @@ SweepResult RunSweep(const SweepSpec& spec) {
       core::Config config = spec.base;
       config.policy = spec.policies[task.policy_index];
       spec.apply_x(config, spec.x_values[task.x_index]);
-      RunContext context;
-      context.policy_index = task.policy_index;
-      context.x_index = task.x_index;
-      context.replication = task.replication;
-      context.seed =
-          spec.base_seed + static_cast<std::uint64_t>(task.replication);
-      result.mutable_cell(task.policy_index, task.x_index)[task.replication] =
-          RunOnce(config, context.seed, spec.on_run, context);
+      std::vector<core::RunMetrics>& runs =
+          result.mutable_cell(task.policy_index, task.x_index);
+      const bool budgeted = spec.budget.wall_seconds > 0;
+      const auto deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::duration<double>(
+                  budgeted ? spec.budget.wall_seconds : 0.0));
+      bool cell_timed_out = false;
+      for (int r = 0; r < spec.replications; ++r) {
+        // Once the cell's budget fires, later replications are not
+        // started — their metrics stay default-constructed.
+        if (cell_timed_out) break;
+        RunContext context;
+        context.policy_index = task.policy_index;
+        context.x_index = task.x_index;
+        context.replication = r;
+        context.seed =
+            spec.base_seed + static_cast<std::uint64_t>(r);
+        runs[static_cast<std::size_t>(r)] =
+            budgeted ? RunOnceUntil(config, context.seed, spec.on_run,
+                                    context, deadline,
+                                    spec.budget.slice_sim_seconds,
+                                    &cell_timed_out)
+                     : RunOnce(config, context.seed, spec.on_run, context);
+      }
+      if (spec.on_cell_done) {
+        spec.on_cell_done(task.policy_index, task.x_index, runs,
+                          cell_timed_out);
+      }
     }
   };
 

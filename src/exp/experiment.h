@@ -64,11 +64,30 @@ using RunFinisher = std::function<void(const core::RunMetrics&)>;
 using RunHook =
     std::function<RunFinisher(core::System&, const RunContext&)>;
 
+// Wall-clock budget for one run (or one sweep cell across its
+// replications). wall_seconds <= 0 means unbudgeted: the run executes
+// exactly like the historical single-call path, with identical
+// results. With a budget, the simulation advances in slices of
+// slice_sim_seconds simulated seconds, checking the wall clock
+// between slices; on overrun the run is finalized early at the point
+// reached (slicing itself never changes results — the event sequence
+// is identical to an unsliced run).
+struct RunBudget {
+  double wall_seconds = 0;
+  double slice_sim_seconds = 5.0;
+};
+
 // Runs one configuration to completion with one seed. The optional
 // hook observes the run (see RunHook).
 core::RunMetrics RunOnce(const core::Config& config, std::uint64_t seed);
 core::RunMetrics RunOnce(const core::Config& config, std::uint64_t seed,
                          const RunHook& hook, const RunContext& context);
+// Budgeted variant: on wall-clock overrun the run is cut short
+// (metrics cover the simulated time actually reached) and *timed_out
+// (optional) is set.
+core::RunMetrics RunOnce(const core::Config& config, std::uint64_t seed,
+                         const RunHook& hook, const RunContext& context,
+                         const RunBudget& budget, bool* timed_out);
 
 // Runs one configuration over several seeds; returns all runs. The
 // optional hook observes every replication.
@@ -102,6 +121,24 @@ struct SweepSpec {
   // Observation hook, called (from worker threads) for every run with
   // its cell coordinates; may be null. See RunHook.
   RunHook on_run;
+  // Per-cell wall-clock budget, shared across a cell's replications
+  // (crash-safe sweeps). On overrun the in-flight replication is cut
+  // short and the cell's remaining replications are skipped (their
+  // metrics stay default-constructed); the cell is reported timed-out.
+  RunBudget budget;
+  // Optional cell filter (--resume): return true to skip a cell
+  // entirely — its runs stay default-constructed and on_cell_done is
+  // NOT called for it.
+  std::function<bool(std::size_t policy_index, std::size_t x_index)>
+      skip_cell;
+  // Optional per-cell completion callback (called from worker threads
+  // as each cell finishes, in no particular cell order): write the
+  // cell's results to durable storage here so an interrupted sweep
+  // keeps everything finished so far.
+  std::function<void(std::size_t policy_index, std::size_t x_index,
+                     const std::vector<core::RunMetrics>& runs,
+                     bool timed_out)>
+      on_cell_done;
 };
 
 class SweepResult {

@@ -1,0 +1,133 @@
+#include "fault/fault_injector.h"
+
+#include <utility>
+
+#include "base/check.h"
+
+namespace strip::fault {
+
+FaultInjector::FaultInjector(sim::Simulator* simulator,
+                             const FaultSchedule& schedule,
+                             std::uint64_t seed, double nominal_rate,
+                             Hooks hooks)
+    : simulator_(simulator),
+      schedule_(schedule),
+      random_(seed),
+      nominal_rate_(nominal_rate),
+      hooks_(std::move(hooks)) {
+  STRIP_CHECK(simulator_ != nullptr);
+  STRIP_CHECK(hooks_.deliver != nullptr);
+  STRIP_CHECK(nominal_rate_ > 0);
+  for (const FaultWindow& window : schedule_.windows()) {
+    simulator_->ScheduleAt(window.start,
+                           [this, &window] { BeginWindow(window); });
+    simulator_->ScheduleAt(window.end(),
+                           [this, &window] { EndWindow(window); });
+  }
+}
+
+void FaultInjector::Offer(const db::Update& update) {
+  const sim::Time now = simulator_->now();
+
+  if (in_outage_) {
+    backlog_.push_back(update);
+    ++counts_.outage_deferred;
+    return;
+  }
+
+  if (const FaultWindow* loss = schedule_.ActiveAt(FaultKind::kLoss, now);
+      loss != nullptr && random_.WithProbability(loss->probability)) {
+    ++counts_.lost;
+    return;
+  }
+
+  // Draw the duplicate decision before any reorder rescheduling so the
+  // random sequence is a pure function of the offer order.
+  const FaultWindow* dup = schedule_.ActiveAt(FaultKind::kDuplicate, now);
+  const bool duplicate =
+      dup != nullptr && random_.WithProbability(dup->probability);
+  double dup_delay = 0;
+  if (duplicate) dup_delay = random_.Exponential(dup->delay);
+
+  const FaultWindow* reorder =
+      schedule_.ActiveAt(FaultKind::kReorder, now);
+  if (reorder != nullptr && random_.WithProbability(reorder->probability)) {
+    const double extra = random_.Exponential(reorder->delay);
+    ++counts_.reordered;
+    db::Update delayed = update;
+    simulator_->ScheduleAfter(
+        extra, [this, delayed] { Deliver(delayed); });
+  } else {
+    Deliver(update);
+  }
+
+  if (duplicate) {
+    db::Update copy = update;
+    copy.id = next_dup_id_++;
+    ++counts_.duplicated;
+    simulator_->ScheduleAfter(dup_delay,
+                              [this, copy] { Deliver(copy); });
+  }
+}
+
+void FaultInjector::BeginWindow(const FaultWindow& window) {
+  switch (window.kind) {
+    case FaultKind::kOutage:
+      in_outage_ = true;
+      break;
+    case FaultKind::kBurst:
+      if (hooks_.set_rate_factor) hooks_.set_rate_factor(window.factor);
+      break;
+    case FaultKind::kCpu:
+      if (hooks_.set_cpu_factor) hooks_.set_cpu_factor(window.factor);
+      break;
+    case FaultKind::kLoss:
+    case FaultKind::kDuplicate:
+    case FaultKind::kReorder:
+      break;  // Per-arrival; handled in Offer().
+  }
+  if (hooks_.on_window) hooks_.on_window(window, /*begin=*/true);
+}
+
+void FaultInjector::EndWindow(const FaultWindow& window) {
+  switch (window.kind) {
+    case FaultKind::kOutage:
+      in_outage_ = false;
+      ReplayBacklog(window);
+      break;
+    case FaultKind::kBurst:
+      if (hooks_.set_rate_factor) hooks_.set_rate_factor(1.0);
+      break;
+    case FaultKind::kCpu:
+      if (hooks_.set_cpu_factor) hooks_.set_cpu_factor(1.0);
+      break;
+    case FaultKind::kLoss:
+    case FaultKind::kDuplicate:
+    case FaultKind::kReorder:
+      break;
+  }
+  if (hooks_.on_window) hooks_.on_window(window, /*begin=*/false);
+}
+
+void FaultInjector::ReplayBacklog(const FaultWindow& window) {
+  // Evenly paced catch-up burst: the upstream buffer drains at
+  // speedup × the nominal feed rate, preserving arrival order.
+  const double gap = 1.0 / (window.speedup * nominal_rate_);
+  double offset = gap;
+  while (!backlog_.empty()) {
+    db::Update update = backlog_.front();
+    backlog_.pop_front();
+    simulator_->ScheduleAfter(offset,
+                              [this, update] { Deliver(update); });
+    offset += gap;
+  }
+}
+
+void FaultInjector::Deliver(db::Update update) {
+  // The true delivery instant: replayed and reordered updates age by
+  // the delay they actually suffered.
+  update.arrival_time = simulator_->now();
+  hooks_.deliver(update);
+}
+
+}  // namespace strip::fault

@@ -1,0 +1,110 @@
+// Applies a FaultSchedule to an update feed, between the stream
+// generator and the System's arrival handler.
+//
+// The injector sits on the delivery path: the stream hands each
+// generated update to Offer(), and the injector decides whether it
+// reaches the system now, later, twice, or never.  All randomness
+// comes from one forked sim::RandomStream, so a given (seed, spec)
+// pair replays bit-identically.
+//
+// Window semantics:
+//
+//   outage   Offers during the window are buffered in arrival order.
+//            When the window ends the backlog is replayed as a
+//            catch-up burst at speedup × the nominal arrival rate.
+//            Replayed updates keep their original generation_time and
+//            get their true delivery time as arrival_time, so network
+//            ages reflect the real outage delay.  Replayed updates
+//            bypass loss/dup/reorder windows (the backlog is what the
+//            upstream buffer actually held).
+//   burst    Multiplies the stream's arrival rate by `factor` for the
+//            window (via Hooks::set_rate_factor).
+//   loss     Drops each offered update with probability p.
+//   dup      With probability p, also delivers a copy (fresh id, same
+//            payload/generation_time) after an exponential delay.
+//   reorder  With probability p, delays delivery by an exponential
+//            extra network delay, letting later updates overtake.
+//   cpu      Scales the simulated CPU speed by `factor` for the
+//            window (via Hooks::set_cpu_factor).
+//
+// Window begin/end boundaries are simulator events; Hooks::on_window
+// fires at each so the System can track recovery metrics and notify
+// observers.
+
+#ifndef STRIP_FAULT_FAULT_INJECTOR_H_
+#define STRIP_FAULT_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "db/update.h"
+#include "fault/fault_schedule.h"
+#include "sim/random.h"
+#include "sim/simulator.h"
+
+namespace strip::fault {
+
+// Whole-run injector activity counts (not reset at warmup; see
+// RunMetrics for the reporting convention).
+struct FaultCounts {
+  std::uint64_t lost = 0;
+  std::uint64_t duplicated = 0;
+  std::uint64_t reordered = 0;
+  std::uint64_t outage_deferred = 0;
+};
+
+class FaultInjector {
+ public:
+  struct Hooks {
+    // Required: delivers an update to the system (already stamped
+    // with its true arrival_time).
+    std::function<void(const db::Update&)> deliver;
+    // Optional: burst windows scale the stream arrival rate.
+    std::function<void(double)> set_rate_factor;
+    // Optional: cpu windows scale the simulated CPU speed.
+    std::function<void(double)> set_cpu_factor;
+    // Optional: fired at each window boundary (begin = true/false).
+    std::function<void(const FaultWindow&, bool)> on_window;
+  };
+
+  // `nominal_rate` is the feed's normal-phase arrival rate, used to
+  // pace catch-up bursts.  `schedule` must outlive the injector.
+  FaultInjector(sim::Simulator* simulator, const FaultSchedule& schedule,
+                std::uint64_t seed, double nominal_rate, Hooks hooks);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // Entry point for freshly generated updates (in place of delivering
+  // them straight to the system).
+  void Offer(const db::Update& update);
+
+  const FaultCounts& counts() const { return counts_; }
+  bool in_outage() const { return in_outage_; }
+  // Updates buffered during an ongoing outage (drains to zero when the
+  // catch-up replay is scheduled at window end).
+  std::size_t backlog_size() const { return backlog_.size(); }
+
+ private:
+  void BeginWindow(const FaultWindow& window);
+  void EndWindow(const FaultWindow& window);
+  void ReplayBacklog(const FaultWindow& window);
+  void Deliver(db::Update update);
+
+  sim::Simulator* simulator_;
+  const FaultSchedule& schedule_;
+  sim::RandomStream random_;
+  const double nominal_rate_;
+  Hooks hooks_;
+
+  FaultCounts counts_;
+  bool in_outage_ = false;
+  std::deque<db::Update> backlog_;
+  // Duplicate copies need ids that can never collide with stream ids.
+  std::uint64_t next_dup_id_ = (std::uint64_t{1} << 62) + 1;
+};
+
+}  // namespace strip::fault
+
+#endif  // STRIP_FAULT_FAULT_INJECTOR_H_

@@ -1,0 +1,229 @@
+#include "fault/fault_schedule.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+namespace strip::fault {
+namespace {
+
+// Splits `s` on `sep`, dropping empty pieces (so trailing ';' is fine).
+std::vector<std::string> Split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  size_t begin = 0;
+  while (begin <= s.size()) {
+    size_t end = s.find(sep, begin);
+    if (end == std::string::npos) end = s.size();
+    if (end > begin) out.push_back(s.substr(begin, end - begin));
+    begin = end + 1;
+  }
+  return out;
+}
+
+bool ParseFinite(const std::string& text, double* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  double value = std::strtod(text.c_str(), &end);
+  if (end != text.c_str() + text.size()) return false;
+  if (!std::isfinite(value)) return false;
+  *out = value;
+  return true;
+}
+
+void SetError(std::string* error, const std::string& token,
+              const std::string& why) {
+  if (error == nullptr) return;
+  *error = "faults: bad window \"" + token + "\": " + why;
+}
+
+bool KindFromName(const std::string& name, FaultKind* kind) {
+  if (name == "outage") *kind = FaultKind::kOutage;
+  else if (name == "burst") *kind = FaultKind::kBurst;
+  else if (name == "loss") *kind = FaultKind::kLoss;
+  else if (name == "dup") *kind = FaultKind::kDuplicate;
+  else if (name == "reorder") *kind = FaultKind::kReorder;
+  else if (name == "cpu") *kind = FaultKind::kCpu;
+  else return false;
+  return true;
+}
+
+}  // namespace
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kOutage: return "outage";
+    case FaultKind::kBurst: return "burst";
+    case FaultKind::kLoss: return "loss";
+    case FaultKind::kDuplicate: return "dup";
+    case FaultKind::kReorder: return "reorder";
+    case FaultKind::kCpu: return "cpu";
+  }
+  return "unknown";
+}
+
+std::optional<FaultSchedule> FaultSchedule::Parse(const std::string& spec,
+                                                 std::string* error) {
+  FaultSchedule schedule;
+  for (const std::string& token : Split(spec, ';')) {
+    if (token.find(' ') != std::string::npos ||
+        token.find('\t') != std::string::npos) {
+      SetError(error, token, "spaces are not allowed in a window token");
+      return std::nullopt;
+    }
+
+    // kind@start+duration[:params]
+    const size_t at = token.find('@');
+    if (at == std::string::npos) {
+      SetError(error, token,
+               "expected kind@start+duration (e.g. outage@100+15)");
+      return std::nullopt;
+    }
+    FaultWindow w;
+    w.label = token;
+    if (!KindFromName(token.substr(0, at), &w.kind)) {
+      SetError(error, token,
+               "unknown kind \"" + token.substr(0, at) +
+                   "\" (use outage, burst, loss, dup, reorder, or cpu)");
+      return std::nullopt;
+    }
+    const size_t colon = token.find(':', at);
+    const std::string timing =
+        token.substr(at + 1, (colon == std::string::npos ? token.size()
+                                                         : colon) -
+                                 (at + 1));
+    const size_t plus = timing.find('+');
+    if (plus == std::string::npos) {
+      SetError(error, token,
+               "expected start+duration after '@' (e.g. outage@100+15)");
+      return std::nullopt;
+    }
+    if (!ParseFinite(timing.substr(0, plus), &w.start) || w.start < 0) {
+      SetError(error, token, "start must be a finite number >= 0");
+      return std::nullopt;
+    }
+    if (!ParseFinite(timing.substr(plus + 1), &w.duration) ||
+        w.duration <= 0) {
+      SetError(error, token, "duration must be a finite number > 0");
+      return std::nullopt;
+    }
+
+    // Defaults that differ by kind.
+    if (w.kind == FaultKind::kDuplicate) w.delay = 0.01;
+
+    bool saw_probability = false;
+    if (colon != std::string::npos) {
+      for (const std::string& kv :
+           Split(token.substr(colon + 1), ',')) {
+        const size_t eq = kv.find('=');
+        if (eq == std::string::npos) {
+          SetError(error, token,
+                   "parameter \"" + kv + "\" is not key=value");
+          return std::nullopt;
+        }
+        const std::string key = kv.substr(0, eq);
+        double value = 0;
+        if (!ParseFinite(kv.substr(eq + 1), &value)) {
+          SetError(error, token,
+                   "parameter \"" + key + "\" must be a finite number");
+          return std::nullopt;
+        }
+        if (key == "p") {
+          if (w.kind != FaultKind::kLoss &&
+              w.kind != FaultKind::kDuplicate &&
+              w.kind != FaultKind::kReorder) {
+            SetError(error, token,
+                     "\"p\" only applies to loss, dup, and reorder");
+            return std::nullopt;
+          }
+          if (value < 0 || value > 1) {
+            SetError(error, token, "p must be in [0, 1]");
+            return std::nullopt;
+          }
+          w.probability = value;
+          saw_probability = true;
+        } else if (key == "factor") {
+          if (w.kind != FaultKind::kBurst && w.kind != FaultKind::kCpu) {
+            SetError(error, token,
+                     "\"factor\" only applies to burst and cpu");
+            return std::nullopt;
+          }
+          if (value <= 0) {
+            SetError(error, token, "factor must be > 0");
+            return std::nullopt;
+          }
+          if (w.kind == FaultKind::kCpu && value > 1) {
+            SetError(error, token,
+                     "cpu factor must be in (0, 1] (it slows the CPU)");
+            return std::nullopt;
+          }
+          w.factor = value;
+        } else if (key == "speedup") {
+          if (w.kind != FaultKind::kOutage) {
+            SetError(error, token, "\"speedup\" only applies to outage");
+            return std::nullopt;
+          }
+          if (value < 1) {
+            SetError(error, token, "speedup must be >= 1");
+            return std::nullopt;
+          }
+          w.speedup = value;
+        } else if (key == "delay") {
+          if (w.kind != FaultKind::kDuplicate &&
+              w.kind != FaultKind::kReorder) {
+            SetError(error, token,
+                     "\"delay\" only applies to dup and reorder");
+            return std::nullopt;
+          }
+          if (value <= 0) {
+            SetError(error, token, "delay must be > 0");
+            return std::nullopt;
+          }
+          w.delay = value;
+        } else {
+          SetError(error, token,
+                   "unknown parameter \"" + key +
+                       "\" (use p, factor, speedup, or delay)");
+          return std::nullopt;
+        }
+      }
+    }
+    if ((w.kind == FaultKind::kLoss || w.kind == FaultKind::kDuplicate ||
+         w.kind == FaultKind::kReorder) &&
+        !saw_probability) {
+      SetError(error, token,
+               std::string("\"") + FaultKindName(w.kind) +
+                   "\" requires p=... (per-arrival probability)");
+      return std::nullopt;
+    }
+
+    for (const FaultWindow& other : schedule.windows_) {
+      if (other.kind != w.kind) continue;
+      if (w.start < other.end() && other.start < w.end()) {
+        SetError(error, token,
+                 "overlaps earlier window \"" + other.label + "\"");
+        return std::nullopt;
+      }
+    }
+    schedule.windows_.push_back(std::move(w));
+  }
+  return schedule;
+}
+
+const FaultWindow* FaultSchedule::ActiveAt(FaultKind kind, double t) const {
+  for (const FaultWindow& w : windows_) {
+    if (w.kind == kind && w.Contains(t)) return &w;
+  }
+  return nullptr;
+}
+
+std::string FaultSchedule::ToString() const {
+  std::string out;
+  for (const FaultWindow& w : windows_) {
+    if (!out.empty()) out += ';';
+    out += w.label;
+  }
+  return out;
+}
+
+}  // namespace strip::fault

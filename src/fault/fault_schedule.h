@@ -1,0 +1,102 @@
+// A piecewise timeline of fault windows, parsed from a --faults spec.
+//
+// The spec is a semicolon-separated list of windows:
+//
+//   kind@start+duration[:key=value[,key=value...]]
+//
+// e.g. "outage@100+15:speedup=4;loss@200+50:p=0.1;cpu@300+30:factor=0.5"
+//
+// Kinds and their parameters (all times in simulated seconds):
+//
+//   outage   feed connection down: arrivals are buffered upstream for
+//            the window, then replayed as a catch-up burst at
+//            speedup × the nominal rate (speedup >= 1, default 4).
+//   burst    Markov-style rate modulation: the stream's arrival rate
+//            is multiplied by factor (> 0) for the window.
+//   loss     each arrival in the window is dropped with probability p.
+//   dup      each arrival in the window is delivered twice with
+//            probability p; the copy lags by an exponential delay
+//            with mean `delay` seconds (default 0.01).
+//   reorder  each arrival in the window is delayed by an exponential
+//            extra network delay with mean `delay` seconds (default
+//            0.05) with probability p, letting later ticks overtake it.
+//   cpu      CPU degradation: the simulated CPU runs at factor × ips
+//            (0 < factor <= 1) for the window.
+//
+// Parsing validates everything up front — negative or non-finite
+// numbers, probabilities outside [0, 1], overlapping windows of the
+// same kind — and reports a one-line actionable error naming the bad
+// window, so a malformed spec never reaches a running simulation.
+// Window tokens must not contain spaces (labels are embedded in
+// space-separated trace headers).
+
+#ifndef STRIP_FAULT_FAULT_SCHEDULE_H_
+#define STRIP_FAULT_FAULT_SCHEDULE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace strip::fault {
+
+enum class FaultKind {
+  kOutage = 0,
+  kBurst,
+  kLoss,
+  kDuplicate,
+  kReorder,
+  kCpu,
+};
+
+// The spec token for a kind ("outage", "burst", "loss", "dup",
+// "reorder", "cpu").
+const char* FaultKindName(FaultKind kind);
+
+struct FaultWindow {
+  FaultKind kind = FaultKind::kOutage;
+  double start = 0;
+  double duration = 0;
+  // Per-arrival probability (loss / dup / reorder).
+  double probability = 1.0;
+  // Rate multiplier (burst) or CPU-speed multiplier (cpu).
+  double factor = 1.0;
+  // Catch-up replay speed multiplier over the nominal rate (outage).
+  double speedup = 4.0;
+  // Mean extra delay in seconds (reorder / dup copies).
+  double delay = 0.05;
+  // The window's own spec token, e.g. "outage@100+15:speedup=4" —
+  // the stable name used in traces and error messages.
+  std::string label;
+
+  double end() const { return start + duration; }
+  // Half-open containment: [start, end).
+  bool Contains(double t) const { return t >= start && t < end(); }
+};
+
+class FaultSchedule {
+ public:
+  // An empty schedule (no windows). Parse("") also yields this.
+  FaultSchedule() = default;
+
+  // Parses and validates `spec`. On failure returns nullopt and sets
+  // *error (if non-null) to a one-line message naming the bad window.
+  static std::optional<FaultSchedule> Parse(const std::string& spec,
+                                            std::string* error);
+
+  bool empty() const { return windows_.empty(); }
+  const std::vector<FaultWindow>& windows() const { return windows_; }
+
+  // The window of `kind` active at time `t` ([start, end)), or nullptr.
+  // Windows of one kind never overlap (enforced by Parse).
+  const FaultWindow* ActiveAt(FaultKind kind, double t) const;
+
+  // Canonical round-trip of the spec (windows in input order).
+  std::string ToString() const;
+
+ private:
+  std::vector<FaultWindow> windows_;
+};
+
+}  // namespace strip::fault
+
+#endif  // STRIP_FAULT_FAULT_SCHEDULE_H_

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "base/check.h"
+#include "core/metrics_json.h"
 
 namespace strip::obs {
 
@@ -64,50 +65,8 @@ void WriteSeriesColumn(std::ostream& out, const char* name,
 }
 
 void WriteMetricsJson(std::ostream& out, const core::RunMetrics& m) {
-  const auto field = [&](const char* name, const std::string& value,
-                         bool last = false) {
-    out << "    \"" << name << "\": " << value << (last ? "\n" : ",\n");
-  };
-  out << "  \"metrics\": {\n";
-  field("observed_seconds", Number(m.observed_seconds));
-  field("txns_arrived", Number(m.txns_arrived));
-  field("txns_committed", Number(m.txns_committed));
-  field("txns_committed_fresh", Number(m.txns_committed_fresh));
-  field("txns_committed_stale", Number(m.txns_committed_stale));
-  field("txns_missed_deadline", Number(m.txns_missed_deadline));
-  field("txns_infeasible", Number(m.txns_infeasible));
-  field("txns_stale_aborted", Number(m.txns_stale_aborted));
-  field("txns_overload_dropped", Number(m.txns_overload_dropped));
-  field("txns_inflight_at_end", Number(m.txns_inflight_at_end));
-  field("value_committed", Number(m.value_committed));
-  field("updates_arrived", Number(m.updates_arrived));
-  field("updates_installed", Number(m.updates_installed));
-  field("updates_unworthy", Number(m.updates_unworthy));
-  field("updates_applied_on_demand", Number(m.updates_applied_on_demand));
-  field("updates_dropped_os_full", Number(m.updates_dropped_os_full));
-  field("updates_dropped_uq_overflow", Number(m.updates_dropped_uq_overflow));
-  field("updates_dropped_expired", Number(m.updates_dropped_expired));
-  field("updates_dropped_superseded", Number(m.updates_dropped_superseded));
-  field("triggers_fired", Number(m.triggers_fired));
-  field("io_stalls", Number(m.io_stalls));
-  field("cpu_txn_seconds", Number(m.cpu_txn_seconds));
-  field("cpu_update_seconds", Number(m.cpu_update_seconds));
-  field("f_old_low", Number(m.f_old_low));
-  field("f_old_high", Number(m.f_old_high));
-  field("response_mean", Number(m.response_mean));
-  field("response_p50", Number(m.response_p50));
-  field("response_p95", Number(m.response_p95));
-  field("response_p99", Number(m.response_p99));
-  field("uq_length_avg", Number(m.uq_length_avg));
-  field("uq_length_max", Number(m.uq_length_max));
-  field("os_length_avg", Number(m.os_length_avg));
-  field("p_md", Number(m.p_md()));
-  field("p_success", Number(m.p_success()));
-  field("p_suc_nontardy", Number(m.p_suc_nontardy()));
-  field("av", Number(m.av()));
-  field("rho_t", Number(m.rho_t()));
-  field("rho_u", Number(m.rho_u()), /*last=*/true);
-  out << "  }";
+  out << "  \"metrics\": ";
+  core::WriteRunMetricsJson(out, m, "    ", "  ");
 }
 
 }  // namespace

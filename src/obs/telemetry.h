@@ -14,7 +14,7 @@
 //
 // The document is deterministic: same config + seed => bit-identical
 // bytes (fixed key order, %.17g number formatting, no timestamps).
-// Schema: see "strip.telemetry/v1" in EXPERIMENTS.md § Observability.
+// Schema: see "strip.telemetry/v2" in EXPERIMENTS.md § Observability.
 
 #ifndef STRIP_OBS_TELEMETRY_H_
 #define STRIP_OBS_TELEMETRY_H_
@@ -30,7 +30,9 @@
 namespace strip::obs {
 
 // Identifies the telemetry document layout; bump on breaking changes.
-inline constexpr const char* kTelemetrySchema = "strip.telemetry/v1";
+// v2 added the robustness counters (fault_*, updates_shed_*,
+// governor_*, outage_recovery_seconds, ...) to the metrics object.
+inline constexpr const char* kTelemetrySchema = "strip.telemetry/v2";
 
 class RunTelemetry : public core::SystemObserver {
  public:

@@ -232,6 +232,20 @@ void ChromeTraceWriter::Emit(const TraceEvent& event) {
                "\",\"cat\":\"phase\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,"
                "\"tid\":" + Id(kSchedulerTid) + ",\"ts\":" + ts);
       break;
+    case EventKind::kFaultBegin:
+    case EventKind::kFaultEnd:
+      // Process-scoped instants so the fault window is visible on every
+      // track while inspecting a trace taken through a fault.
+      WriteRaw(std::string("\"name\":\"") +
+               (event.fault_kind != nullptr ? event.fault_kind : "fault") +
+               (event.kind == EventKind::kFaultBegin ? " begin" : " end") +
+               "\",\"cat\":\"" + EventKindName(event.kind) +
+               "\",\"ph\":\"i\",\"s\":\"p\",\"pid\":1,\"tid\":" +
+               Id(kSchedulerTid) + ",\"ts\":" + ts +
+               ",\"args\":{\"window\":\"" +
+               (event.fault_label != nullptr ? event.fault_label : "") +
+               "\"}");
+      break;
   }
 }
 

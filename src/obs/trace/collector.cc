@@ -28,6 +28,10 @@ const char* EventKindName(EventKind kind) {
       return "policy-decision";
     case EventKind::kPhase:
       return "phase";
+    case EventKind::kFaultBegin:
+      return "fault-begin";
+    case EventKind::kFaultEnd:
+      return "fault-end";
   }
   return "?";
 }
@@ -47,6 +51,9 @@ const char* EventDetail(const TraceEvent& event) {
       return core::SchedulerChoiceName(event.choice);
     case EventKind::kPhase:
       return core::PhaseName(event.phase);
+    case EventKind::kFaultBegin:
+    case EventKind::kFaultEnd:
+      return event.fault_kind != nullptr ? event.fault_kind : "";
     case EventKind::kTxnAdmitted:
     case EventKind::kUpdateArrival:
     case EventKind::kUpdateEnqueued:
@@ -184,6 +191,16 @@ void TraceCollector::OnPreempt(sim::Time now,
   event.txn_id = transaction.id();
   event.txn_cls = transaction.cls();
   event.preempt_reason = reason;
+  Emit(event);
+}
+
+void TraceCollector::OnFaultWindow(sim::Time now,
+                                   const FaultWindowInfo& window) {
+  TraceEvent event;
+  event.kind = window.begin ? EventKind::kFaultBegin : EventKind::kFaultEnd;
+  event.time = now;
+  event.fault_kind = window.kind;
+  event.fault_label = window.label;
   Emit(event);
 }
 

@@ -38,6 +38,7 @@ class TraceCollector : public core::SystemObserver {
                  PreemptReason reason) override;
   void OnPolicyDecision(sim::Time now, core::PolicyKind policy,
                         SchedulerChoice choice, const char* reason) override;
+  void OnFaultWindow(sim::Time now, const FaultWindowInfo& window) override;
 
  protected:
   // Receives every normalized event, in simulation order.

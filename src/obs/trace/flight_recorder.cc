@@ -2,6 +2,7 @@
 
 #include <cinttypes>
 #include <cstdio>
+#include <string_view>
 
 #include "base/check.h"
 
@@ -32,6 +33,15 @@ void FlightRecorder::Trip(const char* predicate, sim::Time when) {
 }
 
 void FlightRecorder::Check(const TraceEvent& event) {
+  // The outage-recovery watch fires on simulated-time passage, so any
+  // event past the deadline trips it — checked first, before this
+  // event can drain the queue below the threshold "just in time".
+  if (outage_watch_ && event.time >= outage_watch_deadline_ &&
+      queued_updates_.size() > options_.outage_recovery_depth) {
+    trip_window_ = outage_watch_label_;
+    Trip("outage-recovery", event.time);
+    return;
+  }
   switch (event.kind) {
     case EventKind::kTxnTerminal: {
       // Both flavours of deadline failure count toward the burst:
@@ -75,8 +85,21 @@ void FlightRecorder::Check(const TraceEvent& event) {
     case EventKind::kUpdateDropped:
       queued_updates_.erase(event.update_id);
       break;
+    case EventKind::kFaultEnd:
+      if (event.fault_kind != nullptr &&
+          std::string_view(event.fault_kind) == "outage") {
+        outage_watch_ = true;
+        outage_watch_deadline_ =
+            event.time + options_.outage_recovery_deadline_seconds;
+        outage_watch_label_ = event.fault_label;
+      }
+      break;
     default:
       break;
+  }
+  if (outage_watch_ &&
+      queued_updates_.size() <= options_.outage_recovery_depth) {
+    outage_watch_ = false;  // drained in time: recovered
   }
 }
 
@@ -95,9 +118,14 @@ void DumpEvent(std::ostream& out, const TraceEvent& event) {
         << event.object.index;
   }
   out << "," << EventDetail(event) << ",";
-  // The rationale column: a policy decision's reason token.
+  // The rationale column: a policy decision's reason token, or a
+  // fault boundary's window label.
   if (event.kind == EventKind::kPolicyDecision && event.reason != nullptr) {
     out << event.reason;
+  } else if ((event.kind == EventKind::kFaultBegin ||
+              event.kind == EventKind::kFaultEnd) &&
+             event.fault_label != nullptr) {
+    out << event.fault_label;
   }
   out << ",";
   if (event.kind == EventKind::kDispatch ||
@@ -118,7 +146,11 @@ void FlightRecorder::DumpTo(std::ostream& out) const {
   out << "# strip-flight v1 trip="
       << (trip_predicate_ != nullptr ? trip_predicate_ : "none")
       << " trip_time=" << (tripped() ? trip_buffer : "0.000000000")
-      << " events=" << size() << "\n";
+      << " events=" << size();
+  // Only outage-recovery trips name the fault window that caused them;
+  // the header stays byte-identical to v1 dumps otherwise.
+  if (trip_window_ != nullptr) out << " window=" << trip_window_;
+  out << "\n";
   out << "kind,time,txn,update,object,detail,reason,instructions\n";
   const std::size_t count = size();
   const std::size_t start = full_ ? head_ : 0;

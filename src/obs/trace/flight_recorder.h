@@ -13,6 +13,11 @@
 //   uq-depth-spike        the update queue's depth (reconstructed from
 //                         enqueue/install/drop events) reached
 //                         uq_depth_threshold
+//   outage-recovery       after a fault-end event of an outage window,
+//                         the reconstructed update-queue depth failed
+//                         to drain back to outage_recovery_depth within
+//                         outage_recovery_deadline_seconds — the
+//                         catch-up burst did not clear the backlog
 //
 // When a predicate first trips the recorder latches: the tripping
 // event is retained and recording stops, so the ring holds the window
@@ -56,6 +61,12 @@ struct FlightRecorderOptions {
   // uq-depth-spike predicate.
   std::size_t uq_depth_threshold = 512;
 
+  // outage-recovery predicate: after an outage window closes the
+  // reconstructed queue depth must drain to <= outage_recovery_depth
+  // within outage_recovery_deadline_seconds of simulated time.
+  double outage_recovery_deadline_seconds = 20.0;
+  std::size_t outage_recovery_depth = 64;
+
   // When false the recorder only records (never trips).
   bool armed = true;
 };
@@ -68,9 +79,13 @@ class FlightRecorder : public TraceCollector {
   // ignores further events.
   bool tripped() const { return trip_predicate_ != nullptr; }
   // The tripped predicate's name ("deadline-miss-burst",
-  // "stale-fraction", "uq-depth-spike"), or nullptr.
+  // "stale-fraction", "uq-depth-spike", "outage-recovery"), or nullptr.
   const char* trip_predicate() const { return trip_predicate_; }
   sim::Time trip_time() const { return trip_time_; }
+  // For outage-recovery trips: the label of the outage window whose
+  // recovery deadline was blown (e.g. "outage@10+5"); nullptr for the
+  // other predicates. Points into run-owned storage.
+  const char* trip_window() const { return trip_window_; }
 
   // Events currently retained (<= capacity).
   std::size_t size() const;
@@ -99,8 +114,14 @@ class FlightRecorder : public TraceCollector {
   std::deque<bool> recent_stale_;
   int recent_stale_count_ = 0;
   std::unordered_set<std::uint64_t> queued_updates_;
+  // Outage-recovery watch: armed by an outage fault-end, cleared when
+  // the queue drains below the threshold.
+  bool outage_watch_ = false;
+  sim::Time outage_watch_deadline_ = 0;
+  const char* outage_watch_label_ = nullptr;
   const char* trip_predicate_ = nullptr;
   sim::Time trip_time_ = 0;
+  const char* trip_window_ = nullptr;
 };
 
 }  // namespace strip::obs::trace

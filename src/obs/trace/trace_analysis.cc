@@ -74,6 +74,7 @@ std::optional<ParsedTrace> ParseFlightDump(std::istream& in,
   trace.trip_predicate = HeaderToken(line, "trip");
   trace.trip_time = std::strtod(HeaderToken(line, "trip_time").c_str(),
                                 nullptr);
+  trace.trip_window = HeaderToken(line, "window");
   if (!std::getline(in, line) || line.rfind("kind,time", 0) != 0) {
     if (error != nullptr) *error = "missing column header";
     return std::nullopt;
@@ -158,6 +159,9 @@ std::optional<ParsedTrace> ParseChromeTrace(std::istream& in,
     } else if (cat == "txn-terminal" || cat == "update-dropped" ||
                cat == "policy-decision" || cat == "phase") {
       event.detail = name;
+    } else if (cat == "fault-begin" || cat == "fault-end") {
+      event.detail = name;
+      event.reason = JsonString(line, "window");
     }
     if (cat == "policy-decision") {
       event.reason = JsonString(line, "reason");

@@ -47,6 +47,9 @@ struct ParsedTrace {
   // trip time. Chrome traces: "chrome" / 0.
   std::string trip_predicate;
   double trip_time = 0;
+  // The fault window named by an outage-recovery trip (header's
+  // `window=` token); "" for other predicates and Chrome traces.
+  std::string trip_window;
   std::vector<ParsedEvent> events;
 };
 

@@ -46,6 +46,8 @@ enum class EventKind {
   kStaleRead,         // a view read encountered stale data
   kPolicyDecision,    // the scheduler consulted the policy
   kPhase,             // run-phase boundary (warm-up end / run end)
+  kFaultBegin,        // an injected fault window opened
+  kFaultEnd,          // an injected fault window closed
 };
 
 const char* EventKindName(EventKind kind);
@@ -82,6 +84,13 @@ struct TraceEvent {
 
   // Policy-decision rationale; static storage, never owned.
   const char* reason = nullptr;
+
+  // Fault-window identity (kFaultBegin/kFaultEnd): the kind token
+  // ("outage", "burst", ...) and the window's spec label. Both point
+  // into storage owned by the run's System (alive for the run) — same
+  // lifetime contract as `reason`.
+  const char* fault_kind = nullptr;
+  const char* fault_label = nullptr;
 
   // Instructions of a dispatched segment (kDispatch/kSegmentComplete).
   double instructions = 0;

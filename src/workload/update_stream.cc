@@ -37,10 +37,21 @@ void UpdateStream::Stop() {
   simulator_->Cancel(next_phase_toggle_);
 }
 
+void UpdateStream::SetRateFactor(double factor) {
+  STRIP_CHECK_MSG(factor > 0, "rate factor must be positive");
+  if (factor == rate_factor_) return;
+  rate_factor_ = factor;
+  if (stopped_) return;
+  // Re-draw the pending gap at the new rate, as SchedulePhaseToggle
+  // does — exact for Poisson arrivals by the memoryless property.
+  simulator_->Cancel(next_arrival_);
+  ScheduleNext();
+}
+
 void UpdateStream::ScheduleNext() {
   if (stopped_) return;
   const sim::Duration gap =
-      params_.periodic ? 1.0 / params_.arrival_rate
+      params_.periodic ? 1.0 / (rate_factor_ * params_.arrival_rate)
                        : random_.PoissonInterarrival(CurrentRate());
   next_arrival_ = simulator_->ScheduleAfter(gap, [this] {
     EmitOne();

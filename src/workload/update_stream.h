@@ -67,18 +67,28 @@ class UpdateStream {
   // Stops generating further arrivals.
   void Stop();
 
+  // Multiplies the arrival rate by `factor` from now on (fault
+  // injection: burst windows). The pending interarrival gap is
+  // redrawn at the new rate — exact for Poisson arrivals by the
+  // memoryless property; for periodic streams the next gap simply
+  // shrinks or stretches. factor = 1 restores the configured rate.
+  void SetRateFactor(double factor);
+
   // Number of updates generated so far.
   std::uint64_t generated() const { return generated_; }
 
   // Whether the stream is currently in its burst phase.
   bool in_burst() const { return in_burst_; }
 
+  double rate_factor() const { return rate_factor_; }
+
  private:
   void ScheduleNext();
   void EmitOne();
   void SchedulePhaseToggle();
   double CurrentRate() const {
-    return in_burst_ ? params_.burst_rate : params_.arrival_rate;
+    return rate_factor_ *
+           (in_burst_ ? params_.burst_rate : params_.arrival_rate);
   }
 
   sim::Simulator* simulator_;
@@ -89,6 +99,7 @@ class UpdateStream {
   int next_periodic_object_ = 0;
   bool stopped_ = false;
   bool in_burst_ = false;
+  double rate_factor_ = 1.0;
   sim::EventQueue::Handle next_arrival_;
   sim::EventQueue::Handle next_phase_toggle_;
 };

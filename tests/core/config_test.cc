@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 namespace strip::core {
 namespace {
 
@@ -158,10 +161,54 @@ INSTANTIATE_TEST_SUITE_P(
         BadConfigCase{"buffer_hit_ratio_above_one",
                       [](Config& c) { c.buffer_hit_ratio = 1.5; }},
         BadConfigCase{"io_seconds_negative",
-                      [](Config& c) { c.io_seconds = -1; }}),
+                      [](Config& c) { c.io_seconds = -1; }},
+        BadConfigCase{"lambda_u_nan",
+                      [](Config& c) {
+                        c.lambda_u = std::nan("");
+                      }},
+        BadConfigCase{"ips_infinite",
+                      [](Config& c) {
+                        c.ips = std::numeric_limits<double>::infinity();
+                      }},
+        BadConfigCase{"sim_seconds_nan",
+                      [](Config& c) {
+                        c.sim_seconds = std::nan("");
+                      }},
+        BadConfigCase{"governor_watermarks_reversed",
+                      [](Config& c) {
+                        c.overload_governor = true;
+                        c.governor_high_watermark = 0.2;
+                        c.governor_low_watermark = 0.8;
+                      }},
+        BadConfigCase{"governor_high_above_one",
+                      [](Config& c) {
+                        c.overload_governor = true;
+                        c.governor_high_watermark = 1.5;
+                      }},
+        BadConfigCase{"governor_stale_threshold_above_one",
+                      [](Config& c) {
+                        c.overload_governor = true;
+                        c.governor_stale_threshold = 1.5;
+                      }},
+        BadConfigCase{"fault_spec_bad_kind",
+                      [](Config& c) { c.faults = "meteor@1+2"; }},
+        BadConfigCase{"fault_spec_missing_probability",
+                      [](Config& c) { c.faults = "loss@1+2"; }}),
     [](const ::testing::TestParamInfo<BadConfigCase>& info) {
       return info.param.name;
     });
+
+TEST(ConfigTest, FaultSpecValidation) {
+  Config c;
+  c.faults = "outage@10+5:speedup=4;loss@20+5:p=0.2";
+  EXPECT_FALSE(c.Validate().has_value());
+  c.faults = "loss@1+2";
+  const auto error = c.Validate();
+  ASSERT_TRUE(error.has_value());
+  EXPECT_NE(error->find("requires p="), std::string::npos);
+  // Errors are one line so a CLI can print them verbatim.
+  EXPECT_EQ(error->find('\n'), std::string::npos);
+}
 
 TEST(ConfigTest, AlphaUnusedUnderUuIsAccepted) {
   Config c;

@@ -100,6 +100,36 @@ TEST(ConfigFlagsTest, ApplyFlagsReportsBadValueForKnownName) {
   ASSERT_TRUE(error.has_value());
 }
 
+TEST(ConfigFlagsTest, SetsFaultSpecAndRobustnessFlags) {
+  core::Config config;
+  EXPECT_FALSE(
+      ApplyConfigFlag("faults=outage@10+5:speedup=4;loss@20+5:p=0.2",
+                      config)
+          .has_value());
+  EXPECT_EQ(config.faults, "outage@10+5:speedup=4;loss@20+5:p=0.2");
+  EXPECT_FALSE(ApplyConfigFlag("shed_by_importance=true", config)
+                   .has_value());
+  EXPECT_TRUE(config.shed_by_importance);
+  EXPECT_FALSE(ApplyConfigFlag("overload_governor=1", config).has_value());
+  EXPECT_TRUE(config.overload_governor);
+  EXPECT_FALSE(ApplyConfigFlag("governor_high_watermark=0.9", config)
+                   .has_value());
+  EXPECT_DOUBLE_EQ(config.governor_high_watermark, 0.9);
+  // A malformed spec is rejected at flag-parse time with a one-line
+  // error naming the bad token, not deferred to Validate().
+  const auto error = ApplyConfigFlag("faults=bogus@1+2", config);
+  ASSERT_TRUE(error.has_value());
+  EXPECT_NE(error->find("bogus@1+2"), std::string::npos);
+  EXPECT_EQ(error->find('\n'), std::string::npos);
+}
+
+TEST(ConfigFlagsTest, RejectsNonFiniteValues) {
+  core::Config config;
+  EXPECT_TRUE(ApplyConfigFlag("lambda_t=nan", config).has_value());
+  EXPECT_TRUE(ApplyConfigFlag("lambda_t=inf", config).has_value());
+  EXPECT_TRUE(ApplyConfigFlag("ips=-inf", config).has_value());
+}
+
 TEST(ConfigFlagsTest, RoundTripThroughToString) {
   core::Config config;
   config.lambda_t = 13.25;

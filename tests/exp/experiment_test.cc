@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
+#include <vector>
+
 namespace strip::exp {
 namespace {
 
@@ -104,6 +107,70 @@ TEST(SweepTest, AggregateComputesMeanAndCi) {
                         2.0;
   EXPECT_DOUBLE_EQ(summary.mean, manual);
   EXPECT_DOUBLE_EQ(result.Mean(0, 0, metric), manual);
+}
+
+TEST(SweepTest, SkipCellLeavesDefaultRunsAndSkipsCallback) {
+  SweepSpec spec = QuickSweep();
+  std::vector<std::pair<std::size_t, std::size_t>> done;
+  spec.skip_cell = [](std::size_t p, std::size_t x) {
+    return p == 0 && x == 0;
+  };
+  spec.on_cell_done = [&done](std::size_t p, std::size_t x,
+                              const std::vector<core::RunMetrics>&,
+                              bool timed_out) {
+    EXPECT_FALSE(timed_out);
+    done.emplace_back(p, x);
+  };
+  spec.threads = 1;
+  const SweepResult result = RunSweep(spec);
+  // The skipped cell holds default-constructed metrics...
+  EXPECT_EQ(result.cell(0, 0)[0].txns_arrived, 0u);
+  // ...every other cell ran and was reported exactly once.
+  EXPECT_GT(result.cell(0, 1)[0].txns_arrived, 0u);
+  EXPECT_GT(result.cell(1, 0)[0].txns_arrived, 0u);
+  ASSERT_EQ(done.size(), 3u);
+  for (const auto& [p, x] : done) {
+    EXPECT_FALSE(p == 0 && x == 0);
+  }
+}
+
+TEST(SweepTest, UnbudgetedRunMatchesBudgetedWithRoomToSpare) {
+  // A generous wall-clock budget must not perturb results: the sliced
+  // execution replays the identical event sequence.
+  SweepSpec plain = QuickSweep();
+  SweepSpec budgeted = QuickSweep();
+  budgeted.budget.wall_seconds = 3600.0;
+  budgeted.budget.slice_sim_seconds = 0.5;
+  bool any_timeout = false;
+  budgeted.on_cell_done = [&any_timeout](std::size_t, std::size_t,
+                                         const std::vector<core::RunMetrics>&,
+                                         bool timed_out) {
+    any_timeout |= timed_out;
+  };
+  const SweepResult a = RunSweep(plain);
+  const SweepResult b = RunSweep(budgeted);
+  EXPECT_FALSE(any_timeout);
+  for (std::size_t p = 0; p < a.n_policies(); ++p) {
+    for (std::size_t x = 0; x < a.n_x(); ++x) {
+      for (std::size_t r = 0; r < a.cell(p, x).size(); ++r) {
+        EXPECT_EQ(a.cell(p, x)[r].ToString(), b.cell(p, x)[r].ToString());
+      }
+    }
+  }
+}
+
+TEST(RunOnceTest, BudgetTimeoutHaltsEarly) {
+  core::Config config = QuickConfig();
+  config.sim_seconds = 10000.0;  // far more than the budget allows
+  RunBudget budget;
+  budget.wall_seconds = 0.05;
+  budget.slice_sim_seconds = 1.0;
+  bool timed_out = false;
+  const core::RunMetrics m =
+      RunOnce(config, 1, nullptr, {}, budget, &timed_out);
+  EXPECT_TRUE(timed_out);
+  EXPECT_LT(m.observed_seconds, config.sim_seconds);
+  EXPECT_GT(m.observed_seconds, 0.0);
 }
 
 TEST(SweepDeathTest, InvalidSpecsDie) {

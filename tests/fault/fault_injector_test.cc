@@ -1,0 +1,206 @@
+// FaultInjector invariants against a reference model: what goes in
+// must come out except exactly as the active window prescribes.
+
+#include "fault/fault_injector.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "db/update.h"
+#include "fault/fault_schedule.h"
+#include "sim/simulator.h"
+
+namespace strip::fault {
+namespace {
+
+FaultSchedule Parse(const std::string& spec) {
+  std::string error;
+  const auto schedule = FaultSchedule::Parse(spec, &error);
+  EXPECT_TRUE(schedule.has_value()) << error;
+  return *schedule;
+}
+
+db::Update MakeUpdate(std::uint64_t id, double generation_time) {
+  db::Update update;
+  update.id = id;
+  update.object = {db::ObjectClass::kLowImportance,
+                   static_cast<int>(id % 7)};
+  update.generation_time = generation_time;
+  update.arrival_time = generation_time;
+  return update;
+}
+
+// Offers `count` updates at 10 ms spacing from t=0 and runs the
+// simulated clock out to `horizon`, collecting deliveries.
+struct Harness {
+  explicit Harness(const std::string& spec, std::uint64_t seed = 7,
+                   double nominal_rate = 100) {
+    schedule = Parse(spec);
+    FaultInjector::Hooks hooks;
+    hooks.deliver = [this](const db::Update& update) {
+      delivered.push_back(update);
+    };
+    hooks.set_rate_factor = [this](double f) { rate_factors.push_back(f); };
+    hooks.set_cpu_factor = [this](double f) { cpu_factors.push_back(f); };
+    injector = std::make_unique<FaultInjector>(&simulator, schedule, seed,
+                                               nominal_rate,
+                                               std::move(hooks));
+  }
+
+  void OfferStream(int count, double interval = 0.01) {
+    for (int i = 0; i < count; ++i) {
+      simulator.ScheduleAt(i * interval, [this, i, interval] {
+        injector->Offer(MakeUpdate(static_cast<std::uint64_t>(i + 1),
+                                   i * interval));
+      });
+    }
+  }
+
+  sim::Simulator simulator;
+  FaultSchedule schedule;
+  std::unique_ptr<FaultInjector> injector;
+  std::vector<db::Update> delivered;
+  std::vector<double> rate_factors;
+  std::vector<double> cpu_factors;
+};
+
+TEST(FaultInjectorTest, NoFaultsDeliversEverythingUnchanged) {
+  Harness h("loss@100+1:p=1");  // window far beyond the offers
+  h.OfferStream(50);
+  h.simulator.RunUntil(10);
+  ASSERT_EQ(h.delivered.size(), 50u);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(h.delivered[i].id, static_cast<std::uint64_t>(i + 1));
+  }
+  EXPECT_EQ(h.injector->counts().lost, 0u);
+}
+
+TEST(FaultInjectorTest, LossProbabilityOneDropsTheWholeWindow) {
+  // Offers at 0.00..0.49; loss window covers [0.095, 0.295) — edges
+  // deliberately between offer instants so float rounding of the
+  // window bounds cannot flip a boundary offer in or out.
+  Harness h("loss@0.095+0.2:p=1");
+  h.OfferStream(50);
+  h.simulator.RunUntil(10);
+  // 20 offers fall inside the window: ids 11..30.
+  EXPECT_EQ(h.injector->counts().lost, 20u);
+  ASSERT_EQ(h.delivered.size(), 30u);
+  for (const db::Update& update : h.delivered) {
+    EXPECT_TRUE(update.id <= 10 || update.id >= 31)
+        << "id " << update.id << " should have been lost";
+  }
+}
+
+TEST(FaultInjectorTest, DupProbabilityOneDeliversExactlyTwiceDistinctIds) {
+  Harness h("dup@0+1:p=1,delay=0.001");
+  h.OfferStream(20);
+  h.simulator.RunUntil(10);
+  EXPECT_EQ(h.injector->counts().duplicated, 20u);
+  ASSERT_EQ(h.delivered.size(), 40u);
+  // Every original id appears once; every duplicate has a fresh id in
+  // the reserved range but targets the same object/generation.
+  std::set<std::uint64_t> ids;
+  int duplicates = 0;
+  for (const db::Update& update : h.delivered) {
+    EXPECT_TRUE(ids.insert(update.id).second)
+        << "id " << update.id << " delivered twice under the same id";
+    if (update.id > (std::uint64_t{1} << 62)) ++duplicates;
+  }
+  EXPECT_EQ(duplicates, 20);
+}
+
+TEST(FaultInjectorTest, ReorderPreservesCountAndPayload) {
+  Harness h("reorder@0+1:p=1,delay=0.05");
+  h.OfferStream(40);
+  h.simulator.RunUntil(20);
+  EXPECT_EQ(h.injector->counts().reordered, 40u);
+  ASSERT_EQ(h.delivered.size(), 40u);
+  // Same multiset of generation times, and each update's arrival_time
+  // reflects the real (delayed) delivery instant.
+  std::multiset<double> expected, got;
+  bool out_of_order = false;
+  for (int i = 0; i < 40; ++i) expected.insert(i * 0.01);
+  for (std::size_t i = 0; i < h.delivered.size(); ++i) {
+    got.insert(h.delivered[i].generation_time);
+    EXPECT_GE(h.delivered[i].arrival_time,
+              h.delivered[i].generation_time);
+    if (i > 0 && h.delivered[i].id < h.delivered[i - 1].id) {
+      out_of_order = true;
+    }
+  }
+  EXPECT_EQ(got, expected);
+  EXPECT_TRUE(out_of_order) << "p=1 reordering left the stream sorted";
+}
+
+TEST(FaultInjectorTest, OutageDefersAndReplaysInOrderAtSpeedup) {
+  // Offers at 10 ms spacing ending inside the window; outage covers
+  // [0.095, 0.295) (edges between offer instants); nominal rate 100/s
+  // and speedup 4 give a catch-up gap of 1/400 s.
+  Harness h("outage@0.095+0.2:speedup=4");
+  h.OfferStream(30);
+  h.simulator.RunUntil(10);
+  EXPECT_EQ(h.injector->counts().outage_deferred, 20u);
+  ASSERT_EQ(h.delivered.size(), 30u);
+  EXPECT_EQ(h.injector->backlog_size(), 0u);
+  // All ids delivered, offer order preserved.
+  for (int i = 0; i < 30; ++i) {
+    EXPECT_EQ(h.delivered[i].id, static_cast<std::uint64_t>(i + 1));
+  }
+  // The deferred ids 11..30 arrive after the window end, spaced by the
+  // catch-up gap, and their network age reflects the real delay.
+  const double end = 0.095 + 0.2;
+  const double gap = 1.0 / (4 * 100.0);
+  for (int i = 10; i < 30; ++i) {
+    const double expected_arrival = end + (i - 10 + 1) * gap;
+    EXPECT_NEAR(h.delivered[i].arrival_time, expected_arrival, 1e-12);
+    EXPECT_GT(h.delivered[i].arrival_time,
+              h.delivered[i].generation_time);
+  }
+}
+
+TEST(FaultInjectorTest, BurstAndCpuWindowsToggleFactors) {
+  Harness h("burst@0.1+0.2:factor=3;cpu@0.4+0.1:factor=0.5");
+  h.simulator.RunUntil(1);
+  ASSERT_EQ(h.rate_factors.size(), 2u);
+  EXPECT_DOUBLE_EQ(h.rate_factors[0], 3.0);
+  EXPECT_DOUBLE_EQ(h.rate_factors[1], 1.0);
+  ASSERT_EQ(h.cpu_factors.size(), 2u);
+  EXPECT_DOUBLE_EQ(h.cpu_factors[0], 0.5);
+  EXPECT_DOUBLE_EQ(h.cpu_factors[1], 1.0);
+}
+
+TEST(FaultInjectorTest, SameSeedSameSpecIsDeterministic) {
+  const std::string spec = "loss@0+1:p=0.3;dup@0+1:p=0.3;reorder@0+1:p=0.3";
+  Harness a(spec, /*seed=*/99);
+  Harness b(spec, /*seed=*/99);
+  a.OfferStream(100);
+  b.OfferStream(100);
+  a.simulator.RunUntil(30);
+  b.simulator.RunUntil(30);
+  ASSERT_EQ(a.delivered.size(), b.delivered.size());
+  for (std::size_t i = 0; i < a.delivered.size(); ++i) {
+    EXPECT_EQ(a.delivered[i].id, b.delivered[i].id);
+    EXPECT_DOUBLE_EQ(a.delivered[i].arrival_time,
+                     b.delivered[i].arrival_time);
+  }
+  EXPECT_EQ(a.injector->counts().lost, b.injector->counts().lost);
+  EXPECT_EQ(a.injector->counts().duplicated,
+            b.injector->counts().duplicated);
+  EXPECT_EQ(a.injector->counts().reordered,
+            b.injector->counts().reordered);
+  // A different seed draws a different realization.
+  Harness c(spec, /*seed=*/100);
+  c.OfferStream(100);
+  c.simulator.RunUntil(30);
+  std::vector<std::uint64_t> a_ids, c_ids;
+  for (const db::Update& u : a.delivered) a_ids.push_back(u.id);
+  for (const db::Update& u : c.delivered) c_ids.push_back(u.id);
+  EXPECT_NE(a_ids, c_ids);
+}
+
+}  // namespace
+}  // namespace strip::fault

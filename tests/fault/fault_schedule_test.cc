@@ -1,0 +1,118 @@
+// FaultSchedule::Parse: the --faults grammar, its validation errors,
+// and window queries.
+
+#include "fault/fault_schedule.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace strip::fault {
+namespace {
+
+FaultSchedule MustParse(const std::string& spec) {
+  std::string error;
+  const auto schedule = FaultSchedule::Parse(spec, &error);
+  EXPECT_TRUE(schedule.has_value()) << error;
+  return *schedule;
+}
+
+std::string MustFail(const std::string& spec) {
+  std::string error;
+  const auto schedule = FaultSchedule::Parse(spec, &error);
+  EXPECT_FALSE(schedule.has_value()) << "spec parsed: " << spec;
+  return error;
+}
+
+TEST(FaultScheduleTest, EmptySpecIsEmptySchedule) {
+  const FaultSchedule schedule = MustParse("");
+  EXPECT_TRUE(schedule.empty());
+  EXPECT_EQ(schedule.windows().size(), 0u);
+}
+
+TEST(FaultScheduleTest, ParsesAllSixKinds) {
+  const FaultSchedule schedule = MustParse(
+      "outage@10+5:speedup=4;burst@30+10:factor=3;loss@20+5:p=0.2;"
+      "dup@25+5:p=0.1,delay=0.02;reorder@40+5:p=0.3,delay=0.05;"
+      "cpu@45+5:factor=0.5");
+  ASSERT_EQ(schedule.windows().size(), 6u);
+  EXPECT_EQ(schedule.windows()[0].kind, FaultKind::kOutage);
+  EXPECT_DOUBLE_EQ(schedule.windows()[0].start, 10);
+  EXPECT_DOUBLE_EQ(schedule.windows()[0].end(), 15);
+  EXPECT_DOUBLE_EQ(schedule.windows()[0].speedup, 4);
+  EXPECT_EQ(schedule.windows()[1].kind, FaultKind::kBurst);
+  EXPECT_DOUBLE_EQ(schedule.windows()[1].factor, 3);
+  EXPECT_EQ(schedule.windows()[2].kind, FaultKind::kLoss);
+  EXPECT_DOUBLE_EQ(schedule.windows()[2].probability, 0.2);
+  EXPECT_EQ(schedule.windows()[3].kind, FaultKind::kDuplicate);
+  EXPECT_DOUBLE_EQ(schedule.windows()[3].delay, 0.02);
+  EXPECT_EQ(schedule.windows()[4].kind, FaultKind::kReorder);
+  EXPECT_EQ(schedule.windows()[5].kind, FaultKind::kCpu);
+  EXPECT_DOUBLE_EQ(schedule.windows()[5].factor, 0.5);
+}
+
+TEST(FaultScheduleTest, ActiveAtRespectsHalfOpenWindows) {
+  const FaultSchedule schedule = MustParse("outage@10+5:speedup=2");
+  EXPECT_EQ(schedule.ActiveAt(FaultKind::kOutage, 9.999), nullptr);
+  EXPECT_NE(schedule.ActiveAt(FaultKind::kOutage, 10.0), nullptr);
+  EXPECT_NE(schedule.ActiveAt(FaultKind::kOutage, 14.999), nullptr);
+  EXPECT_EQ(schedule.ActiveAt(FaultKind::kOutage, 15.0), nullptr);
+  EXPECT_EQ(schedule.ActiveAt(FaultKind::kBurst, 12.0), nullptr);
+}
+
+TEST(FaultScheduleTest, ToStringRoundTripsLabels) {
+  const FaultSchedule schedule =
+      MustParse("outage@10+5:speedup=4;loss@20+5:p=0.2");
+  const FaultSchedule reparsed = MustParse(schedule.ToString());
+  EXPECT_EQ(reparsed.windows().size(), 2u);
+  EXPECT_EQ(reparsed.ToString(), schedule.ToString());
+}
+
+TEST(FaultScheduleTest, ErrorsNameTheBadToken) {
+  EXPECT_NE(MustFail("bogus@1+2").find("\"bogus@1+2\""), std::string::npos);
+  EXPECT_NE(MustFail("outage@1").find("bad window"), std::string::npos);
+  EXPECT_NE(MustFail("outage@-1+2").find("bad window"), std::string::npos);
+  EXPECT_NE(MustFail("outage@1+0").find("bad window"), std::string::npos);
+  EXPECT_NE(MustFail("outage@nan+2").find("bad window"), std::string::npos);
+  EXPECT_NE(MustFail("outage@1+inf").find("bad window"), std::string::npos);
+}
+
+TEST(FaultScheduleTest, LossDupReorderRequireProbability) {
+  EXPECT_NE(MustFail("loss@1+2").find("requires p="), std::string::npos);
+  EXPECT_NE(MustFail("dup@1+2").find("requires p="), std::string::npos);
+  EXPECT_NE(MustFail("reorder@1+2").find("requires p="), std::string::npos);
+  // ...and p must be a probability.
+  EXPECT_NE(MustFail("loss@1+2:p=1.5").find("bad window"),
+            std::string::npos);
+  EXPECT_NE(MustFail("loss@1+2:p=-0.1").find("bad window"),
+            std::string::npos);
+}
+
+TEST(FaultScheduleTest, ParamValidation) {
+  // cpu factor must slow the CPU, not speed it up.
+  EXPECT_NE(MustFail("cpu@1+2:factor=2").find("bad window"),
+            std::string::npos);
+  EXPECT_NE(MustFail("burst@1+2:factor=0").find("bad window"),
+            std::string::npos);
+  EXPECT_NE(MustFail("outage@1+2:speedup=0.5").find("bad window"),
+            std::string::npos);
+  EXPECT_NE(MustFail("outage@1+2:wat=3").find("bad window"),
+            std::string::npos);
+  // Params only valid for their kinds.
+  EXPECT_NE(MustFail("outage@1+2:p=0.5").find("bad window"),
+            std::string::npos);
+  EXPECT_NE(MustFail("loss@1+2:p=0.5,speedup=2").find("bad window"),
+            std::string::npos);
+}
+
+TEST(FaultScheduleTest, SameKindWindowsMustNotOverlap) {
+  const std::string error = MustFail("outage@10+5;outage@12+5:speedup=2");
+  EXPECT_NE(error.find("overlaps"), std::string::npos);
+  // Different kinds may overlap freely.
+  MustParse("outage@10+5;burst@12+5:factor=2");
+  // Touching (end == start) same-kind windows are fine.
+  MustParse("loss@10+5:p=0.1;loss@15+5:p=0.2");
+}
+
+}  // namespace
+}  // namespace strip::fault

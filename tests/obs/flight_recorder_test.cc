@@ -118,6 +118,66 @@ TEST(FlightRecorderTest, UqDepthSpikeCountsDistinctQueuedUpdates) {
   EXPECT_DOUBLE_EQ(recorder.trip_time(), 0.5);
 }
 
+core::SystemObserver::FaultWindowInfo OutageWindow(bool begin) {
+  core::SystemObserver::FaultWindowInfo info;
+  info.kind = "outage";
+  info.label = "outage@1+1:speedup=4";
+  info.begin = begin;
+  info.start = 1.0;
+  info.end = 2.0;
+  return info;
+}
+
+TEST(FlightRecorderTest, OutageRecoveryTripsWhenBacklogLingers) {
+  FlightRecorderOptions options;
+  options.outage_recovery_deadline_seconds = 5.0;
+  options.outage_recovery_depth = 2;
+  FlightRecorder recorder(options);
+  for (std::uint64_t id = 1; id <= 5; ++id) {
+    recorder.OnUpdateEnqueued(1.0 + 0.01 * static_cast<double>(id),
+                              MakeUpdate(id));
+  }
+  recorder.OnFaultWindow(1.0, OutageWindow(true));
+  recorder.OnFaultWindow(2.0, OutageWindow(false));  // arms the watch
+  EXPECT_FALSE(recorder.tripped());
+  // Any event past the 2.0 + 5.0 deadline with depth still above the
+  // threshold trips the predicate — even an install that would have
+  // drained the queue below it a moment later.
+  recorder.OnUpdateInstalled(8.0, MakeUpdate(1), nullptr);
+  ASSERT_TRUE(recorder.tripped());
+  EXPECT_STREQ(recorder.trip_predicate(), "outage-recovery");
+  EXPECT_STREQ(recorder.trip_window(), "outage@1+1:speedup=4");
+  EXPECT_DOUBLE_EQ(recorder.trip_time(), 8.0);
+  // The dump header names the tripping window.
+  std::ostringstream dump;
+  recorder.DumpTo(dump);
+  EXPECT_NE(dump.str().find("trip=outage-recovery"), std::string::npos);
+  EXPECT_NE(dump.str().find("window=outage@1+1:speedup=4"),
+            std::string::npos);
+}
+
+TEST(FlightRecorderTest, OutageRecoveryDisarmsOnceTheQueueDrains) {
+  FlightRecorderOptions options;
+  options.outage_recovery_deadline_seconds = 5.0;
+  options.outage_recovery_depth = 2;
+  FlightRecorder recorder(options);
+  for (std::uint64_t id = 1; id <= 5; ++id) {
+    recorder.OnUpdateEnqueued(1.0 + 0.01 * static_cast<double>(id),
+                              MakeUpdate(id));
+  }
+  recorder.OnFaultWindow(1.0, OutageWindow(true));
+  recorder.OnFaultWindow(2.0, OutageWindow(false));
+  // Drain to the threshold inside the deadline: the watch clears.
+  recorder.OnUpdateInstalled(3.0, MakeUpdate(1), nullptr);
+  recorder.OnUpdateInstalled(3.5, MakeUpdate(2), nullptr);
+  recorder.OnUpdateInstalled(4.0, MakeUpdate(3), nullptr);
+  EXPECT_FALSE(recorder.tripped());
+  // Well past the deadline, still no trip.
+  recorder.OnUpdateEnqueued(50.0, MakeUpdate(6));
+  EXPECT_FALSE(recorder.tripped());
+  EXPECT_EQ(recorder.trip_window(), nullptr);
+}
+
 TEST(FlightRecorderTest, TripLatchesAndFreezesTheWindow) {
   FlightRecorderOptions options;
   options.uq_depth_threshold = 1;

@@ -50,6 +50,31 @@ TEST(ParseFlightDumpTest, HeaderAndRows) {
   EXPECT_EQ(decision.reason, "uf-install-on-arrival");
 }
 
+TEST(ParseFlightDumpTest, ReadsTripWindowAndFaultRows) {
+  std::istringstream in(
+      "# strip-flight v1 trip=outage-recovery trip_time=25.000000000 "
+      "events=3 window=outage@10+5:speedup=4\n"
+      "kind,time,txn,update,object,detail,reason,instructions\n"
+      "fault-begin,10.000000000,,,,outage,outage@10+5:speedup=4,\n"
+      "fault-end,15.000000000,,,,outage,outage@10+5:speedup=4,\n"
+      "update-installed,25.000000000,,7,low:2,,,\n");
+  std::string error;
+  const std::optional<ParsedTrace> parsed = ParseFlightDump(in, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->trip_predicate, "outage-recovery");
+  EXPECT_EQ(parsed->trip_window, "outage@10+5:speedup=4");
+  ASSERT_EQ(parsed->events.size(), 3u);
+  EXPECT_EQ(parsed->events[0].kind, "fault-begin");
+  EXPECT_EQ(parsed->events[0].detail, "outage");
+  EXPECT_EQ(parsed->events[0].reason, "outage@10+5:speedup=4");
+  EXPECT_EQ(parsed->events[1].kind, "fault-end");
+  // Dumps without the token leave trip_window empty.
+  std::istringstream plain(kFlightDump);
+  const std::optional<ParsedTrace> old = ParseFlightDump(plain, &error);
+  ASSERT_TRUE(old.has_value()) << error;
+  EXPECT_TRUE(old->trip_window.empty());
+}
+
 TEST(ParseFlightDumpTest, RejectsForeignText) {
   std::istringstream in("hello,world\n1,2\n");
   std::string error;
@@ -104,6 +129,28 @@ TEST(ParseChromeTraceTest, ReadsEventsBackByCategory) {
   EXPECT_EQ(parsed->events[3].kind, "policy-decision");
   EXPECT_EQ(parsed->events[3].detail, "receive");
   EXPECT_EQ(parsed->events[3].reason, "os-pending");
+}
+
+TEST(ParseChromeTraceTest, ReadsFaultInstants) {
+  std::istringstream in(
+      "{\"traceEvents\":[\n"
+      "{\"name\":\"outage begin\",\"cat\":\"fault-begin\",\"ph\":\"i\","
+      "\"s\":\"p\",\"pid\":1,\"tid\":1,\"ts\":10000000.000,"
+      "\"args\":{\"window\":\"outage@10+5:speedup=4\"}},\n"
+      "{\"name\":\"outage end\",\"cat\":\"fault-end\",\"ph\":\"i\","
+      "\"s\":\"p\",\"pid\":1,\"tid\":1,\"ts\":15000000.000,"
+      "\"args\":{\"window\":\"outage@10+5:speedup=4\"}}\n"
+      "]}\n");
+  std::string error;
+  const std::optional<ParsedTrace> parsed = ParseChromeTrace(in, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  ASSERT_EQ(parsed->events.size(), 2u);
+  EXPECT_EQ(parsed->events[0].kind, "fault-begin");
+  EXPECT_EQ(parsed->events[0].detail, "outage begin");
+  EXPECT_EQ(parsed->events[0].reason, "outage@10+5:speedup=4");
+  EXPECT_DOUBLE_EQ(parsed->events[0].time, 10.0);
+  EXPECT_EQ(parsed->events[1].kind, "fault-end");
+  EXPECT_DOUBLE_EQ(parsed->events[1].time, 15.0);
 }
 
 TEST(ParseChromeTraceTest, RejectsForeignText) {

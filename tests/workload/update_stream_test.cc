@@ -133,6 +133,47 @@ TEST(UpdateStreamTest, PeriodicModeRefreshesRoundRobin) {
               1e-12);
 }
 
+TEST(UpdateStreamTest, RateFactorScalesThroughput) {
+  sim::Simulator sim;
+  UpdateStream::Params params;
+  params.arrival_rate = 400;
+  int count = 0;
+  UpdateStream stream(&sim, params, 7,
+                      [&](const db::Update&) { ++count; });
+  sim.RunUntil(20.0);
+  const int base = count;
+  EXPECT_NEAR(static_cast<double>(base), 8000, 400);
+  // Triple the rate for 20 s, then restore.
+  stream.SetRateFactor(3.0);
+  EXPECT_DOUBLE_EQ(stream.rate_factor(), 3.0);
+  sim.RunUntil(40.0);
+  const int boosted = count - base;
+  EXPECT_NEAR(static_cast<double>(boosted), 24000, 1200);
+  stream.SetRateFactor(1.0);
+  sim.RunUntil(60.0);
+  const int restored = count - base - boosted;
+  EXPECT_NEAR(static_cast<double>(restored), 8000, 400);
+}
+
+TEST(UpdateStreamTest, UnitRateFactorIsANoOpForDeterminism) {
+  // Re-setting factor = 1 must not perturb the arrival sequence (no
+  // RNG draw, no gap redraw): the no-fault path through the fault
+  // layer stays bit-identical to a stream never touched at all.
+  UpdateStream::Params params;
+  params.arrival_rate = 400;
+  sim::Simulator sim_a, sim_b;
+  std::vector<double> a, b;
+  UpdateStream sa(&sim_a, params, 7,
+                  [&](const db::Update& u) { a.push_back(u.arrival_time); });
+  UpdateStream sb(&sim_b, params, 7,
+                  [&](const db::Update& u) { b.push_back(u.arrival_time); });
+  sim_a.RunUntil(5.0);
+  sa.SetRateFactor(1.0);  // already 1.0 — must be a pure no-op
+  sim_a.RunUntil(10.0);
+  sim_b.RunUntil(10.0);
+  EXPECT_EQ(a, b);
+}
+
 TEST(UpdateStreamDeathTest, InvalidParams) {
   sim::Simulator sim;
   UpdateStream::Params params;

@@ -25,11 +25,13 @@
 #include <cstring>
 #include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/config.h"
 #include "core/metrics.h"
+#include "exp/atomic_io.h"
 #include "exp/config_flags.h"
 #include "exp/experiment.h"
 #include "obs/telemetry.h"
@@ -212,14 +214,15 @@ int main(int argc, char** argv) {
       return [telemetry, &telemetry_path, trace, trace_out](
                  const strip::core::RunMetrics& metrics) {
         if (telemetry != nullptr) {
-          std::ofstream out(telemetry_path);
-          if (!out) {
-            std::fprintf(stderr,
-                         "strip_sim: cannot write telemetry to %s\n",
-                         telemetry_path.c_str());
+          // Atomic (tmp + rename): a killed run never leaves a torn
+          // telemetry document behind.
+          std::ostringstream out;
+          telemetry->WriteJson(out, metrics);
+          if (const auto error = strip::exp::WriteFileAtomic(
+                  telemetry_path, out.str())) {
+            std::fprintf(stderr, "strip_sim: %s\n", error->c_str());
             std::exit(2);
           }
-          telemetry->WriteJson(out, metrics);
         }
         if (trace != nullptr) trace->Finish();
       };

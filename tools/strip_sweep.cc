@@ -4,6 +4,7 @@
 //               --policies=UF,TF,SU,OD --metrics=av,p_success
 //               [--name=value ...] [--reps=N] [--seed=N] [--csv]
 //               [--json=PATH] [--telemetry-dir=DIR] [--flight-dir=DIR]
+//               [--out-dir=DIR] [--resume] [--cell-timeout=S]
 //
 // --telemetry-dir=DIR writes one telemetry JSON document per sweep
 // cell (first replication only) into DIR, named
@@ -12,8 +13,19 @@
 // --flight-dir=DIR attaches a flight recorder (obs/trace) to the
 // first replication of every cell and, for cells where an anomaly
 // predicate trips (deadline-miss burst, stale fraction, update-queue
-// depth spike), writes the post-mortem window to
+// depth spike, outage recovery), writes the post-mortem window to
 // DIR/flight_<policy>_<x-index>.txt for strip_trace to dissect.
+//
+// Crash-safe grids: --out-dir=DIR persists every finished cell as
+// DIR/cell_<policy>_<x-index>.json (schema strip.sweep-cell/v1, all
+// replications' metrics) the moment the cell completes. Every file in
+// this tool is written atomically (tmp + rename), so a killed sweep
+// leaves only whole cell files behind; --resume skips cells whose
+// file already exists (and clears stale *.tmp leftovers), re-running
+// just the missing ones — the resumed grid is byte-identical to an
+// uninterrupted run. --cell-timeout=S bounds each cell's wall-clock
+// time across its replications; on overrun the cell is finalized
+// early and marked "timed_out" in its file.
 //
 // Any Config parameter (see strip_sim --help) can be fixed with
 // --name=value and any numeric one swept with --x/--values. This is
@@ -26,10 +38,13 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/config.h"
+#include "core/metrics_json.h"
+#include "exp/atomic_io.h"
 #include "exp/config_flags.h"
 #include "exp/experiment.h"
 #include "exp/report.h"
@@ -91,6 +106,53 @@ PolicyKind ParsePolicy(const std::string& name) {
   Fail("unknown policy: " + name);
 }
 
+// "UF_03" — the cell token shared by telemetry, flight, and cell
+// files.
+std::string CellName(PolicyKind policy, std::size_t x_index) {
+  char cell[64];
+  std::snprintf(cell, sizeof(cell), "%s_%02zu",
+                strip::core::PolicyKindName(policy), x_index);
+  return cell;
+}
+
+// Writes a string atomically; any failure aborts the sweep (a silent
+// half-written grid is worse than a loud stop).
+void WriteOrFail(const std::string& path, const std::string& contents) {
+  if (const auto error = strip::exp::WriteFileAtomic(path, contents)) {
+    Fail(*error);
+  }
+}
+
+// One finished cell as a self-describing JSON document. Deterministic
+// (no timestamps, fixed field order), so a resumed sweep reproduces
+// byte-identical files.
+std::string CellJson(const strip::exp::SweepSpec& spec,
+                     std::size_t policy_index, std::size_t x_index,
+                     const std::vector<RunMetrics>& runs, bool timed_out) {
+  std::ostringstream out;
+  char x_value[64];
+  std::snprintf(x_value, sizeof(x_value), "%.17g",
+                spec.x_values[x_index]);
+  out << "{\n"
+      << "  \"schema\": \"strip.sweep-cell/v1\",\n"
+      << "  \"policy\": \""
+      << strip::core::PolicyKindName(spec.policies[policy_index])
+      << "\",\n"
+      << "  \"x_name\": \"" << spec.x_name << "\",\n"
+      << "  \"x_value\": " << x_value << ",\n"
+      << "  \"x_index\": " << x_index << ",\n"
+      << "  \"replications\": " << spec.replications << ",\n"
+      << "  \"base_seed\": " << spec.base_seed << ",\n"
+      << "  \"timed_out\": " << (timed_out ? "true" : "false") << ",\n"
+      << "  \"runs\": [";
+  for (std::size_t r = 0; r < runs.size(); ++r) {
+    out << (r == 0 ? "\n    " : ",\n    ");
+    strip::core::WriteRunMetricsJson(out, runs[r], "      ", "    ");
+  }
+  out << "\n  ]\n}\n";
+  return out.str();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -114,6 +176,9 @@ int main(int argc, char** argv) {
   std::string json_path;
   std::string telemetry_dir;
   std::string flight_dir;
+  std::string out_dir;
+  bool resume = false;
+  double cell_timeout = 0;
 
   for (const std::string& arg : rest) {
     if (arg.rfind("--x=", 0) == 0) {
@@ -143,6 +208,13 @@ int main(int argc, char** argv) {
       telemetry_dir = arg.substr(16);
     } else if (arg.rfind("--flight-dir=", 0) == 0) {
       flight_dir = arg.substr(13);
+    } else if (arg.rfind("--out-dir=", 0) == 0) {
+      out_dir = arg.substr(10);
+    } else if (arg == "--resume") {
+      resume = true;
+    } else if (arg.rfind("--cell-timeout=", 0) == 0) {
+      cell_timeout = std::atof(arg.c_str() + 15);
+      if (cell_timeout <= 0) Fail("--cell-timeout needs seconds > 0");
     } else {
       Fail("unknown flag: " + arg + " (config flags need --name=value)");
     }
@@ -151,6 +223,7 @@ int main(int argc, char** argv) {
     Fail("need --x=<param> and --values=v1,v2,...");
   }
   if (reps < 1) Fail("--reps must be at least 1");
+  if (resume && out_dir.empty()) Fail("--resume needs --out-dir=DIR");
 
   strip::exp::SweepSpec spec;
   spec.base = base;
@@ -167,6 +240,32 @@ int main(int argc, char** argv) {
         x_name + "=" + value, config);
     if (error.has_value()) Fail(*error);
   };
+  spec.budget.wall_seconds = cell_timeout;
+
+  if (!out_dir.empty()) {
+    // Persist every finished cell immediately; an interrupted sweep
+    // keeps everything completed so far.
+    spec.on_cell_done = [&spec, out_dir](
+                            std::size_t p, std::size_t x,
+                            const std::vector<RunMetrics>& runs,
+                            bool timed_out) {
+      const std::string path =
+          out_dir + "/cell_" + CellName(spec.policies[p], x) + ".json";
+      WriteOrFail(path, CellJson(spec, p, x, runs, timed_out));
+    };
+    if (resume) {
+      for (const std::string& name :
+           strip::exp::RemoveStaleTmpFiles(out_dir)) {
+        std::fprintf(stderr,
+                     "strip_sweep: removed stale partial write %s\n",
+                     name.c_str());
+      }
+      spec.skip_cell = [&spec, out_dir](std::size_t p, std::size_t x) {
+        return strip::exp::FileExists(
+            out_dir + "/cell_" + CellName(spec.policies[p], x) + ".json");
+      };
+    }
+  }
 
   // Validate the x parameter name and one full config up front, before
   // launching the fleet.
@@ -212,26 +311,41 @@ int main(int argc, char** argv) {
       return [telemetry, telemetry_path, recorder, flight_path](
                  const strip::core::RunMetrics& metrics) {
         if (telemetry != nullptr) {
-          std::ofstream out(telemetry_path);
-          if (!out) Fail("cannot write telemetry to " + telemetry_path);
+          std::ostringstream out;
           telemetry->WriteJson(out, metrics);
+          WriteOrFail(telemetry_path, out.str());
         }
         if (recorder != nullptr && recorder->tripped()) {
-          std::ofstream out(flight_path);
-          if (!out) Fail("cannot write flight record to " + flight_path);
+          std::ostringstream out;
           recorder->DumpTo(out);
+          WriteOrFail(flight_path, out.str());
         }
       };
     };
   }
 
-  const strip::exp::SweepResult result = strip::exp::RunSweep(spec);
-  std::ofstream json;
-  if (!json_path.empty()) {
-    json.open(json_path);
-    if (!json) Fail("cannot write JSON results to " + json_path);
-    json << "{\"series\": [";
+  // With --resume, previously-finished cells are not re-run: their
+  // authoritative results live in their cell files, and their rows in
+  // the summary tables below are zeros.
+  if (resume && spec.skip_cell) {
+    std::size_t skipped = 0;
+    for (std::size_t p = 0; p < spec.policies.size(); ++p) {
+      for (std::size_t x = 0; x < spec.x_values.size(); ++x) {
+        if (spec.skip_cell(p, x)) ++skipped;
+      }
+    }
+    if (skipped > 0) {
+      std::fprintf(stderr,
+                   "strip_sweep: resume: %zu cell(s) already done, "
+                   "skipping (summary tables cover re-run cells only; "
+                   "cell files are authoritative)\n",
+                   skipped);
+    }
   }
+
+  const strip::exp::SweepResult result = strip::exp::RunSweep(spec);
+  std::ostringstream json;
+  if (!json_path.empty()) json << "{\"series\": [";
   bool first_series = true;
   for (const std::string& metric_name : metric_names) {
     const MetricDef* found = nullptr;
@@ -245,13 +359,16 @@ int main(int argc, char** argv) {
       strip::exp::PrintSeriesCsv(std::cout, spec, result, metric_name,
                                  found->fn);
     }
-    if (json.is_open()) {
+    if (!json_path.empty()) {
       json << (first_series ? "\n  " : ",\n  ");
       first_series = false;
       strip::exp::PrintSeriesJson(json, spec, result, metric_name,
                                   found->fn);
     }
   }
-  if (json.is_open()) json << "\n]}\n";
+  if (!json_path.empty()) {
+    json << "\n]}\n";
+    WriteOrFail(json_path, json.str());
+  }
   return 0;
 }

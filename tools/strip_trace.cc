@@ -128,9 +128,15 @@ int main(int argc, char** argv) {
   }
 
   if (!flight_path.empty()) {
-    std::printf("flight record: trip=%s trip_time=%.6f events=%zu\n",
+    std::printf("flight record: trip=%s trip_time=%.6f events=%zu",
                 parsed->trip_predicate.c_str(), parsed->trip_time,
                 parsed->events.size());
+    // An outage-recovery trip names the fault window that blew its
+    // recovery deadline.
+    if (!parsed->trip_window.empty()) {
+      std::printf(" window=%s", parsed->trip_window.c_str());
+    }
+    std::printf("\n");
   } else {
     std::printf("chrome trace: events=%zu\n", parsed->events.size());
   }
@@ -146,6 +152,20 @@ int main(int argc, char** argv) {
          strip::obs::trace::DecisionCounts(events)) {
       std::printf("  %-40s %8llu\n", key.c_str(),
                   static_cast<unsigned long long>(count));
+    }
+    // Fault windows give the decision counts their context: which
+    // injected windows were open during the traced interval.
+    bool any_fault = false;
+    for (const ParsedEvent& event : events) {
+      if (event.kind != "fault-begin" && event.kind != "fault-end") {
+        continue;
+      }
+      if (!any_fault) {
+        std::printf("\nfault windows:\n");
+        any_fault = true;
+      }
+      std::printf("  %14.6f %-12s %s\n", event.time, event.kind.c_str(),
+                  event.reason.c_str());
     }
   }
   if (!critical_path.empty()) {
