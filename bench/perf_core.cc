@@ -17,6 +17,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "check/invariant_auditor.h"
 #include "core/config.h"
 #include "core/system.h"
 #include "db/update_queue.h"
@@ -254,6 +255,40 @@ void BM_SimObserverOverhead60s(benchmark::State& state) {
       static_cast<double>(events), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_SimObserverOverhead60s)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+// Auditor overhead: the same 60-simulated-second baseline run with the
+// full InvariantAuditor attached (arg 1) vs bare (arg 0). Unlike the
+// no-op observer above, the auditor re-derives conservation, queue
+// accounting, and staleness conformance on every hook, so this is the
+// real cost of `strip_sim --audit`. Documented in BENCH_core.json,
+// not gated — audit mode is a debugging/CI tool, not the hot path.
+void BM_SimAuditorOverhead60s(benchmark::State& state) {
+  const bool attach = state.range(0) != 0;
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    core::Config config;
+    config.sim_seconds = 60.0;
+    sim::Simulator simulator;
+    core::System system(&simulator, config, 1);
+    check::InvariantAuditor auditor;
+    if (attach) {
+      auditor.set_system(&system);
+      system.AddObserver(&auditor);
+    }
+    benchmark::DoNotOptimize(system.Run());
+    if (attach && !auditor.ok()) state.SkipWithError("audit violation");
+    events += simulator.events_dispatched();
+  }
+  state.counters["sim_s_per_wall_s"] = benchmark::Counter(
+      60.0 * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+  state.counters["events_per_s"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimAuditorOverhead60s)
     ->Arg(0)
     ->Arg(1)
     ->Unit(benchmark::kMillisecond);

@@ -1,0 +1,29 @@
+// Fuzz target: the name=value config-flag parser.
+//
+// ApplyConfigFlag handles every --name=value the tools accept, plus
+// whole config files line by line. On arbitrary bytes it must either
+// apply a value or return an error string — no crashes, and a config
+// that validated before a *rejected* assignment must still validate
+// after it (rejected input can't half-write a field; numeric parses
+// may legitimately store values Validate() then rejects, which is the
+// caller's documented flow).
+
+#include <cstdint>
+#include <string>
+
+#include "core/config.h"
+#include "exp/config_flags.h"
+#include "fuzz/standalone_driver.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string assignment(reinterpret_cast<const char*>(data), size);
+  strip::core::Config config;
+  const auto error = strip::exp::ApplyConfigFlag(assignment, config);
+  if (error.has_value()) {
+    if (error->empty()) __builtin_trap();
+    // A rejected assignment must leave the default config intact.
+    if (config.Validate().has_value()) __builtin_trap();
+  }
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Fuzz target: the --faults grammar parser.
+//
+// FaultSchedule::Parse sits directly on the command-line boundary
+// (strip_sim --faults=, config files, sweep specs) and hand-parses
+// `kind@start+duration[:k=v,...]` windows separated by ';'. The target
+// asserts the parser's contract on arbitrary bytes: it either returns
+// a schedule (which must round-trip through ToString -> Parse) or
+// returns nullopt with a non-empty error — never crashes, never reads
+// out of bounds, never accepts-and-corrupts.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "fault/fault_schedule.h"
+#include "fuzz/standalone_driver.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string spec(reinterpret_cast<const char*>(data), size);
+  std::string error;
+  const std::optional<strip::fault::FaultSchedule> schedule =
+      strip::fault::FaultSchedule::Parse(spec, &error);
+  if (!schedule.has_value()) {
+    // Rejections must carry a diagnostic.
+    if (error.empty()) __builtin_trap();
+    return 0;
+  }
+  // Accepted specs must round-trip: the canonical form parses back to
+  // the same canonical form.
+  const std::string canonical = schedule->ToString();
+  std::string error2;
+  const std::optional<strip::fault::FaultSchedule> again =
+      strip::fault::FaultSchedule::Parse(canonical, &error2);
+  if (!again.has_value()) __builtin_trap();
+  if (again->ToString() != canonical) __builtin_trap();
+  return 0;
+}

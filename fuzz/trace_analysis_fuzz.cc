@@ -1,0 +1,29 @@
+// Fuzz target: the trace_analysis parsers.
+//
+// strip_trace reads flight-recorder dumps and Chrome trace-event JSON
+// back in for offline dissection; both formats are hand-parsed. The
+// first input byte selects the parser (so one corpus can carry both
+// formats); the rest is the document. Contract on arbitrary bytes:
+// parse or reject-with-error, never crash.
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "fuzz/standalone_driver.h"
+#include "obs/trace/trace_analysis.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size == 0) return 0;
+  const bool chrome = (data[0] & 1) != 0;
+  const std::string document(reinterpret_cast<const char*>(data + 1),
+                             size - 1);
+  std::istringstream in(document);
+  std::string error;
+  const auto parsed =
+      chrome ? strip::obs::trace::ParseChromeTrace(in, &error)
+             : strip::obs::trace::ParseFlightDump(in, &error);
+  if (!parsed.has_value() && error.empty()) __builtin_trap();
+  return 0;
+}

@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Double-run determinism harness: the same (config, seed) twice must
+# byte-compare equal across every output surface — summary text,
+# telemetry JSON, Chrome trace, and a sweep grid (cell files +
+# per-cell telemetry). Run after building:
+#
+#   scripts/check_determinism.sh [BUILD_DIR]    # default: build
+#
+# Exits non-zero on the first byte difference. CI calls this on every
+# push; it is also the recommended local gate before touching the
+# simulation core, RNG plumbing, or any output writer.
+
+set -eu
+cd "$(dirname "$0")/.."
+BUILD="${1:-build}"
+SIM="$BUILD/tools/strip_sim"
+SWEEP="$BUILD/tools/strip_sweep"
+[ -x "$SIM" ] || { echo "missing $SIM (build first)"; exit 2; }
+[ -x "$SWEEP" ] || { echo "missing $SWEEP (build first)"; exit 2; }
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+FAULTS="outage@10+5:speedup=4;burst@30+10:factor=3;loss@20+5:p=0.2"
+FAULTS="$FAULTS;dup@25+5:p=0.2;reorder@40+5:p=0.3;cpu@45+5:factor=0.5"
+
+fail() { echo "check_determinism: FAILED — $1"; exit 1; }
+
+echo "check_determinism: single runs (per policy, fault-heavy, audited)"
+for POLICY in UF TF SU OD FCF; do
+  for PASS in a b; do
+    "$SIM" --policy="$POLICY" --sim_seconds=60 --seed=11 \
+      --faults="$FAULTS" --shed_by_importance=true \
+      --overload_governor=true --uq_max=64 --audit \
+      --telemetry="$WORK/t_${POLICY}_$PASS.json" \
+      --chrome-trace="$WORK/c_${POLICY}_$PASS.json" \
+      > "$WORK/out_${POLICY}_$PASS.txt"
+  done
+  cmp "$WORK/t_${POLICY}_a.json" "$WORK/t_${POLICY}_b.json" \
+    || fail "telemetry differs for $POLICY"
+  cmp "$WORK/c_${POLICY}_a.json" "$WORK/c_${POLICY}_b.json" \
+    || fail "chrome trace differs for $POLICY"
+  cmp "$WORK/out_${POLICY}_a.txt" "$WORK/out_${POLICY}_b.txt" \
+    || fail "summary differs for $POLICY"
+done
+
+echo "check_determinism: sweep grids (threaded vs threaded, audited)"
+for PASS in a b; do
+  mkdir -p "$WORK/grid_$PASS" "$WORK/tele_$PASS"
+  "$SWEEP" --x=lambda_t --values=10,40 --policies=UF,OD --reps=2 \
+    --seed=3 --sim_seconds=30 --audit \
+    --out-dir="$WORK/grid_$PASS" --telemetry-dir="$WORK/tele_$PASS" \
+    > "$WORK/sweep_$PASS.txt"
+done
+diff -r "$WORK/grid_a" "$WORK/grid_b" >/dev/null \
+  || fail "sweep cell files differ"
+diff -r "$WORK/tele_a" "$WORK/tele_b" >/dev/null \
+  || fail "sweep telemetry differs"
+cmp "$WORK/sweep_a.txt" "$WORK/sweep_b.txt" \
+  || fail "sweep summary differs"
+
+echo "check_determinism: OK (all surfaces byte-identical)"

@@ -68,7 +68,8 @@ double LatencyHistogram::Quantile(double q) const {
   q = std::clamp(q, 0.0, 1.0);
   // Nearest-rank: the bucket holding the ceil(q·count)-th sample.
   const std::uint64_t rank = std::max<std::uint64_t>(
-      1, static_cast<std::uint64_t>(std::ceil(q * count_)));
+      1, static_cast<std::uint64_t>(
+             std::ceil(q * static_cast<double>(count_))));
   std::uint64_t seen = 0;
   for (std::size_t i = 0; i < buckets_.size(); ++i) {
     seen += buckets_[i];

@@ -33,7 +33,9 @@ class LatencyHistogram {
 
   std::uint64_t count() const { return count_; }
   double sum() const { return sum_; }
-  double mean() const { return count_ == 0 ? 0.0 : sum_ / count_; }
+  double mean() const {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
   // Exact smallest / largest recorded sample (not bucket boundaries).
   double min_sample() const;
   double max_sample() const;

@@ -1,0 +1,64 @@
+// The --audit guarantee: attaching the invariant auditor does not
+// perturb the run. Same config + seed, with and without the auditor,
+// must produce byte-identical telemetry documents — the auditor is
+// read-only and adds no events, so every series, histogram, and
+// robustness metric matches to the last byte.
+
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "check/invariant_auditor.h"
+#include "core/system.h"
+#include "obs/telemetry.h"
+#include "sim/simulator.h"
+
+namespace strip::check {
+namespace {
+
+std::string TelemetryJson(const core::Config& config, std::uint64_t seed,
+                          bool with_audit) {
+  sim::Simulator simulator;
+  core::System system(&simulator, config, seed);
+  obs::RunTelemetry::Options options;
+  options.seed = seed;
+  obs::RunTelemetry telemetry(&system, options);
+  InvariantAuditor auditor;
+  if (with_audit) {
+    auditor.set_system(&system);
+    system.AddObserver(&auditor);
+  }
+  const core::RunMetrics metrics = system.Run();
+  if (with_audit) {
+    EXPECT_TRUE(auditor.ok()) << auditor.Report();
+  }
+  std::ostringstream out;
+  telemetry.WriteJson(out, metrics);
+  return out.str();
+}
+
+TEST(AuditIdentityTest, TelemetryByteIdenticalDefaultConfig) {
+  core::Config config;
+  config.sim_seconds = 30.0;
+  EXPECT_EQ(TelemetryJson(config, 11, false),
+            TelemetryJson(config, 11, true));
+}
+
+TEST(AuditIdentityTest, TelemetryByteIdenticalFaultHeavyOd) {
+  core::Config config;
+  config.policy = core::PolicyKind::kOnDemand;
+  config.sim_seconds = 60.0;
+  config.alpha = 0.5;
+  config.faults =
+      "outage@10+5:speedup=4;burst@30+10:factor=3;loss@20+5:p=0.2;"
+      "dup@25+5:p=0.2;reorder@40+5:p=0.3;cpu@45+5:factor=0.5";
+  config.shed_by_importance = true;
+  config.overload_governor = true;
+  config.uq_max = 64;
+  EXPECT_EQ(TelemetryJson(config, 11, false),
+            TelemetryJson(config, 11, true));
+}
+
+}  // namespace
+}  // namespace strip::check

@@ -154,6 +154,27 @@ TEST(ConfigFlagsTest, RoundTripThroughToString) {
   EXPECT_EQ(replay.n_high, 77);
 }
 
+TEST(ConfigFlagsTest, RejectedAssignmentsLeaveConfigUntouched) {
+  // Regression for the fuzz-target contract: an assignment the parser
+  // rejects must not half-write the config — the default config still
+  // validates and key fields keep their defaults.
+  const core::Config defaults;
+  for (const char* bad :
+       {"alpha=", "alpha=junk", "lambda_t=1e", "policy=NOPE",
+        "staleness=", "uq_max=x", "nosuchflag=1", "=5", "alpha",
+        "faults=outage@"}) {
+    core::Config config;
+    const auto error = ApplyConfigFlag(bad, config);
+    ASSERT_TRUE(error.has_value()) << bad;
+    EXPECT_FALSE(error->empty()) << bad;
+    EXPECT_FALSE(config.Validate().has_value())
+        << bad << " corrupted the config: " << *config.Validate();
+    EXPECT_EQ(config.alpha, defaults.alpha) << bad;
+    EXPECT_EQ(config.lambda_t, defaults.lambda_t) << bad;
+    EXPECT_EQ(config.policy, defaults.policy) << bad;
+  }
+}
+
 TEST(ConfigFlagsTest, FlagNamesCoverTheTables) {
   const std::vector<std::string> names = ConfigFlagNames();
   auto has = [&](const char* name) {

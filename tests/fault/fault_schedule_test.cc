@@ -105,6 +105,32 @@ TEST(FaultScheduleTest, ParamValidation) {
             std::string::npos);
 }
 
+TEST(FaultScheduleTest, EveryTruncationParsesOrRejectsCleanly) {
+  // Regression for the fuzz-target contract: a spec cut at any byte
+  // either parses or produces a non-empty error — never a crash or a
+  // silent half-accept. Exercises every prefix of a spec using all six
+  // kinds and every parameter form.
+  const std::string full =
+      "outage@10+5:speedup=4;burst@30+10:factor=3;loss@20+5:p=0.2;"
+      "dup@25+5:p=0.2;reorder@40+5:p=0.3;cpu@45+5:factor=0.5";
+  for (std::size_t cut = 0; cut <= full.size(); ++cut) {
+    const std::string spec = full.substr(0, cut);
+    std::string error;
+    const std::optional<FaultSchedule> schedule =
+        FaultSchedule::Parse(spec, &error);
+    if (schedule.has_value()) {
+      // Accepted prefixes round-trip through the canonical form.
+      std::string error2;
+      const auto again = FaultSchedule::Parse(schedule->ToString(),
+                                              &error2);
+      ASSERT_TRUE(again.has_value()) << "cut=" << cut << ": " << error2;
+      EXPECT_EQ(again->ToString(), schedule->ToString());
+    } else {
+      EXPECT_FALSE(error.empty()) << "silent rejection at cut=" << cut;
+    }
+  }
+}
+
 TEST(FaultScheduleTest, SameKindWindowsMustNotOverlap) {
   const std::string error = MustFail("outage@10+5;outage@12+5:speedup=2");
   EXPECT_NE(error.find("overlaps"), std::string::npos);

@@ -111,6 +111,18 @@ TEST(LatencyHistogramTest, QuantilesMatchSortedReferenceOn100kSamples) {
   EXPECT_NEAR(h.mean(), sum / 100'000.0, 1e-9);
 }
 
+TEST(LatencyHistogramTest, MeanIsExactFloatingDivision) {
+  // Regression for the -Wconversion pass: mean() divides the double
+  // sum by the integer count; the explicit conversion must behave as
+  // exact IEEE division, bit for bit.
+  LatencyHistogram h(1e-4, 100.0);
+  h.Add(0.125);
+  h.Add(0.25);
+  h.Add(0.5);
+  EXPECT_EQ(h.mean(), (0.125 + 0.25 + 0.5) / 3.0);
+  EXPECT_EQ(h.count(), 3u);
+}
+
 TEST(LatencyHistogramTest, QuantileMonotonicInQ) {
   std::mt19937_64 rng(99);
   std::exponential_distribution<double> dist(4.0);

@@ -41,7 +41,8 @@ TEST(TxnSourceTest, ClassSplitAndValueMeans) {
     }
   }
   const double low_fraction =
-      static_cast<double>(low_values.count()) / txns.size();
+      static_cast<double>(low_values.count()) /
+      static_cast<double>(txns.size());
   EXPECT_NEAR(low_fraction, 0.5, 0.03);
   // Clamping at zero lifts the low mean slightly above 1.0.
   EXPECT_NEAR(low_values.mean(), 1.0, 0.1);

@@ -54,7 +54,7 @@ TEST(UpdateStreamTest, ClassSplitMatchesPLow) {
   for (const auto& u : updates) {
     if (u.object.cls == db::ObjectClass::kLowImportance) ++low;
   }
-  EXPECT_NEAR(static_cast<double>(low) / updates.size(), 0.25, 0.02);
+  EXPECT_NEAR(static_cast<double>(low) / static_cast<double>(updates.size()), 0.25, 0.02);
 }
 
 TEST(UpdateStreamTest, ObjectIndicesStayInRange) {

@@ -8,6 +8,9 @@
 //   --chrome-trace=PATH   write a Chrome trace-event JSON lifecycle
 //               trace of the first replication (open in Perfetto /
 //               chrome://tracing; inspect with strip_trace --chrome=)
+//   --audit     attach the invariant auditor (src/check) to every
+//               replication; violations print to stderr and the run
+//               exits 3. Output is bit-identical to a non-audit run.
 //   --print-config   echo the resolved configuration and exit
 //   --quiet     print only the summary line
 //
@@ -29,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "check/invariant_auditor.h"
 #include "core/config.h"
 #include "core/metrics.h"
 #include "exp/atomic_io.h"
@@ -44,7 +48,7 @@ namespace {
   std::printf("usage: strip_sim [--name=value ...]\n\n");
   std::printf(
       "runner flags: --seed=N --reps=N --telemetry=PATH "
-      "--chrome-trace=PATH --print-config --quiet\n\n");
+      "--chrome-trace=PATH --audit --print-config --quiet\n\n");
   std::printf("model parameters (defaults are the paper's baseline):\n");
   for (const std::string& name : strip::exp::ConfigFlagNames()) {
     std::printf("  --%s=\n", name.c_str());
@@ -140,6 +144,7 @@ int main(int argc, char** argv) {
   int reps = 1;
   bool print_config = false;
   bool quiet = false;
+  bool audit = false;
   std::string telemetry_path;
   std::string chrome_trace_path;
   for (const std::string& arg : rest) {
@@ -151,6 +156,8 @@ int main(int argc, char** argv) {
       telemetry_path = arg.substr(12);
     } else if (arg.rfind("--chrome-trace=", 0) == 0) {
       chrome_trace_path = arg.substr(15);
+    } else if (arg == "--audit") {
+      audit = true;
     } else if (arg == "--print-config") {
       print_config = true;
     } else if (arg == "--quiet") {
@@ -229,8 +236,38 @@ int main(int argc, char** argv) {
     };
   }
 
+  // --audit layers the invariant auditor under whatever observers the
+  // base hook attaches; the auditor is read-only, so audited output
+  // stays byte-identical. Violations fail the process with exit 3.
+  bool audit_failed = false;
+  if (audit) {
+    strip::exp::RunHook base_hook = std::move(hook);
+    hook = [&audit_failed, base_hook](
+               strip::core::System& system,
+               const strip::exp::RunContext& context)
+        -> strip::exp::RunFinisher {
+      auto auditor = std::make_shared<strip::check::InvariantAuditor>();
+      auditor->set_system(&system);
+      system.AddObserver(auditor.get());
+      strip::exp::RunFinisher base_finisher =
+          base_hook ? base_hook(system, context) : nullptr;
+      const int replication = context.replication;
+      return [auditor, base_finisher, replication, &audit_failed](
+                 const strip::core::RunMetrics& metrics) {
+        if (base_finisher) base_finisher(metrics);
+        if (!auditor->ok()) {
+          audit_failed = true;
+          std::fprintf(stderr,
+                       "strip_sim: audit FAILED (replication %d)\n%s",
+                       replication, auditor->Report().c_str());
+        }
+      };
+    };
+  }
+
   const std::vector<strip::core::RunMetrics> runs =
       strip::exp::Replicate(config, reps, seed, hook);
+  if (audit_failed) return 3;
   if (!quiet) {
     std::printf("policy=%s staleness=%s lambda_t=%g lambda_u=%g "
                 "seconds=%g reps=%d\n\n",

@@ -4,7 +4,12 @@
 //               --policies=UF,TF,SU,OD --metrics=av,p_success
 //               [--name=value ...] [--reps=N] [--seed=N] [--csv]
 //               [--json=PATH] [--telemetry-dir=DIR] [--flight-dir=DIR]
-//               [--out-dir=DIR] [--resume] [--cell-timeout=S]
+//               [--out-dir=DIR] [--resume] [--cell-timeout=S] [--audit]
+//
+// --audit attaches the invariant auditor (src/check) to every run of
+// every cell; violations print to stderr (with the cell and
+// replication) and the sweep exits 3. Audited output is bit-identical
+// to a non-audit sweep.
 //
 // --telemetry-dir=DIR writes one telemetry JSON document per sweep
 // cell (first replication only) into DIR, named
@@ -32,6 +37,7 @@
 // the same machinery the per-figure bench binaries use, exposed for
 // ad-hoc exploration.
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -42,6 +48,7 @@
 #include <string>
 #include <vector>
 
+#include "check/invariant_auditor.h"
 #include "core/config.h"
 #include "core/metrics_json.h"
 #include "exp/atomic_io.h"
@@ -178,6 +185,7 @@ int main(int argc, char** argv) {
   std::string flight_dir;
   std::string out_dir;
   bool resume = false;
+  bool audit = false;
   double cell_timeout = 0;
 
   for (const std::string& arg : rest) {
@@ -212,6 +220,8 @@ int main(int argc, char** argv) {
       out_dir = arg.substr(10);
     } else if (arg == "--resume") {
       resume = true;
+    } else if (arg == "--audit") {
+      audit = true;
     } else if (arg.rfind("--cell-timeout=", 0) == 0) {
       cell_timeout = std::atof(arg.c_str() + 15);
       if (cell_timeout <= 0) Fail("--cell-timeout needs seconds > 0");
@@ -324,6 +334,40 @@ int main(int argc, char** argv) {
     };
   }
 
+  // --audit layers the invariant auditor under the per-cell recorders
+  // on every replication. The hook runs on worker threads; the only
+  // shared state is the failure flag.
+  std::atomic<bool> audit_failed{false};
+  if (audit) {
+    const strip::exp::RunHook base_hook = spec.on_run;
+    const std::vector<PolicyKind> hook_policies = policies;
+    spec.on_run = [base_hook, hook_policies, &audit_failed](
+                      strip::core::System& system,
+                      const strip::exp::RunContext& context)
+        -> strip::exp::RunFinisher {
+      auto auditor = std::make_shared<strip::check::InvariantAuditor>();
+      auditor->set_system(&system);
+      system.AddObserver(auditor.get());
+      strip::exp::RunFinisher base_finisher =
+          base_hook ? base_hook(system, context) : nullptr;
+      const std::string cell =
+          CellName(hook_policies[context.policy_index], context.x_index);
+      const int replication = context.replication;
+      return [auditor, base_finisher, cell, replication, &audit_failed](
+                 const strip::core::RunMetrics& metrics) {
+        if (base_finisher) base_finisher(metrics);
+        if (!auditor->ok()) {
+          audit_failed.store(true, std::memory_order_relaxed);
+          std::fprintf(stderr,
+                       "strip_sweep: audit FAILED (cell %s, "
+                       "replication %d)\n%s",
+                       cell.c_str(), replication,
+                       auditor->Report().c_str());
+        }
+      };
+    };
+  }
+
   // With --resume, previously-finished cells are not re-run: their
   // authoritative results live in their cell files, and their rows in
   // the summary tables below are zeros.
@@ -370,5 +414,5 @@ int main(int argc, char** argv) {
     json << "\n]}\n";
     WriteOrFail(json_path, json.str());
   }
-  return 0;
+  return audit_failed.load() ? 3 : 0;
 }
