@@ -16,7 +16,7 @@ exp::SweepSpec BaseSpec(const exp::BenchArgs& args) {
   args.ApplyTo(spec.base);
   spec.replications = args.replications;
   spec.base_seed = args.seed;
-  spec.threads = args.threads;
+  spec.parallel = args.parallel;
   return spec;
 }
 

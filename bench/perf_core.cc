@@ -11,6 +11,14 @@
 //   perf_core --benchmark_out=BENCH_core.json --benchmark_out_format=json
 // Compare against the checked-in BENCH_core.json to read the perf
 // trajectory across PRs.
+//
+// The JSON context carries `strip_build_type` / `strip_lto` — this
+// binary's own compile configuration, stamped by CMake. (The library's
+// `library_build_type` key reflects how the google-benchmark *package*
+// was compiled, which on distro packages is "debug" regardless of our
+// flags, so it cannot certify a baseline.)
+// scripts/check_bench_build_type.sh gates checked-in baselines on
+// strip_build_type == "release".
 
 #include <cstdint>
 #include <vector>
@@ -295,4 +303,22 @@ BENCHMARK(BM_SimAuditorOverhead60s)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Fallbacks so the file still compiles outside the repo's CMake (the
+// stamp then honestly reads "unspecified").
+#ifndef STRIP_BENCH_BUILD_TYPE
+#define STRIP_BENCH_BUILD_TYPE "unspecified"
+#endif
+#ifndef STRIP_BENCH_LTO
+#define STRIP_BENCH_LTO "unknown"
+#endif
+
+// BENCHMARK_MAIN(), plus the build-configuration context stamp.
+int main(int argc, char** argv) {
+  benchmark::AddCustomContext("strip_build_type", STRIP_BENCH_BUILD_TYPE);
+  benchmark::AddCustomContext("strip_lto", STRIP_BENCH_LTO);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

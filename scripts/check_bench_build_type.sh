@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Refuses debug-build benchmark baselines.
+#
+# Checked-in BENCH_*.json files are the repo's perf reference; numbers
+# captured from an unoptimized build are worse than none (they once
+# hid a 2x regression story — see EXPERIMENTS.md "Performance"). This
+# guard fails when any BENCH_*.json touched by the change — or, with
+# no base ref, every checked-in one — carries a context block whose
+# build-type marker is not "release".
+#
+# The marker checked is "strip_build_type", which bench/perf_core
+# embeds from its own compile flags (NDEBUG + CMAKE_BUILD_TYPE). The
+# stock google-benchmark "library_build_type" key reports how the
+# *benchmark library package* was compiled (Debian ships it without
+# NDEBUG, so it always says "debug") and is only consulted for legacy
+# files that predate the strip_build_type marker.
+#
+# Usage:
+#   scripts/check_bench_build_type.sh [BASE_REF]
+#
+# With BASE_REF (e.g. origin/main), only BENCH_*.json files that
+# differ from BASE_REF are checked — committed baselines are
+# grandfathered until touched. Without it, every tracked BENCH_*.json
+# must pass.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+base_ref="${1:-}"
+
+if [ -n "$base_ref" ]; then
+  mapfile -t files < <(git diff --name-only --diff-filter=d "$base_ref"...HEAD -- 'BENCH_*.json' '**/BENCH_*.json')
+else
+  mapfile -t files < <(git ls-files 'BENCH_*.json' '**/BENCH_*.json')
+fi
+
+if [ "${#files[@]}" -eq 0 ]; then
+  echo "check_bench_build_type: no BENCH_*.json files to check"
+  exit 0
+fi
+
+fail=0
+for f in "${files[@]}"; do
+  [ -f "$f" ] || continue
+  build_type=$(python3 - "$f" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as fh:
+    doc = json.load(fh)
+ctx = doc.get("context", {})
+# Our own marker, compiled into perf_core; fall back to the library's
+# for files that predate it.
+print(ctx.get("strip_build_type", ctx.get("library_build_type", "missing")))
+EOF
+  )
+  if [ "$build_type" != "release" ]; then
+    echo "check_bench_build_type: $f: build type is \"$build_type\"," \
+         "not \"release\" — re-capture it from the release preset:" \
+         "cmake --preset release && cmake --build --preset release &&" \
+         "./build-release/bench/perf_core --benchmark_out=$f" \
+         "--benchmark_out_format=json"
+    fail=1
+  else
+    echo "check_bench_build_type: $f: ok (release)"
+  fi
+done
+exit "$fail"

@@ -1,0 +1,95 @@
+#!/usr/bin/env bash
+# Parallel-sweep harness: the tool-level contract of strip_sweep's
+# worker pool. Three checks, all against the built binaries:
+#
+#   1. Byte-identity — the same grid under --jobs=1 and --jobs=8
+#      produces byte-identical cell files, per-cell telemetry, and
+#      stdout summary (job count only changes which thread runs a
+#      cell, never its bytes).
+#   2. Kill + resume — a sweep SIGKILLed mid-grid and resumed with
+#      --resume --jobs=2 converges to the same bytes as an
+#      uninterrupted run (atomic cell writes leave no torn files;
+#      finished cells are not re-run).
+#   3. Per-worker cell timeout — with --jobs>1 and a tiny
+#      --cell-timeout, every cell is truncated and marked
+#      "timed_out": true (each worker arms the budget when it picks
+#      the cell up, not when the sweep starts).
+#
+#   scripts/check_parallel_sweep.sh [BUILD_DIR]    # default: build
+#
+# Exits non-zero on the first violation. CI runs this on every push.
+
+set -eu
+cd "$(dirname "$0")/.."
+BUILD="${1:-build}"
+SWEEP="$BUILD/tools/strip_sweep"
+[ -x "$SWEEP" ] || { echo "missing $SWEEP (build first)"; exit 2; }
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+fail() { echo "check_parallel_sweep: FAILED — $1"; exit 1; }
+
+GRID_ARGS=(--x=lambda_t --values=10,25,40 --policies=UF,TF,OD --reps=2
+           --seed=3 --sim_seconds=20 --progress=off)
+
+echo "check_parallel_sweep: byte-identity across --jobs=1/8"
+for JOBS in 1 8; do
+  mkdir -p "$WORK/grid_j$JOBS" "$WORK/tele_j$JOBS"
+  "$SWEEP" "${GRID_ARGS[@]}" --jobs=$JOBS \
+    --out-dir="$WORK/grid_j$JOBS" --telemetry-dir="$WORK/tele_j$JOBS" \
+    > "$WORK/sweep_j$JOBS.txt"
+done
+diff -r "$WORK/grid_j1" "$WORK/grid_j8" >/dev/null \
+  || fail "cell files differ between --jobs=1 and --jobs=8"
+diff -r "$WORK/tele_j1" "$WORK/tele_j8" >/dev/null \
+  || fail "telemetry differs between --jobs=1 and --jobs=8"
+cmp "$WORK/sweep_j1.txt" "$WORK/sweep_j8.txt" \
+  || fail "summary differs between --jobs=1 and --jobs=8"
+
+echo "check_parallel_sweep: SIGKILL mid-grid, then --resume --jobs=2"
+mkdir -p "$WORK/grid_resume"
+# Long enough cells that the kill lands mid-grid; short enough to
+# finish promptly on resume.
+RESUME_ARGS=(--x=lambda_t --values=10,25,40 --policies=UF,TF,OD --reps=2
+             --seed=3 --sim_seconds=60 --progress=off)
+"$SWEEP" "${RESUME_ARGS[@]}" --jobs=2 --out-dir="$WORK/grid_resume" \
+  > /dev/null 2>&1 &
+PID=$!
+# Wait for at least one finished cell, then kill hard.
+for _ in $(seq 1 200); do
+  if ls "$WORK/grid_resume"/cell_*.json >/dev/null 2>&1; then break; fi
+  sleep 0.05
+done
+kill -9 "$PID" 2>/dev/null || true
+wait "$PID" 2>/dev/null || true
+ls "$WORK/grid_resume"/*.tmp >/dev/null 2>&1 \
+  && fail "torn .tmp file survived the kill"
+# Fingerprint the surviving cells: --resume must not re-write them.
+stat -c '%n %y' "$WORK/grid_resume"/cell_*.json \
+  > "$WORK/mtimes_before.txt" 2>/dev/null || : > "$WORK/mtimes_before.txt"
+"$SWEEP" "${RESUME_ARGS[@]}" --jobs=2 --out-dir="$WORK/grid_resume" \
+  --resume > "$WORK/resume.txt"
+while read -r line; do
+  f="${line%% *}"
+  grep -qF "$line" <(stat -c '%n %y' "$f") \
+    || fail "resume re-wrote already-finished cell $f"
+done < "$WORK/mtimes_before.txt"
+mkdir -p "$WORK/grid_clean"
+"$SWEEP" "${RESUME_ARGS[@]}" --jobs=2 --out-dir="$WORK/grid_clean" \
+  > /dev/null
+diff -r "$WORK/grid_resume" "$WORK/grid_clean" >/dev/null \
+  || fail "resumed grid differs from an uninterrupted run"
+
+echo "check_parallel_sweep: --cell-timeout applies per worker"
+mkdir -p "$WORK/grid_timeout"
+"$SWEEP" --x=lambda_t --values=10,25 --policies=UF,OD --reps=1 \
+  --seed=3 --sim_seconds=100000 --jobs=4 --cell-timeout=0.2 \
+  --progress=off --out-dir="$WORK/grid_timeout" > /dev/null
+N_CELLS=$(ls "$WORK/grid_timeout"/cell_*.json | wc -l)
+[ "$N_CELLS" -eq 4 ] || fail "expected 4 cells, found $N_CELLS"
+N_TIMED=$(grep -l '"timed_out": true' "$WORK/grid_timeout"/cell_*.json | wc -l)
+[ "$N_TIMED" -eq 4 ] \
+  || fail "only $N_TIMED of 4 cells were marked timed_out"
+
+echo "check_parallel_sweep: OK"

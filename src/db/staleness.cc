@@ -1,5 +1,7 @@
 #include "db/staleness.h"
 
+#include <algorithm>
+
 #include "base/check.h"
 
 namespace strip::db {
@@ -69,7 +71,7 @@ bool StalenessTracker::ComputeStale(const ObjectState& s) const {
   // freshness + max_age (the boundary itself has measure zero).
   const bool ma_stale = simulator_->now() - s.freshness >= max_age_;
   const bool uu_stale =
-      !s.queued.empty() && s.queued.rbegin()->first > s.db_generation;
+      !s.queued.empty() && s.queued.back().first > s.db_generation;
   switch (criterion_) {
     case StalenessCriterion::kMaxAge:
     case StalenessCriterion::kMaxAgeArrival:
@@ -128,14 +130,21 @@ void StalenessTracker::OnApply(ObjectId id, sim::Time generation_time,
 
 void StalenessTracker::OnEnqueued(const Update& update) {
   ObjectState& s = state(update.object);
-  s.queued.insert({update.generation_time, update.id});
+  const std::pair<sim::Time, std::uint64_t> key{update.generation_time,
+                                                update.id};
+  s.queued.insert(std::upper_bound(s.queued.begin(), s.queued.end(), key),
+                  key);
   Refresh(update.object);
 }
 
 void StalenessTracker::OnRemovedFromQueue(const Update& update) {
   ObjectState& s = state(update.object);
-  const auto erased = s.queued.erase({update.generation_time, update.id});
-  STRIP_CHECK_MSG(erased == 1, "removed update was not tracked as queued");
+  const std::pair<sim::Time, std::uint64_t> key{update.generation_time,
+                                                update.id};
+  const auto it = std::lower_bound(s.queued.begin(), s.queued.end(), key);
+  STRIP_CHECK_MSG(it != s.queued.end() && *it == key,
+                  "removed update was not tracked as queued");
+  s.queued.erase(it);
   Refresh(update.object);
 }
 

@@ -22,7 +22,8 @@
 #ifndef STRIP_DB_STALENESS_H_
 #define STRIP_DB_STALENESS_H_
 
-#include <set>
+#include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "db/object.h"
@@ -108,9 +109,13 @@ class StalenessTracker {
     // The timestamp MA-style aging runs on: the generation time, or
     // the arrival time under kMaxAgeArrival.
     sim::Time freshness = 0;
-    // Generation times of this object's queued updates (multiset-like:
-    // ties broken by update id).
-    std::set<std::pair<sim::Time, std::uint64_t>> queued;
+    // Generation times of this object's queued updates, kept sorted
+    // ascending (ties broken by update id, so keys are unique). A flat
+    // vector beats a node-based set here: the per-object backlog is
+    // small — usually zero or one entry, bounded by the queue depth —
+    // so ordered insert/erase are a short memmove with no allocation,
+    // and the UU check reads the max straight off the back.
+    std::vector<std::pair<sim::Time, std::uint64_t>> queued;
     sim::EventQueue::Handle expiry;
     bool stale = false;
   };

@@ -20,7 +20,8 @@ bool ConsumePrefix(const char* arg, const char* prefix,
 [[noreturn]] void Usage(const char* program) {
   std::fprintf(stderr,
                "usage: %s [--seconds=S] [--reps=N] [--seed=S] "
-               "[--threads=N] [--csv] [--json=PATH] [--full]\n",
+               "[--jobs=N] [--pin-cores] [--csv] [--json=PATH] "
+               "[--full]\n",
                program);
   std::exit(2);
 }
@@ -38,8 +39,12 @@ BenchArgs BenchArgs::Parse(int argc, char** argv) {
       args.replications = std::atoi(rest);
     } else if (ConsumePrefix(arg, "--seed=", &rest)) {
       args.seed = std::strtoull(rest, nullptr, 10);
-    } else if (ConsumePrefix(arg, "--threads=", &rest)) {
-      args.threads = std::atoi(rest);
+    } else if (ConsumePrefix(arg, "--jobs=", &rest) ||
+               ConsumePrefix(arg, "--threads=", &rest)) {
+      // --threads= is the pre-worker-pool spelling, kept as an alias.
+      args.parallel.jobs = std::atoi(rest);
+    } else if (std::strcmp(arg, "--pin-cores") == 0) {
+      args.parallel.pin_cores = true;
     } else if (std::strcmp(arg, "--csv") == 0) {
       args.csv = true;
     } else if (ConsumePrefix(arg, "--json=", &rest)) {

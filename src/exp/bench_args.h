@@ -4,7 +4,9 @@
 //   --seconds=<double>   simulated seconds per run (default 200)
 //   --reps=<int>         replications (seeds) per cell (default 2)
 //   --seed=<uint64>      base seed (default 42)
-//   --threads=<int>      worker threads (default: hardware)
+//   --jobs=<int>         worker threads (default: one per core;
+//                        --threads= is a deprecated alias)
+//   --pin-cores          pin worker i to core i (Linux)
 //   --csv                also emit CSV blocks after each table
 //   --json=<path>        also write every emitted series to a JSON file
 //   --full               paper scale: 1000 simulated seconds, 3 reps
@@ -20,6 +22,7 @@
 #include <string>
 
 #include "core/config.h"
+#include "exp/parallel_runner.h"
 
 namespace strip::exp {
 
@@ -27,7 +30,8 @@ struct BenchArgs {
   double seconds = 200.0;
   int replications = 2;
   std::uint64_t seed = 42;
-  int threads = 0;
+  // Worker-pool shape for the sweep (jobs + optional pinning).
+  ParallelOptions parallel;
   bool csv = false;
   // Non-empty: machine-readable results are (re)written here after
   // each emitted series.

@@ -1,8 +1,6 @@
 #include "exp/experiment.h"
 
-#include <atomic>
 #include <chrono>
-#include <thread>
 
 #include "base/check.h"
 #include "core/system.h"
@@ -149,7 +147,10 @@ SweepResult RunSweep(const SweepSpec& spec) {
   // sequentially on one worker so the cell shares one wall-clock
   // budget and finishes as a unit — on_cell_done sees all of its runs
   // together, which is what lets a runner persist cell files
-  // atomically for --resume.
+  // atomically for --resume. Every worker runs fully isolated
+  // Simulation/RNG state (a fresh Simulator + System per run, seeded
+  // from the spec), and results land in index-addressed SweepResult
+  // cells, so the merged result is byte-identical for any job count.
   struct Task {
     std::size_t policy_index;
     std::size_t x_index;
@@ -162,58 +163,55 @@ SweepResult RunSweep(const SweepSpec& spec) {
     }
   }
 
-  std::atomic<std::size_t> next_task{0};
-  auto worker = [&] {
-    while (true) {
-      const std::size_t i = next_task.fetch_add(1);
-      if (i >= tasks.size()) return;
-      const Task& task = tasks[i];
-      core::Config config = spec.base;
-      config.policy = spec.policies[task.policy_index];
-      spec.apply_x(config, spec.x_values[task.x_index]);
-      std::vector<core::RunMetrics>& runs =
-          result.mutable_cell(task.policy_index, task.x_index);
-      const bool budgeted = spec.budget.wall_seconds > 0;
-      const auto deadline =
-          std::chrono::steady_clock::now() +
-          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-              std::chrono::duration<double>(
-                  budgeted ? spec.budget.wall_seconds : 0.0));
-      bool cell_timed_out = false;
-      for (int r = 0; r < spec.replications; ++r) {
-        // Once the cell's budget fires, later replications are not
-        // started — their metrics stay default-constructed.
-        if (cell_timed_out) break;
-        RunContext context;
-        context.policy_index = task.policy_index;
-        context.x_index = task.x_index;
-        context.replication = r;
-        context.seed =
-            spec.base_seed + static_cast<std::uint64_t>(r);
-        runs[static_cast<std::size_t>(r)] =
-            budgeted ? RunOnceUntil(config, context.seed, spec.on_run,
-                                    context, deadline,
-                                    spec.budget.slice_sim_seconds,
-                                    &cell_timed_out)
-                     : RunOnce(config, context.seed, spec.on_run, context);
-      }
-      if (spec.on_cell_done) {
-        spec.on_cell_done(task.policy_index, task.x_index, runs,
-                          cell_timed_out);
-      }
+  ParallelRunner runner(spec.parallel);
+  std::size_t cells_done = 0;
+  runner.Run(tasks.size(), [&](std::size_t i) {
+    const Task& task = tasks[i];
+    core::Config config = spec.base;
+    config.policy = spec.policies[task.policy_index];
+    spec.apply_x(config, spec.x_values[task.x_index]);
+    std::vector<core::RunMetrics>& runs =
+        result.mutable_cell(task.policy_index, task.x_index);
+    // The cell's wall-clock budget is per-worker: it starts when a
+    // worker picks the cell up, not when the sweep was launched, so
+    // queueing behind other cells never eats a cell's allowance.
+    const bool budgeted = spec.budget.wall_seconds > 0;
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(
+                budgeted ? spec.budget.wall_seconds : 0.0));
+    bool cell_timed_out = false;
+    for (int r = 0; r < spec.replications; ++r) {
+      // Once the cell's budget fires, later replications are not
+      // started — their metrics stay default-constructed.
+      if (cell_timed_out) break;
+      RunContext context;
+      context.policy_index = task.policy_index;
+      context.x_index = task.x_index;
+      context.replication = r;
+      context.seed = spec.base_seed + static_cast<std::uint64_t>(r);
+      runs[static_cast<std::size_t>(r)] =
+          budgeted ? RunOnceUntil(config, context.seed, spec.on_run,
+                                  context, deadline,
+                                  spec.budget.slice_sim_seconds,
+                                  &cell_timed_out)
+                   : RunOnce(config, context.seed, spec.on_run, context);
     }
-  };
-
-  int n_threads = spec.threads;
-  if (n_threads <= 0) {
-    n_threads = static_cast<int>(std::thread::hardware_concurrency());
-    if (n_threads <= 0) n_threads = 4;
-  }
-  n_threads = std::min<int>(n_threads, static_cast<int>(tasks.size()));
-  std::vector<std::thread> pool;
-  pool.reserve(n_threads);
-  for (int i = 0; i < n_threads; ++i) pool.emplace_back(worker);
-  for (std::thread& t : pool) t.join();
+    if (spec.on_cell_done || spec.on_progress) {
+      // Durable cell writes and progress share one serialized
+      // section, so a progress line can never interleave with a cell
+      // file hitting disk.
+      runner.Serialized([&] {
+        if (spec.on_cell_done) {
+          spec.on_cell_done(task.policy_index, task.x_index, runs,
+                            cell_timed_out);
+        }
+        ++cells_done;
+        if (spec.on_progress) spec.on_progress(cells_done, tasks.size());
+      });
+    }
+  });
   return result;
 }
 

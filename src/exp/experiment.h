@@ -18,6 +18,7 @@
 
 #include "core/config.h"
 #include "core/metrics.h"
+#include "exp/parallel_runner.h"
 #include "sim/stats.h"
 
 namespace strip::core {
@@ -116,8 +117,10 @@ struct SweepSpec {
   // Independent replications per cell.
   int replications = 3;
   std::uint64_t base_seed = 42;
-  // Worker threads; 0 means hardware concurrency.
-  int threads = 0;
+  // Worker-pool shape: jobs (0 = one per hardware core) and optional
+  // worker-to-core pinning. Results are byte-identical for any job
+  // count (see exp/parallel_runner.h's determinism contract).
+  ParallelOptions parallel;
   // Observation hook, called (from worker threads) for every run with
   // its cell coordinates; may be null. See RunHook.
   RunHook on_run;
@@ -131,14 +134,20 @@ struct SweepSpec {
   // NOT called for it.
   std::function<bool(std::size_t policy_index, std::size_t x_index)>
       skip_cell;
-  // Optional per-cell completion callback (called from worker threads
-  // as each cell finishes, in no particular cell order): write the
-  // cell's results to durable storage here so an interrupted sweep
-  // keeps everything finished so far.
+  // Optional per-cell completion callback: write the cell's results to
+  // durable storage here so an interrupted sweep keeps everything
+  // finished so far. Called as each cell finishes (in no particular
+  // cell order), serialized across workers together with on_progress —
+  // cell writes and progress reporting never interleave.
   std::function<void(std::size_t policy_index, std::size_t x_index,
                      const std::vector<core::RunMetrics>& runs,
                      bool timed_out)>
       on_cell_done;
+  // Optional progress callback, fired after each cell (after its
+  // on_cell_done) with the number of cells finished so far and the
+  // total scheduled (skipped cells excluded). Serialized with
+  // on_cell_done under one mutex.
+  std::function<void(std::size_t done, std::size_t total)> on_progress;
 };
 
 class SweepResult {

@@ -48,7 +48,17 @@ void EventQueue::HeapPopRoot() {
   const HeapKey last = heap_.back();
   heap_.pop_back();
   if (heap_.empty()) return;
-  // Hole-based sift-down of `last` from the root.
+  // Bottom-up (Wegener) sift-down: drive the root hole straight to a
+  // leaf, always promoting the smallest child, then sift `last` up
+  // from that leaf. The replacement key comes from the bottom of the
+  // heap — in a DES it is typically a recently scheduled far-future
+  // event — so it nearly always belongs back near a leaf: the
+  // top-down variant's extra compare-against-last at every level (to
+  // early-exit) is almost always wasted, while the sift-up here is
+  // usually zero or one step. Net: ~3 comparisons per level instead
+  // of 4. The key order is a strict total order (sequences are
+  // unique), so pop order — and with it every simulation result — is
+  // unchanged.
   const std::size_t n = heap_.size();
   std::size_t i = 0;
   for (;;) {
@@ -59,17 +69,19 @@ void EventQueue::HeapPopRoot() {
     for (std::size_t c = first_child + 1; c < last_child; ++c) {
       if (KeyBefore(heap_[c], heap_[best])) best = c;
     }
-    if (!KeyBefore(heap_[best], last)) break;
     heap_[i] = heap_[best];
     i = best;
+  }
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 4;
+    if (!KeyBefore(last, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
   }
   heap_[i] = last;
 }
 
-void EventQueue::MaybeCompact() {
-  // Rebuild only when stale keys dominate a non-trivial heap, so the
-  // O(n) sweep amortizes against the cancels that created them.
-  if (heap_.size() < 64 || heap_stale_ * 2 < heap_.size()) return;
+void EventQueue::CompactNow() {
   std::size_t out = 0;
   for (std::size_t i = 0; i < heap_.size(); ++i) {
     if (!IsStale(heap_[i])) heap_[out++] = heap_[i];
@@ -133,12 +145,7 @@ bool EventQueue::Cancel(const Handle& handle) {
   return true;
 }
 
-std::optional<EventQueue::Fired> EventQueue::PopNext() {
-  // NRVO: build the optional in the caller's storage so the callback
-  // is moved exactly once (slot -> result).
-  std::optional<Fired> fired;
-  DropStaleRoot();
-  if (heap_.empty()) return fired;
+void EventQueue::PopRootInto(std::optional<Fired>& fired) {
   const HeapKey key = heap_.front();
   Slot& s = slots_[key.slot()];
   fired.emplace();
@@ -150,6 +157,23 @@ std::optional<EventQueue::Fired> EventQueue::PopNext() {
   HeapPopRoot();
   STRIP_CHECK(live_count_ > 0);
   --live_count_;
+}
+
+std::optional<EventQueue::Fired> EventQueue::PopNext() {
+  // NRVO: build the optional in the caller's storage so the callback
+  // is moved exactly once (slot -> result).
+  std::optional<Fired> fired;
+  DropStaleRoot();
+  if (heap_.empty()) return fired;
+  PopRootInto(fired);
+  return fired;
+}
+
+std::optional<EventQueue::Fired> EventQueue::PopNextBefore(Time limit) {
+  std::optional<Fired> fired;
+  DropStaleRoot();
+  if (heap_.empty() || heap_.front().time > limit) return fired;
+  PopRootInto(fired);
   return fired;
 }
 

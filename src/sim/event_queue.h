@@ -85,6 +85,14 @@ class EventQueue {
   // remain. Cancelled keys encountered on the way are discarded.
   std::optional<Fired> PopNext();
 
+  // Bounded pop, fusing the dispatch loop's peek + pop into one queue
+  // operation: removes and returns the earliest pending event if its
+  // time is <= `limit`, or returns nullopt (leaving the queue
+  // untouched) when the earliest event lies beyond `limit` or none
+  // remain. One stale sweep and one root probe per dispatched event,
+  // where peek-then-pop pays both twice.
+  std::optional<Fired> PopNextBefore(Time limit);
+
   // Time of the earliest pending event, or nullopt if none.
   std::optional<Time> PeekNextTime();
 
@@ -150,10 +158,20 @@ class EventQueue {
   // 4-ary heap primitives over heap_.
   void HeapPush(HeapKey key);
   void HeapPopRoot();
+  // Shared tail of the pop paths: moves the root's slot out into
+  // `fired`, frees it, and re-heapifies.
+  void PopRootInto(std::optional<Fired>& fired);
   // Drops stale keys off the heap top; rebuilds the heap wholesale
   // when stale keys dominate it.
   void DropStaleRoot();
-  void MaybeCompact();
+  // Rebuild guard, inlined so the Cancel fast path pays two loads and
+  // a branch, not a call: compaction only runs when stale keys
+  // dominate a non-trivial heap, amortizing the O(n) sweep against
+  // the cancels that created them.
+  void MaybeCompact() {
+    if (heap_.size() >= 64 && heap_stale_ * 2 >= heap_.size()) CompactNow();
+  }
+  void CompactNow();
 
   std::vector<Slot> slots_;
   std::uint32_t free_head_ = kNoSlot;

@@ -21,11 +21,12 @@ EventQueue::Handle Simulator::ScheduleAfter(Duration delay,
 void Simulator::RunUntil(Time end) {
   STRIP_CHECK_MSG(end >= now_, "RunUntil target is in the past");
   stop_requested_ = false;
+  // The bounded pop dispatches each event with a single queue
+  // operation; the historical peek-then-pop pair swept the stale root
+  // and probed the heap top twice per event.
   while (!stop_requested_) {
-    std::optional<Time> next = queue_.PeekNextTime();
-    if (!next.has_value() || *next > end) break;
-    std::optional<EventQueue::Fired> event = queue_.PopNext();
-    STRIP_CHECK(event.has_value());
+    std::optional<EventQueue::Fired> event = queue_.PopNextBefore(end);
+    if (!event.has_value()) break;
     now_ = event->time;
     ++events_dispatched_;
     event->callback();

@@ -16,18 +16,25 @@ TEST(BenchArgsTest, Defaults) {
   EXPECT_DOUBLE_EQ(args.seconds, 200.0);
   EXPECT_EQ(args.replications, 2);
   EXPECT_EQ(args.seed, 42u);
-  EXPECT_EQ(args.threads, 0);
+  EXPECT_EQ(args.parallel.jobs, 0);
+  EXPECT_FALSE(args.parallel.pin_cores);
   EXPECT_FALSE(args.csv);
 }
 
 TEST(BenchArgsTest, ParsesEveryFlag) {
-  const BenchArgs args = Parse(
-      {"--seconds=50", "--reps=5", "--seed=7", "--threads=3", "--csv"});
+  const BenchArgs args = Parse({"--seconds=50", "--reps=5", "--seed=7",
+                                "--jobs=3", "--pin-cores", "--csv"});
   EXPECT_DOUBLE_EQ(args.seconds, 50.0);
   EXPECT_EQ(args.replications, 5);
   EXPECT_EQ(args.seed, 7u);
-  EXPECT_EQ(args.threads, 3);
+  EXPECT_EQ(args.parallel.jobs, 3);
+  EXPECT_TRUE(args.parallel.pin_cores);
   EXPECT_TRUE(args.csv);
+}
+
+TEST(BenchArgsTest, ThreadsIsAJobsAlias) {
+  const BenchArgs args = Parse({"--threads=3"});
+  EXPECT_EQ(args.parallel.jobs, 3);
 }
 
 TEST(BenchArgsTest, FullPreset) {

@@ -25,7 +25,7 @@ SweepSpec SmallSpec(int threads) {
   spec.apply_x = [](core::Config& config, double x) { config.lambda_t = x; };
   spec.replications = 3;
   spec.base_seed = 42;
-  spec.threads = threads;
+  spec.parallel.jobs = threads;
   return spec;
 }
 

@@ -83,9 +83,9 @@ TEST(SweepTest, MatchesDirectRunsCellByCell) {
 
 TEST(SweepTest, SingleThreadMatchesParallel) {
   SweepSpec spec = QuickSweep();
-  spec.threads = 1;
+  spec.parallel.jobs = 1;
   const SweepResult serial = RunSweep(spec);
-  spec.threads = 4;
+  spec.parallel.jobs = 4;
   const SweepResult parallel = RunSweep(spec);
   for (std::size_t p = 0; p < 2; ++p) {
     for (std::size_t x = 0; x < 2; ++x) {
@@ -121,7 +121,7 @@ TEST(SweepTest, SkipCellLeavesDefaultRunsAndSkipsCallback) {
     EXPECT_FALSE(timed_out);
     done.emplace_back(p, x);
   };
-  spec.threads = 1;
+  spec.parallel.jobs = 1;
   const SweepResult result = RunSweep(spec);
   // The skipped cell holds default-constructed metrics...
   EXPECT_EQ(result.cell(0, 0)[0].txns_arrived, 0u);
@@ -132,6 +132,63 @@ TEST(SweepTest, SkipCellLeavesDefaultRunsAndSkipsCallback) {
   for (const auto& [p, x] : done) {
     EXPECT_FALSE(p == 0 && x == 0);
   }
+}
+
+TEST(SweepTest, ProgressReportsEveryCellMonotonically) {
+  // on_progress is serialized with on_cell_done: `done` must step
+  // 1..total with no repeats or gaps even under a parallel pool.
+  SweepSpec spec = QuickSweep();
+  spec.parallel.jobs = 4;
+  std::vector<std::size_t> dones;
+  std::size_t reported_total = 0;
+  spec.on_progress = [&](std::size_t done, std::size_t total) {
+    dones.push_back(done);
+    reported_total = total;
+  };
+  RunSweep(spec);
+  ASSERT_EQ(dones.size(), 4u);  // 2 policies x 2 x-values
+  EXPECT_EQ(reported_total, 4u);
+  for (std::size_t i = 0; i < dones.size(); ++i) {
+    EXPECT_EQ(dones[i], i + 1);
+  }
+}
+
+TEST(SweepTest, ProgressCountsSkipTheSkippedCells) {
+  SweepSpec spec = QuickSweep();
+  spec.parallel.jobs = 2;
+  spec.skip_cell = [](std::size_t p, std::size_t x) {
+    return p == 0 && x == 0;
+  };
+  std::size_t calls = 0;
+  std::size_t last_total = 0;
+  spec.on_progress = [&](std::size_t, std::size_t total) {
+    ++calls;
+    last_total = total;
+  };
+  RunSweep(spec);
+  EXPECT_EQ(calls, 3u);
+  EXPECT_EQ(last_total, 3u);
+}
+
+TEST(SweepTest, CellTimeoutAppliesPerCellUnderParallelJobs) {
+  // Each worker arms the wall-clock budget when it picks the cell up,
+  // so a tiny timeout truncates every cell rather than only the ones
+  // unlucky enough to start late.
+  SweepSpec spec = QuickSweep();
+  spec.base.sim_seconds = 10000.0;
+  spec.parallel.jobs = 4;
+  spec.budget.wall_seconds = 0.05;
+  spec.budget.slice_sim_seconds = 1.0;
+  std::size_t timed_out_cells = 0;
+  spec.on_cell_done = [&](std::size_t, std::size_t,
+                          const std::vector<core::RunMetrics>& runs,
+                          bool timed_out) {
+    if (timed_out) ++timed_out_cells;
+    ASSERT_FALSE(runs.empty());
+    EXPECT_LT(runs[0].observed_seconds, spec.base.sim_seconds);
+  };
+  RunSweep(spec);
+  EXPECT_EQ(timed_out_cells, 4u);
 }
 
 TEST(SweepTest, UnbudgetedRunMatchesBudgetedWithRoomToSpare) {

@@ -3,8 +3,19 @@
 //   strip_sweep --x=lambda_t --values=5,10,15,20,25
 //               --policies=UF,TF,SU,OD --metrics=av,p_success
 //               [--name=value ...] [--reps=N] [--seed=N] [--csv]
+//               [--jobs=N] [--pin-cores] [--progress=MODE]
 //               [--json=PATH] [--telemetry-dir=DIR] [--flight-dir=DIR]
 //               [--out-dir=DIR] [--resume] [--cell-timeout=S] [--audit]
+//
+// Grid cells are dispatched to a pool of --jobs worker threads (0 =
+// one per hardware core, the default; --threads= is a deprecated
+// alias; --pin-cores pins worker i to core i on Linux). Every worker
+// runs fully isolated Simulation/RNG state, so cell files, telemetry,
+// flight dumps, and the aggregate tables are byte-identical for any
+// job count. --progress=MODE (auto|on|off, default auto: on when
+// stderr is a terminal) reports "cells done / total" on stderr from a
+// single mutex-guarded section that is also where cell files are
+// written — the progress line never interleaves with a cell write.
 //
 // --audit attaches the invariant auditor (src/check) to every run of
 // every cell; violations print to stderr (with the cell and
@@ -36,6 +47,8 @@
 // --name=value and any numeric one swept with --x/--values. This is
 // the same machinery the per-figure bench binaries use, exposed for
 // ad-hoc exploration.
+
+#include <unistd.h>
 
 #include <atomic>
 #include <cstdio>
@@ -178,7 +191,8 @@ int main(int argc, char** argv) {
   std::vector<std::string> metric_names = {"av", "p_success"};
   int reps = 2;
   std::uint64_t seed = 42;
-  int threads = 0;
+  strip::exp::ParallelOptions parallel;
+  std::string progress = "auto";
   bool csv = false;
   std::string json_path;
   std::string telemetry_dir;
@@ -206,8 +220,18 @@ int main(int argc, char** argv) {
       reps = std::atoi(arg.c_str() + 7);
     } else if (arg.rfind("--seed=", 0) == 0) {
       seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      parallel.jobs = std::atoi(arg.c_str() + 7);
     } else if (arg.rfind("--threads=", 0) == 0) {
-      threads = std::atoi(arg.c_str() + 10);
+      // Deprecated alias for --jobs (the pre-worker-pool spelling).
+      parallel.jobs = std::atoi(arg.c_str() + 10);
+    } else if (arg == "--pin-cores") {
+      parallel.pin_cores = true;
+    } else if (arg.rfind("--progress=", 0) == 0) {
+      progress = arg.substr(11);
+      if (progress != "auto" && progress != "on" && progress != "off") {
+        Fail("--progress needs auto, on, or off");
+      }
     } else if (arg == "--csv") {
       csv = true;
     } else if (arg.rfind("--json=", 0) == 0) {
@@ -242,7 +266,7 @@ int main(int argc, char** argv) {
   spec.x_values = x_values;
   spec.replications = reps;
   spec.base_seed = seed;
-  spec.threads = threads;
+  spec.parallel = parallel;
   spec.apply_x = [x_name](strip::core::Config& config, double x) {
     char value[64];
     std::snprintf(value, sizeof(value), "%.17g", x);
@@ -251,6 +275,26 @@ int main(int argc, char** argv) {
     if (error.has_value()) Fail(*error);
   };
   spec.budget.wall_seconds = cell_timeout;
+
+  // Progress reporting rides the sweep's serialized completion
+  // section (see SweepSpec::on_progress), so the line never
+  // interleaves with a cell-file write or a second progress line. On
+  // a terminal the line rewrites itself in place; piped, each cell
+  // appends one full line.
+  const bool stderr_tty = isatty(fileno(stderr)) != 0;
+  if (progress == "on" || (progress == "auto" && stderr_tty)) {
+    spec.on_progress = [stderr_tty](std::size_t done, std::size_t total) {
+      if (stderr_tty) {
+        std::fprintf(stderr, "\rstrip_sweep: %zu/%zu cells done", done,
+                     total);
+        if (done == total) std::fputc('\n', stderr);
+      } else {
+        std::fprintf(stderr, "strip_sweep: %zu/%zu cells done\n", done,
+                     total);
+      }
+      std::fflush(stderr);
+    };
+  }
 
   if (!out_dir.empty()) {
     // Persist every finished cell immediately; an interrupted sweep
