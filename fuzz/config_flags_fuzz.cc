@@ -1,24 +1,25 @@
 // Fuzz target: the name=value config-flag parser.
 //
-// ApplyConfigFlag handles every --name=value the tools accept, plus
-// whole config files line by line. On arbitrary bytes it must either
-// apply a value or return an error string — no crashes, and a config
-// that validated before a *rejected* assignment must still validate
-// after it (rejected input can't half-write a field; numeric parses
-// may legitimately store values Validate() then rejects, which is the
-// caller's documented flow).
+// ApplyConfigFlag handles every --name=value the tools accept — base
+// Config parameters and the cluster-level ShardedConfig names
+// (shards=, placement=, shard_ips=, ...) — plus whole config files
+// line by line. On arbitrary bytes it must either apply a value or
+// return an error string — no crashes, and a *rejected* assignment
+// must leave the config exactly as it was (the flag tables are
+// transactional: neither a failed parse nor an eager range violation
+// may half-write a field).
 
 #include <cstdint>
 #include <string>
 
-#include "core/config.h"
+#include "core/sharded_config.h"
 #include "exp/config_flags.h"
 #include "fuzz/standalone_driver.h"
 
 extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
                                       std::size_t size) {
   const std::string assignment(reinterpret_cast<const char*>(data), size);
-  strip::core::Config config;
+  strip::core::ShardedConfig config;
   const auto error = strip::exp::ApplyConfigFlag(assignment, config);
   if (error.has_value()) {
     if (error->empty()) __builtin_trap();

@@ -44,6 +44,50 @@ for POLICY in UF TF SU OD FCF; do
     || fail "summary differs for $POLICY"
 done
 
+echo "check_determinism: sharded runs (4 shards, fault-heavy, audited)"
+SHARD_FAULTS="outage@10+5:speedup=4|cpu@20+5:factor=0.5||burst@30+10:factor=3"
+for PASS in a b; do
+  "$SIM" --policy=OD --sim_seconds=60 --seed=11 --shards=4 \
+    --shard_faults="$SHARD_FAULTS" --audit \
+    --telemetry="$WORK/st_$PASS.json" \
+    --chrome-trace="$WORK/sc_$PASS.json" \
+    > "$WORK/sout_$PASS.txt"
+done
+for S in 0 1 2 3; do
+  cmp "$WORK/st_a.json.shard$S" "$WORK/st_b.json.shard$S" \
+    || fail "sharded telemetry differs for shard $S"
+done
+cmp "$WORK/sc_a.json" "$WORK/sc_b.json" \
+  || fail "sharded chrome trace differs"
+cmp "$WORK/sout_a.txt" "$WORK/sout_b.txt" \
+  || fail "sharded summary differs"
+
+echo "check_determinism: schema-v3 telemetry goldens"
+# Pinned bytes, not just self-consistency: a seeded run's telemetry
+# must match the committed golden exactly. Regenerate intentionally
+# changed goldens with STRIP_UPDATE_GOLDEN=1.
+GOLDEN_DIR="tests/obs/testdata"
+"$SIM" --policy=OD --sim_seconds=30 --seed=7 --quiet \
+  --telemetry="$WORK/gold.json" > /dev/null
+"$SIM" --policy=OD --sim_seconds=30 --seed=7 --shards=2 --quiet \
+  --telemetry="$WORK/gold2.json" > /dev/null
+if [ "${STRIP_UPDATE_GOLDEN:-0}" = "1" ]; then
+  cp "$WORK/gold.json" "$GOLDEN_DIR/determinism_telemetry_v3.json"
+  cp "$WORK/gold2.json.shard0" \
+    "$GOLDEN_DIR/determinism_telemetry_v3.shard0.json"
+  cp "$WORK/gold2.json.shard1" \
+    "$GOLDEN_DIR/determinism_telemetry_v3.shard1.json"
+  echo "check_determinism: goldens regenerated"
+else
+  cmp "$WORK/gold.json" "$GOLDEN_DIR/determinism_telemetry_v3.json" \
+    || fail "telemetry v3 golden drifted (STRIP_UPDATE_GOLDEN=1 to regen)"
+  for S in 0 1; do
+    cmp "$WORK/gold2.json.shard$S" \
+      "$GOLDEN_DIR/determinism_telemetry_v3.shard$S.json" \
+      || fail "sharded telemetry v3 golden drifted for shard $S"
+  done
+fi
+
 echo "check_determinism: sweep grids (threaded vs threaded, audited)"
 for PASS in a b; do
   mkdir -p "$WORK/grid_$PASS" "$WORK/tele_$PASS"

@@ -1,0 +1,171 @@
+#include "check/cluster_auditor.h"
+
+#include <sstream>
+
+#include "core/cluster.h"
+
+namespace strip::check {
+
+void ClusterAuditor::Record(const char* invariant, double now,
+                            std::string message) {
+  Violation violation;
+  violation.invariant = invariant;
+  violation.time = now;
+  violation.message = std::move(message);
+  violations_.push_back(std::move(violation));
+}
+
+bool ClusterAuditor::CheckShape(double now, const char* hook,
+                                const core::RemoteRead& read) {
+  const int shards =
+      cluster_ != nullptr ? cluster_->shards() : 0;
+  std::ostringstream problem;
+  if (read.home_shard == read.peer_shard) {
+    problem << "home == peer (" << read.home_shard << ")";
+  } else if (read.home_shard < 0 || read.peer_shard < 0 ||
+             (shards > 0 &&
+              (read.home_shard >= shards || read.peer_shard >= shards))) {
+    problem << "shard out of range (home=" << read.home_shard
+            << " peer=" << read.peer_shard << ")";
+  } else {
+    return true;
+  }
+  std::ostringstream out;
+  out << hook << " request " << read.request_id << ": " << problem.str();
+  Record("remote-lifecycle", now, out.str());
+  return false;
+}
+
+void ClusterAuditor::OnShardRemoteIssued(sim::Time now,
+                                         const core::RemoteRead& read) {
+  ++issued_;
+  if (!CheckShape(now, "issued", read)) return;
+  const auto [it, inserted] = pending_.emplace(
+      read.request_id,
+      Pending{Stage::kIssued, read.home_shard, read.peer_shard,
+              read.txn_id});
+  if (!inserted) {
+    std::ostringstream out;
+    out << "request " << read.request_id << " issued twice";
+    Record("remote-lifecycle", now, out.str());
+  }
+}
+
+void ClusterAuditor::OnShardRemoteQueued(sim::Time now,
+                                         const core::RemoteRead& read) {
+  ++queued_;
+  if (!CheckShape(now, "queued", read)) return;
+  const auto it = pending_.find(read.request_id);
+  if (it == pending_.end() || it->second.stage != Stage::kIssued) {
+    std::ostringstream out;
+    out << "request " << read.request_id
+        << (it == pending_.end() ? " queued without issue"
+                                 : " queued twice");
+    Record("remote-lifecycle", now, out.str());
+    return;
+  }
+  if (it->second.peer_shard != read.peer_shard ||
+      it->second.home_shard != read.home_shard) {
+    std::ostringstream out;
+    out << "request " << read.request_id
+        << " queued with mismatched shards (issued home="
+        << it->second.home_shard << " peer=" << it->second.peer_shard
+        << ", queued home=" << read.home_shard
+        << " peer=" << read.peer_shard << ")";
+    Record("remote-lifecycle", now, out.str());
+    return;
+  }
+  it->second.stage = Stage::kQueued;
+}
+
+void ClusterAuditor::OnShardRemoteServiced(sim::Time now,
+                                           const core::RemoteRead& read) {
+  ++serviced_;
+  if (!CheckShape(now, "serviced", read)) return;
+  const auto it = pending_.find(read.request_id);
+  if (it == pending_.end() || it->second.stage != Stage::kQueued) {
+    std::ostringstream out;
+    out << "request " << read.request_id
+        << (it == pending_.end()
+                ? " serviced without issue"
+                : (it->second.stage == Stage::kIssued
+                       ? " serviced without queueing"
+                       : " serviced twice"));
+    Record("remote-lifecycle", now, out.str());
+    return;
+  }
+  it->second.stage = Stage::kServiced;
+}
+
+void ClusterAuditor::OnShardRemoteResolved(sim::Time now,
+                                           const core::RemoteRead& read,
+                                           bool txn_live) {
+  ++resolved_;
+  if (!txn_live) ++orphaned_;
+  if (!CheckShape(now, "resolved", read)) return;
+  const auto it = pending_.find(read.request_id);
+  if (it == pending_.end() || it->second.stage != Stage::kServiced) {
+    std::ostringstream out;
+    out << "request " << read.request_id
+        << (it == pending_.end() ? " resolved without issue"
+                                 : " resolved before service");
+    Record("remote-lifecycle", now, out.str());
+    if (it == pending_.end()) return;
+  }
+  pending_.erase(it);
+}
+
+void ClusterAuditor::FinishRun() {
+  if (finished_) return;
+  finished_ = true;
+  const double end =
+      cluster_ != nullptr && cluster_->simulator() != nullptr
+          ? cluster_->simulator()->now()
+          : 0.0;
+  // Run-end truncation may legally cut requests mid-rendezvous; what
+  // must hold is exact accounting: each stage counter equals the next
+  // stage's counter plus the requests still parked at that stage.
+  std::uint64_t parked_issued = 0, parked_queued = 0, parked_serviced = 0;
+  for (const auto& [id, pending] : pending_) {
+    switch (pending.stage) {
+      case Stage::kIssued:
+        ++parked_issued;
+        break;
+      case Stage::kQueued:
+        ++parked_queued;
+        break;
+      case Stage::kServiced:
+        ++parked_serviced;
+        break;
+    }
+  }
+  if (queued_ + parked_issued != issued_ ||
+      serviced_ + parked_queued != queued_ ||
+      resolved_ + parked_serviced != serviced_) {
+    std::ostringstream out;
+    out << "stage counts diverge: issued=" << issued_
+        << " queued=" << queued_ << " serviced=" << serviced_
+        << " resolved=" << resolved_ << " (outstanding issued="
+        << parked_issued << " queued=" << parked_queued
+        << " serviced=" << parked_serviced << ")";
+    Record("remote-census", end, out.str());
+  }
+  if (cluster_ != nullptr && cluster_->remote_requests_issued() != issued_) {
+    std::ostringstream out;
+    out << "cluster issued " << cluster_->remote_requests_issued()
+        << " request ids but the buses reported " << issued_;
+    Record("remote-census", end, out.str());
+  }
+}
+
+std::string ClusterAuditor::Report() const {
+  if (ok()) return "";
+  std::ostringstream out;
+  for (const Violation& violation : violations_) {
+    out << "[" << violation.invariant << "] t=" << violation.time << "  "
+        << violation.message << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace strip::check

@@ -1,0 +1,121 @@
+// Cross-shard invariants for sharded (core/cluster.h) runs.
+//
+// The per-shard InvariantAuditor validates each engine's event stream
+// in isolation; what it cannot see is the contract *between* shards.
+// ClusterAuditor attaches to every shard bus at once (the simulation
+// is single-threaded, so one instance sees the cluster-wide hook
+// stream in causal order) and checks the cross-shard read protocol:
+//
+//   remote-lifecycle   every request id is issued exactly once, on a
+//                      home shard distinct from its peer, both in
+//                      range; queued on its peer after issue; serviced
+//                      after queueing; resolved on its home after
+//                      service — no stage skipped, none repeated
+//   remote-census      end-of-run accounting is exact: every issued
+//                      request is resolved or still parked at a
+//                      recorded stage (run-end truncation cuts
+//                      rendezvous mid-flight, like txns_inflight_at_
+//                      end), the stage counters agree with the parked
+//                      set, and issued matches the Cluster's own
+//                      request-id counter
+//
+// Usage (tools/strip_sim --audit at --shards >= 2):
+//
+//   check::ClusterAuditor auditor;
+//   auditor.set_cluster(&cluster);
+//   cluster.AddObserverToAllShards(&auditor);
+//   cluster.Run();
+//   auditor.FinishRun();
+//   if (!auditor.ok()) { std::cerr << auditor.Report(); ... }
+//
+// Read-only, like InvariantAuditor: attaching it never perturbs the
+// run.
+
+#ifndef STRIP_CHECK_CLUSTER_AUDITOR_H_
+#define STRIP_CHECK_CLUSTER_AUDITOR_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/observer.h"
+
+namespace strip::core {
+class Cluster;
+}  // namespace strip::core
+
+namespace strip::check {
+
+class ClusterAuditor : public core::SystemObserver {
+ public:
+  struct Violation {
+    std::string invariant;  // "remote-lifecycle" | "remote-census"
+    double time = 0;
+    std::string message;
+  };
+
+  ClusterAuditor() = default;
+
+  // Enables the end-of-run cross-check against the cluster's request
+  // counter. The cluster must outlive this auditor's registration.
+  void set_cluster(const core::Cluster* cluster) { cluster_ = cluster; }
+
+  // Runs the end-of-run census. Call after Run()/HaltEarly() returns;
+  // idempotent.
+  void FinishRun();
+
+  bool ok() const { return violations_.empty(); }
+  const std::vector<Violation>& violations() const { return violations_; }
+  // Multi-line report of every violation; "" when ok().
+  std::string Report() const;
+
+  // --- census tallies (tests, telemetry) -----------------------------------
+  std::uint64_t issued() const { return issued_; }
+  std::uint64_t queued() const { return queued_; }
+  std::uint64_t serviced() const { return serviced_; }
+  std::uint64_t resolved() const { return resolved_; }
+  std::uint64_t orphaned() const { return orphaned_; }
+  // Requests cut mid-rendezvous by the end of the run.
+  std::uint64_t outstanding() const { return pending_.size(); }
+
+  // --- SystemObserver ------------------------------------------------------
+  void OnShardRemoteIssued(sim::Time now,
+                           const core::RemoteRead& read) override;
+  void OnShardRemoteQueued(sim::Time now,
+                           const core::RemoteRead& read) override;
+  void OnShardRemoteServiced(sim::Time now,
+                             const core::RemoteRead& read) override;
+  void OnShardRemoteResolved(sim::Time now, const core::RemoteRead& read,
+                             bool txn_live) override;
+
+ private:
+  enum class Stage { kIssued, kQueued, kServiced };
+
+  struct Pending {
+    Stage stage = Stage::kIssued;
+    int home_shard = -1;
+    int peer_shard = -1;
+    std::uint64_t txn_id = 0;
+  };
+
+  void Record(const char* invariant, double now, std::string message);
+  // Shape checks shared by every hook; returns false (and records)
+  // when the read's shard fields are malformed.
+  bool CheckShape(double now, const char* hook,
+                  const core::RemoteRead& read);
+
+  const core::Cluster* cluster_ = nullptr;
+  std::unordered_map<std::uint64_t, Pending> pending_;
+  std::vector<Violation> violations_;
+  std::uint64_t issued_ = 0;
+  std::uint64_t queued_ = 0;
+  std::uint64_t serviced_ = 0;
+  std::uint64_t resolved_ = 0;
+  std::uint64_t orphaned_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace strip::check
+
+#endif  // STRIP_CHECK_CLUSTER_AUDITOR_H_

@@ -36,9 +36,14 @@ bool IsTxnKind(core::SystemObserver::DispatchKind kind) {
     case core::SystemObserver::DispatchKind::kUpdaterTransfer:
     case core::SystemObserver::DispatchKind::kUpdaterInstallOs:
     case core::SystemObserver::DispatchKind::kUpdaterInstallUq:
+    case core::SystemObserver::DispatchKind::kRemoteService:
       return false;
   }
   return false;
+}
+
+bool IsRemoteKind(core::SystemObserver::DispatchKind kind) {
+  return kind == core::SystemObserver::DispatchKind::kRemoteService;
 }
 
 }  // namespace
@@ -174,7 +179,15 @@ void InvariantAuditor::CheckDispatchShape(double now, const char* hook,
                   "update",
                   hook, core::DispatchKindName(dispatch.kind)));
   }
-  if (!txn_kind &&
+  if (IsRemoteKind(dispatch.kind) &&
+      (dispatch.remote == nullptr || dispatch.transaction != nullptr ||
+       dispatch.update != nullptr)) {
+    Record("dispatch-span", now,
+           Format("%s: %s dispatch must carry a remote read and nothing "
+                  "else",
+                  hook, core::DispatchKindName(dispatch.kind)));
+  }
+  if (!txn_kind && !IsRemoteKind(dispatch.kind) &&
       (dispatch.update == nullptr || dispatch.transaction != nullptr)) {
     Record("dispatch-span", now,
            Format("%s: %s dispatch must carry an update and no "
@@ -450,7 +463,10 @@ void InvariantAuditor::OnUpdateInstalled(sim::Time now,
                     "being received",
                     static_cast<unsigned long long>(update.id)));
     }
-    if (on_demand_by == nullptr && state == UpdateState::kInUpdateQueue) {
+    // A remote-service segment may lift a queued update straight out of
+    // the update queue (the "heal") right after its span closes.
+    if (on_demand_by == nullptr && state == UpdateState::kInUpdateQueue &&
+        !after_remote_segment_) {
       Record("update-lifecycle", now,
              Format("update %llu installed from the update queue without "
                     "a CPU segment or a demanding transaction",
@@ -551,6 +567,7 @@ void InvariantAuditor::OnDispatch(sim::Time now,
   span_kind_ = dispatch.kind;
   span_txn_ = kNoContextId;
   span_update_ = kNoContextId;
+  after_remote_segment_ = false;
   if (IsTxnKind(dispatch.kind) && dispatch.transaction != nullptr) {
     span_txn_ = dispatch.transaction->id();
     if (live_txns_.count(span_txn_) == 0) {
@@ -559,7 +576,8 @@ void InvariantAuditor::OnDispatch(sim::Time now,
                     static_cast<unsigned long long>(span_txn_)));
     }
   }
-  if (!IsTxnKind(dispatch.kind) && dispatch.update != nullptr) {
+  if (!IsTxnKind(dispatch.kind) && !IsRemoteKind(dispatch.kind) &&
+      dispatch.update != nullptr) {
     span_update_ = dispatch.update->id;
     const auto it = live_updates_.find(span_update_);
     if (it == live_updates_.end()) {
@@ -632,6 +650,7 @@ void InvariantAuditor::OnSegmentComplete(sim::Time now,
     }
   }
   span_open_ = false;
+  after_remote_segment_ = IsRemoteKind(dispatch.kind);
   CrossCheckAtSettlePoint(now, "segment-complete");
 }
 

@@ -242,6 +242,10 @@ class InvariantAuditor : public core::SystemObserver {
   DispatchKind span_kind_ = DispatchKind::kTxnCompute;
   std::uint64_t span_txn_ = kNoContextId;     // owner when a txn kind
   std::uint64_t span_update_ = kNoContextId;  // owner when an updater kind
+  // The last closed span was a remote service: its heal (an update-
+  // queue install with no demanding transaction) lands before the next
+  // dispatch.
+  bool after_remote_segment_ = false;
 
   // --- transactions ----------------------------------------------------------
   // Live txn id -> packed ObjectIds it read stale (for od-causality).

@@ -39,6 +39,11 @@ double RunMetrics::rho_u() const {
   return cpu_update_seconds / observed_seconds;
 }
 
+double RunMetrics::rho_r() const {
+  if (observed_seconds <= 0) return 0.0;
+  return cpu_remote_seconds / observed_seconds;
+}
+
 std::string RunMetrics::ToString() const {
   char buffer[1536];
   std::snprintf(
@@ -99,6 +104,28 @@ std::string RunMetrics::ToString() const {
         (unsigned long long)governor_engagements,
         governor_engaged_seconds, outage_recovery_seconds,
         max_stale_excursion, (unsigned long long)txns_missed_in_fault);
+    out += buffer;
+  }
+  // Likewise the cross-shard block: only printed when the run actually
+  // exchanged remote reads, so uniprocessor (shards=1) output stays
+  // byte-identical to the pre-sharding model.
+  const bool any_remote_activity =
+      txns_cross_shard != 0 || remote_reads_issued != 0 ||
+      remote_reads_served != 0 || remote_replies_orphaned != 0 ||
+      remote_heals != 0 || remote_stale_replies != 0 ||
+      remote_wait_seconds != 0 || cpu_remote_seconds != 0;
+  if (any_remote_activity) {
+    std::snprintf(
+        buffer, sizeof(buffer),
+        "remote: txns=%llu issued=%llu served=%llu orphaned=%llu "
+        "heals=%llu stale=%llu wait=%.3fs rho_r=%.3f\n",
+        (unsigned long long)txns_cross_shard,
+        (unsigned long long)remote_reads_issued,
+        (unsigned long long)remote_reads_served,
+        (unsigned long long)remote_replies_orphaned,
+        (unsigned long long)remote_heals,
+        (unsigned long long)remote_stale_replies, remote_wait_seconds,
+        rho_r());
     out += buffer;
   }
   return out;

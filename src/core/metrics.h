@@ -117,6 +117,30 @@ struct RunMetrics {
   // attributable to faults.
   std::uint64_t txns_missed_in_fault = 0;
 
+  // --- cross-shard rendezvous (sharded model; core/cluster.h) ----------------
+  // All zero in a uniprocessor run (shards=1 never issues remote
+  // reads), so single-shard output is unchanged.
+  //
+  // Transactions admitted on this shard with at least one remote read.
+  std::uint64_t txns_cross_shard = 0;
+  // Remote read requests this shard issued as a home (one per remote
+  // view read) / serviced as a peer.
+  std::uint64_t remote_reads_issued = 0;
+  std::uint64_t remote_reads_served = 0;
+  // Replies whose transaction had already died (deadline during the
+  // remote wait); delivered for the census, dropped for the model.
+  std::uint64_t remote_replies_orphaned = 0;
+  // Peer-side on-demand installs performed while servicing a remote
+  // read (OD policy only).
+  std::uint64_t remote_heals = 0;
+  // Replies that reported the read stale after any heal.
+  std::uint64_t remote_stale_replies = 0;
+  // Home-side CPU hold time spent waiting on remote replies (the CPU
+  // is occupied but does no work; not part of cpu_txn_seconds).
+  sim::Duration remote_wait_seconds = 0;
+  // Peer-side CPU spent servicing remote reads (lookups + heals).
+  sim::Duration cpu_remote_seconds = 0;
+
   // --- derived metrics -------------------------------------------------------
 
   // Terminal transactions: everything that reached an outcome.
@@ -137,7 +161,9 @@ struct RunMetrics {
   // CPU utilization fractions.
   double rho_t() const;
   double rho_u() const;
-  double rho_total() const { return rho_t() + rho_u(); }
+  // Remote-service share (0 in a uniprocessor run).
+  double rho_r() const;
+  double rho_total() const { return rho_t() + rho_u() + rho_r(); }
 
   // Multi-line human-readable dump (for examples and debugging).
   std::string ToString() const;

@@ -77,6 +77,15 @@ void WriteRunMetricsJson(std::ostream& out, const RunMetrics& m,
             : Number(m.outage_recovery_seconds));
   field("max_stale_excursion", Number(m.max_stale_excursion));
   field("txns_missed_in_fault", Number(m.txns_missed_in_fault));
+  // Cross-shard rendezvous (sharded model; all zero at shards=1).
+  field("txns_cross_shard", Number(m.txns_cross_shard));
+  field("remote_reads_issued", Number(m.remote_reads_issued));
+  field("remote_reads_served", Number(m.remote_reads_served));
+  field("remote_replies_orphaned", Number(m.remote_replies_orphaned));
+  field("remote_heals", Number(m.remote_heals));
+  field("remote_stale_replies", Number(m.remote_stale_replies));
+  field("remote_wait_seconds", Number(m.remote_wait_seconds));
+  field("cpu_remote_seconds", Number(m.cpu_remote_seconds));
   // Derived ratios.
   field("p_md", Number(m.p_md()));
   field("p_success", Number(m.p_success()));

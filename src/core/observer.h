@@ -32,6 +32,7 @@
 #define STRIP_CORE_OBSERVER_H_
 
 #include "core/config.h"
+#include "core/remote.h"
 #include "db/update.h"
 #include "sim/sim_time.h"
 #include "txn/transaction.h"
@@ -69,6 +70,8 @@ class SystemObserver {
     kUpdaterTransfer,    // receive: OS queue head -> update queue
     kUpdaterInstallOs,   // install straight from the OS queue (UF, SU)
     kUpdaterInstallUq,   // install from the update queue
+    kRemoteService,      // peer shard serving a remote read (sharded
+                         // model; lookup + optional on-demand heal)
   };
 
   // Why a running transaction lost the CPU before its segment ended.
@@ -88,6 +91,8 @@ class SystemObserver {
                         // update arrival (UF all, SU high-importance)
     kGovernorEngage,    // overload governor switched to triage mode
     kGovernorDisengage, // overload drained; normal service restored
+    kServeRemote,       // serve a peer shard's read request (sharded
+                        // model; outranks all local work)
   };
 
   // A fault window boundary (fault injection; src/fault). Both string
@@ -103,8 +108,9 @@ class SystemObserver {
 
   // One unit of dispatched CPU work, as seen at OnDispatch and at the
   // matching OnSegmentComplete. Exactly one of `transaction` / `update`
-  // is non-null; both pointers are valid only for the duration of the
-  // callback.
+  // / `remote` is non-null (`transaction` for kTxn* kinds, `update` for
+  // kUpdater* kinds, `remote` for kRemoteService); the pointers are
+  // valid only for the duration of the callback.
   struct DispatchInfo {
     DispatchKind kind = DispatchKind::kTxnCompute;
     // The transaction owning the segment (kTxn* kinds), else nullptr.
@@ -112,6 +118,10 @@ class SystemObserver {
     // The update being moved or installed (kUpdater* kinds), else
     // nullptr.
     const db::Update* update = nullptr;
+    // The remote read being serviced (kRemoteService), else nullptr.
+    // The serviced transaction lives on another shard, so only its id
+    // (remote->txn_id) is available here.
+    const RemoteRead* remote = nullptr;
     // Instructions scheduled on the CPU, including embedded context-
     // switch / purge-debt charges.
     double instructions = 0;
@@ -234,6 +244,41 @@ class SystemObserver {
     (void)now;
     (void)window;
   }
+
+  // --- sharded-model hooks (core/cluster.h; never fire at shards=1) --------
+  //
+  // A cross-shard view read's life, as four instants: the home shard
+  // issues the request and holds its CPU (OnShardRemoteIssued, home
+  // bus), the peer receives it into its remote queue
+  // (OnShardRemoteQueued, peer bus), the peer finishes the service
+  // segment and sends the reply (OnShardRemoteServiced, peer bus; the
+  // reply fields of `read` are filled in), and the home shard resolves
+  // it (OnShardRemoteResolved, home bus; `txn_live` is false when the
+  // transaction's firm deadline fired during the wait). The peer's
+  // service CPU segment additionally appears as a normal
+  // OnDispatch/OnSegmentComplete span of kind kRemoteService.
+
+  virtual void OnShardRemoteIssued(sim::Time now, const RemoteRead& read) {
+    (void)now;
+    (void)read;
+  }
+
+  virtual void OnShardRemoteQueued(sim::Time now, const RemoteRead& read) {
+    (void)now;
+    (void)read;
+  }
+
+  virtual void OnShardRemoteServiced(sim::Time now, const RemoteRead& read) {
+    (void)now;
+    (void)read;
+  }
+
+  virtual void OnShardRemoteResolved(sim::Time now, const RemoteRead& read,
+                                     bool txn_live) {
+    (void)now;
+    (void)read;
+    (void)txn_live;
+  }
 };
 
 // Printable name for a drop reason.
@@ -243,7 +288,8 @@ const char* DropReasonName(SystemObserver::DropReason reason);
 const char* PhaseName(SystemObserver::Phase phase);
 
 // Printable name for a dispatch kind ("compute", "view-read",
-// "od-scan", "od-apply", "transfer", "install-os", "install-uq").
+// "od-scan", "od-apply", "transfer", "install-os", "install-uq",
+// "remote-service").
 const char* DispatchKindName(SystemObserver::DispatchKind kind);
 
 // Printable name for a preempt reason ("update-arrival",
@@ -252,7 +298,7 @@ const char* PreemptReasonName(SystemObserver::PreemptReason reason);
 
 // Printable name for a scheduler choice ("receive", "install",
 // "run-txn", "idle", "install-on-arrival", "governor-engage",
-// "governor-disengage").
+// "governor-disengage", "serve-remote").
 const char* SchedulerChoiceName(SystemObserver::SchedulerChoice choice);
 
 }  // namespace strip::core

@@ -165,4 +165,37 @@ void ObserverBus::NotifyFaultWindow(
   });
 }
 
+void ObserverBus::NotifyShardRemoteIssued(sim::Time now,
+                                          const RemoteRead& read) {
+  if (empty()) return;
+  Dispatch([&](SystemObserver* observer) {
+    observer->OnShardRemoteIssued(now, read);
+  });
+}
+
+void ObserverBus::NotifyShardRemoteQueued(sim::Time now,
+                                          const RemoteRead& read) {
+  if (empty()) return;
+  Dispatch([&](SystemObserver* observer) {
+    observer->OnShardRemoteQueued(now, read);
+  });
+}
+
+void ObserverBus::NotifyShardRemoteServiced(sim::Time now,
+                                            const RemoteRead& read) {
+  if (empty()) return;
+  Dispatch([&](SystemObserver* observer) {
+    observer->OnShardRemoteServiced(now, read);
+  });
+}
+
+void ObserverBus::NotifyShardRemoteResolved(sim::Time now,
+                                            const RemoteRead& read,
+                                            bool txn_live) {
+  if (empty()) return;
+  Dispatch([&](SystemObserver* observer) {
+    observer->OnShardRemoteResolved(now, read, txn_live);
+  });
+}
+
 }  // namespace strip::core

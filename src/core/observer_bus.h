@@ -71,6 +71,11 @@ class ObserverBus {
                             const char* reason);
   void NotifyFaultWindow(sim::Time now,
                          const SystemObserver::FaultWindowInfo& window);
+  void NotifyShardRemoteIssued(sim::Time now, const RemoteRead& read);
+  void NotifyShardRemoteQueued(sim::Time now, const RemoteRead& read);
+  void NotifyShardRemoteServiced(sim::Time now, const RemoteRead& read);
+  void NotifyShardRemoteResolved(sim::Time now, const RemoteRead& read,
+                                 bool txn_live);
 
  private:
   // Runs `fn(observer)` over the registration order, tolerating

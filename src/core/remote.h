@@ -1,0 +1,47 @@
+// Cross-shard read rendezvous record (sharded model; core/cluster.h).
+//
+// When a transaction running on its home shard reaches a view read of
+// an object another shard owns, the home shard posts a RemoteRead to
+// the owner ("peer") shard and holds its CPU until the reply comes
+// back (the two-phase hold of DESIGN.md's rendezvous protocol). One
+// flat struct carries the exchange through its whole life: the request
+// fields are set at issue time; the peer fills the reply fields when
+// it services the read.
+
+#ifndef STRIP_CORE_REMOTE_H_
+#define STRIP_CORE_REMOTE_H_
+
+#include <cstdint>
+
+#include "db/object.h"
+#include "sim/sim_time.h"
+
+namespace strip::core {
+
+struct RemoteRead {
+  // Cluster-unique id, assigned at issue; the auditors' census key.
+  std::uint64_t request_id = 0;
+  // The reading transaction (lives on the home shard).
+  std::uint64_t txn_id = 0;
+  int home_shard = 0;
+  int peer_shard = 0;
+  // The object read, in the *peer's local* id space.
+  db::ObjectId object{};
+  // The transaction's firm deadline, carried so the peer can bound
+  // on-demand heal work the way the home shard would.
+  sim::Time deadline = 0;
+
+  // --- reply fields (set by the peer at service completion) ---------------
+  // The object was stale on the peer after any on-demand heal.
+  bool stale = false;
+  // The peer could *detect* the staleness (timestamped criterion, or
+  // an OD queue scan ran); an undetected stale read cannot trigger
+  // abort-on-stale.
+  bool detected = false;
+  // The peer installed a queued update on demand before replying.
+  bool healed = false;
+};
+
+}  // namespace strip::core
+
+#endif  // STRIP_CORE_REMOTE_H_

@@ -1,0 +1,66 @@
+#include "core/sharded_config.h"
+
+#include "fault/fault_schedule.h"
+
+namespace strip::core {
+
+Config ShardedConfig::ShardConfig(int shard) const {
+  const db::ObjectPlacement map(placement, shards, base.n_low, base.n_high);
+  Config config = base;
+  // Arrivals come from the cluster's global generators, routed by
+  // placement — a shard engine never runs its own streams.
+  config.external_workload = true;
+  config.n_low = map.OwnedCount(shard, db::ObjectClass::kLowImportance);
+  config.n_high = map.OwnedCount(shard, db::ObjectClass::kHighImportance);
+  if (!shard_ips.empty()) config.ips = shard_ips[shard];
+  if (!shard_x_switch.empty()) config.x_switch = shard_x_switch[shard];
+  if (!shard_faults.empty()) config.faults = shard_faults[shard];
+  return config;
+}
+
+std::optional<std::string> ShardedConfig::Validate() const {
+  if (const std::optional<std::string> error = base.Validate()) return error;
+  if (shards < 1) return "shards must be >= 1";
+  if (shards > 1 && (base.n_low < shards || base.n_high < shards)) {
+    return "each importance class needs at least one object per shard";
+  }
+  const auto check_size = [&](std::size_t size, const char* name)
+      -> std::optional<std::string> {
+    if (size != 0 && size != static_cast<std::size_t>(shards)) {
+      return std::string(name) + " must be empty or have one entry per shard";
+    }
+    return std::nullopt;
+  };
+  if (auto error = check_size(shard_ips.size(), "shard_ips")) return error;
+  if (auto error = check_size(shard_x_switch.size(), "shard_x_switch")) {
+    return error;
+  }
+  if (auto error = check_size(shard_faults.size(), "shard_faults")) {
+    return error;
+  }
+  for (double ips : shard_ips) {
+    if (ips <= 0) return "shard_ips entries must be positive";
+  }
+  for (double x : shard_x_switch) {
+    if (x < 0) return "shard_x_switch entries must be non-negative";
+  }
+  for (const std::string& faults : shard_faults) {
+    if (faults.empty()) continue;
+    std::string fault_error;
+    if (!fault::FaultSchedule::Parse(faults, &fault_error).has_value()) {
+      return "shard_faults: " + fault_error;
+    }
+  }
+  if (feed_hot_fraction < 0 || feed_hot_fraction > 1) {
+    return "feed_hot_fraction outside [0, 1]";
+  }
+  if (feed_hot_shard < -1 || feed_hot_shard >= shards) {
+    return "feed_hot_shard out of range";
+  }
+  if (feed_hot_fraction > 0 && feed_hot_shard < 0) {
+    return "feed_hot_fraction needs feed_hot_shard";
+  }
+  return std::nullopt;
+}
+
+}  // namespace strip::core

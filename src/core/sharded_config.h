@@ -1,0 +1,63 @@
+// Configuration of a sharded (multiprocessor) run: the base Config of
+// every shard engine plus the cluster-level knobs — shard count,
+// object placement, per-shard hardware/fault overrides, and feed-skew
+// controls for hot-shard scenarios.
+//
+// shards == 1 is the uniprocessor model: core::Cluster then constructs
+// exactly one System from `base` verbatim and the run is byte-identical
+// to constructing the System directly (pinned by tests).
+
+#ifndef STRIP_CORE_SHARDED_CONFIG_H_
+#define STRIP_CORE_SHARDED_CONFIG_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "db/placement.h"
+
+namespace strip::core {
+
+struct ShardedConfig {
+  // Every shard engine starts from this config; n_low/n_high describe
+  // the *global* object space (the cluster gives each shard its owned
+  // slice), lambda_u/lambda_t the global feed and workload rates.
+  Config base;
+
+  // Number of shard engines (simulated CPUs). 1 = the paper's model.
+  int shards = 1;
+
+  // How the global object space maps onto shards.
+  db::PlacementKind placement = db::PlacementKind::kHash;
+
+  // Per-shard overrides; empty = every shard uses the base value.
+  // Non-empty vectors must have exactly `shards` entries.
+  std::vector<double> shard_ips;        // CPU speed per shard
+  std::vector<double> shard_x_switch;   // context-switch cost per shard
+  std::vector<std::string> shard_faults;  // fault schedule per shard
+                                          // ("" = no faults there)
+
+  // Feed skew: with probability feed_hot_fraction an update is
+  // redirected to a (uniformly drawn) object owned by feed_hot_shard,
+  // preserving the update's importance class. 0 disables; models a hot
+  // feed hammering one shard's key range.
+  int feed_hot_shard = -1;
+  double feed_hot_fraction = 0.0;
+
+  bool single_shard() const { return shards <= 1; }
+
+  // The effective Config of one shard engine: base with the per-shard
+  // overrides applied and n_low/n_high cut down to the shard's owned
+  // object counts. Only meaningful for shards > 1 (the single-shard
+  // cluster uses `base` verbatim).
+  Config ShardConfig(int shard) const;
+
+  // Returns an error message if any parameter is out of range
+  // (including base.Validate()), or nullopt if valid.
+  std::optional<std::string> Validate() const;
+};
+
+}  // namespace strip::core
+
+#endif  // STRIP_CORE_SHARDED_CONFIG_H_

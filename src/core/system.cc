@@ -151,7 +151,9 @@ void System::ChargeSegmentCpu() {
   const sim::Time start = std::max(segment_start_, observation_start_);
   const sim::Duration elapsed = simulator_->now() - start;
   if (elapsed <= 0) return;
-  if (segment_is_update_work_) {
+  if (segment_is_remote_work_) {
+    metrics_.cpu_remote_seconds += elapsed;
+  } else if (segment_is_update_work_) {
     metrics_.cpu_update_seconds += elapsed;
   } else {
     metrics_.cpu_txn_seconds += elapsed;
@@ -234,6 +236,13 @@ void System::Finalize(sim::Time end) {
   }
   if (update_stream_ != nullptr) update_stream_->Stop();
   if (txn_source_ != nullptr) txn_source_->Stop();
+  if (remote_waiting_ != nullptr) {
+    // A transaction still parked on a remote read at the cut-off: its
+    // wait so far counts toward the window.
+    metrics_.remote_wait_seconds +=
+        end - std::max(remote_wait_start_, observation_start_);
+    remote_waiting_ = nullptr;
+  }
   metrics_.observed_seconds = end - observation_start_;
   metrics_.f_old_low =
       tracker_.FractionStaleAverage(db::ObjectClass::kLowImportance, end);
@@ -364,6 +373,14 @@ void System::OnTxnArrival(const txn::Transaction::Params& params) {
   if (!bus_.empty()) {
     bus_.NotifyTxnAdmitted(simulator_->now(), *t);
   }
+  if (sharded_) {
+    for (const int owner : params.read_owners) {
+      if (owner != shard_link_.shard_id) {
+        ++metrics_.txns_cross_shard;
+        break;
+      }
+    }
+  }
 
   if (cpu_owner_ == CpuOwner::kIdle) {
     ScheduleNext();
@@ -396,6 +413,19 @@ void System::OnDeadline(std::uint64_t txn_id) {
     cpu_owner_ = CpuOwner::kIdle;
     Terminate(t, txn::TxnOutcome::kMissedDeadline);
     ScheduleNext();
+  } else if (t == remote_waiting_) {
+    // Parked on a remote read: the firm deadline releases the hold (the
+    // peer's reply, if it ever arrives, resolves as orphaned).
+    remote_waiting_ = nullptr;
+    metrics_.remote_wait_seconds +=
+        simulator_->now() - std::max(remote_wait_start_, observation_start_);
+    Terminate(t, txn::TxnOutcome::kMissedDeadline);
+    if (cpu_owner_ == CpuOwner::kIdle) ScheduleNext();
+  } else if (t == remote_resume_) {
+    // Reply arrived but the resume never got the CPU back in time.
+    remote_resume_ = nullptr;
+    Terminate(t, txn::TxnOutcome::kMissedDeadline);
+    if (cpu_owner_ == CpuOwner::kIdle) ScheduleNext();
   } else {
     const bool was_ready = ready_.Remove(t);
     STRIP_CHECK_MSG(was_ready, "pending txn neither ready nor running");
@@ -429,6 +459,31 @@ void System::ScheduleNext() {
          ready_.ExtractInfeasible(simulator_->now(), EffectiveIps())) {
       Terminate(t, txn::TxnOutcome::kInfeasible);
     }
+  }
+  if (sharded_) {
+    // Cross-shard service outranks all local work: a shard whose own
+    // transaction is parked on a peer still serves its peers' reads, so
+    // circular rendezvous always drain (no cross-shard deadlock).
+    if (!remote_queue_.empty()) {
+      if (!bus_.empty()) {
+        bus_.NotifyPolicyDecision(
+            simulator_->now(), config_.policy,
+            SystemObserver::SchedulerChoice::kServeRemote, "remote-pending");
+      }
+      StartRemoteService();
+      return;
+    }
+    if (remote_resume_ != nullptr) {
+      // The reply for the parked transaction arrived while the CPU was
+      // busy; it still owns its claim — resume it first.
+      txn::Transaction* t = remote_resume_;
+      remote_resume_ = nullptr;
+      StartTxnSegment(t);
+      return;
+    }
+    // Two-phase hold: a transaction parked on a remote read keeps its
+    // claim on this CPU, so no other local work may take it.
+    if (remote_waiting_ != nullptr) return;
   }
   // Receiving takes precedence whenever the controller has the CPU:
   // arrivals are moved out of the small kernel buffer — transferred to
@@ -602,6 +657,7 @@ void System::StartUpdaterJob(bool preempting) {
   segment_start_ = simulator_->now();
   segment_extra_instructions_ = extra;
   segment_is_update_work_ = true;
+  segment_is_remote_work_ = false;
   segment_ips_ = EffectiveIps();
   if (!bus_.empty()) {
     bus_.NotifyDispatch(simulator_->now(), CurrentDispatchInfo());
@@ -779,6 +835,14 @@ void System::ScheduleTxnStep(double extra_instructions) {
     return;
   }
   if (step.kind == txn::Transaction::NextStep::Kind::kViewRead) {
+    if (sharded_ && step.owner_shard >= 0 &&
+        step.owner_shard != shard_link_.shard_id) {
+      // The object lives on a peer shard: park the transaction and send
+      // the read there (two-phase hold). The lookup cost — including
+      // any buffer-miss stall — is charged on the peer, not here.
+      EnterRemoteWait(t, step);
+      return;
+    }
     // Disk-residence extension: the view read may stall on a buffer
     // miss; the stall is wait, not transaction work, so it rides in
     // the extra-instruction slot. (A read resumed after preemption
@@ -790,6 +854,7 @@ void System::ScheduleTxnStep(double extra_instructions) {
   segment_is_update_work_ =
       step.kind == txn::Transaction::NextStep::Kind::kOdScan ||
       step.kind == txn::Transaction::NextStep::Kind::kOdApply;
+  segment_is_remote_work_ = false;
   segment_ips_ = EffectiveIps();
   if (!bus_.empty()) {
     bus_.NotifyDispatch(simulator_->now(), CurrentDispatchInfo());
@@ -1013,12 +1078,208 @@ SystemObserver::DispatchInfo System::CurrentDispatchInfo() const {
         updater_job_.cost_instructions + segment_extra_instructions_;
     return info;
   }
+  if (cpu_owner_ == CpuOwner::kRemote) {
+    info.kind = SystemObserver::DispatchKind::kRemoteService;
+    info.remote = &remote_job_.read;
+    info.instructions =
+        remote_job_.cost_instructions + segment_extra_instructions_;
+    return info;
+  }
   STRIP_CHECK(cpu_owner_ == CpuOwner::kTxn && running_ != nullptr);
   const txn::Transaction::NextStep step = running_->next_step();
   info.kind = StepDispatchKind(step.kind);
   info.transaction = running_;
   info.instructions = step.instructions + segment_extra_instructions_;
   return info;
+}
+
+// --- cross-shard rendezvous (sharded model) ----------------------------------
+
+void System::set_shard_link(ShardLink link) {
+  STRIP_CHECK(link.shards >= 1);
+  STRIP_CHECK(link.shard_id >= 0 && link.shard_id < link.shards);
+  sharded_ = link.shards > 1;
+  if (sharded_) {
+    STRIP_CHECK(link.send_request != nullptr);
+    STRIP_CHECK(link.send_reply != nullptr);
+    STRIP_CHECK(link.next_request_id != nullptr);
+  }
+  shard_link_ = std::move(link);
+}
+
+void System::EnterRemoteWait(txn::Transaction* transaction,
+                             const txn::Transaction::NextStep& step) {
+  STRIP_CHECK(cpu_owner_ == CpuOwner::kTxn && transaction == running_);
+  STRIP_CHECK_MSG(remote_waiting_ == nullptr,
+                  "second remote wait on one shard");
+  RemoteRead read;
+  read.request_id = shard_link_.next_request_id();
+  read.txn_id = transaction->id();
+  read.home_shard = shard_link_.shard_id;
+  read.peer_shard = step.owner_shard;
+  read.object = step.object;
+  read.deadline = transaction->deadline();
+  // The transaction keeps its claim on this CPU but runs nothing while
+  // the request is in flight: the wait is not CPU work, so no segment
+  // is dispatched (any pending switch charge dissolves — the CPU's
+  // process does not change during the hold).
+  running_ = nullptr;
+  cpu_owner_ = CpuOwner::kIdle;
+  remote_waiting_ = transaction;
+  remote_wait_start_ = simulator_->now();
+  ++metrics_.remote_reads_issued;
+  if (!bus_.empty()) {
+    bus_.NotifyShardRemoteIssued(simulator_->now(), read);
+  }
+  shard_link_.send_request(read);
+  // The hold blocks local work, but peer requests queued here must
+  // still be served (deadlock avoidance) — let the scheduler see them.
+  if (cpu_owner_ == CpuOwner::kIdle) ScheduleNext();
+}
+
+void System::ReceiveRemoteRequest(const RemoteRead& read) {
+  STRIP_CHECK(sharded_);
+  remote_queue_.push_back(read);
+  if (!bus_.empty()) {
+    bus_.NotifyShardRemoteQueued(simulator_->now(), read);
+  }
+  if (cpu_owner_ == CpuOwner::kIdle) ScheduleNext();
+}
+
+void System::StartRemoteService() {
+  STRIP_CHECK(cpu_owner_ == CpuOwner::kIdle);
+  STRIP_CHECK(!remote_queue_.empty());
+  remote_job_ = RemoteJob{};
+  remote_job_.read = remote_queue_.front();
+  remote_queue_.pop_front();
+  double cost = config_.x_lookup + MaybeIoStallInstructions();
+  if (policy_->AppliesOnDemand()) {
+    // On Demand heals remote reads too: search the local update queue
+    // for a fresher value before answering, exactly as a local read
+    // would (HandleViewRead), gated by the affordability screen against
+    // the deadline carried in the request.
+    const bool timestamped = db::DetectableByTimestamp(config_.staleness);
+    if (!timestamped || tracker_.IsStale(remote_job_.read.object)) {
+      const double scan_cost = ScanCostInstructions();
+      const bool affordable =
+          !config_.feasible_deadline ||
+          simulator_->now() + sim::InstructionsToSeconds(cost + scan_cost,
+                                                         EffectiveIps()) <=
+              remote_job_.read.deadline;
+      if (affordable) {
+        remote_job_.scan_planned = true;
+        cost += scan_cost;
+        // The update queue cannot change while this segment holds the
+        // CPU, so the heal decision is safe to make at dispatch.
+        const std::optional<db::Update> candidate =
+            update_queue_.PeekNewestFor(remote_job_.read.object);
+        if (candidate.has_value() && database_.IsWorthy(*candidate) &&
+            UpdateCouldFreshen(*candidate)) {
+          remote_job_.apply = true;
+          remote_job_.candidate = *candidate;
+          cost += config_.x_update +
+                  QueueOpCostInstructions(update_queue_.size());
+        }
+      }
+    }
+  }
+  remote_job_.cost_instructions = cost;
+  cpu_owner_ = CpuOwner::kRemote;
+  // The service runs in the update process's context.
+  double extra = 0;
+  if (last_process_ != kUpdaterProcess && last_process_ != kNoProcess) {
+    extra = config_.x_switch;
+  }
+  last_process_ = kUpdaterProcess;
+  segment_start_ = simulator_->now();
+  segment_extra_instructions_ = extra;
+  segment_is_update_work_ = false;
+  segment_is_remote_work_ = true;
+  segment_ips_ = EffectiveIps();
+  if (!bus_.empty()) {
+    bus_.NotifyDispatch(simulator_->now(), CurrentDispatchInfo());
+  }
+  completion_ = simulator_->ScheduleAfter(
+      sim::InstructionsToSeconds(cost + extra, segment_ips_),
+      [this] { OnRemoteServiceComplete(); });
+}
+
+void System::OnRemoteServiceComplete() {
+  STRIP_CHECK(cpu_owner_ == CpuOwner::kRemote);
+  if (!bus_.empty()) {
+    bus_.NotifySegmentComplete(simulator_->now(), CurrentDispatchInfo());
+  }
+  ChargeSegmentCpu();
+  segment_is_remote_work_ = false;
+  const RemoteJob job = remote_job_;
+  remote_job_ = RemoteJob{};
+  cpu_owner_ = CpuOwner::kIdle;
+  RemoteRead reply = job.read;
+  if (job.apply) {
+    const bool removed = update_queue_.Remove(job.candidate);
+    STRIP_CHECK(removed);
+    tracker_.OnRemovedFromQueue(job.candidate);
+    NoteUqLength();
+    InstallNow(job.candidate);
+    ++metrics_.remote_heals;
+    reply.healed = true;
+  }
+  reply.stale = tracker_.IsStale(reply.object);
+  // Under the MA family the peer's timestamp check detects staleness
+  // for free; under UU only a performed scan counts as detection.
+  reply.detected =
+      db::DetectableByTimestamp(config_.staleness) || job.scan_planned;
+  ++metrics_.remote_reads_served;
+  if (!bus_.empty()) {
+    bus_.NotifyShardRemoteServiced(simulator_->now(), reply);
+  }
+  shard_link_.send_reply(reply);
+  // The reply can loop back synchronously: the home shard may resume
+  // its transaction, reach another cross-shard read, and post it to
+  // *this* shard — whose idle CPU then starts the next remote service
+  // before the send returns. Only settle if the CPU is still free.
+  if (cpu_owner_ == CpuOwner::kIdle) ScheduleNext();
+}
+
+void System::ReceiveRemoteReply(const RemoteRead& read) {
+  const bool txn_live =
+      remote_waiting_ != nullptr && remote_waiting_->id() == read.txn_id;
+  if (!bus_.empty()) {
+    bus_.NotifyShardRemoteResolved(simulator_->now(), read, txn_live);
+  }
+  if (!txn_live) {
+    // The firm deadline fired during the wait; the reply has no home.
+    ++metrics_.remote_replies_orphaned;
+    return;
+  }
+  txn::Transaction* t = remote_waiting_;
+  remote_waiting_ = nullptr;
+  metrics_.remote_wait_seconds +=
+      simulator_->now() - std::max(remote_wait_start_, observation_start_);
+  t->CompleteStep();
+  if (read.stale) {
+    ++metrics_.remote_stale_replies;
+    // The read stayed stale on the peer. Recorded against the
+    // transaction directly: the object id is peer-local, so the home
+    // bus's OnStaleRead (whose observers resolve objects against the
+    // local database) must not fire — observers see the staleness via
+    // OnShardRemoteResolved above.
+    t->MarkStaleRead();
+    if (config_.abort_on_stale && read.detected) {
+      Terminate(t, txn::TxnOutcome::kStaleAbort);
+      if (cpu_owner_ == CpuOwner::kIdle) ScheduleNext();
+      return;
+    }
+  }
+  if (t->finished()) {
+    Commit(t);
+    if (cpu_owner_ == CpuOwner::kIdle) ScheduleNext();
+    return;
+  }
+  // Resume on the CPU the transaction still holds; if a remote service
+  // segment occupies it right now, resume at the next settle point.
+  remote_resume_ = t;
+  if (cpu_owner_ == CpuOwner::kIdle) ScheduleNext();
 }
 
 void System::Commit(txn::Transaction* transaction) {

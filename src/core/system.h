@@ -25,6 +25,8 @@
 #define STRIP_CORE_SYSTEM_H_
 
 #include <cstdint>
+#include <deque>
+#include <functional>
 #include <memory>
 #include <unordered_map>
 
@@ -33,6 +35,7 @@
 #include "core/observer.h"
 #include "core/observer_bus.h"
 #include "core/policy.h"
+#include "core/remote.h"
 #include "db/database.h"
 #include "db/history_store.h"
 #include "db/os_queue.h"
@@ -97,6 +100,44 @@ class System {
   // after its one-release grace period; use AddObserver/ScopedObserver.)
   ObserverBus& observer_bus() { return bus_; }
 
+  // --- sharded-model integration (core/cluster.h) ---------------------------
+
+  // Wiring that makes this System one shard engine of a Cluster. The
+  // callbacks route cross-shard read requests/replies between shard
+  // engines (delivered via ReceiveRemoteRequest / ReceiveRemoteReply
+  // on the target engine, at the same simulated instant — service
+  // itself takes simulated CPU time on the peer). With no link set (or
+  // shards == 1) none of the remote machinery runs and the System is
+  // byte-identical to the pre-sharding uniprocessor model.
+  struct ShardLink {
+    int shard_id = 0;
+    int shards = 1;
+    std::function<void(const RemoteRead&)> send_request;
+    std::function<void(const RemoteRead&)> send_reply;
+    // Cluster-unique request ids (the auditors' census key).
+    std::function<std::uint64_t()> next_request_id;
+  };
+
+  // Must be called before the first event runs.
+  void set_shard_link(ShardLink link);
+  int shard_id() const { return shard_link_.shard_id; }
+
+  // Peer-side entry: queues a remote read for service on this shard's
+  // CPU (serviced ahead of all other work at the next settle point).
+  void ReceiveRemoteRequest(const RemoteRead& read);
+  // Home-side entry: resolves a read this shard issued earlier.
+  void ReceiveRemoteReply(const RemoteRead& read);
+
+  // Probes for the cluster auditor's end-of-run census.
+  std::size_t remote_queue_depth() const { return remote_queue_.size(); }
+  bool remote_in_service() const {
+    return cpu_owner_ == CpuOwner::kRemote;
+  }
+  // A transaction is parked on (or resuming from) a remote read.
+  bool remote_waiting() const {
+    return remote_waiting_ != nullptr || remote_resume_ != nullptr;
+  }
+
   // External-workload injection (config.external_workload): delivers
   // an arrival *at the current simulation time*. Call from simulator
   // events scheduled at the desired arrival instants — e.g., the sinks
@@ -143,7 +184,9 @@ class System {
   sim::Duration CpuUpdateSecondsNow() const;
 
  private:
-  enum class CpuOwner { kIdle, kTxn, kUpdater };
+  friend class Cluster;  // drives Finalize for sliced/halted runs
+
+  enum class CpuOwner { kIdle, kTxn, kUpdater, kRemote };
 
   // One unit of update-process work.
   struct UpdaterJob {
@@ -162,6 +205,17 @@ class System {
   struct LiveTxn {
     std::unique_ptr<txn::Transaction> transaction;
     sim::EventQueue::Handle deadline_event;
+  };
+
+  // One remote read being serviced on this shard's CPU (peer side).
+  // The heal decision is made at dispatch: the update queue cannot
+  // change while the service segment occupies the CPU.
+  struct RemoteJob {
+    RemoteRead read;
+    bool scan_planned = false;  // OD queue scan folded into the segment
+    bool apply = false;         // a usable queued update will be installed
+    db::Update candidate;       // the update to install when `apply`
+    double cost_instructions = 0;
   };
 
   // --- arrival handlers -----------------------------------------------------
@@ -251,6 +305,18 @@ class System {
   // Trigger extension: draws whether a database write fires a rule;
   // returns the recomputation cost in instructions.
   double MaybeTriggerInstructions();
+
+  // --- cross-shard rendezvous (sharded model) --------------------------------
+  // Parks the running transaction on a remote read: it keeps its claim
+  // on this CPU (two-phase hold) while the request travels to the peer
+  // named by `step.owner_shard`.
+  void EnterRemoteWait(txn::Transaction* transaction,
+                       const txn::Transaction::NextStep& step);
+  // Dispatches the head of the remote queue as one service segment
+  // (lookup + optional on-demand heal). Precondition: CPU idle,
+  // queue non-empty.
+  void StartRemoteService();
+  void OnRemoteServiceComplete();
   void NoteUqLength();
   void NoteOsLength();
   void ResetObservation();
@@ -325,6 +391,20 @@ class System {
   // Last process that held the CPU, for x_switch charging:
   // 0 = none, 1 = the update process, txn id + 1 otherwise.
   std::uint64_t last_process_ = 0;
+
+  // Sharded-model state (inert at shards=1 / no link).
+  ShardLink shard_link_;
+  bool sharded_ = false;  // link set with shards > 1
+  // Remote reads awaiting service on this shard's CPU, FIFO.
+  std::deque<RemoteRead> remote_queue_;
+  RemoteJob remote_job_;
+  // The transaction holding this CPU while a remote read is in flight.
+  txn::Transaction* remote_waiting_ = nullptr;
+  sim::Time remote_wait_start_ = 0;
+  // Reply arrived while the CPU was busy servicing a peer: resume this
+  // transaction at the next settle point.
+  txn::Transaction* remote_resume_ = nullptr;
+  bool segment_is_remote_work_ = false;
 
   int os_pending_high_ = 0;
   // Queue-removal cost of expiry purges, accrued as bookkeeping and

@@ -48,6 +48,8 @@ const char* DispatchKindName(SystemObserver::DispatchKind kind) {
       return "install-os";
     case SystemObserver::DispatchKind::kUpdaterInstallUq:
       return "install-uq";
+    case SystemObserver::DispatchKind::kRemoteService:
+      return "remote-service";
   }
   return "?";
 }
@@ -80,6 +82,8 @@ const char* SchedulerChoiceName(SystemObserver::SchedulerChoice choice) {
       return "governor-engage";
     case SystemObserver::SchedulerChoice::kGovernorDisengage:
       return "governor-disengage";
+    case SystemObserver::SchedulerChoice::kServeRemote:
+      return "serve-remote";
   }
   return "?";
 }

@@ -1,0 +1,80 @@
+#include "db/placement.h"
+
+#include "base/check.h"
+
+namespace strip::db {
+
+const char* PlacementKindName(PlacementKind kind) {
+  return kind == PlacementKind::kHash ? "hash" : "range";
+}
+
+std::optional<PlacementKind> ParsePlacementKind(std::string_view token) {
+  if (token == "hash") return PlacementKind::kHash;
+  if (token == "range") return PlacementKind::kRange;
+  return std::nullopt;
+}
+
+ObjectPlacement::ObjectPlacement(PlacementKind kind, int shards, int n_low,
+                                 int n_high)
+    : kind_(kind), shards_(shards), n_low_(n_low), n_high_(n_high) {
+  STRIP_CHECK_MSG(shards >= 1, "placement needs at least one shard");
+  STRIP_CHECK_MSG(n_low > 0 && n_high > 0, "partitions must be non-empty");
+}
+
+int ObjectPlacement::ClassCount(ObjectClass cls) const {
+  return cls == ObjectClass::kLowImportance ? n_low_ : n_high_;
+}
+
+int ObjectPlacement::RangeStart(int shard, int n) const {
+  const int base = n / shards_;
+  const int rem = n % shards_;
+  // The first `rem` shards own one extra object each.
+  return shard * base + (shard < rem ? shard : rem);
+}
+
+int ObjectPlacement::ShardOf(ObjectId object) const {
+  const int n = ClassCount(object.cls);
+  STRIP_CHECK_MSG(object.index >= 0 && object.index < n,
+                  "object index out of range");
+  if (shards_ == 1) return 0;
+  if (kind_ == PlacementKind::kHash) return object.index % shards_;
+  const int base = n / shards_;
+  const int rem = n % shards_;
+  const int fat = rem * (base + 1);  // objects on the one-extra shards
+  if (object.index < fat) return object.index / (base + 1);
+  // base > 0 here: n >= shards would be violated only when base == 0,
+  // and then every object sits in the fat region.
+  return rem + (object.index - fat) / base;
+}
+
+ObjectId ObjectPlacement::ToLocal(ObjectId object) const {
+  if (shards_ == 1) return object;
+  if (kind_ == PlacementKind::kHash) {
+    return {object.cls, object.index / shards_};
+  }
+  const int shard = ShardOf(object);
+  return {object.cls, object.index - RangeStart(shard, ClassCount(object.cls))};
+}
+
+ObjectId ObjectPlacement::ToGlobal(int shard, ObjectId local) const {
+  STRIP_CHECK_MSG(shard >= 0 && shard < shards_, "shard out of range");
+  if (shards_ == 1) return local;
+  if (kind_ == PlacementKind::kHash) {
+    return {local.cls, local.index * shards_ + shard};
+  }
+  return {local.cls, RangeStart(shard, ClassCount(local.cls)) + local.index};
+}
+
+int ObjectPlacement::OwnedCount(int shard, ObjectClass cls) const {
+  STRIP_CHECK_MSG(shard >= 0 && shard < shards_, "shard out of range");
+  const int n = ClassCount(cls);
+  if (kind_ == PlacementKind::kHash) {
+    // Count of i in [0, n) with i mod M == shard.
+    return (n - shard + shards_ - 1) / shards_;
+  }
+  const int base = n / shards_;
+  const int rem = n % shards_;
+  return base + (shard < rem ? 1 : 0);
+}
+
+}  // namespace strip::db

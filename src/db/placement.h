@@ -1,0 +1,78 @@
+// Object placement for the sharded model: which shard owns which view
+// object, and the mapping between the global object space (what the
+// workload generators draw from) and each shard's local, dense object
+// space (what a shard's Database/StalenessTracker index by).
+//
+// Two placements:
+//
+//   hash   — shard = index mod M (round-robin striping). Spreads both
+//            importance classes evenly; adjacent objects land on
+//            different shards.
+//   range  — contiguous balanced blocks per class: shard s owns
+//            [start_s, start_s + len_s) of each class, with the first
+//            (n mod M) shards owning one extra object. Models
+//            key-range partitioning; hot key ranges become hot shards.
+//
+// Both placements are per-class: the low- and high-importance
+// partitions are striped/split independently, so every shard owns a
+// non-trivial slice of each class whenever n >= M. Local ids are dense
+// ([0, OwnedCount) per class), which keeps per-shard stale-fraction
+// denominators exact.
+
+#ifndef STRIP_DB_PLACEMENT_H_
+#define STRIP_DB_PLACEMENT_H_
+
+#include <optional>
+#include <string_view>
+
+#include "db/object.h"
+
+namespace strip::db {
+
+enum class PlacementKind {
+  kHash = 0,
+  kRange,
+};
+
+// Printable name ("hash" / "range").
+const char* PlacementKindName(PlacementKind kind);
+
+// Parses a placement token; nullopt on anything else.
+std::optional<PlacementKind> ParsePlacementKind(std::string_view token);
+
+class ObjectPlacement {
+ public:
+  // `shards` >= 1; `n_low`/`n_high` are the global per-class object
+  // counts (Config::n_low / n_high).
+  ObjectPlacement(PlacementKind kind, int shards, int n_low, int n_high);
+
+  PlacementKind kind() const { return kind_; }
+  int shards() const { return shards_; }
+
+  // The shard owning a global object id.
+  int ShardOf(ObjectId object) const;
+
+  // Global id -> the owner shard's local id (same class, dense index).
+  ObjectId ToLocal(ObjectId object) const;
+
+  // Local id on `shard` -> global id. Inverse of ToLocal on the owner.
+  ObjectId ToGlobal(int shard, ObjectId local) const;
+
+  // Objects of `cls` owned by `shard`. Sums to the global count over
+  // all shards.
+  int OwnedCount(int shard, ObjectClass cls) const;
+
+ private:
+  int ClassCount(ObjectClass cls) const;
+  // Range placement: first global index owned by `shard` within `cls`.
+  int RangeStart(int shard, int n) const;
+
+  PlacementKind kind_;
+  int shards_;
+  int n_low_;
+  int n_high_;
+};
+
+}  // namespace strip::db
+
+#endif  // STRIP_DB_PLACEMENT_H_

@@ -39,10 +39,13 @@ BenchArgs BenchArgs::Parse(int argc, char** argv) {
       args.replications = std::atoi(rest);
     } else if (ConsumePrefix(arg, "--seed=", &rest)) {
       args.seed = std::strtoull(rest, nullptr, 10);
-    } else if (ConsumePrefix(arg, "--jobs=", &rest) ||
-               ConsumePrefix(arg, "--threads=", &rest)) {
-      // --threads= is the pre-worker-pool spelling, kept as an alias.
+    } else if (ConsumePrefix(arg, "--jobs=", &rest)) {
       args.parallel.jobs = std::atoi(rest);
+    } else if (ConsumePrefix(arg, "--threads=", &rest)) {
+      std::fprintf(stderr,
+                   "%s: --threads= was removed; use --jobs=%s\n", argv[0],
+                   rest);
+      std::exit(2);
     } else if (std::strcmp(arg, "--pin-cores") == 0) {
       args.parallel.pin_cores = true;
     } else if (std::strcmp(arg, "--csv") == 0) {

@@ -4,8 +4,8 @@
 //   --seconds=<double>   simulated seconds per run (default 200)
 //   --reps=<int>         replications (seeds) per cell (default 2)
 //   --seed=<uint64>      base seed (default 42)
-//   --jobs=<int>         worker threads (default: one per core;
-//                        --threads= is a deprecated alias)
+//   --jobs=<int>         worker threads (default: one per core; the
+//                        removed --threads= spelling fails loudly)
 //   --pin-cores          pin worker i to core i (Linux)
 //   --csv                also emit CSV blocks after each table
 //   --json=<path>        also write every emitted series to a JSON file

@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "base/check.h"
+#include "core/cluster.h"
 #include "core/system.h"
 #include "sim/simulator.h"
 
@@ -35,6 +36,36 @@ core::RunMetrics RunOnceUntil(const core::Config& config,
     }
     if (Clock::now() >= deadline) {
       metrics = system.HaltEarly();
+      if (timed_out != nullptr) *timed_out = true;
+      break;
+    }
+  }
+  if (finish) finish(metrics);
+  return metrics;
+}
+
+// Sharded twin of RunOnceUntil: same deadline/slice contract, driving
+// a Cluster instead of a bare System.
+core::RunMetrics ClusterRunOnceUntil(const core::ShardedConfig& config,
+                                     std::uint64_t seed,
+                                     const ClusterRunHook& hook,
+                                     const RunContext& context,
+                                     Clock::time_point deadline,
+                                     double slice_sim_seconds,
+                                     bool* timed_out) {
+  if (slice_sim_seconds <= 0) slice_sim_seconds = 5.0;
+  sim::Simulator simulator;
+  core::Cluster cluster(&simulator, config, seed);
+  RunFinisher finish;
+  if (hook) finish = hook(cluster, context);
+  core::RunMetrics metrics;
+  while (true) {
+    if (cluster.RunSlice(slice_sim_seconds)) {
+      metrics = cluster.metrics();
+      break;
+    }
+    if (Clock::now() >= deadline) {
+      metrics = cluster.HaltEarly();
       if (timed_out != nullptr) *timed_out = true;
       break;
     }
@@ -77,6 +108,41 @@ core::RunMetrics RunOnce(const core::Config& config, std::uint64_t seed,
                       budget.slice_sim_seconds, timed_out);
 }
 
+core::RunMetrics RunOnce(const core::ShardedConfig& config,
+                         std::uint64_t seed) {
+  return RunOnce(config, seed, nullptr, RunContext{});
+}
+
+core::RunMetrics RunOnce(const core::ShardedConfig& config,
+                         std::uint64_t seed, const ClusterRunHook& hook,
+                         const RunContext& context) {
+  sim::Simulator simulator;
+  core::Cluster cluster(&simulator, config, seed);
+  // Finisher after the Cluster for the same destruction-order reason
+  // as the System overload: hook-owned observers detach before the
+  // shard engines (and their buses) go away.
+  RunFinisher finish;
+  if (hook) finish = hook(cluster, context);
+  const core::RunMetrics metrics = cluster.Run();
+  if (finish) finish(metrics);
+  return metrics;
+}
+
+core::RunMetrics RunOnce(const core::ShardedConfig& config,
+                         std::uint64_t seed, const ClusterRunHook& hook,
+                         const RunContext& context, const RunBudget& budget,
+                         bool* timed_out) {
+  if (timed_out != nullptr) *timed_out = false;
+  if (budget.wall_seconds <= 0) {
+    return RunOnce(config, seed, hook, context);
+  }
+  const auto deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(budget.wall_seconds));
+  return ClusterRunOnceUntil(config, seed, hook, context, deadline,
+                             budget.slice_sim_seconds, timed_out);
+}
+
 std::vector<core::RunMetrics> Replicate(const core::Config& config,
                                         int replications,
                                         std::uint64_t base_seed) {
@@ -94,6 +160,29 @@ std::vector<core::RunMetrics> Replicate(const core::Config& config,
     RunContext context;
     context.replication = r;
     context.seed = base_seed + static_cast<std::uint64_t>(r);
+    runs.push_back(RunOnce(config, context.seed, hook, context));
+  }
+  return runs;
+}
+
+std::vector<core::RunMetrics> Replicate(const core::ShardedConfig& config,
+                                        int replications,
+                                        std::uint64_t base_seed) {
+  return Replicate(config, replications, base_seed, nullptr);
+}
+
+std::vector<core::RunMetrics> Replicate(const core::ShardedConfig& config,
+                                        int replications,
+                                        std::uint64_t base_seed,
+                                        const ClusterRunHook& hook) {
+  STRIP_CHECK_MSG(replications > 0, "need at least one replication");
+  std::vector<core::RunMetrics> runs;
+  runs.reserve(replications);
+  for (int r = 0; r < replications; ++r) {
+    RunContext context;
+    context.replication = r;
+    context.seed = base_seed + static_cast<std::uint64_t>(r);
+    context.shards = config.shards;
     runs.push_back(RunOnce(config, context.seed, hook, context));
   }
   return runs;
@@ -170,6 +259,12 @@ SweepResult RunSweep(const SweepSpec& spec) {
     core::Config config = spec.base;
     config.policy = spec.policies[task.policy_index];
     spec.apply_x(config, spec.x_values[task.x_index]);
+    // Sharded sweeps wrap the finished cell config in the spec's
+    // cluster shape; at the default shards == 1 the historical
+    // single-System path below runs untouched.
+    const bool sharded = spec.cluster.shards > 1;
+    core::ShardedConfig cell_cluster = spec.cluster;
+    if (sharded) cell_cluster.base = config;
     std::vector<core::RunMetrics>& runs =
         result.mutable_cell(task.policy_index, task.x_index);
     // The cell's wall-clock budget is per-worker: it starts when a
@@ -191,12 +286,24 @@ SweepResult RunSweep(const SweepSpec& spec) {
       context.x_index = task.x_index;
       context.replication = r;
       context.seed = spec.base_seed + static_cast<std::uint64_t>(r);
-      runs[static_cast<std::size_t>(r)] =
-          budgeted ? RunOnceUntil(config, context.seed, spec.on_run,
-                                  context, deadline,
-                                  spec.budget.slice_sim_seconds,
-                                  &cell_timed_out)
-                   : RunOnce(config, context.seed, spec.on_run, context);
+      if (sharded) {
+        context.shards = cell_cluster.shards;
+        runs[static_cast<std::size_t>(r)] =
+            budgeted ? ClusterRunOnceUntil(cell_cluster, context.seed,
+                                           spec.on_cluster_run, context,
+                                           deadline,
+                                           spec.budget.slice_sim_seconds,
+                                           &cell_timed_out)
+                     : RunOnce(cell_cluster, context.seed,
+                               spec.on_cluster_run, context);
+      } else {
+        runs[static_cast<std::size_t>(r)] =
+            budgeted ? RunOnceUntil(config, context.seed, spec.on_run,
+                                    context, deadline,
+                                    spec.budget.slice_sim_seconds,
+                                    &cell_timed_out)
+                     : RunOnce(config, context.seed, spec.on_run, context);
+      }
     }
     if (spec.on_cell_done || spec.on_progress) {
       // Durable cell writes and progress share one serialized

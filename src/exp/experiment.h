@@ -18,10 +18,12 @@
 
 #include "core/config.h"
 #include "core/metrics.h"
+#include "core/sharded_config.h"
 #include "exp/parallel_runner.h"
 #include "sim/stats.h"
 
 namespace strip::core {
+class Cluster;
 class System;
 }  // namespace strip::core
 
@@ -50,6 +52,9 @@ struct RunContext {
   std::size_t x_index = 0;
   int replication = 0;
   std::uint64_t seed = 0;
+  // Cluster shape of the run: 1 for classic single-System runs. Hooks
+  // that attach per-shard sinks read this to size their fan-out.
+  int shards = 1;
 };
 
 // Called with the run's metrics after Run() completes, while the
@@ -64,6 +69,14 @@ using RunFinisher = std::function<void(const core::RunMetrics&)>;
 // share mutable state across runs without synchronization.
 using RunHook =
     std::function<RunFinisher(core::System&, const RunContext&)>;
+
+// Sharded variant: receives the freshly wired Cluster before Run() —
+// attach observers per shard (cluster.shard(s).AddObserver) or on all
+// shards. The returned finisher (may be null) runs after Run() with
+// the *aggregate* metrics; per-shard metrics stay readable through the
+// Cluster reference for the finisher's lifetime.
+using ClusterRunHook =
+    std::function<RunFinisher(core::Cluster&, const RunContext&)>;
 
 // Wall-clock budget for one run (or one sweep cell across its
 // replications). wall_seconds <= 0 means unbudgeted: the run executes
@@ -90,6 +103,19 @@ core::RunMetrics RunOnce(const core::Config& config, std::uint64_t seed,
                          const RunHook& hook, const RunContext& context,
                          const RunBudget& budget, bool* timed_out);
 
+// Sharded equivalents: one Cluster run per call, returning the
+// aggregate metrics. With config.shards == 1 the run is seed- and
+// metric-identical to the core::Config overloads on config.base.
+core::RunMetrics RunOnce(const core::ShardedConfig& config,
+                         std::uint64_t seed);
+core::RunMetrics RunOnce(const core::ShardedConfig& config,
+                         std::uint64_t seed, const ClusterRunHook& hook,
+                         const RunContext& context);
+core::RunMetrics RunOnce(const core::ShardedConfig& config,
+                         std::uint64_t seed, const ClusterRunHook& hook,
+                         const RunContext& context, const RunBudget& budget,
+                         bool* timed_out);
+
 // Runs one configuration over several seeds; returns all runs. The
 // optional hook observes every replication.
 std::vector<core::RunMetrics> Replicate(const core::Config& config,
@@ -99,6 +125,13 @@ std::vector<core::RunMetrics> Replicate(const core::Config& config,
                                         int replications,
                                         std::uint64_t base_seed,
                                         const RunHook& hook);
+std::vector<core::RunMetrics> Replicate(const core::ShardedConfig& config,
+                                        int replications,
+                                        std::uint64_t base_seed);
+std::vector<core::RunMetrics> Replicate(const core::ShardedConfig& config,
+                                        int replications,
+                                        std::uint64_t base_seed,
+                                        const ClusterRunHook& hook);
 
 struct SweepSpec {
   // Base configuration; policy and the x parameter are overwritten per
@@ -122,8 +155,18 @@ struct SweepSpec {
   // count (see exp/parallel_runner.h's determinism contract).
   ParallelOptions parallel;
   // Observation hook, called (from worker threads) for every run with
-  // its cell coordinates; may be null. See RunHook.
+  // its cell coordinates; may be null. See RunHook. Ignored when the
+  // sweep is sharded (cluster.shards > 1) — use on_cluster_run there.
   RunHook on_run;
+  // Cluster shape for sharded sweeps. The default (shards == 1) keeps
+  // the historical single-System cell path, byte-identical to before
+  // the field existed. With shards > 1, every cell run constructs a
+  // Cluster from this shape with the cell's config (base + policy +
+  // x value) as its base; `cluster.base` itself is ignored.
+  core::ShardedConfig cluster;
+  // Observation hook for sharded cells (cluster.shards > 1); may be
+  // null. See ClusterRunHook.
+  ClusterRunHook on_cluster_run;
   // Per-cell wall-clock budget, shared across a cell's replications
   // (crash-safe sweeps). On overrun the in-flight replication is cut
   // short and the cell's remaining replications are skipped (their

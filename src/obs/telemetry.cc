@@ -146,6 +146,8 @@ void RunTelemetry::WriteJson(std::ostream& out,
       << "    \"staleness\": \""
       << db::StalenessCriterionName(config.staleness) << "\",\n"
       << "    \"seed\": " << options_.seed << ",\n"
+      << "    \"shard\": " << options_.shard << ",\n"
+      << "    \"shards\": " << options_.shards << ",\n"
       << "    \"sim_seconds\": " << Number(config.sim_seconds) << ",\n"
       << "    \"warmup_seconds\": " << Number(config.warmup_seconds) << ",\n"
       << "    \"lambda_t\": " << Number(config.lambda_t) << ",\n"

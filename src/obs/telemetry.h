@@ -14,7 +14,7 @@
 //
 // The document is deterministic: same config + seed => bit-identical
 // bytes (fixed key order, %.17g number formatting, no timestamps).
-// Schema: see "strip.telemetry/v2" in EXPERIMENTS.md § Observability.
+// Schema: see "strip.telemetry/v3" in EXPERIMENTS.md § Observability.
 
 #ifndef STRIP_OBS_TELEMETRY_H_
 #define STRIP_OBS_TELEMETRY_H_
@@ -32,7 +32,10 @@ namespace strip::obs {
 // Identifies the telemetry document layout; bump on breaking changes.
 // v2 added the robustness counters (fault_*, updates_shed_*,
 // governor_*, outage_recovery_seconds, ...) to the metrics object.
-inline constexpr const char* kTelemetrySchema = "strip.telemetry/v2";
+// v3 added the sharded model: shard identity ("shard", "shards") in
+// the run object and the cross-shard counters (txns_cross_shard,
+// remote_*, cpu_remote_seconds) in the metrics object.
+inline constexpr const char* kTelemetrySchema = "strip.telemetry/v3";
 
 class RunTelemetry : public core::SystemObserver {
  public:
@@ -47,6 +50,11 @@ class RunTelemetry : public core::SystemObserver {
     // Echoed into the document so a run is reproducible from its
     // telemetry alone (the System does not retain its seed).
     std::uint64_t seed = 0;
+    // Which shard engine of a cluster this document describes (a
+    // sharded run writes one document per shard, suffixed ".shard<k>");
+    // the uniprocessor defaults identify the whole run.
+    int shard = 0;
+    int shards = 1;
   };
 
   // Attaches the recorder and its sampler to the System's observer

@@ -41,10 +41,45 @@ std::string Obj(db::ObjectId object) {
 
 }  // namespace
 
-ChromeTraceWriter::ChromeTraceWriter(std::ostream* out) : out_(out) {
+ChromeTraceDocument::ChromeTraceDocument(std::ostream* out) : out_(out) {
   STRIP_CHECK(out != nullptr);
   *out_ << "{\"traceEvents\":[";
-  WriteMeta(0, "process_name");
+}
+
+ChromeTraceDocument::~ChromeTraceDocument() { Finish(); }
+
+void ChromeTraceDocument::Finish() {
+  if (finished_) return;
+  finished_ = true;
+  *out_ << "\n]}\n";
+  out_->flush();
+}
+
+void ChromeTraceDocument::WriteRaw(const std::string& body) {
+  STRIP_CHECK_MSG(!finished_, "event emitted after document Finish()");
+  *out_ << (first_ ? "\n" : ",\n") << "{" << body << "}";
+  first_ = false;
+  ++events_written_;
+}
+
+ChromeTraceWriter::ChromeTraceWriter(std::ostream* out)
+    : owned_document_(std::make_unique<ChromeTraceDocument>(out)),
+      document_(owned_document_.get()),
+      pid_frag_("\"pid\":1,") {
+  WriteRaw("\"name\":\"process_name\",\"ph\":\"M\"," + pid_frag_ +
+           "\"args\":{\"name\":\"strip\"}");
+  WriteMeta(kSchedulerTid, "scheduler");
+  WriteMeta(kUpdatesTid, "updates");
+}
+
+ChromeTraceWriter::ChromeTraceWriter(ChromeTraceDocument* document, int pid,
+                                     const std::string& process_name)
+    : document_(document),
+      pid_frag_("\"pid\":" + Id(static_cast<std::uint64_t>(pid)) + ",") {
+  STRIP_CHECK(document != nullptr);
+  STRIP_CHECK(pid >= 1);
+  WriteRaw("\"name\":\"process_name\",\"ph\":\"M\"," + pid_frag_ +
+           "\"args\":{\"name\":\"" + process_name + "\"}");
   WriteMeta(kSchedulerTid, "scheduler");
   WriteMeta(kUpdatesTid, "updates");
 }
@@ -56,29 +91,22 @@ void ChromeTraceWriter::Finish() {
   if (span_open_) {
     // The run ended mid-segment: close the span at the last timestamp.
     WriteRaw(std::string("\"name\":\"") + open_name_ +
-             "\",\"cat\":\"segment-complete\",\"ph\":\"E\",\"pid\":1,"
+             "\",\"cat\":\"segment-complete\",\"ph\":\"E\"," + pid_frag_ +
              "\"tid\":" + Id(open_tid_) + ",\"ts\":" + last_ts_);
     span_open_ = false;
   }
   finished_ = true;
-  *out_ << "\n]}\n";
-  out_->flush();
+  if (owned_document_ != nullptr) owned_document_->Finish();
 }
 
 void ChromeTraceWriter::WriteRaw(const std::string& body) {
   STRIP_CHECK_MSG(!finished_, "event emitted after Finish()");
-  *out_ << (first_ ? "\n" : ",\n") << "{" << body << "}";
-  first_ = false;
+  document_->WriteRaw(body);
   ++events_written_;
 }
 
 void ChromeTraceWriter::WriteMeta(std::uint64_t tid, const char* name) {
-  if (tid == 0) {
-    WriteRaw(std::string("\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,")
-             + "\"args\":{\"name\":\"strip\"}");
-    return;
-  }
-  WriteRaw(std::string("\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,") +
+  WriteRaw(std::string("\"name\":\"thread_name\",\"ph\":\"M\",") + pid_frag_ +
            "\"tid\":" + Id(tid) + ",\"args\":{\"name\":\"" + name + "\"}");
 }
 
@@ -88,8 +116,9 @@ std::uint64_t ChromeTraceWriter::TxnTid(std::uint64_t txn_id,
   if (named_txns_.insert(txn_id).second) {
     const std::string name =
         "txn " + Id(txn_id) + " (" + txn::TxnClassName(cls) + ")";
-    WriteRaw(std::string("\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,") +
-             "\"tid\":" + Id(tid) + ",\"args\":{\"name\":\"" + name + "\"}");
+    WriteRaw(std::string("\"name\":\"thread_name\",\"ph\":\"M\",") +
+             pid_frag_ + "\"tid\":" + Id(tid) + ",\"args\":{\"name\":\"" +
+             name + "\"}");
   }
   return tid;
 }
@@ -101,7 +130,8 @@ void ChromeTraceWriter::Emit(const TraceEvent& event) {
     case EventKind::kTxnAdmitted: {
       const std::uint64_t tid = TxnTid(event.txn_id, event.txn_cls);
       WriteRaw("\"name\":\"admitted\",\"cat\":\"txn-admitted\",\"ph\":\"i\","
-               "\"s\":\"t\",\"pid\":1,\"tid\":" + Id(tid) + ",\"ts\":" + ts +
+               "\"s\":\"t\"," + pid_frag_ + "\"tid\":" + Id(tid) +
+               ",\"ts\":" + ts +
                ",\"args\":{\"txn\":" + Id(event.txn_id) + ",\"class\":\"" +
                txn::TxnClassName(event.txn_cls) + "\",\"deadline\":" +
                Num(event.deadline) + ",\"value\":" + Num(event.value) + "}");
@@ -111,15 +141,15 @@ void ChromeTraceWriter::Emit(const TraceEvent& event) {
       const std::uint64_t tid = TxnTid(event.txn_id, event.txn_cls);
       WriteRaw(std::string("\"name\":\"") +
                txn::TxnOutcomeName(event.outcome) +
-               "\",\"cat\":\"txn-terminal\",\"ph\":\"i\",\"s\":\"t\","
-               "\"pid\":1,\"tid\":" + Id(tid) + ",\"ts\":" + ts +
+               "\",\"cat\":\"txn-terminal\",\"ph\":\"i\",\"s\":\"t\"," +
+               pid_frag_ + "\"tid\":" + Id(tid) + ",\"ts\":" + ts +
                ",\"args\":{\"txn\":" + Id(event.txn_id) + ",\"stale\":" +
                (event.read_stale ? "1" : "0") + "}");
       break;
     }
     case EventKind::kUpdateArrival:
       WriteRaw("\"name\":\"arrival\",\"cat\":\"update-arrival\",\"ph\":\"i\","
-               "\"s\":\"t\",\"pid\":1,\"tid\":" + Id(kUpdatesTid) +
+               "\"s\":\"t\"," + pid_frag_ + "\"tid\":" + Id(kUpdatesTid) +
                ",\"ts\":" + ts + ",\"args\":{\"update\":" +
                Id(event.update_id) + ",\"obj\":\"" + Obj(event.object) +
                "\"}");
@@ -127,7 +157,7 @@ void ChromeTraceWriter::Emit(const TraceEvent& event) {
     case EventKind::kUpdateEnqueued:
       enqueue_times_[event.update_id] = event.time;
       WriteRaw("\"name\":\"enqueue\",\"cat\":\"update-enqueued\",\"ph\":\"i\","
-               "\"s\":\"t\",\"pid\":1,\"tid\":" + Id(kUpdatesTid) +
+               "\"s\":\"t\"," + pid_frag_ + "\"tid\":" + Id(kUpdatesTid) +
                ",\"ts\":" + ts + ",\"args\":{\"update\":" +
                Id(event.update_id) + ",\"obj\":\"" + Obj(event.object) +
                "\"}");
@@ -135,7 +165,7 @@ void ChromeTraceWriter::Emit(const TraceEvent& event) {
     case EventKind::kUpdateInstalled: {
       if (event.txn_id == kNoId) {
         WriteRaw("\"name\":\"install\",\"cat\":\"update-installed\","
-                 "\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":" +
+                 "\"ph\":\"i\",\"s\":\"t\"," + pid_frag_ + "\"tid\":" +
                  Id(kUpdatesTid) + ",\"ts\":" + ts + ",\"args\":{\"update\":" +
                  Id(event.update_id) + ",\"obj\":\"" + Obj(event.object) +
                  "\"}");
@@ -144,19 +174,19 @@ void ChromeTraceWriter::Emit(const TraceEvent& event) {
         // track, with a flow arrow from the update's enqueue point.
         const std::uint64_t tid = TxnTid(event.txn_id, event.txn_cls);
         WriteRaw("\"name\":\"install-od\",\"cat\":\"update-installed\","
-                 "\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":" + Id(tid) +
-                 ",\"ts\":" + ts + ",\"args\":{\"update\":" +
+                 "\"ph\":\"i\",\"s\":\"t\"," + pid_frag_ + "\"tid\":" +
+                 Id(tid) + ",\"ts\":" + ts + ",\"args\":{\"update\":" +
                  Id(event.update_id) + ",\"obj\":\"" + Obj(event.object) +
                  "\",\"txn\":" + Id(event.txn_id) + "}");
         const auto it = enqueue_times_.find(event.update_id);
         const std::string start_ts =
             it != enqueue_times_.end() ? Ts(it->second) : ts;
-        WriteRaw("\"name\":\"od-install\",\"cat\":\"od-flow\",\"ph\":\"s\","
-                 "\"pid\":1,\"tid\":" + Id(kUpdatesTid) + ",\"ts\":" +
+        WriteRaw("\"name\":\"od-install\",\"cat\":\"od-flow\",\"ph\":\"s\"," +
+                 pid_frag_ + "\"tid\":" + Id(kUpdatesTid) + ",\"ts\":" +
                  start_ts + ",\"id\":" + Id(event.update_id) + "");
         WriteRaw("\"name\":\"od-install\",\"cat\":\"od-flow\",\"ph\":\"f\","
-                 "\"bp\":\"e\",\"pid\":1,\"tid\":" + Id(tid) + ",\"ts\":" +
-                 ts + ",\"id\":" + Id(event.update_id) + "");
+                 "\"bp\":\"e\"," + pid_frag_ + "\"tid\":" + Id(tid) +
+                 ",\"ts\":" + ts + ",\"id\":" + Id(event.update_id) + "");
       }
       enqueue_times_.erase(event.update_id);
       break;
@@ -164,8 +194,8 @@ void ChromeTraceWriter::Emit(const TraceEvent& event) {
     case EventKind::kUpdateDropped:
       WriteRaw(std::string("\"name\":\"") +
                core::DropReasonName(event.drop_reason) +
-               "\",\"cat\":\"update-dropped\",\"ph\":\"i\",\"s\":\"t\","
-               "\"pid\":1,\"tid\":" + Id(kUpdatesTid) + ",\"ts\":" + ts +
+               "\",\"cat\":\"update-dropped\",\"ph\":\"i\",\"s\":\"t\"," +
+               pid_frag_ + "\"tid\":" + Id(kUpdatesTid) + ",\"ts\":" + ts +
                ",\"args\":{\"update\":" + Id(event.update_id) +
                ",\"obj\":\"" + Obj(event.object) + "\"}");
       enqueue_times_.erase(event.update_id);
@@ -182,8 +212,9 @@ void ChromeTraceWriter::Emit(const TraceEvent& event) {
                 Obj(event.object) + "\"";
       }
       WriteRaw(std::string("\"name\":\"") + name +
-               "\",\"cat\":\"dispatch\",\"ph\":\"B\",\"pid\":1,\"tid\":" +
-               Id(tid) + ",\"ts\":" + ts + ",\"args\":{" + args + "}");
+               "\",\"cat\":\"dispatch\",\"ph\":\"B\"," + pid_frag_ +
+               "\"tid\":" + Id(tid) + ",\"ts\":" + ts + ",\"args\":{" +
+               args + "}");
       open_tid_ = tid;
       open_name_ = name;
       span_open_ = true;
@@ -192,7 +223,7 @@ void ChromeTraceWriter::Emit(const TraceEvent& event) {
     case EventKind::kSegmentComplete:
       STRIP_CHECK_MSG(span_open_, "segment-complete without open span");
       WriteRaw(std::string("\"name\":\"") + open_name_ +
-               "\",\"cat\":\"segment-complete\",\"ph\":\"E\",\"pid\":1,"
+               "\",\"cat\":\"segment-complete\",\"ph\":\"E\"," + pid_frag_ +
                "\"tid\":" + Id(open_tid_) + ",\"ts\":" + ts);
       span_open_ = false;
       break;
@@ -200,12 +231,13 @@ void ChromeTraceWriter::Emit(const TraceEvent& event) {
       // The preemption closes the open span, then marks why.
       STRIP_CHECK_MSG(span_open_, "preempt without open span");
       WriteRaw(std::string("\"name\":\"") + open_name_ +
-               "\",\"cat\":\"segment-complete\",\"ph\":\"E\",\"pid\":1,"
+               "\",\"cat\":\"segment-complete\",\"ph\":\"E\"," + pid_frag_ +
                "\"tid\":" + Id(open_tid_) + ",\"ts\":" + ts);
       span_open_ = false;
       const std::uint64_t tid = TxnTid(event.txn_id, event.txn_cls);
       WriteRaw("\"name\":\"preempt\",\"cat\":\"preempt\",\"ph\":\"i\","
-               "\"s\":\"t\",\"pid\":1,\"tid\":" + Id(tid) + ",\"ts\":" + ts +
+               "\"s\":\"t\"," + pid_frag_ + "\"tid\":" + Id(tid) +
+               ",\"ts\":" + ts +
                ",\"args\":{\"txn\":" + Id(event.txn_id) + ",\"reason\":\"" +
                core::PreemptReasonName(event.preempt_reason) + "\"}");
       break;
@@ -213,7 +245,8 @@ void ChromeTraceWriter::Emit(const TraceEvent& event) {
     case EventKind::kStaleRead: {
       const std::uint64_t tid = TxnTid(event.txn_id, event.txn_cls);
       WriteRaw("\"name\":\"stale-read\",\"cat\":\"stale-read\",\"ph\":\"i\","
-               "\"s\":\"t\",\"pid\":1,\"tid\":" + Id(tid) + ",\"ts\":" + ts +
+               "\"s\":\"t\"," + pid_frag_ + "\"tid\":" + Id(tid) +
+               ",\"ts\":" + ts +
                ",\"args\":{\"txn\":" + Id(event.txn_id) + ",\"obj\":\"" +
                Obj(event.object) + "\"}");
       break;
@@ -221,15 +254,15 @@ void ChromeTraceWriter::Emit(const TraceEvent& event) {
     case EventKind::kPolicyDecision:
       WriteRaw(std::string("\"name\":\"") +
                core::SchedulerChoiceName(event.choice) +
-               "\",\"cat\":\"policy-decision\",\"ph\":\"i\",\"s\":\"t\","
-               "\"pid\":1,\"tid\":" + Id(kSchedulerTid) + ",\"ts\":" + ts +
+               "\",\"cat\":\"policy-decision\",\"ph\":\"i\",\"s\":\"t\"," +
+               pid_frag_ + "\"tid\":" + Id(kSchedulerTid) + ",\"ts\":" + ts +
                ",\"args\":{\"policy\":\"" +
                core::PolicyKindName(event.policy) + "\",\"reason\":\"" +
                (event.reason != nullptr ? event.reason : "") + "\"}");
       break;
     case EventKind::kPhase:
       WriteRaw(std::string("\"name\":\"") + core::PhaseName(event.phase) +
-               "\",\"cat\":\"phase\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,"
+               "\",\"cat\":\"phase\",\"ph\":\"i\",\"s\":\"t\"," + pid_frag_ +
                "\"tid\":" + Id(kSchedulerTid) + ",\"ts\":" + ts);
       break;
     case EventKind::kFaultBegin:
@@ -240,11 +273,45 @@ void ChromeTraceWriter::Emit(const TraceEvent& event) {
                (event.fault_kind != nullptr ? event.fault_kind : "fault") +
                (event.kind == EventKind::kFaultBegin ? " begin" : " end") +
                "\",\"cat\":\"" + EventKindName(event.kind) +
-               "\",\"ph\":\"i\",\"s\":\"p\",\"pid\":1,\"tid\":" +
+               "\",\"ph\":\"i\",\"s\":\"p\"," + pid_frag_ + "\"tid\":" +
                Id(kSchedulerTid) + ",\"ts\":" + ts +
                ",\"args\":{\"window\":\"" +
                (event.fault_label != nullptr ? event.fault_label : "") +
                "\"}");
+      break;
+    case EventKind::kRemoteIssued:
+    case EventKind::kRemoteResolved: {
+      // Home-shard instants on the waiting transaction's track (its
+      // admission already named the track).
+      const std::uint64_t tid = TxnTid(event.txn_id, event.txn_cls);
+      WriteRaw(std::string("\"name\":\"") + EventKindName(event.kind) +
+               "\",\"cat\":\"" + EventKindName(event.kind) +
+               "\",\"ph\":\"i\",\"s\":\"t\"," + pid_frag_ + "\"tid\":" +
+               Id(tid) + ",\"ts\":" + ts + ",\"args\":{\"req\":" +
+               Id(event.request_id) + ",\"txn\":" + Id(event.txn_id) +
+               ",\"peer\":" + Id(static_cast<std::uint64_t>(
+                                 event.peer_shard)) +
+               ",\"obj\":\"" + Obj(event.object) + "\"" +
+               (event.kind == EventKind::kRemoteResolved
+                    ? std::string(",\"state\":\"") +
+                          (event.reason != nullptr ? event.reason : "") +
+                          "\""
+                    : std::string()) +
+               "}");
+      break;
+    }
+    case EventKind::kRemoteQueued:
+    case EventKind::kRemoteServiced:
+      // Peer-shard instants on the update process's track (the service
+      // segment itself appears as a remote-service dispatch span).
+      WriteRaw(std::string("\"name\":\"") + EventKindName(event.kind) +
+               "\",\"cat\":\"" + EventKindName(event.kind) +
+               "\",\"ph\":\"i\",\"s\":\"t\"," + pid_frag_ + "\"tid\":" +
+               Id(kUpdatesTid) + ",\"ts\":" + ts + ",\"args\":{\"req\":" +
+               Id(event.request_id) + ",\"txn\":" + Id(event.txn_id) +
+               ",\"home\":" + Id(static_cast<std::uint64_t>(
+                                  event.home_shard)) +
+               ",\"obj\":\"" + Obj(event.object) + "\"}");
       break;
   }
 }

@@ -1,12 +1,14 @@
 // Streaming Chrome trace-event JSON exporter.
 //
 // Writes the run's causal trace in the Chrome trace-event format
-// (viewable in Perfetto / chrome://tracing): one process (pid 1) with
-// one track per simulated CPU owner —
+// (viewable in Perfetto / chrome://tracing): one process per shard
+// (pid 1 for a uniprocessor run) with one track per simulated CPU
+// owner —
 //
 //   tid 1            the scheduler (policy decisions, phase marks)
 //   tid 2            the update process (receive/install spans,
-//                    arrivals, enqueues, drops, ordinary installs)
+//                    arrivals, enqueues, drops, ordinary installs,
+//                    remote-service spans in the sharded model)
 //   tid 1000 + id    one track per transaction (its CPU segments as
 //                    B/E spans, admit/stale-read/terminal instants)
 //
@@ -16,6 +18,12 @@
 // and linked back to the update's enqueue point on the updates track
 // with a flow arrow (ph s/f, id = the update's id) — the OD causal
 // chain is visible as an arrow from queue to transaction.
+//
+// Sharded runs (core/cluster.h) share one ChromeTraceDocument between
+// M writers — one per shard, each a distinct pid / track group — so
+// the whole cluster lands in a single viewable file. The single-stream
+// constructor (one writer owning its document, pid 1) produces bytes
+// identical to the pre-sharding format.
 //
 // The output is byte-deterministic for a fixed (Config, seed): fixed
 // key order, fixed float formatting, no wall-clock timestamps. Each
@@ -30,6 +38,7 @@
 #define STRIP_OBS_TRACE_CHROME_TRACE_H_
 
 #include <cstdint>
+#include <memory>
 #include <ostream>
 #include <string>
 #include <unordered_map>
@@ -39,22 +48,60 @@
 
 namespace strip::obs::trace {
 
+// The JSON framing of one trace file: the opening "{"traceEvents":["
+// (written on construction), the event-record commas, and the closing
+// "]}" (written by Finish). One or many ChromeTraceWriters append to
+// it; events interleave in emission order.
+class ChromeTraceDocument {
+ public:
+  // Streams to `out`, which must outlive the document.
+  explicit ChromeTraceDocument(std::ostream* out);
+  ~ChromeTraceDocument();
+
+  ChromeTraceDocument(const ChromeTraceDocument&) = delete;
+  ChromeTraceDocument& operator=(const ChromeTraceDocument&) = delete;
+
+  // Writes the closing bracket. Idempotent; call only after every
+  // writer's Finish().
+  void Finish();
+
+  std::uint64_t events_written() const { return events_written_; }
+
+ private:
+  friend class ChromeTraceWriter;
+  // One raw JSON event object; `body` is everything after the opening
+  // brace, without the closing brace.
+  void WriteRaw(const std::string& body);
+
+  std::ostream* out_;
+  bool first_ = true;
+  bool finished_ = false;
+  std::uint64_t events_written_ = 0;
+};
+
 class ChromeTraceWriter : public TraceCollector {
  public:
-  // Track ids.
+  // Track ids (within each process/shard track group).
   static constexpr std::uint64_t kSchedulerTid = 1;
   static constexpr std::uint64_t kUpdatesTid = 2;
   static constexpr std::uint64_t kTxnTidBase = 1000;
 
-  // Streams to `out`, which must outlive the writer. Writes the
-  // opening bracket and track metadata immediately.
+  // Single-stream form: the writer owns its document (pid 1, process
+  // name "strip"). Byte-identical to the historical format.
   explicit ChromeTraceWriter(std::ostream* out);
-  // Finishes the document if Finish() was not called.
+  // Shared-document form (sharded runs): appends to `document` as
+  // process `pid` named `process_name` ("shard 0", ...). The document
+  // must outlive the writer; the caller finishes the document after
+  // finishing every writer.
+  ChromeTraceWriter(ChromeTraceDocument* document, int pid,
+                    const std::string& process_name);
+  // Finishes this writer (and the owned document, if any) if Finish()
+  // was not called.
   ~ChromeTraceWriter() override;
 
   // Closes a span the run left open (the simulation can end mid-
-  // segment) and writes the closing bracket. Idempotent; no events may
-  // be emitted after.
+  // segment); for an owned document also writes the closing bracket.
+  // Idempotent; no events may be emitted after.
   void Finish();
 
   std::uint64_t events_written() const { return events_written_; }
@@ -63,19 +110,19 @@ class ChromeTraceWriter : public TraceCollector {
   void Emit(const TraceEvent& event) override;
 
  private:
-  // One raw JSON event object; `body` is everything after the opening
-  // brace, without the closing brace.
   void WriteRaw(const std::string& body);
   // Ensures the transaction's track has a thread_name metadata record.
   std::uint64_t TxnTid(std::uint64_t txn_id, txn::TxnClass cls);
   void WriteMeta(std::uint64_t tid, const char* name);
 
-  std::ostream* out_;
-  bool first_ = true;
+  std::unique_ptr<ChromeTraceDocument> owned_document_;
+  ChromeTraceDocument* document_;
+  // Rendered "\"pid\":N," fragment shared by every record.
+  std::string pid_frag_;
   bool finished_ = false;
   std::uint64_t events_written_ = 0;
   // Track of the currently open dispatch span and its B name/category,
-  // so E lines match (exactly one span is open at a time).
+  // so E lines match (exactly one span is open at a time per shard).
   std::uint64_t open_tid_ = 0;
   const char* open_name_ = nullptr;
   bool span_open_ = false;

@@ -32,6 +32,14 @@ const char* EventKindName(EventKind kind) {
       return "fault-begin";
     case EventKind::kFaultEnd:
       return "fault-end";
+    case EventKind::kRemoteIssued:
+      return "remote-issued";
+    case EventKind::kRemoteQueued:
+      return "remote-queued";
+    case EventKind::kRemoteServiced:
+      return "remote-serviced";
+    case EventKind::kRemoteResolved:
+      return "remote-resolved";
   }
   return "?";
 }
@@ -54,11 +62,18 @@ const char* EventDetail(const TraceEvent& event) {
     case EventKind::kFaultBegin:
     case EventKind::kFaultEnd:
       return event.fault_kind != nullptr ? event.fault_kind : "";
+    case EventKind::kRemoteResolved:
+      // "live" / "orphaned": whether the waiting transaction survived.
+      return event.reason != nullptr ? event.reason : "";
+    case EventKind::kRemoteServiced:
+      return event.read_stale ? "stale" : "fresh";
     case EventKind::kTxnAdmitted:
     case EventKind::kUpdateArrival:
     case EventKind::kUpdateEnqueued:
     case EventKind::kUpdateInstalled:
     case EventKind::kStaleRead:
+    case EventKind::kRemoteIssued:
+    case EventKind::kRemoteQueued:
       return "";
   }
   return "";
@@ -201,6 +216,46 @@ void TraceCollector::OnFaultWindow(sim::Time now,
   event.time = now;
   event.fault_kind = window.kind;
   event.fault_label = window.label;
+  Emit(event);
+}
+
+TraceEvent TraceCollector::FromRemoteRead(EventKind kind, sim::Time now,
+                                          const core::RemoteRead& read) {
+  TraceEvent event;
+  event.kind = kind;
+  event.time = now;
+  event.txn_id = read.txn_id;
+  event.request_id = read.request_id;
+  event.home_shard = read.home_shard;
+  event.peer_shard = read.peer_shard;
+  event.object = read.object;
+  event.has_object = true;
+  return event;
+}
+
+void TraceCollector::OnShardRemoteIssued(sim::Time now,
+                                         const core::RemoteRead& read) {
+  Emit(FromRemoteRead(EventKind::kRemoteIssued, now, read));
+}
+
+void TraceCollector::OnShardRemoteQueued(sim::Time now,
+                                         const core::RemoteRead& read) {
+  Emit(FromRemoteRead(EventKind::kRemoteQueued, now, read));
+}
+
+void TraceCollector::OnShardRemoteServiced(sim::Time now,
+                                           const core::RemoteRead& read) {
+  TraceEvent event = FromRemoteRead(EventKind::kRemoteServiced, now, read);
+  event.read_stale = read.stale;
+  Emit(event);
+}
+
+void TraceCollector::OnShardRemoteResolved(sim::Time now,
+                                           const core::RemoteRead& read,
+                                           bool txn_live) {
+  TraceEvent event = FromRemoteRead(EventKind::kRemoteResolved, now, read);
+  event.read_stale = read.stale;
+  event.reason = txn_live ? "live" : "orphaned";
   Emit(event);
 }
 

@@ -40,6 +40,16 @@ class TraceCollector : public core::SystemObserver {
                         SchedulerChoice choice, const char* reason) override;
   void OnFaultWindow(sim::Time now, const FaultWindowInfo& window) override;
 
+  // --- sharded-model hooks ---
+  void OnShardRemoteIssued(sim::Time now,
+                           const core::RemoteRead& read) override;
+  void OnShardRemoteQueued(sim::Time now,
+                           const core::RemoteRead& read) override;
+  void OnShardRemoteServiced(sim::Time now,
+                             const core::RemoteRead& read) override;
+  void OnShardRemoteResolved(sim::Time now, const core::RemoteRead& read,
+                             bool txn_live) override;
+
  protected:
   // Receives every normalized event, in simulation order.
   virtual void Emit(const TraceEvent& event) = 0;
@@ -47,6 +57,8 @@ class TraceCollector : public core::SystemObserver {
  private:
   static TraceEvent FromDispatchInfo(EventKind kind, sim::Time now,
                                      const DispatchInfo& dispatch);
+  static TraceEvent FromRemoteRead(EventKind kind, sim::Time now,
+                                   const core::RemoteRead& read);
 };
 
 }  // namespace strip::obs::trace

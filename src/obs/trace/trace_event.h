@@ -48,6 +48,10 @@ enum class EventKind {
   kPhase,             // run-phase boundary (warm-up end / run end)
   kFaultBegin,        // an injected fault window opened
   kFaultEnd,          // an injected fault window closed
+  kRemoteIssued,      // home shard issued a cross-shard read (sharded)
+  kRemoteQueued,      // peer shard queued the read for service
+  kRemoteServiced,    // peer shard finished the service segment
+  kRemoteResolved,    // home shard resolved the reply
 };
 
 const char* EventKindName(EventKind kind);
@@ -91,6 +95,13 @@ struct TraceEvent {
   // lifetime contract as `reason`.
   const char* fault_kind = nullptr;
   const char* fault_label = nullptr;
+
+  // Cross-shard read identity (kRemote* kinds; sharded model). The
+  // object field holds the read's object in the *peer's* local id
+  // space.
+  std::uint64_t request_id = kNoId;
+  int home_shard = -1;
+  int peer_shard = -1;
 
   // Instructions of a dispatched segment (kDispatch/kSegmentComplete).
   double instructions = 0;

@@ -35,7 +35,11 @@ Transaction::Transaction(const Params& params)
       arrival_time_(params.arrival_time),
       deadline_(params.deadline),
       lookup_instructions_(params.lookup_instructions),
-      read_set_(params.read_set) {
+      read_set_(params.read_set),
+      read_owners_(params.read_owners) {
+  STRIP_CHECK_MSG(
+      read_owners_.empty() || read_owners_.size() == read_set_.size(),
+      "read_owners must be empty or parallel to read_set");
   STRIP_CHECK_MSG(params.computation_instructions >= 0,
                   "negative computation");
   STRIP_CHECK_MSG(params.p_view >= 0 && params.p_view <= 1,
@@ -74,6 +78,7 @@ Transaction::NextStep Transaction::next_step() const {
       step.kind = NextStep::Kind::kViewRead;
       step.instructions = read_remaining_;
       step.object = read_set_[next_read_];
+      if (!read_owners_.empty()) step.owner_shard = read_owners_[next_read_];
       break;
     case Phase::kWork2:
       step.kind = NextStep::Kind::kCompute;

@@ -66,6 +66,9 @@ class Transaction {
     double instructions = 0;
     // The object being read / freshened (kViewRead, kOdScan, kOdApply).
     db::ObjectId object;
+    // Shard owning the object of a kViewRead (sharded model), or -1
+    // when every read is local (the uniprocessor model).
+    int owner_shard = -1;
   };
 
   struct Params {
@@ -80,8 +83,14 @@ class Transaction {
     double p_view = 0;
     // Instructions per view read (x_lookup).
     double lookup_instructions = 0;
-    // View objects to read, in order.
+    // View objects to read, in order. In a sharded cluster these are
+    // *owner-local* ids (core/placement routing happens before the
+    // transaction is built).
     std::vector<db::ObjectId> read_set;
+    // Owner shard per read (parallel to read_set). Empty means every
+    // read is local to the executing shard — the uniprocessor model
+    // and the common case.
+    std::vector<int> read_owners;
   };
 
   explicit Transaction(const Params& params);
@@ -167,6 +176,7 @@ class Transaction {
   sim::Time deadline_;
   double lookup_instructions_;
   std::vector<db::ObjectId> read_set_;
+  std::vector<int> read_owners_;
 
   double total_base_instructions_;
   Phase phase_ = Phase::kWork1;

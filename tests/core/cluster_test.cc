@@ -1,0 +1,240 @@
+// Cross-shard rendezvous edge cases against the full Cluster.
+//
+// The external-workload scenarios inject arrivals at exact instants
+// (global object ids; the cluster routes them), so the two-phase-hold
+// protocol's corner cases — a transaction touching every shard, a
+// deadline firing mid-wait, a slow peer — are pinned deterministically.
+// The generated-workload scenarios sweep placement/seed combinations
+// and let the auditors (per-shard InvariantAuditor conservation plus
+// the cross-shard ClusterAuditor census) do the checking.
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "check/cluster_auditor.h"
+#include "check/invariant_auditor.h"
+#include "core/cluster.h"
+#include "core/config.h"
+#include "sim/simulator.h"
+
+namespace strip::core {
+namespace {
+
+// Baseline cost arithmetic at ips = 50e6: a view read (x_lookup =
+// 4000) is 80 us; 50e6 compute instructions are 1 s.
+
+txn::Transaction::Params SimpleTxn(std::uint64_t id, sim::Time arrival,
+                                   double comp_instructions,
+                                   sim::Time deadline,
+                                   std::vector<db::ObjectId> reads) {
+  txn::Transaction::Params p;
+  p.id = id;
+  p.cls = txn::TxnClass::kHighValue;
+  p.value = 2.0;
+  p.arrival_time = arrival;
+  p.deadline = deadline;
+  p.computation_instructions = comp_instructions;
+  p.lookup_instructions = 4000;
+  p.read_set = std::move(reads);
+  return p;
+}
+
+ShardedConfig ExternalCluster(int shards) {
+  ShardedConfig sharded;
+  sharded.base.external_workload = true;
+  sharded.base.sim_seconds = 30.0;
+  sharded.shards = shards;
+  return sharded;
+}
+
+// Attaches the full audit stack to `cluster`; owns the auditors.
+struct AuditStack {
+  explicit AuditStack(Cluster& cluster) {
+    for (int s = 0; s < cluster.shards(); ++s) {
+      auto auditor = std::make_unique<check::InvariantAuditor>();
+      auditor->set_system(&cluster.shard(s));
+      cluster.shard(s).AddObserver(auditor.get());
+      per_shard.push_back(std::move(auditor));
+    }
+    census.set_cluster(&cluster);
+    cluster.AddObserverToAllShards(&census);
+  }
+
+  void ExpectClean() {
+    for (std::size_t s = 0; s < per_shard.size(); ++s) {
+      EXPECT_TRUE(per_shard[s]->ok())
+          << "shard " << s << ":\n" << per_shard[s]->Report();
+    }
+    census.FinishRun();
+    EXPECT_TRUE(census.ok()) << census.Report();
+  }
+
+  std::vector<std::unique_ptr<check::InvariantAuditor>> per_shard;
+  check::ClusterAuditor census;
+};
+
+TEST(ClusterTest, TransactionTouchingEveryShardCommits) {
+  const int kShards = 4;
+  sim::Simulator sim;
+  Cluster cluster(&sim, ExternalCluster(kShards), /*seed=*/1);
+  AuditStack audit(cluster);
+
+  // Hash placement: global {kLow, i} lives on shard i % 4, so reads of
+  // indexes 0..3 touch all four shards; index 0 makes shard 0 home.
+  sim.ScheduleAt(1.0, [&] {
+    cluster.InjectTransaction(
+        SimpleTxn(1, 1.0, 1'000'000, 8.0,
+                  {{db::ObjectClass::kLowImportance, 0},
+                   {db::ObjectClass::kLowImportance, 1},
+                   {db::ObjectClass::kLowImportance, 2},
+                   {db::ObjectClass::kLowImportance, 3}}));
+  });
+  const RunMetrics m = cluster.Run();
+
+  EXPECT_EQ(m.txns_committed, 1u);
+  EXPECT_EQ(m.txns_cross_shard, 1u);
+  EXPECT_EQ(m.remote_reads_issued, 3u);   // every read but the home one
+  EXPECT_EQ(m.remote_reads_served, 3u);
+  EXPECT_EQ(m.remote_replies_orphaned, 0u);
+  EXPECT_EQ(cluster.remote_requests_issued(), 3u);
+  EXPECT_EQ(cluster.shard_metrics(0).txns_committed, 1u);
+  // The three peers each served one read but ran no transaction.
+  for (int s = 1; s < kShards; ++s) {
+    EXPECT_EQ(cluster.shard_metrics(s).remote_reads_served, 1u);
+    EXPECT_EQ(cluster.shard_metrics(s).txns_committed, 0u);
+    EXPECT_GT(cluster.shard_metrics(s).cpu_remote_seconds, 0.0);
+  }
+  EXPECT_EQ(audit.census.issued(), 3u);
+  EXPECT_EQ(audit.census.resolved(), 3u);
+  audit.ExpectClean();
+}
+
+TEST(ClusterTest, DeadlineDuringRemoteWaitOrphansTheReply) {
+  sim::Simulator sim;
+  Cluster cluster(&sim, ExternalCluster(2), /*seed=*/1);
+  AuditStack audit(cluster);
+
+  // Shard 1's CPU is pinned by a 1-second local transaction from
+  // t=0.5, so a remote read posted to it waits for the segment to end.
+  sim.ScheduleAt(0.5, [&] {
+    cluster.InjectTransaction(SimpleTxn(
+        1, 0.5, 50'000'000, 10.0, {{db::ObjectClass::kLowImportance, 1}}));
+  });
+  // Txn 2 (home shard 0: first read is local) reaches its cross-shard
+  // read at ~t=1.00016 with deadline 1.2; shard 1 cannot serve it
+  // before ~1.5, so the firm deadline fires mid-wait and the eventual
+  // reply resolves as orphaned.
+  sim.ScheduleAt(1.0, [&] {
+    cluster.InjectTransaction(
+        SimpleTxn(2, 1.0, 4'000, 1.2,
+                  {{db::ObjectClass::kLowImportance, 0},
+                   {db::ObjectClass::kLowImportance, 1}}));
+  });
+  const RunMetrics m = cluster.Run();
+
+  EXPECT_EQ(m.txns_committed, 1u);  // the pinning transaction
+  EXPECT_EQ(m.txns_missed_deadline, 1u);
+  EXPECT_EQ(m.remote_reads_issued, 1u);
+  EXPECT_EQ(m.remote_reads_served, 1u);
+  EXPECT_EQ(m.remote_replies_orphaned, 1u);
+  EXPECT_GT(m.remote_wait_seconds, 0.0);
+  EXPECT_EQ(audit.census.orphaned(), 1u);
+  audit.ExpectClean();
+}
+
+TEST(ClusterTest, RemoteShardMidOutageStaysConserved) {
+  // Shard 1 takes a feed outage (with catch-up replay) and a CPU
+  // degradation window while cross-shard traffic keeps hitting it; the
+  // auditors verify conservation and census through fault begin/end.
+  ShardedConfig sharded;
+  sharded.base.sim_seconds = 30.0;
+  sharded.base.policy = PolicyKind::kOnDemand;
+  sharded.shards = 2;
+  sharded.shard_faults = {"", "outage@5+8:speedup=2;cpu@16+6:factor=0.5"};
+
+  sim::Simulator sim;
+  Cluster cluster(&sim, sharded, /*seed=*/9);
+  AuditStack audit(cluster);
+  const RunMetrics m = cluster.Run();
+
+  EXPECT_GT(m.fault_windows, 0u);
+  EXPECT_EQ(cluster.shard_metrics(0).fault_windows, 0u);
+  EXPECT_GT(cluster.shard_metrics(1).updates_outage_deferred, 0u);
+  EXPECT_GT(m.txns_cross_shard, 0u);
+  EXPECT_GT(m.remote_reads_served, 0u);
+  // Truncation accounting: every issued request either resolved or was
+  // cut mid-rendezvous by the end of the run.
+  EXPECT_EQ(audit.census.issued(),
+            audit.census.resolved() + audit.census.outstanding());
+  audit.ExpectClean();
+}
+
+TEST(ClusterTest, GovernorOnRemoteShardOnly) {
+  // Feed skew floods shard 1 (90% of a doubled feed) under TF, whose
+  // update queue backs up until the overload governor engages there;
+  // the lightly loaded home shard 0 never crosses the watermark. Cross-
+  // shard reads of governed data must still resolve cleanly.
+  ShardedConfig sharded;
+  sharded.base.sim_seconds = 30.0;
+  sharded.base.policy = PolicyKind::kTransactionFirst;
+  sharded.base.lambda_u = 800.0;
+  sharded.base.uq_max = 400;
+  sharded.base.overload_governor = true;
+  sharded.shards = 2;
+  sharded.feed_hot_shard = 1;
+  sharded.feed_hot_fraction = 0.9;
+
+  sim::Simulator sim;
+  Cluster cluster(&sim, sharded, /*seed=*/4);
+  AuditStack audit(cluster);
+  const RunMetrics m = cluster.Run();
+
+  EXPECT_GT(cluster.shard_metrics(1).governor_engagements, 0u);
+  EXPECT_EQ(cluster.shard_metrics(0).governor_engagements, 0u);
+  EXPECT_GT(m.txns_cross_shard, 0u);
+  EXPECT_EQ(m.remote_reads_issued,
+            m.remote_reads_served);
+  audit.ExpectClean();
+}
+
+TEST(ClusterTest, PlacementChurnConservesUpdatesPerShard) {
+  // Randomized sweep: both placements, several seeds and shard counts,
+  // full generated workload. The per-shard conservation identity and
+  // the cross-shard census must hold everywhere.
+  for (const db::PlacementKind placement :
+       {db::PlacementKind::kHash, db::PlacementKind::kRange}) {
+    for (const int shards : {2, 3, 5}) {
+      for (const std::uint64_t seed : {1ull, 17ull}) {
+        SCOPED_TRACE(std::string(db::PlacementKindName(placement)) +
+                     "/shards=" + std::to_string(shards) +
+                     "/seed=" + std::to_string(seed));
+        ShardedConfig sharded;
+        sharded.base.sim_seconds = 10.0;
+        sharded.base.policy = PolicyKind::kOnDemand;
+        sharded.shards = shards;
+        sharded.placement = placement;
+
+        sim::Simulator sim;
+        Cluster cluster(&sim, sharded, seed);
+        AuditStack audit(cluster);
+        const RunMetrics m = cluster.Run();
+
+        std::uint64_t arrived = 0, committed = 0;
+        for (int s = 0; s < shards; ++s) {
+          arrived += cluster.shard_metrics(s).updates_arrived;
+          committed += cluster.shard_metrics(s).txns_committed;
+        }
+        EXPECT_EQ(arrived, m.updates_arrived);
+        EXPECT_EQ(committed, m.txns_committed);
+        EXPECT_GT(m.updates_arrived, 0u);
+        EXPECT_GT(m.txns_committed, 0u);
+        audit.ExpectClean();
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace strip::core

@@ -32,9 +32,9 @@ TEST(BenchArgsTest, ParsesEveryFlag) {
   EXPECT_TRUE(args.csv);
 }
 
-TEST(BenchArgsTest, ThreadsIsAJobsAlias) {
-  const BenchArgs args = Parse({"--threads=3"});
-  EXPECT_EQ(args.parallel.jobs, 3);
+TEST(BenchArgsDeathTest, ThreadsWasRemoved) {
+  EXPECT_EXIT(Parse({"--threads=3"}), ::testing::ExitedWithCode(2),
+              "--threads= was removed; use --jobs=3");
 }
 
 TEST(BenchArgsTest, FullPreset) {

@@ -1,23 +1,30 @@
 // strip_sim: command-line runner for one simulation configuration.
 //
 // Any Config parameter can be set as --name=value (see --help for the
-// full list); runner flags:
+// full list), including the cluster-level flags (--shards=,
+// --placement=, --shard_ips=, --feed_hot_shard=, ...); runner flags:
 //   --seed=N    base random seed            (default 1)
 //   --reps=N    replications                (default 1)
-//   --telemetry=PATH   write run telemetry JSON (first replication)
+//   --telemetry=PATH   write run telemetry JSON (first replication;
+//               sharded runs write one document per shard, suffixed
+//               PATH.shard0, PATH.shard1, ...)
 //   --chrome-trace=PATH   write a Chrome trace-event JSON lifecycle
 //               trace of the first replication (open in Perfetto /
-//               chrome://tracing; inspect with strip_trace --chrome=)
+//               chrome://tracing; inspect with strip_trace --chrome=);
+//               sharded runs land every shard in the one file, one
+//               process ("shard N") per shard
 //   --audit     attach the invariant auditor (src/check) to every
-//               replication; violations print to stderr and the run
-//               exits 3. Output is bit-identical to a non-audit run.
+//               replication (sharded runs: one per shard plus the
+//               cross-shard ClusterAuditor); violations print to
+//               stderr and the run exits 3. Output is bit-identical
+//               to a non-audit run.
 //   --print-config   echo the resolved configuration and exit
 //   --quiet     print only the summary line
 //
 // Examples:
 //   strip_sim --policy=OD --lambda_t=15 --sim_seconds=300
 //   strip_sim --policy=TF --staleness=UU --abort_on_stale=true --reps=5
-//   strip_sim --policy=FCF --update_cpu_fraction=0.15 --x_queue=100
+//   strip_sim --policy=OD --shards=4 --placement=range --audit
 //   strip_sim --config=baseline.cfg --lambda_t=20   # file, then overrides
 //
 // --config=FILE reads name=value lines ('#' comments allowed); flags
@@ -32,7 +39,9 @@
 #include <string>
 #include <vector>
 
+#include "check/cluster_auditor.h"
 #include "check/invariant_auditor.h"
+#include "core/cluster.h"
 #include "core/config.h"
 #include "core/metrics.h"
 #include "exp/atomic_io.h"
@@ -50,9 +59,7 @@ namespace {
       "runner flags: --seed=N --reps=N --telemetry=PATH "
       "--chrome-trace=PATH --audit --print-config --quiet\n\n");
   std::printf("model parameters (defaults are the paper's baseline):\n");
-  for (const std::string& name : strip::exp::ConfigFlagNames()) {
-    std::printf("  --%s=\n", name.c_str());
-  }
+  std::fputs(strip::exp::ConfigFlagsHelp().c_str(), stdout);
   std::exit(0);
 }
 
@@ -94,9 +101,11 @@ void PrintSummary(const std::vector<strip::core::RunMetrics>& runs) {
 
 namespace {
 
-// Applies name=value lines from a file; '#' starts a comment.
+// Applies name=value lines from a file; '#' starts a comment. Files
+// may set cluster-level parameters (shards=, placement=, ...) next to
+// base ones.
 bool ApplyConfigFile(const std::string& path,
-                     strip::core::Config& config) {
+                     strip::core::ShardedConfig& config) {
   std::ifstream in(path);
   if (!in) {
     std::fprintf(stderr, "strip_sim: cannot open %s\n", path.c_str());
@@ -124,17 +133,18 @@ bool ApplyConfigFile(const std::string& path,
 }  // namespace
 
 int main(int argc, char** argv) {
-  strip::core::Config config;
+  strip::core::ShardedConfig sharded;
+  strip::core::Config& config = sharded.base;
   // First pass: a --config file establishes the base...
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--config=", 9) == 0) {
-      if (!ApplyConfigFile(argv[i] + 9, config)) return 2;
+      if (!ApplyConfigFile(argv[i] + 9, sharded)) return 2;
     }
   }
   // ...then the command-line flags override it.
   std::vector<std::string> rest;
   const std::optional<std::string> error =
-      strip::exp::ApplyConfigFlags(argc, argv, config, &rest);
+      strip::exp::ApplyConfigFlags(argc, argv, sharded, &rest);
   if (error.has_value()) {
     std::fprintf(stderr, "strip_sim: %s\n", error->c_str());
     return 2;
@@ -173,13 +183,18 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (const std::optional<std::string> invalid = config.Validate()) {
+  if (const std::optional<std::string> invalid = sharded.Validate()) {
     std::fprintf(stderr, "strip_sim: invalid configuration: %s\n",
                  invalid->c_str());
     return 2;
   }
   if (print_config) {
-    std::fputs(strip::exp::ConfigToString(config).c_str(), stdout);
+    // Single-shard output stays byte-identical to the pre-sharding
+    // tool; shards > 1 appends the cluster-level parameters.
+    std::fputs(sharded.single_shard()
+                   ? strip::exp::ConfigToString(config).c_str()
+                   : strip::exp::ConfigToString(sharded).c_str(),
+               stdout);
     return 0;
   }
   if (reps < 1) {
@@ -187,94 +202,208 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  // With --telemetry / --chrome-trace, the first replication carries
-  // the corresponding recorders and writes the documents once its run
-  // completes. The Chrome trace streams while the run executes; the
-  // finisher only closes the document.
-  strip::exp::RunHook hook;
-  if (!telemetry_path.empty() || !chrome_trace_path.empty()) {
-    hook = [&telemetry_path, &chrome_trace_path](
-               strip::core::System& system,
-               const strip::exp::RunContext& context)
+  bool audit_failed = false;
+  std::vector<strip::core::RunMetrics> runs;
+
+  if (sharded.single_shard()) {
+    // With --telemetry / --chrome-trace, the first replication carries
+    // the corresponding recorders and writes the documents once its
+    // run completes. The Chrome trace streams while the run executes;
+    // the finisher only closes the document.
+    strip::exp::RunHook hook;
+    if (!telemetry_path.empty() || !chrome_trace_path.empty()) {
+      hook = [&telemetry_path, &chrome_trace_path](
+                 strip::core::System& system,
+                 const strip::exp::RunContext& context)
+          -> strip::exp::RunFinisher {
+        if (context.replication != 0) return nullptr;
+        std::shared_ptr<strip::obs::RunTelemetry> telemetry;
+        if (!telemetry_path.empty()) {
+          strip::obs::RunTelemetry::Options options;
+          options.seed = context.seed;
+          telemetry = std::make_shared<strip::obs::RunTelemetry>(
+              &system, options);
+        }
+        std::shared_ptr<std::ofstream> trace_out;
+        std::shared_ptr<strip::obs::trace::ChromeTraceWriter> trace;
+        if (!chrome_trace_path.empty()) {
+          trace_out = std::make_shared<std::ofstream>(chrome_trace_path);
+          if (!*trace_out) {
+            std::fprintf(stderr, "strip_sim: cannot write trace to %s\n",
+                         chrome_trace_path.c_str());
+            std::exit(2);
+          }
+          trace = std::make_shared<strip::obs::trace::ChromeTraceWriter>(
+              trace_out.get());
+          system.AddObserver(trace.get());
+        }
+        return [telemetry, &telemetry_path, trace, trace_out](
+                   const strip::core::RunMetrics& metrics) {
+          if (telemetry != nullptr) {
+            // Atomic (tmp + rename): a killed run never leaves a torn
+            // telemetry document behind.
+            std::ostringstream out;
+            telemetry->WriteJson(out, metrics);
+            if (const auto error = strip::exp::WriteFileAtomic(
+                    telemetry_path, out.str())) {
+              std::fprintf(stderr, "strip_sim: %s\n", error->c_str());
+              std::exit(2);
+            }
+          }
+          if (trace != nullptr) trace->Finish();
+        };
+      };
+    }
+
+    // --audit layers the invariant auditor under whatever observers
+    // the base hook attaches; the auditor is read-only, so audited
+    // output stays byte-identical. Violations fail the process with
+    // exit 3.
+    if (audit) {
+      strip::exp::RunHook base_hook = std::move(hook);
+      hook = [&audit_failed, base_hook](
+                 strip::core::System& system,
+                 const strip::exp::RunContext& context)
+          -> strip::exp::RunFinisher {
+        auto auditor = std::make_shared<strip::check::InvariantAuditor>();
+        auditor->set_system(&system);
+        system.AddObserver(auditor.get());
+        strip::exp::RunFinisher base_finisher =
+            base_hook ? base_hook(system, context) : nullptr;
+        const int replication = context.replication;
+        return [auditor, base_finisher, replication, &audit_failed](
+                   const strip::core::RunMetrics& metrics) {
+          if (base_finisher) base_finisher(metrics);
+          if (!auditor->ok()) {
+            audit_failed = true;
+            std::fprintf(stderr,
+                         "strip_sim: audit FAILED (replication %d)\n%s",
+                         replication, auditor->Report().c_str());
+          }
+        };
+      };
+    }
+
+    runs = strip::exp::Replicate(config, reps, seed, hook);
+  } else {
+    // Sharded path: the same layering against a Cluster. Telemetry
+    // writes one per-shard document; the Chrome trace shares one
+    // document across per-shard writers; --audit runs one
+    // InvariantAuditor per shard plus the cross-shard ClusterAuditor.
+    strip::exp::ClusterRunHook hook = [&](strip::core::Cluster& cluster,
+                                          const strip::exp::RunContext&
+                                              context)
         -> strip::exp::RunFinisher {
-      if (context.replication != 0) return nullptr;
-      std::shared_ptr<strip::obs::RunTelemetry> telemetry;
-      if (!telemetry_path.empty()) {
-        strip::obs::RunTelemetry::Options options;
-        options.seed = context.seed;
-        telemetry = std::make_shared<strip::obs::RunTelemetry>(
-            &system, options);
+      struct Recorders {
+        std::vector<std::unique_ptr<strip::obs::RunTelemetry>> telemetry;
+        std::unique_ptr<std::ofstream> trace_out;
+        std::unique_ptr<strip::obs::trace::ChromeTraceDocument> trace_doc;
+        std::vector<std::unique_ptr<strip::obs::trace::ChromeTraceWriter>>
+            trace;
+        std::vector<std::unique_ptr<strip::check::InvariantAuditor>>
+            auditors;
+        std::unique_ptr<strip::check::ClusterAuditor> cluster_auditor;
+      };
+      auto recorders = std::make_shared<Recorders>();
+      const bool first = context.replication == 0;
+      if (first && !telemetry_path.empty()) {
+        for (int s = 0; s < cluster.shards(); ++s) {
+          strip::obs::RunTelemetry::Options options;
+          options.seed = context.seed;
+          options.shard = s;
+          options.shards = cluster.shards();
+          recorders->telemetry.push_back(
+              std::make_unique<strip::obs::RunTelemetry>(&cluster.shard(s),
+                                                         options));
+        }
       }
-      std::shared_ptr<std::ofstream> trace_out;
-      std::shared_ptr<strip::obs::trace::ChromeTraceWriter> trace;
-      if (!chrome_trace_path.empty()) {
-        trace_out = std::make_shared<std::ofstream>(chrome_trace_path);
-        if (!*trace_out) {
+      if (first && !chrome_trace_path.empty()) {
+        recorders->trace_out =
+            std::make_unique<std::ofstream>(chrome_trace_path);
+        if (!*recorders->trace_out) {
           std::fprintf(stderr, "strip_sim: cannot write trace to %s\n",
                        chrome_trace_path.c_str());
           std::exit(2);
         }
-        trace = std::make_shared<strip::obs::trace::ChromeTraceWriter>(
-            trace_out.get());
-        system.AddObserver(trace.get());
+        recorders->trace_doc =
+            std::make_unique<strip::obs::trace::ChromeTraceDocument>(
+                recorders->trace_out.get());
+        for (int s = 0; s < cluster.shards(); ++s) {
+          recorders->trace.push_back(
+              std::make_unique<strip::obs::trace::ChromeTraceWriter>(
+                  recorders->trace_doc.get(), s + 1,
+                  "shard " + std::to_string(s)));
+          cluster.shard(s).AddObserver(recorders->trace.back().get());
+        }
       }
-      return [telemetry, &telemetry_path, trace, trace_out](
-                 const strip::core::RunMetrics& metrics) {
-        if (telemetry != nullptr) {
-          // Atomic (tmp + rename): a killed run never leaves a torn
-          // telemetry document behind.
+      if (audit) {
+        for (int s = 0; s < cluster.shards(); ++s) {
+          auto auditor = std::make_unique<strip::check::InvariantAuditor>();
+          auditor->set_system(&cluster.shard(s));
+          cluster.shard(s).AddObserver(auditor.get());
+          recorders->auditors.push_back(std::move(auditor));
+        }
+        recorders->cluster_auditor =
+            std::make_unique<strip::check::ClusterAuditor>();
+        recorders->cluster_auditor->set_cluster(&cluster);
+        cluster.AddObserverToAllShards(recorders->cluster_auditor.get());
+      }
+      const int replication = context.replication;
+      return [recorders, replication, &cluster, &telemetry_path,
+              &audit_failed](const strip::core::RunMetrics&) {
+        for (std::size_t s = 0; s < recorders->telemetry.size(); ++s) {
           std::ostringstream out;
-          telemetry->WriteJson(out, metrics);
-          if (const auto error = strip::exp::WriteFileAtomic(
-                  telemetry_path, out.str())) {
-            std::fprintf(stderr, "strip_sim: %s\n", error->c_str());
+          recorders->telemetry[s]->WriteJson(
+              out, cluster.shard_metrics(static_cast<int>(s)));
+          const std::string path =
+              telemetry_path + ".shard" + std::to_string(s);
+          if (const auto write_error =
+                  strip::exp::WriteFileAtomic(path, out.str())) {
+            std::fprintf(stderr, "strip_sim: %s\n", write_error->c_str());
             std::exit(2);
           }
         }
-        if (trace != nullptr) trace->Finish();
-      };
-    };
-  }
-
-  // --audit layers the invariant auditor under whatever observers the
-  // base hook attaches; the auditor is read-only, so audited output
-  // stays byte-identical. Violations fail the process with exit 3.
-  bool audit_failed = false;
-  if (audit) {
-    strip::exp::RunHook base_hook = std::move(hook);
-    hook = [&audit_failed, base_hook](
-               strip::core::System& system,
-               const strip::exp::RunContext& context)
-        -> strip::exp::RunFinisher {
-      auto auditor = std::make_shared<strip::check::InvariantAuditor>();
-      auditor->set_system(&system);
-      system.AddObserver(auditor.get());
-      strip::exp::RunFinisher base_finisher =
-          base_hook ? base_hook(system, context) : nullptr;
-      const int replication = context.replication;
-      return [auditor, base_finisher, replication, &audit_failed](
-                 const strip::core::RunMetrics& metrics) {
-        if (base_finisher) base_finisher(metrics);
-        if (!auditor->ok()) {
-          audit_failed = true;
-          std::fprintf(stderr,
-                       "strip_sim: audit FAILED (replication %d)\n%s",
-                       replication, auditor->Report().c_str());
+        for (auto& writer : recorders->trace) writer->Finish();
+        if (recorders->trace_doc != nullptr) recorders->trace_doc->Finish();
+        for (std::size_t s = 0; s < recorders->auditors.size(); ++s) {
+          if (!recorders->auditors[s]->ok()) {
+            audit_failed = true;
+            std::fprintf(
+                stderr,
+                "strip_sim: audit FAILED (replication %d, shard %zu)\n%s",
+                replication, s, recorders->auditors[s]->Report().c_str());
+          }
+        }
+        if (recorders->cluster_auditor != nullptr) {
+          recorders->cluster_auditor->FinishRun();
+          if (!recorders->cluster_auditor->ok()) {
+            audit_failed = true;
+            std::fprintf(
+                stderr,
+                "strip_sim: cluster audit FAILED (replication %d)\n%s",
+                replication,
+                recorders->cluster_auditor->Report().c_str());
+          }
         }
       };
     };
+
+    runs = strip::exp::Replicate(sharded, reps, seed, hook);
   }
 
-  const std::vector<strip::core::RunMetrics> runs =
-      strip::exp::Replicate(config, reps, seed, hook);
   if (audit_failed) return 3;
   if (!quiet) {
     std::printf("policy=%s staleness=%s lambda_t=%g lambda_u=%g "
-                "seconds=%g reps=%d\n\n",
+                "seconds=%g reps=%d",
                 strip::core::PolicyKindName(config.policy),
                 strip::db::StalenessCriterionName(config.staleness),
                 config.lambda_t, config.lambda_u, config.sim_seconds,
                 reps);
+    if (!sharded.single_shard()) {
+      std::printf(" shards=%d placement=%s", sharded.shards,
+                  strip::db::PlacementKindName(sharded.placement));
+    }
+    std::printf("\n\n");
     std::fputs(runs[0].ToString().c_str(), stdout);
     std::printf("\n");
   }

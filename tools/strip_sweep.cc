@@ -8,8 +8,8 @@
 //               [--out-dir=DIR] [--resume] [--cell-timeout=S] [--audit]
 //
 // Grid cells are dispatched to a pool of --jobs worker threads (0 =
-// one per hardware core, the default; --threads= is a deprecated
-// alias; --pin-cores pins worker i to core i on Linux). Every worker
+// one per hardware core, the default; --pin-cores pins worker i to
+// core i on Linux). Every worker
 // runs fully isolated Simulation/RNG state, so cell files, telemetry,
 // flight dumps, and the aggregate tables are byte-identical for any
 // job count. --progress=MODE (auto|on|off, default auto: on when
@@ -47,6 +47,14 @@
 // --name=value and any numeric one swept with --x/--values. This is
 // the same machinery the per-figure bench binaries use, exposed for
 // ad-hoc exploration.
+//
+// Cluster-level flags (--shards=, --placement=, --shard_faults=, ...)
+// make every cell an M-shard cluster run: each cell's swept Config
+// becomes the per-shard base, --audit adds the cross-shard
+// ClusterAuditor census on top of the per-shard auditors, and
+// --telemetry-dir writes one document per shard
+// (<cell>.json.shard<k>). --shards=1 (the default) is byte-identical
+// to the pre-sharding tool.
 
 #include <unistd.h>
 
@@ -61,9 +69,12 @@
 #include <string>
 #include <vector>
 
+#include "check/cluster_auditor.h"
 #include "check/invariant_auditor.h"
+#include "core/cluster.h"
 #include "core/config.h"
 #include "core/metrics_json.h"
+#include "core/sharded_config.h"
 #include "exp/atomic_io.h"
 #include "exp/config_flags.h"
 #include "exp/experiment.h"
@@ -176,12 +187,14 @@ std::string CellJson(const strip::exp::SweepSpec& spec,
 }  // namespace
 
 int main(int argc, char** argv) {
-  strip::core::Config base;
+  strip::core::ShardedConfig cluster;
+  strip::core::Config& base = cluster.base;
   std::vector<std::string> rest;
   if (const auto error =
-          strip::exp::ApplyConfigFlags(argc, argv, base, &rest)) {
+          strip::exp::ApplyConfigFlags(argc, argv, cluster, &rest)) {
     Fail(*error);
   }
+  const bool sharded = cluster.shards > 1;
 
   std::string x_name;
   std::vector<double> x_values;
@@ -223,8 +236,7 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--jobs=", 0) == 0) {
       parallel.jobs = std::atoi(arg.c_str() + 7);
     } else if (arg.rfind("--threads=", 0) == 0) {
-      // Deprecated alias for --jobs (the pre-worker-pool spelling).
-      parallel.jobs = std::atoi(arg.c_str() + 10);
+      Fail("--threads= was removed; use --jobs=" + arg.substr(10));
     } else if (arg == "--pin-cores") {
       parallel.pin_cores = true;
     } else if (arg.rfind("--progress=", 0) == 0) {
@@ -261,6 +273,7 @@ int main(int argc, char** argv) {
 
   strip::exp::SweepSpec spec;
   spec.base = base;
+  spec.cluster = cluster;
   spec.policies = policies;
   spec.x_name = x_name;
   spec.x_values = x_values;
@@ -322,19 +335,22 @@ int main(int argc, char** argv) {
   }
 
   // Validate the x parameter name and one full config up front, before
-  // launching the fleet.
+  // launching the fleet. Sharded sweeps validate the cluster shape
+  // against the swept base too (per-shard override lengths, skew).
   {
-    strip::core::Config probe = base;
-    spec.apply_x(probe, x_values.front());
+    strip::core::ShardedConfig probe = cluster;
+    spec.apply_x(probe.base, x_values.front());
     if (const auto invalid = probe.Validate()) Fail(*invalid);
   }
+
+  std::atomic<bool> audit_failed{false};
 
   // Per-cell recorders: the first replication of every (policy, x)
   // cell carries a telemetry recorder and/or a flight recorder. The
   // hook runs on worker threads; each cell writes its own files, so no
   // cross-thread state is shared. A flight dump is only written for
   // cells where an anomaly predicate actually tripped.
-  if (!telemetry_dir.empty() || !flight_dir.empty()) {
+  if (!sharded && (!telemetry_dir.empty() || !flight_dir.empty())) {
     const std::vector<PolicyKind> hook_policies = policies;
     spec.on_run = [telemetry_dir, flight_dir, hook_policies](
                       strip::core::System& system,
@@ -381,8 +397,7 @@ int main(int argc, char** argv) {
   // --audit layers the invariant auditor under the per-cell recorders
   // on every replication. The hook runs on worker threads; the only
   // shared state is the failure flag.
-  std::atomic<bool> audit_failed{false};
-  if (audit) {
+  if (!sharded && audit) {
     const strip::exp::RunHook base_hook = spec.on_run;
     const std::vector<PolicyKind> hook_policies = policies;
     spec.on_run = [base_hook, hook_policies, &audit_failed](
@@ -407,6 +422,116 @@ int main(int argc, char** argv) {
                        "replication %d)\n%s",
                        cell.c_str(), replication,
                        auditor->Report().c_str());
+        }
+      };
+    };
+  }
+
+  // Sharded cells route observation through the cluster hook instead:
+  // telemetry and flight recorders attach per shard on the first
+  // replication, --audit attaches one InvariantAuditor per shard plus
+  // the cross-shard ClusterAuditor census on every replication.
+  if (sharded && (!telemetry_dir.empty() || !flight_dir.empty() || audit)) {
+    const std::vector<PolicyKind> hook_policies = policies;
+    spec.on_cluster_run = [telemetry_dir, flight_dir, audit, hook_policies,
+                           &audit_failed](
+                              strip::core::Cluster& cell_cluster,
+                              const strip::exp::RunContext& context)
+        -> strip::exp::RunFinisher {
+      struct Recorders {
+        std::vector<std::unique_ptr<strip::obs::RunTelemetry>> telemetry;
+        std::vector<std::unique_ptr<strip::obs::trace::FlightRecorder>>
+            flight;
+        std::vector<std::unique_ptr<strip::check::InvariantAuditor>>
+            auditors;
+        std::unique_ptr<strip::check::ClusterAuditor> census;
+      };
+      auto recorders = std::make_shared<Recorders>();
+      const std::string cell =
+          CellName(hook_policies[context.policy_index], context.x_index);
+      const bool first = context.replication == 0;
+      if (first && !telemetry_dir.empty()) {
+        for (int s = 0; s < cell_cluster.shards(); ++s) {
+          strip::obs::RunTelemetry::Options options;
+          options.seed = context.seed;
+          options.shard = s;
+          options.shards = cell_cluster.shards();
+          recorders->telemetry.push_back(
+              std::make_unique<strip::obs::RunTelemetry>(
+                  &cell_cluster.shard(s), options));
+        }
+      }
+      if (first && !flight_dir.empty()) {
+        for (int s = 0; s < cell_cluster.shards(); ++s) {
+          auto recorder =
+              std::make_unique<strip::obs::trace::FlightRecorder>();
+          cell_cluster.shard(s).AddObserver(recorder.get());
+          recorders->flight.push_back(std::move(recorder));
+        }
+      }
+      if (audit) {
+        for (int s = 0; s < cell_cluster.shards(); ++s) {
+          auto auditor =
+              std::make_unique<strip::check::InvariantAuditor>();
+          auditor->set_system(&cell_cluster.shard(s));
+          cell_cluster.shard(s).AddObserver(auditor.get());
+          recorders->auditors.push_back(std::move(auditor));
+        }
+        recorders->census =
+            std::make_unique<strip::check::ClusterAuditor>();
+        recorders->census->set_cluster(&cell_cluster);
+        cell_cluster.AddObserverToAllShards(recorders->census.get());
+      }
+      if (recorders->telemetry.empty() && recorders->flight.empty() &&
+          recorders->auditors.empty()) {
+        return nullptr;
+      }
+      strip::core::Cluster* cluster_ptr = &cell_cluster;
+      const int replication = context.replication;
+      const std::string telemetry_base =
+          telemetry_dir.empty() ? std::string()
+                                : telemetry_dir + "/" + cell + ".json";
+      const std::string flight_base =
+          flight_dir.empty() ? std::string()
+                             : flight_dir + "/flight_" + cell;
+      return [recorders, cluster_ptr, cell, replication, telemetry_base,
+              flight_base,
+              &audit_failed](const strip::core::RunMetrics& metrics) {
+        (void)metrics;  // per-shard documents use shard metrics
+        for (std::size_t s = 0; s < recorders->telemetry.size(); ++s) {
+          std::ostringstream out;
+          recorders->telemetry[s]->WriteJson(
+              out, cluster_ptr->shard_metrics(static_cast<int>(s)));
+          WriteOrFail(telemetry_base + ".shard" + std::to_string(s),
+                      out.str());
+        }
+        for (std::size_t s = 0; s < recorders->flight.size(); ++s) {
+          if (!recorders->flight[s]->tripped()) continue;
+          std::ostringstream out;
+          recorders->flight[s]->DumpTo(out);
+          WriteOrFail(
+              flight_base + "_shard" + std::to_string(s) + ".txt",
+              out.str());
+        }
+        for (std::size_t s = 0; s < recorders->auditors.size(); ++s) {
+          if (recorders->auditors[s]->ok()) continue;
+          audit_failed.store(true, std::memory_order_relaxed);
+          std::fprintf(stderr,
+                       "strip_sweep: audit FAILED (cell %s, "
+                       "replication %d, shard %zu)\n%s",
+                       cell.c_str(), replication, s,
+                       recorders->auditors[s]->Report().c_str());
+        }
+        if (recorders->census != nullptr) {
+          recorders->census->FinishRun();
+          if (!recorders->census->ok()) {
+            audit_failed.store(true, std::memory_order_relaxed);
+            std::fprintf(stderr,
+                         "strip_sweep: cluster audit FAILED (cell %s, "
+                         "replication %d)\n%s",
+                         cell.c_str(), replication,
+                         recorders->census->Report().c_str());
+          }
         }
       };
     };
