@@ -15,8 +15,10 @@ cd "$(dirname "$0")/.."
 BUILD="${1:-build}"
 SIM="$BUILD/tools/strip_sim"
 SWEEP="$BUILD/tools/strip_sweep"
+REPORT="$BUILD/tools/strip_report"
 [ -x "$SIM" ] || { echo "missing $SIM (build first)"; exit 2; }
 [ -x "$SWEEP" ] || { echo "missing $SWEEP (build first)"; exit 2; }
+[ -x "$REPORT" ] || { echo "missing $REPORT (build first)"; exit 2; }
 
 WORK="$(mktemp -d)"
 trap 'rm -rf "$WORK"' EXIT
@@ -102,5 +104,26 @@ diff -r "$WORK/tele_a" "$WORK/tele_b" >/dev/null \
   || fail "sweep telemetry differs"
 cmp "$WORK/sweep_a.txt" "$WORK/sweep_b.txt" \
   || fail "sweep summary differs"
+
+echo "check_determinism: report surfaces (diff gate + double-run bytes)"
+# The structural diff of a double-run pair must be zero rows / exit 0 —
+# this is the report-level statement of the byte identity above.
+"$REPORT" diff "$WORK/t_OD_a.json" "$WORK/t_OD_b.json" >/dev/null \
+  || fail "strip_report diff found deltas in a double-run pair"
+"$REPORT" diff "$WORK/grid_a" "$WORK/grid_b" >/dev/null \
+  || fail "strip_report diff found deltas across identical sweep grids"
+# And the reports themselves are deterministic: rendering the same
+# inputs twice must byte-compare equal on every output format.
+for PASS in a b; do
+  "$REPORT" diff "$WORK/t_UF_a.json" "$WORK/t_OD_a.json" \
+    --md="$WORK/rd_$PASS.md" --json="$WORK/rd_$PASS.json" \
+    > /dev/null 2>&1 || true
+  "$REPORT" summarize "$WORK/grid_a" --csv="$WORK/rs_$PASS.csv" \
+    > "$WORK/rs_$PASS.md"
+done
+cmp "$WORK/rd_a.md" "$WORK/rd_b.md" || fail "diff markdown differs"
+cmp "$WORK/rd_a.json" "$WORK/rd_b.json" || fail "diff JSON differs"
+cmp "$WORK/rs_a.md" "$WORK/rs_b.md" || fail "summarize output differs"
+cmp "$WORK/rs_a.csv" "$WORK/rs_b.csv" || fail "summarize CSV differs"
 
 echo "check_determinism: OK (all surfaces byte-identical)"

@@ -260,6 +260,27 @@ void Cluster::Aggregate() {
   const double n_shards = static_cast<double>(shard_metrics_.size());
   total.uq_length_avg /= n_shards;
   total.os_length_avg /= n_shards;
+
+  // True cluster percentiles: bucket-merge the per-shard response
+  // histograms (same layout on every shard — one shared base config).
+  // The worst-shard response_p50/p95/p99 above remain as the upper
+  // bound; these are the honest cluster-level order statistics. Left
+  // at the -1 sentinel if a layout mismatch ever makes a merge fail.
+  if (!systems_.empty()) {
+    sim::Histogram merged = systems_[0]->response_times();
+    bool merge_ok = true;
+    for (std::size_t s = 1; s < systems_.size(); ++s) {
+      if (!merged.Merge(systems_[s]->response_times())) {
+        merge_ok = false;
+        break;
+      }
+    }
+    if (merge_ok && merged.count() > 0) {
+      total.response_p50_cluster = merged.Quantile(0.50);
+      total.response_p95_cluster = merged.Quantile(0.95);
+      total.response_p99_cluster = merged.Quantile(0.99);
+    }
+  }
   aggregate_ = total;
 }
 

@@ -128,6 +128,16 @@ std::string RunMetrics::ToString() const {
         rho_r());
     out += buffer;
   }
+  // Cluster-true percentiles: only present on a multi-shard aggregate
+  // (the -1 sentinel keeps every other dump byte-identical).
+  if (response_p50_cluster >= 0) {
+    std::snprintf(buffer, sizeof(buffer),
+                  "cluster response: p50=%.3fs p95=%.3fs p99=%.3fs "
+                  "(worst-shard p99=%.3fs)\n",
+                  response_p50_cluster, response_p95_cluster,
+                  response_p99_cluster, response_p99);
+    out += buffer;
+  }
   return out;
 }
 

@@ -140,6 +140,14 @@ struct RunMetrics {
   sim::Duration remote_wait_seconds = 0;
   // Peer-side CPU spent servicing remote reads (lookups + heals).
   sim::Duration cpu_remote_seconds = 0;
+  // True cluster-level response percentiles, from bucket-merging the
+  // per-shard response histograms (the response_p50/p95/p99 above are
+  // the worst shard's in an aggregate — an upper bound). -1 when not
+  // computed: uniprocessor runs, per-shard metrics, or a histogram
+  // layout mismatch across shards.
+  double response_p50_cluster = -1;
+  double response_p95_cluster = -1;
+  double response_p99_cluster = -1;
 
   // --- derived metrics -------------------------------------------------------
 

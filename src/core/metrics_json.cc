@@ -86,6 +86,17 @@ void WriteRunMetricsJson(std::ostream& out, const RunMetrics& m,
   field("remote_stale_replies", Number(m.remote_stale_replies));
   field("remote_wait_seconds", Number(m.remote_wait_seconds));
   field("cpu_remote_seconds", Number(m.cpu_remote_seconds));
+  // Cluster-true percentiles (bucket-merged across shards); null when
+  // not computed — per-shard metrics and uniprocessor runs.
+  field("response_p50_cluster", m.response_p50_cluster < 0
+                                    ? std::string("null")
+                                    : Number(m.response_p50_cluster));
+  field("response_p95_cluster", m.response_p95_cluster < 0
+                                    ? std::string("null")
+                                    : Number(m.response_p95_cluster));
+  field("response_p99_cluster", m.response_p99_cluster < 0
+                                    ? std::string("null")
+                                    : Number(m.response_p99_cluster));
   // Derived ratios.
   field("p_md", Number(m.p_md()));
   field("p_success", Number(m.p_success()));

@@ -82,6 +82,10 @@ class System {
   // The metrics finalized by Run() / the last RunSlice; valid only
   // after finalization.
   const RunMetrics& metrics() const { return metrics_; }
+  // The raw commit response-time histogram behind the percentile
+  // metrics; the cluster bucket-merges these for true cluster-level
+  // percentiles.
+  const sim::Histogram& response_times() const { return response_times_; }
 
   // Registers an observer notified of discrete outcomes (transaction
   // terminals, update installs/drops, stale reads, phase boundaries).

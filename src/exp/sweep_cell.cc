@@ -1,0 +1,43 @@
+#include "exp/sweep_cell.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "core/metrics_json.h"
+
+namespace strip::exp {
+
+std::string SweepCellName(core::PolicyKind policy, std::size_t x_index) {
+  char cell[64];
+  std::snprintf(cell, sizeof(cell), "%s_%02zu",
+                core::PolicyKindName(policy), x_index);
+  return cell;
+}
+
+std::string SweepCellJson(const SweepSpec& spec, std::size_t policy_index,
+                          std::size_t x_index,
+                          const std::vector<core::RunMetrics>& runs,
+                          bool timed_out) {
+  std::ostringstream out;
+  char x_value[64];
+  std::snprintf(x_value, sizeof(x_value), "%.17g", spec.x_values[x_index]);
+  out << "{\n"
+      << "  \"schema\": \"strip.sweep-cell/v1\",\n"
+      << "  \"policy\": \""
+      << core::PolicyKindName(spec.policies[policy_index]) << "\",\n"
+      << "  \"x_name\": \"" << spec.x_name << "\",\n"
+      << "  \"x_value\": " << x_value << ",\n"
+      << "  \"x_index\": " << x_index << ",\n"
+      << "  \"replications\": " << spec.replications << ",\n"
+      << "  \"base_seed\": " << spec.base_seed << ",\n"
+      << "  \"timed_out\": " << (timed_out ? "true" : "false") << ",\n"
+      << "  \"runs\": [";
+  for (std::size_t r = 0; r < runs.size(); ++r) {
+    out << (r == 0 ? "\n    " : ",\n    ");
+    core::WriteRunMetricsJson(out, runs[r], "      ", "    ");
+  }
+  out << "\n  ]\n}\n";
+  return out.str();
+}
+
+}  // namespace strip::exp

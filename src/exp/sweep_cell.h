@@ -1,0 +1,34 @@
+// Serialization of one finished sweep cell as a self-describing
+// strip.sweep-cell/v1 JSON document, shared by strip_sweep (writer)
+// and obs/report (reader). Deterministic: no timestamps, fixed field
+// order, %.17g numbers — a resumed sweep reproduces byte-identical
+// files, and strip_report diff on two runs of the same grid shows
+// zero deltas.
+
+#ifndef STRIP_EXP_SWEEP_CELL_H_
+#define STRIP_EXP_SWEEP_CELL_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "core/metrics.h"
+#include "exp/experiment.h"
+
+namespace strip::exp {
+
+// "UF_03" — the cell token shared by telemetry, flight, and cell
+// files (cell_<token>.json, flight_<token>.txt, <token>.json).
+std::string SweepCellName(core::PolicyKind policy, std::size_t x_index);
+
+// The full document for one cell: sweep coordinates plus every
+// replication's metrics (each run is a WriteRunMetricsJson object).
+std::string SweepCellJson(const SweepSpec& spec, std::size_t policy_index,
+                          std::size_t x_index,
+                          const std::vector<core::RunMetrics>& runs,
+                          bool timed_out);
+
+}  // namespace strip::exp
+
+#endif  // STRIP_EXP_SWEEP_CELL_H_

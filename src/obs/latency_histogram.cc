@@ -23,6 +23,47 @@ LatencyHistogram::LatencyHistogram(double min, double max,
   buckets_.assign(geometric_buckets + 2, 0);
 }
 
+std::optional<LatencyHistogram> LatencyHistogram::FromBuckets(
+    double min, double max, int buckets_per_decade,
+    const std::vector<std::pair<std::size_t, std::uint64_t>>& buckets,
+    double mean, double min_sample, double max_sample) {
+  if (!(min > 0) || !(min < max) || buckets_per_decade < 1) {
+    return std::nullopt;
+  }
+  LatencyHistogram h(min, max, buckets_per_decade);
+  for (const auto& [index, count] : buckets) {
+    if (index >= h.buckets_.size()) return std::nullopt;
+    h.buckets_[index] += count;
+    h.count_ += count;
+  }
+  h.sum_ = mean * static_cast<double>(h.count_);
+  h.min_sample_ = min_sample;
+  h.max_sample_ = max_sample;
+  return h;
+}
+
+bool LatencyHistogram::Merge(const LatencyHistogram& other) {
+  if (min_ != other.min_ || max_ != other.max_ ||
+      buckets_per_decade_ != other.buckets_per_decade_ ||
+      buckets_.size() != other.buckets_.size()) {
+    return false;
+  }
+  if (other.count_ == 0) return true;
+  if (count_ == 0) {
+    min_sample_ = other.min_sample_;
+    max_sample_ = other.max_sample_;
+  } else {
+    min_sample_ = std::min(min_sample_, other.min_sample_);
+    max_sample_ = std::max(max_sample_, other.max_sample_);
+  }
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  return true;
+}
+
 std::size_t LatencyHistogram::BucketIndex(double sample) const {
   if (sample < min_) return 0;
   if (sample >= max_) return buckets_.size() - 1;

@@ -19,6 +19,8 @@
 #define STRIP_OBS_LATENCY_HISTOGRAM_H_
 
 #include <cstdint>
+#include <optional>
+#include <utility>
 #include <vector>
 
 namespace strip::obs {
@@ -29,7 +31,25 @@ class LatencyHistogram {
   // factor of 10. Requires 0 < min < max and buckets_per_decade >= 1.
   LatencyHistogram(double min, double max, int buckets_per_decade = 36);
 
+  // Reconstructs a histogram from previously exported state (the
+  // telemetry document layout: sparse occupied [index, count] buckets
+  // plus the scalar summary; count is the bucket total and the sum is
+  // rebuilt as mean·count). Returns nullopt instead of crashing when
+  // the shape parameters are invalid or a bucket index is out of
+  // range, so untrusted documents can be rebuilt safely.
+  static std::optional<LatencyHistogram> FromBuckets(
+      double min, double max, int buckets_per_decade,
+      const std::vector<std::pair<std::size_t, std::uint64_t>>& buckets,
+      double mean, double min_sample, double max_sample);
+
   void Add(double sample);
+
+  // Bucket-wise merge of `other` into this histogram: the result is
+  // exactly the histogram that would have recorded both sample
+  // streams. Requires an identical bucket layout (min, max,
+  // buckets_per_decade); returns false and leaves this histogram
+  // unchanged on a layout mismatch.
+  bool Merge(const LatencyHistogram& other);
 
   std::uint64_t count() const { return count_; }
   double sum() const { return sum_; }

@@ -1,0 +1,87 @@
+// Run-vs-run / sweep-vs-sweep structural diff.
+//
+// Turns two artifacts of the same family into a per-metric comparison:
+// absolute and relative delta per row, a threshold verdict, and
+// deterministic markdown / JSON renderings. The two headline uses are
+// the determinism gate (two byte-identical runs must diff to zero
+// rows) and branch-vs-branch comparisons (any metric moving more than
+// --threshold relative is named and fails the invocation).
+
+#ifndef STRIP_OBS_REPORT_DIFF_H_
+#define STRIP_OBS_REPORT_DIFF_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/report/artifact.h"
+
+namespace strip::obs::report {
+
+struct DiffOptions {
+  // Relative-delta gate: a changed row whose |relative delta| exceeds
+  // this (or whose baseline is 0/null, where no relative delta exists)
+  // counts as over-threshold. 0 means any change at all trips.
+  double threshold = 0.0;
+  // Markdown: print every row, not just changed ones.
+  bool all_rows = false;
+};
+
+struct DiffRow {
+  std::string name;
+  std::optional<double> a;
+  std::optional<double> b;
+  double abs_delta = 0;
+  // (b-a)/|a|; absent when a is 0 or either side is null.
+  std::optional<double> rel_delta;
+  bool changed = false;
+  bool over_threshold = false;
+};
+
+struct DiffSection {
+  std::string title;
+  std::vector<DiffRow> rows;
+};
+
+struct DiffReport {
+  std::string kind;  // "telemetry" | "sweep-cell" | "sweep-dir"
+  std::string path_a;
+  std::string path_b;
+  double threshold = 0;
+  // Context mismatches (policy, config, structure) that are reported
+  // and — because comparing unlike runs is never "equal" — also gate.
+  std::vector<std::string> notes;
+  std::vector<DiffSection> sections;
+
+  int rows_changed = 0;
+  int rows_over_threshold = 0;
+  // Names of the over-threshold rows, in document order (the CLI
+  // prints these so a failing gate names the moving metric).
+  std::vector<std::string> over_threshold_names;
+
+  bool Exceeds() const {
+    return rows_over_threshold > 0 || !notes.empty();
+  }
+};
+
+DiffReport DiffTelemetry(const TelemetryDoc& a, const TelemetryDoc& b,
+                         const DiffOptions& options);
+DiffReport DiffSweepCell(const SweepCellDoc& a, const SweepCellDoc& b,
+                         const DiffOptions& options);
+DiffReport DiffSweepDirs(const SweepDirData& a, const SweepDirData& b,
+                         const DiffOptions& options);
+
+// Classifies both paths and dispatches; fails when the kinds disagree
+// or either artifact is malformed.
+std::optional<DiffReport> DiffPaths(const std::string& path_a,
+                                    const std::string& path_b,
+                                    const DiffOptions& options,
+                                    std::string* error);
+
+std::string DiffMarkdown(const DiffReport& report,
+                         const DiffOptions& options);
+std::string DiffJson(const DiffReport& report);
+
+}  // namespace strip::obs::report
+
+#endif  // STRIP_OBS_REPORT_DIFF_H_

@@ -1,0 +1,44 @@
+// Deterministic number formatting shared by the report renderers.
+//
+// Reports are part of the byte-determinism contract (they get compared
+// across double runs in check_determinism.sh), so every number printed
+// goes through one of these two helpers: full precision for JSON
+// (round-trips the double exactly) and a compact form for human tables.
+
+#ifndef STRIP_OBS_REPORT_FORMAT_H_
+#define STRIP_OBS_REPORT_FORMAT_H_
+
+#include <cstdio>
+#include <optional>
+#include <string>
+
+namespace strip::obs::report {
+
+// %.17g — exact double round-trip, the repo-wide JSON convention.
+inline std::string FormatNumber(double v) {
+  char buffer[32];
+  if (v != v || v > 1e308 || v < -1e308) return "null";
+  std::snprintf(buffer, sizeof(buffer), "%.17g", v);
+  return buffer;
+}
+
+// %.6g — compact and stable, for markdown/CSV cells.
+inline std::string FormatCompact(double v) {
+  char buffer[32];
+  if (v != v || v > 1e308 || v < -1e308) return "-";
+  std::snprintf(buffer, sizeof(buffer), "%.6g", v);
+  return buffer;
+}
+
+inline std::string FormatCompact(const std::optional<double>& v) {
+  return v ? FormatCompact(*v) : "-";
+}
+
+// JSON value for an optional metric: number or null.
+inline std::string FormatJsonOr(const std::optional<double>& v) {
+  return v ? FormatNumber(*v) : "null";
+}
+
+}  // namespace strip::obs::report
+
+#endif  // STRIP_OBS_REPORT_FORMAT_H_

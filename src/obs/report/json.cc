@@ -1,0 +1,281 @@
+#include "obs/report/json.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace strip::obs::report {
+
+namespace {
+
+constexpr int kMaxDepth = 64;
+
+struct Parser {
+  const std::string& text;
+  std::size_t at = 0;
+  std::string error;
+
+  bool Fail(const std::string& why) {
+    if (error.empty()) {
+      error = "byte " + std::to_string(at) + ": " + why;
+    }
+    return false;
+  }
+
+  void SkipWhitespace() {
+    while (at < text.size()) {
+      const char c = text[at];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++at;
+    }
+  }
+
+  bool Literal(const char* word, std::size_t n) {
+    if (text.compare(at, n, word) != 0) return Fail("bad literal");
+    at += n;
+    return true;
+  }
+
+  bool ParseString(std::string* out) {
+    if (at >= text.size() || text[at] != '"') {
+      return Fail("expected string");
+    }
+    ++at;
+    out->clear();
+    while (at < text.size()) {
+      const char c = text[at];
+      if (c == '"') {
+        ++at;
+        return true;
+      }
+      if (c == '\\') {
+        if (at + 1 >= text.size()) return Fail("truncated escape");
+        const char esc = text[at + 1];
+        at += 2;
+        switch (esc) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'n': out->push_back('\n'); break;
+          case 'r': out->push_back('\r'); break;
+          case 't': out->push_back('\t'); break;
+          case 'u': {
+            if (at + 4 > text.size()) return Fail("truncated \\u escape");
+            unsigned int code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text[at + static_cast<std::size_t>(i)];
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code |= static_cast<unsigned int>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                code |= static_cast<unsigned int>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                code |= static_cast<unsigned int>(h - 'A' + 10);
+              } else {
+                return Fail("bad \\u escape");
+              }
+            }
+            at += 4;
+            // UTF-8 encode the code point (surrogate pairs are not
+            // recombined; the artifacts this reads are pure ASCII).
+            if (code < 0x80) {
+              out->push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+              out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            } else {
+              out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+              out->push_back(
+                  static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+              out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            }
+            break;
+          }
+          default:
+            return Fail("unknown escape");
+        }
+        continue;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Fail("control character in string");
+      }
+      out->push_back(c);
+      ++at;
+    }
+    return Fail("unterminated string");
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    const std::size_t start = at;
+    if (at < text.size() && text[at] == '-') ++at;
+    if (at >= text.size() || !std::isdigit(static_cast<unsigned char>(
+                                 text[at]))) {
+      return Fail("expected number");
+    }
+    while (at < text.size() &&
+           std::isdigit(static_cast<unsigned char>(text[at]))) {
+      ++at;
+    }
+    if (at < text.size() && text[at] == '.') {
+      ++at;
+      if (at >= text.size() || !std::isdigit(static_cast<unsigned char>(
+                                   text[at]))) {
+        return Fail("bad fraction");
+      }
+      while (at < text.size() &&
+             std::isdigit(static_cast<unsigned char>(text[at]))) {
+        ++at;
+      }
+    }
+    if (at < text.size() && (text[at] == 'e' || text[at] == 'E')) {
+      ++at;
+      if (at < text.size() && (text[at] == '+' || text[at] == '-')) ++at;
+      if (at >= text.size() || !std::isdigit(static_cast<unsigned char>(
+                                   text[at]))) {
+        return Fail("bad exponent");
+      }
+      while (at < text.size() &&
+             std::isdigit(static_cast<unsigned char>(text[at]))) {
+        ++at;
+      }
+    }
+    out->kind = JsonValue::Kind::kNumber;
+    out->number_value =
+        std::strtod(text.substr(start, at - start).c_str(), nullptr);
+    return true;
+  }
+
+  bool ParseValue(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) return Fail("nesting too deep");
+    SkipWhitespace();
+    if (at >= text.size()) return Fail("unexpected end of document");
+    const char c = text[at];
+    if (c == '{') {
+      ++at;
+      out->kind = JsonValue::Kind::kObject;
+      SkipWhitespace();
+      if (at < text.size() && text[at] == '}') {
+        ++at;
+        return true;
+      }
+      while (true) {
+        SkipWhitespace();
+        std::string key;
+        if (!ParseString(&key)) return false;
+        SkipWhitespace();
+        if (at >= text.size() || text[at] != ':') {
+          return Fail("expected ':'");
+        }
+        ++at;
+        JsonValue value;
+        if (!ParseValue(&value, depth + 1)) return false;
+        out->members.emplace_back(std::move(key), std::move(value));
+        SkipWhitespace();
+        if (at >= text.size()) return Fail("unterminated object");
+        if (text[at] == ',') {
+          ++at;
+          continue;
+        }
+        if (text[at] == '}') {
+          ++at;
+          return true;
+        }
+        return Fail("expected ',' or '}'");
+      }
+    }
+    if (c == '[') {
+      ++at;
+      out->kind = JsonValue::Kind::kArray;
+      SkipWhitespace();
+      if (at < text.size() && text[at] == ']') {
+        ++at;
+        return true;
+      }
+      while (true) {
+        JsonValue value;
+        if (!ParseValue(&value, depth + 1)) return false;
+        out->items.push_back(std::move(value));
+        SkipWhitespace();
+        if (at >= text.size()) return Fail("unterminated array");
+        if (text[at] == ',') {
+          ++at;
+          continue;
+        }
+        if (text[at] == ']') {
+          ++at;
+          return true;
+        }
+        return Fail("expected ',' or ']'");
+      }
+    }
+    if (c == '"') {
+      out->kind = JsonValue::Kind::kString;
+      return ParseString(&out->string_value);
+    }
+    if (c == 't') {
+      out->kind = JsonValue::Kind::kBool;
+      out->bool_value = true;
+      return Literal("true", 4);
+    }
+    if (c == 'f') {
+      out->kind = JsonValue::Kind::kBool;
+      out->bool_value = false;
+      return Literal("false", 5);
+    }
+    if (c == 'n') {
+      out->kind = JsonValue::Kind::kNull;
+      return Literal("null", 4);
+    }
+    return ParseNumber(out);
+  }
+};
+
+}  // namespace
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  for (const auto& [name, value] : members) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+double JsonValue::NumberOr(const std::string& key, double fallback) const {
+  const JsonValue* value = Find(key);
+  return value != nullptr && value->is_number() ? value->number_value
+                                                : fallback;
+}
+
+std::string JsonValue::StringOr(const std::string& key,
+                                const std::string& fallback) const {
+  const JsonValue* value = Find(key);
+  return value != nullptr && value->is_string() ? value->string_value
+                                                : fallback;
+}
+
+bool JsonValue::BoolOr(const std::string& key, bool fallback) const {
+  const JsonValue* value = Find(key);
+  return value != nullptr && value->is_bool() ? value->bool_value
+                                              : fallback;
+}
+
+std::optional<JsonValue> ParseJson(const std::string& text,
+                                   std::string* error) {
+  Parser parser{text, 0, {}};
+  JsonValue root;
+  if (!parser.ParseValue(&root, 0)) {
+    if (error != nullptr) *error = parser.error;
+    return std::nullopt;
+  }
+  parser.SkipWhitespace();
+  if (parser.at != text.size()) {
+    if (error != nullptr) {
+      *error = "byte " + std::to_string(parser.at) +
+               ": trailing garbage after document";
+    }
+    return std::nullopt;
+  }
+  return root;
+}
+
+}  // namespace strip::obs::report

@@ -1,0 +1,62 @@
+// A small deterministic JSON document parser for the report layer.
+//
+// The run artifacts strip_report ingests — telemetry documents,
+// sweep-cell files, Google-Benchmark JSON — are real JSON, not the
+// line-structured subset the trace readers key on, so the report
+// library carries a proper recursive-descent DOM parser. Scope is
+// deliberately narrow: parse a complete document into a value tree,
+// reject anything malformed with a one-line error naming the byte
+// offset, never crash on arbitrary bytes (fuzzed, like every other
+// input-boundary parser in this repo). Object members keep document
+// order — no unordered containers anywhere, so walking a parsed
+// document is deterministic by construction.
+
+#ifndef STRIP_OBS_REPORT_JSON_H_
+#define STRIP_OBS_REPORT_JSON_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace strip::obs::report {
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool bool_value = false;
+  double number_value = 0;
+  std::string string_value;
+  std::vector<JsonValue> items;                               // arrays
+  std::vector<std::pair<std::string, JsonValue>> members;     // objects
+
+  bool is_null() const { return kind == Kind::kNull; }
+  bool is_bool() const { return kind == Kind::kBool; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_object() const { return kind == Kind::kObject; }
+
+  // First member with this key; nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+
+  // Member lookups with defaults, for tolerant artifact readers.
+  double NumberOr(const std::string& key, double fallback) const;
+  std::string StringOr(const std::string& key,
+                       const std::string& fallback) const;
+  bool BoolOr(const std::string& key, bool fallback) const;
+};
+
+// Parses one complete JSON document (surrounding whitespace allowed,
+// trailing garbage rejected). Returns nullopt with *error set to
+// "byte N: reason" on malformed input. Nesting deeper than 64 levels
+// is rejected, keeping the parser safe on adversarial inputs.
+std::optional<JsonValue> ParseJson(const std::string& text,
+                                   std::string* error);
+
+}  // namespace strip::obs::report
+
+#endif  // STRIP_OBS_REPORT_JSON_H_

@@ -1,0 +1,200 @@
+#include "obs/report/schema.h"
+
+#include <cmath>
+
+namespace strip::obs::report {
+
+namespace {
+
+// Keywords the validator understands; any other keyword in a schema
+// object is an error (a typo'd keyword must not silently validate).
+constexpr const char* kKnownKeywords[] = {
+    "$schema", "$id",        "title",    "description",
+    "type",    "properties", "required", "additionalProperties",
+    "items",   "prefixItems", "minItems", "maxItems",
+    "enum",    "const",      "minimum",  "maximum",
+};
+
+bool Fail(std::string* error, const std::string& path,
+          const std::string& why) {
+  if (error != nullptr && error->empty()) *error = path + ": " + why;
+  return false;
+}
+
+const char* KindName(JsonValue::Kind kind) {
+  switch (kind) {
+    case JsonValue::Kind::kNull: return "null";
+    case JsonValue::Kind::kBool: return "boolean";
+    case JsonValue::Kind::kNumber: return "number";
+    case JsonValue::Kind::kString: return "string";
+    case JsonValue::Kind::kArray: return "array";
+    case JsonValue::Kind::kObject: return "object";
+  }
+  return "?";
+}
+
+bool MatchesType(const JsonValue& doc, const std::string& type) {
+  if (type == "null") return doc.is_null();
+  if (type == "boolean") return doc.is_bool();
+  if (type == "number") return doc.is_number();
+  if (type == "integer") {
+    return doc.is_number() &&
+           std::nearbyint(doc.number_value) == doc.number_value;
+  }
+  if (type == "string") return doc.is_string();
+  if (type == "array") return doc.is_array();
+  if (type == "object") return doc.is_object();
+  return false;
+}
+
+bool ValuesEqual(const JsonValue& a, const JsonValue& b) {
+  if (a.kind != b.kind) return false;
+  switch (a.kind) {
+    case JsonValue::Kind::kNull: return true;
+    case JsonValue::Kind::kBool: return a.bool_value == b.bool_value;
+    case JsonValue::Kind::kNumber: return a.number_value == b.number_value;
+    case JsonValue::Kind::kString: return a.string_value == b.string_value;
+    default: return false;  // enum/const of composites is unused here
+  }
+}
+
+bool Validate(const JsonValue& schema, const JsonValue& doc,
+              const std::string& path, std::string* error) {
+  if (!schema.is_object()) {
+    return Fail(error, path, "schema node is not an object");
+  }
+  for (const auto& [keyword, value] : schema.members) {
+    bool known = false;
+    for (const char* candidate : kKnownKeywords) {
+      if (keyword == candidate) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      return Fail(error, path,
+                  "schema uses unsupported keyword '" + keyword + "'");
+    }
+  }
+
+  if (const JsonValue* type = schema.Find("type")) {
+    bool matched = false;
+    if (type->is_string()) {
+      matched = MatchesType(doc, type->string_value);
+    } else if (type->is_array()) {
+      for (const JsonValue& option : type->items) {
+        if (option.is_string() && MatchesType(doc, option.string_value)) {
+          matched = true;
+          break;
+        }
+      }
+    }
+    if (!matched) {
+      return Fail(error, path,
+                  std::string("type mismatch (got ") + KindName(doc.kind) +
+                      ")");
+    }
+  }
+
+  if (const JsonValue* expect = schema.Find("const")) {
+    if (!ValuesEqual(*expect, doc)) {
+      return Fail(error, path, "const mismatch");
+    }
+  }
+  if (const JsonValue* options = schema.Find("enum")) {
+    bool matched = false;
+    for (const JsonValue& option : options->items) {
+      if (ValuesEqual(option, doc)) {
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) return Fail(error, path, "value not in enum");
+  }
+
+  if (doc.is_number()) {
+    if (const JsonValue* minimum = schema.Find("minimum");
+        minimum != nullptr && minimum->is_number() &&
+        doc.number_value < minimum->number_value) {
+      return Fail(error, path, "below minimum");
+    }
+    if (const JsonValue* maximum = schema.Find("maximum");
+        maximum != nullptr && maximum->is_number() &&
+        doc.number_value > maximum->number_value) {
+      return Fail(error, path, "above maximum");
+    }
+  }
+
+  if (doc.is_object()) {
+    if (const JsonValue* required = schema.Find("required");
+        required != nullptr && required->is_array()) {
+      for (const JsonValue& name : required->items) {
+        if (name.is_string() && doc.Find(name.string_value) == nullptr) {
+          return Fail(error, path,
+                      "missing required member '" + name.string_value + "'");
+        }
+      }
+    }
+    const JsonValue* properties = schema.Find("properties");
+    const JsonValue* additional = schema.Find("additionalProperties");
+    for (const auto& [name, member] : doc.members) {
+      const JsonValue* member_schema =
+          properties != nullptr ? properties->Find(name) : nullptr;
+      const std::string member_path = path + "." + name;
+      if (member_schema != nullptr) {
+        if (!Validate(*member_schema, member, member_path, error)) {
+          return false;
+        }
+        continue;
+      }
+      if (additional == nullptr) continue;  // default: allow
+      if (additional->is_bool()) {
+        if (!additional->bool_value) {
+          return Fail(error, member_path, "unexpected member");
+        }
+        continue;
+      }
+      if (!Validate(*additional, member, member_path, error)) return false;
+    }
+  }
+
+  if (doc.is_array()) {
+    if (const JsonValue* min_items = schema.Find("minItems");
+        min_items != nullptr && min_items->is_number() &&
+        static_cast<double>(doc.items.size()) < min_items->number_value) {
+      return Fail(error, path, "too few items");
+    }
+    if (const JsonValue* max_items = schema.Find("maxItems");
+        max_items != nullptr && max_items->is_number() &&
+        static_cast<double>(doc.items.size()) > max_items->number_value) {
+      return Fail(error, path, "too many items");
+    }
+    const JsonValue* prefix = schema.Find("prefixItems");
+    const JsonValue* items = schema.Find("items");
+    for (std::size_t i = 0; i < doc.items.size(); ++i) {
+      const std::string item_path =
+          path + "[" + std::to_string(i) + "]";
+      if (prefix != nullptr && prefix->is_array() &&
+          i < prefix->items.size()) {
+        if (!Validate(prefix->items[i], doc.items[i], item_path, error)) {
+          return false;
+        }
+        continue;
+      }
+      if (items != nullptr) {
+        if (!Validate(*items, doc.items[i], item_path, error)) return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool ValidateJsonSchema(const JsonValue& schema, const JsonValue& doc,
+                        std::string* error) {
+  if (error != nullptr) error->clear();
+  return Validate(schema, doc, "$", error);
+}
+
+}  // namespace strip::obs::report

@@ -1,0 +1,89 @@
+// Sweep aggregation: paper-figure tables and shard-imbalance analytics.
+//
+// `summarize DIR` folds a sweep directory into per-policy × per-x
+// tables (one per metric — the shape of the paper's figures), and in
+// --by-shard mode computes cluster imbalance analytics over per-shard
+// telemetry documents: load / staleness / remote-traffic skew
+// (max-over-mean shard ratios with worst-shard attribution) plus true
+// cluster-level response percentiles obtained by bucket-merging the
+// per-shard histograms — the honest counterpart to the worst-shard
+// upper bound the aggregate RunMetrics reports.
+
+#ifndef STRIP_OBS_REPORT_SUMMARY_H_
+#define STRIP_OBS_REPORT_SUMMARY_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/report/artifact.h"
+
+namespace strip::obs::report {
+
+struct SummaryOptions {
+  // Compute shard-imbalance analytics over *.json.shard<k> docs.
+  bool by_shard = false;
+  // Metrics to tabulate; empty selects the paper-figure default set.
+  std::vector<std::string> metrics;
+};
+
+// One per-policy × per-x table for a single metric. cells[x][policy]
+// is the replication mean, absent when that cell is missing.
+struct SummaryTable {
+  std::string metric;
+  std::string x_name;
+  std::vector<std::string> policies;  // columns, canonical order
+  std::vector<double> x_values;       // rows, ascending
+  std::vector<std::vector<std::optional<double>>> cells;
+};
+
+// Imbalance analytics for one sharded run (one telemetry shard group).
+struct ShardImbalance {
+  std::string label;
+  std::string policy;
+  int shards = 0;
+
+  // One skew dimension: a per-shard signal with its max/mean ratio and
+  // the shard holding the max.
+  struct Dimension {
+    std::string name;  // "load" | "staleness" | "remote_traffic"
+    std::vector<double> values;  // indexed by shard
+    double mean = 0;
+    double max = 0;
+    double skew = 1.0;  // max/mean; 1.0 when the mean is 0
+    int worst_shard = 0;
+  };
+  std::vector<Dimension> dimensions;
+
+  const Dimension* FindDimension(const std::string& name) const;
+
+  // True cluster percentiles (bucket-merged response histograms);
+  // absent when histograms cannot be merged (shape mismatch).
+  std::optional<double> cluster_p50;
+  std::optional<double> cluster_p90;
+  std::optional<double> cluster_p99;
+  // Worst-shard p99 and which shard holds it, for attribution next to
+  // the cluster-true number.
+  std::optional<double> worst_p99;
+  int worst_p99_shard = 0;
+};
+
+struct SummaryReport {
+  std::string path;
+  std::string x_name;
+  std::vector<SummaryTable> tables;
+  std::vector<ShardImbalance> imbalance;
+  std::vector<std::string> notes;
+};
+
+SummaryReport SummarizeSweep(const SweepDirData& data,
+                             const SummaryOptions& options);
+
+std::string SummaryMarkdown(const SummaryReport& report);
+// Long-format CSV: metric,policy,x_name,x_value,value — one row per
+// table cell, machine-joinable across sweeps.
+std::string SummaryCsv(const SummaryReport& report);
+
+}  // namespace strip::obs::report
+
+#endif  // STRIP_OBS_REPORT_SUMMARY_H_

@@ -116,15 +116,51 @@ std::optional<ParsedTrace> ParseChromeTrace(std::istream& in,
   }
   std::istringstream lines(all);
   std::string line;
-  // The last open dispatch, to attribute bare E records.
-  ParsedEvent open_dispatch;
-  bool have_open = false;
+  // pid → shard, built from the "process_name" metadata records
+  // ("strip" is the uniprocessor writer, "shard N" the per-shard
+  // writers). Unmapped pids fall back to pid-1 (the writers assign
+  // pid = shard + 1).
+  std::vector<std::pair<int, int>> pid_to_shard;
+  // The last open dispatch *per pid*: sharded traces interleave B/E
+  // spans from different shards, so attribution must be per track
+  // group — one global slot would hand shard 1's E record shard 0's
+  // identities.
+  std::vector<std::pair<int, ParsedEvent>> open_by_pid;
+  const auto shard_of = [&pid_to_shard](int pid) {
+    for (const auto& [known_pid, shard] : pid_to_shard) {
+      if (known_pid == pid) return shard;
+    }
+    return pid >= 1 ? pid - 1 : 0;
+  };
   while (std::getline(lines, line)) {
+    const int pid =
+        static_cast<int>(JsonNumber(line, "pid").value_or(1.0));
+    if (JsonString(line, "ph") == "M" &&
+        JsonString(line, "name") == "process_name") {
+      // The args name is the second "name" on the line.
+      const std::string args_needle = "\"args\":{\"name\":\"";
+      const std::size_t at = line.find(args_needle);
+      if (at != std::string::npos) {
+        const std::size_t start = at + args_needle.size();
+        const std::size_t end = line.find('"', start);
+        const std::string process =
+            line.substr(start, end == std::string::npos ? std::string::npos
+                                                        : end - start);
+        int shard = 0;
+        if (process.rfind("shard ", 0) == 0) {
+          shard = std::atoi(process.c_str() + 6);
+        }
+        pid_to_shard.emplace_back(pid, shard);
+        trace.shards = std::max(trace.shards, shard + 1);
+      }
+      continue;
+    }
     const std::string cat = JsonString(line, "cat");
     if (cat.empty() || cat == "od-flow") continue;
     const std::string ph = JsonString(line, "ph");
     ParsedEvent event;
     event.kind = cat;
+    event.shard = shard_of(pid);
     const std::optional<double> ts = JsonNumber(line, "ts");
     event.time = ts.has_value() ? *ts / 1e6 : 0;
     if (const auto txn = JsonNumber(line, "txn")) {
@@ -139,20 +175,31 @@ std::optional<ParsedTrace> ParseChromeTrace(std::istream& in,
       event.instructions = *instr;
     }
     const std::string name = JsonString(line, "name");
+    ParsedEvent* open_dispatch = nullptr;
+    for (auto& [open_pid, open] : open_by_pid) {
+      if (open_pid == pid) {
+        open_dispatch = &open;
+        break;
+      }
+    }
     if (ph == "B") {
       event.detail = name;  // the dispatch kind
-      open_dispatch = event;
-      have_open = true;
+      if (open_dispatch != nullptr) {
+        *open_dispatch = event;
+      } else {
+        open_by_pid.emplace_back(pid, event);
+      }
     } else if (ph == "E") {
-      // E records carry no args: attribute them to the open dispatch.
-      if (have_open) {
-        event.txn = open_dispatch.txn;
-        event.update = open_dispatch.update;
-        event.object = open_dispatch.object;
-        event.instructions = open_dispatch.instructions;
+      // E records carry no args: attribute them to this track group's
+      // open dispatch.
+      if (open_dispatch != nullptr && !open_dispatch->kind.empty()) {
+        event.txn = open_dispatch->txn;
+        event.update = open_dispatch->update;
+        event.object = open_dispatch->object;
+        event.instructions = open_dispatch->instructions;
+        open_dispatch->kind.clear();
       }
       event.detail = name;
-      have_open = false;
     } else if (cat == "preempt") {
       event.detail = event.reason;  // align with the flight format
       event.reason.clear();
@@ -167,6 +214,9 @@ std::optional<ParsedTrace> ParseChromeTrace(std::istream& in,
       event.reason = JsonString(line, "reason");
     }
     trace.events.push_back(std::move(event));
+  }
+  for (const ParsedEvent& event : trace.events) {
+    trace.shards = std::max(trace.shards, event.shard + 1);
   }
   return trace;
 }
@@ -194,6 +244,15 @@ std::vector<ParsedEvent> FilterByWindow(
   std::vector<ParsedEvent> out;
   for (const ParsedEvent& event : events) {
     if (event.time >= from && event.time <= to) out.push_back(event);
+  }
+  return out;
+}
+
+std::vector<ParsedEvent> FilterByShard(
+    const std::vector<ParsedEvent>& events, int shard) {
+  std::vector<ParsedEvent> out;
+  for (const ParsedEvent& event : events) {
+    if (event.shard == shard) out.push_back(event);
   }
   return out;
 }

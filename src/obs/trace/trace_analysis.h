@@ -40,6 +40,10 @@ struct ParsedEvent {
   std::string detail;
   std::string reason;
   double instructions = 0;
+  // Originating shard. Sharded Chrome traces carry one track group
+  // ("shard N" process) per shard; uniprocessor traces and flight
+  // dumps are all shard 0.
+  int shard = 0;
 };
 
 struct ParsedTrace {
@@ -50,6 +54,9 @@ struct ParsedTrace {
   // The fault window named by an outage-recovery trip (header's
   // `window=` token); "" for other predicates and Chrome traces.
   std::string trip_window;
+  // Number of shard track groups in the document (1 for uniprocessor
+  // traces and flight dumps).
+  int shards = 1;
   std::vector<ParsedEvent> events;
 };
 
@@ -72,6 +79,8 @@ std::vector<ParsedEvent> FilterByObject(
     const std::vector<ParsedEvent>& events, const std::string& object);
 std::vector<ParsedEvent> FilterByWindow(
     const std::vector<ParsedEvent>& events, double from, double to);
+std::vector<ParsedEvent> FilterByShard(
+    const std::vector<ParsedEvent>& events, int shard);
 
 // Policy-decision tallies: "choice/reason" -> count.
 std::map<std::string, std::uint64_t> DecisionCounts(

@@ -74,6 +74,21 @@ void Histogram::Add(double sample) {
   ++buckets_[std::min(index, buckets_.size() - 1)];
 }
 
+bool Histogram::Merge(const Histogram& other) {
+  if (min_ != other.min_ || max_ != other.max_ ||
+      buckets_.size() != other.buckets_.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  count_ += other.count_;
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+  sum_ += other.sum_;
+  return true;
+}
+
 double Histogram::mean() const {
   return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
 }

@@ -90,6 +90,12 @@ class Histogram {
 
   void Add(double sample);
 
+  // Bucket-wise merge of `other` into this histogram, as if both
+  // sample streams had been recorded here. Requires an identical
+  // bucket layout (min, max, bucket count); returns false and leaves
+  // this histogram unchanged on a layout mismatch.
+  bool Merge(const Histogram& other);
+
   std::uint64_t count() const { return count_; }
   double mean() const;
 

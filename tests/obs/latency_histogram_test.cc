@@ -136,5 +136,107 @@ TEST(LatencyHistogramTest, QuantileMonotonicInQ) {
   }
 }
 
+// Sparse-dump round trip: FromBuckets must rebuild a histogram whose
+// every observable (count, sum, quantiles, bucket contents) matches
+// the original.
+TEST(LatencyHistogramTest, FromBucketsRoundTrip) {
+  std::mt19937_64 rng(7);
+  std::lognormal_distribution<double> dist(-2.0, 1.0);
+  LatencyHistogram original(1e-4, 100.0);
+  for (int i = 0; i < 20'000; ++i) original.Add(dist(rng));
+
+  std::vector<std::pair<std::size_t, std::uint64_t>> sparse;
+  for (std::size_t i = 0; i < original.bucket_count(); ++i) {
+    if (original.bucket_value(i) != 0) {
+      sparse.emplace_back(i, original.bucket_value(i));
+    }
+  }
+  const std::optional<LatencyHistogram> rebuilt =
+      LatencyHistogram::FromBuckets(
+          original.min(), original.max(), original.buckets_per_decade(),
+          sparse, original.mean(), original.min_sample(),
+          original.max_sample());
+  ASSERT_TRUE(rebuilt.has_value());
+  EXPECT_EQ(rebuilt->count(), original.count());
+  EXPECT_DOUBLE_EQ(rebuilt->mean(), original.mean());
+  for (double q : {0.0, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(rebuilt->Quantile(q), original.Quantile(q))
+        << "q=" << q;
+  }
+}
+
+TEST(LatencyHistogramTest, FromBucketsRejectsBadShape) {
+  EXPECT_FALSE(
+      LatencyHistogram::FromBuckets(0.0, 100.0, 36, {}, 0, 0, 0)
+          .has_value());
+  EXPECT_FALSE(
+      LatencyHistogram::FromBuckets(1e-4, 100.0, 0, {}, 0, 0, 0)
+          .has_value());
+  // Bucket index beyond the layout's bucket count.
+  EXPECT_FALSE(LatencyHistogram::FromBuckets(1e-4, 100.0, 36,
+                                             {{1'000'000, 1}}, 0.5, 0.5,
+                                             0.5)
+                   .has_value());
+}
+
+// The merge contract that cluster-level percentiles rest on: merging
+// per-shard histograms is exactly equivalent to one histogram having
+// seen every shard's samples.
+TEST(LatencyHistogramTest, MergeMatchesSingleHistogramReference) {
+  std::mt19937_64 rng(21);
+  std::lognormal_distribution<double> fast(-3.0, 0.6);
+  std::lognormal_distribution<double> slow(-1.0, 0.8);
+  LatencyHistogram shard0(1e-4, 100.0);
+  LatencyHistogram shard1(1e-4, 100.0);
+  LatencyHistogram reference(1e-4, 100.0);
+  for (int i = 0; i < 10'000; ++i) {
+    const double f = fast(rng);
+    const double s = slow(rng);
+    shard0.Add(f);
+    shard1.Add(s);
+    reference.Add(f);
+    reference.Add(s);
+  }
+  ASSERT_TRUE(shard0.Merge(shard1));
+  EXPECT_EQ(shard0.count(), reference.count());
+  // sum adds two sub-sums where the reference interleaved: identical
+  // up to floating-point association, not bit-exact.
+  EXPECT_NEAR(shard0.sum(), reference.sum(),
+              1e-12 * reference.sum());
+  EXPECT_DOUBLE_EQ(shard0.min_sample(), reference.min_sample());
+  EXPECT_DOUBLE_EQ(shard0.max_sample(), reference.max_sample());
+  for (double q : {0.0, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    EXPECT_DOUBLE_EQ(shard0.Quantile(q), reference.Quantile(q))
+        << "q=" << q;
+  }
+}
+
+TEST(LatencyHistogramTest, MergeEmptySidesAreNoOps) {
+  LatencyHistogram h(1e-4, 100.0);
+  h.Add(0.25);
+  LatencyHistogram empty(1e-4, 100.0);
+  ASSERT_TRUE(h.Merge(empty));
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.25);
+  // Empty absorbing non-empty works too.
+  ASSERT_TRUE(empty.Merge(h));
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.Quantile(0.5), 0.25);
+}
+
+TEST(LatencyHistogramTest, MergeRefusesLayoutMismatch) {
+  LatencyHistogram a(1e-4, 100.0, 36);
+  a.Add(0.25);
+  LatencyHistogram coarser(1e-4, 100.0, 16);
+  coarser.Add(0.5);
+  LatencyHistogram shifted(1e-3, 100.0, 36);
+  shifted.Add(0.5);
+  EXPECT_FALSE(a.Merge(coarser));
+  EXPECT_FALSE(a.Merge(shifted));
+  // Unchanged on refusal.
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_DOUBLE_EQ(a.Quantile(0.5), 0.25);
+}
+
 }  // namespace
 }  // namespace strip::obs

@@ -1,0 +1,108 @@
+// The report layer's JSON parser: a DOM boundary parser that must be
+// exact on the documents this repo writes and unkillable on anything
+// else. Malformed inputs produce a one-line "byte N" error, never a
+// crash; object members keep document order so every downstream walk
+// is deterministic.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/report/json.h"
+
+namespace strip::obs::report {
+namespace {
+
+JsonValue ParseOk(const std::string& text) {
+  std::string error;
+  const std::optional<JsonValue> value = ParseJson(text, &error);
+  EXPECT_TRUE(value.has_value()) << text << " -> " << error;
+  return value.value_or(JsonValue{});
+}
+
+void ExpectRejected(const std::string& text) {
+  std::string error;
+  EXPECT_FALSE(ParseJson(text, &error).has_value()) << text;
+  EXPECT_NE(error.find("byte"), std::string::npos) << error;
+}
+
+TEST(ReportJsonTest, ParsesScalars) {
+  EXPECT_TRUE(ParseOk("null").is_null());
+  EXPECT_TRUE(ParseOk("true").bool_value);
+  EXPECT_FALSE(ParseOk("false").bool_value);
+  EXPECT_DOUBLE_EQ(ParseOk("-12.5e2").number_value, -1250.0);
+  EXPECT_EQ(ParseOk("\"hi\\n\\\"there\\\"\"").string_value,
+            "hi\n\"there\"");
+}
+
+TEST(ReportJsonTest, ParsesUnicodeEscapes) {
+  // \u0041 = 'A'; two-byte and three-byte UTF-8 outputs as well.
+  EXPECT_EQ(ParseOk("\"\\u0041\"").string_value, "A");
+  EXPECT_EQ(ParseOk("\"\\u00e9\"").string_value, "\xc3\xa9");
+  EXPECT_EQ(ParseOk("\"\\u20ac\"").string_value, "\xe2\x82\xac");
+}
+
+TEST(ReportJsonTest, ObjectKeepsDocumentOrder) {
+  const JsonValue doc = ParseOk("{\"z\": 1, \"a\": 2, \"m\": 3}");
+  ASSERT_EQ(doc.members.size(), 3u);
+  EXPECT_EQ(doc.members[0].first, "z");
+  EXPECT_EQ(doc.members[1].first, "a");
+  EXPECT_EQ(doc.members[2].first, "m");
+  EXPECT_DOUBLE_EQ(doc.NumberOr("a", -1), 2.0);
+  EXPECT_DOUBLE_EQ(doc.NumberOr("missing", -1), -1.0);
+}
+
+TEST(ReportJsonTest, NestedArraysAndLookupHelpers) {
+  const JsonValue doc = ParseOk(
+      "{\"runs\": [[1, 2], [3]], \"name\": \"UF\", \"ok\": true}");
+  const JsonValue* runs = doc.Find("runs");
+  ASSERT_NE(runs, nullptr);
+  ASSERT_EQ(runs->items.size(), 2u);
+  EXPECT_EQ(runs->items[0].items.size(), 2u);
+  EXPECT_DOUBLE_EQ(runs->items[1].items[0].number_value, 3.0);
+  EXPECT_EQ(doc.StringOr("name", ""), "UF");
+  EXPECT_TRUE(doc.BoolOr("ok", false));
+  EXPECT_EQ(doc.Find("absent"), nullptr);
+}
+
+TEST(ReportJsonTest, RoundTripsFull17DigitDoubles) {
+  // %.17g is the repo-wide number contract; the parser must not lose
+  // precision on what the writers emit.
+  const JsonValue doc = ParseOk("{\"v\": 0.12508999999999999}");
+  EXPECT_DOUBLE_EQ(doc.NumberOr("v", 0), 0.12508999999999999);
+}
+
+TEST(ReportJsonTest, RejectsMalformedInput) {
+  ExpectRejected("");
+  ExpectRejected("{");
+  ExpectRejected("[1, 2");
+  ExpectRejected("{\"a\": }");
+  ExpectRejected("{\"a\" 1}");
+  ExpectRejected("{a: 1}");
+  ExpectRejected("[1,]");
+  ExpectRejected("tru");
+  ExpectRejected("\"unterminated");
+  ExpectRejected("\"bad escape \\q\"");
+  ExpectRejected("0x10");
+  ExpectRejected("NaN");
+}
+
+TEST(ReportJsonTest, RejectsTrailingGarbage) {
+  ExpectRejected("{} extra");
+  ExpectRejected("1 2");
+}
+
+TEST(ReportJsonTest, RejectsRunawayNesting) {
+  std::string deep;
+  for (int i = 0; i < 100; ++i) deep += "[";
+  ExpectRejected(deep);
+}
+
+TEST(ReportJsonTest, ErrorNamesTheByteOffset) {
+  std::string error;
+  EXPECT_FALSE(ParseJson("{\"a\": 1, !}", &error).has_value());
+  EXPECT_EQ(error.rfind("byte 9", 0), 0u) << error;
+}
+
+}  // namespace
+}  // namespace strip::obs::report

@@ -1,0 +1,186 @@
+// Sweep summarization: per-policy × per-x tables in canonical order,
+// and the --by-shard imbalance analytics — skew ratios with
+// worst-shard attribution and true cluster percentiles from
+// bucket-merged histograms (cross-checked against a single histogram
+// fed every shard's samples).
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/latency_histogram.h"
+#include "obs/report/artifact.h"
+#include "obs/report/summary.h"
+
+namespace strip::obs::report {
+namespace {
+
+SweepCellDoc MakeCell(const std::string& policy, std::size_t x_index,
+                      double x_value, double p_md) {
+  SweepCellDoc cell;
+  cell.policy = policy;
+  cell.x_name = "lambda_u";
+  cell.x_value = x_value;
+  cell.x_index = x_index;
+  cell.replications = 2;
+  // Two replications bracketing the mean.
+  cell.runs = {{{"p_md", p_md - 0.01}, {"p_success", 0.9}},
+               {{"p_md", p_md + 0.01}, {"p_success", 0.9}}};
+  return cell;
+}
+
+// One shard's telemetry with a real response histogram built from
+// samples, so merged cluster quantiles can be cross-checked.
+TelemetryDoc MakeShard(int shard, int shards, double load,
+                       double f_old_low, double remote,
+                       const std::vector<double>& samples) {
+  TelemetryDoc doc;
+  doc.policy = "OD";
+  doc.shard = shard;
+  doc.shards = shards;
+  LatencyHistogram h(1e-4, 100.0);
+  for (double s : samples) h.Add(s);
+  HistogramData data;
+  data.name = "response_seconds";
+  data.count = h.count();
+  data.mean = h.mean();
+  data.min_sample = h.min_sample();
+  data.max_sample = h.max_sample();
+  data.p50 = h.Quantile(0.5);
+  data.p90 = h.Quantile(0.9);
+  data.p99 = h.Quantile(0.99);
+  data.range_min = 1e-4;
+  data.range_max = 100.0;
+  data.buckets_per_decade = h.buckets_per_decade();
+  for (std::size_t i = 0; i < h.bucket_count(); ++i) {
+    if (h.bucket_value(i) != 0) data.buckets.emplace_back(i, h.bucket_value(i));
+  }
+  doc.histograms.push_back(data);
+  doc.metrics = {{"txns_committed", load},
+                 {"f_old_low", f_old_low},
+                 {"remote_reads_issued", remote},
+                 {"remote_reads_served", 0.0},
+                 {"response_p99", h.Quantile(0.99)}};
+  return doc;
+}
+
+TEST(ReportSummaryTest, TablesAreCanonicalOrderWithMeans) {
+  SweepDirData data;
+  data.x_name = "lambda_u";
+  // Inserted out of canonical order on purpose.
+  data.cells.push_back(MakeCell("OD", 0, 100, 0.30));
+  data.cells.push_back(MakeCell("UF", 0, 100, 0.10));
+  data.cells.push_back(MakeCell("OD", 1, 200, 0.40));
+  data.cells.push_back(MakeCell("UF", 1, 200, 0.20));
+  data.policies = {"UF", "OD"};
+  data.x_values = {100, 200};
+
+  SummaryOptions options;
+  options.metrics = {"p_md"};
+  const SummaryReport report = SummarizeSweep(data, options);
+  ASSERT_EQ(report.tables.size(), 1u);
+  const SummaryTable& table = report.tables[0];
+  EXPECT_EQ(table.metric, "p_md");
+  ASSERT_EQ(table.policies.size(), 2u);
+  EXPECT_EQ(table.policies[0], "UF");  // canonical order, not insertion
+  EXPECT_EQ(table.policies[1], "OD");
+  ASSERT_EQ(table.cells.size(), 2u);
+  EXPECT_DOUBLE_EQ(table.cells[0][0].value(), 0.10);
+  EXPECT_DOUBLE_EQ(table.cells[0][1].value(), 0.30);
+  EXPECT_DOUBLE_EQ(table.cells[1][1].value(), 0.40);
+
+  // Renderings are pure functions of the report.
+  EXPECT_EQ(SummaryMarkdown(report), SummaryMarkdown(report));
+  const std::string csv = SummaryCsv(report);
+  EXPECT_NE(csv.find("p_md,UF,lambda_u,100,"), std::string::npos) << csv;
+}
+
+TEST(ReportSummaryTest, MissingCellIsAbsentNotZero) {
+  SweepDirData data;
+  data.x_name = "lambda_u";
+  data.cells.push_back(MakeCell("UF", 0, 100, 0.10));
+  data.cells.push_back(MakeCell("UF", 1, 200, 0.20));
+  data.cells.push_back(MakeCell("OD", 0, 100, 0.30));
+  data.policies = {"UF", "OD"};
+  data.x_values = {100, 200};
+  SummaryOptions options;
+  options.metrics = {"p_md"};
+  const SummaryReport report = SummarizeSweep(data, options);
+  ASSERT_EQ(report.tables.size(), 1u);
+  EXPECT_FALSE(report.tables[0].cells[1][1].has_value());
+}
+
+TEST(ReportSummaryTest, ShardImbalanceSkewAndAttribution) {
+  SweepDirData data;
+  data.x_name = "lambda_u";
+  SweepDirData::ShardGroup group;
+  group.label = "OD_00";
+  // Shard 2 is the hot shard on every dimension: double the load,
+  // the stalest data, all the remote traffic.
+  group.shards.push_back(
+      MakeShard(0, 3, 100, 0.10, 10, {0.1, 0.1, 0.2}));
+  group.shards.push_back(
+      MakeShard(1, 3, 100, 0.10, 10, {0.1, 0.2, 0.2}));
+  group.shards.push_back(
+      MakeShard(2, 3, 200, 0.40, 40, {0.4, 0.8, 1.6}));
+  data.shard_groups.push_back(group);
+
+  SummaryOptions options;
+  options.by_shard = true;
+  const SummaryReport report = SummarizeSweep(data, options);
+  ASSERT_EQ(report.imbalance.size(), 1u);
+  const ShardImbalance& imbalance = report.imbalance[0];
+  EXPECT_EQ(imbalance.label, "OD_00");
+  EXPECT_EQ(imbalance.shards, 3);
+
+  const auto* load = imbalance.FindDimension("load");
+  ASSERT_NE(load, nullptr);
+  // max/mean = 200 / ((100+100+200)/3) = 1.5
+  EXPECT_NEAR(load->skew, 1.5, 1e-12);
+  EXPECT_EQ(load->worst_shard, 2);
+
+  const auto* staleness = imbalance.FindDimension("staleness");
+  ASSERT_NE(staleness, nullptr);
+  EXPECT_NEAR(staleness->skew, 0.40 / 0.20, 1e-12);
+  EXPECT_EQ(staleness->worst_shard, 2);
+
+  const auto* remote = imbalance.FindDimension("remote_traffic");
+  ASSERT_NE(remote, nullptr);
+  EXPECT_EQ(remote->worst_shard, 2);
+
+  // Cluster percentiles must equal a single histogram fed all nine
+  // samples — the merge is exact, not an approximation.
+  LatencyHistogram all(1e-4, 100.0);
+  for (double s : {0.1, 0.1, 0.2, 0.1, 0.2, 0.2, 0.4, 0.8, 1.6}) {
+    all.Add(s);
+  }
+  ASSERT_TRUE(imbalance.cluster_p50.has_value());
+  EXPECT_DOUBLE_EQ(*imbalance.cluster_p50, all.Quantile(0.5));
+  EXPECT_DOUBLE_EQ(*imbalance.cluster_p90, all.Quantile(0.9));
+  EXPECT_DOUBLE_EQ(*imbalance.cluster_p99, all.Quantile(0.99));
+  // Worst-shard attribution: shard 2 holds the heaviest tail.
+  ASSERT_TRUE(imbalance.worst_p99.has_value());
+  EXPECT_EQ(imbalance.worst_p99_shard, 2);
+  EXPECT_GE(*imbalance.worst_p99, *imbalance.cluster_p99);
+}
+
+TEST(ReportSummaryTest, UniformShardsHaveUnitSkew) {
+  SweepDirData data;
+  SweepDirData::ShardGroup group;
+  group.label = "UF_00";
+  group.shards.push_back(MakeShard(0, 2, 100, 0.2, 5, {0.1, 0.2}));
+  group.shards.push_back(MakeShard(1, 2, 100, 0.2, 5, {0.1, 0.2}));
+  data.shard_groups.push_back(group);
+  SummaryOptions options;
+  options.by_shard = true;
+  const SummaryReport report = SummarizeSweep(data, options);
+  ASSERT_EQ(report.imbalance.size(), 1u);
+  for (const auto& dimension : report.imbalance[0].dimensions) {
+    EXPECT_DOUBLE_EQ(dimension.skew, 1.0) << dimension.name;
+  }
+}
+
+}  // namespace
+}  // namespace strip::obs::report

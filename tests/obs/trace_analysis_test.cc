@@ -1,8 +1,10 @@
 // trace_analysis: both parsers, the filters, decision tallies, and
 // critical-path reconstruction on a hand-written event stream.
 
+#include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -232,6 +234,95 @@ TEST(CriticalPathTest, UnknownTxnIsAnError) {
   std::string error;
   EXPECT_FALSE(ExtractCriticalPath(FlightEvents(), 99, &error).has_value());
   EXPECT_NE(error.find("99"), std::string::npos);
+}
+
+// --- sharded chrome traces -------------------------------------------------
+
+constexpr char kShardedGoldenPath[] =
+    STRIP_TEST_SOURCE_DIR "/obs/testdata/chrome_trace_sharded_golden.json";
+
+std::vector<ParsedEvent> OfShard(const ParsedTrace& trace, int shard) {
+  return FilterByShard(trace.events, shard);
+}
+
+TEST(ParseChromeTraceShardedTest, GoldenTraceMapsPidsToShards) {
+  std::ifstream in(kShardedGoldenPath);
+  ASSERT_TRUE(in) << kShardedGoldenPath;
+  std::string error;
+  const std::optional<ParsedTrace> parsed = ParseChromeTrace(in, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->shards, 2);
+  // 11 event rows (metadata records are consumed by the pid map).
+  ASSERT_EQ(parsed->events.size(), 11u);
+  for (const ParsedEvent& event : parsed->events) {
+    EXPECT_TRUE(event.shard == 0 || event.shard == 1) << event.kind;
+  }
+}
+
+TEST(ParseChromeTraceShardedTest, FilterByShardSplitsTheTrace) {
+  std::ifstream in(kShardedGoldenPath);
+  std::string error;
+  const std::optional<ParsedTrace> parsed = ParseChromeTrace(in, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  const std::vector<ParsedEvent> shard0 = OfShard(*parsed, 0);
+  const std::vector<ParsedEvent> shard1 = OfShard(*parsed, 1);
+  EXPECT_EQ(shard0.size() + shard1.size(), parsed->events.size());
+  ASSERT_EQ(shard0.size(), 5u);
+  ASSERT_EQ(shard1.size(), 6u);
+  // Decision tallies split cleanly: shard 0 installed on arrival,
+  // shard 1 deferred once then installed.
+  const auto decisions0 = DecisionCounts(shard0);
+  const auto decisions1 = DecisionCounts(shard1);
+  EXPECT_EQ(decisions0.at("install/uf-install-on-arrival"), 1u);
+  EXPECT_EQ(decisions0.count("defer/txn-in-progress"), 0u);
+  EXPECT_EQ(decisions1.at("defer/txn-in-progress"), 1u);
+  EXPECT_EQ(decisions1.at("install/uf-install-on-arrival"), 1u);
+}
+
+TEST(ParseChromeTraceShardedTest, InterleavedSpansAttributePerShard) {
+  // The golden interleaves the two shards' B/E spans (shard 0 opens at
+  // 100us, shard 1 at 150us, shard 0 closes first): each E must take
+  // its identities from its own shard's open dispatch.
+  std::ifstream in(kShardedGoldenPath);
+  std::string error;
+  const std::optional<ParsedTrace> parsed = ParseChromeTrace(in, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  const std::vector<ParsedEvent> shard0 = OfShard(*parsed, 0);
+  const std::vector<ParsedEvent> shard1 = OfShard(*parsed, 1);
+  const auto find_complete = [](const std::vector<ParsedEvent>& events)
+      -> const ParsedEvent* {
+    for (const ParsedEvent& event : events) {
+      if (event.kind == "segment-complete") return &event;
+    }
+    return nullptr;
+  };
+  const ParsedEvent* complete0 = find_complete(shard0);
+  const ParsedEvent* complete1 = find_complete(shard1);
+  ASSERT_NE(complete0, nullptr);
+  ASSERT_NE(complete1, nullptr);
+  EXPECT_EQ(complete0->update, 1u);
+  EXPECT_EQ(complete0->object, "low:3");
+  EXPECT_DOUBLE_EQ(complete0->instructions, 4000);
+  EXPECT_EQ(complete1->update, 9u);
+  EXPECT_EQ(complete1->object, "high:7");
+  EXPECT_DOUBLE_EQ(complete1->instructions, 6000);
+}
+
+TEST(ParseChromeTraceShardedTest, UniprocessorTraceStaysSingleShard) {
+  std::istringstream in(
+      "{\"traceEvents\":[\n"
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
+      "\"args\":{\"name\":\"strip\"}},\n"
+      "{\"name\":\"arrival\",\"cat\":\"update-arrival\",\"ph\":\"i\","
+      "\"s\":\"t\",\"pid\":1,\"tid\":2,\"ts\":100.0,"
+      "\"args\":{\"update\":1,\"obj\":\"low:3\"}}\n"
+      "]}\n");
+  std::string error;
+  const std::optional<ParsedTrace> parsed = ParseChromeTrace(in, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->shards, 1);
+  ASSERT_EQ(parsed->events.size(), 1u);
+  EXPECT_EQ(parsed->events[0].shard, 0);
 }
 
 }  // namespace

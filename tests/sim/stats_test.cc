@@ -192,5 +192,57 @@ TEST(SummaryTest, IdenticalSamplesHaveZeroCi) {
   EXPECT_DOUBLE_EQ(summary.ci95, 0.0);
 }
 
+TEST(HistogramMergeTest, MergeMatchesSingleHistogramReference) {
+  // Two shards' histograms merged must equal one histogram fed both
+  // sample streams -- exact bucket counts, not an approximation.
+  Histogram a(0.0, 10.0, 50);
+  Histogram b(0.0, 10.0, 50);
+  Histogram reference(0.0, 10.0, 50);
+  for (int i = 0; i < 1000; ++i) {
+    const double low = 0.01 * static_cast<double>(i);
+    const double high = 10.0 - 0.009 * static_cast<double>(i);
+    a.Add(low);
+    b.Add(high);
+    reference.Add(low);
+    reference.Add(high);
+  }
+  // Out-of-range traffic must merge too.
+  a.Add(-1.0);
+  b.Add(42.0);
+  reference.Add(-1.0);
+  reference.Add(42.0);
+
+  ASSERT_TRUE(a.Merge(b));
+  EXPECT_EQ(a.count(), reference.count());
+  EXPECT_EQ(a.underflow(), reference.underflow());
+  EXPECT_EQ(a.overflow(), reference.overflow());
+  EXPECT_DOUBLE_EQ(a.mean(), reference.mean());
+  for (double q : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(a.Quantile(q), reference.Quantile(q)) << "q=" << q;
+  }
+}
+
+TEST(HistogramMergeTest, MergeEmptyIsNoOp) {
+  Histogram a(0.0, 10.0, 50);
+  a.Add(1.0);
+  Histogram empty(0.0, 10.0, 50);
+  ASSERT_TRUE(a.Merge(empty));
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_DOUBLE_EQ(a.mean(), 1.0);
+}
+
+TEST(HistogramMergeTest, LayoutMismatchRefusesAndLeavesUnchanged) {
+  Histogram a(0.0, 10.0, 50);
+  a.Add(1.0);
+  Histogram wider(0.0, 20.0, 50);
+  wider.Add(5.0);
+  Histogram coarser(0.0, 10.0, 25);
+  coarser.Add(5.0);
+  EXPECT_FALSE(a.Merge(wider));
+  EXPECT_FALSE(a.Merge(coarser));
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_DOUBLE_EQ(a.Quantile(1.0), a.Quantile(1.0));
+}
+
 }  // namespace
 }  // namespace strip::sim

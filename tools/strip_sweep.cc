@@ -79,6 +79,7 @@
 #include "exp/config_flags.h"
 #include "exp/experiment.h"
 #include "exp/report.h"
+#include "exp/sweep_cell.h"
 #include "obs/telemetry.h"
 #include "obs/trace/flight_recorder.h"
 
@@ -137,14 +138,11 @@ PolicyKind ParsePolicy(const std::string& name) {
   Fail("unknown policy: " + name);
 }
 
-// "UF_03" — the cell token shared by telemetry, flight, and cell
-// files.
-std::string CellName(PolicyKind policy, std::size_t x_index) {
-  char cell[64];
-  std::snprintf(cell, sizeof(cell), "%s_%02zu",
-                strip::core::PolicyKindName(policy), x_index);
-  return cell;
-}
+// Cell naming and the strip.sweep-cell/v1 document live in the exp
+// library (exp/sweep_cell.h) so obs/report reads the same format this
+// tool writes.
+using strip::exp::SweepCellJson;
+using strip::exp::SweepCellName;
 
 // Writes a string atomically; any failure aborts the sweep (a silent
 // half-written grid is worse than a loud stop).
@@ -152,36 +150,6 @@ void WriteOrFail(const std::string& path, const std::string& contents) {
   if (const auto error = strip::exp::WriteFileAtomic(path, contents)) {
     Fail(*error);
   }
-}
-
-// One finished cell as a self-describing JSON document. Deterministic
-// (no timestamps, fixed field order), so a resumed sweep reproduces
-// byte-identical files.
-std::string CellJson(const strip::exp::SweepSpec& spec,
-                     std::size_t policy_index, std::size_t x_index,
-                     const std::vector<RunMetrics>& runs, bool timed_out) {
-  std::ostringstream out;
-  char x_value[64];
-  std::snprintf(x_value, sizeof(x_value), "%.17g",
-                spec.x_values[x_index]);
-  out << "{\n"
-      << "  \"schema\": \"strip.sweep-cell/v1\",\n"
-      << "  \"policy\": \""
-      << strip::core::PolicyKindName(spec.policies[policy_index])
-      << "\",\n"
-      << "  \"x_name\": \"" << spec.x_name << "\",\n"
-      << "  \"x_value\": " << x_value << ",\n"
-      << "  \"x_index\": " << x_index << ",\n"
-      << "  \"replications\": " << spec.replications << ",\n"
-      << "  \"base_seed\": " << spec.base_seed << ",\n"
-      << "  \"timed_out\": " << (timed_out ? "true" : "false") << ",\n"
-      << "  \"runs\": [";
-  for (std::size_t r = 0; r < runs.size(); ++r) {
-    out << (r == 0 ? "\n    " : ",\n    ");
-    strip::core::WriteRunMetricsJson(out, runs[r], "      ", "    ");
-  }
-  out << "\n  ]\n}\n";
-  return out.str();
 }
 
 }  // namespace
@@ -317,8 +285,8 @@ int main(int argc, char** argv) {
                             const std::vector<RunMetrics>& runs,
                             bool timed_out) {
       const std::string path =
-          out_dir + "/cell_" + CellName(spec.policies[p], x) + ".json";
-      WriteOrFail(path, CellJson(spec, p, x, runs, timed_out));
+          out_dir + "/cell_" + SweepCellName(spec.policies[p], x) + ".json";
+      WriteOrFail(path, SweepCellJson(spec, p, x, runs, timed_out));
     };
     if (resume) {
       for (const std::string& name :
@@ -329,7 +297,7 @@ int main(int argc, char** argv) {
       }
       spec.skip_cell = [&spec, out_dir](std::size_t p, std::size_t x) {
         return strip::exp::FileExists(
-            out_dir + "/cell_" + CellName(spec.policies[p], x) + ".json");
+            out_dir + "/cell_" + SweepCellName(spec.policies[p], x) + ".json");
       };
     }
   }
@@ -410,7 +378,7 @@ int main(int argc, char** argv) {
       strip::exp::RunFinisher base_finisher =
           base_hook ? base_hook(system, context) : nullptr;
       const std::string cell =
-          CellName(hook_policies[context.policy_index], context.x_index);
+          SweepCellName(hook_policies[context.policy_index], context.x_index);
       const int replication = context.replication;
       return [auditor, base_finisher, cell, replication, &audit_failed](
                  const strip::core::RunMetrics& metrics) {
@@ -448,7 +416,7 @@ int main(int argc, char** argv) {
       };
       auto recorders = std::make_shared<Recorders>();
       const std::string cell =
-          CellName(hook_policies[context.policy_index], context.x_index);
+          SweepCellName(hook_policies[context.policy_index], context.x_index);
       const bool first = context.replication == 0;
       if (first && !telemetry_dir.empty()) {
         for (int s = 0; s < cell_cluster.shards(); ++s) {

@@ -3,6 +3,8 @@
 //   strip_trace --flight=PATH | --chrome=PATH   pick the input
 //               [--txn=ID] [--object=low:3]     event filters
 //               [--from=T] [--to=T]             time window (seconds)
+//               [--shard=K]       keep one shard's track group
+//                                 (sharded chrome traces only)
 //               [--decisions]     per-policy scheduler-decision counts
 //               [--critical-path=ID|auto]   one transaction's CPU
 //                                 timeline; "auto" picks the first
@@ -72,6 +74,7 @@ int main(int argc, char** argv) {
   bool decisions = false;
   bool print = false;
   std::string critical_path;
+  int shard_filter = -1;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -89,6 +92,9 @@ int main(int argc, char** argv) {
       to = std::atof(arg.c_str() + 5);
     } else if (arg == "--decisions") {
       decisions = true;
+    } else if (arg.rfind("--shard=", 0) == 0) {
+      shard_filter = std::atoi(arg.c_str() + 8);
+      if (shard_filter < 0) Fail("--shard needs an index >= 0");
     } else if (arg.rfind("--critical-path=", 0) == 0) {
       critical_path = arg.substr(16);
     } else if (arg == "--print") {
@@ -96,8 +102,8 @@ int main(int argc, char** argv) {
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: strip_trace --flight=PATH|--chrome=PATH [--txn=ID] "
-          "[--object=cls:idx] [--from=T] [--to=T] [--decisions] "
-          "[--critical-path=ID|auto] [--print]\n");
+          "[--object=cls:idx] [--from=T] [--to=T] [--shard=K] "
+          "[--decisions] [--critical-path=ID|auto] [--print]\n");
       return 0;
     } else {
       Fail("unknown flag " + arg + " (try --help)");
@@ -126,6 +132,14 @@ int main(int argc, char** argv) {
   if (from > -1e299 || to < 1e299) {
     events = strip::obs::trace::FilterByWindow(events, from, to);
   }
+  if (shard_filter >= 0) {
+    if (shard_filter >= parsed->shards) {
+      Fail("--shard=" + std::to_string(shard_filter) +
+           " but the trace has " + std::to_string(parsed->shards) +
+           " shard(s)");
+    }
+    events = strip::obs::trace::FilterByShard(events, shard_filter);
+  }
 
   if (!flight_path.empty()) {
     std::printf("flight record: trip=%s trip_time=%.6f events=%zu",
@@ -137,6 +151,9 @@ int main(int argc, char** argv) {
       std::printf(" window=%s", parsed->trip_window.c_str());
     }
     std::printf("\n");
+  } else if (parsed->shards > 1) {
+    std::printf("chrome trace: events=%zu shards=%d\n",
+                parsed->events.size(), parsed->shards);
   } else {
     std::printf("chrome trace: events=%zu\n", parsed->events.size());
   }
