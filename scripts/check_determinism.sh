@@ -64,7 +64,32 @@ cmp "$WORK/sc_a.json" "$WORK/sc_b.json" \
 cmp "$WORK/sout_a.txt" "$WORK/sout_b.txt" \
   || fail "sharded summary differs"
 
-echo "check_determinism: schema-v3 telemetry goldens"
+echo "check_determinism: cluster runs under an imperfect interconnect"
+# The interconnect fault domain adds RNG streams (link jitter/loss) and
+# event paths (delayed delivery, timeouts, retries, degraded reads);
+# all of it must replay byte-identically, including during a partition.
+CLUSTER_FAULTS="partition@15+10:shards=0/1;link-loss@30+10:p=0.3"
+for FB in stale abort; do
+  for PASS in a b; do
+    "$SIM" --policy=OD --sim_seconds=60 --seed=11 --shards=4 \
+      --link_latency_us=200 --link_jitter_us=100 --link_loss_p=0.02 \
+      --remote_timeout_s=0.05 --remote_fallback="$FB" \
+      --cluster_faults="$CLUSTER_FAULTS" --audit \
+      --telemetry="$WORK/it_${FB}_$PASS.json" \
+      --chrome-trace="$WORK/ic_${FB}_$PASS.json" \
+      > "$WORK/iout_${FB}_$PASS.txt"
+  done
+  for S in 0 1 2 3; do
+    cmp "$WORK/it_${FB}_a.json.shard$S" "$WORK/it_${FB}_b.json.shard$S" \
+      || fail "interconnect telemetry differs for shard $S ($FB)"
+  done
+  cmp "$WORK/ic_${FB}_a.json" "$WORK/ic_${FB}_b.json" \
+    || fail "interconnect chrome trace differs ($FB)"
+  cmp "$WORK/iout_${FB}_a.txt" "$WORK/iout_${FB}_b.txt" \
+    || fail "interconnect summary differs ($FB)"
+done
+
+echo "check_determinism: schema-v4 telemetry goldens"
 # Pinned bytes, not just self-consistency: a seeded run's telemetry
 # must match the committed golden exactly. Regenerate intentionally
 # changed goldens with STRIP_UPDATE_GOLDEN=1.
@@ -74,19 +99,19 @@ GOLDEN_DIR="tests/obs/testdata"
 "$SIM" --policy=OD --sim_seconds=30 --seed=7 --shards=2 --quiet \
   --telemetry="$WORK/gold2.json" > /dev/null
 if [ "${STRIP_UPDATE_GOLDEN:-0}" = "1" ]; then
-  cp "$WORK/gold.json" "$GOLDEN_DIR/determinism_telemetry_v3.json"
+  cp "$WORK/gold.json" "$GOLDEN_DIR/determinism_telemetry_v4.json"
   cp "$WORK/gold2.json.shard0" \
-    "$GOLDEN_DIR/determinism_telemetry_v3.shard0.json"
+    "$GOLDEN_DIR/determinism_telemetry_v4.shard0.json"
   cp "$WORK/gold2.json.shard1" \
-    "$GOLDEN_DIR/determinism_telemetry_v3.shard1.json"
+    "$GOLDEN_DIR/determinism_telemetry_v4.shard1.json"
   echo "check_determinism: goldens regenerated"
 else
-  cmp "$WORK/gold.json" "$GOLDEN_DIR/determinism_telemetry_v3.json" \
-    || fail "telemetry v3 golden drifted (STRIP_UPDATE_GOLDEN=1 to regen)"
+  cmp "$WORK/gold.json" "$GOLDEN_DIR/determinism_telemetry_v4.json" \
+    || fail "telemetry v4 golden drifted (STRIP_UPDATE_GOLDEN=1 to regen)"
   for S in 0 1; do
     cmp "$WORK/gold2.json.shard$S" \
-      "$GOLDEN_DIR/determinism_telemetry_v3.shard$S.json" \
-      || fail "sharded telemetry v3 golden drifted for shard $S"
+      "$GOLDEN_DIR/determinism_telemetry_v4.shard$S.json" \
+      || fail "sharded telemetry v4 golden drifted for shard $S"
   done
 fi
 

@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Partition-tolerance gate for the interconnect fault domain.
+#
+#   scripts/check_partition_tolerance.sh [BUILD_DIR]   # default: build
+#
+# Two checks:
+#
+#   1. Audited partition smoke matrix — {2,4} shards x {stale,abort}
+#      fallback x {UF,OD} policy, each run carrying a mid-run
+#      partition plus steady link latency/jitter/loss, with --audit
+#      attaching the per-shard invariant auditors and the cross-shard
+#      census. Every cell must exit 0: the exactly-once remote-read
+#      census and the partition fault-bracketing hold under every
+#      combination, or this script fails.
+#
+#   2. Zero-latency byte-identity guard — a cluster run with NO
+#      interconnect flags must byte-match the committed golden
+#      summaries (tests/integration/testdata/cluster_baseline_*.txt),
+#      pinned when the interconnect landed. This is the "inert config
+#      is free" contract as checked-in bytes: adding the fault domain
+#      must not move a single byte of the no-fault cluster output.
+#      Regenerate intentionally changed goldens with
+#      STRIP_UPDATE_GOLDEN=1.
+
+set -eu
+cd "$(dirname "$0")/.."
+BUILD="${1:-build}"
+SIM="$BUILD/tools/strip_sim"
+[ -x "$SIM" ] || { echo "missing $SIM (build first)"; exit 2; }
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+fail() { echo "check_partition_tolerance: FAILED — $1"; exit 1; }
+
+echo "check_partition_tolerance: audited partition smoke matrix"
+for SHARDS in 2 4; do
+  # One side of the cut is shard 0; the rest stay connected to each
+  # other. 10s partition in the middle of a 60s run.
+  CLUSTER_FAULTS="partition@20+10:shards=0;link-loss@40+5:p=0.2"
+  for FB in stale abort; do
+    for POLICY in UF OD; do
+      "$SIM" --policy="$POLICY" --sim_seconds=60 --seed=11 \
+        --shards="$SHARDS" \
+        --link_latency_us=200 --link_jitter_us=100 --link_loss_p=0.01 \
+        --remote_timeout_s=0.05 --remote_retry_max=2 \
+        --remote_fallback="$FB" \
+        --cluster_faults="$CLUSTER_FAULTS" --audit \
+        > "$WORK/smoke.txt" \
+        || fail "audit failed: shards=$SHARDS fallback=$FB policy=$POLICY"
+    done
+  done
+done
+
+echo "check_partition_tolerance: zero-latency byte-identity guard"
+GOLDEN_DIR="tests/integration/testdata"
+"$SIM" --shards=2 --policy=UF --sim_seconds=30 --seed=7 \
+  > "$WORK/base_2_UF.txt"
+"$SIM" --shards=4 --policy=OD --sim_seconds=30 --seed=7 \
+  > "$WORK/base_4_OD.txt"
+if [ "${STRIP_UPDATE_GOLDEN:-0}" = "1" ]; then
+  cp "$WORK/base_2_UF.txt" "$GOLDEN_DIR/cluster_baseline_2_UF.txt"
+  cp "$WORK/base_4_OD.txt" "$GOLDEN_DIR/cluster_baseline_4_OD.txt"
+  echo "check_partition_tolerance: goldens regenerated"
+else
+  cmp "$WORK/base_2_UF.txt" "$GOLDEN_DIR/cluster_baseline_2_UF.txt" \
+    || fail "2-shard UF baseline drifted (inert interconnect must be \
+byte-free; STRIP_UPDATE_GOLDEN=1 to regen intentionally)"
+  cmp "$WORK/base_4_OD.txt" "$GOLDEN_DIR/cluster_baseline_4_OD.txt" \
+    || fail "4-shard OD baseline drifted (inert interconnect must be \
+byte-free; STRIP_UPDATE_GOLDEN=1 to regen intentionally)"
+fi
+
+echo "check_partition_tolerance: OK"

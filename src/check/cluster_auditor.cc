@@ -1,6 +1,7 @@
 #include "check/cluster_auditor.h"
 
 #include <sstream>
+#include <string_view>
 
 #include "core/cluster.h"
 
@@ -112,7 +113,129 @@ void ClusterAuditor::OnShardRemoteResolved(sim::Time now,
     Record("remote-lifecycle", now, out.str());
     if (it == pending_.end()) return;
   }
+  if (it->second.dropped) {
+    std::ostringstream out;
+    out << "request " << read.request_id
+        << " resolved after the fabric dropped its message";
+    Record("remote-lifecycle", now, out.str());
+  }
   pending_.erase(it);
+}
+
+void ClusterAuditor::OnShardRemoteDropped(sim::Time now,
+                                          const core::RemoteRead& read,
+                                          bool reply_leg) {
+  if (reply_leg) {
+    ++dropped_replies_;
+  } else {
+    ++dropped_requests_;
+  }
+  if (!CheckShape(now, "dropped", read)) return;
+  const auto it = pending_.find(read.request_id);
+  if (it == pending_.end()) {
+    std::ostringstream out;
+    out << "request " << read.request_id << " dropped without issue";
+    Record("remote-lifecycle", now, out.str());
+    return;
+  }
+  if (it->second.dropped) {
+    std::ostringstream out;
+    out << "request " << read.request_id << " dropped twice";
+    Record("remote-lifecycle", now, out.str());
+    return;
+  }
+  // Each leg has exactly one legal stage to die at: a request leg is
+  // lost before the peer queues it, a reply leg only after service.
+  const Stage expected = reply_leg ? Stage::kServiced : Stage::kIssued;
+  if (it->second.stage != expected) {
+    std::ostringstream out;
+    out << "request " << read.request_id << ": "
+        << (reply_leg ? "reply" : "request")
+        << " leg dropped at the wrong stage";
+    Record("remote-lifecycle", now, out.str());
+    return;
+  }
+  it->second.dropped = true;
+}
+
+void ClusterAuditor::OnRemoteTimeout(sim::Time now,
+                                     const core::RemoteRead& read,
+                                     int attempt, bool will_retry) {
+  ++timeouts_;
+  if (!CheckShape(now, "timed-out", read)) return;
+  if (pending_.find(read.request_id) == pending_.end()) {
+    // The home shard's timer may only fire while its current request
+    // is genuinely unresolved; resolution cancels the timer.
+    std::ostringstream out;
+    out << "request " << read.request_id
+        << " timed out but is not outstanding";
+    Record("remote-lifecycle", now, out.str());
+  }
+  if (attempt < 1) {
+    std::ostringstream out;
+    out << "request " << read.request_id << " timed out at attempt "
+        << attempt;
+    Record("remote-lifecycle", now, out.str());
+  }
+  if (!will_retry) last_exhausted_request_ = read.request_id;
+}
+
+void ClusterAuditor::OnDegradedRead(sim::Time now,
+                                    const core::RemoteRead& read) {
+  ++degraded_;
+  if (!CheckShape(now, "degraded", read)) return;
+  if (read.request_id != last_exhausted_request_) {
+    std::ostringstream out;
+    out << "request " << read.request_id
+        << " served a degraded read without an exhausted timeout";
+    Record("remote-lifecycle", now, out.str());
+    return;
+  }
+  last_exhausted_request_ = ~std::uint64_t{0};
+}
+
+namespace {
+
+bool IsClusterScopedKind(const char* kind) {
+  if (kind == nullptr) return false;
+  const std::string_view k = kind;
+  return k == "link-latency" || k == "link-loss" || k == "partition" ||
+         k == "shard-outage";
+}
+
+}  // namespace
+
+void ClusterAuditor::OnFaultWindow(sim::Time now,
+                                   const FaultWindowInfo& window) {
+  const char* label = window.label != nullptr ? window.label : "";
+  std::ostringstream key;
+  key << label << "#" << window.shard;
+  bool& open = window_open_[key.str()];
+  if (window.begin) {
+    if (open) {
+      std::ostringstream out;
+      out << "window " << label << " began twice on shard "
+          << window.shard;
+      Record("partition-bracket", now, out.str());
+    }
+    open = true;
+  } else {
+    if (!open) {
+      std::ostringstream out;
+      out << "window " << label << " ended without beginning on shard "
+          << window.shard;
+      Record("partition-bracket", now, out.str());
+    }
+    open = false;
+  }
+  if (IsClusterScopedKind(window.kind)) {
+    WindowTally& tally = cluster_windows_[label];
+    if (window.begin) {
+      ++tally.begins;
+    } else {
+      ++tally.ends;
+    }
+  }
 }
 
 void ClusterAuditor::FinishRun() {
@@ -122,11 +245,26 @@ void ClusterAuditor::FinishRun() {
       cluster_ != nullptr && cluster_->simulator() != nullptr
           ? cluster_->simulator()->now()
           : 0.0;
-  // Run-end truncation may legally cut requests mid-rendezvous; what
-  // must hold is exact accounting: each stage counter equals the next
-  // stage's counter plus the requests still parked at that stage.
+  // Run-end truncation may legally cut requests mid-rendezvous, and
+  // the fabric may legally kill a message at its leg's one valid
+  // stage; what must hold is exact accounting: each stage counter
+  // equals the next stage's counter, plus the requests still parked at
+  // that stage, plus the messages the fabric reported dropped there.
+  // Every issued request is thereby resolved exactly once — served,
+  // degraded/aborted (a late reply resolves orphaned), dropped, or
+  // truncated — with no lost-reply leaks.
   std::uint64_t parked_issued = 0, parked_queued = 0, parked_serviced = 0;
+  std::uint64_t dead_requests = 0, dead_replies = 0;
   for (const auto& [id, pending] : pending_) {
+    if (pending.dropped) {
+      // A dropped entry sits at the stage its leg died at.
+      if (pending.stage == Stage::kIssued) {
+        ++dead_requests;
+      } else {
+        ++dead_replies;
+      }
+      continue;
+    }
     switch (pending.stage) {
       case Stage::kIssued:
         ++parked_issued;
@@ -139,15 +277,25 @@ void ClusterAuditor::FinishRun() {
         break;
     }
   }
-  if (queued_ + parked_issued != issued_ ||
+  if (dead_requests != dropped_requests_ ||
+      dead_replies != dropped_replies_) {
+    std::ostringstream out;
+    out << "drop ledger diverges: fabric reported "
+        << dropped_requests_ << " request / " << dropped_replies_
+        << " reply drops but " << dead_requests << " / " << dead_replies
+        << " requests died at those stages";
+    Record("remote-census", end, out.str());
+  }
+  if (queued_ + parked_issued + dropped_requests_ != issued_ ||
       serviced_ + parked_queued != queued_ ||
-      resolved_ + parked_serviced != serviced_) {
+      resolved_ + parked_serviced + dropped_replies_ != serviced_) {
     std::ostringstream out;
     out << "stage counts diverge: issued=" << issued_
         << " queued=" << queued_ << " serviced=" << serviced_
         << " resolved=" << resolved_ << " (outstanding issued="
         << parked_issued << " queued=" << parked_queued
-        << " serviced=" << parked_serviced << ")";
+        << " serviced=" << parked_serviced << ", dropped requests="
+        << dropped_requests_ << " replies=" << dropped_replies_ << ")";
     Record("remote-census", end, out.str());
   }
   if (cluster_ != nullptr && cluster_->remote_requests_issued() != issued_) {
@@ -155,6 +303,29 @@ void ClusterAuditor::FinishRun() {
     out << "cluster issued " << cluster_->remote_requests_issued()
         << " request ids but the buses reported " << issued_;
     Record("remote-census", end, out.str());
+  }
+  // Cluster-scoped windows broadcast each boundary to every shard: the
+  // tallies must be exact multiples of the cluster size, with at most
+  // one begin round still open (the window outlived the run).
+  const std::uint64_t shards =
+      cluster_ != nullptr ? static_cast<std::uint64_t>(cluster_->shards())
+                          : 0;
+  for (const auto& [label, tally] : cluster_windows_) {
+    if (shards == 0) break;
+    std::ostringstream out;
+    if (tally.begins % shards != 0 || tally.ends % shards != 0) {
+      out << "window " << label << " reported " << tally.begins
+          << " begins / " << tally.ends << " ends across " << shards
+          << " shards (not a whole round)";
+    } else if (tally.begins != tally.ends &&
+               tally.begins != tally.ends + shards) {
+      out << "window " << label << " brackets diverge: " << tally.begins
+          << " begins vs " << tally.ends << " ends across " << shards
+          << " shards";
+    } else {
+      continue;
+    }
+    Record("partition-bracket", end, out.str());
   }
 }
 

@@ -12,12 +12,25 @@
 //                      after queueing; resolved on its home after
 //                      service — no stage skipped, none repeated
 //   remote-census      end-of-run accounting is exact: every issued
-//                      request is resolved or still parked at a
-//                      recorded stage (run-end truncation cuts
-//                      rendezvous mid-flight, like txns_inflight_at_
-//                      end), the stage counters agree with the parked
-//                      set, and issued matches the Cluster's own
-//                      request-id counter
+//                      request is resolved, dropped by the fabric at a
+//                      legal leg, or still parked at a recorded stage
+//                      (run-end truncation cuts rendezvous mid-flight,
+//                      like txns_inflight_at_end), the stage counters
+//                      agree with the parked set, and issued matches
+//                      the Cluster's own request-id counter — no
+//                      lost-reply leaks
+//   partition-bracket  fault-window boundaries alternate begin/end on
+//                      every shard, and cluster-scoped windows
+//                      (partition, link-latency, link-loss,
+//                      shard-outage) report each boundary on every
+//                      shard of the cluster
+//
+// The interconnect fault domain adds three lifecycle events: a request
+// or reply leg may be *dropped* by the fabric (only at the legal stage
+// for that leg), a parked read may *time out* (only while the request
+// is actually outstanding), and an exhausted timeout may resolve as a
+// *degraded* local read (only immediately after its exhausted
+// timeout).
 //
 // Usage (tools/strip_sim --audit at --shards >= 2):
 //
@@ -50,7 +63,8 @@ namespace strip::check {
 class ClusterAuditor : public core::SystemObserver {
  public:
   struct Violation {
-    std::string invariant;  // "remote-lifecycle" | "remote-census"
+    // "remote-lifecycle" | "remote-census" | "partition-bracket"
+    std::string invariant;
     double time = 0;
     std::string message;
   };
@@ -76,8 +90,13 @@ class ClusterAuditor : public core::SystemObserver {
   std::uint64_t serviced() const { return serviced_; }
   std::uint64_t resolved() const { return resolved_; }
   std::uint64_t orphaned() const { return orphaned_; }
-  // Requests cut mid-rendezvous by the end of the run.
+  // Requests cut mid-rendezvous by the end of the run (includes
+  // requests whose message the fabric dropped; see dropped_*()).
   std::uint64_t outstanding() const { return pending_.size(); }
+  std::uint64_t dropped_requests() const { return dropped_requests_; }
+  std::uint64_t dropped_replies() const { return dropped_replies_; }
+  std::uint64_t timeouts() const { return timeouts_; }
+  std::uint64_t degraded() const { return degraded_; }
 
   // --- SystemObserver ------------------------------------------------------
   void OnShardRemoteIssued(sim::Time now,
@@ -88,6 +107,13 @@ class ClusterAuditor : public core::SystemObserver {
                              const core::RemoteRead& read) override;
   void OnShardRemoteResolved(sim::Time now, const core::RemoteRead& read,
                              bool txn_live) override;
+  void OnShardRemoteDropped(sim::Time now, const core::RemoteRead& read,
+                            bool reply_leg) override;
+  void OnRemoteTimeout(sim::Time now, const core::RemoteRead& read,
+                       int attempt, bool will_retry) override;
+  void OnDegradedRead(sim::Time now, const core::RemoteRead& read) override;
+  void OnFaultWindow(sim::Time now,
+                     const FaultWindowInfo& window) override;
 
  private:
   enum class Stage { kIssued, kQueued, kServiced };
@@ -97,6 +123,15 @@ class ClusterAuditor : public core::SystemObserver {
     int home_shard = -1;
     int peer_shard = -1;
     std::uint64_t txn_id = 0;
+    // The fabric lost this request's message; it can never resolve.
+    bool dropped = false;
+  };
+
+  // Cluster-scoped windows report once per shard; both tallies must be
+  // exact multiples of the cluster size when the run ends.
+  struct WindowTally {
+    std::uint64_t begins = 0;
+    std::uint64_t ends = 0;
   };
 
   void Record(const char* invariant, double now, std::string message);
@@ -113,6 +148,17 @@ class ClusterAuditor : public core::SystemObserver {
   std::uint64_t serviced_ = 0;
   std::uint64_t resolved_ = 0;
   std::uint64_t orphaned_ = 0;
+  std::uint64_t dropped_requests_ = 0;
+  std::uint64_t dropped_replies_ = 0;
+  std::uint64_t timeouts_ = 0;
+  std::uint64_t degraded_ = 0;
+  // The request id of the most recent exhausted (will_retry=false)
+  // timeout; a degraded read must match it. ~0 when none pending.
+  std::uint64_t last_exhausted_request_ = ~std::uint64_t{0};
+  // Per-(label, shard) open flag for begin/end alternation.
+  std::unordered_map<std::string, bool> window_open_;
+  // Per-label boundary tallies for cluster-scoped window kinds.
+  std::unordered_map<std::string, WindowTally> cluster_windows_;
   bool finished_ = false;
 };
 

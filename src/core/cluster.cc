@@ -44,18 +44,58 @@ Cluster::Cluster(sim::Simulator* simulator, const ShardedConfig& config,
     System::ShardLink link;
     link.shard_id = s;
     link.shards = config_.shards;
-    // Requests/replies are delivered at the same simulated instant;
-    // the service itself takes simulated CPU time on the receiver.
+    // Requests/replies travel over the interconnect: with every link
+    // knob at zero they are delivered at the same simulated instant
+    // (the service itself takes simulated CPU time on the receiver);
+    // otherwise delivery is a delayed — possibly dropped — event.
     link.send_request = [this](const RemoteRead& read) {
-      systems_[static_cast<std::size_t>(read.peer_shard)]
-          ->ReceiveRemoteRequest(read);
+      interconnect_->SendRequest(read);
     };
     link.send_reply = [this](const RemoteRead& read) {
-      systems_[static_cast<std::size_t>(read.home_shard)]
-          ->ReceiveRemoteReply(read);
+      interconnect_->SendReply(read);
     };
     link.next_request_id = [this] { return ++last_request_id_; };
     systems_.back()->set_shard_link(std::move(link));
+  }
+
+  // The interconnect's RNG stream forks after every shard engine's, so
+  // perfect-fabric runs keep the historical per-shard seeds.
+  Interconnect::Params net;
+  net.shards = config_.shards;
+  net.latency_s = config_.link_latency_us * 1e-6;
+  net.jitter_s = config_.link_jitter_us * 1e-6;
+  net.loss_p = config_.link_loss_p;
+  if (!config_.cluster_faults.empty()) {
+    std::string fault_error;
+    std::optional<fault::FaultSchedule> schedule =
+        fault::FaultSchedule::Parse(config_.cluster_faults, &fault_error);
+    STRIP_CHECK_MSG(schedule.has_value(), fault_error.c_str());
+    net.schedule = *std::move(schedule);
+  }
+  interconnect_ = std::make_unique<Interconnect>(
+      simulator_, net, master.Fork(),
+      [this](const RemoteRead& read) {
+        systems_[static_cast<std::size_t>(read.peer_shard)]
+            ->ReceiveRemoteRequest(read);
+      },
+      [this](const RemoteRead& read) {
+        systems_[static_cast<std::size_t>(read.home_shard)]
+            ->ReceiveRemoteReply(read);
+      });
+  interconnect_->set_on_drop([this](const RemoteRead& read, bool reply_leg) {
+    // Losses surface on the home shard's bus: that is where the
+    // timeout that eventually notices them is armed.
+    systems_[static_cast<std::size_t>(read.home_shard)]
+        ->observer_bus()
+        .NotifyShardRemoteDropped(simulator_->now(), read, reply_leg);
+  });
+  if (!net.schedule.empty()) {
+    interconnect_->ScheduleWindowEvents(
+        [this](const fault::FaultWindow& window, bool begin) {
+          for (const std::unique_ptr<System>& system : systems_) {
+            system->OnClusterFaultBoundary(window, begin);
+          }
+        });
   }
 
   if (!config_.base.external_workload) {
@@ -168,6 +208,14 @@ void Cluster::FinalizeAll(sim::Time end) {
     shard_metrics_.push_back(system->metrics());
   }
   Aggregate();
+  if (interconnect_ != nullptr) {
+    // Cluster-level robustness accounting: the interconnect is shared,
+    // so these live only on the aggregate (never on a shard).
+    aggregate_.link_messages_lost = interconnect_->messages_lost();
+    aggregate_.partition_windows = interconnect_->PartitionWindows(end);
+    aggregate_.partition_seconds = interconnect_->PartitionSeconds(end);
+    aggregate_.time_to_reconnect = interconnect_->time_to_reconnect();
+  }
 }
 
 void Cluster::Aggregate() {
@@ -254,6 +302,10 @@ void Cluster::Aggregate() {
     total.remote_stale_replies += m.remote_stale_replies;
     total.remote_wait_seconds += m.remote_wait_seconds;
     total.cpu_remote_seconds += m.cpu_remote_seconds;
+    total.remote_retries += m.remote_retries;
+    total.remote_timeouts += m.remote_timeouts;
+    total.remote_degraded_reads += m.remote_degraded_reads;
+    total.txns_remote_unavailable += m.txns_remote_unavailable;
   }
   total.response_mean =
       commits > 0 ? total.response_mean / static_cast<double>(commits) : 0;

@@ -40,6 +40,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/interconnect.h"
 #include "core/metrics.h"
 #include "core/sharded_config.h"
 #include "core/system.h"
@@ -130,6 +131,11 @@ class Cluster {
   ShardedConfig config_;
   db::ObjectPlacement placement_;
   std::vector<std::unique_ptr<System>> systems_;
+
+  // The link model every cross-shard request/reply travels over (null
+  // at shards == 1). Inert — synchronous pass-through, no events, no
+  // RNG draws — unless a link knob or cluster_faults is set.
+  std::unique_ptr<Interconnect> interconnect_;
 
   // Global workload generators (null under base.external_workload or
   // at shards == 1, where the single System runs its own).

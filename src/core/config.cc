@@ -26,6 +26,10 @@ const char* QueueDisciplineName(QueueDiscipline discipline) {
   return discipline == QueueDiscipline::kFifo ? "FIFO" : "LIFO";
 }
 
+const char* RemoteFallbackName(RemoteFallback fallback) {
+  return fallback == RemoteFallback::kStale ? "stale" : "abort";
+}
+
 workload::UpdateStream::Params Config::UpdateStreamParams() const {
   workload::UpdateStream::Params p;
   p.arrival_rate = lambda_u;
@@ -109,6 +113,8 @@ std::optional<std::string> Config::Validate() const {
       {"governor_high_watermark", governor_high_watermark},
       {"governor_low_watermark", governor_low_watermark},
       {"governor_stale_threshold", governor_stale_threshold},
+      {"remote_timeout_s", remote_timeout_s},
+      {"remote_retry_backoff", remote_retry_backoff},
   };
   for (const Named& d : doubles) {
     if (!std::isfinite(d.value)) {
@@ -168,10 +174,19 @@ std::optional<std::string> Config::Validate() const {
   }
   if (!faults.empty()) {
     std::string fault_error;
-    if (!fault::FaultSchedule::Parse(faults, &fault_error).has_value()) {
-      return fault_error;
+    const std::optional<fault::FaultSchedule> schedule =
+        fault::FaultSchedule::Parse(faults, &fault_error);
+    if (!schedule.has_value()) return fault_error;
+    for (const fault::FaultWindow& w : schedule->windows()) {
+      if (fault::IsClusterScoped(w.kind)) {
+        return std::string("faults: \"") + fault::FaultKindName(w.kind) +
+               "\" is cluster-scoped (use cluster_faults)";
+      }
     }
   }
+  if (remote_timeout_s < 0) return "remote_timeout_s must be non-negative";
+  if (remote_retry_backoff < 1) return "remote_retry_backoff must be >= 1";
+  if (remote_retry_max < 0) return "remote_retry_max must be non-negative";
   if (overload_governor) {
     if (governor_low_watermark <= 0 ||
         governor_low_watermark >= governor_high_watermark ||

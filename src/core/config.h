@@ -40,6 +40,19 @@ enum class QueueDiscipline {
 
 const char* QueueDisciplineName(QueueDiscipline discipline);
 
+// What a parked cross-shard read does when its retry budget is
+// exhausted (the peer is slow, partitioned, or down): fall back to the
+// locally cached last-installed value (marked stale, feeding the
+// normal staleness accounting) or abort the transaction with the
+// kRemoteUnavailable miss class.
+enum class RemoteFallback {
+  kStale = 0,
+  kAbort,
+};
+
+// Flag token ("stale", "abort").
+const char* RemoteFallbackName(RemoteFallback fallback);
+
 struct Config {
   // --- Table 1: data and updates -----------------------------------------
   double lambda_u = 400.0;  // update arrival rate (1/s)
@@ -165,6 +178,19 @@ struct Config {
   // Also engage when the max importance-class stale fraction reaches
   // this threshold; 0 disables the staleness trigger.
   double governor_stale_threshold = 0.0;
+  // Cross-shard read robustness (sharded runs only; inert at one
+  // shard). A parked remote read arms a timer for remote_timeout_s
+  // simulated seconds; on expiry it is re-issued with the timeout
+  // scaled by remote_retry_backoff each attempt, up to
+  // remote_retry_max retries — but never past the transaction's
+  // deadline. When the budget is exhausted, remote_fallback decides
+  // between a degraded local read and an abort. 0 disables the timer
+  // entirely (a parked read waits for its reply or its deadline,
+  // byte-identical to the pre-timeout model).
+  double remote_timeout_s = 0.0;
+  double remote_retry_backoff = 2.0;
+  int remote_retry_max = 3;
+  RemoteFallback remote_fallback = RemoteFallback::kStale;
 
   // Derives the workload-generator parameter blocks from this config.
   workload::UpdateStream::Params UpdateStreamParams() const;

@@ -1,0 +1,143 @@
+#include "core/interconnect.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "base/check.h"
+
+namespace strip::core {
+
+namespace {
+
+bool InSet(const std::vector<int>& set, int shard) {
+  return std::find(set.begin(), set.end(), shard) != set.end();
+}
+
+bool IsCutKind(fault::FaultKind kind) {
+  return kind == fault::FaultKind::kPartition ||
+         kind == fault::FaultKind::kShardOutage;
+}
+
+}  // namespace
+
+Interconnect::Interconnect(sim::Simulator* simulator, const Params& params,
+                           std::uint64_t seed, Deliver deliver_request,
+                           Deliver deliver_reply)
+    : simulator_(simulator),
+      params_(params),
+      inert_(params.latency_s == 0 && params.jitter_s == 0 &&
+             params.loss_p == 0 && params.schedule.empty()),
+      random_(seed),
+      deliver_request_(std::move(deliver_request)),
+      deliver_reply_(std::move(deliver_reply)) {
+  STRIP_CHECK(simulator != nullptr);
+  STRIP_CHECK(deliver_request_ != nullptr && deliver_reply_ != nullptr);
+  for (const fault::FaultWindow& w : params_.schedule.windows()) {
+    STRIP_CHECK_MSG(fault::IsClusterScoped(w.kind),
+                    "interconnect schedule must be cluster-scoped");
+    if (IsCutKind(w.kind)) heal_times_.push_back(w.end());
+  }
+  std::sort(heal_times_.begin(), heal_times_.end());
+}
+
+void Interconnect::ScheduleWindowEvents(WindowHook hook) {
+  STRIP_CHECK(hook != nullptr);
+  for (const fault::FaultWindow& window : params_.schedule.windows()) {
+    // Point into the stored schedule, not a per-lambda copy: observer
+    // payloads (FaultWindowInfo::label) carry the run's lifetime.
+    const fault::FaultWindow* w = &window;
+    simulator_->ScheduleAt(window.start, [hook, w] { hook(*w, true); });
+    simulator_->ScheduleAt(window.end(), [hook, w] { hook(*w, false); });
+  }
+}
+
+bool Interconnect::Dropped(const RemoteRead& read, sim::Time now) {
+  // Deterministic cuts first (no RNG draw): a message crossing an
+  // active partition, or touching a downed shard, is always lost.
+  if (const fault::FaultWindow* w =
+          params_.schedule.ActiveAt(fault::FaultKind::kPartition, now)) {
+    if (InSet(w->shard_set, read.home_shard) !=
+        InSet(w->shard_set, read.peer_shard)) {
+      return true;
+    }
+  }
+  if (const fault::FaultWindow* w =
+          params_.schedule.ActiveAt(fault::FaultKind::kShardOutage, now)) {
+    if (w->shard == read.home_shard || w->shard == read.peer_shard) {
+      return true;
+    }
+  }
+  // Random loss: the steady-state link first, then any scheduled
+  // link-loss window (draw order is part of the deterministic replay).
+  if (params_.loss_p > 0 && random_.WithProbability(params_.loss_p)) {
+    return true;
+  }
+  if (const fault::FaultWindow* w =
+          params_.schedule.ActiveAt(fault::FaultKind::kLinkLoss, now)) {
+    if (random_.WithProbability(w->probability)) return true;
+  }
+  return false;
+}
+
+void Interconnect::Send(const RemoteRead& read, bool reply_leg) {
+  const Deliver& deliver = reply_leg ? deliver_reply_ : deliver_request_;
+  if (inert_) {
+    // The perfect fabric: same-instant direct call, no events, no
+    // draws — byte-identical to the pre-interconnect cluster.
+    deliver(read);
+    return;
+  }
+  const sim::Time now = simulator_->now();
+  if (Dropped(read, now)) {
+    ++messages_lost_;
+    if (on_drop_ != nullptr) on_drop_(read, reply_leg);
+    return;
+  }
+  double delay = params_.latency_s;
+  double jitter_mean = params_.jitter_s;
+  if (const fault::FaultWindow* w =
+          params_.schedule.ActiveAt(fault::FaultKind::kLinkLatency, now)) {
+    delay += w->latency;
+    jitter_mean += w->jitter;
+  }
+  if (jitter_mean > 0) delay += random_.Exponential(jitter_mean);
+  if (delay <= 0) {
+    NoteDelivered(now);
+    deliver(read);
+    return;
+  }
+  simulator_->ScheduleAfter(delay, [this, read, reply_leg] {
+    NoteDelivered(simulator_->now());
+    (reply_leg ? deliver_reply_ : deliver_request_)(read);
+  });
+}
+
+void Interconnect::NoteDelivered(sim::Time at) {
+  double latest = -1;
+  while (next_heal_ < heal_times_.size() && heal_times_[next_heal_] <= at) {
+    latest = heal_times_[next_heal_++];
+  }
+  if (latest >= 0) {
+    time_to_reconnect_ = std::max(time_to_reconnect_, at - latest);
+  }
+}
+
+std::uint64_t Interconnect::PartitionWindows(sim::Time end) const {
+  std::uint64_t count = 0;
+  for (const fault::FaultWindow& w : params_.schedule.windows()) {
+    if (IsCutKind(w.kind) && w.start < end) ++count;
+  }
+  return count;
+}
+
+double Interconnect::PartitionSeconds(sim::Time end) const {
+  double seconds = 0;
+  for (const fault::FaultWindow& w : params_.schedule.windows()) {
+    if (IsCutKind(w.kind) && w.start < end) {
+      seconds += std::min(w.end(), end) - w.start;
+    }
+  }
+  return seconds;
+}
+
+}  // namespace strip::core

@@ -1,0 +1,124 @@
+// The interconnect between shard engines: a deterministic model of
+// the links cross-shard read requests and replies travel over.
+//
+// The pre-interconnect Cluster delivered remote messages by direct
+// call at the same simulated instant — a perfect fabric. This class
+// puts a configurable link in the middle:
+//
+//   * fixed per-message latency plus exponential jitter, drawn from a
+//     dedicated forked RNG stream, turning deliveries into simulator
+//     events;
+//   * steady-state message loss (per-message Bernoulli);
+//   * scheduled interconnect faults from the cluster-scoped grammar
+//     kinds (link-latency@, link-loss@, partition@, shard-outage@):
+//     extra windowed latency/loss, and hard cuts where every message
+//     crossing a partition (or touching a downed shard) is dropped.
+//
+// With every knob at zero and no fault windows the interconnect is
+// *inert*: SendRequest/SendReply forward synchronously, no events are
+// scheduled and no random numbers are drawn, so a zero-latency
+// cluster run is byte-identical to the pre-interconnect model.
+//
+// Dropped messages are counted and reported through the drop hook so
+// the home shard's observers (flight recorder, cluster auditor) see
+// every loss; the timeout/retry machinery in core::System is what
+// turns a lost message into a retry, a degraded read, or an abort.
+
+#ifndef STRIP_CORE_INTERCONNECT_H_
+#define STRIP_CORE_INTERCONNECT_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/remote.h"
+#include "fault/fault_schedule.h"
+#include "sim/random.h"
+#include "sim/simulator.h"
+
+namespace strip::core {
+
+class Interconnect {
+ public:
+  struct Params {
+    int shards = 1;
+    double latency_s = 0;  // fixed per-message delivery delay
+    double jitter_s = 0;   // mean exponential extra delay
+    double loss_p = 0;     // steady-state per-message loss probability
+    // Scheduled interconnect faults; cluster-scoped kinds only
+    // (enforced by ShardedConfig::Validate).
+    fault::FaultSchedule schedule;
+  };
+
+  using Deliver = std::function<void(const RemoteRead&)>;
+  // (message, reply_leg): the message was dropped on the request leg
+  // (false) or the reply leg (true).
+  using DropHook = std::function<void(const RemoteRead&, bool)>;
+  // (window, begin): a cluster fault window opened or closed.
+  using WindowHook = std::function<void(const fault::FaultWindow&, bool)>;
+
+  // The simulator must outlive the Interconnect. `seed` feeds the
+  // dedicated jitter/loss stream; it is never drawn when the
+  // interconnect is inert.
+  Interconnect(sim::Simulator* simulator, const Params& params,
+               std::uint64_t seed, Deliver deliver_request,
+               Deliver deliver_reply);
+
+  Interconnect(const Interconnect&) = delete;
+  Interconnect& operator=(const Interconnect&) = delete;
+
+  // Observer of dropped messages (optional; set before the first send).
+  void set_on_drop(DropHook hook) { on_drop_ = std::move(hook); }
+
+  // Schedules one simulator event per fault-window boundary, calling
+  // `hook` at each open/close. Call at most once, before the first
+  // event runs. No-op for an empty schedule.
+  void ScheduleWindowEvents(WindowHook hook);
+
+  // True when every knob is zero and no windows are scheduled: sends
+  // forward synchronously and the model is byte-identical to the
+  // direct-call cluster.
+  bool inert() const { return inert_; }
+
+  void SendRequest(const RemoteRead& read) { Send(read, false); }
+  void SendReply(const RemoteRead& read) { Send(read, true); }
+
+  // --- robustness accounting ------------------------------------------------
+
+  // Messages dropped (loss, partition, shard-outage), both legs.
+  std::uint64_t messages_lost() const { return messages_lost_; }
+  // Partition + shard-outage windows that opened before `end`, and
+  // their total seconds clipped to [0, end].
+  std::uint64_t PartitionWindows(sim::Time end) const;
+  double PartitionSeconds(sim::Time end) const;
+  // Longest observed gap between a partition/shard-outage window
+  // closing and the next successful delivery — how long the cluster
+  // took to actually reconnect after a heal. -1 when no window closed
+  // or nothing was delivered afterwards.
+  double time_to_reconnect() const { return time_to_reconnect_; }
+
+ private:
+  void Send(const RemoteRead& read, bool reply_leg);
+  // Deterministic cut (partition / shard-outage) or random loss?
+  bool Dropped(const RemoteRead& read, sim::Time now);
+  void NoteDelivered(sim::Time at);
+
+  sim::Simulator* simulator_;
+  Params params_;
+  bool inert_;
+  sim::RandomStream random_;
+  Deliver deliver_request_;
+  Deliver deliver_reply_;
+  DropHook on_drop_;
+
+  std::uint64_t messages_lost_ = 0;
+  // Sorted close times of partition/shard-outage windows, consumed by
+  // the reconnect clock as deliveries pass them.
+  std::vector<double> heal_times_;
+  std::size_t next_heal_ = 0;
+  double time_to_reconnect_ = -1;
+};
+
+}  // namespace strip::core
+
+#endif  // STRIP_CORE_INTERCONNECT_H_

@@ -128,6 +128,28 @@ std::string RunMetrics::ToString() const {
         rho_r());
     out += buffer;
   }
+  // The interconnect block: only when the link model actually bit — a
+  // retry, a timeout, a lost message, or a partition window — so
+  // perfect-fabric output stays byte-identical.
+  const bool any_link_activity =
+      remote_retries != 0 || remote_timeouts != 0 ||
+      remote_degraded_reads != 0 || txns_remote_unavailable != 0 ||
+      link_messages_lost != 0 || partition_windows != 0;
+  if (any_link_activity) {
+    std::snprintf(
+        buffer, sizeof(buffer),
+        "interconnect: retries=%llu timeouts=%llu degraded=%llu "
+        "unavailable=%llu lost=%llu partitions(n=%llu t=%.1fs) "
+        "reconnect=%.3fs\n",
+        (unsigned long long)remote_retries,
+        (unsigned long long)remote_timeouts,
+        (unsigned long long)remote_degraded_reads,
+        (unsigned long long)txns_remote_unavailable,
+        (unsigned long long)link_messages_lost,
+        (unsigned long long)partition_windows, partition_seconds,
+        time_to_reconnect);
+    out += buffer;
+  }
   // Cluster-true percentiles: only present on a multi-shard aggregate
   // (the -1 sentinel keeps every other dump byte-identical).
   if (response_p50_cluster >= 0) {

@@ -149,12 +149,37 @@ struct RunMetrics {
   double response_p95_cluster = -1;
   double response_p99_cluster = -1;
 
+  // --- interconnect robustness (delayed/lossy/partitioned links) -------------
+  // All zero / -1 sentinel under the perfect interconnect (and in any
+  // uniprocessor run), so pre-interconnect output is unchanged.
+  //
+  // Remote reads re-issued after a timeout (home side).
+  std::uint64_t remote_retries = 0;
+  // Remote reads whose whole retry budget expired (one per fallback,
+  // degraded or abort).
+  std::uint64_t remote_timeouts = 0;
+  // Timed-out reads that proceeded on the locally cached value
+  // (--remote_fallback=stale); each also counts as a stale read.
+  std::uint64_t remote_degraded_reads = 0;
+  // Transactions aborted remote-unavailable (--remote_fallback=abort).
+  std::uint64_t txns_remote_unavailable = 0;
+  // Cluster-aggregate only (the interconnect is shared, so these never
+  // appear on a shard): messages the links dropped on either leg,
+  // partition + shard-outage windows that opened and their total
+  // seconds, and the longest gap between a cut healing and the next
+  // successful delivery (-1 when never measured).
+  std::uint64_t link_messages_lost = 0;
+  std::uint64_t partition_windows = 0;
+  double partition_seconds = 0;
+  double time_to_reconnect = -1;
+
   // --- derived metrics -------------------------------------------------------
 
   // Terminal transactions: everything that reached an outcome.
   std::uint64_t txns_terminal() const {
     return txns_committed + txns_missed_deadline + txns_infeasible +
-           txns_stale_aborted + txns_overload_dropped;
+           txns_stale_aborted + txns_overload_dropped +
+           txns_remote_unavailable;
   }
 
   // Fraction of transactions that did not complete by their deadline.

@@ -86,6 +86,19 @@ void WriteRunMetricsJson(std::ostream& out, const RunMetrics& m,
   field("remote_stale_replies", Number(m.remote_stale_replies));
   field("remote_wait_seconds", Number(m.remote_wait_seconds));
   field("cpu_remote_seconds", Number(m.cpu_remote_seconds));
+  // Interconnect robustness (delayed/lossy/partitioned links). The
+  // last four live only on a cluster aggregate; time_to_reconnect is
+  // null when no cut window healed before a successful delivery.
+  field("remote_retries", Number(m.remote_retries));
+  field("remote_timeouts", Number(m.remote_timeouts));
+  field("remote_degraded_reads", Number(m.remote_degraded_reads));
+  field("txns_remote_unavailable", Number(m.txns_remote_unavailable));
+  field("link_messages_lost", Number(m.link_messages_lost));
+  field("partition_windows", Number(m.partition_windows));
+  field("partition_seconds", Number(m.partition_seconds));
+  field("time_to_reconnect", m.time_to_reconnect < 0
+                                 ? std::string("null")
+                                 : Number(m.time_to_reconnect));
   // Cluster-true percentiles (bucket-merged across shards); null when
   // not computed — per-shard metrics and uniprocessor runs.
   field("response_p50_cluster", m.response_p50_cluster < 0

@@ -93,6 +93,9 @@ class SystemObserver {
     kGovernorDisengage, // overload drained; normal service restored
     kServeRemote,       // serve a peer shard's read request (sharded
                         // model; outranks all local work)
+    kRemoteRetry,       // remote read timed out; re-issued with backoff
+    kRemoteDegrade,     // retries exhausted; degraded local read
+    kRemoteAbort,       // retries exhausted; transaction aborted
   };
 
   // A fault window boundary (fault injection; src/fault). Both string
@@ -104,6 +107,9 @@ class SystemObserver {
     bool begin = false;           // true at window start, false at end
     double start = 0;             // window [start, end) in sim seconds
     double end = 0;
+    // Shard whose bus is reporting the boundary (cluster-scoped
+    // windows are reported once per shard). -1 at shards=1.
+    int shard = -1;
   };
 
   // One unit of dispatched CPU work, as seen at OnDispatch and at the
@@ -279,6 +285,41 @@ class SystemObserver {
     (void)read;
     (void)txn_live;
   }
+
+  // With a non-perfect interconnect (core/interconnect.h) three more
+  // hooks cover the robustness paths, all on the home shard's bus:
+  //
+  //  - OnShardRemoteDropped: the interconnect lost the message on the
+  //    request leg (reply_leg=false) or the reply leg (true). The home
+  //    shard keeps waiting until its timeout fires.
+  //  - OnRemoteTimeout: a parked remote read's timer expired after
+  //    `attempt` issues. `will_retry` is true when the read is being
+  //    re-issued (with a fresh request id and a backed-off timer),
+  //    false when the retry budget is exhausted and the fallback
+  //    (degraded read or abort) happens next.
+  //  - OnDegradedRead: retries exhausted under --remote_fallback=stale;
+  //    the transaction proceeds on the locally cached value, counted
+  //    as a stale read.
+
+  virtual void OnShardRemoteDropped(sim::Time now, const RemoteRead& read,
+                                    bool reply_leg) {
+    (void)now;
+    (void)read;
+    (void)reply_leg;
+  }
+
+  virtual void OnRemoteTimeout(sim::Time now, const RemoteRead& read,
+                               int attempt, bool will_retry) {
+    (void)now;
+    (void)read;
+    (void)attempt;
+    (void)will_retry;
+  }
+
+  virtual void OnDegradedRead(sim::Time now, const RemoteRead& read) {
+    (void)now;
+    (void)read;
+  }
 };
 
 // Printable name for a drop reason.
@@ -298,7 +339,8 @@ const char* PreemptReasonName(SystemObserver::PreemptReason reason);
 
 // Printable name for a scheduler choice ("receive", "install",
 // "run-txn", "idle", "install-on-arrival", "governor-engage",
-// "governor-disengage", "serve-remote").
+// "governor-disengage", "serve-remote", "remote-retry",
+// "remote-degrade", "remote-abort").
 const char* SchedulerChoiceName(SystemObserver::SchedulerChoice choice);
 
 }  // namespace strip::core

@@ -198,4 +198,28 @@ void ObserverBus::NotifyShardRemoteResolved(sim::Time now,
   });
 }
 
+void ObserverBus::NotifyShardRemoteDropped(sim::Time now,
+                                           const RemoteRead& read,
+                                           bool reply_leg) {
+  if (empty()) return;
+  Dispatch([&](SystemObserver* observer) {
+    observer->OnShardRemoteDropped(now, read, reply_leg);
+  });
+}
+
+void ObserverBus::NotifyRemoteTimeout(sim::Time now, const RemoteRead& read,
+                                      int attempt, bool will_retry) {
+  if (empty()) return;
+  Dispatch([&](SystemObserver* observer) {
+    observer->OnRemoteTimeout(now, read, attempt, will_retry);
+  });
+}
+
+void ObserverBus::NotifyDegradedRead(sim::Time now, const RemoteRead& read) {
+  if (empty()) return;
+  Dispatch([&](SystemObserver* observer) {
+    observer->OnDegradedRead(now, read);
+  });
+}
+
 }  // namespace strip::core

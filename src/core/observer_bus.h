@@ -76,6 +76,11 @@ class ObserverBus {
   void NotifyShardRemoteServiced(sim::Time now, const RemoteRead& read);
   void NotifyShardRemoteResolved(sim::Time now, const RemoteRead& read,
                                  bool txn_live);
+  void NotifyShardRemoteDropped(sim::Time now, const RemoteRead& read,
+                                bool reply_leg);
+  void NotifyRemoteTimeout(sim::Time now, const RemoteRead& read, int attempt,
+                           bool will_retry);
+  void NotifyDegradedRead(sim::Time now, const RemoteRead& read);
 
  private:
   // Runs `fn(observer)` over the registration order, tolerating

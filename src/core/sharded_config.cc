@@ -47,10 +47,52 @@ std::optional<std::string> ShardedConfig::Validate() const {
   for (const std::string& faults : shard_faults) {
     if (faults.empty()) continue;
     std::string fault_error;
-    if (!fault::FaultSchedule::Parse(faults, &fault_error).has_value()) {
-      return "shard_faults: " + fault_error;
+    const std::optional<fault::FaultSchedule> schedule =
+        fault::FaultSchedule::Parse(faults, &fault_error);
+    if (!schedule.has_value()) return "shard_faults: " + fault_error;
+    for (const fault::FaultWindow& w : schedule->windows()) {
+      if (fault::IsClusterScoped(w.kind)) {
+        return std::string("shard_faults: \"") +
+               fault::FaultKindName(w.kind) +
+               "\" is cluster-scoped (use cluster_faults)";
+      }
     }
   }
+  if (link_latency_us < 0) return "link_latency_us must be non-negative";
+  if (link_jitter_us < 0) return "link_jitter_us must be non-negative";
+  if (link_loss_p < 0 || link_loss_p > 1) {
+    return "link_loss_p must be in [0, 1]";
+  }
+  if (!cluster_faults.empty()) {
+    if (shards < 2) return "cluster_faults requires shards > 1";
+    std::string fault_error;
+    const std::optional<fault::FaultSchedule> schedule =
+        fault::FaultSchedule::Parse(cluster_faults, &fault_error);
+    if (!schedule.has_value()) return "cluster_faults: " + fault_error;
+    for (const fault::FaultWindow& w : schedule->windows()) {
+      if (!fault::IsClusterScoped(w.kind)) {
+        return std::string("cluster_faults: \"") +
+               fault::FaultKindName(w.kind) +
+               "\" is shard-scoped (use faults or shard_faults)";
+      }
+      for (int s : w.shard_set) {
+        if (s >= shards) {
+          return "cluster_faults: window \"" + w.label +
+                 "\" names shard " + std::to_string(s) +
+                 " but the cluster has " + std::to_string(shards);
+        }
+      }
+      if (w.kind == fault::FaultKind::kShardOutage && w.shard >= shards) {
+        return "cluster_faults: window \"" + w.label +
+               "\" names shard " + std::to_string(w.shard) +
+               " but the cluster has " + std::to_string(shards);
+      }
+    }
+  }
+  // Link latency/jitter/loss are legal (and inert) at shards == 1 —
+  // a one-shard cluster sends no cross-shard messages — so a sweep
+  // over the shard count can carry one interconnect shape through
+  // every cell, the single-shard baseline included.
   if (feed_hot_fraction < 0 || feed_hot_fraction > 1) {
     return "feed_hot_fraction outside [0, 1]";
   }

@@ -45,6 +45,18 @@ struct ShardedConfig {
   int feed_hot_shard = -1;
   double feed_hot_fraction = 0.0;
 
+  // Interconnect model (core/interconnect.h). All zero / empty is the
+  // perfect interconnect: cross-shard messages are delivered
+  // synchronously, byte-identical to the pre-interconnect cluster.
+  // Any non-zero knob turns deliveries into simulator events.
+  double link_latency_us = 0.0;  // fixed per-message delay, microseconds
+  double link_jitter_us = 0.0;   // mean exponential extra delay, microseconds
+  double link_loss_p = 0.0;      // steady-state per-message loss probability
+  // Scheduled interconnect faults: a FaultSchedule spec restricted to
+  // the cluster-scoped kinds (link-latency@, link-loss@, partition@,
+  // shard-outage@).
+  std::string cluster_faults;
+
   bool single_shard() const { return shards <= 1; }
 
   // The effective Config of one shard engine: base with the per-shard

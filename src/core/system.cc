@@ -239,6 +239,7 @@ void System::Finalize(sim::Time end) {
   if (remote_waiting_ != nullptr) {
     // A transaction still parked on a remote read at the cut-off: its
     // wait so far counts toward the window.
+    CancelRemoteTimer();
     metrics_.remote_wait_seconds +=
         end - std::max(remote_wait_start_, observation_start_);
     remote_waiting_ = nullptr;
@@ -416,6 +417,7 @@ void System::OnDeadline(std::uint64_t txn_id) {
   } else if (t == remote_waiting_) {
     // Parked on a remote read: the firm deadline releases the hold (the
     // peer's reply, if it ever arrives, resolves as orphaned).
+    CancelRemoteTimer();
     remote_waiting_ = nullptr;
     metrics_.remote_wait_seconds +=
         simulator_->now() - std::max(remote_wait_start_, observation_start_);
@@ -1127,10 +1129,15 @@ void System::EnterRemoteWait(txn::Transaction* transaction,
   cpu_owner_ = CpuOwner::kIdle;
   remote_waiting_ = transaction;
   remote_wait_start_ = simulator_->now();
+  remote_inflight_ = read;
+  remote_attempt_ = 1;
   ++metrics_.remote_reads_issued;
   if (!bus_.empty()) {
     bus_.NotifyShardRemoteIssued(simulator_->now(), read);
   }
+  // Arm before sending: a synchronous loopback reply cancels the timer
+  // inside the send.
+  ArmRemoteTimer();
   shard_link_.send_request(read);
   // The hold blocks local work, but peer requests queued here must
   // still be served (deadlock avoidance) — let the scheduler see them.
@@ -1242,8 +1249,14 @@ void System::OnRemoteServiceComplete() {
 }
 
 void System::ReceiveRemoteReply(const RemoteRead& read) {
-  const bool txn_live =
-      remote_waiting_ != nullptr && remote_waiting_->id() == read.txn_id;
+  // A reply resolves the parked transaction only if it answers the
+  // *current* request: after a timeout re-issue (or a fallback, or the
+  // firm deadline) a late reply for an earlier request id has no home.
+  // With the perfect interconnect delivery is synchronous, so the
+  // request-id test never fails while the transaction is parked.
+  const bool txn_live = remote_waiting_ != nullptr &&
+                        remote_waiting_->id() == read.txn_id &&
+                        remote_inflight_.request_id == read.request_id;
   if (!bus_.empty()) {
     bus_.NotifyShardRemoteResolved(simulator_->now(), read, txn_live);
   }
@@ -1252,6 +1265,7 @@ void System::ReceiveRemoteReply(const RemoteRead& read) {
     ++metrics_.remote_replies_orphaned;
     return;
   }
+  CancelRemoteTimer();
   txn::Transaction* t = remote_waiting_;
   remote_waiting_ = nullptr;
   metrics_.remote_wait_seconds +=
@@ -1279,6 +1293,102 @@ void System::ReceiveRemoteReply(const RemoteRead& read) {
   // Resume on the CPU the transaction still holds; if a remote service
   // segment occupies it right now, resume at the next settle point.
   remote_resume_ = t;
+  if (cpu_owner_ == CpuOwner::kIdle) ScheduleNext();
+}
+
+void System::ArmRemoteTimer() {
+  if (config_.remote_timeout_s <= 0) return;
+  remote_timeout_current_ =
+      remote_attempt_ == 1
+          ? config_.remote_timeout_s
+          : remote_timeout_current_ * config_.remote_retry_backoff;
+  remote_timeout_event_ = simulator_->ScheduleAfter(
+      remote_timeout_current_, [this] { OnRemoteTimeout(); });
+  remote_timer_armed_ = true;
+}
+
+void System::CancelRemoteTimer() {
+  if (!remote_timer_armed_) return;
+  simulator_->Cancel(remote_timeout_event_);
+  remote_timer_armed_ = false;
+}
+
+void System::OnRemoteTimeout() {
+  remote_timer_armed_ = false;
+  if (remote_waiting_ == nullptr) return;  // resolved at this instant
+  txn::Transaction* t = remote_waiting_;
+  // Retry while the budget lasts *and* a full backed-off wait still
+  // fits before the firm deadline — a retry whose timer cannot fire in
+  // time would just die waiting, so fall back now instead and give the
+  // degraded read a chance to commit.
+  const double next_timeout =
+      remote_timeout_current_ * config_.remote_retry_backoff;
+  if (remote_attempt_ <= config_.remote_retry_max &&
+      simulator_->now() + next_timeout <= t->deadline()) {
+    if (!bus_.empty()) {
+      bus_.NotifyRemoteTimeout(simulator_->now(), remote_inflight_,
+                               remote_attempt_, /*will_retry=*/true);
+      bus_.NotifyPolicyDecision(simulator_->now(), config_.policy,
+                                SystemObserver::SchedulerChoice::kRemoteRetry,
+                                "remote-timeout");
+    }
+    ++metrics_.remote_retries;
+    // Re-issue under a fresh request id: the census tracks each issue
+    // separately, and a late reply to the old id resolves as orphaned.
+    RemoteRead read = remote_inflight_;
+    read.request_id = shard_link_.next_request_id();
+    remote_inflight_ = read;
+    ++remote_attempt_;
+    ++metrics_.remote_reads_issued;
+    if (!bus_.empty()) {
+      bus_.NotifyShardRemoteIssued(simulator_->now(), read);
+    }
+    ArmRemoteTimer();
+    shard_link_.send_request(read);
+    if (cpu_owner_ == CpuOwner::kIdle) ScheduleNext();
+    return;
+  }
+  // Budget exhausted: the peer is unreachable as far as this
+  // transaction is concerned. Release the hold and fall back.
+  ++metrics_.remote_timeouts;
+  if (!bus_.empty()) {
+    bus_.NotifyRemoteTimeout(simulator_->now(), remote_inflight_,
+                             remote_attempt_, /*will_retry=*/false);
+  }
+  remote_waiting_ = nullptr;
+  metrics_.remote_wait_seconds +=
+      simulator_->now() - std::max(remote_wait_start_, observation_start_);
+  if (config_.remote_fallback == RemoteFallback::kStale) {
+    // Degraded-mode read: proceed on the locally cached last-installed
+    // value. By construction it may be arbitrarily old, so it counts
+    // as a stale read; it deliberately does *not* trigger
+    // abort-on-stale (the whole point of the fallback is to commit
+    // something rather than nothing).
+    ++metrics_.remote_degraded_reads;
+    if (!bus_.empty()) {
+      bus_.NotifyDegradedRead(simulator_->now(), remote_inflight_);
+      bus_.NotifyPolicyDecision(
+          simulator_->now(), config_.policy,
+          SystemObserver::SchedulerChoice::kRemoteDegrade,
+          "retries-exhausted");
+    }
+    t->MarkStaleRead();
+    t->CompleteStep();
+    if (t->finished()) {
+      Commit(t);
+      if (cpu_owner_ == CpuOwner::kIdle) ScheduleNext();
+      return;
+    }
+    remote_resume_ = t;
+    if (cpu_owner_ == CpuOwner::kIdle) ScheduleNext();
+    return;
+  }
+  if (!bus_.empty()) {
+    bus_.NotifyPolicyDecision(simulator_->now(), config_.policy,
+                              SystemObserver::SchedulerChoice::kRemoteAbort,
+                              "retries-exhausted");
+  }
+  Terminate(t, txn::TxnOutcome::kRemoteUnavailable);
   if (cpu_owner_ == CpuOwner::kIdle) ScheduleNext();
 }
 
@@ -1329,6 +1439,12 @@ void System::Terminate(txn::Transaction* transaction,
     case txn::TxnOutcome::kStaleAbort:
       ++metrics_.txns_stale_aborted;
       break;
+    case txn::TxnOutcome::kRemoteUnavailable:
+      ++metrics_.txns_remote_unavailable;
+      if (fault_windows_active_ > 0 || outage_recovering_) {
+        ++metrics_.txns_missed_in_fault;
+      }
+      break;
     default:
       STRIP_CHECK_MSG(false, "Terminate with non-terminal outcome");
   }
@@ -1374,6 +1490,31 @@ void System::OnFaultWindowBoundary(const fault::FaultWindow& window,
     info.begin = begin;
     info.start = window.start;
     info.end = window.end();
+    if (sharded_) info.shard = shard_link_.shard_id;
+    bus_.NotifyFaultWindow(simulator_->now(), info);
+  }
+}
+
+void System::OnClusterFaultBoundary(const fault::FaultWindow& window,
+                                    bool begin) {
+  // Interconnect windows feed fault attribution (a deadline missed
+  // while the links are degraded counts as missed-in-fault) but not
+  // this shard's own fault_windows counter — the cluster-level
+  // partition metrics own these windows, and summing per-shard
+  // counters across the cluster must not multiply-count them.
+  if (begin) {
+    ++fault_windows_active_;
+  } else {
+    --fault_windows_active_;
+  }
+  if (!bus_.empty()) {
+    SystemObserver::FaultWindowInfo info;
+    info.kind = fault::FaultKindName(window.kind);
+    info.label = window.label.c_str();
+    info.begin = begin;
+    info.start = window.start;
+    info.end = window.end();
+    info.shard = shard_link_.shard_id;
     bus_.NotifyFaultWindow(simulator_->now(), info);
   }
 }

@@ -316,6 +316,11 @@ class System {
   // named by `step.owner_shard`.
   void EnterRemoteWait(txn::Transaction* transaction,
                        const txn::Transaction::NextStep& step);
+  // Timeout/retry/fallback for the in-flight remote read (armed only
+  // when config.remote_timeout_s > 0; see the knobs in core/config.h).
+  void ArmRemoteTimer();
+  void CancelRemoteTimer();
+  void OnRemoteTimeout();
   // Dispatches the head of the remote queue as one service segment
   // (lookup + optional on-demand heal). Precondition: CPU idle,
   // queue non-empty.
@@ -336,6 +341,12 @@ class System {
   void SetCpuFactor(double factor) { cpu_factor_ = factor; }
   // Fired by the injector at every fault-window boundary.
   void OnFaultWindowBoundary(const fault::FaultWindow& window, bool begin);
+  // Fired by the Cluster at every cluster-scoped (interconnect) fault
+  // window boundary, on every shard. Feeds fault attribution and the
+  // observer bus, but not this shard's own fault_windows metric — the
+  // cluster-level counters (partition_windows, partition_seconds) own
+  // those windows.
+  void OnClusterFaultBoundary(const fault::FaultWindow& window, bool begin);
   // Tracks the staleness excursion and the time-to-fresh recovery
   // clock while faults are active or an outage recovery is pending.
   void SampleStaleExcursion();
@@ -409,6 +420,14 @@ class System {
   // transaction at the next settle point.
   txn::Transaction* remote_resume_ = nullptr;
   bool segment_is_remote_work_ = false;
+  // Timeout/retry state for the read remote_waiting_ is parked on. The
+  // in-flight copy keeps the *current* request id: a reply for an
+  // earlier (timed-out, re-issued) request resolves as orphaned.
+  RemoteRead remote_inflight_;
+  sim::EventQueue::Handle remote_timeout_event_;
+  bool remote_timer_armed_ = false;
+  int remote_attempt_ = 0;
+  double remote_timeout_current_ = 0;
 
   int os_pending_high_ = 0;
   // Queue-removal cost of expiry purges, accrued as bookkeeping and

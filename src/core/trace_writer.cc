@@ -84,6 +84,12 @@ const char* SchedulerChoiceName(SystemObserver::SchedulerChoice choice) {
       return "governor-disengage";
     case SystemObserver::SchedulerChoice::kServeRemote:
       return "serve-remote";
+    case SystemObserver::SchedulerChoice::kRemoteRetry:
+      return "remote-retry";
+    case SystemObserver::SchedulerChoice::kRemoteDegrade:
+      return "remote-degrade";
+    case SystemObserver::SchedulerChoice::kRemoteAbort:
+      return "remote-abort";
   }
   return "?";
 }

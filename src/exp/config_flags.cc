@@ -357,6 +357,37 @@ const std::vector<FlagDef>& Flags() {
       DoubleFlag("governor_stale_threshold",
                  &Config::governor_stale_threshold,
                  "stale-fraction engage trigger (0 = off)", Check::kUnit),
+      DoubleFlag("remote_timeout_s", &Config::remote_timeout_s,
+                 "remote-read timeout before retry, s (0 = wait forever)",
+                 Check::kNonNegative),
+      {"remote_retry_backoff", "timeout multiplier per retry (>= 1)",
+       [](const std::string& s, Config& c) {
+         return ParseDouble(s, &c.remote_retry_backoff);
+       },
+       [](const Config& c) { return Render(c.remote_retry_backoff); },
+       [](const Config& c) -> std::optional<std::string> {
+         if (c.remote_retry_backoff < 1) return "must be >= 1";
+         return std::nullopt;
+       }},
+      IntFlag("remote_retry_max", &Config::remote_retry_max,
+              "remote-read retries before the fallback",
+              Check::kNonNegative),
+      {"remote_fallback",
+       "after retries: stale local read or abort (stale | abort)",
+       [](const std::string& s, Config& c) {
+         if (s == "stale") {
+           c.remote_fallback = core::RemoteFallback::kStale;
+         } else if (s == "abort") {
+           c.remote_fallback = core::RemoteFallback::kAbort;
+         } else {
+           return false;
+         }
+         return true;
+       },
+       [](const Config& c) {
+         return std::string(RemoteFallbackName(c.remote_fallback));
+       },
+       nullptr},
   };
   return flags;
 }
@@ -492,6 +523,60 @@ const std::vector<ShardedFlagDef>& ShardedFlags() {
              }
              return std::nullopt;
            }},
+          {"link_latency_us",
+           "fixed cross-shard message delay, microseconds",
+           [](const std::string& s, ShardedConfig& c) {
+             return ParseDouble(s, &c.link_latency_us);
+           },
+           [](const ShardedConfig& c) {
+             return Render(c.link_latency_us);
+           },
+           [](const ShardedConfig& c) -> std::optional<std::string> {
+             if (c.link_latency_us < 0) return "must be non-negative";
+             return std::nullopt;
+           }},
+          {"link_jitter_us",
+           "mean exponential extra message delay, microseconds",
+           [](const std::string& s, ShardedConfig& c) {
+             return ParseDouble(s, &c.link_jitter_us);
+           },
+           [](const ShardedConfig& c) {
+             return Render(c.link_jitter_us);
+           },
+           [](const ShardedConfig& c) -> std::optional<std::string> {
+             if (c.link_jitter_us < 0) return "must be non-negative";
+             return std::nullopt;
+           }},
+          {"link_loss_p",
+           "P(a cross-shard message is lost)",
+           [](const std::string& s, ShardedConfig& c) {
+             return ParseDouble(s, &c.link_loss_p);
+           },
+           [](const ShardedConfig& c) { return Render(c.link_loss_p); },
+           [](const ShardedConfig& c) -> std::optional<std::string> {
+             if (c.link_loss_p < 0 || c.link_loss_p > 1) {
+               return "must be in [0, 1]";
+             }
+             return std::nullopt;
+           }},
+          {"cluster_faults",
+           "interconnect fault windows (link-latency | link-loss | "
+           "partition | shard-outage)",
+           [](const std::string& s, ShardedConfig& c) {
+             // Eager parse, same contract as --faults: a malformed
+             // spec fails at the flag naming the bad token.
+             if (!s.empty()) {
+               std::string fault_error;
+               if (!fault::FaultSchedule::Parse(s, &fault_error)
+                        .has_value()) {
+                 return false;
+               }
+             }
+             c.cluster_faults = s;
+             return true;
+           },
+           [](const ShardedConfig& c) { return c.cluster_faults; },
+           nullptr},
       };
   return flags;
 }

@@ -226,7 +226,8 @@ sim::Summary SweepResult::Aggregate(std::size_t policy_index,
 SweepResult RunSweep(const SweepSpec& spec) {
   STRIP_CHECK_MSG(!spec.policies.empty(), "sweep needs at least one policy");
   STRIP_CHECK_MSG(!spec.x_values.empty(), "sweep needs at least one x value");
-  STRIP_CHECK_MSG(spec.apply_x != nullptr, "sweep needs an apply_x");
+  STRIP_CHECK_MSG(spec.apply_x != nullptr || spec.apply_x_cluster != nullptr,
+                  "sweep needs an apply_x or apply_x_cluster");
   STRIP_CHECK_MSG(spec.replications > 0, "sweep needs replications");
 
   SweepResult result(spec.policies.size(), spec.x_values.size(),
@@ -258,13 +259,19 @@ SweepResult RunSweep(const SweepSpec& spec) {
     const Task& task = tasks[i];
     core::Config config = spec.base;
     config.policy = spec.policies[task.policy_index];
-    spec.apply_x(config, spec.x_values[task.x_index]);
+    if (spec.apply_x) spec.apply_x(config, spec.x_values[task.x_index]);
     // Sharded sweeps wrap the finished cell config in the spec's
-    // cluster shape; at the default shards == 1 the historical
-    // single-System path below runs untouched.
-    const bool sharded = spec.cluster.shards > 1;
+    // cluster shape; at the default shards == 1 (and no cluster x
+    // axis) the historical single-System path below runs untouched.
+    // A cluster-scoped x axis forces the Cluster path for every cell
+    // so the shape it sets (shard count, link latency) takes effect.
     core::ShardedConfig cell_cluster = spec.cluster;
-    if (sharded) cell_cluster.base = config;
+    cell_cluster.base = config;
+    if (spec.apply_x_cluster) {
+      spec.apply_x_cluster(cell_cluster, spec.x_values[task.x_index]);
+    }
+    const bool sharded =
+        spec.apply_x_cluster != nullptr || spec.cluster.shards > 1;
     std::vector<core::RunMetrics>& runs =
         result.mutable_cell(task.policy_index, task.x_index);
     // The cell's wall-clock budget is per-worker: it starts when a

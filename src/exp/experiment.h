@@ -145,8 +145,17 @@ struct SweepSpec {
   std::string x_name;
   // X-axis values (rows).
   std::vector<double> x_values;
-  // Applies one x value to a config.
+  // Applies one x value to a config. May be null when apply_x_cluster
+  // is set.
   std::function<void(core::Config&, double)> apply_x;
+  // Cluster-scoped x application: when set, the x value is applied to
+  // the cell's cluster shape (after `cluster.base` has been filled in
+  // with the cell's base + policy config) — this is how `shards` or
+  // `link_latency_us` become sweep axes. Setting it routes EVERY cell
+  // through the Cluster path, shards == 1 values included (a
+  // one-shard Cluster is seed- and metric-identical to a bare
+  // System), so attach observers via on_cluster_run.
+  std::function<void(core::ShardedConfig&, double)> apply_x_cluster;
   // Independent replications per cell.
   int replications = 3;
   std::uint64_t base_seed = 42;

@@ -85,6 +85,13 @@ void FaultInjector::BeginWindow(const FaultWindow& window) {
     case FaultKind::kDuplicate:
     case FaultKind::kReorder:
       break;  // Per-arrival; handled in Offer().
+    case FaultKind::kLinkLatency:
+    case FaultKind::kLinkLoss:
+    case FaultKind::kPartition:
+    case FaultKind::kShardOutage:
+      // Cluster-scoped kinds never reach a per-shard injector
+      // (rejected by Config::Validate; modeled by core::Interconnect).
+      break;
   }
   if (hooks_.on_window) hooks_.on_window(window, /*begin=*/true);
 }
@@ -105,6 +112,11 @@ void FaultInjector::EndWindow(const FaultWindow& window) {
     case FaultKind::kDuplicate:
     case FaultKind::kReorder:
       break;
+    case FaultKind::kLinkLatency:
+    case FaultKind::kLinkLoss:
+    case FaultKind::kPartition:
+    case FaultKind::kShardOutage:
+      break;  // Cluster-scoped; see BeginWindow.
   }
   if (hooks_.on_window) hooks_.on_window(window, /*begin=*/false);
 }

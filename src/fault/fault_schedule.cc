@@ -44,7 +44,31 @@ bool KindFromName(const std::string& name, FaultKind* kind) {
   else if (name == "dup") *kind = FaultKind::kDuplicate;
   else if (name == "reorder") *kind = FaultKind::kReorder;
   else if (name == "cpu") *kind = FaultKind::kCpu;
+  else if (name == "link-latency") *kind = FaultKind::kLinkLatency;
+  else if (name == "link-loss") *kind = FaultKind::kLinkLoss;
+  else if (name == "partition") *kind = FaultKind::kPartition;
+  else if (name == "shard-outage") *kind = FaultKind::kShardOutage;
   else return false;
+  return true;
+}
+
+// Parses a '/'-separated list of shard ids ("0/2/3") into *out.
+bool ParseShardSet(const std::string& text, std::vector<int>* out) {
+  if (text.empty()) return false;
+  size_t begin = 0;
+  while (begin <= text.size()) {
+    size_t end = text.find('/', begin);
+    if (end == std::string::npos) end = text.size();
+    if (end == begin) return false;
+    const std::string piece = text.substr(begin, end - begin);
+    if (piece.size() > 6) return false;
+    for (char c : piece) {
+      if (c < '0' || c > '9') return false;
+    }
+    out->push_back(std::atoi(piece.c_str()));
+    if (end == text.size()) break;
+    begin = end + 1;
+  }
   return true;
 }
 
@@ -58,8 +82,17 @@ const char* FaultKindName(FaultKind kind) {
     case FaultKind::kDuplicate: return "dup";
     case FaultKind::kReorder: return "reorder";
     case FaultKind::kCpu: return "cpu";
+    case FaultKind::kLinkLatency: return "link-latency";
+    case FaultKind::kLinkLoss: return "link-loss";
+    case FaultKind::kPartition: return "partition";
+    case FaultKind::kShardOutage: return "shard-outage";
   }
   return "unknown";
+}
+
+bool IsClusterScoped(FaultKind kind) {
+  return kind == FaultKind::kLinkLatency || kind == FaultKind::kLinkLoss ||
+         kind == FaultKind::kPartition || kind == FaultKind::kShardOutage;
 }
 
 std::optional<FaultSchedule> FaultSchedule::Parse(const std::string& spec,
@@ -84,7 +117,8 @@ std::optional<FaultSchedule> FaultSchedule::Parse(const std::string& spec,
     if (!KindFromName(token.substr(0, at), &w.kind)) {
       SetError(error, token,
                "unknown kind \"" + token.substr(0, at) +
-                   "\" (use outage, burst, loss, dup, reorder, or cpu)");
+                   "\" (use outage, burst, loss, dup, reorder, cpu, "
+                   "link-latency, link-loss, partition, or shard-outage)");
       return std::nullopt;
     }
     const size_t colon = token.find(':', at);
@@ -122,6 +156,21 @@ std::optional<FaultSchedule> FaultSchedule::Parse(const std::string& spec,
           return std::nullopt;
         }
         const std::string key = kv.substr(0, eq);
+        if (key == "shards") {
+          // Not a number: a '/'-separated shard-id list.
+          if (w.kind != FaultKind::kPartition) {
+            SetError(error, token,
+                     "\"shards\" only applies to partition");
+            return std::nullopt;
+          }
+          if (!ParseShardSet(kv.substr(eq + 1), &w.shard_set)) {
+            SetError(error, token,
+                     "shards must be a '/'-separated list of shard ids "
+                     ">= 0 (e.g. shards=0/1)");
+            return std::nullopt;
+          }
+          continue;
+        }
         double value = 0;
         if (!ParseFinite(kv.substr(eq + 1), &value)) {
           SetError(error, token,
@@ -131,9 +180,11 @@ std::optional<FaultSchedule> FaultSchedule::Parse(const std::string& spec,
         if (key == "p") {
           if (w.kind != FaultKind::kLoss &&
               w.kind != FaultKind::kDuplicate &&
-              w.kind != FaultKind::kReorder) {
+              w.kind != FaultKind::kReorder &&
+              w.kind != FaultKind::kLinkLoss) {
             SetError(error, token,
-                     "\"p\" only applies to loss, dup, and reorder");
+                     "\"p\" only applies to loss, dup, reorder, and "
+                     "link-loss");
             return std::nullopt;
           }
           if (value < 0 || value > 1) {
@@ -180,20 +231,73 @@ std::optional<FaultSchedule> FaultSchedule::Parse(const std::string& spec,
             return std::nullopt;
           }
           w.delay = value;
+        } else if (key == "latency") {
+          if (w.kind != FaultKind::kLinkLatency) {
+            SetError(error, token,
+                     "\"latency\" only applies to link-latency");
+            return std::nullopt;
+          }
+          if (value <= 0) {
+            SetError(error, token, "latency must be > 0");
+            return std::nullopt;
+          }
+          w.latency = value;
+        } else if (key == "jitter") {
+          if (w.kind != FaultKind::kLinkLatency) {
+            SetError(error, token,
+                     "\"jitter\" only applies to link-latency");
+            return std::nullopt;
+          }
+          if (value < 0) {
+            SetError(error, token, "jitter must be >= 0");
+            return std::nullopt;
+          }
+          w.jitter = value;
+        } else if (key == "shard") {
+          if (w.kind != FaultKind::kShardOutage) {
+            SetError(error, token,
+                     "\"shard\" only applies to shard-outage");
+            return std::nullopt;
+          }
+          if (value < 0 || value > 1e6 || std::floor(value) != value) {
+            SetError(error, token, "shard must be an integer >= 0");
+            return std::nullopt;
+          }
+          w.shard = static_cast<int>(value);
         } else {
           SetError(error, token,
                    "unknown parameter \"" + key +
-                       "\" (use p, factor, speedup, or delay)");
+                       "\" (use p, factor, speedup, delay, latency, "
+                       "jitter, shards, or shard)");
           return std::nullopt;
         }
       }
     }
     if ((w.kind == FaultKind::kLoss || w.kind == FaultKind::kDuplicate ||
-         w.kind == FaultKind::kReorder) &&
+         w.kind == FaultKind::kReorder ||
+         w.kind == FaultKind::kLinkLoss) &&
         !saw_probability) {
       SetError(error, token,
                std::string("\"") + FaultKindName(w.kind) +
                    "\" requires p=... (per-arrival probability)");
+      return std::nullopt;
+    }
+    if (w.kind == FaultKind::kLinkLatency && w.latency <= 0) {
+      SetError(error, token,
+               "\"link-latency\" requires latency=... (extra seconds "
+               "per delivery)");
+      return std::nullopt;
+    }
+    if (w.kind == FaultKind::kPartition && w.shard_set.empty()) {
+      SetError(error, token,
+               "\"partition\" requires shards=... (one side of the "
+               "cut, e.g. shards=0/1)");
+      return std::nullopt;
+    }
+    if (w.kind == FaultKind::kShardOutage && w.shard < 0) {
+      SetError(error, token,
+               "\"shard-outage\" requires shard=N (the unreachable "
+               "shard)");
       return std::nullopt;
     }
 

@@ -23,6 +23,20 @@
 //   cpu      CPU degradation: the simulated CPU runs at factor × ips
 //            (0 < factor <= 1) for the window.
 //
+// Cluster-scoped kinds (only valid in --cluster_faults; they describe
+// the interconnect between shards, not one shard's feed):
+//
+//   link-latency  every cross-shard message in the window takes an
+//                 extra `latency` seconds (required, > 0), plus an
+//                 exponential jitter with mean `jitter` (default 0).
+//   link-loss     each cross-shard message in the window is dropped
+//                 with probability p.
+//   partition     the shards listed in `shards` (a '/'-separated id
+//                 list, e.g. shards=0/1) are cut off from the rest:
+//                 messages crossing the cut are dropped.
+//   shard-outage  shard `shard` is unreachable: every message to or
+//                 from it is dropped for the window.
+//
 // Parsing validates everything up front — negative or non-finite
 // numbers, probabilities outside [0, 1], overlapping windows of the
 // same kind — and reports a one-line actionable error naming the bad
@@ -46,11 +60,21 @@ enum class FaultKind {
   kDuplicate,
   kReorder,
   kCpu,
+  kLinkLatency,
+  kLinkLoss,
+  kPartition,
+  kShardOutage,
 };
 
 // The spec token for a kind ("outage", "burst", "loss", "dup",
-// "reorder", "cpu").
+// "reorder", "cpu", "link-latency", "link-loss", "partition",
+// "shard-outage").
 const char* FaultKindName(FaultKind kind);
+
+// True for the interconnect kinds (link-latency, link-loss,
+// partition, shard-outage), which only make sense against the
+// cluster's shard links and are rejected in per-shard --faults specs.
+bool IsClusterScoped(FaultKind kind);
 
 struct FaultWindow {
   FaultKind kind = FaultKind::kOutage;
@@ -64,6 +88,14 @@ struct FaultWindow {
   double speedup = 4.0;
   // Mean extra delay in seconds (reorder / dup copies).
   double delay = 0.05;
+  // Extra per-message delivery delay in seconds (link-latency).
+  double latency = 0;
+  // Mean exponential jitter added on top of `latency` (link-latency).
+  double jitter = 0;
+  // One side of the cut: shard ids isolated for the window (partition).
+  std::vector<int> shard_set;
+  // The unreachable shard (shard-outage).
+  int shard = -1;
   // The window's own spec token, e.g. "outage@100+15:speedup=4" —
   // the stable name used in traces and error messages.
   std::string label;

@@ -14,7 +14,7 @@
 //
 // The document is deterministic: same config + seed => bit-identical
 // bytes (fixed key order, %.17g number formatting, no timestamps).
-// Schema: see "strip.telemetry/v3" in EXPERIMENTS.md § Observability.
+// Schema: see "strip.telemetry/v4" in EXPERIMENTS.md § Observability.
 
 #ifndef STRIP_OBS_TELEMETRY_H_
 #define STRIP_OBS_TELEMETRY_H_
@@ -35,7 +35,11 @@ namespace strip::obs {
 // v3 added the sharded model: shard identity ("shard", "shards") in
 // the run object and the cross-shard counters (txns_cross_shard,
 // remote_*, cpu_remote_seconds) in the metrics object.
-inline constexpr const char* kTelemetrySchema = "strip.telemetry/v3";
+// v4 added the interconnect robustness counters (remote_retries,
+// remote_timeouts, remote_degraded_reads, txns_remote_unavailable,
+// link_messages_lost, partition_windows, partition_seconds,
+// time_to_reconnect) to the metrics object.
+inline constexpr const char* kTelemetrySchema = "strip.telemetry/v4";
 
 class RunTelemetry : public core::SystemObserver {
  public:

@@ -313,6 +313,42 @@ void ChromeTraceWriter::Emit(const TraceEvent& event) {
                                   event.home_shard)) +
                ",\"obj\":\"" + Obj(event.object) + "\"}");
       break;
+    case EventKind::kRemoteTimeout:
+      // Home-shard instants on the waiting transaction's track; the
+      // "state" arg distinguishes a retry from budget exhaustion.
+      WriteRaw(std::string("\"name\":\"") + EventKindName(event.kind) +
+               "\",\"cat\":\"" + EventKindName(event.kind) +
+               "\",\"ph\":\"i\",\"s\":\"t\"," + pid_frag_ + "\"tid\":" +
+               Id(TxnTid(event.txn_id, event.txn_cls)) + ",\"ts\":" + ts +
+               ",\"args\":{\"req\":" + Id(event.request_id) + ",\"txn\":" +
+               Id(event.txn_id) + ",\"peer\":" +
+               Id(static_cast<std::uint64_t>(event.peer_shard)) +
+               ",\"attempt\":" +
+               Id(static_cast<std::uint64_t>(event.attempt)) +
+               ",\"state\":\"" +
+               (event.reason != nullptr ? event.reason : "") + "\"}");
+      break;
+    case EventKind::kRemoteDegraded:
+      WriteRaw(std::string("\"name\":\"") + EventKindName(event.kind) +
+               "\",\"cat\":\"" + EventKindName(event.kind) +
+               "\",\"ph\":\"i\",\"s\":\"t\"," + pid_frag_ + "\"tid\":" +
+               Id(TxnTid(event.txn_id, event.txn_cls)) + ",\"ts\":" + ts +
+               ",\"args\":{\"req\":" + Id(event.request_id) + ",\"txn\":" +
+               Id(event.txn_id) + ",\"peer\":" +
+               Id(static_cast<std::uint64_t>(event.peer_shard)) +
+               ",\"obj\":\"" + Obj(event.object) + "\"}");
+      break;
+    case EventKind::kRemoteDropped:
+      // Process-scoped: a message lost in the fabric belongs to no
+      // single transaction track's timeline of CPU work.
+      WriteRaw(std::string("\"name\":\"") + EventKindName(event.kind) +
+               "\",\"cat\":\"" + EventKindName(event.kind) +
+               "\",\"ph\":\"i\",\"s\":\"p\"," + pid_frag_ + "\"tid\":" +
+               Id(kSchedulerTid) + ",\"ts\":" + ts + ",\"args\":{\"req\":" +
+               Id(event.request_id) + ",\"txn\":" + Id(event.txn_id) +
+               ",\"leg\":\"" +
+               (event.reason != nullptr ? event.reason : "") + "\"}");
+      break;
   }
 }
 

@@ -40,6 +40,12 @@ const char* EventKindName(EventKind kind) {
       return "remote-serviced";
     case EventKind::kRemoteResolved:
       return "remote-resolved";
+    case EventKind::kRemoteDropped:
+      return "remote-dropped";
+    case EventKind::kRemoteTimeout:
+      return "remote-timeout";
+    case EventKind::kRemoteDegraded:
+      return "remote-degraded";
   }
   return "?";
 }
@@ -67,6 +73,14 @@ const char* EventDetail(const TraceEvent& event) {
       return event.reason != nullptr ? event.reason : "";
     case EventKind::kRemoteServiced:
       return event.read_stale ? "stale" : "fresh";
+    case EventKind::kRemoteDropped:
+      // "request" / "reply": which leg the interconnect lost.
+      return event.reason != nullptr ? event.reason : "";
+    case EventKind::kRemoteTimeout:
+      // "retry" / "exhausted": whether the read will be re-issued.
+      return event.reason != nullptr ? event.reason : "";
+    case EventKind::kRemoteDegraded:
+      return "stale-local";
     case EventKind::kTxnAdmitted:
     case EventKind::kUpdateArrival:
     case EventKind::kUpdateEnqueued:
@@ -257,6 +271,28 @@ void TraceCollector::OnShardRemoteResolved(sim::Time now,
   event.read_stale = read.stale;
   event.reason = txn_live ? "live" : "orphaned";
   Emit(event);
+}
+
+void TraceCollector::OnShardRemoteDropped(sim::Time now,
+                                          const core::RemoteRead& read,
+                                          bool reply_leg) {
+  TraceEvent event = FromRemoteRead(EventKind::kRemoteDropped, now, read);
+  event.reason = reply_leg ? "reply" : "request";
+  Emit(event);
+}
+
+void TraceCollector::OnRemoteTimeout(sim::Time now,
+                                     const core::RemoteRead& read,
+                                     int attempt, bool will_retry) {
+  TraceEvent event = FromRemoteRead(EventKind::kRemoteTimeout, now, read);
+  event.attempt = attempt;
+  event.reason = will_retry ? "retry" : "exhausted";
+  Emit(event);
+}
+
+void TraceCollector::OnDegradedRead(sim::Time now,
+                                    const core::RemoteRead& read) {
+  Emit(FromRemoteRead(EventKind::kRemoteDegraded, now, read));
 }
 
 void TraceCollector::OnPolicyDecision(sim::Time now, core::PolicyKind policy,

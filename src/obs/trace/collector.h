@@ -49,6 +49,11 @@ class TraceCollector : public core::SystemObserver {
                              const core::RemoteRead& read) override;
   void OnShardRemoteResolved(sim::Time now, const core::RemoteRead& read,
                              bool txn_live) override;
+  void OnShardRemoteDropped(sim::Time now, const core::RemoteRead& read,
+                            bool reply_leg) override;
+  void OnRemoteTimeout(sim::Time now, const core::RemoteRead& read,
+                       int attempt, bool will_retry) override;
+  void OnDegradedRead(sim::Time now, const core::RemoteRead& read) override;
 
  protected:
   // Receives every normalized event, in simulation order.

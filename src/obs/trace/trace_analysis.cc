@@ -209,6 +209,14 @@ std::optional<ParsedTrace> ParseChromeTrace(std::istream& in,
     } else if (cat == "fault-begin" || cat == "fault-end") {
       event.detail = name;
       event.reason = JsonString(line, "window");
+    } else if (cat == "remote-resolved" || cat == "remote-timeout") {
+      // The writer's "state" arg is the flight-format detail token
+      // ("live"/"orphaned", "retry"/"exhausted").
+      event.detail = JsonString(line, "state");
+    } else if (cat == "remote-dropped") {
+      event.detail = JsonString(line, "leg");
+    } else if (cat == "remote-degraded") {
+      event.detail = "stale-local";
     }
     if (cat == "policy-decision") {
       event.reason = JsonString(line, "reason");

@@ -52,6 +52,9 @@ enum class EventKind {
   kRemoteQueued,      // peer shard queued the read for service
   kRemoteServiced,    // peer shard finished the service segment
   kRemoteResolved,    // home shard resolved the reply
+  kRemoteDropped,     // the interconnect lost a request or reply
+  kRemoteTimeout,     // a parked remote read's timer fired
+  kRemoteDegraded,    // timeout fallback served the stale local value
 };
 
 const char* EventKindName(EventKind kind);
@@ -102,6 +105,8 @@ struct TraceEvent {
   std::uint64_t request_id = kNoId;
   int home_shard = -1;
   int peer_shard = -1;
+  // Which attempt timed out (kRemoteTimeout; 1 = the original send).
+  int attempt = 0;
 
   // Instructions of a dispatched segment (kDispatch/kSegmentComplete).
   double instructions = 0;

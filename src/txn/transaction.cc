@@ -24,6 +24,8 @@ const char* TxnOutcomeName(TxnOutcome outcome) {
       return "stale-abort";
     case TxnOutcome::kOverloadDrop:
       return "overload-drop";
+    case TxnOutcome::kRemoteUnavailable:
+      return "remote-unavailable";
   }
   return "?";
 }

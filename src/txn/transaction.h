@@ -47,6 +47,8 @@ enum class TxnOutcome {
   kInfeasible,       // screened out: could not possibly meet deadline
   kStaleAbort,       // aborted on reading stale data (abort-on-stale)
   kOverloadDrop,     // never admitted (reserved for extensions)
+  kRemoteUnavailable,  // cross-shard read timed out through its whole
+                       // retry budget under --remote_fallback=abort
 };
 
 const char* TxnOutcomeName(TxnOutcome outcome);

@@ -140,5 +140,64 @@ TEST(FaultScheduleTest, SameKindWindowsMustNotOverlap) {
   MustParse("loss@10+5:p=0.1;loss@15+5:p=0.2");
 }
 
+TEST(FaultScheduleTest, ParsesClusterScopedKinds) {
+  const FaultSchedule schedule = MustParse(
+      "link-latency@20+10:latency=0.002,jitter=0.001;"
+      "link-loss@30+10:p=0.3;partition@50+10:shards=0/2;"
+      "shard-outage@70+5:shard=1");
+  ASSERT_EQ(schedule.windows().size(), 4u);
+  EXPECT_EQ(schedule.windows()[0].kind, FaultKind::kLinkLatency);
+  EXPECT_DOUBLE_EQ(schedule.windows()[0].latency, 0.002);
+  EXPECT_DOUBLE_EQ(schedule.windows()[0].jitter, 0.001);
+  EXPECT_EQ(schedule.windows()[1].kind, FaultKind::kLinkLoss);
+  EXPECT_DOUBLE_EQ(schedule.windows()[1].probability, 0.3);
+  EXPECT_EQ(schedule.windows()[2].kind, FaultKind::kPartition);
+  ASSERT_EQ(schedule.windows()[2].shard_set.size(), 2u);
+  EXPECT_EQ(schedule.windows()[2].shard_set[0], 0);
+  EXPECT_EQ(schedule.windows()[2].shard_set[1], 2);
+  EXPECT_EQ(schedule.windows()[3].kind, FaultKind::kShardOutage);
+  EXPECT_EQ(schedule.windows()[3].shard, 1);
+  for (const FaultWindow& w : schedule.windows()) {
+    EXPECT_TRUE(IsClusterScoped(w.kind)) << w.label;
+  }
+  EXPECT_FALSE(IsClusterScoped(FaultKind::kLoss));
+  // The cluster kinds round-trip through the canonical form too.
+  EXPECT_EQ(MustParse(schedule.ToString()).ToString(),
+            schedule.ToString());
+}
+
+TEST(FaultScheduleTest, ClusterKindErrorsArePinnedOneLiners) {
+  // The full diagnostic for each malformed cluster-scoped token is
+  // part of the CLI contract: scripts grep for these lines, and the
+  // fuzz corpus (fuzz/corpus/fault_schedule/partition_bad_shards and
+  // friends) seeds the same shapes.
+  EXPECT_EQ(MustFail("partition@15+10"),
+            "faults: bad window \"partition@15+10\": \"partition\" "
+            "requires shards=... (one side of the cut, e.g. shards=0/1)");
+  EXPECT_EQ(MustFail("partition@15+10:shards=0/x"),
+            "faults: bad window \"partition@15+10:shards=0/x\": shards "
+            "must be a '/'-separated list of shard ids >= 0 "
+            "(e.g. shards=0/1)");
+  EXPECT_EQ(MustFail("link-latency@20+10:jitter=0.001"),
+            "faults: bad window \"link-latency@20+10:jitter=0.001\": "
+            "\"link-latency\" requires latency=... (extra seconds per "
+            "delivery)");
+  EXPECT_EQ(MustFail("link-loss@30+10"),
+            "faults: bad window \"link-loss@30+10\": \"link-loss\" "
+            "requires p=... (per-arrival probability)");
+  EXPECT_EQ(MustFail("link-loss@30+10:p=1.5"),
+            "faults: bad window \"link-loss@30+10:p=1.5\": p must be in "
+            "[0, 1]");
+  EXPECT_EQ(MustFail("shard-outage@25+10"),
+            "faults: bad window \"shard-outage@25+10\": \"shard-outage\" "
+            "requires shard=N (the unreachable shard)");
+  EXPECT_EQ(MustFail("shard-outage@25+10:shard=1.5"),
+            "faults: bad window \"shard-outage@25+10:shard=1.5\": shard "
+            "must be an integer >= 0");
+  EXPECT_EQ(MustFail("loss@10+5:shards=0/1"),
+            "faults: bad window \"loss@10+5:shards=0/1\": \"shards\" "
+            "only applies to partition");
+}
+
 }  // namespace
 }  // namespace strip::fault

@@ -165,9 +165,9 @@ TEST(TelemetrySchemaTest, FreshRunDocumentValidates) {
 TEST(TelemetrySchemaTest, CheckedInGoldensValidate) {
   const JsonValue schema = LoadSchema();
   for (const char* name :
-       {"telemetry_golden.json", "determinism_telemetry_v3.json",
-        "determinism_telemetry_v3.shard0.json",
-        "determinism_telemetry_v3.shard1.json"}) {
+       {"telemetry_golden.json", "determinism_telemetry_v4.json",
+        "determinism_telemetry_v4.shard0.json",
+        "determinism_telemetry_v4.shard1.json"}) {
     const std::string path =
         std::string(STRIP_TEST_SOURCE_DIR "/obs/testdata/") + name;
     std::ifstream in(path, std::ios::binary);
@@ -194,6 +194,36 @@ TEST(TelemetrySchemaTest, DriftIsCaught) {
   EXPECT_FALSE(ValidateJsonSchema(
       schema, ParseOrDie(doc, "perturbed telemetry"), &error));
   EXPECT_NE(error.find("mystery_metric"), std::string::npos) << error;
+}
+
+TEST(TelemetrySchemaTest, V4InterconnectKeysAreRequired) {
+  const JsonValue schema = LoadSchema();
+  const std::string doc = ProduceDocument(1);
+  // The writer stamps the v4 schema id and every interconnect
+  // robustness key, even on a uniprocessor run where they are zero.
+  EXPECT_NE(doc.find("\"strip.telemetry/v4\""), std::string::npos);
+  for (const char* key :
+       {"remote_retries", "remote_timeouts", "remote_degraded_reads",
+        "txns_remote_unavailable", "link_messages_lost",
+        "partition_windows", "partition_seconds", "time_to_reconnect"}) {
+    const std::string quoted = std::string("\"") + key + "\":";
+    const std::size_t at = doc.find(quoted);
+    ASSERT_NE(at, std::string::npos) << key;
+    // Deleting the key must fail validation: the v4 contract lists all
+    // of them as required, so a writer regression cannot drop one
+    // silently.
+    std::string gutted = doc;
+    const std::size_t line_end = gutted.find('\n', at);
+    ASSERT_NE(line_end, std::string::npos);
+    std::size_t line_start = gutted.rfind('\n', at);
+    ASSERT_NE(line_start, std::string::npos);
+    gutted.erase(line_start, line_end - line_start);
+    std::string error;
+    EXPECT_FALSE(ValidateJsonSchema(
+        schema, ParseOrDie(gutted, "gutted telemetry"), &error))
+        << key;
+    EXPECT_NE(error.find(key), std::string::npos) << error;
+  }
 }
 
 }  // namespace

@@ -56,7 +56,7 @@ std::string ProduceDocument(const core::Config& config, std::uint64_t seed) {
 
 TEST(TelemetryTest, DocumentHasSchemaAndRequiredSections) {
   const std::string doc = ProduceDocument(GoldenConfig(), 1);
-  EXPECT_NE(doc.find("\"schema\": \"strip.telemetry/v3\""),
+  EXPECT_NE(doc.find("\"schema\": \"strip.telemetry/v4\""),
             std::string::npos);
   // The acceptance bar: at least 5 time series and 2 histograms.
   for (const char* series :

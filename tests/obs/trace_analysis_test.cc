@@ -252,8 +252,8 @@ TEST(ParseChromeTraceShardedTest, GoldenTraceMapsPidsToShards) {
   const std::optional<ParsedTrace> parsed = ParseChromeTrace(in, &error);
   ASSERT_TRUE(parsed.has_value()) << error;
   EXPECT_EQ(parsed->shards, 2);
-  // 11 event rows (metadata records are consumed by the pid map).
-  ASSERT_EQ(parsed->events.size(), 11u);
+  // 19 event rows (metadata records are consumed by the pid map).
+  ASSERT_EQ(parsed->events.size(), 19u);
   for (const ParsedEvent& event : parsed->events) {
     EXPECT_TRUE(event.shard == 0 || event.shard == 1) << event.kind;
   }
@@ -267,16 +267,51 @@ TEST(ParseChromeTraceShardedTest, FilterByShardSplitsTheTrace) {
   const std::vector<ParsedEvent> shard0 = OfShard(*parsed, 0);
   const std::vector<ParsedEvent> shard1 = OfShard(*parsed, 1);
   EXPECT_EQ(shard0.size() + shard1.size(), parsed->events.size());
-  ASSERT_EQ(shard0.size(), 5u);
+  ASSERT_EQ(shard0.size(), 13u);
   ASSERT_EQ(shard1.size(), 6u);
-  // Decision tallies split cleanly: shard 0 installed on arrival,
-  // shard 1 deferred once then installed.
+  // Decision tallies split cleanly: shard 0 installed on arrival and
+  // worked through a remote retry/degrade sequence; shard 1 deferred
+  // once then installed.
   const auto decisions0 = DecisionCounts(shard0);
   const auto decisions1 = DecisionCounts(shard1);
   EXPECT_EQ(decisions0.at("install/uf-install-on-arrival"), 1u);
   EXPECT_EQ(decisions0.count("defer/txn-in-progress"), 0u);
+  EXPECT_EQ(decisions0.at("remote-retry/remote-timeout"), 1u);
+  EXPECT_EQ(decisions0.at("remote-degrade/retries-exhausted"), 1u);
   EXPECT_EQ(decisions1.at("defer/txn-in-progress"), 1u);
   EXPECT_EQ(decisions1.at("install/uf-install-on-arrival"), 1u);
+  EXPECT_EQ(decisions1.count("remote-retry/remote-timeout"), 0u);
+}
+
+TEST(ParseChromeTraceShardedTest, RemoteRobustnessEventsParse) {
+  // The golden's home shard loses request 3 in the fabric, retries at
+  // its first timeout, exhausts on the second, and degrades. Every
+  // event must come back with shard attribution and the flight-format
+  // detail token.
+  std::ifstream in(kShardedGoldenPath);
+  std::string error;
+  const std::optional<ParsedTrace> parsed = ParseChromeTrace(in, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  std::vector<const ParsedEvent*> timeouts;
+  const ParsedEvent* dropped = nullptr;
+  const ParsedEvent* degraded = nullptr;
+  for (const ParsedEvent& event : parsed->events) {
+    if (event.kind == "remote-timeout") timeouts.push_back(&event);
+    if (event.kind == "remote-dropped") dropped = &event;
+    if (event.kind == "remote-degraded") degraded = &event;
+  }
+  ASSERT_EQ(timeouts.size(), 2u);
+  EXPECT_EQ(timeouts[0]->detail, "retry");
+  EXPECT_EQ(timeouts[1]->detail, "exhausted");
+  EXPECT_EQ(timeouts[0]->shard, 0);
+  EXPECT_EQ(timeouts[0]->txn, 4u);
+  ASSERT_NE(dropped, nullptr);
+  EXPECT_EQ(dropped->detail, "request");
+  EXPECT_EQ(dropped->shard, 0);
+  ASSERT_NE(degraded, nullptr);
+  EXPECT_EQ(degraded->detail, "stale-local");
+  EXPECT_EQ(degraded->shard, 0);
+  EXPECT_EQ(degraded->txn, 4u);
 }
 
 TEST(ParseChromeTraceShardedTest, InterleavedSpansAttributePerShard) {

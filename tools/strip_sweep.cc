@@ -55,6 +55,15 @@
 // --telemetry-dir writes one document per shard
 // (<cell>.json.shard<k>). --shards=1 (the default) is byte-identical
 // to the pre-sharding tool.
+//
+// Cluster-level parameters are themselves sweepable: --x=shards or
+// --x=link_latency_us applies each value to the cell's cluster shape
+// instead of the per-shard base, so one grid can compare cluster
+// sizes or interconnect latencies directly (see
+// examples/run_telemetry.cpp and EXPERIMENTS.md):
+//
+//   strip_sweep --x=shards --values=1,2,4,8 --metrics=av,response_p95
+//   strip_sweep --shards=4 --x=link_latency_us --values=0,100,1000,5000
 
 #include <unistd.h>
 
@@ -106,6 +115,10 @@ const MetricDef kMetrics[] = {
     {"rho_u", Metric(&RunMetrics::rho_u)},
     {"response_p95", Metric(&RunMetrics::response_p95)},
     {"uq_avg", Metric(&RunMetrics::uq_length_avg)},
+    {"remote_retries", Metric(&RunMetrics::remote_retries)},
+    {"remote_timeouts", Metric(&RunMetrics::remote_timeouts)},
+    {"remote_degraded", Metric(&RunMetrics::remote_degraded_reads)},
+    {"remote_unavailable", Metric(&RunMetrics::txns_remote_unavailable)},
 };
 
 std::vector<std::string> SplitCommas(const std::string& list) {
@@ -162,7 +175,6 @@ int main(int argc, char** argv) {
           strip::exp::ApplyConfigFlags(argc, argv, cluster, &rest)) {
     Fail(*error);
   }
-  const bool sharded = cluster.shards > 1;
 
   std::string x_name;
   std::vector<double> x_values;
@@ -239,6 +251,19 @@ int main(int argc, char** argv) {
   if (reps < 1) Fail("--reps must be at least 1");
   if (resume && out_dir.empty()) Fail("--resume needs --out-dir=DIR");
 
+  // A cluster-level x axis (--x=shards, --x=link_latency_us, ...)
+  // changes the cluster shape per cell, so every cell runs the
+  // Cluster path — including shards == 1 values, which stay seed- and
+  // metric-identical to single-System runs.
+  bool cluster_x = false;
+  for (const std::string& name : strip::exp::ShardedConfigFlagNames()) {
+    if (name == x_name) {
+      cluster_x = true;
+      break;
+    }
+  }
+  const bool sharded = cluster.shards > 1 || cluster_x;
+
   strip::exp::SweepSpec spec;
   spec.base = base;
   spec.cluster = cluster;
@@ -248,13 +273,24 @@ int main(int argc, char** argv) {
   spec.replications = reps;
   spec.base_seed = seed;
   spec.parallel = parallel;
-  spec.apply_x = [x_name](strip::core::Config& config, double x) {
-    char value[64];
-    std::snprintf(value, sizeof(value), "%.17g", x);
-    const auto error = strip::exp::ApplyConfigFlag(
-        x_name + "=" + value, config);
-    if (error.has_value()) Fail(*error);
-  };
+  if (cluster_x) {
+    spec.apply_x_cluster = [x_name](strip::core::ShardedConfig& config,
+                                    double x) {
+      char value[64];
+      std::snprintf(value, sizeof(value), "%.17g", x);
+      const auto error = strip::exp::ApplyConfigFlag(
+          x_name + "=" + value, config);
+      if (error.has_value()) Fail(*error);
+    };
+  } else {
+    spec.apply_x = [x_name](strip::core::Config& config, double x) {
+      char value[64];
+      std::snprintf(value, sizeof(value), "%.17g", x);
+      const auto error = strip::exp::ApplyConfigFlag(
+          x_name + "=" + value, config);
+      if (error.has_value()) Fail(*error);
+    };
+  }
   spec.budget.wall_seconds = cell_timeout;
 
   // Progress reporting rides the sweep's serialized completion
@@ -307,7 +343,8 @@ int main(int argc, char** argv) {
   // against the swept base too (per-shard override lengths, skew).
   {
     strip::core::ShardedConfig probe = cluster;
-    spec.apply_x(probe.base, x_values.front());
+    if (spec.apply_x) spec.apply_x(probe.base, x_values.front());
+    if (spec.apply_x_cluster) spec.apply_x_cluster(probe, x_values.front());
     if (const auto invalid = probe.Validate()) Fail(*invalid);
   }
 

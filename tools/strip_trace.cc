@@ -170,6 +170,42 @@ int main(int argc, char** argv) {
       std::printf("  %-40s %8llu\n", key.c_str(),
                   static_cast<unsigned long long>(count));
     }
+    // Multi-shard traces: attribute the tallies to their shards, so a
+    // remote-retry storm points at the engine suffering it.
+    if (parsed->shards > 1 && shard_filter < 0) {
+      for (int s = 0; s < parsed->shards; ++s) {
+        const auto per = strip::obs::trace::DecisionCounts(
+            strip::obs::trace::FilterByShard(events, s));
+        if (per.empty()) continue;
+        std::printf("  shard %d:\n", s);
+        for (const auto& [key, count] : per) {
+          std::printf("    %-38s %8llu\n", key.c_str(),
+                      static_cast<unsigned long long>(count));
+        }
+      }
+    }
+    // The interconnect's side of those decisions: which reads timed
+    // out, fell back to a degraded local value, or died in the fabric.
+    bool any_remote = false;
+    for (const ParsedEvent& event : events) {
+      if (event.kind != "remote-timeout" &&
+          event.kind != "remote-degraded" &&
+          event.kind != "remote-dropped") {
+        continue;
+      }
+      if (!any_remote) {
+        std::printf("\nremote robustness events:\n");
+        any_remote = true;
+      }
+      char txn[24] = "";
+      if (event.txn != kNoId) {
+        std::snprintf(txn, sizeof(txn), " txn=%llu",
+                      static_cast<unsigned long long>(event.txn));
+      }
+      std::printf("  %14.6f shard %d %-16s %-12s%s\n", event.time,
+                  event.shard, event.kind.c_str(), event.detail.c_str(),
+                  txn);
+    }
     // Fault windows give the decision counts their context: which
     // injected windows were open during the traced interval.
     bool any_fault = false;
