@@ -26,7 +26,7 @@ using namespace strip;
 
 void BM_EventQueueScheduleAndPop(benchmark::State& state) {
   sim::EventQueue queue;
-  sim::RandomStream random(7);
+  sim::RandomStream random(base::RngSeed(7));
   double t = 0;
   int dummy = 0;
   // Keep a standing population so heap depth is realistic.
@@ -55,7 +55,7 @@ BENCHMARK(BM_EventQueueCancel);
 
 db::Update MakeUpdate(std::uint64_t id, sim::RandomStream& random) {
   db::Update u;
-  u.id = id;
+  u.id = base::UpdateId(id);
   u.object = {random.WithProbability(0.5)
                   ? db::ObjectClass::kLowImportance
                   : db::ObjectClass::kHighImportance,
@@ -67,7 +67,7 @@ db::Update MakeUpdate(std::uint64_t id, sim::RandomStream& random) {
 
 void BM_UpdateQueuePushPop(benchmark::State& state) {
   db::UpdateQueue queue(5600);
-  sim::RandomStream random(7);
+  sim::RandomStream random(base::RngSeed(7));
   std::uint64_t id = 0;
   for (int i = 0; i < 2800; ++i) queue.Push(MakeUpdate(++id, random));
   for (auto _ : state) {
@@ -79,7 +79,7 @@ BENCHMARK(BM_UpdateQueuePushPop);
 
 void BM_UpdateQueuePeekNewestFor(benchmark::State& state) {
   db::UpdateQueue queue(5600);
-  sim::RandomStream random(7);
+  sim::RandomStream random(base::RngSeed(7));
   std::uint64_t id = 0;
   for (int i = 0; i < 2800; ++i) queue.Push(MakeUpdate(++id, random));
   for (auto _ : state) {
@@ -92,7 +92,7 @@ BENCHMARK(BM_UpdateQueuePeekNewestFor);
 
 void BM_DatabaseApply(benchmark::State& state) {
   db::Database database(500, 500);
-  sim::RandomStream random(7);
+  sim::RandomStream random(base::RngSeed(7));
   std::uint64_t id = 0;
   double t = 0;
   for (auto _ : state) {
@@ -108,7 +108,7 @@ void BM_StalenessTrackerApply(benchmark::State& state) {
   db::StalenessTracker tracker(&simulator,
                                db::StalenessCriterion::kMaxAge, 7.0, 500,
                                500);
-  sim::RandomStream random(7);
+  sim::RandomStream random(base::RngSeed(7));
   double t = 0;
   for (auto _ : state) {
     t += 0.0025;
@@ -125,11 +125,11 @@ void BM_StalenessTrackerApply(benchmark::State& state) {
 BENCHMARK(BM_StalenessTrackerApply);
 
 void BM_ReadyQueuePopBest(benchmark::State& state) {
-  sim::RandomStream random(7);
+  sim::RandomStream random(base::RngSeed(7));
   std::vector<std::unique_ptr<txn::Transaction>> pool;
   for (int i = 0; i < 32; ++i) {
     txn::Transaction::Params p;
-    p.id = i;
+    p.id = base::TxnId(i);
     p.value = random.Uniform(0.5, 2.5);
     p.deadline = random.Uniform(1, 2);
     p.computation_instructions = random.Uniform(1e6, 1e7);
@@ -153,7 +153,7 @@ void BM_SystemBaseline(benchmark::State& state) {
     config.policy = policy;
     config.sim_seconds = 20.0;
     sim::Simulator simulator;
-    core::System system(&simulator, config, 1);
+    core::System system(&simulator, config, base::RngSeed(1));
     benchmark::DoNotOptimize(system.Run());
   }
   state.counters["sim_s_per_wall_s"] = benchmark::Counter(

@@ -44,7 +44,7 @@ using namespace strip;
 // deadline/expiry/arrival events; 64k approximates a scaled-up feed).
 void BM_EventScheduleThenPop(benchmark::State& state) {
   sim::EventQueue queue;
-  sim::RandomStream random(7);
+  sim::RandomStream random(base::RngSeed(7));
   double t = 0;
   int dummy = 0;
   const int population = static_cast<int>(state.range(0));
@@ -79,7 +79,7 @@ BENCHMARK(BM_EventScheduleCancel);
 // pop-and-fire one event, schedule its replacement.
 void BM_EventTimerChurn(benchmark::State& state) {
   sim::EventQueue queue;
-  sim::RandomStream random(7);
+  sim::RandomStream random(base::RngSeed(7));
   double t = 0;
   int dummy = 0;
   const std::size_t population = static_cast<std::size_t>(state.range(0));
@@ -108,7 +108,7 @@ BENCHMARK(BM_EventTimerChurn)->Arg(8192);
 db::Update MakeUpdate(std::uint64_t id, double generation,
                       sim::RandomStream& random) {
   db::Update u;
-  u.id = id;
+  u.id = base::UpdateId(id);
   u.object = {random.WithProbability(0.5) ? db::ObjectClass::kLowImportance
                                           : db::ObjectClass::kHighImportance,
               random.UniformInt(0, 499)};
@@ -121,7 +121,7 @@ db::Update MakeUpdate(std::uint64_t id, double generation,
 // so inserts land near the tail and FIFO service pops the head.
 void BM_UpdatePushPopFifo(benchmark::State& state) {
   db::UpdateQueue queue(5600);
-  sim::RandomStream random(7);
+  sim::RandomStream random(base::RngSeed(7));
   std::uint64_t id = 0;
   double t = 0;
   for (int i = 0; i < 2800; ++i) {
@@ -141,7 +141,7 @@ BENCHMARK(BM_UpdatePushPopFifo);
 // every insert lands at a random position in the ordering.
 void BM_UpdatePushPopRandom(benchmark::State& state) {
   db::UpdateQueue queue(5600);
-  sim::RandomStream random(7);
+  sim::RandomStream random(base::RngSeed(7));
   std::uint64_t id = 0;
   for (int i = 0; i < 2800; ++i) {
     queue.Push(MakeUpdate(++id, random.Uniform(0, 1000), random));
@@ -157,7 +157,7 @@ BENCHMARK(BM_UpdatePushPopRandom);
 // expired prefix (Section 3.3's discard-from-front path).
 void BM_UpdatePushPurge(benchmark::State& state) {
   db::UpdateQueue queue(100000);
-  sim::RandomStream random(7);
+  sim::RandomStream random(base::RngSeed(7));
   std::uint64_t id = 0;
   double t = 0;
   for (auto _ : state) {
@@ -174,7 +174,7 @@ BENCHMARK(BM_UpdatePushPurge);
 // Split-queue service (Section 4.2): class-filtered pops.
 void BM_UpdateClassPops(benchmark::State& state) {
   db::UpdateQueue queue(5600);
-  sim::RandomStream random(7);
+  sim::RandomStream random(base::RngSeed(7));
   std::uint64_t id = 0;
   double t = 0;
   for (int i = 0; i < 2800; ++i) {
@@ -194,7 +194,7 @@ BENCHMARK(BM_UpdateClassPops);
 // On-Demand lookup: newest queued update for a random object.
 void BM_UpdatePeekNewestFor(benchmark::State& state) {
   db::UpdateQueue queue(5600);
-  sim::RandomStream random(7);
+  sim::RandomStream random(base::RngSeed(7));
   std::uint64_t id = 0;
   double t = 0;
   for (int i = 0; i < 2800; ++i) {
@@ -220,7 +220,7 @@ void BM_SimEndToEnd60s(benchmark::State& state) {
     config.policy = policy;
     config.sim_seconds = 60.0;
     sim::Simulator simulator;
-    core::System system(&simulator, config, 1);
+    core::System system(&simulator, config, base::RngSeed(1));
     benchmark::DoNotOptimize(system.Run());
     events += simulator.events_dispatched();
   }
@@ -251,7 +251,7 @@ void BM_SimObserverOverhead60s(benchmark::State& state) {
     core::Config config;
     config.sim_seconds = 60.0;
     sim::Simulator simulator;
-    core::System system(&simulator, config, 1);
+    core::System system(&simulator, config, base::RngSeed(1));
     if (attach) system.AddObserver(&observer);
     benchmark::DoNotOptimize(system.Run());
     events += simulator.events_dispatched();
@@ -280,7 +280,7 @@ void BM_SimAuditorOverhead60s(benchmark::State& state) {
     core::Config config;
     config.sim_seconds = 60.0;
     sim::Simulator simulator;
-    core::System system(&simulator, config, 1);
+    core::System system(&simulator, config, base::RngSeed(1));
     check::InvariantAuditor auditor;
     if (attach) {
       auditor.set_system(&system);

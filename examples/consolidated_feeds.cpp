@@ -55,7 +55,7 @@ int main(int argc, char** argv) {
   config.alpha = 5.0;
 
   strip::sim::Simulator simulator;
-  strip::core::System system(&simulator, config, /*seed=*/8);
+  strip::core::System system(&simulator, config, strip::base::RngSeed(/*seed=*/8));
 
   std::vector<strip::workload::MultiUpdateStream::Feed> feeds;
   {
@@ -90,13 +90,13 @@ int main(int argc, char** argv) {
   }
 
   strip::workload::MultiUpdateStream consolidation(
-      &simulator, feeds, /*seed=*/8,
+      &simulator, feeds, strip::base::RngSeed(8),
       [&](const strip::db::Update& u) { system.InjectUpdate(u); });
 
   // Transactions still arrive stochastically — a plain TxnSource can
   // feed an external-workload System directly.
   strip::workload::TxnSource transactions(
-      &simulator, config.TxnSourceParams(), /*seed=*/9,
+      &simulator, config.TxnSourceParams(), strip::base::RngSeed(9),
       [&](const strip::txn::Transaction::Params& p) {
         system.InjectTransaction(p);
       });

@@ -39,12 +39,12 @@ void RunMarket(strip::core::PolicyKind policy, double seconds) {
   config.sim_seconds = seconds;
 
   strip::sim::Simulator simulator;
-  strip::core::System system(&simulator, config, /*seed=*/21);
+  strip::core::System system(&simulator, config, strip::base::RngSeed(/*seed=*/21));
 
   // Twenty portfolios of ten stocks each from the high-importance
   // partition.
   strip::db::DerivedRegistry portfolios;
-  strip::sim::RandomStream random(99);
+  strip::sim::RandomStream random(strip::base::RngSeed(99));
   for (int p = 0; p < 20; ++p) {
     strip::db::DerivedRegistry::Definition def;
     def.name = "portfolio-" + std::to_string(p);

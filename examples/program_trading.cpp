@@ -39,7 +39,7 @@ strip::core::RunMetrics RunDesk(strip::core::PolicyKind policy,
   config.v_low_mean = 1.0;
 
   strip::sim::Simulator simulator;
-  strip::core::System system(&simulator, config, /*seed=*/2024);
+  strip::core::System system(&simulator, config, strip::base::RngSeed(/*seed=*/2024));
   return system.Run();
 }
 

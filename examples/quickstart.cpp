@@ -42,7 +42,7 @@ int main(int argc, char** argv) {
     config.sim_seconds = seconds;
 
     strip::sim::Simulator simulator;
-    strip::core::System system(&simulator, config, /*seed=*/1);
+    strip::core::System system(&simulator, config, strip::base::RngSeed(/*seed=*/1));
     const strip::core::RunMetrics m = system.Run();
 
     std::printf("%-6s %8.3f %8.2f %8.3f %8.3f %8.3f %8.3f %8.3f\n",

@@ -37,7 +37,7 @@ class StaleReadAlert : public strip::core::SystemObserver {
     ++stale_reads_;
     if (stale_reads_ <= 3) {
       std::printf("  [alert] t=%8.3f txn %llu read stale %s[%d]\n", now,
-                  static_cast<unsigned long long>(transaction.id()),
+                  static_cast<unsigned long long>(transaction.id().value()),
                   object.cls == strip::db::ObjectClass::kHighImportance
                       ? "high"
                       : "low",
@@ -69,7 +69,7 @@ int main(int argc, char** argv) {
   config.sim_seconds = seconds;
 
   strip::sim::Simulator simulator;
-  strip::core::System system(&simulator, config, /*seed=*/1);
+  strip::core::System system(&simulator, config, strip::base::RngSeed(/*seed=*/1));
 
   // Observer 1: alerting, attached with RAII registration.
   StaleReadAlert alert;

@@ -48,7 +48,7 @@ strip::core::RunMetrics RunPlant(strip::core::PolicyKind policy,
   config.sim_seconds = seconds;
 
   strip::sim::Simulator simulator;
-  strip::core::System system(&simulator, config, /*seed=*/11);
+  strip::core::System system(&simulator, config, strip::base::RngSeed(/*seed=*/11));
   return system.Run();
 }
 

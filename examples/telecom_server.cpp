@@ -58,14 +58,14 @@ int main(int argc, char** argv) {
     strip::core::Config config = SwitchConfig(seconds);
     config.policy = strip::core::PolicyKind::kTransactionFirst;
     strip::sim::Simulator simulator;
-    strip::core::System system(&simulator, config, 5);
+    strip::core::System system(&simulator, config, strip::base::RngSeed(5));
     Report("TF (requests first)", system.Run());
   }
   {
     strip::core::Config config = SwitchConfig(seconds);
     config.policy = strip::core::PolicyKind::kUpdateFirst;
     strip::sim::Simulator simulator;
-    strip::core::System system(&simulator, config, 5);
+    strip::core::System system(&simulator, config, strip::base::RngSeed(5));
     Report("UF (state first)", system.Run());
   }
   {
@@ -75,7 +75,7 @@ int main(int argc, char** argv) {
     config.policy = strip::core::PolicyKind::kOnDemand;
     config.x_scan = 500;  // realistic per-entry examination cost
     strip::sim::Simulator simulator;
-    strip::core::System system(&simulator, config, 5);
+    strip::core::System system(&simulator, config, strip::base::RngSeed(5));
     Report("OD, scanned queue", system.Run());
   }
   {
@@ -86,7 +86,7 @@ int main(int argc, char** argv) {
     config.x_scan = 500;
     config.indexed_update_queue = true;
     strip::sim::Simulator simulator;
-    strip::core::System system(&simulator, config, 5);
+    strip::core::System system(&simulator, config, strip::base::RngSeed(5));
     Report("OD, hash-indexed queue", system.Run());
   }
 

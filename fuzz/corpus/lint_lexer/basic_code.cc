@@ -1,0 +1,6 @@
+#include <unordered_map>
+int main() {
+  std::unordered_map<int, int> m;
+  for (const auto& kv : m) { (void)kv; }
+  return rand();
+}

@@ -1,0 +1,3 @@
+#include <chrono>
+#include "db/object.h"
+#   include <ctime>

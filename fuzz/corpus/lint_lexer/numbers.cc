@@ -1,0 +1,2 @@
+double a = 1.0e-3f == 0x1p-4 ? 1e9 : .5;
+int b = 0x1f + 42u + 0b101;

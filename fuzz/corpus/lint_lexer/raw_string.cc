@@ -1,0 +1,2 @@
+auto s = R"delim(time(nullptr) rand() "quoted")delim";
+auto t = u8R"(x)" ; auto u = LR"(y)";

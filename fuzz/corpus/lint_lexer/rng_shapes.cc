@@ -1,0 +1,3 @@
+void F(RandomStream rng, RandomStream& ref);
+RandomStream a = b;
+RandomStream c(parent.Fork());

@@ -1,0 +1,3 @@
+const char* s = "never closed
+/* comment without end
+R"(raw without end

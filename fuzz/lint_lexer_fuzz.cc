@@ -1,0 +1,32 @@
+// Fuzz target: the determinism linter's lexer and rule engine.
+//
+// tools/strip_lint is pointed at whole source trees, so the lexer's
+// contract is "any byte sequence in, token stream out": unterminated
+// literals, raw-string prefixes cut mid-delimiter, and stray control
+// bytes must all close cleanly at end of input. The rules then run
+// over whatever tokens came out — they index the stream defensively
+// and must never read past it. Contract on arbitrary bytes: lex and
+// lint, never crash, and every token's position stays inside the
+// input's line/column space.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "check/lint/lexer.h"
+#include "check/lint/rules.h"
+#include "fuzz/standalone_driver.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string_view source(reinterpret_cast<const char*>(data), size);
+  const auto tokens = strip::check::lint::Lex(source);
+  for (const auto& token : tokens) {
+    if (token.line < 1 || token.col < 1) __builtin_trap();
+  }
+  strip::check::lint::LintOptions options;
+  options.in_src_tree = true;  // exercise every rule
+  options.companion_sources.push_back(std::string(source));
+  (void)strip::check::lint::LintSource("fuzz.cc", source, options);
+  return 0;
+}

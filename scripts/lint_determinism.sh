@@ -1,93 +1,36 @@
 #!/usr/bin/env bash
-# Determinism lint: fails if banned nondeterminism sources appear in
-# simulation code outside the allowlist.
+# Determinism lint — thin wrapper over tools/strip_lint.
 #
-# The repo's core guarantee is that a (config, seed) pair reproduces a
-# run bit-for-bit — telemetry, traces, and sweep grids byte-compare in
-# CI. The classic ways that guarantee rots:
+# The analysis used to live here as four grep patterns; it is now a
+# real token-level analyzer (src/check/lint/) that strips comments and
+# string literals before matching and adds AST-lite rules grep could
+# not express (unordered iteration, RandomStream copies, float ==).
+# This wrapper keeps the historical entry point working: it finds (or
+# builds) the strip_lint binary and runs the same full-tree scan CI
+# runs, against scripts/determinism_allowlist.txt.
 #
-#   1. libc rand()/random()/drand48() — unseeded global state
-#   2. std::random_device — hardware entropy
-#   3. wall-clock time (time(), chrono::system_clock::now(), ...)
-#      feeding simulation state or output documents
-#   4. iterating an unordered_map/unordered_set to *write* output or
-#      mutate model state — iteration order is
-#      implementation-defined
+#   scripts/lint_determinism.sh [extra strip_lint flags...]
 #
-# This script greps for the first three patterns and for unordered
-# iteration (a heuristic: range-for over a container whose declaration
-# names unordered_*), then strips matches covered by the allowlist
-# below. CI runs it on every push.
-#
-# Allowlist format (scripts/determinism_allowlist.txt):
-#   <path-substring>:<pattern-tag>   # comment
-# Tags: rand, random_device, wallclock, unordered-iter
+# Environment:
+#   STRIP_LINT  path to a prebuilt strip_lint binary (skips the build)
 
 set -u
 cd "$(dirname "$0")/.."
 
-ALLOWLIST=scripts/determinism_allowlist.txt
-SCAN_DIRS="src tools bench examples"
-STATUS=0
-
-# Collect "file:line:tag:text" candidate violations.
-candidates() {
-  # 1/2: libc RNG and std::random_device. Word boundaries keep
-  # e.g. "grand(" out; libc random() is zero-arg, so "random()"
-  # (not "RandomStream random(7)" declarations) is the call shape.
-  grep -RnE '\b(rand|srand|drand48|lrand48)\(|\brandom\(\)' $SCAN_DIRS \
-    --include='*.cc' --include='*.h' --include='*.cpp' \
-    | sed 's/^\([^:]*:[0-9]*\):/\1:rand:/'
-  grep -RnE 'std::random_device' $SCAN_DIRS \
-    --include='*.cc' --include='*.h' --include='*.cpp' \
-    | sed 's/^\([^:]*:[0-9]*\):/\1:random_device:/'
-  # 3: wall-clock reads.
-  grep -RnE '(system_clock|steady_clock|high_resolution_clock)::now|[^a-zA-Z_]time\(NULL\)|[^a-zA-Z_]time\(nullptr\)|gettimeofday|clock_gettime' \
-    $SCAN_DIRS --include='*.cc' --include='*.h' --include='*.cpp' \
-    | sed 's/^\([^:]*:[0-9]*\):/\1:wallclock:/'
-  # 4: range-for directly over an unordered container member/variable
-  # (heuristic: the loop names something with "unordered" in the same
-  # file declaration is too deep for grep; instead flag loops over
-  # identifiers that files themselves tag: "for (... : *unordered*" or
-  # iteration over a map declared unordered on the same line).
-  grep -RnE 'for *\(.*:.*unordered' $SCAN_DIRS \
-    --include='*.cc' --include='*.h' --include='*.cpp' \
-    | sed 's/^\([^:]*:[0-9]*\):/\1:unordered-iter:/'
-}
-
-allowed() {
-  local file="$1" tag="$2"
-  [ -f "$ALLOWLIST" ] || return 1
-  while IFS= read -r line; do
-    line="${line%%#*}"
-    line="$(echo "$line" | tr -d '[:space:]')"
-    [ -z "$line" ] && continue
-    local path="${line%%:*}" t="${line##*:}"
-    if [ "$t" = "$tag" ] && [[ "$file" == *"$path"* ]]; then
-      return 0
+LINT="${STRIP_LINT:-}"
+if [ -z "$LINT" ]; then
+  for candidate in build/tools/strip_lint build-lint/tools/strip_lint; do
+    if [ -x "$candidate" ]; then
+      LINT="$candidate"
+      break
     fi
-  done < "$ALLOWLIST"
-  return 1
-}
-
-FOUND=0
-while IFS= read -r hit; do
-  [ -z "$hit" ] && continue
-  file="${hit%%:*}"
-  rest="${hit#*:}"         # line:tag:text
-  lineno="${rest%%:*}"
-  rest="${rest#*:}"
-  tag="${rest%%:*}"
-  if allowed "$file" "$tag"; then
-    continue
-  fi
-  echo "determinism-lint: $file:$lineno: banned source [$tag]: ${rest#*:}"
-  FOUND=1
-done < <(candidates)
-
-if [ "$FOUND" -ne 0 ]; then
-  echo "determinism-lint: FAILED (add a justified entry to $ALLOWLIST to allow)"
-  exit 1
+  done
 fi
-echo "determinism-lint: OK"
-exit 0
+if [ -z "$LINT" ]; then
+  echo "lint_determinism: building strip_lint (first run)..." >&2
+  cmake -B build-lint -S . -DCMAKE_BUILD_TYPE=Release > /dev/null || exit 2
+  cmake --build build-lint --target strip_lint_cli -j > /dev/null || exit 2
+  LINT=build-lint/tools/strip_lint
+fi
+
+exec "$LINT" --root=. --strict "$@"

@@ -1,4 +1,4 @@
-#include "exp/atomic_io.h"
+#include "base/atomic_io.h"
 
 #include <dirent.h>
 #include <sys/stat.h>
@@ -6,7 +6,7 @@
 #include <cstdio>
 #include <fstream>
 
-namespace strip::exp {
+namespace strip::base {
 
 std::optional<std::string> WriteFileAtomic(const std::string& path,
                                            const std::string& contents) {
@@ -51,4 +51,4 @@ std::vector<std::string> RemoveStaleTmpFiles(const std::string& dir) {
   return removed;
 }
 
-}  // namespace strip::exp
+}  // namespace strip::base

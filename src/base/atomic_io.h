@@ -1,0 +1,34 @@
+// Crash-safe result-file writes for sweep runners, exporters, and the
+// lint driver.
+//
+// A plain ofstream left half-written by a crash or a kill produces a
+// truncated CSV/JSON that can later parse as a valid-but-wrong result.
+// WriteFileAtomic writes the whole contents to `<path>.tmp` and then
+// renames it over `path`: rename(2) is atomic on POSIX, so readers
+// (and --resume scans) only ever see either the old complete file or
+// the new complete file — never a torn one.
+
+#ifndef STRIP_BASE_ATOMIC_IO_H_
+#define STRIP_BASE_ATOMIC_IO_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace strip::base {
+
+// Writes `contents` to `path` via tmp-file + rename. Returns an error
+// message on failure (the tmp file is cleaned up), nullopt on success.
+std::optional<std::string> WriteFileAtomic(const std::string& path,
+                                           const std::string& contents);
+
+// True if `path` exists (any file type).
+bool FileExists(const std::string& path);
+
+// Removes "*.tmp" files left in `dir` by an interrupted writer and
+// returns their names (for logging). A missing directory is fine.
+std::vector<std::string> RemoveStaleTmpFiles(const std::string& dir);
+
+}  // namespace strip::base
+
+#endif  // STRIP_BASE_ATOMIC_IO_H_

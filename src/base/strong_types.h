@@ -1,0 +1,187 @@
+// Zero-cost strong types for the identifiers and scalar quantities the
+// model threads through many layers.
+//
+// The sharded model routes raw-looking quantities — shard numbers,
+// global vs. shard-local object ids, transaction and update ids, RNG
+// seeds — through dozens of call sites. As plain `int`/`uint64_t` a
+// swapped argument compiles silently and corrupts exactly the
+// bookkeeping the paper's comparisons depend on. A strong type makes
+// the mistake a compile error instead:
+//
+//   base::ShardId home = placement.ShardOf(object);   // ok
+//   placement.ToGlobal(local, home);                  // error: swapped
+//
+// Two templates:
+//
+//   StrongId<Tag, T>      — identity-like: equality (+ ordering when T
+//                           orders), hashing, streaming. No arithmetic:
+//                           adding two transaction ids is meaningless.
+//   StrongScalar<Tag, T>  — quantity-like: same, plus closed addition/
+//                           subtraction and scaling by the raw
+//                           arithmetic type (for time-like or
+//                           count-like quantities migrated gradually).
+//
+// Both are standard-layout wrappers exactly the size of T, trivially
+// copyable, with every operation constexpr and inline — the compiled
+// code is bit-for-bit what the raw type produced (the A/B byte-identity
+// baselines pin this). std::hash forwards to std::hash<T>, so keying an
+// unordered container by a strong id preserves the container's bucket
+// layout and iteration order against the raw-keyed original.
+//
+// Domain aliases for ids shared across layers live at the bottom;
+// object-space ids (global vs. local) live with db::ObjectId in
+// db/object.h.
+
+#ifndef STRIP_BASE_STRONG_TYPES_H_
+#define STRIP_BASE_STRONG_TYPES_H_
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <type_traits>
+
+namespace strip::base {
+
+// Identity-like strong wrapper. `Tag` is any (possibly incomplete)
+// type that makes the alias unique; `T` is the underlying
+// representation.
+template <typename Tag, typename T>
+class StrongId {
+ public:
+  using underlying_type = T;
+
+  constexpr StrongId() = default;
+  explicit constexpr StrongId(T value) : value_(value) {}
+
+  constexpr T value() const { return value_; }
+
+  friend constexpr bool operator==(const StrongId&,
+                                   const StrongId&) = default;
+  // Deleted (not an error) when T does not order.
+  friend constexpr auto operator<=>(const StrongId&,
+                                    const StrongId&) = default;
+
+  // Streams exactly what the raw value streamed (byte-identical
+  // formatting at print sites).
+  friend std::ostream& operator<<(std::ostream& os, const StrongId& id)
+    requires requires(std::ostream& o, const T& v) { o << v; }
+  {
+    return os << id.value_;
+  }
+
+ private:
+  T value_{};
+};
+
+// Quantity-like strong wrapper: a StrongId that additionally supports
+// closed addition/subtraction and scaling by the raw type.
+template <typename Tag, typename T>
+class StrongScalar {
+  static_assert(std::is_arithmetic_v<T>,
+                "StrongScalar wraps arithmetic types");
+
+ public:
+  using underlying_type = T;
+
+  constexpr StrongScalar() = default;
+  explicit constexpr StrongScalar(T value) : value_(value) {}
+
+  constexpr T value() const { return value_; }
+
+  friend constexpr bool operator==(const StrongScalar&,
+                                   const StrongScalar&) = default;
+  friend constexpr auto operator<=>(const StrongScalar&,
+                                    const StrongScalar&) = default;
+
+  constexpr StrongScalar operator+(StrongScalar other) const {
+    return StrongScalar(static_cast<T>(value_ + other.value_));
+  }
+  constexpr StrongScalar operator-(StrongScalar other) const {
+    return StrongScalar(static_cast<T>(value_ - other.value_));
+  }
+  constexpr StrongScalar operator*(T scale) const {
+    return StrongScalar(static_cast<T>(value_ * scale));
+  }
+  constexpr StrongScalar& operator+=(StrongScalar other) {
+    value_ = static_cast<T>(value_ + other.value_);
+    return *this;
+  }
+  constexpr StrongScalar& operator-=(StrongScalar other) {
+    value_ = static_cast<T>(value_ - other.value_);
+    return *this;
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, const StrongScalar& s) {
+    return os << s.value_;
+  }
+
+ private:
+  T value_{};
+};
+
+// Transparent hash functor for either wrapper (for containers that
+// take an explicit hash type; std::hash also works, see below).
+struct StrongTypeHash {
+  template <typename Tag, typename T>
+  std::size_t operator()(const StrongId<Tag, T>& id) const {
+    return std::hash<T>{}(id.value());
+  }
+  template <typename Tag, typename T>
+  std::size_t operator()(const StrongScalar<Tag, T>& s) const {
+    return std::hash<T>{}(s.value());
+  }
+};
+
+// --- domain vocabulary ------------------------------------------------------
+// Ids shared across subsystem layers (sim and up). Tags are
+// intentionally incomplete types.
+
+// One shard engine of a core::Cluster; 0-based. kNoShard marks "no
+// owner / every read local" (the uniprocessor model).
+using ShardId = StrongId<struct ShardIdTag, int>;
+inline constexpr ShardId kNoShard{-1};
+
+// A transaction's run-unique identity (workload::TxnSource allocation
+// order).
+using TxnId = StrongId<struct TxnIdTag, std::uint64_t>;
+
+// An update's run-unique identity (stream arrival order; disambiguates
+// identical generation timestamps).
+using UpdateId = StrongId<struct UpdateIdTag, std::uint64_t>;
+
+// A seed for sim::RandomStream. Distinct from every id type: seeding a
+// stream from a transaction id (or vice versa) is a reproducibility
+// bug, not a unit mismatch the math would surface.
+using RngSeed = StrongId<struct RngSeedTag, std::uint64_t>;
+
+// The wrappers must compile away: same size and triviality as the raw
+// representation. (tests/base/strong_types_test.cc pins behaviour; the
+// A/B byte-identity baselines pin codegen.)
+static_assert(sizeof(ShardId) == sizeof(int));
+static_assert(sizeof(TxnId) == sizeof(std::uint64_t));
+static_assert(std::is_trivially_copyable_v<ShardId>);
+static_assert(std::is_trivially_copyable_v<TxnId>);
+static_assert(std::is_standard_layout_v<ShardId>);
+
+}  // namespace strip::base
+
+// std::hash forwards to the underlying hash so strong-id-keyed
+// unordered containers keep the exact bucket layout (and therefore
+// iteration order) of their raw-keyed predecessors.
+template <typename Tag, typename T>
+struct std::hash<strip::base::StrongId<Tag, T>> {
+  std::size_t operator()(const strip::base::StrongId<Tag, T>& id) const {
+    return std::hash<T>{}(id.value());
+  }
+};
+
+template <typename Tag, typename T>
+struct std::hash<strip::base::StrongScalar<Tag, T>> {
+  std::size_t operator()(const strip::base::StrongScalar<Tag, T>& s) const {
+    return std::hash<T>{}(s.value());
+  }
+};
+
+#endif  // STRIP_BASE_STRONG_TYPES_H_

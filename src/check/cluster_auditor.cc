@@ -1,7 +1,10 @@
 #include "check/cluster_auditor.h"
 
+#include <algorithm>
 #include <sstream>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "core/cluster.h"
 
@@ -23,9 +26,9 @@ bool ClusterAuditor::CheckShape(double now, const char* hook,
   std::ostringstream problem;
   if (read.home_shard == read.peer_shard) {
     problem << "home == peer (" << read.home_shard << ")";
-  } else if (read.home_shard < 0 || read.peer_shard < 0 ||
-             (shards > 0 &&
-              (read.home_shard >= shards || read.peer_shard >= shards))) {
+  } else if (read.home_shard.value() < 0 || read.peer_shard.value() < 0 ||
+             (shards > 0 && (read.home_shard.value() >= shards ||
+                             read.peer_shard.value() >= shards))) {
     problem << "shard out of range (home=" << read.home_shard
             << " peer=" << read.peer_shard << ")";
   } else {
@@ -310,7 +313,14 @@ void ClusterAuditor::FinishRun() {
   const std::uint64_t shards =
       cluster_ != nullptr ? static_cast<std::uint64_t>(cluster_->shards())
                           : 0;
-  for (const auto& [label, tally] : cluster_windows_) {
+  // Sorted copy: hash-map order would let the violation *order* (and
+  // with it the report text) vary across library implementations when
+  // several windows diverge at once.
+  std::vector<std::pair<std::string, WindowTally>> windows(
+      cluster_windows_.begin(), cluster_windows_.end());
+  std::sort(windows.begin(), windows.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (const auto& [label, tally] : windows) {
     if (shards == 0) break;
     std::ostringstream out;
     if (tally.begins % shards != 0 || tally.ends % shards != 0) {

@@ -52,6 +52,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "base/strong_types.h"
 #include "core/observer.h"
 
 namespace strip::core {
@@ -120,9 +121,9 @@ class ClusterAuditor : public core::SystemObserver {
 
   struct Pending {
     Stage stage = Stage::kIssued;
-    int home_shard = -1;
-    int peer_shard = -1;
-    std::uint64_t txn_id = 0;
+    base::ShardId home_shard = base::kNoShard;
+    base::ShardId peer_shard = base::kNoShard;
+    base::TxnId txn_id{};
     // The fabric lost this request's message; it can never resolve.
     bool dropped = false;
   };

@@ -69,6 +69,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "base/strong_types.h"
 #include "core/observer.h"
 #include "core/system.h"
 #include "db/object.h"
@@ -215,9 +216,9 @@ class InvariantAuditor : public core::SystemObserver {
   // Full-database conformance sweep (phase boundaries).
   void SweepStaleConformance(double now);
   // Moves a tracked update to terminal state and settles tallies.
-  void RetireUpdate(std::unordered_map<std::uint64_t, TrackedUpdate>::iterator
-                        it,
-                    bool installed);
+  void RetireUpdate(
+      std::unordered_map<base::UpdateId, TrackedUpdate>::iterator it,
+      bool installed);
   std::uint64_t LiveUpdateTotal(UpdateState state) const;
 
   Options options_;
@@ -240,8 +241,9 @@ class InvariantAuditor : public core::SystemObserver {
   // --- dispatch span ---------------------------------------------------------
   bool span_open_ = false;
   DispatchKind span_kind_ = DispatchKind::kTxnCompute;
-  std::uint64_t span_txn_ = kNoContextId;     // owner when a txn kind
-  std::uint64_t span_update_ = kNoContextId;  // owner when an updater kind
+  // Owners of the open span; the kNoContextId sentinel means "none".
+  base::TxnId span_txn_{kNoContextId};
+  base::UpdateId span_update_{kNoContextId};
   // The last closed span was a remote service: its heal (an update-
   // queue install with no demanding transaction) lands before the next
   // dispatch.
@@ -249,13 +251,13 @@ class InvariantAuditor : public core::SystemObserver {
 
   // --- transactions ----------------------------------------------------------
   // Live txn id -> packed ObjectIds it read stale (for od-causality).
-  std::unordered_map<std::uint64_t, std::unordered_set<std::int64_t>>
+  std::unordered_map<base::TxnId, std::unordered_set<std::int64_t>>
       live_txns_;
   std::uint64_t txns_admitted_ = 0;
   std::uint64_t txns_terminal_ = 0;
 
   // --- updates ---------------------------------------------------------------
-  std::unordered_map<std::uint64_t, TrackedUpdate> live_updates_;
+  std::unordered_map<base::UpdateId, TrackedUpdate> live_updates_;
   ClassCounts counts_[db::kNumObjectClasses];
 
   // --- staleness (arrival-based MA needs per-object install arrivals) --------

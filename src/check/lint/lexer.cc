@@ -1,0 +1,256 @@
+#include "check/lint/lexer.h"
+
+#include <cctype>
+
+namespace strip::check::lint {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentCont(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Cursor over the source with line/column bookkeeping.
+class Scanner {
+ public:
+  explicit Scanner(std::string_view source) : source_(source) {}
+
+  bool AtEnd() const { return pos_ >= source_.size(); }
+  char Peek(std::size_t ahead = 0) const {
+    return pos_ + ahead < source_.size() ? source_[pos_ + ahead] : '\0';
+  }
+  int line() const { return line_; }
+  int col() const { return col_; }
+
+  char Advance() {
+    const char c = source_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    return c;
+  }
+
+  bool Match(std::string_view text) const {
+    return source_.compare(pos_, text.size(), text) == 0;
+  }
+
+  void Skip(std::size_t n) {
+    for (std::size_t i = 0; i < n && !AtEnd(); ++i) Advance();
+  }
+
+ private:
+  std::string_view source_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+};
+
+// Consumes a normal (non-raw) string or char literal body after the
+// opening quote has been consumed. Stops at the closing quote, an
+// unescaped newline (ill-formed — close there), or end of input.
+void SkipQuoted(Scanner* s, char quote) {
+  while (!s->AtEnd()) {
+    const char c = s->Peek();
+    if (c == '\\' && s->Peek(1) != '\0') {
+      s->Skip(2);
+      continue;
+    }
+    if (c == '\n') return;  // unterminated; don't eat the next line
+    s->Advance();
+    if (c == quote) return;
+  }
+}
+
+// Consumes a raw string body after the opening `R"`. Raw strings have
+// no escapes; the terminator is `)delim"`.
+void SkipRawString(Scanner* s) {
+  std::string delim;
+  while (!s->AtEnd() && s->Peek() != '(' && s->Peek() != '\n' &&
+         delim.size() < 16) {
+    delim += s->Advance();
+  }
+  if (s->AtEnd() || s->Peek() != '(') return;  // ill-formed
+  s->Advance();  // '('
+  const std::string close = ")" + delim + "\"";
+  while (!s->AtEnd()) {
+    if (s->Match(close)) {
+      s->Skip(close.size());
+      return;
+    }
+    s->Advance();
+  }
+}
+
+// Multi-char operators the rules care about; longest match first.
+constexpr std::string_view kOperators[] = {"::", "==", "!=", "->",
+                                           "&&", "||"};
+
+}  // namespace
+
+bool IsFloatLiteral(std::string_view number) {
+  const bool hex =
+      number.size() > 1 && number[0] == '0' &&
+      (number[1] == 'x' || number[1] == 'X');
+  for (std::size_t i = hex ? 2 : 0; i < number.size(); ++i) {
+    const char c = number[i];
+    if (c == '.') return true;
+    if (!hex && (c == 'e' || c == 'E')) return true;
+    if (hex && (c == 'p' || c == 'P')) return true;
+  }
+  return false;
+}
+
+std::vector<Token> Lex(std::string_view source) {
+  std::vector<Token> tokens;
+  Scanner s(source);
+  // True until a non-whitespace token is seen on the current logical
+  // line; a '#' here starts a preprocessor directive.
+  bool at_line_start = true;
+  while (!s.AtEnd()) {
+    const char c = s.Peek();
+    if (c == '\n') {
+      s.Advance();
+      at_line_start = true;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      s.Advance();
+      continue;
+    }
+    if (c == '/' && s.Peek(1) == '/') {
+      while (!s.AtEnd() && s.Peek() != '\n') s.Advance();
+      continue;
+    }
+    if (c == '/' && s.Peek(1) == '*') {
+      s.Skip(2);
+      while (!s.AtEnd() && !s.Match("*/")) s.Advance();
+      s.Skip(2);
+      continue;
+    }
+
+    Token token;
+    token.line = s.line();
+    token.col = s.col();
+
+    if (c == '#' && at_line_start) {
+      // Preprocessor directive. Surface `#include <...>` / `#include
+      // "..."` paths as kIncludePath; lex other directives normally.
+      s.Advance();  // '#'
+      while (!s.AtEnd() && (s.Peek() == ' ' || s.Peek() == '\t'))
+        s.Advance();
+      std::string directive;
+      while (!s.AtEnd() && IsIdentCont(s.Peek())) directive += s.Advance();
+      if (directive == "include" || directive == "include_next") {
+        while (!s.AtEnd() && (s.Peek() == ' ' || s.Peek() == '\t'))
+          s.Advance();
+        const char open = s.Peek();
+        if (open == '<' || open == '"') {
+          const char close = open == '<' ? '>' : '"';
+          token.kind = TokenKind::kIncludePath;
+          token.line = s.line();
+          token.col = s.col();
+          token.text += s.Advance();
+          while (!s.AtEnd() && s.Peek() != '\n') {
+            const char h = s.Advance();
+            token.text += h;
+            if (h == close) break;
+          }
+          tokens.push_back(std::move(token));
+        }
+      }
+      at_line_start = false;
+      continue;
+    }
+    at_line_start = false;
+
+    // Raw strings and encoding-prefixed literals.
+    if (c == 'R' && s.Peek(1) == '"') {
+      s.Skip(2);
+      SkipRawString(&s);
+      token.kind = TokenKind::kString;
+      tokens.push_back(std::move(token));
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      while (!s.AtEnd() && IsIdentCont(s.Peek())) token.text += s.Advance();
+      // u8"..." / L'x' style prefixes: the literal follows directly.
+      if ((s.Peek() == '"' || s.Peek() == '\'') &&
+          (token.text == "u8" || token.text == "u" || token.text == "U" ||
+           token.text == "L")) {
+        const char quote = s.Advance();
+        SkipQuoted(&s, quote);
+        token.kind =
+            quote == '"' ? TokenKind::kString : TokenKind::kChar;
+        token.text.clear();
+        tokens.push_back(std::move(token));
+        continue;
+      }
+      if (s.Peek() == '"' &&
+          (token.text == "uR" || token.text == "u8R" ||
+           token.text == "UR" || token.text == "LR")) {
+        s.Advance();  // '"'
+        SkipRawString(&s);
+        token.kind = TokenKind::kString;
+        token.text.clear();
+        tokens.push_back(std::move(token));
+        continue;
+      }
+      token.kind = TokenKind::kIdentifier;
+      tokens.push_back(std::move(token));
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      const char quote = s.Advance();
+      SkipQuoted(&s, quote);
+      token.kind = quote == '"' ? TokenKind::kString : TokenKind::kChar;
+      tokens.push_back(std::move(token));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(s.Peek(1))))) {
+      // pp-number: digits, identifier chars, '.', and exponent signs.
+      token.kind = TokenKind::kNumber;
+      token.text += s.Advance();
+      while (!s.AtEnd()) {
+        const char n = s.Peek();
+        if (IsIdentCont(n) || n == '.') {
+          token.text += s.Advance();
+          continue;
+        }
+        if ((n == '+' || n == '-') && !token.text.empty()) {
+          const char prev = token.text.back();
+          if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
+            token.text += s.Advance();
+            continue;
+          }
+        }
+        break;
+      }
+      tokens.push_back(std::move(token));
+      continue;
+    }
+
+    token.kind = TokenKind::kPunct;
+    bool matched = false;
+    for (const std::string_view op : kOperators) {
+      if (s.Match(op)) {
+        token.text = std::string(op);
+        s.Skip(op.size());
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) token.text += s.Advance();
+    tokens.push_back(std::move(token));
+  }
+  return tokens;
+}
+
+}  // namespace strip::check::lint

@@ -1,0 +1,60 @@
+// Token lexer for the determinism linter (tools/strip_lint).
+//
+// The old grep-based lint (scripts/lint_determinism.sh) matched raw
+// text, so a banned name inside a comment, a string literal, or a
+// doc example tripped it just like real code. This lexer produces a
+// code-only token stream: comments are skipped entirely and the
+// *contents* of string/char literals (including raw strings) never
+// become identifier or punctuation tokens, so rules match only what
+// the compiler would actually see.
+//
+// The lexer is deliberately not a full C++ front end. It recognizes
+// exactly what the lint rules need:
+//
+//   - identifiers and pp-numbers, with source line/column
+//   - string / char / raw-string literals as opaque single tokens
+//   - `#include` directives, surfacing the header path as its own
+//     token kind so include-hygiene rules don't re-parse lines
+//   - a small set of multi-char operators (`::`, `==`, `!=`, `->`,
+//     `&&`, `||`); everything else is single-char punctuation
+//
+// Malformed input (unterminated literal or comment) never aborts the
+// scan: the lexer closes the construct at end of file, so the linter
+// can be pointed at arbitrary trees — and fuzzed — safely.
+
+#ifndef STRIP_CHECK_LINT_LEXER_H_
+#define STRIP_CHECK_LINT_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace strip::check::lint {
+
+enum class TokenKind {
+  kIdentifier,   // foo, unordered_map, nullptr
+  kNumber,       // pp-number: 42, 0x1f, 1.0e-3f
+  kString,       // "..." or R"(...)" — text is "" (contents stripped)
+  kChar,         // '...' — text is ''
+  kIncludePath,  // <chrono> or "db/object.h", delimiters included
+  kPunct,        // operators and punctuation
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kPunct;
+  std::string text;
+  int line = 1;  // 1-based
+  int col = 1;   // 1-based, byte offset in line
+};
+
+// Lexes `source` into a code-only token stream. Never fails: any
+// malformed construct is closed at end of input.
+std::vector<Token> Lex(std::string_view source);
+
+// True if a kNumber token spells a floating-point literal (decimal
+// point, decimal exponent, or hex-float exponent).
+bool IsFloatLiteral(std::string_view number);
+
+}  // namespace strip::check::lint
+
+#endif  // STRIP_CHECK_LINT_LEXER_H_

@@ -1,0 +1,442 @@
+#include "check/lint/rules.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "check/lint/lexer.h"
+
+namespace strip::check::lint {
+
+namespace {
+
+const Token kNoToken{};  // kPunct with empty text
+
+// Token at `i`, or a harmless empty token when out of range — lets
+// pattern code index freely without bounds checks.
+const Token& At(const std::vector<Token>& tokens, std::size_t i) {
+  return i < tokens.size() ? tokens[i] : kNoToken;
+}
+
+bool IsIdent(const Token& t, std::string_view text) {
+  return t.kind == TokenKind::kIdentifier && t.text == text;
+}
+
+bool IsPunct(const Token& t, std::string_view text) {
+  return t.kind == TokenKind::kPunct && t.text == text;
+}
+
+// True when tokens[i] is reached through a member access (`x.rand(`)
+// or a non-std qualifier (`mylib::rand(`) — someone else's symbol,
+// not the libc/global one.
+bool IsQualifiedAway(const std::vector<Token>& tokens, std::size_t i) {
+  if (i == 0) return false;
+  const Token& prev = tokens[i - 1];
+  if (IsPunct(prev, ".") || IsPunct(prev, "->")) return true;
+  if (IsPunct(prev, "::") && i >= 2) {
+    const Token& qual = tokens[i - 2];
+    return qual.kind == TokenKind::kIdentifier && qual.text != "std";
+  }
+  return false;
+}
+
+void Add(std::vector<Finding>* findings, const std::string& path,
+         const Token& at, const char* rule, Severity severity,
+         std::string message, std::string fix_hint) {
+  Finding f;
+  f.file = path;
+  f.line = at.line;
+  f.col = at.col;
+  f.rule = rule;
+  f.severity = severity;
+  f.message = std::move(message);
+  f.fix_hint = std::move(fix_hint);
+  findings->push_back(std::move(f));
+}
+
+// --- det-libc-rand ---------------------------------------------------------
+
+void CheckLibcRand(const std::vector<Token>& tokens, const std::string& path,
+                   std::vector<Finding>* findings) {
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const Token& t = tokens[i];
+    if (t.kind != TokenKind::kIdentifier) continue;
+    const bool seeded_family = t.text == "rand" || t.text == "srand" ||
+                               t.text == "drand48" || t.text == "lrand48";
+    // `random` only as the zero-arg libc call shape — `RandomStream
+    // random(7)` is a declaration and stays legal.
+    const bool zero_arg_random =
+        t.text == "random" && IsPunct(At(tokens, i + 1), "(") &&
+        IsPunct(At(tokens, i + 2), ")");
+    if (!seeded_family && !zero_arg_random) continue;
+    if (!IsPunct(At(tokens, i + 1), "(")) continue;
+    if (IsQualifiedAway(tokens, i)) continue;
+    Add(findings, path, t, "det-libc-rand", Severity::kError,
+        "libc " + t.text + "() draws from unseeded global state",
+        "draw from a sim::RandomStream seeded by the run's RngSeed");
+  }
+}
+
+// --- det-random-device -----------------------------------------------------
+
+void CheckRandomDevice(const std::vector<Token>& tokens,
+                       const std::string& path,
+                       std::vector<Finding>* findings) {
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const Token& t = tokens[i];
+    if (!IsIdent(t, "random_device")) continue;
+    if (IsQualifiedAway(tokens, i)) continue;
+    Add(findings, path, t, "det-random-device", Severity::kError,
+        "std::random_device reads hardware entropy",
+        "derive the seed from the run's RngSeed (RandomStream::Fork)");
+  }
+}
+
+// --- det-wallclock ---------------------------------------------------------
+
+void CheckWallclock(const std::vector<Token>& tokens, const std::string& path,
+                    std::vector<Finding>* findings) {
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const Token& t = tokens[i];
+    if (t.kind != TokenKind::kIdentifier) continue;
+    const bool clock_type = t.text == "system_clock" ||
+                            t.text == "steady_clock" ||
+                            t.text == "high_resolution_clock";
+    if (clock_type && IsPunct(At(tokens, i + 1), "::") &&
+        IsIdent(At(tokens, i + 2), "now")) {
+      Add(findings, path, t, "det-wallclock", Severity::kError,
+          "wall-clock read via " + t.text + "::now()",
+          "simulation state and output must derive from sim::Time only");
+      continue;
+    }
+    if (t.text == "time" && !IsQualifiedAway(tokens, i) &&
+        IsPunct(At(tokens, i + 1), "(") &&
+        (IsIdent(At(tokens, i + 2), "NULL") ||
+         IsIdent(At(tokens, i + 2), "nullptr")) &&
+        IsPunct(At(tokens, i + 3), ")")) {
+      Add(findings, path, t, "det-wallclock", Severity::kError,
+          "wall-clock read via time()",
+          "simulation state and output must derive from sim::Time only");
+      continue;
+    }
+    if ((t.text == "gettimeofday" || t.text == "clock_gettime") &&
+        !IsQualifiedAway(tokens, i) && IsPunct(At(tokens, i + 1), "(")) {
+      Add(findings, path, t, "det-wallclock", Severity::kError,
+          "wall-clock read via " + t.text + "()",
+          "simulation state and output must derive from sim::Time only");
+    }
+  }
+}
+
+// --- det-unordered-iter ----------------------------------------------------
+
+bool IsUnorderedContainerName(const Token& t) {
+  return t.kind == TokenKind::kIdentifier &&
+         (t.text == "unordered_map" || t.text == "unordered_set" ||
+          t.text == "unordered_multimap" || t.text == "unordered_multiset");
+}
+
+// Collects names declared with an unordered container type:
+// `std::unordered_map<K, V> name` (members, locals, parameters).
+void CollectUnorderedNames(const std::vector<Token>& tokens,
+                           std::set<std::string>* names) {
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    if (!IsUnorderedContainerName(tokens[i])) continue;
+    std::size_t j = i + 1;
+    if (!IsPunct(At(tokens, j), "<")) continue;
+    int depth = 0;
+    for (; j < tokens.size(); ++j) {
+      if (IsPunct(tokens[j], "<")) ++depth;
+      if (IsPunct(tokens[j], ">") && --depth == 0) break;
+    }
+    const Token& name = At(tokens, j + 1);
+    if (name.kind == TokenKind::kIdentifier) names->insert(name.text);
+  }
+}
+
+// Finds the index of the ')' matching the '(' at `open`.
+std::size_t MatchParen(const std::vector<Token>& tokens, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < tokens.size(); ++i) {
+    if (IsPunct(tokens[i], "(")) ++depth;
+    if (IsPunct(tokens[i], ")") && --depth == 0) return i;
+  }
+  return tokens.size();
+}
+
+void CheckUnorderedIter(const std::vector<Token>& tokens,
+                        const std::set<std::string>& unordered_names,
+                        const std::string& path,
+                        std::vector<Finding>* findings) {
+  if (unordered_names.empty()) return;
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    if (!IsIdent(tokens[i], "for") || !IsPunct(At(tokens, i + 1), "("))
+      continue;
+    const std::size_t open = i + 1;
+    const std::size_t close = MatchParen(tokens, open);
+    // Range-for: a top-level ':' inside the header ('::' lexes as its
+    // own token, so a bare ':' is unambiguous).
+    std::size_t colon = close;
+    int depth = 0;
+    for (std::size_t j = open + 1; j < close; ++j) {
+      if (IsPunct(tokens[j], "(") || IsPunct(tokens[j], "[")) ++depth;
+      if (IsPunct(tokens[j], ")") || IsPunct(tokens[j], "]")) --depth;
+      if (depth == 0 && IsPunct(tokens[j], ":")) {
+        colon = j;
+        break;
+      }
+    }
+    if (colon != close) {
+      // `for (... : range)` — flag only when the range expression is a
+      // plain member/variable chain naming an unordered container. A
+      // call in the range (`SortedCopy(map_)`) materializes its own
+      // deterministic order and stays legal.
+      bool has_call = false;
+      const Token* hit = nullptr;
+      for (std::size_t j = colon + 1; j < close; ++j) {
+        if (IsPunct(tokens[j], "(")) has_call = true;
+        if (tokens[j].kind == TokenKind::kIdentifier &&
+            unordered_names.count(tokens[j].text) > 0) {
+          hit = &tokens[j];
+        }
+      }
+      if (hit != nullptr && !has_call) {
+        Add(findings, path, *hit, "det-unordered-iter", Severity::kError,
+            "range-for over unordered container '" + hit->text +
+                "' — iteration order is implementation-defined",
+            "copy into a sorted vector (or keep the loop provably "
+            "order-insensitive and allowlist it)");
+      }
+    } else {
+      // Classic for: flag `name.begin()` / `name.cbegin()` iterator
+      // walks in the header.
+      for (std::size_t j = open + 1; j + 2 < close; ++j) {
+        if (tokens[j].kind == TokenKind::kIdentifier &&
+            unordered_names.count(tokens[j].text) > 0 &&
+            (IsPunct(tokens[j + 1], ".") || IsPunct(tokens[j + 1], "->")) &&
+            (IsIdent(tokens[j + 2], "begin") ||
+             IsIdent(tokens[j + 2], "cbegin"))) {
+          Add(findings, path, tokens[j], "det-unordered-iter",
+              Severity::kError,
+              "iterator walk over unordered container '" + tokens[j].text +
+                  "' — iteration order is implementation-defined",
+              "copy into a sorted vector (or keep the loop provably "
+              "order-insensitive and allowlist it)");
+          break;
+        }
+      }
+    }
+    i = close;
+  }
+}
+
+// --- det-rng-copy ----------------------------------------------------------
+
+void CheckRngCopy(const std::vector<Token>& tokens, const std::string& path,
+                  std::vector<Finding>* findings) {
+  int paren_depth = 0;
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const Token& t = tokens[i];
+    if (IsPunct(t, "(")) ++paren_depth;
+    if (IsPunct(t, ")")) --paren_depth;
+    if (!IsIdent(t, "RandomStream")) continue;
+    const Token& next = At(tokens, i + 1);
+    if (next.kind != TokenKind::kIdentifier) continue;
+    const Token& after = At(tokens, i + 2);
+    if (paren_depth > 0 &&
+        (IsPunct(after, ",") || IsPunct(after, ")") || IsPunct(after, "="))) {
+      Add(findings, path, t, "det-rng-copy", Severity::kError,
+          "RandomStream parameter '" + next.text +
+              "' taken by value — the copy replays the caller's stream",
+          "pass RandomStream by reference, or hand the callee a "
+          "Fork()ed child");
+      continue;
+    }
+    if (paren_depth == 0 && IsPunct(after, "=") &&
+        At(tokens, i + 3).kind == TokenKind::kIdentifier &&
+        IsPunct(At(tokens, i + 4), ";")) {
+      Add(findings, path, t, "det-rng-copy", Severity::kError,
+          "RandomStream '" + next.text + "' copy-initialized from '" +
+              At(tokens, i + 3).text +
+              "' — both streams replay the same draws",
+          "seed the new stream from Fork() instead of copying");
+    }
+  }
+}
+
+// --- float-eq --------------------------------------------------------------
+
+void CheckFloatEq(const std::vector<Token>& tokens, const std::string& path,
+                  std::vector<Finding>* findings) {
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const Token& t = tokens[i];
+    if (!IsPunct(t, "==") && !IsPunct(t, "!=")) continue;
+    const Token& lhs = i > 0 ? tokens[i - 1] : kNoToken;
+    const Token& rhs = At(tokens, i + 1);
+    const bool lhs_float =
+        lhs.kind == TokenKind::kNumber && IsFloatLiteral(lhs.text);
+    const bool rhs_float =
+        rhs.kind == TokenKind::kNumber && IsFloatLiteral(rhs.text);
+    if (!lhs_float && !rhs_float) continue;
+    Add(findings, path, t, "float-eq", Severity::kWarning,
+        std::string("floating-point ") + t.text +
+            " against a literal is an exact-bit comparison",
+        "compare with an epsilon, or allowlist if exactness is the "
+        "point (e.g. a sentinel/no-op check)");
+  }
+}
+
+// --- wallclock-include -----------------------------------------------------
+
+void CheckWallclockInclude(const std::vector<Token>& tokens,
+                           const std::string& path,
+                           std::vector<Finding>* findings) {
+  for (const Token& t : tokens) {
+    if (t.kind != TokenKind::kIncludePath) continue;
+    if (t.text == "<chrono>" || t.text == "<ctime>" ||
+        t.text == "<time.h>" || t.text == "<sys/time.h>") {
+      Add(findings, path, t, "wallclock-include", Severity::kError,
+          "wall-clock header " + t.text + " included from simulation code",
+          "simulation code tells time with sim::Time; only the "
+          "experiment budget layer may read the wall clock");
+    }
+  }
+}
+
+}  // namespace
+
+const char* SeverityName(Severity severity) {
+  return severity == Severity::kError ? "error" : "warning";
+}
+
+const std::vector<RuleInfo>& Rules() {
+  static const std::vector<RuleInfo> kRules = {
+      {"det-libc-rand", Severity::kError,
+       "libc rand()/srand()/random()/drand48() — unseeded global state"},
+      {"det-random-device", Severity::kError,
+       "std::random_device — hardware entropy"},
+      {"det-wallclock", Severity::kError,
+       "wall-clock reads (system_clock::now, time(nullptr), ...)"},
+      {"det-unordered-iter", Severity::kError,
+       "for-loop over an unordered container — order is "
+       "implementation-defined"},
+      {"det-rng-copy", Severity::kError,
+       "RandomStream by value or copied — streams replay the same draws"},
+      {"float-eq", Severity::kWarning,
+       "==/!= against a floating-point literal in src/"},
+      {"wallclock-include", Severity::kError,
+       "<chrono>/<ctime> included from simulation code under src/"},
+  };
+  return kRules;
+}
+
+std::string ParseAllowlist(std::string_view text, Allowlist* out) {
+  out->entries.clear();
+  std::istringstream in{std::string(text)};
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    // Trim.
+    const auto is_space = [](char c) { return c == ' ' || c == '\t'; };
+    while (!line.empty() && is_space(line.back())) line.pop_back();
+    std::size_t start = 0;
+    while (start < line.size() && is_space(line[start])) ++start;
+    if (start >= line.size()) continue;
+    const std::string_view body(line.data() + start, line.size() - start);
+
+    const std::size_t sep = body.find(" -- ");
+    if (sep == std::string_view::npos) {
+      return "allowlist line " + std::to_string(lineno) +
+             ": missing ' -- <justification>' (every entry must say WHY "
+             "the exception is safe)";
+    }
+    const std::string_view head = body.substr(0, sep);
+    std::string_view just = body.substr(sep + 4);
+    while (!just.empty() && is_space(just.front())) just.remove_prefix(1);
+    if (just.empty()) {
+      return "allowlist line " + std::to_string(lineno) +
+             ": empty justification";
+    }
+    const std::size_t colon = head.rfind(':');
+    if (colon == std::string_view::npos || colon == 0 ||
+        colon + 1 >= head.size()) {
+      return "allowlist line " + std::to_string(lineno) +
+             ": expected '<path-substring>:<rule-id> -- <justification>'";
+    }
+    AllowEntry entry;
+    entry.path = std::string(head.substr(0, colon));
+    entry.rule = std::string(head.substr(colon + 1));
+    entry.justification = std::string(just);
+    entry.line = lineno;
+    // Legacy grep-lint tags.
+    if (entry.rule == "rand") entry.rule = "det-libc-rand";
+    if (entry.rule == "random_device") entry.rule = "det-random-device";
+    if (entry.rule == "wallclock") entry.rule = "det-wallclock";
+    if (entry.rule == "unordered-iter") entry.rule = "det-unordered-iter";
+    bool known = false;
+    for (const RuleInfo& rule : Rules()) {
+      if (entry.rule == rule.id) known = true;
+    }
+    if (!known) {
+      return "allowlist line " + std::to_string(lineno) +
+             ": unknown rule id '" + entry.rule + "'";
+    }
+    out->entries.push_back(std::move(entry));
+  }
+  return "";
+}
+
+std::vector<Finding> LintSource(const std::string& path,
+                                std::string_view source,
+                                const LintOptions& options) {
+  const std::vector<Token> tokens = Lex(source);
+  std::vector<Finding> findings;
+  CheckLibcRand(tokens, path, &findings);
+  CheckRandomDevice(tokens, path, &findings);
+  CheckWallclock(tokens, path, &findings);
+
+  std::set<std::string> unordered_names;
+  CollectUnorderedNames(tokens, &unordered_names);
+  for (const std::string& companion : options.companion_sources) {
+    CollectUnorderedNames(Lex(companion), &unordered_names);
+  }
+  CheckUnorderedIter(tokens, unordered_names, path, &findings);
+
+  CheckRngCopy(tokens, path, &findings);
+  if (options.in_src_tree) {
+    CheckFloatEq(tokens, path, &findings);
+    CheckWallclockInclude(tokens, path, &findings);
+  }
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.line != b.line) return a.line < b.line;
+              if (a.col != b.col) return a.col < b.col;
+              return a.rule < b.rule;
+            });
+  return findings;
+}
+
+std::vector<Finding> ApplyAllowlist(std::vector<Finding> findings,
+                                    Allowlist* allowlist) {
+  std::vector<Finding> kept;
+  kept.reserve(findings.size());
+  for (Finding& finding : findings) {
+    bool allowed = false;
+    for (AllowEntry& entry : allowlist->entries) {
+      if (entry.rule == finding.rule &&
+          finding.file.find(entry.path) != std::string::npos) {
+        entry.used = true;
+        allowed = true;
+      }
+    }
+    if (!allowed) kept.push_back(std::move(finding));
+  }
+  return kept;
+}
+
+}  // namespace strip::check::lint

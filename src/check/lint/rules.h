@@ -1,0 +1,108 @@
+// Rule engine for the determinism linter (tools/strip_lint).
+//
+// Rules run over the code-only token stream from check/lint/lexer.h
+// and emit structured findings: a stable rule id, a severity, a
+// one-line message, and a fix hint. The rule set covers the four
+// nondeterminism sources the old grep lint banned, plus AST-lite
+// checks a grep can't express:
+//
+//   det-libc-rand       libc rand()/srand()/random()/drand48() —
+//                       unseeded global state
+//   det-random-device   std::random_device — hardware entropy
+//   det-wallclock       wall-clock reads (system_clock::now,
+//                       time(nullptr), gettimeofday, ...)
+//   det-unordered-iter  a for-loop walking an unordered_map/_set
+//                       declared in this file or its companion header
+//                       — iteration order is implementation-defined
+//   det-rng-copy        sim::RandomStream taken by value or copied
+//                       from another stream — sibling draws repeat
+//                       the same sequence instead of Fork()ing
+//   float-eq            ==/!= against a floating-point literal in
+//                       src/ — exact-bit comparison
+//   wallclock-include   <chrono>/<ctime>/<sys/time.h> included from
+//                       simulation code under src/
+//
+// Findings are filtered through an allowlist whose entries *must*
+// carry a justification; entries that match nothing are reported as
+// dead so the list can only shrink.
+
+#ifndef STRIP_CHECK_LINT_RULES_H_
+#define STRIP_CHECK_LINT_RULES_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace strip::check::lint {
+
+enum class Severity { kWarning, kError };
+
+const char* SeverityName(Severity severity);
+
+// Static description of one rule, for --help and the JSON document.
+struct RuleInfo {
+  const char* id;
+  Severity severity;
+  const char* summary;
+};
+
+// The full rule table, in stable order.
+const std::vector<RuleInfo>& Rules();
+
+struct Finding {
+  std::string file;  // path as given to LintSource
+  int line = 0;
+  int col = 0;
+  std::string rule;
+  Severity severity = Severity::kError;
+  std::string message;
+  std::string fix_hint;
+};
+
+// One allowlist entry: `<path-substring>:<rule-id> -- <justification>`.
+struct AllowEntry {
+  std::string path;           // substring match against Finding::file
+  std::string rule;           // rule id (legacy tags accepted)
+  std::string justification;  // required, non-empty
+  int line = 0;               // line in the allowlist file
+  bool used = false;          // matched at least one finding this run
+};
+
+struct Allowlist {
+  std::vector<AllowEntry> entries;
+};
+
+// Parses the allowlist format. Lines are `path:rule -- justification`;
+// `#` comments and blank lines are skipped. Returns a non-empty error
+// string on a malformed line — most importantly an entry with no
+// justification. Legacy tags from the grep-based lint (`rand`,
+// `random_device`, `wallclock`, `unordered-iter`) are translated to
+// their modern rule ids.
+[[nodiscard]] std::string ParseAllowlist(std::string_view text,
+                                         Allowlist* out);
+
+struct LintOptions {
+  // Additional sources (typically the companion .h of a .cc) whose
+  // unordered-container declarations seed det-unordered-iter, so
+  // loops over members declared in the header are caught in the
+  // implementation file.
+  std::vector<std::string> companion_sources;
+  // Apply src/-only rules (float-eq, wallclock-include). The driver
+  // sets this from the file's path.
+  bool in_src_tree = false;
+};
+
+// Runs every rule over one file's source. `path` is used verbatim in
+// findings (and for allowlist matching later).
+std::vector<Finding> LintSource(const std::string& path,
+                                std::string_view source,
+                                const LintOptions& options);
+
+// Drops findings matched by an allowlist entry, marking the entries
+// used. Returns the surviving findings.
+std::vector<Finding> ApplyAllowlist(std::vector<Finding> findings,
+                                    Allowlist* allowlist);
+
+}  // namespace strip::check::lint
+
+#endif  // STRIP_CHECK_LINT_RULES_H_

@@ -10,7 +10,7 @@
 namespace strip::core {
 
 Cluster::Cluster(sim::Simulator* simulator, const ShardedConfig& config,
-                 std::uint64_t seed)
+                 base::RngSeed seed)
     : simulator_(simulator),
       config_(config),
       placement_(config.placement, std::max(config.shards, 1),
@@ -33,8 +33,8 @@ Cluster::Cluster(sim::Simulator* simulator, const ShardedConfig& config,
   // Seed derivation mirrors System's own (stream seeds first), then
   // one independent seed per shard engine.
   sim::RandomStream master(seed);
-  const std::uint64_t update_seed = master.Fork();
-  const std::uint64_t txn_seed = master.Fork();
+  const base::RngSeed update_seed = master.Fork();
+  const base::RngSeed txn_seed = master.Fork();
   skew_random_ = sim::RandomStream(master.Fork());
 
   systems_.reserve(static_cast<std::size_t>(config_.shards));
@@ -42,7 +42,7 @@ Cluster::Cluster(sim::Simulator* simulator, const ShardedConfig& config,
     systems_.push_back(std::make_unique<System>(
         simulator_, config_.ShardConfig(s), master.Fork()));
     System::ShardLink link;
-    link.shard_id = s;
+    link.shard_id = base::ShardId(s);
     link.shards = config_.shards;
     // Requests/replies travel over the interconnect: with every link
     // knob at zero they are delivered at the same simulated instant
@@ -75,17 +75,17 @@ Cluster::Cluster(sim::Simulator* simulator, const ShardedConfig& config,
   interconnect_ = std::make_unique<Interconnect>(
       simulator_, net, master.Fork(),
       [this](const RemoteRead& read) {
-        systems_[static_cast<std::size_t>(read.peer_shard)]
+        systems_[static_cast<std::size_t>(read.peer_shard.value())]
             ->ReceiveRemoteRequest(read);
       },
       [this](const RemoteRead& read) {
-        systems_[static_cast<std::size_t>(read.home_shard)]
+        systems_[static_cast<std::size_t>(read.home_shard.value())]
             ->ReceiveRemoteReply(read);
       });
   interconnect_->set_on_drop([this](const RemoteRead& read, bool reply_leg) {
     // Losses surface on the home shard's bus: that is where the
     // timeout that eventually notices them is armed.
-    systems_[static_cast<std::size_t>(read.home_shard)]
+    systems_[static_cast<std::size_t>(read.home_shard.value())]
         ->observer_bus()
         .NotifyShardRemoteDropped(simulator_->now(), read, reply_leg);
   });
@@ -121,15 +121,17 @@ void Cluster::RouteUpdate(const db::Update& update) {
       skew_random_.WithProbability(config_.feed_hot_fraction)) {
     // Hot feed: redirect to a uniformly drawn object of the same
     // importance class owned by the hot shard.
-    const int owned =
-        placement_.OwnedCount(config_.feed_hot_shard, routed.object.cls);
+    const base::ShardId hot(config_.feed_hot_shard);
+    const int owned = placement_.OwnedCount(hot, routed.object.cls);
     const db::ObjectId local{routed.object.cls,
                              skew_random_.UniformInt(0, owned - 1)};
-    routed.object = placement_.ToGlobal(config_.feed_hot_shard, local);
+    routed.object =
+        placement_.ToGlobal(hot, db::LocalObjectId(local)).value();
   }
-  const int shard = placement_.ShardOf(routed.object);
-  routed.object = placement_.ToLocal(routed.object);
-  systems_[static_cast<std::size_t>(shard)]->InjectUpdate(routed);
+  const base::ShardId shard =
+      placement_.ShardOf(db::GlobalObjectId(routed.object));
+  routed.object = placement_.ToLocal(db::GlobalObjectId(routed.object)).value();
+  systems_[static_cast<std::size_t>(shard.value())]->InjectUpdate(routed);
 }
 
 void Cluster::RouteTransaction(const txn::Transaction::Params& params) {
@@ -138,11 +140,13 @@ void Cluster::RouteTransaction(const txn::Transaction::Params& params) {
       routed.read_set.empty()
           ? static_cast<int>(txn_round_robin_++ %
                              static_cast<std::uint64_t>(shards()))
-          : placement_.ShardOf(routed.read_set.front());
+          : placement_.ShardOf(db::GlobalObjectId(routed.read_set.front()))
+                .value();
   routed.read_owners.resize(routed.read_set.size());
   for (std::size_t i = 0; i < routed.read_set.size(); ++i) {
-    routed.read_owners[i] = placement_.ShardOf(routed.read_set[i]);
-    routed.read_set[i] = placement_.ToLocal(routed.read_set[i]);
+    const db::GlobalObjectId global(routed.read_set[i]);
+    routed.read_owners[i] = placement_.ShardOf(global);
+    routed.read_set[i] = placement_.ToLocal(global).value();
   }
   systems_[static_cast<std::size_t>(home)]->InjectTransaction(routed);
 }
@@ -261,12 +265,13 @@ void Cluster::Aggregate() {
     // Cluster stale fractions weight each shard by its owned slice of
     // the class, so the aggregate matches a global object census.
     total.f_old_low +=
-        m.f_old_low * placement_.OwnedCount(static_cast<int>(s),
-                                            db::ObjectClass::kLowImportance) /
+        m.f_old_low *
+        placement_.OwnedCount(base::ShardId(static_cast<int>(s)),
+                              db::ObjectClass::kLowImportance) /
         config_.base.n_low;
     total.f_old_high +=
         m.f_old_high *
-        placement_.OwnedCount(static_cast<int>(s),
+        placement_.OwnedCount(base::ShardId(static_cast<int>(s)),
                               db::ObjectClass::kHighImportance) /
         config_.base.n_high;
     // Commit-weighted mean; percentiles are the worst shard's (an

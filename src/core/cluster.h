@@ -29,7 +29,7 @@
 //   sim::Simulator simulator;
 //   core::ShardedConfig config;
 //   config.shards = 4;
-//   core::Cluster cluster(&simulator, config, /*seed=*/1);
+//   core::Cluster cluster(&simulator, config, base::RngSeed(1));
 //   core::RunMetrics aggregate = cluster.Run();
 //   const core::RunMetrics& shard0 = cluster.shard_metrics(0);
 
@@ -59,7 +59,7 @@ class Cluster {
   // seed-compatible with System(simulator, config.base, seed)). The
   // simulator must outlive the Cluster.
   Cluster(sim::Simulator* simulator, const ShardedConfig& config,
-          std::uint64_t seed);
+          base::RngSeed seed);
 
   Cluster(const Cluster&) = delete;
   Cluster& operator=(const Cluster&) = delete;

@@ -198,7 +198,7 @@ struct Config {
 
   // Returns an error message if any parameter is out of range, or
   // nullopt if the configuration is valid.
-  std::optional<std::string> Validate() const;
+  [[nodiscard]] std::optional<std::string> Validate() const;
 };
 
 }  // namespace strip::core

@@ -21,7 +21,7 @@ bool IsCutKind(fault::FaultKind kind) {
 }  // namespace
 
 Interconnect::Interconnect(sim::Simulator* simulator, const Params& params,
-                           std::uint64_t seed, Deliver deliver_request,
+                           base::RngSeed seed, Deliver deliver_request,
                            Deliver deliver_reply)
     : simulator_(simulator),
       params_(params),
@@ -56,14 +56,15 @@ bool Interconnect::Dropped(const RemoteRead& read, sim::Time now) {
   // active partition, or touching a downed shard, is always lost.
   if (const fault::FaultWindow* w =
           params_.schedule.ActiveAt(fault::FaultKind::kPartition, now)) {
-    if (InSet(w->shard_set, read.home_shard) !=
-        InSet(w->shard_set, read.peer_shard)) {
+    if (InSet(w->shard_set, read.home_shard.value()) !=
+        InSet(w->shard_set, read.peer_shard.value())) {
       return true;
     }
   }
   if (const fault::FaultWindow* w =
           params_.schedule.ActiveAt(fault::FaultKind::kShardOutage, now)) {
-    if (w->shard == read.home_shard || w->shard == read.peer_shard) {
+    if (w->shard == read.home_shard.value() ||
+        w->shard == read.peer_shard.value()) {
       return true;
     }
   }

@@ -61,7 +61,7 @@ class Interconnect {
   // dedicated jitter/loss stream; it is never drawn when the
   // interconnect is inert.
   Interconnect(sim::Simulator* simulator, const Params& params,
-               std::uint64_t seed, Deliver deliver_request,
+               base::RngSeed seed, Deliver deliver_request,
                Deliver deliver_reply);
 
   Interconnect(const Interconnect&) = delete;

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 
+#include "base/strong_types.h"
 #include "db/object.h"
 #include "sim/sim_time.h"
 
@@ -22,9 +23,9 @@ struct RemoteRead {
   // Cluster-unique id, assigned at issue; the auditors' census key.
   std::uint64_t request_id = 0;
   // The reading transaction (lives on the home shard).
-  std::uint64_t txn_id = 0;
-  int home_shard = 0;
-  int peer_shard = 0;
+  base::TxnId txn_id{};
+  base::ShardId home_shard{0};
+  base::ShardId peer_shard{0};
   // The object read, in the *peer's local* id space.
   db::ObjectId object{};
   // The transaction's firm deadline, carried so the peer can bound

@@ -10,8 +10,10 @@ Config ShardedConfig::ShardConfig(int shard) const {
   // Arrivals come from the cluster's global generators, routed by
   // placement — a shard engine never runs its own streams.
   config.external_workload = true;
-  config.n_low = map.OwnedCount(shard, db::ObjectClass::kLowImportance);
-  config.n_high = map.OwnedCount(shard, db::ObjectClass::kHighImportance);
+  config.n_low =
+      map.OwnedCount(base::ShardId(shard), db::ObjectClass::kLowImportance);
+  config.n_high =
+      map.OwnedCount(base::ShardId(shard), db::ObjectClass::kHighImportance);
   if (!shard_ips.empty()) config.ips = shard_ips[shard];
   if (!shard_x_switch.empty()) config.x_switch = shard_x_switch[shard];
   if (!shard_faults.empty()) config.faults = shard_faults[shard];

@@ -67,7 +67,7 @@ struct ShardedConfig {
 
   // Returns an error message if any parameter is out of range
   // (including base.Validate()), or nullopt if valid.
-  std::optional<std::string> Validate() const;
+  [[nodiscard]] std::optional<std::string> Validate() const;
 };
 
 }  // namespace strip::core

@@ -15,7 +15,9 @@ namespace {
 constexpr std::uint64_t kNoProcess = 0;
 constexpr std::uint64_t kUpdaterProcess = 1;
 
-std::uint64_t TxnProcessId(const txn::Transaction& t) { return t.id() + 1; }
+std::uint64_t TxnProcessId(const txn::Transaction& t) {
+  return t.id().value() + 1;
+}
 
 SystemObserver::DispatchKind StepDispatchKind(
     txn::Transaction::NextStep::Kind kind) {
@@ -38,11 +40,11 @@ SystemObserver::DispatchKind StepDispatchKind(
 }  // namespace
 
 System::System(sim::Simulator* simulator, const Config& config,
-               std::uint64_t seed)
+               base::RngSeed seed)
     : simulator_(simulator),
       config_(config),
       policy_(MakePolicy(config)),
-      system_random_(seed ^ 0xa5a5a5a5a5a5a5a5ull),
+      system_random_(base::RngSeed(seed.value() ^ 0xa5a5a5a5a5a5a5a5ull)),
       database_(config.n_low, config.n_high, config.n_attributes),
       tracker_(simulator, config.staleness, config.alpha, config.n_low,
                config.n_high),
@@ -72,8 +74,8 @@ System::System(sim::Simulator* simulator, const Config& config,
 
   sim::RandomStream master(seed);
   if (!config_.external_workload) {
-    const std::uint64_t update_seed = master.Fork();
-    const std::uint64_t txn_seed = master.Fork();
+    const base::RngSeed update_seed = master.Fork();
+    const base::RngSeed txn_seed = master.Fork();
     // With a fault schedule, the stream feeds the injector and the
     // injector feeds the system; without one, the stream feeds the
     // system directly (identical draws either way — the fault seed is
@@ -364,7 +366,7 @@ void System::OnTxnArrival(const txn::Transaction::Params& params) {
   }
   auto transaction = std::make_unique<txn::Transaction>(params);
   txn::Transaction* t = transaction.get();
-  const std::uint64_t id = t->id();
+  const base::TxnId id = t->id();
   LiveTxn entry;
   entry.transaction = std::move(transaction);
   entry.deadline_event = simulator_->ScheduleAt(
@@ -375,7 +377,7 @@ void System::OnTxnArrival(const txn::Transaction::Params& params) {
     bus_.NotifyTxnAdmitted(simulator_->now(), *t);
   }
   if (sharded_) {
-    for (const int owner : params.read_owners) {
+    for (const base::ShardId owner : params.read_owners) {
       if (owner != shard_link_.shard_id) {
         ++metrics_.txns_cross_shard;
         break;
@@ -393,7 +395,7 @@ void System::OnTxnArrival(const txn::Transaction::Params& params) {
   }
 }
 
-void System::OnDeadline(std::uint64_t txn_id) {
+void System::OnDeadline(base::TxnId txn_id) {
   auto it = live_txns_.find(txn_id);
   if (it == live_txns_.end()) return;  // already terminal
   txn::Transaction* t = it->second.transaction.get();
@@ -837,7 +839,7 @@ void System::ScheduleTxnStep(double extra_instructions) {
     return;
   }
   if (step.kind == txn::Transaction::NextStep::Kind::kViewRead) {
-    if (sharded_ && step.owner_shard >= 0 &&
+    if (sharded_ && step.owner_shard != base::kNoShard &&
         step.owner_shard != shard_link_.shard_id) {
       // The object lives on a peer shard: park the transaction and send
       // the read there (two-phase hold). The lookup cost — including
@@ -1099,7 +1101,8 @@ SystemObserver::DispatchInfo System::CurrentDispatchInfo() const {
 
 void System::set_shard_link(ShardLink link) {
   STRIP_CHECK(link.shards >= 1);
-  STRIP_CHECK(link.shard_id >= 0 && link.shard_id < link.shards);
+  STRIP_CHECK(link.shard_id.value() >= 0 &&
+              link.shard_id.value() < link.shards);
   sharded_ = link.shards > 1;
   if (sharded_) {
     STRIP_CHECK(link.send_request != nullptr);
@@ -1490,7 +1493,7 @@ void System::OnFaultWindowBoundary(const fault::FaultWindow& window,
     info.begin = begin;
     info.start = window.start;
     info.end = window.end();
-    if (sharded_) info.shard = shard_link_.shard_id;
+    if (sharded_) info.shard = shard_link_.shard_id.value();
     bus_.NotifyFaultWindow(simulator_->now(), info);
   }
 }
@@ -1514,7 +1517,7 @@ void System::OnClusterFaultBoundary(const fault::FaultWindow& window,
     info.begin = begin;
     info.start = window.start;
     info.end = window.end();
-    info.shard = shard_link_.shard_id;
+    info.shard = shard_link_.shard_id.value();
     bus_.NotifyFaultWindow(simulator_->now(), info);
   }
 }

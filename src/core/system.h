@@ -30,6 +30,7 @@
 #include <memory>
 #include <unordered_map>
 
+#include "base/strong_types.h"
 #include "core/config.h"
 #include "core/metrics.h"
 #include "core/observer.h"
@@ -57,7 +58,7 @@ class System {
   // `config` must validate; `seed` determines every random draw of the
   // run. The simulator must outlive the System.
   System(sim::Simulator* simulator, const Config& config,
-         std::uint64_t seed);
+         base::RngSeed seed);
 
   System(const System&) = delete;
   System& operator=(const System&) = delete;
@@ -114,7 +115,7 @@ class System {
   // shards == 1) none of the remote machinery runs and the System is
   // byte-identical to the pre-sharding uniprocessor model.
   struct ShardLink {
-    int shard_id = 0;
+    base::ShardId shard_id{0};
     int shards = 1;
     std::function<void(const RemoteRead&)> send_request;
     std::function<void(const RemoteRead&)> send_reply;
@@ -124,7 +125,7 @@ class System {
 
   // Must be called before the first event runs.
   void set_shard_link(ShardLink link);
-  int shard_id() const { return shard_link_.shard_id; }
+  base::ShardId shard_id() const { return shard_link_.shard_id; }
 
   // Peer-side entry: queues a remote read for service on this shard's
   // CPU (serviced ahead of all other work at the next settle point).
@@ -225,7 +226,7 @@ class System {
   // --- arrival handlers -----------------------------------------------------
   void OnUpdateArrival(const db::Update& update);
   void OnTxnArrival(const txn::Transaction::Params& params);
-  void OnDeadline(std::uint64_t txn_id);
+  void OnDeadline(base::TxnId txn_id);
 
   // --- the scheduler ---------------------------------------------------------
   // Decides what runs next. Precondition: the CPU is idle.
@@ -391,7 +392,7 @@ class System {
   bool governor_engaged_ = false;
   sim::Time governor_engage_time_ = 0;
 
-  std::unordered_map<std::uint64_t, LiveTxn> live_txns_;
+  std::unordered_map<base::TxnId, LiveTxn> live_txns_;
 
   // CPU state.
   CpuOwner cpu_owner_ = CpuOwner::kIdle;

@@ -13,6 +13,8 @@
 #include <cstddef>
 #include <functional>
 
+#include "base/strong_types.h"
+
 namespace strip::db {
 
 // Which view partition an object (or an update to it) belongs to.
@@ -39,6 +41,38 @@ struct ObjectIdHash {
   std::size_t operator()(const ObjectId& id) const {
     return std::hash<int>()(id.index * kNumObjectClasses +
                             static_cast<int>(id.cls));
+  }
+};
+
+// --- global vs. shard-local object spaces -----------------------------------
+//
+// A sharded cluster has two object-id spaces with the same shape:
+// the *global* space the workload generators draw from, and each
+// shard's dense *local* space its Database/StalenessTracker index by.
+// A bare ObjectId is whichever space its context implies (a
+// uniprocessor run has only one space); the strong wrappers name the
+// space explicitly at the db::ObjectPlacement boundary where the two
+// meet — passing a global id where a local one is expected (or
+// forgetting to translate) is a compile error there.
+
+// An object id in the cluster-wide space the feed and workload draw
+// from.
+using GlobalObjectId = base::StrongId<struct GlobalObjectIdTag, ObjectId>;
+
+// An object id in one shard's dense owned space ([0, OwnedCount) per
+// class).
+using LocalObjectId = base::StrongId<struct LocalObjectIdTag, ObjectId>;
+
+// Hash functors mirroring ObjectIdHash (std::hash<ObjectId> does not
+// exist, so the generic std::hash forwarding cannot apply here).
+struct GlobalObjectIdHash {
+  std::size_t operator()(const GlobalObjectId& id) const {
+    return ObjectIdHash{}(id.value());
+  }
+};
+struct LocalObjectIdHash {
+  std::size_t operator()(const LocalObjectId& id) const {
+    return ObjectIdHash{}(id.value());
   }
 };
 

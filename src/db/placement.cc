@@ -32,49 +32,57 @@ int ObjectPlacement::RangeStart(int shard, int n) const {
   return shard * base + (shard < rem ? shard : rem);
 }
 
-int ObjectPlacement::ShardOf(ObjectId object) const {
-  const int n = ClassCount(object.cls);
-  STRIP_CHECK_MSG(object.index >= 0 && object.index < n,
-                  "object index out of range");
-  if (shards_ == 1) return 0;
-  if (kind_ == PlacementKind::kHash) return object.index % shards_;
+base::ShardId ObjectPlacement::ShardOf(GlobalObjectId object) const {
+  const ObjectId id = object.value();
+  const int n = ClassCount(id.cls);
+  STRIP_CHECK_MSG(id.index >= 0 && id.index < n, "object index out of range");
+  if (shards_ == 1) return base::ShardId(0);
+  if (kind_ == PlacementKind::kHash) return base::ShardId(id.index % shards_);
   const int base = n / shards_;
   const int rem = n % shards_;
   const int fat = rem * (base + 1);  // objects on the one-extra shards
-  if (object.index < fat) return object.index / (base + 1);
+  if (id.index < fat) return base::ShardId(id.index / (base + 1));
   // base > 0 here: n >= shards would be violated only when base == 0,
   // and then every object sits in the fat region.
-  return rem + (object.index - fat) / base;
+  return base::ShardId(rem + (id.index - fat) / base);
 }
 
-ObjectId ObjectPlacement::ToLocal(ObjectId object) const {
-  if (shards_ == 1) return object;
+LocalObjectId ObjectPlacement::ToLocal(GlobalObjectId object) const {
+  const ObjectId id = object.value();
+  if (shards_ == 1) return LocalObjectId(id);
   if (kind_ == PlacementKind::kHash) {
-    return {object.cls, object.index / shards_};
+    return LocalObjectId({id.cls, id.index / shards_});
   }
-  const int shard = ShardOf(object);
-  return {object.cls, object.index - RangeStart(shard, ClassCount(object.cls))};
+  const int shard = ShardOf(object).value();
+  return LocalObjectId(
+      {id.cls, id.index - RangeStart(shard, ClassCount(id.cls))});
 }
 
-ObjectId ObjectPlacement::ToGlobal(int shard, ObjectId local) const {
-  STRIP_CHECK_MSG(shard >= 0 && shard < shards_, "shard out of range");
-  if (shards_ == 1) return local;
+GlobalObjectId ObjectPlacement::ToGlobal(base::ShardId shard,
+                                         LocalObjectId local) const {
+  STRIP_CHECK_MSG(shard.value() >= 0 && shard.value() < shards_,
+                  "shard out of range");
+  const ObjectId id = local.value();
+  if (shards_ == 1) return GlobalObjectId(id);
   if (kind_ == PlacementKind::kHash) {
-    return {local.cls, local.index * shards_ + shard};
+    return GlobalObjectId({id.cls, id.index * shards_ + shard.value()});
   }
-  return {local.cls, RangeStart(shard, ClassCount(local.cls)) + local.index};
+  return GlobalObjectId(
+      {id.cls, RangeStart(shard.value(), ClassCount(id.cls)) + id.index});
 }
 
-int ObjectPlacement::OwnedCount(int shard, ObjectClass cls) const {
-  STRIP_CHECK_MSG(shard >= 0 && shard < shards_, "shard out of range");
+int ObjectPlacement::OwnedCount(base::ShardId shard, ObjectClass cls) const {
+  STRIP_CHECK_MSG(shard.value() >= 0 && shard.value() < shards_,
+                  "shard out of range");
+  const int s = shard.value();
   const int n = ClassCount(cls);
   if (kind_ == PlacementKind::kHash) {
     // Count of i in [0, n) with i mod M == shard.
-    return (n - shard + shards_ - 1) / shards_;
+    return (n - s + shards_ - 1) / shards_;
   }
   const int base = n / shards_;
   const int rem = n % shards_;
-  return base + (shard < rem ? 1 : 0);
+  return base + (s < rem ? 1 : 0);
 }
 
 }  // namespace strip::db

@@ -38,7 +38,8 @@ enum class PlacementKind {
 const char* PlacementKindName(PlacementKind kind);
 
 // Parses a placement token; nullopt on anything else.
-std::optional<PlacementKind> ParsePlacementKind(std::string_view token);
+[[nodiscard]] std::optional<PlacementKind> ParsePlacementKind(
+    std::string_view token);
 
 class ObjectPlacement {
  public:
@@ -50,17 +51,18 @@ class ObjectPlacement {
   int shards() const { return shards_; }
 
   // The shard owning a global object id.
-  int ShardOf(ObjectId object) const;
+  [[nodiscard]] base::ShardId ShardOf(GlobalObjectId object) const;
 
   // Global id -> the owner shard's local id (same class, dense index).
-  ObjectId ToLocal(ObjectId object) const;
+  [[nodiscard]] LocalObjectId ToLocal(GlobalObjectId object) const;
 
   // Local id on `shard` -> global id. Inverse of ToLocal on the owner.
-  ObjectId ToGlobal(int shard, ObjectId local) const;
+  [[nodiscard]] GlobalObjectId ToGlobal(base::ShardId shard,
+                                        LocalObjectId local) const;
 
   // Objects of `cls` owned by `shard`. Sums to the global count over
   // all shards.
-  int OwnedCount(int shard, ObjectClass cls) const;
+  [[nodiscard]] int OwnedCount(base::ShardId shard, ObjectClass cls) const;
 
  private:
   int ClassCount(ObjectClass cls) const;

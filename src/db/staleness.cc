@@ -131,7 +131,7 @@ void StalenessTracker::OnApply(ObjectId id, sim::Time generation_time,
 void StalenessTracker::OnEnqueued(const Update& update) {
   ObjectState& s = state(update.object);
   const std::pair<sim::Time, std::uint64_t> key{update.generation_time,
-                                                update.id};
+                                                update.id.value()};
   s.queued.insert(std::upper_bound(s.queued.begin(), s.queued.end(), key),
                   key);
   Refresh(update.object);
@@ -140,7 +140,7 @@ void StalenessTracker::OnEnqueued(const Update& update) {
 void StalenessTracker::OnRemovedFromQueue(const Update& update) {
   ObjectState& s = state(update.object);
   const std::pair<sim::Time, std::uint64_t> key{update.generation_time,
-                                                update.id};
+                                                update.id.value()};
   const auto it = std::lower_bound(s.queued.begin(), s.queued.end(), key);
   STRIP_CHECK_MSG(it != s.queued.end() && *it == key,
                   "removed update was not tracked as queued");

@@ -121,7 +121,7 @@ Update UpdateQueue::DetachFromSecondary(const Key& key) {
 
 std::vector<Update> UpdateQueue::Push(const Update& update) {
   const std::uint32_t slot = AcquireSlot(update);
-  const Key key{update.generation_time, update.id, slot};
+  const Key key{update.generation_time, update.id.value(), slot};
   const bool inserted = by_generation_.Insert(key);
   STRIP_CHECK_MSG(inserted, "duplicate update id pushed");
   std::vector<Key>& obj_keys = by_object_[update.object];
@@ -195,11 +195,11 @@ std::optional<Update> UpdateQueue::PeekNewestFor(ObjectId object) const {
 
 bool UpdateQueue::Remove(const Update& update) {
   std::uint32_t slot = 0;
-  if (!by_generation_.Erase(Key{update.generation_time, update.id, 0},
+  if (!by_generation_.Erase(Key{update.generation_time, update.id.value(), 0},
                             &slot)) {
     return false;
   }
-  DetachFromSecondary(Key{update.generation_time, update.id, slot});
+  DetachFromSecondary(Key{update.generation_time, update.id.value(), slot});
   return true;
 }
 

@@ -1,32 +1,17 @@
-// Crash-safe result-file writes for sweep runners and exporters.
-//
-// A plain ofstream left half-written by a crash or a kill produces a
-// truncated CSV/JSON that can later parse as a valid-but-wrong result.
-// WriteFileAtomic writes the whole contents to `<path>.tmp` and then
-// renames it over `path`: rename(2) is atomic on POSIX, so readers
-// (and --resume scans) only ever see either the old complete file or
-// the new complete file — never a torn one.
+// Forwarding header: the atomic-write helpers moved to base/atomic_io.h
+// so layers below exp (check/lint, tools) can use them. Existing
+// strip::exp call sites keep working through these aliases.
 
 #ifndef STRIP_EXP_ATOMIC_IO_H_
 #define STRIP_EXP_ATOMIC_IO_H_
 
-#include <optional>
-#include <string>
-#include <vector>
+#include "base/atomic_io.h"
 
 namespace strip::exp {
 
-// Writes `contents` to `path` via tmp-file + rename. Returns an error
-// message on failure (the tmp file is cleaned up), nullopt on success.
-std::optional<std::string> WriteFileAtomic(const std::string& path,
-                                           const std::string& contents);
-
-// True if `path` exists (any file type).
-bool FileExists(const std::string& path);
-
-// Removes "*.tmp" files left in `dir` by an interrupted writer and
-// returns their names (for logging). A missing directory is fine.
-std::vector<std::string> RemoveStaleTmpFiles(const std::string& dir);
+using base::FileExists;
+using base::RemoveStaleTmpFiles;
+using base::WriteFileAtomic;
 
 }  // namespace strip::exp
 

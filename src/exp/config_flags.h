@@ -28,21 +28,21 @@ namespace strip::exp {
 // Applies one "name=value" assignment (no leading dashes) to `config`.
 // Returns an error message on unknown names, unparsable values, or an
 // eager range-check failure.
-std::optional<std::string> ApplyConfigFlag(const std::string& assignment,
-                                           core::Config& config);
+[[nodiscard]] std::optional<std::string> ApplyConfigFlag(
+    const std::string& assignment, core::Config& config);
 // Sharded variant: cluster-level names resolve first, everything else
 // lands on config.base.
-std::optional<std::string> ApplyConfigFlag(const std::string& assignment,
-                                           core::ShardedConfig& config);
+[[nodiscard]] std::optional<std::string> ApplyConfigFlag(
+    const std::string& assignment, core::ShardedConfig& config);
 
 // Applies every argv entry of the form "--name=value" to `config`.
 // Entries that do not start with "--", or whose name is unknown, are
 // appended to `unconsumed` (so callers can layer their own flags).
 // Returns the first value-parse error, or nullopt on success.
-std::optional<std::string> ApplyConfigFlags(
+[[nodiscard]] std::optional<std::string> ApplyConfigFlags(
     int argc, char** argv, core::Config& config,
     std::vector<std::string>* unconsumed);
-std::optional<std::string> ApplyConfigFlags(
+[[nodiscard]] std::optional<std::string> ApplyConfigFlags(
     int argc, char** argv, core::ShardedConfig& config,
     std::vector<std::string>* unconsumed);
 

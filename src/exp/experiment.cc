@@ -25,7 +25,7 @@ core::RunMetrics RunOnceUntil(const core::Config& config,
                               double slice_sim_seconds, bool* timed_out) {
   if (slice_sim_seconds <= 0) slice_sim_seconds = 5.0;
   sim::Simulator simulator;
-  core::System system(&simulator, config, seed);
+  core::System system(&simulator, config, base::RngSeed(seed));
   RunFinisher finish;
   if (hook) finish = hook(system, context);
   core::RunMetrics metrics;
@@ -55,7 +55,7 @@ core::RunMetrics ClusterRunOnceUntil(const core::ShardedConfig& config,
                                      bool* timed_out) {
   if (slice_sim_seconds <= 0) slice_sim_seconds = 5.0;
   sim::Simulator simulator;
-  core::Cluster cluster(&simulator, config, seed);
+  core::Cluster cluster(&simulator, config, base::RngSeed(seed));
   RunFinisher finish;
   if (hook) finish = hook(cluster, context);
   core::RunMetrics metrics;
@@ -83,7 +83,7 @@ core::RunMetrics RunOnce(const core::Config& config, std::uint64_t seed) {
 core::RunMetrics RunOnce(const core::Config& config, std::uint64_t seed,
                          const RunHook& hook, const RunContext& context) {
   sim::Simulator simulator;
-  core::System system(&simulator, config, seed);
+  core::System system(&simulator, config, base::RngSeed(seed));
   // The finisher is declared after the System so its destruction (and
   // with it any observers it owns) happens first, while the bus the
   // observers detach from is still alive.
@@ -117,7 +117,7 @@ core::RunMetrics RunOnce(const core::ShardedConfig& config,
                          std::uint64_t seed, const ClusterRunHook& hook,
                          const RunContext& context) {
   sim::Simulator simulator;
-  core::Cluster cluster(&simulator, config, seed);
+  core::Cluster cluster(&simulator, config, base::RngSeed(seed));
   // Finisher after the Cluster for the same destruction-order reason
   // as the System overload: hook-owned observers detach before the
   // shard engines (and their buses) go away.

@@ -8,7 +8,7 @@ namespace strip::fault {
 
 FaultInjector::FaultInjector(sim::Simulator* simulator,
                              const FaultSchedule& schedule,
-                             std::uint64_t seed, double nominal_rate,
+                             base::RngSeed seed, double nominal_rate,
                              Hooks hooks)
     : simulator_(simulator),
       schedule_(schedule),
@@ -63,7 +63,7 @@ void FaultInjector::Offer(const db::Update& update) {
 
   if (duplicate) {
     db::Update copy = update;
-    copy.id = next_dup_id_++;
+    copy.id = base::UpdateId(next_dup_id_++);
     ++counts_.duplicated;
     simulator_->ScheduleAfter(dup_delay,
                               [this, copy] { Deliver(copy); });

@@ -38,6 +38,7 @@
 #include <deque>
 #include <functional>
 
+#include "base/strong_types.h"
 #include "db/update.h"
 #include "fault/fault_schedule.h"
 #include "sim/random.h"
@@ -71,7 +72,7 @@ class FaultInjector {
   // `nominal_rate` is the feed's normal-phase arrival rate, used to
   // pace catch-up bursts.  `schedule` must outlive the injector.
   FaultInjector(sim::Simulator* simulator, const FaultSchedule& schedule,
-                std::uint64_t seed, double nominal_rate, Hooks hooks);
+                base::RngSeed seed, double nominal_rate, Hooks hooks);
 
   FaultInjector(const FaultInjector&) = delete;
   FaultInjector& operator=(const FaultInjector&) = delete;

@@ -149,24 +149,23 @@ struct SweepDirData {
 //
 // Each returns nullopt with *error = "<path>: reason" on failure.
 
-std::optional<TelemetryDoc> LoadTelemetryDoc(const std::string& path,
-                                             std::string* error);
-std::optional<TelemetryDoc> ParseTelemetryDoc(const std::string& path,
-                                              const JsonValue& doc,
-                                              std::string* error);
+[[nodiscard]] std::optional<TelemetryDoc> LoadTelemetryDoc(
+    const std::string& path, std::string* error);
+[[nodiscard]] std::optional<TelemetryDoc> ParseTelemetryDoc(
+    const std::string& path, const JsonValue& doc, std::string* error);
 
-std::optional<SweepCellDoc> LoadSweepCellDoc(const std::string& path,
-                                             std::string* error);
+[[nodiscard]] std::optional<SweepCellDoc> LoadSweepCellDoc(
+    const std::string& path, std::string* error);
 
-std::optional<BenchDoc> LoadBenchDoc(const std::string& path,
-                                     std::string* error);
+[[nodiscard]] std::optional<BenchDoc> LoadBenchDoc(
+    const std::string& path, std::string* error);
 
 // Scans `dir` for cell_*.json sweep-cell files and *.shard<k>
 // telemetry files (both families may live in one directory or the
 // scan may find only one of them). Fails when the directory cannot be
 // read, any matching file is malformed, or nothing matches at all.
-std::optional<SweepDirData> LoadSweepDir(const std::string& dir,
-                                         std::string* error);
+[[nodiscard]] std::optional<SweepDirData> LoadSweepDir(
+    const std::string& dir, std::string* error);
 
 // What kind of artifact a path holds, by probing the filesystem and
 // the document's schema/shape.
@@ -175,8 +174,8 @@ std::optional<ArtifactKind> ClassifyArtifact(const std::string& path,
                                              std::string* error);
 
 // Reads one whole file; nullopt with *error set when unreadable.
-std::optional<std::string> ReadFileToString(const std::string& path,
-                                            std::string* error);
+[[nodiscard]] std::optional<std::string> ReadFileToString(
+    const std::string& path, std::string* error);
 
 // Sorted (lexicographic) regular-file names in `dir`; nullopt when the
 // directory cannot be opened.

@@ -54,7 +54,7 @@ class JsonValue {
 // trailing garbage rejected). Returns nullopt with *error set to
 // "byte N: reason" on malformed input. Nesting deeper than 64 levels
 // is rejected, keeping the parser safe on adversarial inputs.
-std::optional<JsonValue> ParseJson(const std::string& text,
+[[nodiscard]] std::optional<JsonValue> ParseJson(const std::string& text,
                                    std::string* error);
 
 }  // namespace strip::obs::report

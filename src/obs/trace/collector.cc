@@ -98,7 +98,7 @@ void TraceCollector::OnTransactionTerminal(
   TraceEvent event;
   event.kind = EventKind::kTxnTerminal;
   event.time = now;
-  event.txn_id = transaction.id();
+  event.txn_id = transaction.id().value();
   event.txn_cls = transaction.cls();
   event.outcome = transaction.outcome();
   event.read_stale = transaction.read_stale_data();
@@ -110,10 +110,10 @@ void TraceCollector::OnUpdateInstalled(sim::Time now, const db::Update& update,
   TraceEvent event;
   event.kind = EventKind::kUpdateInstalled;
   event.time = now;
-  event.update_id = update.id;
+  event.update_id = update.id.value();
   event.object = update.object;
   event.has_object = true;
-  if (on_demand_by != nullptr) event.txn_id = on_demand_by->id();
+  if (on_demand_by != nullptr) event.txn_id = on_demand_by->id().value();
   Emit(event);
 }
 
@@ -122,7 +122,7 @@ void TraceCollector::OnUpdateDropped(sim::Time now, const db::Update& update,
   TraceEvent event;
   event.kind = EventKind::kUpdateDropped;
   event.time = now;
-  event.update_id = update.id;
+  event.update_id = update.id.value();
   event.object = update.object;
   event.has_object = true;
   event.drop_reason = reason;
@@ -135,7 +135,7 @@ void TraceCollector::OnStaleRead(sim::Time now,
   TraceEvent event;
   event.kind = EventKind::kStaleRead;
   event.time = now;
-  event.txn_id = transaction.id();
+  event.txn_id = transaction.id().value();
   event.txn_cls = transaction.cls();
   event.object = object;
   event.has_object = true;
@@ -155,7 +155,7 @@ void TraceCollector::OnTxnAdmitted(sim::Time now,
   TraceEvent event;
   event.kind = EventKind::kTxnAdmitted;
   event.time = now;
-  event.txn_id = transaction.id();
+  event.txn_id = transaction.id().value();
   event.txn_cls = transaction.cls();
   event.deadline = transaction.deadline();
   event.value = transaction.value();
@@ -166,7 +166,7 @@ void TraceCollector::OnUpdateArrival(sim::Time now, const db::Update& update) {
   TraceEvent event;
   event.kind = EventKind::kUpdateArrival;
   event.time = now;
-  event.update_id = update.id;
+  event.update_id = update.id.value();
   event.object = update.object;
   event.has_object = true;
   Emit(event);
@@ -177,7 +177,7 @@ void TraceCollector::OnUpdateEnqueued(sim::Time now,
   TraceEvent event;
   event.kind = EventKind::kUpdateEnqueued;
   event.time = now;
-  event.update_id = update.id;
+  event.update_id = update.id.value();
   event.object = update.object;
   event.has_object = true;
   Emit(event);
@@ -191,11 +191,11 @@ TraceEvent TraceCollector::FromDispatchInfo(EventKind kind, sim::Time now,
   event.dispatch_kind = dispatch.kind;
   event.instructions = dispatch.instructions;
   if (dispatch.transaction != nullptr) {
-    event.txn_id = dispatch.transaction->id();
+    event.txn_id = dispatch.transaction->id().value();
     event.txn_cls = dispatch.transaction->cls();
   }
   if (dispatch.update != nullptr) {
-    event.update_id = dispatch.update->id;
+    event.update_id = dispatch.update->id.value();
     event.object = dispatch.update->object;
     event.has_object = true;
   }
@@ -217,7 +217,7 @@ void TraceCollector::OnPreempt(sim::Time now,
   TraceEvent event;
   event.kind = EventKind::kPreempt;
   event.time = now;
-  event.txn_id = transaction.id();
+  event.txn_id = transaction.id().value();
   event.txn_cls = transaction.cls();
   event.preempt_reason = reason;
   Emit(event);
@@ -238,10 +238,10 @@ TraceEvent TraceCollector::FromRemoteRead(EventKind kind, sim::Time now,
   TraceEvent event;
   event.kind = kind;
   event.time = now;
-  event.txn_id = read.txn_id;
+  event.txn_id = read.txn_id.value();
   event.request_id = read.request_id;
-  event.home_shard = read.home_shard;
-  event.peer_shard = read.peer_shard;
+  event.home_shard = read.home_shard.value();
+  event.peer_shard = read.peer_shard.value();
   event.object = read.object;
   event.has_object = true;
   return event;

@@ -62,13 +62,13 @@ struct ParsedTrace {
 
 // Parses a flight-record dump. Returns nullopt (with *error set) on a
 // malformed header or row.
-std::optional<ParsedTrace> ParseFlightDump(std::istream& in,
+[[nodiscard]] std::optional<ParsedTrace> ParseFlightDump(std::istream& in,
                                            std::string* error);
 
 // Parses a ChromeTraceWriter document back into events. Metadata and
 // flow records are skipped; B/E span records come back as "dispatch" /
 // "segment-complete" events.
-std::optional<ParsedTrace> ParseChromeTrace(std::istream& in,
+[[nodiscard]] std::optional<ParsedTrace> ParseChromeTrace(std::istream& in,
                                             std::string* error);
 
 // --- queries ---------------------------------------------------------------

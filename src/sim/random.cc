@@ -6,7 +6,7 @@
 
 namespace strip::sim {
 
-RandomStream::RandomStream(std::uint64_t seed) : engine_(seed) {}
+RandomStream::RandomStream(base::RngSeed seed) : engine_(seed.value()) {}
 
 double RandomStream::Exponential(double mean) {
   STRIP_CHECK_MSG(mean > 0, "exponential mean must be positive");
@@ -43,13 +43,13 @@ bool RandomStream::WithProbability(double p) {
   return dist(engine_) < p;
 }
 
-std::uint64_t RandomStream::Fork() {
+base::RngSeed RandomStream::Fork() {
   // splitmix64 finalizer over the next engine output, so sibling
   // streams are decorrelated even for adjacent seeds.
   std::uint64_t z = engine_() + 0x9e3779b97f4a7c15ull;
   z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
   z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
-  return z ^ (z >> 31);
+  return base::RngSeed(z ^ (z >> 31));
 }
 
 }  // namespace strip::sim

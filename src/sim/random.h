@@ -12,11 +12,13 @@
 #include <cstdint>
 #include <random>
 
+#include "base/strong_types.h"
+
 namespace strip::sim {
 
 class RandomStream {
  public:
-  explicit RandomStream(std::uint64_t seed);
+  explicit RandomStream(base::RngSeed seed);
 
   // Exponential variate with the given mean (mean > 0).
   double Exponential(double mean);
@@ -45,7 +47,7 @@ class RandomStream {
   bool WithProbability(double p);
 
   // Derives a new seed, deterministically, for seeding a child stream.
-  std::uint64_t Fork();
+  base::RngSeed Fork();
 
  private:
   std::mt19937_64 engine_;

@@ -23,6 +23,7 @@
 #include <deque>
 #include <vector>
 
+#include "base/strong_types.h"
 #include "db/object.h"
 #include "sim/sim_time.h"
 
@@ -68,13 +69,13 @@ class Transaction {
     double instructions = 0;
     // The object being read / freshened (kViewRead, kOdScan, kOdApply).
     db::ObjectId object;
-    // Shard owning the object of a kViewRead (sharded model), or -1
-    // when every read is local (the uniprocessor model).
-    int owner_shard = -1;
+    // Shard owning the object of a kViewRead (sharded model), or
+    // base::kNoShard when every read is local (the uniprocessor model).
+    base::ShardId owner_shard = base::kNoShard;
   };
 
   struct Params {
-    std::uint64_t id = 0;
+    base::TxnId id{};
     TxnClass cls = TxnClass::kLowValue;
     double value = 0;
     sim::Time arrival_time = 0;
@@ -92,7 +93,7 @@ class Transaction {
     // Owner shard per read (parallel to read_set). Empty means every
     // read is local to the executing shard — the uniprocessor model
     // and the common case.
-    std::vector<int> read_owners;
+    std::vector<base::ShardId> read_owners;
   };
 
   explicit Transaction(const Params& params);
@@ -102,7 +103,7 @@ class Transaction {
 
   // --- identity & shape -------------------------------------------------
 
-  std::uint64_t id() const { return id_; }
+  base::TxnId id() const { return id_; }
   TxnClass cls() const { return cls_; }
   double value() const { return value_; }
   sim::Time arrival_time() const { return arrival_time_; }
@@ -171,14 +172,14 @@ class Transaction {
   // Moves past phases that have no work left.
   void SkipEmptyPhases();
 
-  std::uint64_t id_;
+  base::TxnId id_;
   TxnClass cls_;
   double value_;
   sim::Time arrival_time_;
   sim::Time deadline_;
   double lookup_instructions_;
   std::vector<db::ObjectId> read_set_;
-  std::vector<int> read_owners_;
+  std::vector<base::ShardId> read_owners_;
 
   double total_base_instructions_;
   Phase phase_ = Phase::kWork1;

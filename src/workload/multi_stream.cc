@@ -9,7 +9,7 @@ namespace strip::workload {
 
 MultiUpdateStream::MultiUpdateStream(sim::Simulator* simulator,
                                      std::vector<Feed> feeds,
-                                     std::uint64_t seed,
+                                     base::RngSeed seed,
                                      UpdateStream::Sink sink) {
   STRIP_CHECK(simulator != nullptr);
   STRIP_CHECK(sink != nullptr);
@@ -25,7 +25,7 @@ MultiUpdateStream::MultiUpdateStream(sim::Simulator* simulator,
         simulator, feed.params, master.Fork(),
         [this, sink, low_offset, high_offset](const db::Update& update) {
           db::Update remapped = update;
-          remapped.id = ++next_id_;  // globally unique across feeds
+          remapped.id = base::UpdateId(++next_id_);  // unique across feeds
           remapped.object.index +=
               update.object.cls == db::ObjectClass::kLowImportance
                   ? low_offset

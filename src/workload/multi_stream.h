@@ -37,7 +37,7 @@ class MultiUpdateStream {
   // Starts every feed on `simulator`; update ids are made globally
   // unique across feeds. Seeds are forked per feed from `seed`.
   MultiUpdateStream(sim::Simulator* simulator, std::vector<Feed> feeds,
-                    std::uint64_t seed, UpdateStream::Sink sink);
+                    base::RngSeed seed, UpdateStream::Sink sink);
 
   MultiUpdateStream(const MultiUpdateStream&) = delete;
   MultiUpdateStream& operator=(const MultiUpdateStream&) = delete;

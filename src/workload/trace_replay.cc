@@ -72,7 +72,7 @@ std::optional<std::string> TraceReplay::ParseLine(
   if (fields[0] == "update") {
     if (fields.size() != 6) return "update record needs 6 fields";
     db::Update update;
-    update.id = next_update_id;
+    update.id = base::UpdateId(next_update_id);
     double arrival, index, generation, value;
     if (!ParseNumber(fields[1], &arrival) ||
         !ParseClass(fields[2], &update.object.cls) ||
@@ -91,7 +91,7 @@ std::optional<std::string> TraceReplay::ParseLine(
   if (fields[0] == "txn") {
     if (fields.size() != 8) return "txn record needs 8 fields";
     txn::Transaction::Params params;
-    params.id = next_txn_id;
+    params.id = base::TxnId(next_txn_id);
     double arrival, value, deadline, comp, p_view;
     db::ObjectClass cls;
     if (!ParseNumber(fields[1], &arrival) || !ParseClass(fields[2], &cls) ||

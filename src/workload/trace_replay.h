@@ -40,14 +40,13 @@ class TraceReplay {
   // Parses a trace; on success fills `records` (ids assigned
   // sequentially per kind, in file order). Returns an error message —
   // with a line number — on malformed input.
-  static std::optional<std::string> Parse(std::istream& in,
-                                          std::vector<Record>* records);
+  [[nodiscard]] static std::optional<std::string> Parse(
+      std::istream& in, std::vector<Record>* records);
 
   // Parses one record line (no comment/blank handling).
-  static std::optional<std::string> ParseLine(const std::string& line,
-                                              std::uint64_t next_update_id,
-                                              std::uint64_t next_txn_id,
-                                              Record* record);
+  [[nodiscard]] static std::optional<std::string> ParseLine(
+      const std::string& line, std::uint64_t next_update_id,
+      std::uint64_t next_txn_id, Record* record);
 
   // Schedules every record on `simulator` at its arrival time,
   // dispatching to the sinks. Sinks and simulator must outlive replay

@@ -8,7 +8,7 @@
 namespace strip::workload {
 
 TxnSource::TxnSource(sim::Simulator* simulator, const Params& params,
-                     std::uint64_t seed, Sink sink)
+                     base::RngSeed seed, Sink sink)
     : simulator_(simulator),
       params_(params),
       random_(seed),
@@ -42,7 +42,7 @@ void TxnSource::ScheduleNext() {
 
 void TxnSource::EmitOne() {
   txn::Transaction::Params t;
-  t.id = ++generated_;
+  t.id = base::TxnId(++generated_);
   t.arrival_time = simulator_->now();
   const bool low = random_.WithProbability(params_.p_low);
   t.cls = low ? txn::TxnClass::kLowValue : txn::TxnClass::kHighValue;

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "base/strong_types.h"
 #include "sim/random.h"
 #include "sim/simulator.h"
 #include "txn/transaction.h"
@@ -60,7 +61,7 @@ class TxnSource {
   using Sink = std::function<void(const txn::Transaction::Params&)>;
 
   TxnSource(sim::Simulator* simulator, const Params& params,
-            std::uint64_t seed, Sink sink);
+            base::RngSeed seed, Sink sink);
 
   TxnSource(const TxnSource&) = delete;
   TxnSource& operator=(const TxnSource&) = delete;

@@ -8,7 +8,7 @@
 namespace strip::workload {
 
 UpdateStream::UpdateStream(sim::Simulator* simulator, const Params& params,
-                           std::uint64_t seed, Sink sink)
+                           base::RngSeed seed, Sink sink)
     : simulator_(simulator),
       params_(params),
       random_(seed),
@@ -75,7 +75,7 @@ void UpdateStream::SchedulePhaseToggle() {
 
 void UpdateStream::EmitOne() {
   db::Update update;
-  update.id = ++generated_;
+  update.id = base::UpdateId(++generated_);
   update.arrival_time = simulator_->now();
   if (params_.periodic) {
     // Round-robin over the union of both partitions so each object is

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "base/strong_types.h"
 #include "db/update.h"
 #include "sim/random.h"
 #include "sim/simulator.h"
@@ -59,7 +60,7 @@ class UpdateStream {
   // Begins generating arrivals on `simulator` immediately. Both
   // `simulator` and the sink must outlive the stream.
   UpdateStream(sim::Simulator* simulator, const Params& params,
-               std::uint64_t seed, Sink sink);
+               base::RngSeed seed, Sink sink);
 
   UpdateStream(const UpdateStream&) = delete;
   UpdateStream& operator=(const UpdateStream&) = delete;

@@ -1,0 +1,109 @@
+// Pins the behavioural contract of base/strong_types.h: the wrappers
+// must act exactly like the raw types they replaced — same comparison
+// results, same hash values (bucket-layout preservation is what the
+// A/B byte-identity baselines rely on), same streamed text — while
+// rejecting cross-type mixups at compile time.
+
+#include "base/strong_types.h"
+
+#include <cstdint>
+#include <functional>
+#include <sstream>
+#include <type_traits>
+#include <unordered_map>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+namespace strip::base {
+namespace {
+
+using TestScalar = StrongScalar<struct TestScalarTag, std::int64_t>;
+
+TEST(StrongIdTest, DefaultConstructsToZero) {
+  EXPECT_EQ(TxnId().value(), 0u);
+  EXPECT_EQ(ShardId().value(), 0);
+}
+
+TEST(StrongIdTest, EqualityAndOrderingMatchRaw) {
+  const TxnId a(3), b(3), c(7);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_LT(a, c);
+  EXPECT_GE(c, b);
+}
+
+TEST(StrongIdTest, DistinctTagsAreDistinctTypes) {
+  static_assert(!std::is_same_v<TxnId, UpdateId>);
+  static_assert(!std::is_same_v<TxnId, RngSeed>);
+  static_assert(!std::is_convertible_v<TxnId, UpdateId>);
+  static_assert(!std::is_convertible_v<std::uint64_t, TxnId>);
+  static_assert(!std::is_convertible_v<TxnId, std::uint64_t>);
+}
+
+TEST(StrongIdTest, HashForwardsToUnderlyingHash) {
+  // Identical hash values are what keep unordered containers keyed by
+  // a strong id on the exact bucket layout of the raw-keyed original.
+  for (std::uint64_t v : {0ull, 1ull, 42ull, 0xdeadbeefull}) {
+    EXPECT_EQ(std::hash<TxnId>{}(TxnId(v)), std::hash<std::uint64_t>{}(v));
+    EXPECT_EQ(StrongTypeHash{}(UpdateId(v)),
+              std::hash<std::uint64_t>{}(v));
+  }
+}
+
+TEST(StrongIdTest, UsableAsUnorderedKey) {
+  std::unordered_map<TxnId, int> by_txn;
+  by_txn[TxnId(5)] = 50;
+  by_txn[TxnId(6)] = 60;
+  EXPECT_EQ(by_txn.at(TxnId(5)), 50);
+  EXPECT_EQ(by_txn.count(TxnId(7)), 0u);
+
+  std::unordered_set<ShardId> shards{ShardId(0), ShardId(2)};
+  EXPECT_TRUE(shards.count(ShardId(2)));
+  EXPECT_FALSE(shards.count(ShardId(1)));
+}
+
+TEST(StrongIdTest, StreamsExactlyTheRawValue) {
+  std::ostringstream strong, raw;
+  strong << TxnId(123456789);
+  raw << std::uint64_t{123456789};
+  EXPECT_EQ(strong.str(), raw.str());
+}
+
+TEST(StrongIdTest, NoShardSentinel) {
+  EXPECT_EQ(kNoShard.value(), -1);
+  EXPECT_NE(kNoShard, ShardId(0));
+  EXPECT_LT(kNoShard, ShardId(0));
+}
+
+TEST(StrongScalarTest, ClosedArithmetic) {
+  TestScalar a(10), b(3);
+  EXPECT_EQ((a + b).value(), 13);
+  EXPECT_EQ((a - b).value(), 7);
+  EXPECT_EQ((b * 4).value(), 12);
+  a += b;
+  EXPECT_EQ(a.value(), 13);
+  a -= TestScalar(1);
+  EXPECT_EQ(a.value(), 12);
+}
+
+TEST(StrongScalarTest, HashAndStreamMatchRaw) {
+  EXPECT_EQ(std::hash<TestScalar>{}(TestScalar(9)),
+            std::hash<std::int64_t>{}(9));
+  std::ostringstream os;
+  os << TestScalar(-4);
+  EXPECT_EQ(os.str(), "-4");
+}
+
+TEST(StrongTypesTest, LayoutIsExactlyTheRawType) {
+  static_assert(sizeof(TxnId) == sizeof(std::uint64_t));
+  static_assert(sizeof(RngSeed) == sizeof(std::uint64_t));
+  static_assert(sizeof(ShardId) == sizeof(int));
+  static_assert(alignof(TxnId) == alignof(std::uint64_t));
+  static_assert(std::is_trivially_copyable_v<UpdateId>);
+  static_assert(std::is_trivially_copyable_v<TestScalar>);
+  static_assert(std::is_standard_layout_v<RngSeed>);
+}
+
+}  // namespace
+}  // namespace strip::base

@@ -20,7 +20,7 @@ namespace {
 std::string TelemetryJson(const core::Config& config, std::uint64_t seed,
                           bool with_audit) {
   sim::Simulator simulator;
-  core::System system(&simulator, config, seed);
+  core::System system(&simulator, config, base::RngSeed(seed));
   obs::RunTelemetry::Options options;
   options.seed = seed;
   obs::RunTelemetry telemetry(&system, options);

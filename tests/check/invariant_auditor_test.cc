@@ -31,7 +31,7 @@ using PreemptReason = SystemObserver::PreemptReason;
 db::Update MakeUpdate(std::uint64_t id, int index = 0,
                       double generation = 0.0) {
   db::Update update;
-  update.id = id;
+  update.id = base::UpdateId(id);
   update.object = db::ObjectId{db::ObjectClass::kLowImportance, index};
   update.generation_time = generation;
   update.arrival_time = generation;
@@ -40,7 +40,7 @@ db::Update MakeUpdate(std::uint64_t id, int index = 0,
 
 std::unique_ptr<txn::Transaction> MakeTxn(std::uint64_t id) {
   txn::Transaction::Params params;
-  params.id = id;
+  params.id = base::TxnId(id);
   params.value = 1.0;
   params.deadline = 100.0;
   params.computation_instructions = 1000.0;
@@ -407,7 +407,7 @@ TEST(AuditorSeededTest, ViolationCapKeepsCounting) {
 core::RunMetrics RunAudited(const core::Config& config, std::uint64_t seed,
                             InvariantAuditor& auditor) {
   sim::Simulator simulator;
-  core::System system(&simulator, config, seed);
+  core::System system(&simulator, config, base::RngSeed(seed));
   auditor.set_system(&system);
   system.AddObserver(&auditor);
   return system.Run();
@@ -481,7 +481,7 @@ TEST(AuditorRealRunTest, AuditorDoesNotPerturbMetrics) {
   config.alpha = 0.5;
 
   sim::Simulator bare_sim;
-  core::System bare(&bare_sim, config, 5);
+  core::System bare(&bare_sim, config, base::RngSeed(5));
   const core::RunMetrics plain = bare.Run();
 
   InvariantAuditor auditor;

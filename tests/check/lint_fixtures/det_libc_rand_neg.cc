@@ -1,0 +1,12 @@
+// Fixture: none of these uses of "rand" is the libc call.
+// A comment saying rand() or srand() must not trip the lexer-backed
+// rules the way it tripped the old grep.
+
+int Draw(const Dice& dice, int bound) {
+  const char* doc = "call rand() never";  // string contents stripped
+  int a = mylib::rand(bound);             // qualified away
+  int b = dice.rand();                    // member access
+  int c = this->rand();                   // member access via pointer
+  RandomStream random(7);                 // declaration, not random()
+  return a + b + c + doc[0] + random.UniformInt(1, 6);
+}

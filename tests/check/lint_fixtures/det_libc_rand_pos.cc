@@ -1,0 +1,10 @@
+// Fixture: every libc random-family call shape must be flagged.
+#include <cstdlib>
+
+int Draw() {
+  srand(42);
+  int a = rand() % 6;
+  double b = drand48();
+  long c = random();
+  return a + static_cast<int>(b) + static_cast<int>(c);
+}

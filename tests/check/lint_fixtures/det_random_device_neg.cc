@@ -1,0 +1,9 @@
+// Fixture: random_device mentioned in comments, strings, or foreign
+// namespaces is not std::random_device.
+
+int Seed() {
+  const char* hint = "std::random_device is banned here";
+  fake::random_device stub;  // foreign namespace, qualified away
+  (void)stub;
+  return hint[0];
+}

@@ -1,0 +1,7 @@
+// Fixture: hardware entropy must be flagged wherever it appears.
+#include <random>
+
+unsigned Seed() {
+  std::random_device entropy;
+  return entropy();
+}

@@ -1,0 +1,13 @@
+// Fixture: references and Fork()ed children are the legal shapes.
+#include "sim/random.h"
+
+using strip::sim::RandomStream;
+
+double DrawTwice(RandomStream& rng) { return rng.Uniform() + rng.Uniform(); }
+
+double Observe(const RandomStream& rng) { return rng.Peek(); }
+
+double Run(RandomStream& parent) {
+  RandomStream child(parent.Fork());  // independent child stream
+  return DrawTwice(child);
+}

@@ -1,0 +1,12 @@
+// Fixture: both RandomStream copy shapes must be flagged.
+#include "sim/random.h"
+
+using strip::sim::RandomStream;
+
+// By-value parameter: the callee replays the caller's stream.
+double DrawTwice(RandomStream rng) { return rng.Uniform() + rng.Uniform(); }
+
+double Run(RandomStream& parent) {
+  RandomStream sibling = parent;  // copy-init: both replay the same draws
+  return sibling.Uniform();
+}

@@ -1,0 +1,12 @@
+// Fixture: iterates a member whose unordered declaration is only in
+// the companion header — flagged only when the header is supplied via
+// LintOptions::companion_sources.
+#include "det_unordered_iter_companion.h"
+
+int Registry::Sum() const {
+  int total = 0;
+  for (const auto& kv : by_name_) {
+    total += kv.second;
+  }
+  return total;
+}

@@ -1,0 +1,10 @@
+// Fixture companion header: the unordered member is declared HERE; the
+// loop over it lives in det_unordered_iter_companion.cc. The linter
+// must seed the name set from this header to catch that loop.
+#include <string>
+#include <unordered_map>
+
+struct Registry {
+  std::unordered_map<std::string, int> by_name_;
+  int Sum() const;
+};

@@ -1,0 +1,24 @@
+// Fixture: ordered containers and sorted-copy loops are legal.
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+struct Census {
+  std::unordered_map<int, int> counts_;
+  std::map<int, int> ordered_;
+  std::vector<int> rows_;
+
+  int Sum() const {
+    int total = 0;
+    for (const auto& kv : ordered_) {  // std::map iterates sorted
+      total += kv.second;
+    }
+    for (int row : rows_) {  // vector order is insertion order
+      total += row;
+    }
+    for (const auto& kv : SortedCopy(counts_)) {  // call materializes order
+      total += kv.second;
+    }
+    return total;
+  }
+};

@@ -1,0 +1,20 @@
+// Fixture: both loop shapes over a locally-declared unordered
+// container must be flagged.
+#include <unordered_map>
+#include <unordered_set>
+
+struct Census {
+  std::unordered_map<int, int> counts_;
+  std::unordered_set<long> seen_;
+
+  int Sum() const {
+    int total = 0;
+    for (const auto& kv : counts_) {  // range-for over unordered member
+      total += kv.second;
+    }
+    for (auto it = seen_.begin(); it != seen_.end(); ++it) {  // iterator walk
+      total += static_cast<int>(*it);
+    }
+    return total;
+  }
+};

@@ -1,0 +1,9 @@
+// Fixture: simulated time and near-miss shapes are not wall-clock
+// reads. system_clock::now() in this comment must not count.
+
+double Now(const Simulator& simulator, int shard) {
+  double t = simulator.time();       // member access, simulated clock
+  double u = clock.time(shard);      // time(...) but not time(nullptr)
+  const char* doc = "time(nullptr)"; // string contents stripped
+  return t + u + doc[0];
+}

@@ -1,0 +1,15 @@
+// Fixture: all three wall-clock read shapes must be flagged.
+#include <chrono>
+#include <ctime>
+#include <sys/time.h>
+
+long Now() {
+  auto a = std::chrono::system_clock::now();
+  auto b = std::chrono::steady_clock::now();
+  std::time_t c = time(nullptr);
+  struct timeval tv;
+  gettimeofday(&tv, nullptr);
+  (void)a;
+  (void)b;
+  return static_cast<long>(c) + tv.tv_sec;
+}

@@ -1,0 +1,8 @@
+// Fixture: integer compares and epsilon compares are legal.
+#include <cmath>
+
+bool Check(int count, double x) {
+  if (count == 1) return true;               // integer literal
+  if (count != 0x10) return false;           // hex integer
+  return std::fabs(x - 1.0) < 1e-9;          // epsilon compare, no ==
+}

@@ -1,0 +1,8 @@
+// Fixture (src/-only rule): exact-bit compares against float literals.
+
+bool AtUnity(double cpu_factor, float ratio) {
+  if (cpu_factor == 1.0) return true;   // lhs variable, rhs float literal
+  if (0.5f != ratio) return false;      // lhs float literal
+  if (ratio == 1e-3) return false;      // exponent form
+  return ratio == 0x1p-4;               // hex-float form
+}

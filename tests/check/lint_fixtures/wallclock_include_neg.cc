@@ -1,0 +1,7 @@
+// Fixture: ordinary headers, and banned ones only in comments or
+// strings, are legal. Do not include <chrono> here — and that mention
+// must not count.
+#include <string>
+#include <vector>
+
+const char* Doc() { return "#include <ctime> would be flagged"; }

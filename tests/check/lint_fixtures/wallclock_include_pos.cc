@@ -1,0 +1,7 @@
+// Fixture (src/-only rule): every banned wall-clock header.
+#include <chrono>
+#include <ctime>
+#include <sys/time.h>
+#include <time.h>
+
+int Unused() { return 0; }

@@ -1,0 +1,291 @@
+// Tests for the determinism linter (src/check/lint/): the lexer's
+// code-only token stream, every rule against its fixture corpus under
+// tests/check/lint_fixtures/ (one positive and one negative file per
+// rule), and the justified-allowlist parser. The full-tree self-scan
+// runs separately as the `lint.selfscan` ctest entry.
+
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "check/lint/lexer.h"
+#include "check/lint/rules.h"
+
+namespace strip::check::lint {
+namespace {
+
+std::string ReadFixture(const std::string& name) {
+  const std::string path =
+      std::string(STRIP_TEST_SOURCE_DIR) + "/check/lint_fixtures/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << "missing fixture " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+int CountRule(const std::vector<Finding>& findings, const std::string& rule) {
+  int n = 0;
+  for (const Finding& f : findings) {
+    if (f.rule == rule) ++n;
+  }
+  return n;
+}
+
+std::vector<Finding> LintFixture(const std::string& name,
+                                 bool in_src_tree = false) {
+  LintOptions options;
+  options.in_src_tree = in_src_tree;
+  return LintSource(name, ReadFixture(name), options);
+}
+
+// --- lexer ------------------------------------------------------------------
+
+TEST(LintLexerTest, CommentsNeverBecomeTokens) {
+  const auto tokens = Lex("int a; // rand() in a comment\n/* srand */ int b;");
+  for (const Token& t : tokens) {
+    EXPECT_NE(t.text, "rand");
+    EXPECT_NE(t.text, "srand");
+  }
+}
+
+TEST(LintLexerTest, StringAndCharContentsAreStripped) {
+  const auto tokens = Lex("const char* s = \"rand()\"; char c = 'r';");
+  for (const Token& t : tokens) {
+    if (t.kind == TokenKind::kString) {
+      EXPECT_TRUE(t.text.empty());
+    }
+    EXPECT_NE(t.text, "rand");
+  }
+}
+
+TEST(LintLexerTest, RawStringContentsAreStripped) {
+  const auto tokens =
+      Lex("auto s = R\"(time(nullptr))\"; auto t = uR\"xx(rand())xx\";");
+  for (const Token& t : tokens) {
+    EXPECT_NE(t.text, "time");
+    EXPECT_NE(t.text, "rand");
+    EXPECT_NE(t.text, "nullptr");
+  }
+}
+
+TEST(LintLexerTest, IncludePathIsOneToken) {
+  const auto tokens = Lex("#include <chrono>\n#include \"db/object.h\"\n");
+  std::vector<std::string> paths;
+  for (const Token& t : tokens) {
+    if (t.kind == TokenKind::kIncludePath) paths.push_back(t.text);
+  }
+  ASSERT_EQ(paths.size(), 2u);
+  EXPECT_EQ(paths[0], "<chrono>");
+  EXPECT_EQ(paths[1], "\"db/object.h\"");
+}
+
+TEST(LintLexerTest, LineAndColumnAreOneBased) {
+  const auto tokens = Lex("int a;\n  int b;\n");
+  ASSERT_GE(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0].line, 1);
+  EXPECT_EQ(tokens[0].col, 1);
+  EXPECT_EQ(tokens[3].line, 2);  // second "int"
+  EXPECT_EQ(tokens[3].col, 3);
+}
+
+TEST(LintLexerTest, UnterminatedConstructsCloseAtEof) {
+  // Contract for fuzzing: never crash, never loop.
+  EXPECT_NO_FATAL_FAILURE(Lex("\"unterminated"));
+  EXPECT_NO_FATAL_FAILURE(Lex("/* unterminated"));
+  EXPECT_NO_FATAL_FAILURE(Lex("R\"(unterminated"));
+  EXPECT_NO_FATAL_FAILURE(Lex("'"));
+}
+
+TEST(LintLexerTest, FloatLiteralClassification) {
+  EXPECT_TRUE(IsFloatLiteral("1.0"));
+  EXPECT_TRUE(IsFloatLiteral("0.5f"));
+  EXPECT_TRUE(IsFloatLiteral("1e-3"));
+  EXPECT_TRUE(IsFloatLiteral("0x1p-4"));
+  EXPECT_FALSE(IsFloatLiteral("1"));
+  EXPECT_FALSE(IsFloatLiteral("0x10"));
+  EXPECT_FALSE(IsFloatLiteral("42u"));
+}
+
+// --- rules vs. the fixture corpus -------------------------------------------
+
+TEST(LintRulesTest, LibcRandFixtures) {
+  // srand, rand, drand48, and zero-arg random() — four call sites.
+  EXPECT_EQ(CountRule(LintFixture("det_libc_rand_pos.cc"), "det-libc-rand"),
+            4);
+  EXPECT_EQ(CountRule(LintFixture("det_libc_rand_neg.cc"), "det-libc-rand"),
+            0);
+}
+
+TEST(LintRulesTest, RandomDeviceFixtures) {
+  EXPECT_GE(CountRule(LintFixture("det_random_device_pos.cc"),
+                      "det-random-device"),
+            1);
+  EXPECT_EQ(CountRule(LintFixture("det_random_device_neg.cc"),
+                      "det-random-device"),
+            0);
+}
+
+TEST(LintRulesTest, WallclockFixtures) {
+  // system_clock::now, steady_clock::now, time(nullptr), gettimeofday.
+  EXPECT_EQ(CountRule(LintFixture("det_wallclock_pos.cc"), "det-wallclock"),
+            4);
+  EXPECT_EQ(CountRule(LintFixture("det_wallclock_neg.cc"), "det-wallclock"),
+            0);
+}
+
+TEST(LintRulesTest, UnorderedIterFixtures) {
+  // One range-for and one iterator walk.
+  EXPECT_EQ(CountRule(LintFixture("det_unordered_iter_pos.cc"),
+                      "det-unordered-iter"),
+            2);
+  EXPECT_EQ(CountRule(LintFixture("det_unordered_iter_neg.cc"),
+                      "det-unordered-iter"),
+            0);
+}
+
+TEST(LintRulesTest, UnorderedIterSeesCompanionHeaderMembers) {
+  const std::string source = ReadFixture("det_unordered_iter_companion.cc");
+  // Without the header, the member's declared type is unknown.
+  EXPECT_EQ(CountRule(LintSource("companion.cc", source, {}),
+                      "det-unordered-iter"),
+            0);
+  // With it, the loop over by_name_ is caught.
+  LintOptions options;
+  options.companion_sources.push_back(
+      ReadFixture("det_unordered_iter_companion.h"));
+  EXPECT_EQ(CountRule(LintSource("companion.cc", source, options),
+                      "det-unordered-iter"),
+            1);
+}
+
+TEST(LintRulesTest, RngCopyFixtures) {
+  // One by-value parameter and one copy-init.
+  EXPECT_EQ(CountRule(LintFixture("det_rng_copy_pos.cc"), "det-rng-copy"), 2);
+  EXPECT_EQ(CountRule(LintFixture("det_rng_copy_neg.cc"), "det-rng-copy"), 0);
+}
+
+TEST(LintRulesTest, FloatEqFixtures) {
+  const auto findings = LintFixture("float_eq_pos.cc", /*in_src_tree=*/true);
+  EXPECT_EQ(CountRule(findings, "float-eq"), 4);
+  for (const Finding& f : findings) {
+    if (f.rule == "float-eq") {
+      EXPECT_EQ(f.severity, Severity::kWarning);
+    }
+  }
+  EXPECT_EQ(CountRule(LintFixture("float_eq_neg.cc", /*in_src_tree=*/true),
+                      "float-eq"),
+            0);
+}
+
+TEST(LintRulesTest, WallclockIncludeFixtures) {
+  EXPECT_EQ(CountRule(LintFixture("wallclock_include_pos.cc",
+                                  /*in_src_tree=*/true),
+                      "wallclock-include"),
+            4);
+  EXPECT_EQ(CountRule(LintFixture("wallclock_include_neg.cc",
+                                  /*in_src_tree=*/true),
+                      "wallclock-include"),
+            0);
+}
+
+TEST(LintRulesTest, SrcOnlyRulesAreGatedOffOutsideSrc) {
+  EXPECT_EQ(LintFixture("float_eq_pos.cc", /*in_src_tree=*/false).size(), 0u);
+  EXPECT_EQ(
+      CountRule(LintFixture("wallclock_include_pos.cc", /*in_src_tree=*/false),
+                "wallclock-include"),
+      0);
+}
+
+TEST(LintRulesTest, FindingsAreSortedByPosition) {
+  const auto findings = LintFixture("det_wallclock_pos.cc");
+  for (std::size_t i = 1; i < findings.size(); ++i) {
+    EXPECT_TRUE(findings[i - 1].line < findings[i].line ||
+                (findings[i - 1].line == findings[i].line &&
+                 findings[i - 1].col <= findings[i].col));
+  }
+}
+
+TEST(LintRulesTest, EveryRuleHasAFixturePair) {
+  // The corpus convention: <rule-with-dashes-as-underscores>_{pos,neg}.cc.
+  std::set<std::string> ids;
+  for (const RuleInfo& rule : Rules()) ids.insert(rule.id);
+  EXPECT_EQ(ids.size(), 7u);
+  for (const RuleInfo& rule : Rules()) {
+    std::string stem = rule.id;
+    for (char& c : stem) {
+      if (c == '-') c = '_';
+    }
+    EXPECT_FALSE(ReadFixture(stem + "_pos.cc").empty()) << rule.id;
+    EXPECT_FALSE(ReadFixture(stem + "_neg.cc").empty()) << rule.id;
+  }
+}
+
+// --- allowlist --------------------------------------------------------------
+
+TEST(LintAllowlistTest, ParsesJustifiedEntries) {
+  Allowlist allowlist;
+  const std::string error = ParseAllowlist(
+      "# comment\n"
+      "\n"
+      "exp/experiment.cc:det-wallclock -- RunBudget bounds wall time\n"
+      "core/system.h:float-eq -- sentinel compare is the point\n",
+      &allowlist);
+  EXPECT_EQ(error, "");
+  ASSERT_EQ(allowlist.entries.size(), 2u);
+  EXPECT_EQ(allowlist.entries[0].path, "exp/experiment.cc");
+  EXPECT_EQ(allowlist.entries[0].rule, "det-wallclock");
+  EXPECT_EQ(allowlist.entries[0].justification,
+            "RunBudget bounds wall time");
+  EXPECT_EQ(allowlist.entries[0].line, 3);
+  EXPECT_FALSE(allowlist.entries[0].used);
+}
+
+TEST(LintAllowlistTest, JustificationIsMandatory) {
+  Allowlist allowlist;
+  EXPECT_NE(ParseAllowlist("core/system.h:float-eq\n", &allowlist), "");
+  EXPECT_NE(ParseAllowlist("core/system.h:float-eq -- \n", &allowlist), "");
+}
+
+TEST(LintAllowlistTest, UnknownRuleIsAnError) {
+  Allowlist allowlist;
+  EXPECT_NE(ParseAllowlist("a.cc:no-such-rule -- why\n", &allowlist), "");
+}
+
+TEST(LintAllowlistTest, LegacyGrepTagsAreTranslated) {
+  Allowlist allowlist;
+  const std::string error = ParseAllowlist(
+      "a.cc:rand -- x\n"
+      "b.cc:random_device -- x\n"
+      "c.cc:wallclock -- x\n"
+      "d.cc:unordered-iter -- x\n",
+      &allowlist);
+  EXPECT_EQ(error, "");
+  ASSERT_EQ(allowlist.entries.size(), 4u);
+  EXPECT_EQ(allowlist.entries[0].rule, "det-libc-rand");
+  EXPECT_EQ(allowlist.entries[1].rule, "det-random-device");
+  EXPECT_EQ(allowlist.entries[2].rule, "det-wallclock");
+  EXPECT_EQ(allowlist.entries[3].rule, "det-unordered-iter");
+}
+
+TEST(LintAllowlistTest, ApplyDropsMatchesAndMarksUsed) {
+  Allowlist allowlist;
+  ASSERT_EQ(ParseAllowlist(
+                "wallclock_pos:det-wallclock -- fixture exception\n"
+                "never_matches.cc:float-eq -- dead entry\n",
+                &allowlist),
+            "");
+  auto findings = LintFixture("det_wallclock_pos.cc");
+  ASSERT_GT(findings.size(), 0u);
+  const auto kept = ApplyAllowlist(std::move(findings), &allowlist);
+  EXPECT_EQ(CountRule(kept, "det-wallclock"), 0);
+  EXPECT_TRUE(allowlist.entries[0].used);
+  EXPECT_FALSE(allowlist.entries[1].used);  // dead — the driver reports it
+}
+
+}  // namespace
+}  // namespace strip::check::lint

@@ -46,14 +46,14 @@ TEST(ClusterIdentityTest, SingleShardMatchesSystemForEveryPolicyAndCriterion) {
                    db::StalenessCriterionName(staleness));
 
       sim::Simulator direct_sim;
-      System system(&direct_sim, config, /*seed=*/7);
+      System system(&direct_sim, config, base::RngSeed(/*seed=*/7));
       const RunMetrics direct = system.Run();
 
       ShardedConfig sharded;
       sharded.base = config;
       sharded.shards = 1;
       sim::Simulator cluster_sim;
-      Cluster cluster(&cluster_sim, sharded, /*seed=*/7);
+      Cluster cluster(&cluster_sim, sharded, base::RngSeed(/*seed=*/7));
       const RunMetrics via_cluster = cluster.Run();
 
       // Byte-identical summary catches any drift in any rendered
@@ -85,13 +85,13 @@ TEST(ClusterIdentityTest, SingleShardSliceAndHaltMatchSystem) {
       BaselineConfig(PolicyKind::kOnDemand, db::StalenessCriterion::kMaxAge);
 
   sim::Simulator direct_sim;
-  System system(&direct_sim, config, /*seed=*/3);
+  System system(&direct_sim, config, base::RngSeed(/*seed=*/3));
   const RunMetrics direct = system.Run();
 
   ShardedConfig sharded;
   sharded.base = config;
   sim::Simulator cluster_sim;
-  Cluster cluster(&cluster_sim, sharded, /*seed=*/3);
+  Cluster cluster(&cluster_sim, sharded, base::RngSeed(/*seed=*/3));
   int slices = 0;
   while (!cluster.RunSlice(1.5)) ++slices;
   EXPECT_GE(slices, 12);
@@ -105,11 +105,11 @@ TEST(ClusterIdentityTest, ShardedSliceMatchesShardedRun) {
   sharded.shards = 3;
 
   sim::Simulator run_sim;
-  Cluster whole(&run_sim, sharded, /*seed=*/11);
+  Cluster whole(&run_sim, sharded, base::RngSeed(/*seed=*/11));
   const RunMetrics unsliced = whole.Run();
 
   sim::Simulator slice_sim;
-  Cluster sliced(&slice_sim, sharded, /*seed=*/11);
+  Cluster sliced(&slice_sim, sharded, base::RngSeed(/*seed=*/11));
   while (!sliced.RunSlice(0.7)) {
   }
   EXPECT_EQ(unsliced.ToString(), sliced.metrics().ToString());
@@ -127,11 +127,11 @@ TEST(ClusterIdentityTest, ShardedRunIsDeterministic) {
   sharded.placement = db::PlacementKind::kRange;
 
   sim::Simulator sim_a;
-  Cluster a(&sim_a, sharded, /*seed=*/5);
+  Cluster a(&sim_a, sharded, base::RngSeed(/*seed=*/5));
   const RunMetrics first = a.Run();
 
   sim::Simulator sim_b;
-  Cluster b(&sim_b, sharded, /*seed=*/5);
+  Cluster b(&sim_b, sharded, base::RngSeed(/*seed=*/5));
   const RunMetrics second = b.Run();
 
   EXPECT_EQ(first.ToString(), second.ToString());

@@ -30,7 +30,7 @@ txn::Transaction::Params SimpleTxn(std::uint64_t id, sim::Time arrival,
                                    sim::Time deadline,
                                    std::vector<db::ObjectId> reads) {
   txn::Transaction::Params p;
-  p.id = id;
+  p.id = base::TxnId(id);
   p.cls = txn::TxnClass::kHighValue;
   p.value = 2.0;
   p.arrival_time = arrival;
@@ -78,7 +78,7 @@ struct AuditStack {
 TEST(ClusterTest, TransactionTouchingEveryShardCommits) {
   const int kShards = 4;
   sim::Simulator sim;
-  Cluster cluster(&sim, ExternalCluster(kShards), /*seed=*/1);
+  Cluster cluster(&sim, ExternalCluster(kShards), base::RngSeed(/*seed=*/1));
   AuditStack audit(cluster);
 
   // Hash placement: global {kLow, i} lives on shard i % 4, so reads of
@@ -113,7 +113,7 @@ TEST(ClusterTest, TransactionTouchingEveryShardCommits) {
 
 TEST(ClusterTest, DeadlineDuringRemoteWaitOrphansTheReply) {
   sim::Simulator sim;
-  Cluster cluster(&sim, ExternalCluster(2), /*seed=*/1);
+  Cluster cluster(&sim, ExternalCluster(2), base::RngSeed(/*seed=*/1));
   AuditStack audit(cluster);
 
   // Shard 1's CPU is pinned by a 1-second local transaction from
@@ -155,7 +155,7 @@ TEST(ClusterTest, RemoteShardMidOutageStaysConserved) {
   sharded.shard_faults = {"", "outage@5+8:speedup=2;cpu@16+6:factor=0.5"};
 
   sim::Simulator sim;
-  Cluster cluster(&sim, sharded, /*seed=*/9);
+  Cluster cluster(&sim, sharded, base::RngSeed(/*seed=*/9));
   AuditStack audit(cluster);
   const RunMetrics m = cluster.Run();
 
@@ -187,7 +187,7 @@ TEST(ClusterTest, GovernorOnRemoteShardOnly) {
   sharded.feed_hot_fraction = 0.9;
 
   sim::Simulator sim;
-  Cluster cluster(&sim, sharded, /*seed=*/4);
+  Cluster cluster(&sim, sharded, base::RngSeed(/*seed=*/4));
   AuditStack audit(cluster);
   const RunMetrics m = cluster.Run();
 
@@ -217,7 +217,7 @@ TEST(ClusterTest, PlacementChurnConservesUpdatesPerShard) {
         sharded.placement = placement;
 
         sim::Simulator sim;
-        Cluster cluster(&sim, sharded, seed);
+        Cluster cluster(&sim, sharded, base::RngSeed(seed));
         AuditStack audit(cluster);
         const RunMetrics m = cluster.Run();
 

@@ -194,8 +194,8 @@ INSTANTIATE_TEST_SUITE_P(
                       [](Config& c) { c.faults = "meteor@1+2"; }},
         BadConfigCase{"fault_spec_missing_probability",
                       [](Config& c) { c.faults = "loss@1+2"; }}),
-    [](const ::testing::TestParamInfo<BadConfigCase>& info) {
-      return info.param.name;
+    [](const ::testing::TestParamInfo<BadConfigCase>& param_info) {
+      return param_info.param.name;
     });
 
 TEST(ConfigTest, FaultSpecValidation) {

@@ -26,7 +26,7 @@ txn::Transaction::Params SimpleTxn(std::uint64_t id, sim::Time arrival,
                                    sim::Time deadline,
                                    std::vector<db::ObjectId> reads) {
   txn::Transaction::Params p;
-  p.id = id;
+  p.id = base::TxnId(id);
   p.cls = txn::TxnClass::kHighValue;
   p.value = 2.0;
   p.arrival_time = arrival;
@@ -83,7 +83,7 @@ TEST(InterconnectTest, LinkLatencyDelaysTheRendezvous) {
   ShardedConfig config = ExternalCluster(2);
   config.link_latency_us = 1000.0;  // 1 ms each way
   sim::Simulator sim;
-  Cluster cluster(&sim, config, /*seed=*/1);
+  Cluster cluster(&sim, config, base::RngSeed(/*seed=*/1));
   AuditStack audit(cluster);
 
   sim.ScheduleAt(1.0, [&] {
@@ -111,7 +111,7 @@ TEST(InterconnectTest, PartitionRecoveredByRetry) {
   config.base.remote_retry_max = 5;
   config.cluster_faults = "partition@0.5+1:shards=0";
   sim::Simulator sim;
-  Cluster cluster(&sim, config, /*seed=*/1);
+  Cluster cluster(&sim, config, base::RngSeed(/*seed=*/1));
   AuditStack audit(cluster);
 
   sim.ScheduleAt(1.0, [&] {
@@ -144,7 +144,7 @@ TEST(InterconnectTest, ExhaustionFallsBackToDegradedStaleRead) {
   config.base.remote_fallback = RemoteFallback::kStale;
   config.cluster_faults = "partition@0.5+4:shards=0";
   sim::Simulator sim;
-  Cluster cluster(&sim, config, /*seed=*/1);
+  Cluster cluster(&sim, config, base::RngSeed(/*seed=*/1));
   AuditStack audit(cluster);
 
   sim.ScheduleAt(1.0, [&] {
@@ -171,7 +171,7 @@ TEST(InterconnectTest, ExhaustionAbortsUnderAbortFallback) {
   config.base.remote_fallback = RemoteFallback::kAbort;
   config.cluster_faults = "partition@0.5+4:shards=0";
   sim::Simulator sim;
-  Cluster cluster(&sim, config, /*seed=*/1);
+  Cluster cluster(&sim, config, base::RngSeed(/*seed=*/1));
   AuditStack audit(cluster);
 
   sim.ScheduleAt(1.0, [&] {
@@ -194,7 +194,7 @@ TEST(InterconnectTest, ZeroTimeoutWaitsForeverLikeBefore) {
   ShardedConfig config = ExternalCluster(2);
   config.cluster_faults = "partition@0.5+4:shards=0";
   sim::Simulator sim;
-  Cluster cluster(&sim, config, /*seed=*/1);
+  Cluster cluster(&sim, config, base::RngSeed(/*seed=*/1));
   AuditStack audit(cluster);
 
   sim.ScheduleAt(1.0, [&] {
@@ -222,7 +222,7 @@ TEST(InterconnectTest, DeadlineBoundsTheRetrySchedule) {
   config.base.remote_fallback = RemoteFallback::kStale;
   config.cluster_faults = "partition@0.5+4:shards=0";
   sim::Simulator sim;
-  Cluster cluster(&sim, config, /*seed=*/1);
+  Cluster cluster(&sim, config, base::RngSeed(/*seed=*/1));
   AuditStack audit(cluster);
 
   // Deadline 1.5: timers at 1.05 (+0.05) and 1.25 (+0.2) fit, but the
@@ -256,7 +256,7 @@ TEST(InterconnectTest, SteadyLossAuditsCleanAcrossSeeds) {
     config.base.remote_timeout_s = 0.05;
     config.base.remote_fallback = RemoteFallback::kStale;
     sim::Simulator sim;
-    Cluster cluster(&sim, config, seed);
+    Cluster cluster(&sim, config, base::RngSeed(seed));
     AuditStack audit(cluster);
     const RunMetrics m = cluster.Run();
     EXPECT_GT(m.remote_reads_issued, 0u) << "seed " << seed;
@@ -270,7 +270,7 @@ TEST(InterconnectTest, InertConfigMatchesPerfectFabric) {
   // interconnect knobs produce metrics identical to the defaults.
   auto run = [](const ShardedConfig& config) {
     sim::Simulator sim;
-    Cluster cluster(&sim, config, /*seed=*/3);
+    Cluster cluster(&sim, config, base::RngSeed(/*seed=*/3));
     return cluster.Run();
   };
   ShardedConfig plain;

@@ -237,7 +237,7 @@ class PhaseAndStaleProbe : public SystemObserver {
   void OnStaleRead(sim::Time now, const txn::Transaction& transaction,
                    db::ObjectId object) override {
     (void)now;
-    stale_txn_ids.push_back(transaction.id());
+    stale_txn_ids.push_back(transaction.id().value());
     stale_objects.push_back(object);
   }
 
@@ -251,7 +251,7 @@ TEST(ObserverBusTest, SystemFiresPhaseBoundaries) {
   Config config;
   config.sim_seconds = 5.0;
   config.warmup_seconds = 2.0;
-  System system(&sim, config, 7);
+  System system(&sim, config, base::RngSeed(7));
   PhaseAndStaleProbe probe;
   ScopedObserver scoped(&system.observer_bus(), &probe);
 
@@ -273,7 +273,7 @@ TEST(ObserverBusTest, SystemFiresOnStaleRead) {
   // Under MA with a tiny alpha the never-refreshed initial versions
   // are already stale when the transaction reads at t=1.
   config.alpha = 0.5;
-  System system(&sim, config, 1);
+  System system(&sim, config, base::RngSeed(1));
   PhaseAndStaleProbe probe;
   ScopedObserver scoped(&system.observer_bus(), &probe);
 
@@ -281,7 +281,7 @@ TEST(ObserverBusTest, SystemFiresOnStaleRead) {
 
   sim.ScheduleAt(1.0, [&] {
     txn::Transaction::Params p;
-    p.id = 42;
+    p.id = base::TxnId(42);
     p.cls = txn::TxnClass::kHighValue;
     p.value = 1.0;
     p.arrival_time = 1.0;

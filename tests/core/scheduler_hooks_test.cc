@@ -21,14 +21,14 @@ namespace {
 
 struct StaleReadSeen {
   sim::Time time;
-  std::uint64_t txn;
+  base::TxnId txn;
   db::ObjectId object;
 };
 
 struct OdInstallSeen {
   sim::Time time;
-  std::uint64_t txn;
-  std::uint64_t update;
+  base::TxnId txn;
+  base::UpdateId update;
   db::ObjectId object;
 };
 
@@ -101,7 +101,7 @@ class HookRecorder : public SystemObserver {
  private:
   bool span_open_ = false;
   bool have_od_apply_ = false;
-  std::uint64_t od_apply_txn_ = 0;
+  base::TxnId od_apply_txn_{};
   std::uint64_t dispatches_ = 0;
   std::uint64_t completes_ = 0;
   std::uint64_t preempts_ = 0;
@@ -120,7 +120,7 @@ TEST(SchedulerHooksTest, DispatchSpansPairUnderEveryPolicy) {
     config.sim_seconds = 10.0;
     HookRecorder recorder;
     sim::Simulator simulator;
-    System system(&simulator, config, 11);
+    System system(&simulator, config, base::RngSeed(11));
     system.AddObserver(&recorder);
     system.Run();
     SCOPED_TRACE(PolicyKindName(policy));
@@ -144,7 +144,7 @@ TEST(SchedulerHooksTest, OdHealedStaleReadFiresBothHooks) {
   config.n_high = 200;
   HookRecorder recorder;
   sim::Simulator simulator;
-  System system(&simulator, config, 7);
+  System system(&simulator, config, base::RngSeed(7));
   system.AddObserver(&recorder);
   const RunMetrics metrics = system.Run();
 

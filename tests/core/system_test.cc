@@ -9,7 +9,7 @@ namespace {
 
 RunMetrics RunSystem(const Config& config, std::uint64_t seed = 1) {
   sim::Simulator simulator;
-  System system(&simulator, config, seed);
+  System system(&simulator, config, base::RngSeed(seed));
   return system.Run();
 }
 
@@ -99,7 +99,7 @@ TEST_P(ScenarioInvariantsTest, MetricRangesAreSane) {
 TEST_P(ScenarioInvariantsTest, UpdatesAreConserved) {
   const Config config = MakeConfig();
   sim::Simulator simulator;
-  System system(&simulator, config, 1);
+  System system(&simulator, config, base::RngSeed(1));
   const RunMetrics m = system.Run();
   // Every arrived update is accounted for exactly once; one update may
   // be mid-install on the CPU when the run is cut off.
@@ -575,7 +575,7 @@ TEST(SystemStalenessCriterionTest, CombinedIsStalestOfAll) {
 TEST(SystemHistoryTest, DisabledByDefault) {
   Config config = ShortBaseline(5.0);
   sim::Simulator simulator;
-  System system(&simulator, config, 1);
+  System system(&simulator, config, base::RngSeed(1));
   system.Run();
   EXPECT_EQ(system.history(), nullptr);
 }
@@ -585,7 +585,7 @@ TEST(SystemHistoryTest, RecordsEveryInstall) {
   config.policy = PolicyKind::kUpdateFirst;
   config.history_depth = 4;
   sim::Simulator simulator;
-  System system(&simulator, config, 1);
+  System system(&simulator, config, base::RngSeed(1));
   const RunMetrics m = system.Run();
   ASSERT_NE(system.history(), nullptr);
   EXPECT_EQ(system.history()->recorded(), m.updates_installed);
@@ -606,7 +606,7 @@ TEST(SystemHistoryTest, AsOfReturnsPastVersions) {
   config.policy = PolicyKind::kUpdateFirst;
   config.history_depth = 8;
   sim::Simulator simulator;
-  System system(&simulator, config, 1);
+  System system(&simulator, config, base::RngSeed(1));
   system.Run();
   // Find an object with several versions and check as-of ordering.
   for (int i = 0; i < config.n_low; ++i) {
@@ -745,7 +745,7 @@ TEST(SystemDedupTest, ConservationStillHolds) {
   config.lambda_t = 15;
   config.dedup_update_queue = true;
   sim::Simulator simulator;
-  System system(&simulator, config, 1);
+  System system(&simulator, config, base::RngSeed(1));
   const RunMetrics m = system.Run();
   const std::uint64_t accounted =
       m.updates_dropped_os_full + m.updates_dropped_uq_overflow +
@@ -760,13 +760,13 @@ TEST(SystemDeathTest, InvalidConfigDiesAtConstruction) {
   sim::Simulator simulator;
   Config config;
   config.lambda_t = 0;
-  EXPECT_DEATH(System(&simulator, config, 1), "positive");
+  EXPECT_DEATH(System(&simulator, config, base::RngSeed(1)), "positive");
 }
 
 TEST(SystemDeathTest, RunTwiceDies) {
   sim::Simulator simulator;
   Config config = ShortBaseline(5.0);
-  System system(&simulator, config, 1);
+  System system(&simulator, config, base::RngSeed(1));
   system.Run();
   EXPECT_DEATH(system.Run(), "twice");
 }

@@ -14,7 +14,7 @@ namespace {
 std::unique_ptr<txn::Transaction> MakeTxn(txn::TxnOutcome outcome,
                                           int stale_reads) {
   txn::Transaction::Params p;
-  p.id = 42;
+  p.id = base::TxnId(42);
   p.cls = txn::TxnClass::kHighValue;
   p.value = 2.5;
   p.arrival_time = 1.0;
@@ -28,7 +28,7 @@ std::unique_ptr<txn::Transaction> MakeTxn(txn::TxnOutcome outcome,
 
 db::Update MakeUpdate() {
   db::Update u;
-  u.id = 7;
+  u.id = base::UpdateId(7);
   u.object = {db::ObjectClass::kLowImportance, 3};
   u.generation_time = 1.5;
   return u;
@@ -135,7 +135,7 @@ TEST(TraceWriterTest, SystemIntegrationCountsMatchMetrics) {
   TraceWriter writer(&out, options);
 
   sim::Simulator simulator;
-  System system(&simulator, config, 3);
+  System system(&simulator, config, base::RngSeed(3));
   system.AddObserver(&writer);
   const RunMetrics m = system.Run();
 

@@ -8,7 +8,7 @@ namespace {
 Update MakeUpdate(ObjectId object, sim::Time generation, double value = 1.0) {
   static std::uint64_t next_id = 0;
   Update u;
-  u.id = ++next_id;
+  u.id = base::UpdateId(++next_id);
   u.object = object;
   u.generation_time = generation;
   u.arrival_time = generation + 0.1;

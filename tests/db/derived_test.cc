@@ -12,7 +12,7 @@ using Aggregation = DerivedRegistry::Aggregation;
 Update MakeUpdate(std::uint64_t id, ObjectId object, sim::Time generation,
                   double value) {
   Update u;
-  u.id = id;
+  u.id = base::UpdateId(id);
   u.object = object;
   u.generation_time = generation;
   u.arrival_time = generation;
@@ -100,7 +100,7 @@ TEST(DerivedRegistryTest, FresheningUpdatesAnswersTheOdQuestion) {
 
   const auto updates = registry.FresheningUpdates(id, database, queue);
   ASSERT_EQ(updates.size(), 1u);
-  EXPECT_EQ(updates[0].id, 11u);  // the newest worthy one for input 0
+  EXPECT_EQ(updates[0].id.value(), 11u);  // the newest worthy one for input 0
 }
 
 TEST(DerivedRegistryTest, UuStalenessPropagates) {

@@ -7,7 +7,7 @@ namespace {
 
 Update MakeUpdate(std::uint64_t id) {
   Update u;
-  u.id = id;
+  u.id = base::UpdateId(id);
   u.object = {ObjectClass::kLowImportance, 0};
   u.generation_time = static_cast<sim::Time>(id);
   return u;
@@ -26,15 +26,15 @@ TEST(OsQueueTest, FifoOrder) {
   EXPECT_TRUE(queue.Push(MakeUpdate(1)));
   EXPECT_TRUE(queue.Push(MakeUpdate(2)));
   EXPECT_TRUE(queue.Push(MakeUpdate(3)));
-  EXPECT_EQ(queue.Pop()->id, 1u);
-  EXPECT_EQ(queue.Pop()->id, 2u);
-  EXPECT_EQ(queue.Pop()->id, 3u);
+  EXPECT_EQ(queue.Pop()->id.value(), 1u);
+  EXPECT_EQ(queue.Pop()->id.value(), 2u);
+  EXPECT_EQ(queue.Pop()->id.value(), 3u);
 }
 
 TEST(OsQueueTest, PeekDoesNotRemove) {
   OsQueue queue(4);
   queue.Push(MakeUpdate(7));
-  EXPECT_EQ(queue.Peek()->id, 7u);
+  EXPECT_EQ(queue.Peek()->id.value(), 7u);
   EXPECT_EQ(queue.size(), 1u);
 }
 
@@ -46,7 +46,7 @@ TEST(OsQueueTest, OverflowDropsArrival) {
   EXPECT_EQ(queue.size(), 2u);
   EXPECT_EQ(queue.overflow_drops(), 1u);
   // The queued entries are untouched by the failed push.
-  EXPECT_EQ(queue.Pop()->id, 1u);
+  EXPECT_EQ(queue.Pop()->id.value(), 1u);
 }
 
 TEST(OsQueueTest, SpaceFreedByPopIsReusable) {
@@ -55,7 +55,7 @@ TEST(OsQueueTest, SpaceFreedByPopIsReusable) {
   EXPECT_FALSE(queue.Push(MakeUpdate(2)));
   queue.Pop();
   EXPECT_TRUE(queue.Push(MakeUpdate(3)));
-  EXPECT_EQ(queue.Pop()->id, 3u);
+  EXPECT_EQ(queue.Pop()->id.value(), 3u);
 }
 
 TEST(OsQueueTest, MaxSizeAccessor) {

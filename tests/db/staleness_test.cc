@@ -13,7 +13,7 @@ constexpr ObjectId kHighObj{ObjectClass::kHighImportance, 0};
 Update MakeUpdate(std::uint64_t id, sim::Time generation,
                   ObjectId object = kObj) {
   Update u;
-  u.id = id;
+  u.id = base::UpdateId(id);
   u.object = object;
   u.generation_time = generation;
   u.arrival_time = generation;

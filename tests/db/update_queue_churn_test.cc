@@ -169,14 +169,14 @@ TEST(UpdateQueueChurnTest, MatchesReferenceOverRandomizedChurn) {
       // common; times within [now - 2, now] mix near-sorted and
       // out-of-order arrivals.
       Update update;
-      update.id = next_id++;
+      update.id = base::UpdateId(next_id++);
       update.object = {rng() % 2 == 0 ? ObjectClass::kLowImportance
                                       : ObjectClass::kHighImportance,
                        static_cast<int>(rng() % 40)};
       update.generation_time =
           now - static_cast<double>(rng() % 16) * 0.125;
       update.arrival_time = now;
-      update.value = static_cast<double>(update.id);
+      update.value = static_cast<double>(update.id.value());
       const auto evicted = queue.Push(update);
       const auto expected = reference.Push(update);
       ASSERT_EQ(evicted.size(), expected.size());
@@ -250,7 +250,7 @@ TEST(UpdateQueueChurnTest, SortedStreamOverflowKeepsNewest) {
   std::uint64_t id = 0;
   for (int i = 0; i < 100000; ++i) {
     Update update;
-    update.id = ++id;
+    update.id = base::UpdateId(++id);
     update.object = {ObjectClass::kLowImportance, static_cast<int>(i % 10)};
     update.generation_time = static_cast<double>(i);
     const auto evicted = queue.Push(update);
@@ -258,7 +258,7 @@ TEST(UpdateQueueChurnTest, SortedStreamOverflowKeepsNewest) {
       EXPECT_TRUE(evicted.empty());
     } else {
       ASSERT_EQ(evicted.size(), 1u);
-      EXPECT_EQ(evicted[0].id, id - kBound);
+      EXPECT_EQ(evicted[0].id.value(), id - kBound);
     }
   }
   EXPECT_EQ(queue.size(), kBound);
@@ -268,7 +268,7 @@ TEST(UpdateQueueChurnTest, SortedStreamOverflowKeepsNewest) {
        ++expect) {
     auto popped = queue.PopOldest();
     ASSERT_TRUE(popped.has_value());
-    EXPECT_EQ(popped->id, expect);
+    EXPECT_EQ(popped->id.value(), expect);
   }
   EXPECT_TRUE(queue.empty());
 }

@@ -14,7 +14,7 @@ namespace {
 Update MakeUpdate(std::uint64_t id, sim::Time generation,
                   ObjectId object = {ObjectClass::kLowImportance, 0}) {
   Update u;
-  u.id = id;
+  u.id = base::UpdateId(id);
   u.object = object;
   u.generation_time = generation;
   u.arrival_time = generation + 0.1;
@@ -35,9 +35,9 @@ TEST(UpdateQueueTest, PopOldestFollowsGenerationOrder) {
   queue.Push(MakeUpdate(1, 3.0));
   queue.Push(MakeUpdate(2, 1.0));
   queue.Push(MakeUpdate(3, 2.0));
-  EXPECT_EQ(queue.PopOldest()->id, 2u);
-  EXPECT_EQ(queue.PopOldest()->id, 3u);
-  EXPECT_EQ(queue.PopOldest()->id, 1u);
+  EXPECT_EQ(queue.PopOldest()->id.value(), 2u);
+  EXPECT_EQ(queue.PopOldest()->id.value(), 3u);
+  EXPECT_EQ(queue.PopOldest()->id.value(), 1u);
 }
 
 TEST(UpdateQueueTest, PopNewestIsReverseGenerationOrder) {
@@ -45,9 +45,9 @@ TEST(UpdateQueueTest, PopNewestIsReverseGenerationOrder) {
   queue.Push(MakeUpdate(1, 3.0));
   queue.Push(MakeUpdate(2, 1.0));
   queue.Push(MakeUpdate(3, 2.0));
-  EXPECT_EQ(queue.PopNewest()->id, 1u);
-  EXPECT_EQ(queue.PopNewest()->id, 3u);
-  EXPECT_EQ(queue.PopNewest()->id, 2u);
+  EXPECT_EQ(queue.PopNewest()->id.value(), 1u);
+  EXPECT_EQ(queue.PopNewest()->id.value(), 3u);
+  EXPECT_EQ(queue.PopNewest()->id.value(), 2u);
 }
 
 TEST(UpdateQueueTest, GenerationTiesBreakById) {
@@ -55,9 +55,9 @@ TEST(UpdateQueueTest, GenerationTiesBreakById) {
   queue.Push(MakeUpdate(5, 1.0));
   queue.Push(MakeUpdate(3, 1.0));
   queue.Push(MakeUpdate(7, 1.0));
-  EXPECT_EQ(queue.PopOldest()->id, 3u);
-  EXPECT_EQ(queue.PopOldest()->id, 5u);
-  EXPECT_EQ(queue.PopOldest()->id, 7u);
+  EXPECT_EQ(queue.PopOldest()->id.value(), 3u);
+  EXPECT_EQ(queue.PopOldest()->id.value(), 5u);
+  EXPECT_EQ(queue.PopOldest()->id.value(), 7u);
 }
 
 TEST(UpdateQueueTest, OverflowEvictsOldestGeneration) {
@@ -67,7 +67,7 @@ TEST(UpdateQueueTest, OverflowEvictsOldestGeneration) {
   queue.Push(MakeUpdate(3, 3.0));
   const std::vector<Update> evicted = queue.Push(MakeUpdate(4, 4.0));
   ASSERT_EQ(evicted.size(), 1u);
-  EXPECT_EQ(evicted[0].id, 1u);
+  EXPECT_EQ(evicted[0].id.value(), 1u);
   EXPECT_EQ(queue.size(), 3u);
   EXPECT_EQ(queue.overflow_drops(), 1u);
 }
@@ -79,7 +79,7 @@ TEST(UpdateQueueTest, OverflowCanEvictThePushedUpdateItself) {
   // Older than everything in a full queue: it is the one dropped.
   const std::vector<Update> evicted = queue.Push(MakeUpdate(3, 1.0));
   ASSERT_EQ(evicted.size(), 1u);
-  EXPECT_EQ(evicted[0].id, 3u);
+  EXPECT_EQ(evicted[0].id.value(), 3u);
   EXPECT_EQ(queue.OldestGeneration(), 5.0);
 }
 
@@ -90,7 +90,7 @@ TEST(UpdateQueueTest, PurgeRemovesStrictlyOlderGenerations) {
   queue.Push(MakeUpdate(3, 3.0));
   const std::vector<Update> purged = queue.PurgeGeneratedBefore(2.0);
   ASSERT_EQ(purged.size(), 1u);
-  EXPECT_EQ(purged[0].id, 1u);
+  EXPECT_EQ(purged[0].id.value(), 1u);
   EXPECT_EQ(queue.size(), 2u);
   EXPECT_EQ(queue.OldestGeneration(), 2.0);
 }
@@ -102,9 +102,9 @@ TEST(UpdateQueueTest, PurgeReturnsOldestFirst) {
   queue.Push(MakeUpdate(3, 2.0));
   const std::vector<Update> purged = queue.PurgeGeneratedBefore(10.0);
   ASSERT_EQ(purged.size(), 3u);
-  EXPECT_EQ(purged[0].id, 2u);
-  EXPECT_EQ(purged[1].id, 3u);
-  EXPECT_EQ(purged[2].id, 1u);
+  EXPECT_EQ(purged[0].id.value(), 2u);
+  EXPECT_EQ(purged[1].id.value(), 3u);
+  EXPECT_EQ(purged[2].id.value(), 1u);
   EXPECT_TRUE(queue.empty());
 }
 
@@ -117,9 +117,9 @@ TEST(UpdateQueueTest, PeekNewestForObject) {
   queue.Push(MakeUpdate(3, 2.0, b));
   const auto newest_a = queue.PeekNewestFor(a);
   ASSERT_TRUE(newest_a.has_value());
-  EXPECT_EQ(newest_a->id, 2u);
+  EXPECT_EQ(newest_a->id.value(), 2u);
   EXPECT_EQ(queue.size(), 3u);  // peek does not remove
-  EXPECT_EQ(queue.PeekNewestFor(b)->id, 3u);
+  EXPECT_EQ(queue.PeekNewestFor(b)->id.value(), 3u);
   EXPECT_FALSE(
       queue.PeekNewestFor({ObjectClass::kHighImportance, 1}).has_value());
 }
@@ -144,7 +144,7 @@ TEST(UpdateQueueTest, RemoveSpecificUpdate) {
   EXPECT_TRUE(queue.Remove(u1));
   EXPECT_FALSE(queue.Remove(u1));  // already gone
   EXPECT_EQ(queue.size(), 1u);
-  EXPECT_EQ(queue.PeekNewestFor(a)->id, 2u);
+  EXPECT_EQ(queue.PeekNewestFor(a)->id.value(), 2u);
 }
 
 TEST(UpdateQueueTest, OldestNewestGeneration) {
@@ -165,11 +165,11 @@ TEST(UpdateQueueTest, ClassFilteredPops) {
   queue.Push(MakeUpdate(4, 4.0, high));
   EXPECT_EQ(queue.SizeOfClass(ObjectClass::kLowImportance), 2u);
   EXPECT_EQ(queue.SizeOfClass(ObjectClass::kHighImportance), 2u);
-  EXPECT_EQ(queue.PopOldestOfClass(ObjectClass::kHighImportance)->id, 2u);
-  EXPECT_EQ(queue.PopNewestOfClass(ObjectClass::kHighImportance)->id, 4u);
+  EXPECT_EQ(queue.PopOldestOfClass(ObjectClass::kHighImportance)->id.value(), 2u);
+  EXPECT_EQ(queue.PopNewestOfClass(ObjectClass::kHighImportance)->id.value(), 4u);
   EXPECT_FALSE(
       queue.PopOldestOfClass(ObjectClass::kHighImportance).has_value());
-  EXPECT_EQ(queue.PopNewestOfClass(ObjectClass::kLowImportance)->id, 3u);
+  EXPECT_EQ(queue.PopNewestOfClass(ObjectClass::kLowImportance)->id.value(), 3u);
   EXPECT_EQ(queue.size(), 1u);
 }
 
@@ -186,7 +186,7 @@ TEST(UpdateQueueDeathTest, InvalidUse) {
 // reference model, and the per-object index never goes out of sync.
 TEST(UpdateQueueTest, RandomOpsAgreeWithReferenceModel) {
   UpdateQueue queue(50);
-  sim::RandomStream random(11);
+  sim::RandomStream random(base::RngSeed(11));
   std::map<std::pair<sim::Time, std::uint64_t>, Update> model;
   std::uint64_t next_id = 0;
 
@@ -205,7 +205,7 @@ TEST(UpdateQueueTest, RandomOpsAgreeWithReferenceModel) {
                                        : ObjectClass::kHighImportance,
            random.UniformInt(0, 9)});
       const auto evicted = queue.Push(u);
-      model.emplace(std::make_pair(u.generation_time, u.id), u);
+      model.emplace(std::make_pair(u.generation_time, u.id.value()), u);
       while (model.size() > 50) {
         const Update dropped = model_erase_oldest();
         ASSERT_EQ(evicted.size(), 1u);

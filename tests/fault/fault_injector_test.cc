@@ -26,7 +26,7 @@ FaultSchedule Parse(const std::string& spec) {
 
 db::Update MakeUpdate(std::uint64_t id, double generation_time) {
   db::Update update;
-  update.id = id;
+  update.id = base::UpdateId(id);
   update.object = {db::ObjectClass::kLowImportance,
                    static_cast<int>(id % 7)};
   update.generation_time = generation_time;
@@ -46,7 +46,8 @@ struct Harness {
     };
     hooks.set_rate_factor = [this](double f) { rate_factors.push_back(f); };
     hooks.set_cpu_factor = [this](double f) { cpu_factors.push_back(f); };
-    injector = std::make_unique<FaultInjector>(&simulator, schedule, seed,
+    injector = std::make_unique<FaultInjector>(&simulator, schedule,
+                                               base::RngSeed(seed),
                                                nominal_rate,
                                                std::move(hooks));
   }
@@ -74,7 +75,7 @@ TEST(FaultInjectorTest, NoFaultsDeliversEverythingUnchanged) {
   h.simulator.RunUntil(10);
   ASSERT_EQ(h.delivered.size(), 50u);
   for (int i = 0; i < 50; ++i) {
-    EXPECT_EQ(h.delivered[i].id, static_cast<std::uint64_t>(i + 1));
+    EXPECT_EQ(h.delivered[i].id.value(), static_cast<std::uint64_t>(i + 1));
   }
   EXPECT_EQ(h.injector->counts().lost, 0u);
 }
@@ -90,7 +91,7 @@ TEST(FaultInjectorTest, LossProbabilityOneDropsTheWholeWindow) {
   EXPECT_EQ(h.injector->counts().lost, 20u);
   ASSERT_EQ(h.delivered.size(), 30u);
   for (const db::Update& update : h.delivered) {
-    EXPECT_TRUE(update.id <= 10 || update.id >= 31)
+    EXPECT_TRUE(update.id.value() <= 10 || update.id.value() >= 31)
         << "id " << update.id << " should have been lost";
   }
 }
@@ -106,9 +107,9 @@ TEST(FaultInjectorTest, DupProbabilityOneDeliversExactlyTwiceDistinctIds) {
   std::set<std::uint64_t> ids;
   int duplicates = 0;
   for (const db::Update& update : h.delivered) {
-    EXPECT_TRUE(ids.insert(update.id).second)
+    EXPECT_TRUE(ids.insert(update.id.value()).second)
         << "id " << update.id << " delivered twice under the same id";
-    if (update.id > (std::uint64_t{1} << 62)) ++duplicates;
+    if (update.id.value() > (std::uint64_t{1} << 62)) ++duplicates;
   }
   EXPECT_EQ(duplicates, 20);
 }
@@ -148,7 +149,7 @@ TEST(FaultInjectorTest, OutageDefersAndReplaysInOrderAtSpeedup) {
   EXPECT_EQ(h.injector->backlog_size(), 0u);
   // All ids delivered, offer order preserved.
   for (int i = 0; i < 30; ++i) {
-    EXPECT_EQ(h.delivered[i].id, static_cast<std::uint64_t>(i + 1));
+    EXPECT_EQ(h.delivered[i].id.value(), static_cast<std::uint64_t>(i + 1));
   }
   // The deferred ids 11..30 arrive after the window end, spaced by the
   // catch-up gap, and their network age reflects the real delay.
@@ -197,8 +198,8 @@ TEST(FaultInjectorTest, SameSeedSameSpecIsDeterministic) {
   c.OfferStream(100);
   c.simulator.RunUntil(30);
   std::vector<std::uint64_t> a_ids, c_ids;
-  for (const db::Update& u : a.delivered) a_ids.push_back(u.id);
-  for (const db::Update& u : c.delivered) c_ids.push_back(u.id);
+  for (const db::Update& u : a.delivered) a_ids.push_back(u.id.value());
+  for (const db::Update& u : c.delivered) c_ids.push_back(u.id.value());
   EXPECT_NE(a_ids, c_ids);
 }
 

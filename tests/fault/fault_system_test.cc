@@ -26,7 +26,7 @@ Config ShortConfig() {
 
 RunMetrics RunWith(const Config& config, std::uint64_t seed = 5) {
   sim::Simulator simulator;
-  System system(&simulator, config, seed);
+  System system(&simulator, config, base::RngSeed(seed));
   return system.Run();
 }
 
@@ -65,7 +65,7 @@ TEST(FaultSystemTest, SheddingReplacesOverflowAndPrefersLowImportance) {
   config.uq_max = 32;  // tiny queue under the default 400/s stream
   config.shed_by_importance = true;
   sim::Simulator simulator;
-  System system(&simulator, config, 5);
+  System system(&simulator, config, base::RngSeed(5));
   DropCounter drops;
   system.AddObserver(&drops);
   const RunMetrics metrics = system.Run();
@@ -95,7 +95,7 @@ TEST(FaultSystemTest, FaultWindowBoundariesFireInOrder) {
   Config config = ShortConfig();
   config.faults = "outage@5+2:speedup=8;burst@10+3:factor=2";
   sim::Simulator simulator;
-  System system(&simulator, config, 5);
+  System system(&simulator, config, base::RngSeed(5));
   WindowWatcher watcher;
   system.AddObserver(&watcher);
   const RunMetrics metrics = system.Run();
@@ -149,7 +149,7 @@ TEST(FaultSystemTest, GovernorEngagesUnderOutageAndDisengagesAfter) {
   config.governor_low_watermark = 0.25;
   config.faults = "outage@5+5:speedup=4";
   sim::Simulator simulator;
-  System system(&simulator, config, 5);
+  System system(&simulator, config, base::RngSeed(5));
   GovernorWatcher watcher;
   system.AddObserver(&watcher);
   const RunMetrics metrics = system.Run();

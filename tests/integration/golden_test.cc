@@ -55,8 +55,8 @@ INSTANTIATE_TEST_SUITE_P(
                0.8602, 0.1376, 0.7199, 0.0486},
         Golden{core::PolicyKind::kOnDemand, 0.2131, 0.7152, 12.9411,
                0.9232, 0.0747, 0.7331, 0.7120}),
-    [](const ::testing::TestParamInfo<Golden>& info) {
-      return core::PolicyKindName(info.param.policy);
+    [](const ::testing::TestParamInfo<Golden>& param_info) {
+      return core::PolicyKindName(param_info.param.policy);
     });
 
 }  // namespace

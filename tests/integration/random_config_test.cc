@@ -83,7 +83,7 @@ core::Config RandomConfig(sim::RandomStream& random) {
 class RandomConfigTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(RandomConfigTest, InvariantsHold) {
-  sim::RandomStream random(1000 + GetParam());
+  sim::RandomStream random(base::RngSeed(1000 + GetParam()));
   const core::Config config = RandomConfig(random);
   ASSERT_FALSE(config.Validate().has_value())
       << *config.Validate() << " (draw " << GetParam() << ")";

@@ -27,7 +27,7 @@ txn::Transaction::Params SimpleTxn(std::uint64_t id, sim::Time arrival,
                                    sim::Time deadline,
                                    std::vector<db::ObjectId> reads = {}) {
   txn::Transaction::Params p;
-  p.id = id;
+  p.id = base::TxnId(id);
   p.cls = txn::TxnClass::kLowValue;
   p.value = 1.0;
   p.arrival_time = arrival;
@@ -42,7 +42,7 @@ db::Update SimpleUpdate(std::uint64_t id, sim::Time arrival,
                         sim::Time generation, db::ObjectId object,
                         int attribute = -1) {
   db::Update u;
-  u.id = id;
+  u.id = base::UpdateId(id);
   u.object = object;
   u.attribute = attribute;
   u.arrival_time = arrival;
@@ -58,7 +58,7 @@ TEST(ScenarioExtensionsTest, UuScanChargedOnEveryRead) {
   config.staleness = db::StalenessCriterion::kUnappliedUpdate;
   config.x_scan = 50000;  // 1 ms per queued entry
   sim::Simulator sim;
-  System system(&sim, config, 1);
+  System system(&sim, config, base::RngSeed(1));
 
   // Park two updates for *other* objects in the queue: a transaction
   // keeps the CPU while they arrive, then a second transaction's read
@@ -93,7 +93,7 @@ TEST(ScenarioExtensionsTest, UuOnDemandAppliesNewestQueuedValue) {
   Config config = ScenarioConfig(PolicyKind::kOnDemand);
   config.staleness = db::StalenessCriterion::kUnappliedUpdate;
   sim::Simulator sim;
-  System system(&sim, config, 1);
+  System system(&sim, config, base::RngSeed(1));
   const db::ObjectId object{db::ObjectClass::kLowImportance, 5};
 
   sim.ScheduleAt(1.0, [&] {
@@ -120,7 +120,7 @@ TEST(ScenarioExtensionsTest, MaArrivalKeepsLateDeliveredValueFresh) {
   Config config = ScenarioConfig(PolicyKind::kUpdateFirst);
   config.staleness = db::StalenessCriterion::kMaxAgeArrival;
   sim::Simulator sim;
-  System system(&sim, config, 1);
+  System system(&sim, config, base::RngSeed(1));
   const db::ObjectId object{db::ObjectClass::kHighImportance, 3};
 
   // A value generated at t=1 but delivered at t=9: under generation-MA
@@ -142,7 +142,7 @@ TEST(ScenarioExtensionsTest, FixedFractionInstallsAheadOfTransactions) {
   Config config = ScenarioConfig(PolicyKind::kFixedFraction);
   config.update_cpu_fraction = 0.5;
   sim::Simulator sim;
-  System system(&sim, config, 1);
+  System system(&sim, config, base::RngSeed(1));
 
   // Updates queued behind a transaction backlog: with a 50% share the
   // updater runs between transactions even though more are waiting.
@@ -173,7 +173,7 @@ TEST(ScenarioExtensionsTest, PartialUpdateFreshensOnlyItsAttribute) {
   config.n_attributes = 2;
   config.abort_on_stale = false;
   sim::Simulator sim;
-  System system(&sim, config, 1);
+  System system(&sim, config, base::RngSeed(1));
   const db::ObjectId object{db::ObjectClass::kLowImportance, 4};
 
   // Refresh attribute 0 at t=8; attribute 1 still carries generation
@@ -205,7 +205,7 @@ TEST(ScenarioExtensionsTest, WarmupExcludesEarlyWork) {
   config.warmup_seconds = 5.0;
   config.sim_seconds = 10.0;
   sim::Simulator sim;
-  System system(&sim, config, 1);
+  System system(&sim, config, base::RngSeed(1));
   // One transaction entirely inside the warm-up, one after it.
   sim.ScheduleAt(1.0, [&] {
     system.InjectTransaction(SimpleTxn(1, 1.0, 6'000'000, 2.0));
@@ -226,7 +226,7 @@ TEST(ScenarioExtensionsTest, SegmentSpanningWarmupIsSplitCharged) {
   config.warmup_seconds = 5.0;
   config.sim_seconds = 10.0;
   sim::Simulator sim;
-  System system(&sim, config, 1);
+  System system(&sim, config, base::RngSeed(1));
   // Runs 4.95 -> 5.07: only the 0.07 s after the warm-up boundary is
   // charged to the observed window.
   sim.ScheduleAt(4.95, [&] {
@@ -244,7 +244,7 @@ TEST(ScenarioExtensionsTest, IndexedQueueScanIsConstantCost) {
   config.x_scan = 50000;  // 1 ms
   config.indexed_update_queue = true;
   sim::Simulator sim;
-  System system(&sim, config, 1);
+  System system(&sim, config, base::RngSeed(1));
   sim.ScheduleAt(1.0, [&] {
     system.InjectTransaction(SimpleTxn(1, 1.0, 10'000'000, 5.0));
   });
@@ -277,22 +277,22 @@ class MiniRecorder : public SystemObserver {
   void OnTransactionTerminal(sim::Time now,
                              const txn::Transaction& t) override {
     events.push_back(
-        {now, t.id(), 't', static_cast<int>(t.outcome())});
+        {now, t.id().value(), 't', static_cast<int>(t.outcome())});
   }
   void OnUpdateInstalled(sim::Time now, const db::Update& u,
                          const txn::Transaction* on_demand_by) override {
-    events.push_back({now, u.id, 'i', on_demand_by != nullptr ? 1 : 0});
+    events.push_back({now, u.id.value(), 'i', on_demand_by != nullptr ? 1 : 0});
   }
   void OnUpdateDropped(sim::Time now, const db::Update& u,
                        DropReason reason) override {
-    events.push_back({now, u.id, 'd', static_cast<int>(reason)});
+    events.push_back({now, u.id.value(), 'd', static_cast<int>(reason)});
   }
   std::vector<Event> events;
 };
 
 TEST(ScenarioExtensionsTest, SplitUpdatesPreemptsOnlyForHighImportance) {
   sim::Simulator sim;
-  System system(&sim, ScenarioConfig(PolicyKind::kSplitUpdates), 1);
+  System system(&sim, ScenarioConfig(PolicyKind::kSplitUpdates), base::RngSeed(1));
   MiniRecorder recorder;
   system.AddObserver(&recorder);
 
@@ -332,7 +332,7 @@ TEST(ScenarioExtensionsTest, AdmissionDropIsObservable) {
   Config config = ScenarioConfig(PolicyKind::kTransactionFirst);
   config.admission_limit = 1;
   sim::Simulator sim;
-  System system(&sim, config, 1);
+  System system(&sim, config, base::RngSeed(1));
   MiniRecorder recorder;
   system.AddObserver(&recorder);
   // txn1 runs; txn2 waits (ready size 1); txn3 is rejected.
@@ -364,7 +364,7 @@ TEST(ScenarioExtensionsTest, DedupDropsSupersededAtReceive) {
   Config config = ScenarioConfig(PolicyKind::kTransactionFirst);
   config.dedup_update_queue = true;
   sim::Simulator sim;
-  System system(&sim, config, 1);
+  System system(&sim, config, base::RngSeed(1));
   MiniRecorder recorder;
   system.AddObserver(&recorder);
   const db::ObjectId object{db::ObjectClass::kLowImportance, 5};
@@ -400,7 +400,7 @@ TEST(ScenarioExtensionsTest, UfBurstOverflowsTinyOsQueue) {
   Config config = ScenarioConfig(PolicyKind::kUpdateFirst);
   config.os_max = 2;
   sim::Simulator sim;
-  System system(&sim, config, 1);
+  System system(&sim, config, base::RngSeed(1));
   // Five updates at the same instant: the first starts installing,
   // two wait in the OS buffer, two are dropped at the door.
   for (int i = 0; i < 5; ++i) {
@@ -416,7 +416,7 @@ TEST(ScenarioExtensionsTest, UfBurstOverflowsTinyOsQueue) {
 
 TEST(ScenarioExtensionsTest, QueuedUpdateExpiresUnderMa) {
   sim::Simulator sim;
-  System system(&sim, ScenarioConfig(PolicyKind::kTransactionFirst), 1);
+  System system(&sim, ScenarioConfig(PolicyKind::kTransactionFirst), base::RngSeed(1));
   MiniRecorder recorder;
   system.AddObserver(&recorder);
   // The update (generation 0.9) is received while a long transaction

@@ -42,11 +42,11 @@ class Recorder : public SystemObserver {
 
   void OnTransactionTerminal(sim::Time now,
                              const txn::Transaction& t) override {
-    txns.push_back({now, t.id(), t.outcome(), t.stale_reads()});
+    txns.push_back({now, t.id().value(), t.outcome(), t.stale_reads()});
   }
   void OnUpdateInstalled(sim::Time now, const db::Update& u,
                          const txn::Transaction* on_demand_by) override {
-    installs.push_back({now, u.id, on_demand_by != nullptr});
+    installs.push_back({now, u.id.value(), on_demand_by != nullptr});
   }
 
   std::vector<TxnEvent> txns;
@@ -66,7 +66,7 @@ txn::Transaction::Params SimpleTxn(std::uint64_t id, sim::Time arrival,
                                    sim::Time deadline,
                                    std::vector<db::ObjectId> reads = {}) {
   txn::Transaction::Params p;
-  p.id = id;
+  p.id = base::TxnId(id);
   p.cls = txn::TxnClass::kHighValue;
   p.value = 2.0;
   p.arrival_time = arrival;
@@ -80,7 +80,7 @@ txn::Transaction::Params SimpleTxn(std::uint64_t id, sim::Time arrival,
 db::Update SimpleUpdate(std::uint64_t id, sim::Time arrival,
                         sim::Time generation, db::ObjectId object) {
   db::Update u;
-  u.id = id;
+  u.id = base::UpdateId(id);
   u.object = object;
   u.arrival_time = arrival;
   u.generation_time = generation;
@@ -90,7 +90,7 @@ db::Update SimpleUpdate(std::uint64_t id, sim::Time arrival,
 
 TEST(ScenarioTest, SingleTransactionExactTimeline) {
   sim::Simulator sim;
-  System system(&sim, ScenarioConfig(PolicyKind::kTransactionFirst), 1);
+  System system(&sim, ScenarioConfig(PolicyKind::kTransactionFirst), base::RngSeed(1));
   Recorder recorder;
   system.AddObserver(&recorder);
 
@@ -119,7 +119,7 @@ TEST(ScenarioTest, ReadingExpiredInitialValueIsStale) {
   // All objects carry generation 0; alpha = 7, so a read at t=8 is
   // stale under MA.
   sim::Simulator sim;
-  System system(&sim, ScenarioConfig(PolicyKind::kTransactionFirst), 1);
+  System system(&sim, ScenarioConfig(PolicyKind::kTransactionFirst), base::RngSeed(1));
   sim.ScheduleAt(8.0, [&] {
     system.InjectTransaction(SimpleTxn(
         1, 8.0, 1'000'000, 9.0, {{db::ObjectClass::kLowImportance, 5}}));
@@ -134,7 +134,7 @@ TEST(ScenarioTest, StaleAbortStopsAtTheRead) {
   Config config = ScenarioConfig(PolicyKind::kTransactionFirst);
   config.abort_on_stale = true;
   sim::Simulator sim;
-  System system(&sim, config, 1);
+  System system(&sim, config, base::RngSeed(1));
   Recorder recorder;
   system.AddObserver(&recorder);
   sim.ScheduleAt(8.0, [&] {
@@ -152,7 +152,7 @@ TEST(ScenarioTest, StaleAbortStopsAtTheRead) {
 
 TEST(ScenarioTest, OnDemandRescuesAStaleRead) {
   sim::Simulator sim;
-  System system(&sim, ScenarioConfig(PolicyKind::kOnDemand), 1);
+  System system(&sim, ScenarioConfig(PolicyKind::kOnDemand), base::RngSeed(1));
   Recorder recorder;
   system.AddObserver(&recorder);
 
@@ -188,7 +188,7 @@ TEST(ScenarioTest, OnDemandRescuesAStaleRead) {
 
 TEST(ScenarioTest, UpdateFirstPreemptsExactly) {
   sim::Simulator sim;
-  System system(&sim, ScenarioConfig(PolicyKind::kUpdateFirst), 1);
+  System system(&sim, ScenarioConfig(PolicyKind::kUpdateFirst), base::RngSeed(1));
   Recorder recorder;
   system.AddObserver(&recorder);
 
@@ -215,7 +215,7 @@ TEST(ScenarioTest, ContextSwitchChargesOnPreemption) {
   Config config = ScenarioConfig(PolicyKind::kUpdateFirst);
   config.x_switch = 10000;  // 200 us
   sim::Simulator sim;
-  System system(&sim, config, 1);
+  System system(&sim, config, base::RngSeed(1));
   Recorder recorder;
   system.AddObserver(&recorder);
 
@@ -242,7 +242,7 @@ TEST(ScenarioTest, FirmDeadlineCutsTheTransactionDown) {
   sim::Simulator sim;
   Config config = ScenarioConfig(PolicyKind::kTransactionFirst);
   config.feasible_deadline = false;  // let it run into the wall
-  System system(&sim, config, 1);
+  System system(&sim, config, base::RngSeed(1));
   Recorder recorder;
   system.AddObserver(&recorder);
   // Needs 0.12 s but the deadline is 0.05 s away.
@@ -259,7 +259,7 @@ TEST(ScenarioTest, FirmDeadlineCutsTheTransactionDown) {
 TEST(ScenarioTest, FeasibleScreenAbortsBeforeWasteUnderBacklog) {
   sim::Simulator sim;
   Config config = ScenarioConfig(PolicyKind::kTransactionFirst);
-  System system(&sim, config, 1);
+  System system(&sim, config, base::RngSeed(1));
   Recorder recorder;
   system.AddObserver(&recorder);
   // txn1 runs 1.0 -> 1.6; txn2 arrives at 1.1 with a deadline it can
@@ -283,7 +283,7 @@ TEST(ScenarioTest, FeasibleScreenAbortsBeforeWasteUnderBacklog) {
 TEST(ScenarioTest, FeasibleScreenFiresAtSchedulingPoint) {
   sim::Simulator sim;
   Config config = ScenarioConfig(PolicyKind::kTransactionFirst);
-  System system(&sim, config, 1);
+  System system(&sim, config, base::RngSeed(1));
   Recorder recorder;
   system.AddObserver(&recorder);
   // txn1 runs 1.0 -> 1.2; txn2 (deadline 1.25, needs 0.12) waits and
@@ -311,7 +311,7 @@ TEST(ScenarioTest, FifoInstallsOldestGenerationFirst) {
     sim::Simulator sim;
     Config config = ScenarioConfig(PolicyKind::kTransactionFirst);
     config.queue_discipline = discipline;
-    System system(&sim, config, 1);
+    System system(&sim, config, base::RngSeed(1));
     Recorder recorder;
     system.AddObserver(&recorder);
     // A transaction holds the CPU while two updates arrive; when it
@@ -339,7 +339,7 @@ TEST(ScenarioTest, FifoInstallsOldestGenerationFirst) {
 
 TEST(ScenarioTest, UnworthyUpdateIsSkippedAndCheap) {
   sim::Simulator sim;
-  System system(&sim, ScenarioConfig(PolicyKind::kUpdateFirst), 1);
+  System system(&sim, ScenarioConfig(PolicyKind::kUpdateFirst), base::RngSeed(1));
   Recorder recorder;
   system.AddObserver(&recorder);
   const db::ObjectId object{db::ObjectClass::kHighImportance, 7};
@@ -366,7 +366,7 @@ TEST(ScenarioTest, TraceReplayDrivesTheSystem) {
   ASSERT_FALSE(workload::TraceReplay::Parse(trace, &records).has_value());
 
   sim::Simulator sim;
-  System system(&sim, ScenarioConfig(PolicyKind::kUpdateFirst), 1);
+  System system(&sim, ScenarioConfig(PolicyKind::kUpdateFirst), base::RngSeed(1));
   workload::TraceReplay replay(
       &sim, records,
       [&](const db::Update& u) { system.InjectUpdate(u); },

@@ -30,7 +30,7 @@ std::unique_ptr<txn::Transaction> MakeTxn(std::uint64_t id,
                                           txn::TxnOutcome outcome,
                                           int stale_reads) {
   txn::Transaction::Params p;
-  p.id = id;
+  p.id = base::TxnId(id);
   p.cls = txn::TxnClass::kLowValue;
   p.value = 1.0;
   p.arrival_time = 0.0;
@@ -44,7 +44,7 @@ std::unique_ptr<txn::Transaction> MakeTxn(std::uint64_t id,
 
 db::Update MakeUpdate(std::uint64_t id) {
   db::Update u;
-  u.id = id;
+  u.id = base::UpdateId(id);
   u.object = {db::ObjectClass::kLowImportance,
               static_cast<int>(id % 100)};
   u.generation_time = 0.5;

@@ -13,7 +13,7 @@ TEST(PeriodicSamplerTest, ProbesOnTheConfiguredInterval) {
   sim::Simulator sim;
   core::Config config;
   config.sim_seconds = 10.0;
-  core::System system(&sim, config, 5);
+  core::System system(&sim, config, base::RngSeed(5));
 
   PeriodicSampler::Options options;
   options.interval = 0.5;
@@ -36,7 +36,7 @@ TEST(PeriodicSamplerTest, AppendsFinalSampleWhenRunEndsOffGrid) {
   sim::Simulator sim;
   core::Config config;
   config.sim_seconds = 5.25;
-  core::System system(&sim, config, 5);
+  core::System system(&sim, config, base::RngSeed(5));
 
   PeriodicSampler sampler(&system);  // default 1 s interval
   core::ScopedObserver scoped(&system.observer_bus(), &sampler);
@@ -52,7 +52,7 @@ TEST(PeriodicSamplerTest, SamplesAreWellFormed) {
   core::Config config;
   config.sim_seconds = 20.0;
   config.warmup_seconds = 4.0;
-  core::System system(&sim, config, 11);
+  core::System system(&sim, config, base::RngSeed(11));
 
   PeriodicSampler sampler(&system);
   core::ScopedObserver scoped(&system.observer_bus(), &sampler);
@@ -84,7 +84,7 @@ TEST(PeriodicSamplerTest, SamplerOutlivedByPendingProbeIsSafe) {
   sim::Simulator sim;
   core::Config config;
   config.sim_seconds = 10.0;
-  core::System system(&sim, config, 5);
+  core::System system(&sim, config, base::RngSeed(5));
   {
     PeriodicSampler sampler(&system);
     core::ScopedObserver scoped(&system.observer_bus(), &sampler);

@@ -91,7 +91,7 @@ TEST(TelemetryTest, DifferentSeedDifferentBytes) {
 TEST(TelemetryTest, HistogramsRecordTheRun) {
   core::Config config = GoldenConfig();
   sim::Simulator sim;
-  core::System system(&sim, config, 1);
+  core::System system(&sim, config, base::RngSeed(1));
   RunTelemetry telemetry(&system);
   const core::RunMetrics metrics = system.Run();
 

@@ -154,7 +154,7 @@ TEST(EventQueueDeathTest, NullCallbackRejected) {
 // sequence)).
 TEST(EventQueueTest, RandomOpsAgreeWithReferenceModel) {
   EventQueue queue;
-  RandomStream random(2024);
+  RandomStream random(base::RngSeed(2024));
   struct Ref {
     double time;
     std::uint64_t seq;

@@ -10,16 +10,16 @@ namespace strip::sim {
 namespace {
 
 TEST(RandomStreamTest, SameSeedSameSequence) {
-  RandomStream a(99);
-  RandomStream b(99);
+  RandomStream a(base::RngSeed(99));
+  RandomStream b(base::RngSeed(99));
   for (int i = 0; i < 100; ++i) {
     EXPECT_DOUBLE_EQ(a.Uniform(0, 1), b.Uniform(0, 1));
   }
 }
 
 TEST(RandomStreamTest, DifferentSeedsDiffer) {
-  RandomStream a(1);
-  RandomStream b(2);
+  RandomStream a(base::RngSeed(1));
+  RandomStream b(base::RngSeed(2));
   bool any_different = false;
   for (int i = 0; i < 10; ++i) {
     if (a.Uniform(0, 1) != b.Uniform(0, 1)) any_different = true;
@@ -28,26 +28,26 @@ TEST(RandomStreamTest, DifferentSeedsDiffer) {
 }
 
 TEST(RandomStreamTest, ExponentialMeanIsClose) {
-  RandomStream random(7);
+  RandomStream random(base::RngSeed(7));
   Accumulator acc;
   for (int i = 0; i < 100000; ++i) acc.Add(random.Exponential(0.1));
   EXPECT_NEAR(acc.mean(), 0.1, 0.002);
 }
 
 TEST(RandomStreamTest, ExponentialIsPositive) {
-  RandomStream random(7);
+  RandomStream random(base::RngSeed(7));
   for (int i = 0; i < 1000; ++i) EXPECT_GE(random.Exponential(2.0), 0.0);
 }
 
 TEST(RandomStreamTest, PoissonInterarrivalMatchesRate) {
-  RandomStream random(7);
+  RandomStream random(base::RngSeed(7));
   Accumulator acc;
   for (int i = 0; i < 100000; ++i) acc.Add(random.PoissonInterarrival(400));
   EXPECT_NEAR(acc.mean(), 1.0 / 400, 1.0 / 400 * 0.05);
 }
 
 TEST(RandomStreamTest, NormalMeanAndSd) {
-  RandomStream random(7);
+  RandomStream random(base::RngSeed(7));
   Accumulator acc;
   for (int i = 0; i < 100000; ++i) acc.Add(random.Normal(0.12, 0.01));
   EXPECT_NEAR(acc.mean(), 0.12, 0.001);
@@ -55,19 +55,19 @@ TEST(RandomStreamTest, NormalMeanAndSd) {
 }
 
 TEST(RandomStreamTest, NormalZeroSdIsDeterministic) {
-  RandomStream random(7);
+  RandomStream random(base::RngSeed(7));
   EXPECT_DOUBLE_EQ(random.Normal(5.0, 0.0), 5.0);
 }
 
 TEST(RandomStreamTest, NormalAtLeastClampsFloor) {
-  RandomStream random(7);
+  RandomStream random(base::RngSeed(7));
   for (int i = 0; i < 10000; ++i) {
     EXPECT_GE(random.NormalAtLeast(0.0, 1.0, 0.0), 0.0);
   }
 }
 
 TEST(RandomStreamTest, UniformStaysInRange) {
-  RandomStream random(7);
+  RandomStream random(base::RngSeed(7));
   for (int i = 0; i < 10000; ++i) {
     const double x = random.Uniform(0.1, 1.0);
     EXPECT_GE(x, 0.1);
@@ -76,14 +76,14 @@ TEST(RandomStreamTest, UniformStaysInRange) {
 }
 
 TEST(RandomStreamTest, UniformMean) {
-  RandomStream random(7);
+  RandomStream random(base::RngSeed(7));
   Accumulator acc;
   for (int i = 0; i < 100000; ++i) acc.Add(random.Uniform(0.1, 1.0));
   EXPECT_NEAR(acc.mean(), 0.55, 0.01);
 }
 
 TEST(RandomStreamTest, UniformIntCoversRangeInclusive) {
-  RandomStream random(7);
+  RandomStream random(base::RngSeed(7));
   bool saw_lo = false, saw_hi = false;
   for (int i = 0; i < 10000; ++i) {
     const int x = random.UniformInt(0, 4);
@@ -97,12 +97,12 @@ TEST(RandomStreamTest, UniformIntCoversRangeInclusive) {
 }
 
 TEST(RandomStreamTest, UniformIntSingleton) {
-  RandomStream random(7);
+  RandomStream random(base::RngSeed(7));
   for (int i = 0; i < 100; ++i) EXPECT_EQ(random.UniformInt(3, 3), 3);
 }
 
 TEST(RandomStreamTest, WithProbabilityExtremes) {
-  RandomStream random(7);
+  RandomStream random(base::RngSeed(7));
   for (int i = 0; i < 1000; ++i) {
     EXPECT_FALSE(random.WithProbability(0.0));
     EXPECT_TRUE(random.WithProbability(1.0));
@@ -110,7 +110,7 @@ TEST(RandomStreamTest, WithProbabilityExtremes) {
 }
 
 TEST(RandomStreamTest, WithProbabilityFrequency) {
-  RandomStream random(7);
+  RandomStream random(base::RngSeed(7));
   int hits = 0;
   for (int i = 0; i < 100000; ++i) {
     if (random.WithProbability(0.3)) ++hits;
@@ -119,9 +119,9 @@ TEST(RandomStreamTest, WithProbabilityFrequency) {
 }
 
 TEST(RandomStreamTest, ForkedSeedsAreDistinct) {
-  RandomStream random(7);
-  const std::uint64_t a = random.Fork();
-  const std::uint64_t b = random.Fork();
+  RandomStream random(base::RngSeed(7));
+  const base::RngSeed a = random.Fork();
+  const base::RngSeed b = random.Fork();
   EXPECT_NE(a, b);
   // Children produce different streams.
   RandomStream child_a(a);
@@ -134,13 +134,13 @@ TEST(RandomStreamTest, ForkedSeedsAreDistinct) {
 }
 
 TEST(RandomStreamTest, ForkIsDeterministic) {
-  RandomStream a(7);
-  RandomStream b(7);
+  RandomStream a(base::RngSeed(7));
+  RandomStream b(base::RngSeed(7));
   EXPECT_EQ(a.Fork(), b.Fork());
 }
 
 TEST(RandomStreamDeathTest, BadArgumentsDie) {
-  RandomStream random(7);
+  RandomStream random(base::RngSeed(7));
   EXPECT_DEATH(random.Exponential(0.0), "positive");
   EXPECT_DEATH(random.Normal(0, -1), "non-negative");
   EXPECT_DEATH(random.Uniform(2, 1), "out of order");

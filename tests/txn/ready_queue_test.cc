@@ -14,7 +14,7 @@ std::unique_ptr<Transaction> MakeTxn(std::uint64_t id, double value,
                                      double comp_instructions,
                                      double deadline = 100.0) {
   Transaction::Params p;
-  p.id = id;
+  p.id = base::TxnId(id);
   p.value = value;
   p.arrival_time = 0.0;
   p.deadline = deadline;
@@ -39,9 +39,9 @@ TEST(ReadyQueueTest, PopBestPrefersValueDensity) {
   queue.Add(cheap_low.get());
   queue.Add(cheap_high.get());
   queue.Add(pricey_high.get());
-  EXPECT_EQ(queue.PopBest(kIps)->id(), 2u);
-  EXPECT_EQ(queue.PopBest(kIps)->id(), 1u);
-  EXPECT_EQ(queue.PopBest(kIps)->id(), 3u);
+  EXPECT_EQ(queue.PopBest(kIps)->id().value(), 2u);
+  EXPECT_EQ(queue.PopBest(kIps)->id().value(), 1u);
+  EXPECT_EQ(queue.PopBest(kIps)->id().value(), 3u);
 }
 
 TEST(ReadyQueueTest, TieBreaksByLowestId) {
@@ -50,7 +50,7 @@ TEST(ReadyQueueTest, TieBreaksByLowestId) {
   auto b = MakeTxn(2, 1.0, 1'000'000);
   queue.Add(a.get());
   queue.Add(b.get());
-  EXPECT_EQ(queue.PopBest(kIps)->id(), 2u);
+  EXPECT_EQ(queue.PopBest(kIps)->id().value(), 2u);
 }
 
 TEST(ReadyQueueTest, PeekDoesNotRemove) {
@@ -81,7 +81,7 @@ TEST(ReadyQueueTest, ExtractInfeasibleRemovesHopelessOnly) {
   queue.Add(hopeless.get());
   const std::vector<Transaction*> removed = queue.ExtractInfeasible(0.0, kIps);
   ASSERT_EQ(removed.size(), 1u);
-  EXPECT_EQ(removed[0]->id(), 2u);
+  EXPECT_EQ(removed[0]->id().value(), 2u);
   EXPECT_EQ(queue.size(), 1u);
 }
 
@@ -111,7 +111,7 @@ TEST(ReadyQueueDeathTest, NullAddDies) {
 std::unique_ptr<Transaction> MakeTimedTxn(std::uint64_t id, double arrival,
                                           double deadline) {
   Transaction::Params p;
-  p.id = id;
+  p.id = base::TxnId(id);
   p.value = 1.0;
   p.arrival_time = arrival;
   p.deadline = deadline;
@@ -152,11 +152,12 @@ TEST(TxnSchedPolicyTest, PopBestUnderEdf) {
   queue.Add(late.get());
   queue.Add(soon.get());
   queue.Add(mid.get());
-  EXPECT_EQ(queue.PopBest(kIps, TxnSchedPolicy::kEarliestDeadline)->id(),
-            2u);
-  EXPECT_EQ(queue.PopBest(kIps, TxnSchedPolicy::kEarliestDeadline)->id(),
+  EXPECT_EQ(
+      queue.PopBest(kIps, TxnSchedPolicy::kEarliestDeadline)->id().value(),
+      2u);
+  EXPECT_EQ(queue.PopBest(kIps, TxnSchedPolicy::kEarliestDeadline)->id().value(),
             3u);
-  EXPECT_EQ(queue.PopBest(kIps, TxnSchedPolicy::kEarliestDeadline)->id(),
+  EXPECT_EQ(queue.PopBest(kIps, TxnSchedPolicy::kEarliestDeadline)->id().value(),
             1u);
 }
 
@@ -166,8 +167,8 @@ TEST(TxnSchedPolicyTest, PopBestUnderFcfs) {
   auto first = MakeTimedTxn(2, 1.0, 30.0);
   queue.Add(second.get());
   queue.Add(first.get());
-  EXPECT_EQ(queue.PopBest(kIps, TxnSchedPolicy::kFcfs)->id(), 2u);
-  EXPECT_EQ(queue.PopBest(kIps, TxnSchedPolicy::kFcfs)->id(), 1u);
+  EXPECT_EQ(queue.PopBest(kIps, TxnSchedPolicy::kFcfs)->id().value(), 2u);
+  EXPECT_EQ(queue.PopBest(kIps, TxnSchedPolicy::kFcfs)->id().value(), 1u);
 }
 
 TEST(TxnSchedPolicyTest, EdfTieBreaksById) {
@@ -176,7 +177,7 @@ TEST(TxnSchedPolicyTest, EdfTieBreaksById) {
   auto b = MakeTimedTxn(4, 0.0, 10.0);
   queue.Add(a.get());
   queue.Add(b.get());
-  EXPECT_EQ(queue.PopBest(kIps, TxnSchedPolicy::kEarliestDeadline)->id(),
+  EXPECT_EQ(queue.PopBest(kIps, TxnSchedPolicy::kEarliestDeadline)->id().value(),
             4u);
 }
 

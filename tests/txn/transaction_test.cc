@@ -15,7 +15,7 @@ constexpr double kIps = 50e6;
 
 Transaction::Params BaseParams() {
   Transaction::Params p;
-  p.id = 1;
+  p.id = base::TxnId(1);
   p.cls = TxnClass::kHighValue;
   p.value = 2.0;
   p.arrival_time = 0.0;
@@ -30,7 +30,7 @@ Transaction::Params BaseParams() {
 
 TEST(TransactionTest, AccessorsReflectParams) {
   const Transaction t(BaseParams());
-  EXPECT_EQ(t.id(), 1u);
+  EXPECT_EQ(t.id().value(), 1u);
   EXPECT_EQ(t.cls(), TxnClass::kHighValue);
   EXPECT_DOUBLE_EQ(t.value(), 2.0);
   EXPECT_DOUBLE_EQ(t.deadline(), 1.0);
@@ -223,10 +223,10 @@ TEST(TransactionTest, OutcomeNames) {
 // instructions sum to the base plan exactly — independent of where
 // preemptions split the segments.
 TEST(TransactionTest, RandomPlansConserveWorkAndVisitAllReads) {
-  strip::sim::RandomStream random(33);
+  strip::sim::RandomStream random(base::RngSeed(33));
   for (int trial = 0; trial < 200; ++trial) {
     Transaction::Params p;
-    p.id = trial;
+    p.id = base::TxnId(trial);
     p.value = 1.0;
     p.deadline = 1e9;
     p.computation_instructions = random.Uniform(0, 1e7);

@@ -26,7 +26,7 @@ TEST(MultiUpdateStreamTest, MergesRatesOfAllFeeds) {
   std::vector<MultiUpdateStream::Feed> feeds;
   feeds.push_back({FeedParams(100, 10, 10), 0, 0});
   feeds.push_back({FeedParams(300, 10, 10), 0, 0});
-  MultiUpdateStream multi(&sim, feeds, 7,
+  MultiUpdateStream multi(&sim, feeds, base::RngSeed(7),
                           [&](const db::Update& u) { updates.push_back(u); });
   sim.RunUntil(50.0);
   EXPECT_EQ(multi.feed_count(), 2u);
@@ -41,11 +41,11 @@ TEST(MultiUpdateStreamTest, IdsAreGloballyUnique) {
   std::vector<MultiUpdateStream::Feed> feeds;
   feeds.push_back({FeedParams(200, 10, 10), 0, 0});
   feeds.push_back({FeedParams(200, 10, 10), 0, 0});
-  MultiUpdateStream multi(&sim, feeds, 7,
+  MultiUpdateStream multi(&sim, feeds, base::RngSeed(7),
                           [&](const db::Update& u) { updates.push_back(u); });
   sim.RunUntil(5.0);
   std::vector<std::uint64_t> ids;
-  for (const auto& u : updates) ids.push_back(u.id);
+  for (const auto& u : updates) ids.push_back(u.id.value());
   std::sort(ids.begin(), ids.end());
   EXPECT_EQ(std::adjacent_find(ids.begin(), ids.end()), ids.end());
 }
@@ -57,7 +57,7 @@ TEST(MultiUpdateStreamTest, OffsetsPartitionTheCoverage) {
   // Feed A covers low [0,10), feed B covers low [10,20).
   feeds.push_back({FeedParams(100, 10, 5), 0, 0});
   feeds.push_back({FeedParams(100, 10, 5), 10, 5});
-  MultiUpdateStream multi(&sim, feeds, 7,
+  MultiUpdateStream multi(&sim, feeds, base::RngSeed(7),
                           [&](const db::Update& u) { updates.push_back(u); });
   sim.RunUntil(20.0);
   bool saw_first_window = false;
@@ -82,7 +82,7 @@ TEST(MultiUpdateStreamTest, StopSilencesEveryFeed) {
   std::vector<MultiUpdateStream::Feed> feeds;
   feeds.push_back({FeedParams(100, 10, 10), 0, 0});
   feeds.push_back({FeedParams(100, 10, 10), 0, 0});
-  MultiUpdateStream multi(&sim, feeds, 7,
+  MultiUpdateStream multi(&sim, feeds, base::RngSeed(7),
                           [&](const db::Update&) { ++count; });
   sim.RunUntil(1.0);
   const int at_stop = count;
@@ -103,7 +103,7 @@ TEST(MultiUpdateStreamTest, HeterogeneousFeedsDriveASystem) {
   config.alpha = 2.0;
 
   sim::Simulator sim;
-  core::System system(&sim, config, 1);
+  core::System system(&sim, config, base::RngSeed(1));
 
   std::vector<MultiUpdateStream::Feed> feeds;
   // Fast feed: low [0,100), 100/s, 10 ms delivery.
@@ -118,7 +118,7 @@ TEST(MultiUpdateStreamTest, HeterogeneousFeedsDriveASystem) {
   feeds.push_back({slow, 100, 0});
 
   MultiUpdateStream multi(
-      &sim, feeds, 7,
+      &sim, feeds, base::RngSeed(7),
       [&](const db::Update& u) { system.InjectUpdate(u); });
   system.Run();
 
@@ -140,7 +140,7 @@ TEST(MultiUpdateStreamTest, HeterogeneousFeedsDriveASystem) {
 TEST(MultiUpdateStreamDeathTest, NeedsAFeed) {
   sim::Simulator sim;
   EXPECT_DEATH(
-      MultiUpdateStream(&sim, {}, 7, [](const db::Update&) {}),
+      MultiUpdateStream(&sim, {}, base::RngSeed(7), [](const db::Update&) {}),
       "at least one feed");
 }
 

@@ -16,7 +16,7 @@ TEST(TraceReplayParseTest, ParsesUpdateRecord) {
       "update,1.5,high,42,1.4,3.25", 7, 1, &record);
   EXPECT_FALSE(error.has_value()) << *error;
   const auto& update = std::get<db::Update>(record);
-  EXPECT_EQ(update.id, 7u);
+  EXPECT_EQ(update.id.value(), 7u);
   EXPECT_DOUBLE_EQ(update.arrival_time, 1.5);
   EXPECT_EQ(update.object.cls, db::ObjectClass::kHighImportance);
   EXPECT_EQ(update.object.index, 42);
@@ -30,7 +30,7 @@ TEST(TraceReplayParseTest, ParsesTxnRecord) {
       "txn,2.0,low,1.5,3.0,6000000,0.5,low:3;low:17", 1, 9, &record);
   EXPECT_FALSE(error.has_value()) << *error;
   const auto& params = std::get<txn::Transaction::Params>(record);
-  EXPECT_EQ(params.id, 9u);
+  EXPECT_EQ(params.id.value(), 9u);
   EXPECT_DOUBLE_EQ(params.arrival_time, 2.0);
   EXPECT_EQ(params.cls, txn::TxnClass::kLowValue);
   EXPECT_DOUBLE_EQ(params.value, 1.5);
@@ -79,9 +79,9 @@ TEST(TraceReplayParseTest, ParseStreamSkipsCommentsAndNumbersIds) {
   const auto error = TraceReplay::Parse(in, &records);
   EXPECT_FALSE(error.has_value()) << *error;
   ASSERT_EQ(records.size(), 3u);
-  EXPECT_EQ(std::get<db::Update>(records[0]).id, 1u);
-  EXPECT_EQ(std::get<txn::Transaction::Params>(records[1]).id, 1u);
-  EXPECT_EQ(std::get<db::Update>(records[2]).id, 2u);
+  EXPECT_EQ(std::get<db::Update>(records[0]).id.value(), 1u);
+  EXPECT_EQ(std::get<txn::Transaction::Params>(records[1]).id.value(), 1u);
+  EXPECT_EQ(std::get<db::Update>(records[2]).id.value(), 2u);
 }
 
 TEST(TraceReplayParseTest, ParseReportsLineNumbers) {

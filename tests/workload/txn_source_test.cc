@@ -14,7 +14,7 @@ std::vector<txn::Transaction::Params> Collect(const TxnSource::Params& params,
                                               std::uint64_t seed = 7) {
   sim::Simulator sim;
   std::vector<txn::Transaction::Params> txns;
-  TxnSource source(&sim, params, seed,
+  TxnSource source(&sim, params, base::RngSeed(seed),
                    [&](const txn::Transaction::Params& t) {
                      txns.push_back(t);
                    });
@@ -130,7 +130,7 @@ TEST(TxnSourceTest, IdsAreSequential) {
   TxnSource::Params params;
   const auto txns = Collect(params, 20.0);
   for (std::size_t i = 0; i < txns.size(); ++i) {
-    EXPECT_EQ(txns[i].id, i + 1);
+    EXPECT_EQ(txns[i].id.value(), i + 1);
   }
 }
 
@@ -150,7 +150,7 @@ TEST(TxnSourceTest, StopHaltsGeneration) {
   sim::Simulator sim;
   int count = 0;
   TxnSource::Params params;
-  TxnSource source(&sim, params, 7,
+  TxnSource source(&sim, params, base::RngSeed(7),
                    [&](const txn::Transaction::Params&) { ++count; });
   sim.RunUntil(2.0);
   const int at_stop = count;
@@ -165,7 +165,7 @@ TEST(TxnSourceDeathTest, InvalidParams) {
   params.slack_min = 2.0;
   params.slack_max = 1.0;
   EXPECT_DEATH(
-      TxnSource(&sim, params, 7, [](const txn::Transaction::Params&) {}),
+      TxnSource(&sim, params, base::RngSeed(7), [](const txn::Transaction::Params&) {}),
       "slack");
 }
 

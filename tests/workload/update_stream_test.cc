@@ -13,7 +13,7 @@ std::vector<db::Update> Collect(const UpdateStream::Params& params,
                                 double seconds, std::uint64_t seed = 7) {
   sim::Simulator sim;
   std::vector<db::Update> updates;
-  UpdateStream stream(&sim, params, seed,
+  UpdateStream stream(&sim, params, base::RngSeed(seed),
                       [&](const db::Update& u) { updates.push_back(u); });
   sim.RunUntil(seconds);
   return updates;
@@ -42,7 +42,7 @@ TEST(UpdateStreamTest, IdsAreUniqueAndSequential) {
   UpdateStream::Params params;
   const auto updates = Collect(params, 2.0);
   for (std::size_t i = 0; i < updates.size(); ++i) {
-    EXPECT_EQ(updates[i].id, i + 1);
+    EXPECT_EQ(updates[i].id.value(), i + 1);
   }
 }
 
@@ -102,7 +102,7 @@ TEST(UpdateStreamTest, StopHaltsGeneration) {
   sim::Simulator sim;
   int count = 0;
   UpdateStream::Params params;
-  UpdateStream stream(&sim, params, 7,
+  UpdateStream stream(&sim, params, base::RngSeed(7),
                       [&](const db::Update&) { ++count; });
   sim.RunUntil(1.0);
   const int at_stop = count;
@@ -138,7 +138,7 @@ TEST(UpdateStreamTest, RateFactorScalesThroughput) {
   UpdateStream::Params params;
   params.arrival_rate = 400;
   int count = 0;
-  UpdateStream stream(&sim, params, 7,
+  UpdateStream stream(&sim, params, base::RngSeed(7),
                       [&](const db::Update&) { ++count; });
   sim.RunUntil(20.0);
   const int base = count;
@@ -163,9 +163,9 @@ TEST(UpdateStreamTest, UnitRateFactorIsANoOpForDeterminism) {
   params.arrival_rate = 400;
   sim::Simulator sim_a, sim_b;
   std::vector<double> a, b;
-  UpdateStream sa(&sim_a, params, 7,
+  UpdateStream sa(&sim_a, params, base::RngSeed(7),
                   [&](const db::Update& u) { a.push_back(u.arrival_time); });
-  UpdateStream sb(&sim_b, params, 7,
+  UpdateStream sb(&sim_b, params, base::RngSeed(7),
                   [&](const db::Update& u) { b.push_back(u.arrival_time); });
   sim_a.RunUntil(5.0);
   sa.SetRateFactor(1.0);  // already 1.0 — must be a pure no-op
@@ -179,7 +179,7 @@ TEST(UpdateStreamDeathTest, InvalidParams) {
   UpdateStream::Params params;
   params.arrival_rate = 0;
   EXPECT_DEATH(
-      UpdateStream(&sim, params, 7, [](const db::Update&) {}),
+      UpdateStream(&sim, params, base::RngSeed(7), [](const db::Update&) {}),
       "positive");
 }
 

@@ -106,7 +106,7 @@ int main(int argc, char** argv) {
   }
 
   strip::sim::Simulator simulator;
-  strip::core::System system(&simulator, config, seed);
+  strip::core::System system(&simulator, config, strip::base::RngSeed(seed));
 
   std::ofstream trace_out;
   std::unique_ptr<strip::core::TraceWriter> writer;

@@ -244,9 +244,10 @@ int main(int argc, char** argv) {
             // telemetry document behind.
             std::ostringstream out;
             telemetry->WriteJson(out, metrics);
-            if (const auto error = strip::exp::WriteFileAtomic(
+            if (const auto write_error = strip::exp::WriteFileAtomic(
                     telemetry_path, out.str())) {
-              std::fprintf(stderr, "strip_sim: %s\n", error->c_str());
+              std::fprintf(stderr, "strip_sim: %s\n",
+                           write_error->c_str());
               std::exit(2);
             }
           }
